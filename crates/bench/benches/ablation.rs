@@ -1,0 +1,144 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. **JIT splice vs always-instrument** — Chaser instruments only the
+//!    targeted instruction class; F-SEFI rewrites the translation of
+//!    *every* instruction. Measured as identical lud runs whose injector
+//!    targets `fmul` vs `any`.
+//! 2. **TaintHub vs per-message header** — receive-path cost when no fault
+//!    is in flight (the case the hub optimises for), on golden matvec.
+//! 3. **Precise vs conservative taint policy** — full traced CLAMR run
+//!    under both policies.
+
+use chaser::{run_app, Corruption, InjectionSpec, OperandSel, RunOptions, Trigger};
+use chaser_bench::{clamr_app, lud_app, matvec_app, HarnessArgs};
+use chaser_isa::InsnClass;
+use chaser_mpi::TaintCarrier;
+use chaser_taint::TaintPolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// An injector that never fires (`AfterN(u64::MAX)`) but *instruments*
+/// `class`: isolates the pure instrumentation cost.
+fn counting_spec(program: &str, class: InsnClass) -> InjectionSpec {
+    InjectionSpec {
+        target_program: program.into(),
+        target_rank: 0,
+        class,
+        trigger: Trigger::AfterN(u64::MAX),
+        corruption: Corruption::Identity,
+        operand: OperandSel::Dst,
+        max_injections: 1,
+        seed: 0,
+    }
+}
+
+fn jit_vs_always_instrument(c: &mut Criterion) {
+    let args = HarnessArgs::default();
+    let (app, _) = lud_app(&args);
+    let mut group = c.benchmark_group("ablation/instrumentation");
+    group.sample_size(20);
+
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| run_app(&app, &RunOptions::golden()));
+    });
+    group.bench_function("jit_target_fmul_only", |b| {
+        let opts = RunOptions::inject(counting_spec(&app.name, InsnClass::Fmul));
+        b.iter(|| run_app(&app, &opts));
+    });
+    group.bench_function("fsefi_style_all_insns", |b| {
+        let opts = RunOptions::inject(counting_spec(&app.name, InsnClass::Any));
+        b.iter(|| run_app(&app, &opts));
+    });
+    group.finish();
+}
+
+fn hub_vs_header(c: &mut Criterion) {
+    // The paper's Related-Work comparison: with *tracing enabled* and no
+    // fault in flight, the header scheme builds/parses a per-message taint
+    // header on every send/recv, while the hub costs one registry poll.
+    let args = HarnessArgs::default();
+    let mut group = c.benchmark_group("ablation/taint_carrier_fault_free");
+    group.sample_size(20);
+
+    let traced = RunOptions {
+        tracing: true,
+        ..RunOptions::default()
+    };
+    for (label, carrier) in [
+        ("hub", TaintCarrier::Hub),
+        ("header", TaintCarrier::Header),
+        ("none", TaintCarrier::None),
+    ] {
+        let (mut app, _) = matvec_app(&args);
+        app.cluster.taint_carrier = carrier;
+        group.bench_function(label, |b| {
+            b.iter(|| run_app(&app, &traced));
+        });
+    }
+    group.finish();
+}
+
+fn precise_vs_conservative_policy(c: &mut Criterion) {
+    let args = HarnessArgs::default();
+    let mut group = c.benchmark_group("ablation/taint_policy_traced_run");
+    group.sample_size(10);
+
+    for (label, policy) in [
+        ("precise", TaintPolicy::Precise),
+        ("conservative", TaintPolicy::Conservative),
+    ] {
+        let (mut app, _) = clamr_app(&args);
+        app.cluster.taint_policy = policy;
+        let spec = InjectionSpec {
+            target_program: app.name.clone(),
+            target_rank: 0,
+            class: InsnClass::Fadd,
+            trigger: Trigger::AfterN(100),
+            corruption: Corruption::Identity,
+            operand: OperandSel::Dst,
+            max_injections: 1,
+            seed: 0,
+        };
+        let opts = RunOptions::inject_traced(spec);
+        group.bench_function(label, |b| {
+            b.iter(|| run_app(&app, &opts));
+        });
+    }
+    group.finish();
+}
+
+fn tracing_granularity(c: &mut Criterion) {
+    // The paper's §III-C design choice: memory-access-granularity tracing
+    // (shipped) vs instruction-level tracing (rejected as too slow).
+    let args = HarnessArgs::default();
+    let (app, _) = clamr_app(&args);
+    let mut group = c.benchmark_group("ablation/tracing_granularity");
+    group.sample_size(10);
+
+    let spec = InjectionSpec {
+        target_program: app.name.clone(),
+        target_rank: 0,
+        class: InsnClass::Fadd,
+        trigger: Trigger::AfterN(1),
+        corruption: Corruption::Identity,
+        operand: OperandSel::Dst,
+        max_injections: 1,
+        seed: 0,
+    };
+    let mem_opts = RunOptions::inject_traced(spec);
+    group.bench_function("memory_access_tracing", |b| {
+        b.iter(|| run_app(&app, &mem_opts));
+    });
+    group.bench_function("instruction_level_tracing", |b| {
+        b.iter(|| chaser::run_app_insn_traced(&app, true));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    jit_vs_always_instrument,
+    hub_vs_header,
+    precise_vs_conservative_policy,
+    tracing_granularity
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the substrate layers: instruction codec, dynamic
+//! binary translation, TB-cache lookup, whole-engine throughput, and
+//! taint-rule evaluation.
+
+use chaser_isa::{decode, encode, Asm, Cond, FReg, Instruction, Reg, CODE_BASE};
+use chaser_taint::{PropKind, TaintMask, TaintPolicy};
+use chaser_tcg::{translate_block, SliceFetcher, TbCache};
+use chaser_vm::{Node, SliceExit};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn codec(c: &mut Criterion) {
+    let insn = Instruction::FLdIdx {
+        dst: FReg::F3,
+        base: Reg::R4,
+        idx: Reg::R5,
+    };
+    let bytes = encode(&insn);
+    c.bench_function("micro/encode", |b| b.iter(|| encode(black_box(&insn))));
+    c.bench_function("micro/decode", |b| b.iter(|| decode(black_box(&bytes))));
+}
+
+fn straight_line_code(insns: usize) -> Vec<u8> {
+    let mut a = Asm::new("bench");
+    for i in 0..insns {
+        a.addi(Reg::R1, i as i64);
+    }
+    a.halt();
+    a.assemble().expect("assemble").code().to_vec()
+}
+
+fn translation(c: &mut Criterion) {
+    let code = straight_line_code(512);
+    c.bench_function("micro/translate_block_32insns", |b| {
+        let fetcher = SliceFetcher::new(CODE_BASE, &code);
+        b.iter(|| translate_block(black_box(&fetcher), CODE_BASE, None));
+    });
+
+    c.bench_function("micro/tb_cache_hit", |b| {
+        let fetcher = SliceFetcher::new(CODE_BASE, &code);
+        let mut cache = TbCache::new();
+        cache.get_or_translate(1, CODE_BASE, || translate_block(&fetcher, CODE_BASE, None));
+        b.iter(|| {
+            cache.get_or_translate(1, CODE_BASE, || unreachable!("must hit"));
+        });
+    });
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    // A 1M-instruction spin loop, measured end to end through paging,
+    // translation cache and taint-coupled interpretation.
+    let mut a = Asm::new("spin");
+    a.movi(Reg::R1, 0);
+    a.label("loop");
+    a.addi(Reg::R1, 1);
+    a.cmpi(Reg::R1, 250_000);
+    a.jcc(Cond::Lt, "loop");
+    a.exit(0);
+    let prog = a.assemble().expect("assemble");
+
+    let mut group = c.benchmark_group("micro/engine");
+    group.sample_size(10);
+    group.bench_function("spin_750k_insns", |b| {
+        b.iter(|| {
+            let mut node = Node::new(0);
+            let pid = node.spawn(&prog).expect("spawn");
+            loop {
+                match node.run_slice(pid, 1_000_000) {
+                    SliceExit::Exited(_) => break,
+                    SliceExit::QuantumExpired => continue,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+fn taint_rules(c: &mut Criterion) {
+    let policy = TaintPolicy::Precise;
+    let ta = TaintMask(0x0000_ff00_0000_0000);
+    let tb = TaintMask::bit(3);
+    c.bench_function("micro/taint_propagate_add", |b| {
+        b.iter(|| policy.propagate(black_box(PropKind::AddSub), black_box(ta), black_box(tb)));
+    });
+    c.bench_function("micro/taint_propagate_and", |b| {
+        b.iter(|| {
+            policy.propagate(
+                black_box(PropKind::And {
+                    a: 0xffff,
+                    b: 0xff00,
+                }),
+                black_box(ta),
+                black_box(tb),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, codec, translation, engine_throughput, taint_rules);
+criterion_main!(benches);

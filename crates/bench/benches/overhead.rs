@@ -1,0 +1,62 @@
+//! Fig. 10 as a Criterion benchmark: {baseline, FI-only, tracing-only,
+//! FI+tracing} × {Matvec, CLAMR}, with identity injections so every
+//! configuration performs identical application work.
+
+use chaser::{run_app, AppSpec, Corruption, InjectionSpec, OperandSel, RunOptions, Trigger};
+use chaser_bench::{clamr_app, matvec_app, HarnessArgs};
+use chaser_isa::InsnClass;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn identity_spec(program: &str) -> InjectionSpec {
+    InjectionSpec {
+        target_program: program.into(),
+        target_rank: 0,
+        class: InsnClass::Fadd,
+        trigger: Trigger::AfterN(1000),
+        corruption: Corruption::Identity,
+        operand: OperandSel::Dst,
+        max_injections: 1,
+        seed: 0,
+    }
+}
+
+fn bench_app(c: &mut Criterion, name: &str, app: &AppSpec) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(20);
+
+    let golden = RunOptions::golden();
+    group.bench_function("baseline", |b| {
+        b.iter(|| run_app(app, &golden));
+    });
+
+    let fi = RunOptions::inject(identity_spec(&app.name));
+    group.bench_function("fi_only", |b| {
+        b.iter(|| run_app(app, &fi));
+    });
+
+    let trace = RunOptions {
+        tracing: true,
+        ..RunOptions::default()
+    };
+    group.bench_function("tracing_only", |b| {
+        b.iter(|| run_app(app, &trace));
+    });
+
+    let fi_trace = RunOptions::inject_traced(identity_spec(&app.name));
+    group.bench_function("fi_plus_tracing", |b| {
+        b.iter(|| run_app(app, &fi_trace));
+    });
+
+    group.finish();
+}
+
+fn overhead(c: &mut Criterion) {
+    let args = HarnessArgs::default();
+    let (matvec, _) = matvec_app(&args);
+    bench_app(c, "fig10/matvec", &matvec);
+    let (clamr, _) = clamr_app(&args);
+    bench_app(c, "fig10/clamr", &clamr);
+}
+
+criterion_group!(benches, overhead);
+criterion_main!(benches);

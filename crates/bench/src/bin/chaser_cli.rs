@@ -1,0 +1,247 @@
+//! The Chaser terminal — the paper's user workflow in one binary: load a
+//! target application, arm an injector with an `inject_fault`-family
+//! command, run, and inspect outcome, propagation trace and analysis.
+//!
+//! Interactive: `cargo run --release -p chaser-bench --bin chaser_cli`
+//! Scripted:    `... --bin chaser_cli -- --script "load lud; inject_fault lud fmul 100 51; run; quit"`
+
+use chaser::analysis::TraceAnalysis;
+use chaser::{
+    AppSpec, Chaser, DeterministicInjector, GroupInjector, IntermittentInjector,
+    ProbabilisticInjector, RunOptions,
+};
+use chaser_bench::HarnessArgs;
+use std::io::{BufRead, Write};
+
+struct Cli {
+    chaser: Chaser,
+    app: Option<AppSpec>,
+    golden: Option<chaser::RunReport>,
+}
+
+fn build_app(name: &str, args: &HarnessArgs) -> Option<AppSpec> {
+    Some(match name {
+        "matvec" => chaser_bench::matvec_app(args).0,
+        "clamr" | "clamr_sim" => chaser_bench::clamr_app(args).0,
+        "bfs" => chaser_bench::bfs_app(args).0,
+        "kmeans" => chaser_bench::kmeans_app(args).0,
+        "lud" => chaser_bench::lud_app(args).0,
+        _ => return None,
+    })
+}
+
+impl Cli {
+    fn new() -> Cli {
+        let mut chaser = Chaser::new();
+        chaser.load_plugin(&mut ProbabilisticInjector);
+        chaser.load_plugin(&mut DeterministicInjector);
+        chaser.load_plugin(&mut GroupInjector);
+        chaser.load_plugin(&mut IntermittentInjector);
+        Cli {
+            chaser,
+            app: None,
+            golden: None,
+        }
+    }
+
+    /// Executes one command line; returns `false` to quit.
+    fn exec(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        match cmd {
+            "quit" | "exit" => return false,
+            "help" => self.help(),
+            "apps" => println!("available targets: matvec, clamr, bfs, kmeans, lud"),
+            "load" => {
+                let name = parts.next().unwrap_or("");
+                let size = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let ranks = parts.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+                let args = HarnessArgs {
+                    size,
+                    ranks,
+                    ..HarnessArgs::default()
+                };
+                match build_app(name, &args) {
+                    Some(app) => {
+                        println!(
+                            "loaded `{}`: {} rank(s) on {} node(s)",
+                            app.name,
+                            app.nranks(),
+                            app.cluster.nodes
+                        );
+                        self.app = Some(app);
+                        self.golden = None;
+                    }
+                    None => println!("unknown app `{name}` (try `apps`)"),
+                }
+            }
+            "golden" => match &self.app {
+                Some(app) => {
+                    let report = chaser::run_app(app, &RunOptions::golden());
+                    println!(
+                        "golden run: {} insns, {} rounds, outputs {:?} bytes",
+                        report.cluster.total_insns,
+                        report.cluster.rounds,
+                        report.outputs.iter().map(Vec::len).collect::<Vec<_>>()
+                    );
+                    self.golden = Some(report);
+                }
+                None => println!("no app loaded (use `load <app>` first)"),
+            },
+            "run" => self.run_pending(),
+            "commands" => {
+                for spec in self.chaser.commands() {
+                    println!("  {}", spec.help);
+                }
+            }
+            _ => match self.chaser.exec_command(line) {
+                Ok(msg) => println!("{msg}"),
+                Err(e) => println!("error: {e} (try `help`)"),
+            },
+        }
+        true
+    }
+
+    fn run_pending(&mut self) {
+        let Some(app) = self.app.clone() else {
+            println!("no app loaded (use `load <app>` first)");
+            return;
+        };
+        let Some(spec) = self.chaser.take_pending_spec() else {
+            println!("no injection armed (use an inject_fault command first)");
+            return;
+        };
+        if self.golden.is_none() {
+            println!("(running golden reference first)");
+            self.golden = Some(chaser::run_app(&app, &RunOptions::golden()));
+        }
+        let golden = self.golden.as_ref().expect("set above");
+
+        let report = chaser::run_app(&app, &RunOptions::inject_traced(spec));
+        if let Some(rec) = report.injections.first() {
+            println!(
+                "fault placed: node {} pid {} pc={:#x} `{}` {} {:#018x} -> {:#018x} \
+                 (exec #{}, icount {})",
+                rec.node,
+                rec.pid,
+                rec.pc,
+                rec.insn,
+                rec.operand,
+                rec.old_bits,
+                rec.new_bits,
+                rec.exec_count,
+                rec.icount
+            );
+        } else {
+            println!("note: the injector never fired");
+        }
+        let outcome = report.classify_against(golden);
+        println!("outcome: {outcome}");
+        if matches!(outcome, chaser::Outcome::Sdc) {
+            let regions = report.corrupted_regions(golden);
+            println!("corrupted output regions ({}):", regions.len());
+            for r in regions.iter().take(6) {
+                println!(
+                    "  rank {} bytes {}..{} (element {}..)",
+                    r.rank,
+                    r.offset,
+                    r.offset + r.len,
+                    r.offset / 8
+                );
+            }
+        }
+        if let Some(trace) = &report.trace {
+            let peak = if trace.tainted_byte_samples.is_empty() {
+                "n/a (run shorter than the sampling interval)".to_string()
+            } else {
+                format!("{} bytes", trace.peak_tainted_bytes())
+            };
+            println!(
+                "trace: {} tainted reads, {} tainted writes, peak tainted memory {}, \
+                 {} cross-rank deliveries",
+                trace.taint_reads,
+                trace.taint_writes,
+                peak,
+                report.cluster.cross_rank_tainted_deliveries
+            );
+            let analysis = TraceAnalysis::from_trace(trace);
+            if analysis.contaminated_addresses() > 0 {
+                println!(
+                    "analysis: {} contaminated addresses across {} process(es); hottest:",
+                    analysis.contaminated_addresses(),
+                    analysis.front.len()
+                );
+                for (vaddr, stats) in analysis.hottest_sites(5) {
+                    println!(
+                        "  {:#010x}: {} reads, {} writes, live for {} insns",
+                        vaddr,
+                        stats.reads,
+                        stats.writes,
+                        stats.lifetime()
+                    );
+                }
+                let flows = analysis.hottest_flows(3);
+                if !flows.is_empty() {
+                    println!("hottest taint flows (writer pc -> reader pc):");
+                    for (edge, count) in flows {
+                        println!(
+                            "  {:#x} -> {:#x}  ({count}x)",
+                            edge.writer_eip, edge.reader_eip
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn help(&self) {
+        println!("commands:");
+        println!("  apps                         list loadable applications");
+        println!("  load <app> [size] [ranks]    load a target application");
+        println!("  golden                       run the fault-free reference");
+        println!("  commands                     list injector commands (from plugins)");
+        println!("  inject_fault …               arm the deterministic injector");
+        println!("  inject_fault_prob …          arm the probabilistic injector");
+        println!("  inject_fault_group …         arm the group injector");
+        println!("  run                          execute the armed injection (traced)");
+        println!("  quit                         leave");
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut cli = Cli::new();
+
+    // Scripted mode: --script "cmd; cmd; cmd"
+    if let Some(pos) = argv.iter().position(|a| a == "--script") {
+        let script = argv.get(pos + 1).cloned().unwrap_or_default();
+        for cmd in script.split(';') {
+            println!("chaser> {}", cmd.trim());
+            if !cli.exec(cmd) {
+                return;
+            }
+        }
+        return;
+    }
+
+    println!("Chaser terminal — type `help` for commands");
+    let stdin = std::io::stdin();
+    loop {
+        print!("chaser> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !cli.exec(&line) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}

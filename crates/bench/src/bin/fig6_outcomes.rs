@@ -1,0 +1,122 @@
+//! Fig. 6 — fault-injection outcome distribution (benign / terminated /
+//! SDC) for bfs, kmeans, lud, CLAMR and Matvec, each with the paper's
+//! per-application fault targeting:
+//!
+//! * bfs — `cmp` faults (frequent comparison operations),
+//! * kmeans — floating-point faults (distance kernel),
+//! * lud — combined floating-point and `cmp` faults,
+//! * matvec — `mov` faults into the master only,
+//! * clamr — floating-point faults into a random rank.
+//!
+//! `cargo run --release -p chaser-bench --bin fig6_outcomes -- --runs 500`
+
+use chaser::{AppSpec, Campaign, CampaignConfig, RankPool};
+use chaser_bench::{bar, bfs_app, clamr_app, kmeans_app, lud_app, matvec_app, HarnessArgs};
+use chaser_isa::InsnClass;
+
+struct Target {
+    name: &'static str,
+    app: AppSpec,
+    classes: Vec<InsnClass>,
+    rank_pool: RankPool,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+
+    let targets = vec![
+        Target {
+            name: "bfs",
+            app: bfs_app(&args).0,
+            classes: vec![InsnClass::Cmp],
+            rank_pool: RankPool::Master,
+        },
+        Target {
+            name: "kmeans",
+            app: kmeans_app(&args).0,
+            classes: vec![InsnClass::FpArith, InsnClass::Fcmp],
+            rank_pool: RankPool::Master,
+        },
+        Target {
+            name: "lud",
+            app: lud_app(&args).0,
+            classes: vec![InsnClass::FpArith, InsnClass::Cmp],
+            rank_pool: RankPool::Master,
+        },
+        Target {
+            name: "CLAMR",
+            app: clamr_app(&args).0,
+            classes: vec![InsnClass::FpArith],
+            rank_pool: RankPool::Random,
+        },
+        Target {
+            name: "Matvec",
+            app: matvec_app(&args).0,
+            classes: vec![InsnClass::Mov],
+            rank_pool: RankPool::Master,
+        },
+    ];
+
+    println!(
+        "Fig. 6: fault injection results — {} runs per application, seed {:#x}",
+        args.runs, args.seed
+    );
+    println!(
+        "\n{:8} {:>6} {:>22} {:>22} {:>22}",
+        "app", "N", "benign", "terminated", "SDC"
+    );
+
+    let mut series = Vec::new();
+    for target in targets {
+        let campaign = Campaign::new(
+            target.app,
+            CampaignConfig {
+                runs: args.runs,
+                seed: args.seed,
+                classes: target.classes,
+                rank_pool: target.rank_pool,
+                bits_per_fault: 1,
+                ..CampaignConfig::default()
+            },
+        );
+        let result = campaign.run();
+        let counts = result.outcome_counts();
+        let (b, s, t) = counts.percentages();
+        println!(
+            "{:8} {:>6} {:>14} {:>7.2}% {:>14} {:>7.2}% {:>14} {:>7.2}%",
+            target.name,
+            counts.total(),
+            counts.benign,
+            b,
+            counts.terminated,
+            t,
+            counts.sdc,
+            s
+        );
+        series.push((target.name, counts));
+    }
+
+    println!("\nstacked view (each # ≈ 2.5%):");
+    for (name, counts) in &series {
+        let t = counts.total();
+        println!(
+            "  {:8} benign     |{}",
+            name,
+            bar(counts.benign * 40 / t.max(1), 40, 40)
+        );
+        println!(
+            "  {:8} terminated |{}",
+            "",
+            bar(counts.terminated * 40 / t.max(1), 40, 40)
+        );
+        println!(
+            "  {:8} SDC        |{}",
+            "",
+            bar(counts.sdc * 40 / t.max(1), 40, 40)
+        );
+    }
+    println!(
+        "\nshape check (paper): all three classes appear for every app; the MPI \
+         apps' failures are dominated by terminations."
+    );
+}

@@ -1,0 +1,247 @@
+//! # chaser-bench
+//!
+//! Harness binaries and Criterion benchmarks regenerating every table and
+//! figure of the Chaser paper's evaluation (see DESIGN.md §4 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! | Artefact | Binary |
+//! |---|---|
+//! | Table I (fault models) | `table1_models` |
+//! | Table II (injector LoC) | `table2_loc` |
+//! | Table III (Matvec termination breakdown) | `table3_termination` |
+//! | Fig. 6 (outcome distribution per app) | `fig6_outcomes` |
+//! | Fig. 7 (tainted bytes over time) | `fig7_tainted_bytes` |
+//! | Fig. 8 (tainted-read histogram) | `fig8_taint_reads` |
+//! | Fig. 9 (tainted-write histogram) | `fig9_taint_writes` |
+//! | Fig. 10 (runtime overhead) | `fig10_overhead` |
+//! | §IV-B CLAMR detection stats | `clamr_case_study` |
+//!
+//! Every binary accepts `--runs N`, `--seed N`, `--size N` and `--ranks N`
+//! so the full paper-scale campaign (thousands of runs) is reproducible
+//! when given the cycles; defaults keep each binary in the tens of
+//! seconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chaser::AppSpec;
+use chaser_workloads::{bfs, clamr, kmeans, lud, matvec};
+
+/// Common command-line arguments for the harness binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Injection runs per campaign.
+    pub runs: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Problem-size knob (meaning is per-workload).
+    pub size: usize,
+    /// MPI ranks for the parallel workloads.
+    pub ranks: u32,
+    /// Dump per-run campaign results as CSV to this path.
+    pub csv: Option<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> HarnessArgs {
+        HarnessArgs {
+            runs: 200,
+            seed: 0xC4A5E12,
+            size: 0, // 0 = workload default
+            ranks: 4,
+            csv: None,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--runs / --seed / --size / --ranks` from `std::env::args`,
+    /// starting from the given defaults.
+    pub fn parse_with(mut defaults: HarnessArgs) -> HarnessArgs {
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            let value = &args[i + 1];
+            match args[i].as_str() {
+                "--runs" => defaults.runs = value.parse().expect("--runs takes a number"),
+                "--seed" => defaults.seed = value.parse().expect("--seed takes a number"),
+                "--size" => defaults.size = value.parse().expect("--size takes a number"),
+                "--ranks" => defaults.ranks = value.parse().expect("--ranks takes a number"),
+                "--csv" => defaults.csv = Some(value.clone()),
+                other => {
+                    panic!("unknown argument `{other}` (try --runs/--seed/--size/--ranks/--csv)")
+                }
+            }
+            i += 2;
+        }
+        defaults
+    }
+
+    /// Parses with the standard defaults.
+    pub fn parse() -> HarnessArgs {
+        HarnessArgs::parse_with(HarnessArgs::default())
+    }
+}
+
+/// The Matvec application at `size` (matrix dimension; 0 = default 16).
+pub fn matvec_app(args: &HarnessArgs) -> (AppSpec, matvec::MatvecConfig) {
+    let cfg = matvec::MatvecConfig {
+        n: if args.size == 0 { 16 } else { args.size },
+        ranks: args.ranks,
+        seed: 7,
+    };
+    (
+        AppSpec::replicated(
+            matvec::program(&cfg),
+            cfg.ranks as usize,
+            args.ranks as usize,
+        ),
+        cfg,
+    )
+}
+
+/// The clamr_sim application at `size` (global cells; 0 = default 64).
+pub fn clamr_app(args: &HarnessArgs) -> (AppSpec, clamr::ClamrConfig) {
+    let cfg = clamr_config(args);
+    (
+        AppSpec::replicated(
+            clamr::program(&cfg),
+            cfg.ranks as usize,
+            args.ranks as usize,
+        ),
+        cfg,
+    )
+}
+
+/// The clamr_sim configuration used by the harnesses.
+pub fn clamr_config(args: &HarnessArgs) -> clamr::ClamrConfig {
+    let ncells = if args.size == 0 { 64 } else { args.size };
+    clamr::ClamrConfig {
+        ncells,
+        ranks: args.ranks,
+        ..clamr::ClamrConfig::default()
+    }
+}
+
+/// A larger clamr_sim (more cells, more steps) for the propagation-series
+/// figure, where the run must span many 100K-instruction samples.
+pub fn clamr_app_long(args: &HarnessArgs) -> (AppSpec, clamr::ClamrConfig) {
+    let ncells = if args.size == 0 { 128 } else { args.size };
+    let cfg = clamr::ClamrConfig {
+        ncells,
+        ranks: args.ranks,
+        steps: 160,
+        ..clamr::ClamrConfig::default()
+    };
+    (
+        AppSpec::replicated(
+            clamr::program(&cfg),
+            cfg.ranks as usize,
+            args.ranks as usize,
+        ),
+        cfg,
+    )
+}
+
+/// The bfs application at `size` (node count; 0 = default 128).
+pub fn bfs_app(args: &HarnessArgs) -> (AppSpec, bfs::BfsConfig) {
+    let cfg = bfs::BfsConfig {
+        nodes: if args.size == 0 { 128 } else { args.size },
+        ..bfs::BfsConfig::default()
+    };
+    (AppSpec::single(bfs::program(&cfg)), cfg)
+}
+
+/// The kmeans application at `size` (point count; 0 = default 64).
+pub fn kmeans_app(args: &HarnessArgs) -> (AppSpec, kmeans::KmeansConfig) {
+    let cfg = kmeans::KmeansConfig {
+        npoints: if args.size == 0 { 64 } else { args.size },
+        ..kmeans::KmeansConfig::default()
+    };
+    (AppSpec::single(kmeans::program(&cfg)), cfg)
+}
+
+/// The lud application at `size` (matrix dimension; 0 = default 16).
+pub fn lud_app(args: &HarnessArgs) -> (AppSpec, lud::LudConfig) {
+    let cfg = lud::LudConfig {
+        n: if args.size == 0 { 16 } else { args.size },
+        ..lud::LudConfig::default()
+    };
+    (AppSpec::single(lud::program(&cfg)), cfg)
+}
+
+/// Renders an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&headers));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats `x` out of `total` as `"count (pp.pp%)"`.
+pub fn pct(x: u64, total: u64) -> String {
+    format!("{x} ({:.2}%)", 100.0 * x as f64 / total.max(1) as f64)
+}
+
+/// Writes a campaign's per-run CSV when `--csv` was given.
+pub fn maybe_write_csv(args: &HarnessArgs, result: &chaser::CampaignResult) {
+    if let Some(path) = &args.csv {
+        std::fs::write(path, result.to_csv()).expect("write --csv file");
+        println!("(per-run results written to {path})");
+    }
+}
+
+/// A crude text histogram bar.
+pub fn bar(count: u64, max: u64, width: usize) -> String {
+    let filled = ((count as f64 / max.max(1) as f64) * width as f64).round() as usize;
+    "#".repeat(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_apps_build() {
+        let args = HarnessArgs::default();
+        let (app, _) = matvec_app(&args);
+        assert_eq!(app.nranks(), 4);
+        let (app, _) = clamr_app(&args);
+        assert_eq!(app.nranks(), 4);
+        let (app, _) = bfs_app(&args);
+        assert_eq!(app.nranks(), 1);
+        let (app, _) = kmeans_app(&args);
+        assert_eq!(app.nranks(), 1);
+        let (app, _) = lud_app(&args);
+        assert_eq!(app.nranks(), 1);
+    }
+
+    #[test]
+    fn pct_and_bar_format() {
+        assert_eq!(pct(1, 4), "1 (25.00%)");
+        assert_eq!(bar(5, 10, 10), "#####");
+        assert_eq!(bar(0, 10, 10), "");
+    }
+}

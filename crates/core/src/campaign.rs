@@ -1,0 +1,632 @@
+//! Statistical fault-injection campaigns: thousands of seeded single-fault
+//! runs executed in parallel, classified against a golden run.
+
+use crate::injector::InjectionRecord;
+use crate::outcome::{Outcome, TermCause};
+use crate::session::{profile_app, run_app, AppSpec, RunOptions, RunReport};
+use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
+use crate::tracer::TracerConfig;
+use chaser_isa::InsnClass;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Which rank receives the fault in each run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankPool {
+    /// Always the master (rank 0) — the paper's Matvec setup.
+    Master,
+    /// A uniformly random rank per run — the CLAMR setup.
+    Random,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of injection runs.
+    pub runs: u64,
+    /// Master seed; run `i` derives its own stream from it.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub parallelism: usize,
+    /// Instruction classes faults may target (one is drawn per run).
+    pub classes: Vec<InsnClass>,
+    /// Which rank gets the fault.
+    pub rank_pool: RankPool,
+    /// Bits flipped per fault.
+    pub bits_per_fault: u32,
+    /// Which operand is corrupted.
+    pub operand: OperandSel,
+    /// Trace fault propagation during each run.
+    pub tracing: bool,
+    /// Tracer parameters when tracing.
+    pub tracer: TracerConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            runs: 100,
+            seed: 0xC4A5E12,
+            parallelism: 0,
+            classes: vec![InsnClass::FpArith],
+            rank_pool: RankPool::Master,
+            bits_per_fault: 1,
+            operand: OperandSel::Random,
+            tracing: false,
+            tracer: TracerConfig::default(),
+        }
+    }
+}
+
+/// The compact per-run result a campaign keeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Run index.
+    pub run_idx: u64,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Targeted class this run.
+    pub class: InsnClass,
+    /// Targeted rank.
+    pub rank: u32,
+    /// The deterministic trigger count drawn.
+    pub trigger_n: u64,
+    /// Whether the fault actually fired.
+    pub injected: bool,
+    /// Tainted-memory reads observed (tracing runs only).
+    pub taint_reads: u64,
+    /// Tainted-memory writes observed.
+    pub taint_writes: u64,
+    /// Tainted point-to-point deliveries (fault crossed ranks).
+    pub cross_rank: u64,
+    /// Total guest instructions the run retired.
+    pub total_insns: u64,
+    /// The injection record, when the fault fired.
+    pub record: Option<InjectionRecord>,
+}
+
+impl RunOutcome {
+    /// Did the fault propagate across rank/node boundaries?
+    pub fn propagated(&self) -> bool {
+        self.cross_rank > 0
+    }
+}
+
+/// Aggregate outcome counts (the Fig. 6 bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Bitwise-identical outputs.
+    pub benign: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Abnormal terminations.
+    pub terminated: u64,
+}
+
+impl OutcomeCounts {
+    /// Total classified runs.
+    pub fn total(&self) -> u64 {
+        self.benign + self.sdc + self.terminated
+    }
+
+    /// `(benign, sdc, terminated)` as percentages.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            100.0 * self.benign as f64 / t,
+            100.0 * self.sdc as f64 / t,
+            100.0 * self.terminated as f64 / t,
+        )
+    }
+}
+
+/// Termination attribution (the Table III rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TerminationBreakdown {
+    /// OS exceptions on the injected (master) rank.
+    pub os_exceptions: u64,
+    /// MPI-runtime detected errors.
+    pub mpi_errors: u64,
+    /// OS exceptions on a non-injected rank ("Slave Node failed").
+    pub slave_node_failed: u64,
+    /// Application-checker aborts.
+    pub assertions: u64,
+    /// Hangs.
+    pub hangs: u64,
+    /// Voluntary non-zero exits.
+    pub abnormal_exits: u64,
+}
+
+impl TerminationBreakdown {
+    /// Total terminated runs.
+    pub fn total(&self) -> u64 {
+        self.os_exceptions
+            + self.mpi_errors
+            + self.slave_node_failed
+            + self.assertions
+            + self.hangs
+            + self.abnormal_exits
+    }
+
+    fn add(&mut self, cause: &TermCause) {
+        match cause {
+            TermCause::OsException { rank: 0, .. } => self.os_exceptions += 1,
+            TermCause::OsException { .. } => self.slave_node_failed += 1,
+            TermCause::MpiError(_) => self.mpi_errors += 1,
+            TermCause::AssertionFailure { .. } => self.assertions += 1,
+            TermCause::Hang => self.hangs += 1,
+            TermCause::AbnormalExit { .. } => self.abnormal_exits += 1,
+        }
+    }
+}
+
+/// Everything a finished campaign knows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Per-run outcomes (injected runs only; see `skipped`).
+    pub outcomes: Vec<RunOutcome>,
+    /// Runs whose fault never fired (kept for accounting, not classified).
+    pub skipped: u64,
+    /// Instructions the golden run retired.
+    pub golden_insns: u64,
+    /// Dynamic execution counts per `(rank, class index)` from profiling.
+    pub profile_counts: BTreeMap<(u32, usize), u64>,
+}
+
+impl CampaignResult {
+    /// Outcome counts over the injected runs.
+    pub fn outcome_counts(&self) -> OutcomeCounts {
+        let mut c = OutcomeCounts::default();
+        for run in &self.outcomes {
+            match run.outcome {
+                Outcome::Benign => c.benign += 1,
+                Outcome::Sdc => c.sdc += 1,
+                Outcome::Terminated(_) => c.terminated += 1,
+            }
+        }
+        c
+    }
+
+    /// Table III attribution over all terminated runs.
+    pub fn termination_breakdown(&self) -> TerminationBreakdown {
+        let mut b = TerminationBreakdown::default();
+        for run in &self.outcomes {
+            if let Outcome::Terminated(cause) = &run.outcome {
+                b.add(cause);
+            }
+        }
+        b
+    }
+
+    /// Table III attribution restricted to runs whose fault crossed ranks.
+    pub fn termination_breakdown_propagated(&self) -> TerminationBreakdown {
+        let mut b = TerminationBreakdown::default();
+        for run in self.outcomes.iter().filter(|r| r.propagated()) {
+            if let Outcome::Terminated(cause) = &run.outcome {
+                b.add(cause);
+            }
+        }
+        b
+    }
+
+    /// Runs whose fault crossed a rank boundary.
+    pub fn propagated_runs(&self) -> impl Iterator<Item = &RunOutcome> {
+        self.outcomes.iter().filter(|r| r.propagated())
+    }
+
+    /// The CLAMR-study detected/undetected split:
+    /// `(detected, undetected_benign, undetected_sdc)`.
+    pub fn detection_split(&self) -> (u64, u64, u64) {
+        let mut detected = 0;
+        let mut benign = 0;
+        let mut sdc = 0;
+        for run in &self.outcomes {
+            match run.outcome {
+                Outcome::Terminated(_) => detected += 1,
+                Outcome::Benign => benign += 1,
+                Outcome::Sdc => sdc += 1,
+            }
+        }
+        (detected, benign, sdc)
+    }
+
+    /// Renders the per-run outcomes as CSV (header + one row per run) for
+    /// external plotting — the harness binaries accept `--csv <path>` to
+    /// persist it.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "run_idx,outcome,class,rank,trigger_n,taint_reads,taint_writes,cross_rank,total_insns,site_pc,insn
+",
+        );
+        for run in &self.outcomes {
+            let (pc, insn) = run
+                .record
+                .as_ref()
+                .map(|r| (format!("{:#x}", r.pc), r.insn.replace(',', ";")))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{:?},{},{},{},{},{},{},{},{}
+",
+                run.run_idx,
+                run.outcome,
+                run.class,
+                run.rank,
+                run.trigger_n,
+                run.taint_reads,
+                run.taint_writes,
+                run.cross_rank,
+                run.total_insns,
+                pc,
+                insn,
+            ));
+        }
+        out
+    }
+
+    /// Histogram of a per-run metric with fixed-width buckets:
+    /// returns `(bucket lower bound, count)` pairs.
+    pub fn histogram(
+        &self,
+        bucket_width: u64,
+        metric: impl Fn(&RunOutcome) -> u64,
+    ) -> Vec<(u64, u64)> {
+        let mut buckets: BTreeMap<u64, u64> = BTreeMap::new();
+        for run in &self.outcomes {
+            let v = metric(run);
+            *buckets
+                .entry(v / bucket_width.max(1) * bucket_width.max(1))
+                .or_insert(0) += 1;
+        }
+        buckets.into_iter().collect()
+    }
+
+    /// `(reads>writes, reads-only, writes-only)` run counts over traced
+    /// runs with any taint activity — the paper's Fig. 8/9 side stats.
+    pub fn read_write_split(&self) -> (u64, u64, u64) {
+        let mut more_reads = 0;
+        let mut reads_only = 0;
+        let mut writes_only = 0;
+        for run in &self.outcomes {
+            let (r, w) = (run.taint_reads, run.taint_writes);
+            if r > w && w > 0 {
+                more_reads += 1;
+            } else if r > 0 && w == 0 {
+                reads_only += 1;
+            } else if w > 0 && r == 0 {
+                writes_only += 1;
+            }
+        }
+        (more_reads, reads_only, writes_only)
+    }
+}
+
+/// Per-injection-site vulnerability statistics (grouped by the targeted
+/// instruction's address): the paper's hardening-candidate analysis —
+/// "the injection points that resulted in higher tainted memory operations
+/// should be considered candidates for further hardening".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SiteVulnerability {
+    /// Disassembly of the instruction at this site.
+    pub insn: String,
+    /// Faults injected at this site.
+    pub injections: u64,
+    /// How many ended benign.
+    pub benign: u64,
+    /// How many ended as SDC.
+    pub sdc: u64,
+    /// How many terminated the run.
+    pub terminated: u64,
+    /// Total tainted memory operations caused by faults at this site.
+    pub taint_ops: u64,
+    /// How many of its faults crossed rank boundaries.
+    pub propagated: u64,
+}
+
+impl SiteVulnerability {
+    /// Fraction of this site's faults that did *not* end benign.
+    pub fn vulnerability(&self) -> f64 {
+        if self.injections == 0 {
+            return 0.0;
+        }
+        (self.sdc + self.terminated) as f64 / self.injections as f64
+    }
+
+    /// Mean tainted memory operations per fault at this site.
+    pub fn mean_taint_ops(&self) -> f64 {
+        if self.injections == 0 {
+            return 0.0;
+        }
+        self.taint_ops as f64 / self.injections as f64
+    }
+}
+
+impl CampaignResult {
+    /// Groups the campaign's outcomes by injection-site address.
+    pub fn site_vulnerability(&self) -> BTreeMap<u64, SiteVulnerability> {
+        let mut map: BTreeMap<u64, SiteVulnerability> = BTreeMap::new();
+        for run in &self.outcomes {
+            let Some(rec) = &run.record else { continue };
+            let site = map.entry(rec.pc).or_default();
+            if site.insn.is_empty() {
+                site.insn = rec.insn.clone();
+            }
+            site.injections += 1;
+            match run.outcome {
+                Outcome::Benign => site.benign += 1,
+                Outcome::Sdc => site.sdc += 1,
+                Outcome::Terminated(_) => site.terminated += 1,
+            }
+            site.taint_ops += run.taint_reads + run.taint_writes;
+            if run.propagated() {
+                site.propagated += 1;
+            }
+        }
+        map
+    }
+
+    /// The `n` sites with the most tainted memory operations per fault —
+    /// the paper's hardening candidates.
+    pub fn hardening_candidates(&self, n: usize) -> Vec<(u64, SiteVulnerability)> {
+        let mut v: Vec<(u64, SiteVulnerability)> = self.site_vulnerability().into_iter().collect();
+        v.sort_by(|a, b| {
+            b.1.mean_taint_ops()
+                .total_cmp(&a.1.mean_taint_ops())
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(n);
+        v
+    }
+}
+
+/// A fault-injection campaign over one application.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    app: AppSpec,
+    cfg: CampaignConfig,
+}
+
+impl Campaign {
+    /// A campaign over `app` with `cfg`.
+    pub fn new(app: AppSpec, cfg: CampaignConfig) -> Campaign {
+        Campaign { app, cfg }
+    }
+
+    /// The golden run (fault-free), exposed for output inspection.
+    pub fn golden(&self) -> RunReport {
+        run_app(&self.app, &RunOptions::golden())
+    }
+
+    /// Executes the campaign: one golden + one profiling run, then
+    /// `cfg.runs` seeded injection runs across worker threads.
+    pub fn run(&self) -> CampaignResult {
+        let golden = self.golden();
+        assert!(
+            !golden.cluster.hang,
+            "golden run hung — application or cluster configuration is broken"
+        );
+        let (_, profile_counts) = profile_app(&self.app, &self.cfg.classes);
+
+        let workers = if self.cfg.parallelism == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            self.cfg.parallelism
+        };
+
+        let next = AtomicU64::new(0);
+        let outcomes = Mutex::new(Vec::with_capacity(self.cfg.runs as usize));
+        let skipped = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(self.cfg.runs as usize).max(1) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= self.cfg.runs {
+                        break;
+                    }
+                    let result = self.one_run(idx, &golden, &profile_counts);
+                    match result {
+                        Some(outcome) => outcomes.lock().expect("poisoned").push(outcome),
+                        None => {
+                            skipped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut outcomes = outcomes.into_inner().expect("poisoned");
+        outcomes.sort_by_key(|o| o.run_idx);
+        CampaignResult {
+            outcomes,
+            skipped: skipped.load(Ordering::Relaxed),
+            golden_insns: golden.cluster.total_insns,
+            profile_counts: profile_counts.into_iter().collect(),
+        }
+    }
+
+    /// Draws the run's fault parameters and executes it.
+    fn one_run(
+        &self,
+        idx: u64,
+        golden: &RunReport,
+        profile: &std::collections::HashMap<(u32, usize), u64>,
+    ) -> Option<RunOutcome> {
+        let mut rng = SmallRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_add(idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let rank = match self.cfg.rank_pool {
+            RankPool::Master => 0,
+            RankPool::Random => rng.gen_range(0..self.app.nranks()),
+        };
+        // Draw a class with a non-zero dynamic count for this rank.
+        let viable: Vec<usize> = (0..self.cfg.classes.len())
+            .filter(|&ci| profile.get(&(rank, ci)).copied().unwrap_or(0) > 0)
+            .collect();
+        let class_idx = *viable.get(
+            rng.gen_range(0..viable.len().max(1))
+                .min(viable.len().saturating_sub(1)),
+        )?;
+        let class = self.cfg.classes[class_idx];
+        let dyn_count = profile[&(rank, class_idx)];
+        let trigger_n = rng.gen_range(1..=dyn_count);
+
+        let spec = InjectionSpec {
+            target_program: self.app.name.clone(),
+            target_rank: rank,
+            class,
+            trigger: Trigger::AfterN(trigger_n),
+            corruption: Corruption::FlipRandomBits(self.cfg.bits_per_fault),
+            operand: self.cfg.operand,
+            max_injections: 1,
+            seed: rng.gen(),
+        };
+        let opts = RunOptions {
+            spec: Some(spec),
+            tracing: self.cfg.tracing,
+            tracer: self.cfg.tracer,
+            hook_mpi_symbols: false,
+        };
+        let report = run_app(&self.app, &opts);
+        if !report.injected() {
+            return None;
+        }
+        let outcome = report.classify_against(golden);
+        Some(RunOutcome {
+            run_idx: idx,
+            outcome,
+            class,
+            rank,
+            trigger_n,
+            injected: true,
+            taint_reads: report.trace.as_ref().map_or(0, |t| t.taint_reads),
+            taint_writes: report.trace.as_ref().map_or(0, |t| t.taint_writes),
+            cross_rank: report.cluster.cross_rank_tainted_deliveries,
+            total_insns: report.cluster.total_insns,
+            record: report.injections.first().cloned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaser_vm::Signal;
+
+    fn outcome(o: Outcome, reads: u64, writes: u64, cross: u64) -> RunOutcome {
+        RunOutcome {
+            run_idx: 0,
+            outcome: o,
+            class: InsnClass::Fadd,
+            rank: 0,
+            trigger_n: 1,
+            injected: true,
+            taint_reads: reads,
+            taint_writes: writes,
+            cross_rank: cross,
+            total_insns: 100,
+            record: None,
+        }
+    }
+
+    fn result(outcomes: Vec<RunOutcome>) -> CampaignResult {
+        CampaignResult {
+            outcomes,
+            skipped: 0,
+            golden_insns: 0,
+            profile_counts: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn outcome_counts_and_percentages() {
+        let r = result(vec![
+            outcome(Outcome::Benign, 0, 0, 0),
+            outcome(Outcome::Sdc, 0, 0, 0),
+            outcome(
+                Outcome::Terminated(TermCause::OsException {
+                    rank: 0,
+                    signal: Signal::Segv,
+                }),
+                0,
+                0,
+                0,
+            ),
+            outcome(Outcome::Benign, 0, 0, 0),
+        ]);
+        let c = r.outcome_counts();
+        assert_eq!((c.benign, c.sdc, c.terminated), (2, 1, 1));
+        let (b, s, t) = c.percentages();
+        assert!((b - 50.0).abs() < 1e-9);
+        assert!((s - 25.0).abs() < 1e-9);
+        assert!((t - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn termination_breakdown_buckets() {
+        let r = result(vec![
+            outcome(
+                Outcome::Terminated(TermCause::OsException {
+                    rank: 0,
+                    signal: Signal::Segv,
+                }),
+                0,
+                0,
+                0,
+            ),
+            outcome(
+                Outcome::Terminated(TermCause::OsException {
+                    rank: 2,
+                    signal: Signal::Segv,
+                }),
+                0,
+                0,
+                1,
+            ),
+            outcome(
+                Outcome::Terminated(TermCause::MpiError(chaser_mpi::MpiErrorKind::InvalidRank)),
+                0,
+                0,
+                0,
+            ),
+            outcome(Outcome::Terminated(TermCause::Hang), 0, 0, 0),
+        ]);
+        let b = r.termination_breakdown();
+        assert_eq!(b.os_exceptions, 1);
+        assert_eq!(b.slave_node_failed, 1);
+        assert_eq!(b.mpi_errors, 1);
+        assert_eq!(b.hangs, 1);
+        assert_eq!(b.total(), 4);
+        // The propagated subset only sees the slave failure.
+        let p = r.termination_breakdown_propagated();
+        assert_eq!(p.total(), 1);
+        assert_eq!(p.slave_node_failed, 1);
+    }
+
+    #[test]
+    fn read_write_split_matches_definitions() {
+        let r = result(vec![
+            outcome(Outcome::Benign, 10, 2, 0), // more reads
+            outcome(Outcome::Benign, 5, 0, 0),  // reads only
+            outcome(Outcome::Benign, 0, 3, 0),  // writes only
+            outcome(Outcome::Benign, 2, 5, 0),  // more writes: none of the three
+        ]);
+        assert_eq!(r.read_write_split(), (1, 1, 1));
+    }
+
+    #[test]
+    fn histogram_buckets_by_width() {
+        let r = result(vec![
+            outcome(Outcome::Benign, 5, 0, 0),
+            outcome(Outcome::Benign, 15, 0, 0),
+            outcome(Outcome::Benign, 17, 0, 0),
+        ]);
+        let h = r.histogram(10, |o| o.taint_reads);
+        assert_eq!(h, vec![(0, 1), (10, 2)]);
+    }
+}

@@ -1,0 +1,598 @@
+//! The injector runtime: arms on VMI process creation, instruments
+//! targeted instructions at translation time, and fires corruptions at the
+//! spliced callbacks.
+
+use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
+use chaser_isa::{FReg, Instruction, Reg};
+use chaser_taint::TaintMask;
+use chaser_vm::{
+    ExitStatus, FnHookSink, GuestCtx, InjectAction, InjectSink, NodeTranslateHook, VmiAction,
+    VmiSink,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A register operand of a guest instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandLoc {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// A floating-point register.
+    FReg(FReg),
+}
+
+impl std::fmt::Display for OperandLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OperandLoc::Reg(r) => write!(f, "{r}"),
+            OperandLoc::FReg(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Register *operands* of `insn`: the registers the instruction actually
+/// reads (read-modify-write destinations included, write-only destinations
+/// excluded).
+///
+/// Corrupting a write-only destination *before* the instruction executes
+/// would be masked by the instruction's own write — the fault would never
+/// exist architecturally. The paper injects "into the operands" of the
+/// targeted instruction, i.e. the consumed values, which is what this
+/// models: for a load that includes the base (pointer) register, for an
+/// `fadd` both FP inputs, and so on.
+pub fn operand_candidates(insn: &Instruction) -> Vec<OperandLoc> {
+    use chaser_isa::Reg as R;
+    use Instruction as I;
+    use OperandLoc as O;
+    match *insn {
+        I::MovRR { src, .. } => vec![O::Reg(src)],
+        I::MovRI { .. } => vec![],
+        I::Ld { base, .. } => vec![O::Reg(base)],
+        I::St { src, base, .. } => vec![O::Reg(src), O::Reg(base)],
+        I::LdIdx { base, idx, .. } => vec![O::Reg(base), O::Reg(idx)],
+        I::StIdx { src, base, idx } => vec![O::Reg(src), O::Reg(base), O::Reg(idx)],
+        I::Push { src } => vec![O::Reg(src), O::Reg(R::SP)],
+        I::Pop { .. } => vec![O::Reg(R::SP)],
+        I::Add { dst, src }
+        | I::Sub { dst, src }
+        | I::Mul { dst, src }
+        | I::Divs { dst, src }
+        | I::Divu { dst, src }
+        | I::Rem { dst, src }
+        | I::And { dst, src }
+        | I::Or { dst, src }
+        | I::Xor { dst, src }
+        | I::Shl { dst, src }
+        | I::Shr { dst, src }
+        | I::Sar { dst, src } => vec![O::Reg(dst), O::Reg(src)],
+        I::AddI { dst, .. }
+        | I::SubI { dst, .. }
+        | I::MulI { dst, .. }
+        | I::AndI { dst, .. }
+        | I::OrI { dst, .. }
+        | I::XorI { dst, .. }
+        | I::ShlI { dst, .. }
+        | I::ShrI { dst, .. }
+        | I::SarI { dst, .. }
+        | I::Neg { dst }
+        | I::Not { dst } => vec![O::Reg(dst)],
+        I::Cmp { a, b } => vec![O::Reg(a), O::Reg(b)],
+        I::CmpI { a, .. } => vec![O::Reg(a)],
+        I::CallR { target } => vec![O::Reg(target)],
+        I::FMov { src, .. } => vec![O::FReg(src)],
+        I::FMovI { .. } => vec![],
+        I::FLd { base, .. } => vec![O::Reg(base)],
+        I::FSt { src, base, .. } => vec![O::FReg(src), O::Reg(base)],
+        I::FLdIdx { base, idx, .. } => vec![O::Reg(base), O::Reg(idx)],
+        I::FStIdx { src, base, idx } => vec![O::FReg(src), O::Reg(base), O::Reg(idx)],
+        I::Fadd { dst, src }
+        | I::Fsub { dst, src }
+        | I::Fmul { dst, src }
+        | I::Fdiv { dst, src }
+        | I::Fmin { dst, src }
+        | I::Fmax { dst, src } => vec![O::FReg(dst), O::FReg(src)],
+        I::Fsqrt { dst } | I::Fabs { dst } | I::Fneg { dst } => vec![O::FReg(dst)],
+        I::Fcmp { a, b } => vec![O::FReg(a), O::FReg(b)],
+        I::CvtIF { src, .. } => vec![O::Reg(src)],
+        I::CvtFI { src, .. } => vec![O::FReg(src)],
+        I::MovFR { src, .. } => vec![O::FReg(src)],
+        I::MovRF { src, .. } => vec![O::Reg(src)],
+        I::Nop
+        | I::Halt
+        | I::Jmp { .. }
+        | I::Jcc { .. }
+        | I::Call { .. }
+        | I::Ret
+        | I::Hypercall { .. } => vec![],
+    }
+}
+
+/// The effective guest address `insn` is about to access, or `None` for
+/// instructions that do not touch data memory. Used by the
+/// `CORRUPT_MEMORY` injection path ([`crate::OperandSel::Memory`]).
+pub fn effective_address(insn: &Instruction, cpu: &chaser_isa::CpuState) -> Option<u64> {
+    use Instruction as I;
+    let idx_addr = |base: Reg, idx: Reg| cpu.reg(base).wrapping_add(cpu.reg(idx).wrapping_mul(8));
+    let off_addr = |base: Reg, off: i32| cpu.reg(base).wrapping_add(off as i64 as u64);
+    match *insn {
+        I::Ld { base, off, .. } | I::St { base, off, .. } => Some(off_addr(base, off)),
+        I::FLd { base, off, .. } | I::FSt { base, off, .. } => Some(off_addr(base, off)),
+        I::LdIdx { base, idx, .. } | I::StIdx { base, idx, .. } => Some(idx_addr(base, idx)),
+        I::FLdIdx { base, idx, .. } | I::FStIdx { base, idx, .. } => Some(idx_addr(base, idx)),
+        I::Push { .. } => Some(cpu.sp().wrapping_sub(8)),
+        I::Pop { .. } | I::Ret => Some(cpu.sp()),
+        _ => None,
+    }
+}
+
+/// A record of one placed fault — what the campaign logs per injection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// Node the fault landed on.
+    pub node: u32,
+    /// Victim process.
+    pub pid: u64,
+    /// Address of the targeted instruction.
+    pub pc: u64,
+    /// Disassembly of the targeted instruction.
+    pub insn: String,
+    /// The corrupted operand.
+    pub operand: String,
+    /// Operand bits before corruption.
+    pub old_bits: u64,
+    /// Operand bits after corruption.
+    pub new_bits: u64,
+    /// Bits marked as the taint source.
+    pub taint_mask: u64,
+    /// Victim's retired-instruction count at injection.
+    pub icount: u64,
+    /// How many targeted-class instructions had executed (the trigger
+    /// counter).
+    pub exec_count: u64,
+}
+
+#[derive(Debug)]
+struct InjState {
+    seen_creations: u32,
+    active: Option<(u32, u64)>,
+    exec_count: u64,
+    injections_done: u64,
+    rng: SmallRng,
+    records: Vec<InjectionRecord>,
+}
+
+/// The fault injector: implements the VMI creation callback
+/// (`fi_creation_cb`), the translation-time target filter, and the
+/// injection callback (`fault_injector` / `DECAF_inject_fault`) of the
+/// paper's plugin structure (its Fig. 4).
+#[derive(Debug)]
+pub struct Injector {
+    spec: InjectionSpec,
+    state: RefCell<InjState>,
+}
+
+impl Injector {
+    /// An injector executing `spec`.
+    pub fn new(spec: InjectionSpec) -> Rc<Injector> {
+        let rng = SmallRng::seed_from_u64(spec.seed);
+        Rc::new(Injector {
+            spec,
+            state: RefCell::new(InjState {
+                seen_creations: 0,
+                active: None,
+                exec_count: 0,
+                injections_done: 0,
+                rng,
+                records: Vec::new(),
+            }),
+        })
+    }
+
+    /// The spec this injector runs.
+    pub fn spec(&self) -> &InjectionSpec {
+        &self.spec
+    }
+
+    /// Injections placed so far.
+    pub fn injections_done(&self) -> u64 {
+        self.state.borrow().injections_done
+    }
+
+    /// Executed targeted-class instructions observed so far.
+    pub fn exec_count(&self) -> u64 {
+        self.state.borrow().exec_count
+    }
+
+    /// The records of all placed faults.
+    pub fn records(&self) -> Vec<InjectionRecord> {
+        self.state.borrow().records.clone()
+    }
+
+    /// Applies the spec's corruption to `old` using `rng` for randomness.
+    fn corrupt_with(&self, old: u64, rng: &mut SmallRng) -> u64 {
+        match &self.spec.corruption {
+            Corruption::FlipBits(bits) => {
+                let mut v = old;
+                for b in bits {
+                    v ^= 1u64 << (b & 63);
+                }
+                v
+            }
+            Corruption::FlipRandomBits(n) => {
+                let mut v = old;
+                let mut flipped = 0u64;
+                while flipped.count_ones() < (*n).min(64) {
+                    let b = rng.gen_range(0..64u32);
+                    if flipped & (1 << b) == 0 {
+                        flipped |= 1 << b;
+                        v ^= 1 << b;
+                    }
+                }
+                v
+            }
+            Corruption::SetValue(v) => *v,
+            Corruption::Identity => old,
+        }
+    }
+
+    fn corrupt(&self, old: u64, rng: &mut SmallRng) -> u64 {
+        self.corrupt_with(old, rng)
+    }
+
+    fn is_done(&self) -> bool {
+        let st = self.state.borrow();
+        st.injections_done >= self.spec.max_injections
+    }
+
+    fn inject(&self, insn: &Instruction, ctx: &mut GuestCtx<'_>) -> bool {
+        // The CORRUPT_MEMORY path: hit the word the instruction is about
+        // to access, when it has one and the address is mapped.
+        if self.spec.operand == OperandSel::Memory {
+            if let Some(addr) = effective_address(insn, ctx.cpu) {
+                if let Ok(old) = ctx.read_mem(addr) {
+                    let mut st = self.state.borrow_mut();
+                    let new = self.corrupt(old, &mut st.rng);
+                    drop(st);
+                    let mask = match &self.spec.corruption {
+                        Corruption::Identity => TaintMask::ALL,
+                        _ => TaintMask(old ^ new),
+                    };
+                    if ctx.write_mem(addr, new).is_ok() {
+                        let _ = ctx.taint_mem(addr, mask);
+                        let mut st = self.state.borrow_mut();
+                        let exec_count = st.exec_count;
+                        st.records.push(InjectionRecord {
+                            node: ctx.node,
+                            pid: ctx.pid,
+                            pc: ctx.pc,
+                            insn: insn.to_string(),
+                            operand: format!("mem[{addr:#x}]"),
+                            old_bits: old,
+                            new_bits: new,
+                            taint_mask: mask.0,
+                            icount: ctx.icount,
+                            exec_count,
+                        });
+                        st.injections_done += 1;
+                        return true;
+                    }
+                }
+            }
+            // No memory operand (or unmapped): fall through to registers.
+        }
+        let candidates = operand_candidates(insn);
+        if candidates.is_empty() {
+            return false;
+        }
+        let mut st = self.state.borrow_mut();
+        let loc = match self.spec.operand {
+            OperandSel::Dst => candidates[0],
+            OperandSel::Src => *candidates.get(1).unwrap_or(&candidates[0]),
+            OperandSel::Random | OperandSel::Memory => {
+                candidates[st.rng.gen_range(0..candidates.len())]
+            }
+        };
+        let old = match loc {
+            OperandLoc::Reg(r) => ctx.reg(r),
+            OperandLoc::FReg(r) => ctx.freg_bits(r),
+        };
+        let new = {
+            let rng = &mut st.rng;
+            self.corrupt_with(old, rng)
+        };
+        // The injected fault is the taint source. Identity injections taint
+        // the whole operand so tracing can be exercised without perturbing
+        // the computation (the paper's overhead methodology).
+        let mask = match &self.spec.corruption {
+            Corruption::Identity => TaintMask::ALL,
+            _ => TaintMask(old ^ new),
+        };
+        match loc {
+            OperandLoc::Reg(r) => {
+                ctx.set_reg(r, new);
+                ctx.taint_reg(r, mask);
+            }
+            OperandLoc::FReg(r) => {
+                ctx.set_freg_bits(r, new);
+                ctx.taint_freg(r, mask);
+            }
+        }
+        let exec_count = st.exec_count;
+        st.records.push(InjectionRecord {
+            node: ctx.node,
+            pid: ctx.pid,
+            pc: ctx.pc,
+            insn: insn.to_string(),
+            operand: loc.to_string(),
+            old_bits: old,
+            new_bits: new,
+            taint_mask: mask.0,
+            icount: ctx.icount,
+            exec_count,
+        });
+        st.injections_done += 1;
+        true
+    }
+}
+
+impl NodeTranslateHook for Injector {
+    fn inject_point(&self, node: u32, pid: u64, _pc: u64, insn: &Instruction) -> Option<u64> {
+        if self.is_done() {
+            return None;
+        }
+        let st = self.state.borrow();
+        if st.active != Some((node, pid)) {
+            return None;
+        }
+        insn.is_in_class(self.spec.class).then_some(0)
+    }
+}
+
+/// Shared handle wiring one [`Injector`] into a node's mutable sink slots.
+#[derive(Debug, Clone)]
+pub struct InjectorHandle(pub Rc<Injector>);
+
+impl InjectSink for InjectorHandle {
+    fn on_inject_point(
+        &mut self,
+        _point: u64,
+        insn: &Instruction,
+        ctx: &mut GuestCtx<'_>,
+    ) -> InjectAction {
+        let injector = &self.0;
+        if injector.is_done() {
+            return InjectAction::default();
+        }
+        {
+            let mut st = injector.state.borrow_mut();
+            if st.active != Some((ctx.node, ctx.pid)) {
+                return InjectAction::default();
+            }
+            st.exec_count += 1;
+            let fire = match injector.spec.trigger {
+                // ">=" so that a trigger landing on an instruction with no
+                // corruptible operand slides to the next targeted one.
+                Trigger::AfterN(n) => st.exec_count >= n,
+                Trigger::WithProbability(p) => st.rng.gen_bool(p.clamp(0.0, 1.0)),
+                Trigger::Always => true,
+                Trigger::Periodic { start, period } => {
+                    st.exec_count >= start && (st.exec_count - start).is_multiple_of(period.max(1))
+                }
+            };
+            if !fire {
+                return InjectAction::default();
+            }
+        }
+        injector.inject(insn, ctx);
+        if injector.is_done() {
+            // fi_clean_cb: the fault is placed — detach the injector by
+            // flushing the translation cache so subsequent translations are
+            // clean again (the "efficient" design point).
+            InjectAction { flush_tb: true }
+        } else {
+            InjectAction::default()
+        }
+    }
+}
+
+impl VmiSink for InjectorHandle {
+    fn on_process_created(&mut self, node: u32, pid: u64, name: &str) -> VmiAction {
+        let injector = &self.0;
+        if name != injector.spec.target_program {
+            return VmiAction::NONE;
+        }
+        let mut st = injector.state.borrow_mut();
+        let idx = st.seen_creations;
+        st.seen_creations += 1;
+        if idx == injector.spec.target_rank && st.active.is_none() {
+            st.active = Some((node, pid));
+            // Flush so the next translation round carries the injector.
+            VmiAction::FLUSH
+        } else {
+            VmiAction::NONE
+        }
+    }
+
+    fn on_process_exited(&mut self, _node: u32, _pid: u64, _status: ExitStatus) -> VmiAction {
+        VmiAction::NONE
+    }
+}
+
+// ---- profiling ----
+
+/// Counts per-rank, per-class executions of targeted instructions during a
+/// golden run. Campaigns use the counts to draw the deterministic trigger's
+/// `n` uniformly over the class's dynamic execution count.
+#[derive(Debug)]
+pub struct ProfileHook {
+    program: String,
+    classes: Vec<chaser_isa::InsnClass>,
+    state: RefCell<ProfileState>,
+}
+
+#[derive(Debug, Default)]
+struct ProfileState {
+    seen_creations: u32,
+    rank_of: HashMap<(u32, u64), u32>,
+    counts: HashMap<(u32, usize), u64>,
+}
+
+impl ProfileHook {
+    /// Profiles executions of `classes` in every rank of `program`.
+    pub fn new(program: impl Into<String>, classes: Vec<chaser_isa::InsnClass>) -> Rc<ProfileHook> {
+        Rc::new(ProfileHook {
+            program: program.into(),
+            classes,
+            state: RefCell::new(ProfileState::default()),
+        })
+    }
+
+    /// The dynamic execution count of `classes[class_idx]` in `rank`.
+    pub fn count(&self, rank: u32, class_idx: usize) -> u64 {
+        *self
+            .state
+            .borrow()
+            .counts
+            .get(&(rank, class_idx))
+            .unwrap_or(&0)
+    }
+
+    /// All `(rank, class index) → count` pairs.
+    pub fn counts(&self) -> HashMap<(u32, usize), u64> {
+        self.state.borrow().counts.clone()
+    }
+}
+
+impl NodeTranslateHook for ProfileHook {
+    fn inject_point(&self, node: u32, pid: u64, _pc: u64, insn: &Instruction) -> Option<u64> {
+        let st = self.state.borrow();
+        if !st.rank_of.contains_key(&(node, pid)) {
+            return None;
+        }
+        self.classes
+            .iter()
+            .position(|c| insn.is_in_class(*c))
+            .map(|i| i as u64)
+    }
+}
+
+/// Sink side of [`ProfileHook`].
+#[derive(Debug, Clone)]
+pub struct ProfileHandle(pub Rc<ProfileHook>);
+
+impl InjectSink for ProfileHandle {
+    fn on_inject_point(
+        &mut self,
+        point: u64,
+        _insn: &Instruction,
+        ctx: &mut GuestCtx<'_>,
+    ) -> InjectAction {
+        let mut st = self.0.state.borrow_mut();
+        if let Some(&rank) = st.rank_of.get(&(ctx.node, ctx.pid)) {
+            *st.counts.entry((rank, point as usize)).or_insert(0) += 1;
+        }
+        InjectAction::default()
+    }
+}
+
+impl VmiSink for ProfileHandle {
+    fn on_process_created(&mut self, node: u32, pid: u64, name: &str) -> VmiAction {
+        if name != self.0.program {
+            return VmiAction::NONE;
+        }
+        let mut st = self.0.state.borrow_mut();
+        let rank = st.seen_creations;
+        st.seen_creations += 1;
+        st.rank_of.insert((node, pid), rank);
+        VmiAction::FLUSH
+    }
+}
+
+/// A no-op function-entry logger used to demonstrate (and test) the guest
+/// function hooking path Chaser uses to intercept MPI calls.
+#[derive(Debug, Default)]
+pub struct FnHookLogger {
+    /// `(hook id, pc, R1..R6 at entry)` per hit.
+    pub hits: Vec<(u64, u64, [u64; 6])>,
+}
+
+impl FnHookSink for FnHookLogger {
+    fn on_fn_entry(&mut self, hook_id: u64, ctx: &mut GuestCtx<'_>) {
+        let args = [
+            ctx.reg(Reg::R1),
+            ctx.reg(Reg::R2),
+            ctx.reg(Reg::R3),
+            ctx.reg(Reg::R4),
+            ctx.reg(Reg::R5),
+            ctx.reg(Reg::R6),
+        ];
+        self.hits.push((hook_id, ctx.pc, args));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaser_isa::InsnClass;
+
+    #[test]
+    fn operand_candidates_are_read_operands() {
+        // fadd reads both its destination (RMW) and its source.
+        let insn = Instruction::Fadd {
+            dst: FReg::F3,
+            src: FReg::F4,
+        };
+        let ops = operand_candidates(&insn);
+        assert_eq!(ops[0], OperandLoc::FReg(FReg::F3));
+        assert_eq!(ops[1], OperandLoc::FReg(FReg::F4));
+        // A load reads only its base pointer; its destination is
+        // write-only, so corrupting it pre-execution would be masked.
+        let ld = Instruction::Ld {
+            dst: Reg::R1,
+            base: Reg::R2,
+            off: 0,
+        };
+        assert_eq!(operand_candidates(&ld), vec![OperandLoc::Reg(Reg::R2)]);
+        // A register-immediate mov reads nothing corruptible.
+        let movi = Instruction::MovRI {
+            dst: Reg::R1,
+            imm: 5,
+        };
+        assert!(operand_candidates(&movi).is_empty());
+    }
+
+    #[test]
+    fn control_flow_has_no_register_operands() {
+        assert!(operand_candidates(&Instruction::Ret).is_empty());
+        assert!(operand_candidates(&Instruction::Jmp { target: 0 }).is_empty());
+        assert!(operand_candidates(&Instruction::Nop).is_empty());
+    }
+
+    #[test]
+    fn injector_arms_only_for_its_rank() {
+        let spec = InjectionSpec::deterministic("app", InsnClass::Fadd, 1, vec![0]).with_rank(1);
+        let injector = Injector::new(spec);
+        let mut handle = InjectorHandle(Rc::clone(&injector));
+        // First creation is rank 0 — not the target.
+        assert_eq!(handle.on_process_created(0, 1, "app"), VmiAction::NONE);
+        // Wrong name ignored entirely.
+        assert_eq!(handle.on_process_created(0, 2, "other"), VmiAction::NONE);
+        // Second matching creation is rank 1 — arm and flush.
+        assert_eq!(handle.on_process_created(1, 1, "app"), VmiAction::FLUSH);
+        let fadd = Instruction::Fadd {
+            dst: FReg::F0,
+            src: FReg::F1,
+        };
+        assert_eq!(injector.inject_point(1, 1, 0x400000, &fadd), Some(0));
+        assert_eq!(injector.inject_point(0, 1, 0x400000, &fadd), None);
+        let mov = Instruction::MovRR {
+            dst: Reg::R1,
+            src: Reg::R2,
+        };
+        assert_eq!(injector.inject_point(1, 1, 0x400000, &mov), None);
+    }
+}

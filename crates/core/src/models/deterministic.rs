@@ -1,0 +1,119 @@
+//! The deterministic fault injector: the fault lands at an exact dynamic
+//! execution count of the targeted instruction (Table I, row 2).
+
+use crate::plugin::{CommandSpec, FiInterface, FiPlugin, PluginError, PluginHost};
+use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
+
+/// Registers the `inject_fault` command (the paper's canonical example:
+/// "inject a fault to fadd after it is executed 1000 times"):
+///
+/// ```text
+/// inject_fault <program> <class> <n> <bit,bit,...> [rank]
+/// ```
+///
+/// Example: `inject_fault clamr fadd 1000 51` flips bit 51 of the `fadd`
+/// destination on its 1000th execution.
+#[derive(Debug, Default)]
+pub struct DeterministicInjector;
+
+impl DeterministicInjector {
+    /// The command name this model registers.
+    pub const COMMAND: &'static str = "inject_fault";
+}
+
+impl FiPlugin for DeterministicInjector {
+    fn plugin_init(&mut self, host: &mut PluginHost) -> FiInterface {
+        let cmd: CommandSpec = host.register_command(
+            Self::COMMAND,
+            "inject_fault <program> <class> <n> <bit,bit,...> [rank]",
+            Box::new(|state, args| {
+                if args.len() < 4 {
+                    return Err(PluginError::BadArgs(
+                        "usage: inject_fault <program> <class> <n> <bit,bit,...> [rank]".into(),
+                    ));
+                }
+                let program = args[0].to_string();
+                let class = super::parse_class(args[1])
+                    .ok_or_else(|| PluginError::BadArgs(format!("unknown class `{}`", args[1])))?;
+                let n: u64 = args[2]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad count `{}`", args[2])))?;
+                if n == 0 {
+                    return Err(PluginError::BadArgs("n must be >= 1".into()));
+                }
+                let bits: Vec<u32> = args[3]
+                    .split(',')
+                    .map(|b| b.parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| PluginError::BadArgs(format!("bad bit list `{}`", args[3])))?;
+                if bits.iter().any(|&b| b > 63) {
+                    return Err(PluginError::BadArgs("bit positions must be 0..=63".into()));
+                }
+                let rank: u32 = args
+                    .get(4)
+                    .map(|s| s.parse())
+                    .transpose()
+                    .map_err(|_| PluginError::BadArgs("bad rank".into()))?
+                    .unwrap_or(0);
+                state.pending_spec = Some(InjectionSpec {
+                    target_program: program.clone(),
+                    target_rank: rank,
+                    class,
+                    trigger: Trigger::AfterN(n),
+                    corruption: Corruption::FlipBits(bits.clone()),
+                    operand: OperandSel::Dst,
+                    max_injections: 1,
+                    seed: 0,
+                });
+                Ok(format!(
+                    "deterministic injector armed: {program} class={class:?} n={n} bits={bits:?} \
+                     rank={rank}"
+                ))
+            }),
+        );
+        FiInterface {
+            commands: vec![cmd],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::HostState;
+    use chaser_isa::InsnClass;
+
+    #[test]
+    fn paper_example_fadd_after_1000() {
+        let mut host = PluginHost::new();
+        DeterministicInjector.plugin_init(&mut host);
+        let mut state = HostState::default();
+        host.exec(&mut state, "inject_fault clamr fadd 1000 51")
+            .expect("exec");
+        let spec = state.pending_spec.expect("spec");
+        assert_eq!(spec.class, InsnClass::Fadd);
+        assert_eq!(spec.trigger, Trigger::AfterN(1000));
+        assert_eq!(spec.corruption, Corruption::FlipBits(vec![51]));
+    }
+
+    #[test]
+    fn multi_bit_lists_parse() {
+        let mut host = PluginHost::new();
+        DeterministicInjector.plugin_init(&mut host);
+        let mut state = HostState::default();
+        host.exec(&mut state, "inject_fault app mov 5 1,2,3 2")
+            .expect("exec");
+        let spec = state.pending_spec.expect("spec");
+        assert_eq!(spec.corruption, Corruption::FlipBits(vec![1, 2, 3]));
+        assert_eq!(spec.target_rank, 2);
+    }
+
+    #[test]
+    fn rejects_zero_n_and_bad_bits() {
+        let mut host = PluginHost::new();
+        DeterministicInjector.plugin_init(&mut host);
+        let mut state = HostState::default();
+        assert!(host.exec(&mut state, "inject_fault app mov 0 1").is_err());
+        assert!(host.exec(&mut state, "inject_fault app mov 5 64").is_err());
+    }
+}

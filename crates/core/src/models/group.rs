@@ -1,0 +1,116 @@
+//! The group fault injector: multiple faults across *all* floating-point
+//! instructions (Table I, row 3).
+
+use crate::plugin::{CommandSpec, FiInterface, FiPlugin, PluginError, PluginHost};
+use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
+use chaser_isa::InsnClass;
+
+/// Registers the `inject_fault_group` command:
+///
+/// ```text
+/// inject_fault_group <program> <probability> <bits> <max_faults> [rank]
+/// ```
+///
+/// Every floating-point arithmetic instruction of the target becomes an
+/// injection site; each execution draws independently until `max_faults`
+/// faults have been placed.
+#[derive(Debug, Default)]
+pub struct GroupInjector;
+
+impl GroupInjector {
+    /// The command name this model registers.
+    pub const COMMAND: &'static str = "inject_fault_group";
+}
+
+impl FiPlugin for GroupInjector {
+    fn plugin_init(&mut self, host: &mut PluginHost) -> FiInterface {
+        let cmd: CommandSpec = host.register_command(
+            Self::COMMAND,
+            "inject_fault_group <program> <probability> <bits> <max_faults> [rank]",
+            Box::new(|state, args| {
+                if args.len() < 4 {
+                    return Err(PluginError::BadArgs(
+                        "usage: inject_fault_group <program> <probability> <bits> <max_faults> \
+                         [rank]"
+                            .into(),
+                    ));
+                }
+                let program = args[0].to_string();
+                let p: f64 = args[1]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad probability `{}`", args[1])))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(PluginError::BadArgs(format!(
+                        "probability {p} out of [0, 1]"
+                    )));
+                }
+                let bits: u32 = args[2]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad bit count `{}`", args[2])))?;
+                let max_faults: u64 = args[3]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad max_faults `{}`", args[3])))?;
+                if max_faults == 0 {
+                    return Err(PluginError::BadArgs("max_faults must be >= 1".into()));
+                }
+                let rank: u32 = args
+                    .get(4)
+                    .map(|s| s.parse())
+                    .transpose()
+                    .map_err(|_| PluginError::BadArgs("bad rank".into()))?
+                    .unwrap_or(0);
+                let trigger = if p >= 1.0 {
+                    Trigger::Always
+                } else {
+                    Trigger::WithProbability(p)
+                };
+                state.pending_spec = Some(InjectionSpec {
+                    target_program: program.clone(),
+                    target_rank: rank,
+                    class: InsnClass::FpArith,
+                    trigger,
+                    corruption: Corruption::FlipRandomBits(bits),
+                    operand: OperandSel::Random,
+                    max_injections: max_faults,
+                    seed: 0,
+                });
+                Ok(format!(
+                    "group injector armed: {program} all-FP p={p} bits={bits} \
+                     max_faults={max_faults} rank={rank}"
+                ))
+            }),
+        );
+        FiInterface {
+            commands: vec![cmd],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::HostState;
+
+    #[test]
+    fn group_spec_targets_all_fp_with_many_faults() {
+        let mut host = PluginHost::new();
+        GroupInjector.plugin_init(&mut host);
+        let mut state = HostState::default();
+        host.exec(&mut state, "inject_fault_group clamr 0.01 1 10")
+            .expect("exec");
+        let spec = state.pending_spec.expect("spec");
+        assert_eq!(spec.class, InsnClass::FpArith);
+        assert_eq!(spec.max_injections, 10);
+        assert_eq!(spec.trigger, Trigger::WithProbability(0.01));
+    }
+
+    #[test]
+    fn certain_probability_becomes_always() {
+        let mut host = PluginHost::new();
+        GroupInjector.plugin_init(&mut host);
+        let mut state = HostState::default();
+        host.exec(&mut state, "inject_fault_group clamr 1.0 1 3")
+            .expect("exec");
+        assert_eq!(state.pending_spec.expect("spec").trigger, Trigger::Always);
+    }
+}

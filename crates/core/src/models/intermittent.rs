@@ -1,0 +1,135 @@
+//! An intermittent fault injector — a fourth model beyond the paper's
+//! Table I, built entirely on the exported interfaces to demonstrate that
+//! new *trigger semantics* (not just new parameters) fit in ~100 lines.
+//!
+//! Intermittent faults model marginal hardware: a bit that misbehaves
+//! repeatedly under a recurring condition, rather than once (transient) or
+//! permanently (stuck-at). The model fires at executions
+//! `start, start+period, start+2·period, …` of the targeted class until
+//! `max_faults` faults have been placed.
+
+use crate::plugin::{CommandSpec, FiInterface, FiPlugin, PluginError, PluginHost};
+use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
+
+/// Registers the `inject_fault_intermittent` command:
+///
+/// ```text
+/// inject_fault_intermittent <program> <class> <start> <period> <bit> <max_faults> [rank]
+/// ```
+///
+/// Example: `inject_fault_intermittent clamr fadd 100 50 51 5` flips bit
+/// 51 of the `fadd` destination at executions 100, 150, 200, 250, 300.
+#[derive(Debug, Default)]
+pub struct IntermittentInjector;
+
+impl IntermittentInjector {
+    /// The command name this model registers.
+    pub const COMMAND: &'static str = "inject_fault_intermittent";
+}
+
+impl FiPlugin for IntermittentInjector {
+    fn plugin_init(&mut self, host: &mut PluginHost) -> FiInterface {
+        let cmd: CommandSpec = host.register_command(
+            Self::COMMAND,
+            "inject_fault_intermittent <program> <class> <start> <period> <bit> <max_faults> [rank]",
+            Box::new(|state, args| {
+                if args.len() < 6 {
+                    return Err(PluginError::BadArgs(
+                        "usage: inject_fault_intermittent <program> <class> <start> <period> \
+                         <bit> <max_faults> [rank]"
+                            .into(),
+                    ));
+                }
+                let program = args[0].to_string();
+                let class = super::parse_class(args[1])
+                    .ok_or_else(|| PluginError::BadArgs(format!("unknown class `{}`", args[1])))?;
+                let start: u64 = args[2]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad start `{}`", args[2])))?;
+                let period: u64 = args[3]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad period `{}`", args[3])))?;
+                if start == 0 || period == 0 {
+                    return Err(PluginError::BadArgs("start and period must be >= 1".into()));
+                }
+                let bit: u32 = args[4]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad bit `{}`", args[4])))?;
+                if bit > 63 {
+                    return Err(PluginError::BadArgs("bit must be 0..=63".into()));
+                }
+                let max_faults: u64 = args[5]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad max_faults `{}`", args[5])))?;
+                if max_faults == 0 {
+                    return Err(PluginError::BadArgs("max_faults must be >= 1".into()));
+                }
+                let rank: u32 = args
+                    .get(6)
+                    .map(|s| s.parse())
+                    .transpose()
+                    .map_err(|_| PluginError::BadArgs("bad rank".into()))?
+                    .unwrap_or(0);
+                state.pending_spec = Some(InjectionSpec {
+                    target_program: program.clone(),
+                    target_rank: rank,
+                    class,
+                    trigger: Trigger::Periodic { start, period },
+                    corruption: Corruption::FlipBits(vec![bit]),
+                    operand: OperandSel::Dst,
+                    max_injections: max_faults,
+                    seed: 0,
+                });
+                Ok(format!(
+                    "intermittent injector armed: {program} class={class:?} start={start} \
+                     period={period} bit={bit} max_faults={max_faults} rank={rank}"
+                ))
+            }),
+        );
+        FiInterface {
+            commands: vec![cmd],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::HostState;
+    use chaser_isa::InsnClass;
+
+    #[test]
+    fn command_builds_a_periodic_spec() {
+        let mut host = PluginHost::new();
+        IntermittentInjector.plugin_init(&mut host);
+        let mut state = HostState::default();
+        host.exec(
+            &mut state,
+            "inject_fault_intermittent clamr fadd 100 50 51 5",
+        )
+        .expect("exec");
+        let spec = state.pending_spec.expect("spec");
+        assert_eq!(spec.class, InsnClass::Fadd);
+        assert_eq!(
+            spec.trigger,
+            Trigger::Periodic {
+                start: 100,
+                period: 50
+            }
+        );
+        assert_eq!(spec.max_injections, 5);
+    }
+
+    #[test]
+    fn zero_period_is_rejected() {
+        let mut host = PluginHost::new();
+        IntermittentInjector.plugin_init(&mut host);
+        let mut state = HostState::default();
+        assert!(host
+            .exec(
+                &mut state,
+                "inject_fault_intermittent clamr fadd 100 0 51 5"
+            )
+            .is_err());
+    }
+}

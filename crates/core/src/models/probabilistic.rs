@@ -1,0 +1,112 @@
+//! The probabilistic fault injector: faults strike a targeted instruction
+//! class with a fixed per-execution probability (Table I, row 1).
+
+use crate::plugin::{CommandSpec, FiInterface, FiPlugin, PluginError, PluginHost};
+use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
+
+/// Registers the `inject_fault_prob` command:
+///
+/// ```text
+/// inject_fault_prob <program> <class> <probability> <bits> [rank] [seed]
+/// ```
+///
+/// Example: `inject_fault_prob matvec mov 0.0001 1 0 42` injects a 1-bit
+/// flip into `mov` operands of rank 0 of `matvec`, each dynamic `mov`
+/// independently drawing with probability 1e-4.
+#[derive(Debug, Default)]
+pub struct ProbabilisticInjector;
+
+impl ProbabilisticInjector {
+    /// The command name this model registers.
+    pub const COMMAND: &'static str = "inject_fault_prob";
+}
+
+impl FiPlugin for ProbabilisticInjector {
+    fn plugin_init(&mut self, host: &mut PluginHost) -> FiInterface {
+        let cmd: CommandSpec = host.register_command(
+            Self::COMMAND,
+            "inject_fault_prob <program> <class> <probability> <bits> [rank] [seed]",
+            Box::new(|state, args| {
+                if args.len() < 4 {
+                    return Err(PluginError::BadArgs(
+                        "usage: inject_fault_prob <program> <class> <probability> <bits> \
+                         [rank] [seed]"
+                            .into(),
+                    ));
+                }
+                let program = args[0].to_string();
+                let class = super::parse_class(args[1])
+                    .ok_or_else(|| PluginError::BadArgs(format!("unknown class `{}`", args[1])))?;
+                let p: f64 = args[2]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad probability `{}`", args[2])))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(PluginError::BadArgs(format!(
+                        "probability {p} out of [0, 1]"
+                    )));
+                }
+                let bits: u32 = args[3]
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs(format!("bad bit count `{}`", args[3])))?;
+                let rank: u32 = args
+                    .get(4)
+                    .map(|s| s.parse())
+                    .transpose()
+                    .map_err(|_| PluginError::BadArgs("bad rank".into()))?
+                    .unwrap_or(0);
+                let seed: u64 = args
+                    .get(5)
+                    .map(|s| s.parse())
+                    .transpose()
+                    .map_err(|_| PluginError::BadArgs("bad seed".into()))?
+                    .unwrap_or(0);
+                state.pending_spec = Some(InjectionSpec {
+                    target_program: program.clone(),
+                    target_rank: rank,
+                    class,
+                    trigger: Trigger::WithProbability(p),
+                    corruption: Corruption::FlipRandomBits(bits),
+                    operand: OperandSel::Random,
+                    max_injections: 1,
+                    seed,
+                });
+                Ok(format!(
+                    "probabilistic injector armed: {program} class={class:?} p={p} bits={bits} \
+                     rank={rank}"
+                ))
+            }),
+        );
+        FiInterface {
+            commands: vec![cmd],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::HostState;
+
+    #[test]
+    fn command_builds_a_probabilistic_spec() {
+        let mut host = PluginHost::new();
+        ProbabilisticInjector.plugin_init(&mut host);
+        let mut state = HostState::default();
+        host.exec(&mut state, "inject_fault_prob matvec mov 0.001 2 0 7")
+            .expect("exec");
+        let spec = state.pending_spec.expect("spec");
+        assert_eq!(spec.trigger, Trigger::WithProbability(0.001));
+        assert_eq!(spec.corruption, Corruption::FlipRandomBits(2));
+        assert_eq!(spec.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let mut host = PluginHost::new();
+        ProbabilisticInjector.plugin_init(&mut host);
+        let mut state = HostState::default();
+        assert!(host
+            .exec(&mut state, "inject_fault_prob matvec mov 1.5 1")
+            .is_err());
+    }
+}

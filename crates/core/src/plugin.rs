@@ -1,0 +1,200 @@
+//! The plugin interface: how users extend Chaser with new fault injectors.
+//!
+//! This mirrors the software structure of the paper's fault-injection
+//! plugin (its Fig. 4): a plugin's [`FiPlugin::plugin_init`] is called when
+//! it is loaded, receives the host registry, and returns an
+//! [`FiInterface`] describing the terminal commands it added (the paper's
+//! `fi_interface_st` with its `inject_fault` command). When the user types
+//! a registered command, the plugin's handler (`do_fi_fault`) parses the
+//! arguments and deposits an [`InjectionSpec`] into the host state, where
+//! the next run picks it up.
+
+use crate::spec::InjectionSpec;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A terminal command exported by a plugin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandSpec {
+    /// Command name as typed by the user.
+    pub name: String,
+    /// One-line usage string.
+    pub help: String,
+}
+
+/// What a plugin exports at load time (the paper's `fi_interface_st`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiInterface {
+    /// The commands the plugin registered.
+    pub commands: Vec<CommandSpec>,
+}
+
+/// Errors surfaced to the user's terminal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PluginError {
+    /// No plugin registered this command.
+    UnknownCommand(String),
+    /// The command rejected its arguments.
+    BadArgs(String),
+}
+
+impl fmt::Display for PluginError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PluginError::UnknownCommand(c) => write!(f, "unknown command `{c}`"),
+            PluginError::BadArgs(msg) => write!(f, "bad arguments: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PluginError {}
+
+/// Mutable state commands operate on.
+#[derive(Debug, Default)]
+pub struct HostState {
+    /// The spec the next run will execute (set by `inject_fault`-style
+    /// commands).
+    pub pending_spec: Option<InjectionSpec>,
+}
+
+/// A command handler: receives the host state and the command's arguments,
+/// returns a message for the terminal.
+pub type CommandHandler =
+    Box<dyn FnMut(&mut HostState, &[&str]) -> Result<String, PluginError> + Send>;
+
+/// The command registry plugins install into.
+#[derive(Default)]
+pub struct PluginHost {
+    handlers: HashMap<String, CommandHandler>,
+    commands: Vec<CommandSpec>,
+}
+
+impl fmt::Debug for PluginHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PluginHost")
+            .field("commands", &self.commands)
+            .finish()
+    }
+}
+
+impl PluginHost {
+    /// An empty registry.
+    pub fn new() -> PluginHost {
+        PluginHost::default()
+    }
+
+    /// Registers a command; later registrations shadow earlier ones.
+    pub fn register_command(
+        &mut self,
+        name: impl Into<String>,
+        help: impl Into<String>,
+        handler: CommandHandler,
+    ) -> CommandSpec {
+        let spec = CommandSpec {
+            name: name.into(),
+            help: help.into(),
+        };
+        self.handlers.insert(spec.name.clone(), handler);
+        self.commands.push(spec.clone());
+        spec
+    }
+
+    /// Every registered command.
+    pub fn commands(&self) -> &[CommandSpec] {
+        &self.commands
+    }
+
+    /// Parses and dispatches one terminal line.
+    ///
+    /// # Errors
+    ///
+    /// [`PluginError::UnknownCommand`] for unregistered commands;
+    /// whatever the handler returns otherwise.
+    pub fn exec(&mut self, state: &mut HostState, line: &str) -> Result<String, PluginError> {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return Err(PluginError::BadArgs("empty command line".into()));
+        };
+        let args: Vec<&str> = parts.collect();
+        let handler = self
+            .handlers
+            .get_mut(cmd)
+            .ok_or_else(|| PluginError::UnknownCommand(cmd.to_string()))?;
+        handler(state, &args)
+    }
+}
+
+/// A fault-injector plugin.
+pub trait FiPlugin {
+    /// Called once at load time; registers commands and returns the
+    /// exported interface.
+    fn plugin_init(&mut self, host: &mut PluginHost) -> FiInterface;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaser_isa::InsnClass;
+
+    struct Dummy;
+    impl FiPlugin for Dummy {
+        fn plugin_init(&mut self, host: &mut PluginHost) -> FiInterface {
+            let cmd = host.register_command(
+                "inject_noop",
+                "inject_noop <program>",
+                Box::new(|state, args| {
+                    let [program] = args else {
+                        return Err(PluginError::BadArgs("expected 1 arg".into()));
+                    };
+                    state.pending_spec = Some(InjectionSpec::deterministic(
+                        *program,
+                        InsnClass::Any,
+                        1,
+                        vec![0],
+                    ));
+                    Ok(format!("armed for {program}"))
+                }),
+            );
+            FiInterface {
+                commands: vec![cmd],
+            }
+        }
+    }
+
+    #[test]
+    fn plugin_registers_and_dispatches() {
+        let mut host = PluginHost::new();
+        let iface = Dummy.plugin_init(&mut host);
+        assert_eq!(iface.commands.len(), 1);
+        let mut state = HostState::default();
+        let msg = host.exec(&mut state, "inject_noop matvec").expect("exec");
+        assert_eq!(msg, "armed for matvec");
+        let spec = state.pending_spec.expect("spec armed");
+        assert_eq!(spec.target_program, "matvec");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut host = PluginHost::new();
+        let mut state = HostState::default();
+        assert_eq!(
+            host.exec(&mut state, "nope 1 2"),
+            Err(PluginError::UnknownCommand("nope".into()))
+        );
+    }
+
+    #[test]
+    fn bad_args_are_reported() {
+        let mut host = PluginHost::new();
+        Dummy.plugin_init(&mut host);
+        let mut state = HostState::default();
+        assert!(matches!(
+            host.exec(&mut state, "inject_noop a b"),
+            Err(PluginError::BadArgs(_))
+        ));
+        assert!(matches!(
+            host.exec(&mut state, "   "),
+            Err(PluginError::BadArgs(_))
+        ));
+    }
+}

@@ -1,0 +1,397 @@
+//! The Chaser session: wires injector, tracer and hooks into a cluster and
+//! executes single runs.
+
+use crate::injector::{FnHookLogger, Injector, InjectorHandle, ProfileHandle, ProfileHook};
+use crate::outcome::{classify, Outcome};
+use crate::plugin::{FiInterface, FiPlugin, HostState, PluginError, PluginHost};
+use crate::spec::InjectionSpec;
+use crate::tracer::{TraceSummary, Tracer, TracerConfig};
+use chaser_isa::{abi, InsnClass, Program};
+use chaser_mpi::{Cluster, ClusterConfig, ClusterRun};
+use chaser_tainthub::HubStats;
+use chaser_vm::{InjectSink, NodeTranslateHook, TaintEventSink, VmiSink};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The application under test: one guest program per rank plus the cluster
+/// configuration to run it on.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// The target program name (what VMI screens for).
+    pub name: String,
+    /// One program per rank (rank i = `programs[i]`, master = rank 0).
+    pub programs: Vec<Program>,
+    /// Cluster parameters.
+    pub cluster: ClusterConfig,
+}
+
+impl AppSpec {
+    /// A single-process application on a one-node cluster.
+    pub fn single(program: Program) -> AppSpec {
+        let name = program.name().to_string();
+        AppSpec {
+            name,
+            programs: vec![program],
+            cluster: ClusterConfig {
+                nodes: 1,
+                ..ClusterConfig::default()
+            },
+        }
+    }
+
+    /// `ranks` copies of the same program on `nodes` machines.
+    pub fn replicated(program: Program, ranks: usize, nodes: usize) -> AppSpec {
+        let name = program.name().to_string();
+        AppSpec {
+            name,
+            programs: vec![program; ranks],
+            cluster: ClusterConfig {
+                nodes,
+                ..ClusterConfig::default()
+            },
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> u32 {
+        self.programs.len() as u32
+    }
+}
+
+/// Per-run options.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// The fault to inject, if any.
+    pub spec: Option<InjectionSpec>,
+    /// Enable the fault-propagation tracer.
+    pub tracing: bool,
+    /// Tracer parameters.
+    pub tracer: TracerConfig,
+    /// Hook the guest MPI wrapper functions by symbol address (the paper's
+    /// interception mechanism; mostly useful for demos and tests — the
+    /// runtime-level observers carry the actual taint synchronisation).
+    pub hook_mpi_symbols: bool,
+}
+
+impl RunOptions {
+    /// Options for a golden (fault-free, untraced) run.
+    pub fn golden() -> RunOptions {
+        RunOptions::default()
+    }
+
+    /// Options injecting `spec` with tracing on.
+    pub fn inject_traced(spec: InjectionSpec) -> RunOptions {
+        RunOptions {
+            spec: Some(spec),
+            tracing: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Options injecting `spec` without tracing.
+    pub fn inject(spec: InjectionSpec) -> RunOptions {
+        RunOptions {
+            spec: Some(spec),
+            tracing: false,
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// Everything one run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The cluster-level result.
+    pub cluster: ClusterRun,
+    /// Per-rank result-file bytes (fd 3).
+    pub outputs: Vec<Vec<u8>>,
+    /// Per-rank stdout bytes.
+    pub stdouts: Vec<Vec<u8>>,
+    /// Faults actually placed.
+    pub injections: Vec<crate::injector::InjectionRecord>,
+    /// Executions of the targeted class observed by the injector.
+    pub injector_exec_count: u64,
+    /// Trace results when tracing was enabled.
+    pub trace: Option<TraceSummary>,
+    /// TaintHub counters.
+    pub hub_stats: HubStats,
+    /// Guest MPI function-hook hits when `hook_mpi_symbols` was set:
+    /// `(hook id, pc, args)`.
+    pub fn_hook_hits: Vec<(u64, u64, [u64; 6])>,
+}
+
+impl RunReport {
+    /// Classifies this run against a golden run's outputs.
+    pub fn classify_against(&self, golden: &RunReport) -> Outcome {
+        classify(&self.cluster, &self.outputs, &golden.outputs)
+    }
+
+    /// Did the injector fire at least once?
+    pub fn injected(&self) -> bool {
+        !self.injections.is_empty()
+    }
+
+    /// The corrupted regions of this run's outputs relative to a golden
+    /// run (empty unless the run is an SDC).
+    pub fn corrupted_regions(&self, golden: &RunReport) -> Vec<crate::CorruptedRegion> {
+        crate::diff_outputs(&self.outputs, &golden.outputs)
+    }
+}
+
+/// Executes one run of `app` under `opts`.
+pub fn run_app(app: &AppSpec, opts: &RunOptions) -> RunReport {
+    // The paper's "fault propagation tracing" switch governs the whole
+    // taint machinery (DECAF++-style elastic tainting): with tracing off,
+    // no shadow state is maintained at all, which is what makes the
+    // FI-only configuration nearly free (Fig. 10).
+    let mut cluster_cfg = app.cluster.clone();
+    if !opts.tracing {
+        cluster_cfg.taint_policy = chaser_taint::TaintPolicy::Disabled;
+    }
+    let mut cluster = Cluster::new(cluster_cfg);
+
+    let injector = opts.spec.clone().map(Injector::new);
+    let tracer = opts
+        .tracing
+        .then(|| Rc::new(RefCell::new(Tracer::new(opts.tracer))));
+    let fn_logger = opts
+        .hook_mpi_symbols
+        .then(|| Rc::new(RefCell::new(FnHookLogger::default())));
+
+    // Hooks must be in place before launch so VMI observes creation.
+    if let Some(inj) = &injector {
+        let handle = Rc::new(RefCell::new(InjectorHandle(Rc::clone(inj))));
+        cluster.for_each_node_mut(|node| {
+            let hooks = node.hooks_mut();
+            hooks.translate = Some(Rc::clone(inj) as Rc<dyn NodeTranslateHook>);
+            hooks.inject = Some(Rc::clone(&handle) as Rc<RefCell<dyn InjectSink>>);
+            hooks
+                .vmi
+                .push(Rc::clone(&handle) as Rc<RefCell<dyn VmiSink>>);
+        });
+    }
+    if let Some(tr) = &tracer {
+        cluster.for_each_node_mut(|node| {
+            node.hooks_mut().taint_events = Some(Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>);
+        });
+    }
+    if let Some(logger) = &fn_logger {
+        cluster.for_each_node_mut(|node| {
+            node.hooks_mut().fn_hook_sink =
+                Some(Rc::clone(logger) as Rc<RefCell<dyn chaser_vm::FnHookSink>>);
+        });
+    }
+
+    let program_refs: Vec<&Program> = app.programs.iter().collect();
+    cluster.launch(&program_refs).expect("launch application");
+
+    // Hook the guest MPI wrapper symbols by address, per rank.
+    if opts.hook_mpi_symbols {
+        for rank in 0..cluster.nranks() {
+            let (ni, pid) = cluster.rank_location(rank);
+            let program = &app.programs[rank as usize];
+            for (hook_id, sym) in [
+                abi::symbols::MPI_SEND,
+                abi::symbols::MPI_RECV,
+                abi::symbols::MPI_BCAST,
+                abi::symbols::MPI_REDUCE,
+            ]
+            .iter()
+            .enumerate()
+            {
+                if let Some(addr) = program.symbol(sym) {
+                    cluster
+                        .node_mut(ni)
+                        .hooks_mut()
+                        .fn_hooks
+                        .insert((pid, addr), hook_id as u64);
+                }
+            }
+        }
+    }
+
+    let sample_tracer = tracer.clone();
+    let cluster_run = cluster.run_with(|c| {
+        if let Some(tr) = &sample_tracer {
+            let total = c.total_insns();
+            let tainted: usize = c
+                .nodes()
+                .iter()
+                .map(|n| n.taint().mem().tainted_bytes())
+                .sum();
+            tr.borrow_mut().maybe_sample(total, tainted);
+        }
+    });
+
+    let mut outputs = Vec::new();
+    let mut stdouts = Vec::new();
+    for rank in 0..cluster.nranks() {
+        let files = cluster.rank_files(rank);
+        outputs.push(files.output.clone());
+        stdouts.push(files.stdout.clone());
+    }
+
+    RunReport {
+        cluster: cluster_run,
+        outputs,
+        stdouts,
+        injections: injector.as_ref().map(|i| i.records()).unwrap_or_default(),
+        injector_exec_count: injector.as_ref().map_or(0, |i| i.exec_count()),
+        trace: tracer.map(|tr| tr.borrow().summary().clone()),
+        hub_stats: cluster.hub().stats(),
+        fn_hook_hits: fn_logger.map_or_else(Vec::new, |l| l.borrow().hits.clone()),
+    }
+}
+
+/// Runs `app` fault-free while counting dynamic executions of each class in
+/// `classes`, per rank. Returns the golden report and the counts keyed
+/// `(rank, class index)`.
+pub fn profile_app(
+    app: &AppSpec,
+    classes: &[InsnClass],
+) -> (RunReport, HashMap<(u32, usize), u64>) {
+    let mut cluster = Cluster::new(app.cluster.clone());
+    let profile = ProfileHook::new(app.name.clone(), classes.to_vec());
+    let handle = Rc::new(RefCell::new(ProfileHandle(Rc::clone(&profile))));
+    cluster.for_each_node_mut(|node| {
+        let hooks = node.hooks_mut();
+        hooks.translate = Some(Rc::clone(&profile) as Rc<dyn NodeTranslateHook>);
+        hooks.inject = Some(Rc::clone(&handle) as Rc<RefCell<dyn InjectSink>>);
+        hooks
+            .vmi
+            .push(Rc::clone(&handle) as Rc<RefCell<dyn VmiSink>>);
+    });
+    let program_refs: Vec<&Program> = app.programs.iter().collect();
+    cluster.launch(&program_refs).expect("launch application");
+    let cluster_run = cluster.run();
+
+    let mut outputs = Vec::new();
+    let mut stdouts = Vec::new();
+    for rank in 0..cluster.nranks() {
+        let files = cluster.rank_files(rank);
+        outputs.push(files.output.clone());
+        stdouts.push(files.stdout.clone());
+    }
+    let report = RunReport {
+        cluster: cluster_run,
+        outputs,
+        stdouts,
+        injections: Vec::new(),
+        injector_exec_count: 0,
+        trace: None,
+        hub_stats: cluster.hub().stats(),
+        fn_hook_hits: Vec::new(),
+    };
+    (report, profile.counts())
+}
+
+/// Runs `app` under *instruction-level* tracing (see
+/// [`crate::InsnLevelTracer`]): every instruction of the target is
+/// instrumented, the rejected-alternative baseline for the granularity
+/// ablation. With `seed_taint`, `F0` is marked fully tainted at the first
+/// traced instruction so there is live taint to chase.
+pub fn run_app_insn_traced(
+    app: &AppSpec,
+    seed_taint: bool,
+) -> (RunReport, crate::InsnTraceSummary) {
+    let mut cluster = Cluster::new(app.cluster.clone());
+    let tracer = crate::InsnLevelTracer::new(app.name.clone(), seed_taint);
+    let handle = Rc::new(RefCell::new(crate::InsnTraceHandle(Rc::clone(&tracer))));
+    cluster.for_each_node_mut(|node| {
+        let hooks = node.hooks_mut();
+        hooks.translate = Some(Rc::clone(&tracer) as Rc<dyn NodeTranslateHook>);
+        hooks.inject = Some(Rc::clone(&handle) as Rc<RefCell<dyn InjectSink>>);
+        hooks
+            .vmi
+            .push(Rc::clone(&handle) as Rc<RefCell<dyn VmiSink>>);
+    });
+    let program_refs: Vec<&Program> = app.programs.iter().collect();
+    cluster.launch(&program_refs).expect("launch application");
+    let cluster_run = cluster.run();
+    let mut outputs = Vec::new();
+    let mut stdouts = Vec::new();
+    for rank in 0..cluster.nranks() {
+        let files = cluster.rank_files(rank);
+        outputs.push(files.output.clone());
+        stdouts.push(files.stdout.clone());
+    }
+    let report = RunReport {
+        cluster: cluster_run,
+        outputs,
+        stdouts,
+        injections: Vec::new(),
+        injector_exec_count: 0,
+        trace: None,
+        hub_stats: cluster.hub().stats(),
+        fn_hook_hits: Vec::new(),
+    };
+    (report, tracer.summary())
+}
+
+/// The top-level session object: owns the plugin registry and pending
+/// injection commands, and runs experiments.
+#[derive(Debug, Default)]
+pub struct Chaser {
+    host: PluginHost,
+    state: HostState,
+    loaded: Vec<FiInterface>,
+}
+
+impl Chaser {
+    /// A fresh session with no plugins loaded.
+    pub fn new() -> Chaser {
+        Chaser::default()
+    }
+
+    /// Loads a plugin: calls its `plugin_init` against the registry.
+    pub fn load_plugin(&mut self, plugin: &mut dyn FiPlugin) -> FiInterface {
+        let iface = plugin.plugin_init(&mut self.host);
+        self.loaded.push(iface.clone());
+        iface
+    }
+
+    /// Executes a terminal command registered by a loaded plugin (e.g.
+    /// `inject_fault matvec mov 1000 5`).
+    ///
+    /// # Errors
+    ///
+    /// [`PluginError`] on unknown commands or bad arguments.
+    pub fn exec_command(&mut self, line: &str) -> Result<String, PluginError> {
+        self.host.exec(&mut self.state, line)
+    }
+
+    /// The spec deposited by the last `inject_fault`-style command.
+    pub fn pending_spec(&self) -> Option<&InjectionSpec> {
+        self.state.pending_spec.as_ref()
+    }
+
+    /// Takes (and clears) the pending spec.
+    pub fn take_pending_spec(&mut self) -> Option<InjectionSpec> {
+        self.state.pending_spec.take()
+    }
+
+    /// All commands currently registered.
+    pub fn commands(&self) -> Vec<crate::plugin::CommandSpec> {
+        self.host.commands().to_vec()
+    }
+
+    /// Runs `app` once under `opts`.
+    pub fn run(&self, app: &AppSpec, opts: &RunOptions) -> RunReport {
+        run_app(app, opts)
+    }
+
+    /// Runs `app` once injecting the pending command's spec (with tracing),
+    /// consuming the pending spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no spec is pending — execute an `inject_fault` command
+    /// first.
+    pub fn run_pending(&mut self, app: &AppSpec) -> RunReport {
+        let spec = self
+            .take_pending_spec()
+            .expect("no pending injection spec; run an inject_fault command first");
+        run_app(app, &RunOptions::inject_traced(spec))
+    }
+}

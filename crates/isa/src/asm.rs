@@ -1,0 +1,624 @@
+//! A small structured assembler for building guest programs.
+//!
+//! [`Asm`] is a builder: each mnemonic method appends one instruction, labels
+//! give names to code positions, and data directives populate the data
+//! section. Forward references are resolved at [`Asm::assemble`] time.
+
+use crate::program::{CODE_BASE, DATA_BASE};
+use crate::{encode, Cond, FReg, Instruction, Program, Reg, INSN_LEN};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A data symbol was defined twice (or collides with a label).
+    DuplicateSymbol(String),
+    /// A referenced label or symbol was never defined.
+    UnknownSymbol(String),
+    /// The entry label was never defined.
+    UnknownEntry(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::DuplicateSymbol(s) => write!(f, "duplicate data symbol `{s}`"),
+            AsmError::UnknownSymbol(s) => write!(f, "unknown label or symbol `{s}`"),
+            AsmError::UnknownEntry(s) => write!(f, "unknown entry label `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum FixupKind {
+    /// Patch the control-flow target of the instruction.
+    Target,
+    /// Patch the immediate of a `MovRI` with the symbol's address (LEA).
+    Lea,
+}
+
+#[derive(Debug, Clone)]
+struct Fixup {
+    insn: usize,
+    symbol: String,
+    kind: FixupKind,
+}
+
+/// The program assembler / builder.
+///
+/// See the [crate-level example](crate) for basic usage. Every mnemonic
+/// method returns `&mut Self` so short sequences can be chained.
+#[derive(Debug, Clone)]
+pub struct Asm {
+    name: String,
+    insns: Vec<Instruction>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<Fixup>,
+    data: Vec<u8>,
+    data_syms: HashMap<String, u64>,
+    entry: Option<String>,
+    errors: Vec<AsmError>,
+}
+
+impl Asm {
+    /// Creates an empty program named `name`.
+    pub fn new(name: impl Into<String>) -> Asm {
+        Asm {
+            name: name.into(),
+            insns: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            data: Vec::new(),
+            data_syms: HashMap::new(),
+            entry: None,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Appends a raw instruction.
+    pub fn insn(&mut self, insn: Instruction) -> &mut Asm {
+        self.insns.push(insn);
+        self
+    }
+
+    /// Defines a code label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Asm {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.insns.len()).is_some() {
+            self.errors.push(AsmError::DuplicateLabel(name));
+        }
+        self
+    }
+
+    /// Selects the entry point; defaults to the first instruction.
+    pub fn set_entry(&mut self, label: impl Into<String>) -> &mut Asm {
+        self.entry = Some(label.into());
+        self
+    }
+
+    // ---- data directives ----
+
+    fn align8(&mut self) {
+        while !self.data.len().is_multiple_of(8) {
+            self.data.push(0);
+        }
+    }
+
+    fn define_data(&mut self, name: String, offset: u64) {
+        if self.data_syms.insert(name.clone(), offset).is_some() {
+            self.errors.push(AsmError::DuplicateSymbol(name));
+        }
+    }
+
+    /// Adds an 8-byte-aligned array of `u64` words to the data section.
+    pub fn data_u64(&mut self, name: impl Into<String>, words: &[u64]) -> &mut Asm {
+        self.align8();
+        let off = self.data.len() as u64;
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        self.define_data(name.into(), off);
+        self
+    }
+
+    /// Adds an 8-byte-aligned array of `i64` words to the data section.
+    pub fn data_i64(&mut self, name: impl Into<String>, words: &[i64]) -> &mut Asm {
+        self.align8();
+        let off = self.data.len() as u64;
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        self.define_data(name.into(), off);
+        self
+    }
+
+    /// Adds an 8-byte-aligned array of `f64` values to the data section.
+    pub fn data_f64(&mut self, name: impl Into<String>, values: &[f64]) -> &mut Asm {
+        self.align8();
+        let off = self.data.len() as u64;
+        for v in values {
+            self.data.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.define_data(name.into(), off);
+        self
+    }
+
+    /// Adds raw bytes to the data section.
+    pub fn data_bytes(&mut self, name: impl Into<String>, bytes: &[u8]) -> &mut Asm {
+        let off = self.data.len() as u64;
+        self.data.extend_from_slice(bytes);
+        self.define_data(name.into(), off);
+        self
+    }
+
+    /// Reserves `size` zeroed, 8-byte-aligned bytes.
+    pub fn bss(&mut self, name: impl Into<String>, size: u64) -> &mut Asm {
+        self.align8();
+        let off = self.data.len() as u64;
+        self.data.extend(std::iter::repeat_n(0u8, size as usize));
+        self.define_data(name.into(), off);
+        self
+    }
+
+    // ---- label-target instructions ----
+
+    fn fixup(&mut self, symbol: impl Into<String>, kind: FixupKind) {
+        self.fixups.push(Fixup {
+            insn: self.insns.len() - 1,
+            symbol: symbol.into(),
+            kind,
+        });
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp(&mut self, label: impl Into<String>) -> &mut Asm {
+        self.insn(Instruction::Jmp { target: 0 });
+        self.fixup(label, FixupKind::Target);
+        self
+    }
+
+    /// Conditional jump to a label.
+    pub fn jcc(&mut self, cond: Cond, label: impl Into<String>) -> &mut Asm {
+        self.insn(Instruction::Jcc { cond, target: 0 });
+        self.fixup(label, FixupKind::Target);
+        self
+    }
+
+    /// Call a label.
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Asm {
+        self.insn(Instruction::Call { target: 0 });
+        self.fixup(label, FixupKind::Target);
+        self
+    }
+
+    /// Load the absolute address of a code label or data symbol into `dst`.
+    pub fn lea(&mut self, dst: Reg, symbol: impl Into<String>) -> &mut Asm {
+        self.insn(Instruction::MovRI { dst, imm: 0 });
+        self.fixup(symbol, FixupKind::Lea);
+        self
+    }
+
+    // ---- plain mnemonics ----
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.insn(Instruction::Nop)
+    }
+    /// `halt`.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.insn(Instruction::Halt)
+    }
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::MovRR { dst, src })
+    }
+    /// `dst = imm`.
+    pub fn movi(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::MovRI { dst, imm })
+    }
+    /// `dst = mem64[base+off]`.
+    pub fn ld(&mut self, dst: Reg, base: Reg, off: i32) -> &mut Asm {
+        self.insn(Instruction::Ld { dst, base, off })
+    }
+    /// `mem64[base+off] = src`.
+    pub fn st(&mut self, src: Reg, base: Reg, off: i32) -> &mut Asm {
+        self.insn(Instruction::St { src, base, off })
+    }
+    /// `dst = mem64[base+idx*8]`.
+    pub fn ldx(&mut self, dst: Reg, base: Reg, idx: Reg) -> &mut Asm {
+        self.insn(Instruction::LdIdx { dst, base, idx })
+    }
+    /// `mem64[base+idx*8] = src`.
+    pub fn stx(&mut self, src: Reg, base: Reg, idx: Reg) -> &mut Asm {
+        self.insn(Instruction::StIdx { src, base, idx })
+    }
+    /// Push a register.
+    pub fn push(&mut self, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Push { src })
+    }
+    /// Pop into a register.
+    pub fn pop(&mut self, dst: Reg) -> &mut Asm {
+        self.insn(Instruction::Pop { dst })
+    }
+    /// `dst += src`.
+    pub fn add(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Add { dst, src })
+    }
+    /// `dst -= src`.
+    pub fn sub(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Sub { dst, src })
+    }
+    /// `dst *= src`.
+    pub fn mul(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Mul { dst, src })
+    }
+    /// Signed divide.
+    pub fn divs(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Divs { dst, src })
+    }
+    /// Unsigned divide.
+    pub fn divu(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Divu { dst, src })
+    }
+    /// Unsigned remainder.
+    pub fn rem(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Rem { dst, src })
+    }
+    /// Bitwise and.
+    pub fn and(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::And { dst, src })
+    }
+    /// Bitwise or.
+    pub fn or(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Or { dst, src })
+    }
+    /// Bitwise xor.
+    pub fn xor(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Xor { dst, src })
+    }
+    /// Shift left by register.
+    pub fn shl(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Shl { dst, src })
+    }
+    /// Logical shift right by register.
+    pub fn shr(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Shr { dst, src })
+    }
+    /// Arithmetic shift right by register.
+    pub fn sar(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::Sar { dst, src })
+    }
+    /// `dst += imm`.
+    pub fn addi(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::AddI { dst, imm })
+    }
+    /// `dst -= imm`.
+    pub fn subi(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::SubI { dst, imm })
+    }
+    /// `dst *= imm`.
+    pub fn muli(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::MulI { dst, imm })
+    }
+    /// `dst &= imm`.
+    pub fn andi(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::AndI { dst, imm })
+    }
+    /// `dst |= imm`.
+    pub fn ori(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::OrI { dst, imm })
+    }
+    /// `dst ^= imm`.
+    pub fn xori(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::XorI { dst, imm })
+    }
+    /// Shift left by an immediate.
+    pub fn shli(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::ShlI { dst, imm })
+    }
+    /// Logical shift right by an immediate.
+    pub fn shri(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::ShrI { dst, imm })
+    }
+    /// Arithmetic shift right by an immediate.
+    pub fn sari(&mut self, dst: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::SarI { dst, imm })
+    }
+    /// Two's-complement negate in place.
+    pub fn neg(&mut self, dst: Reg) -> &mut Asm {
+        self.insn(Instruction::Neg { dst })
+    }
+    /// Bitwise complement in place.
+    pub fn not(&mut self, dst: Reg) -> &mut Asm {
+        self.insn(Instruction::Not { dst })
+    }
+    /// Compare registers.
+    pub fn cmp(&mut self, a: Reg, b: Reg) -> &mut Asm {
+        self.insn(Instruction::Cmp { a, b })
+    }
+    /// Compare a register to an immediate.
+    pub fn cmpi(&mut self, a: Reg, imm: i64) -> &mut Asm {
+        self.insn(Instruction::CmpI { a, imm })
+    }
+    /// Indirect call.
+    pub fn callr(&mut self, target: Reg) -> &mut Asm {
+        self.insn(Instruction::CallR { target })
+    }
+    /// Return.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.insn(Instruction::Ret)
+    }
+    /// FP register move.
+    pub fn fmov(&mut self, dst: FReg, src: FReg) -> &mut Asm {
+        self.insn(Instruction::FMov { dst, src })
+    }
+    /// FP immediate load.
+    pub fn fmovi(&mut self, dst: FReg, imm: f64) -> &mut Asm {
+        self.insn(Instruction::FMovI { dst, imm })
+    }
+    /// FP load.
+    pub fn fld(&mut self, dst: FReg, base: Reg, off: i32) -> &mut Asm {
+        self.insn(Instruction::FLd { dst, base, off })
+    }
+    /// FP store.
+    pub fn fst(&mut self, src: FReg, base: Reg, off: i32) -> &mut Asm {
+        self.insn(Instruction::FSt { src, base, off })
+    }
+    /// FP indexed load.
+    pub fn fldx(&mut self, dst: FReg, base: Reg, idx: Reg) -> &mut Asm {
+        self.insn(Instruction::FLdIdx { dst, base, idx })
+    }
+    /// FP indexed store.
+    pub fn fstx(&mut self, src: FReg, base: Reg, idx: Reg) -> &mut Asm {
+        self.insn(Instruction::FStIdx { src, base, idx })
+    }
+    /// `dst += src` (FP).
+    pub fn fadd(&mut self, dst: FReg, src: FReg) -> &mut Asm {
+        self.insn(Instruction::Fadd { dst, src })
+    }
+    /// `dst -= src` (FP).
+    pub fn fsub(&mut self, dst: FReg, src: FReg) -> &mut Asm {
+        self.insn(Instruction::Fsub { dst, src })
+    }
+    /// `dst *= src` (FP).
+    pub fn fmul(&mut self, dst: FReg, src: FReg) -> &mut Asm {
+        self.insn(Instruction::Fmul { dst, src })
+    }
+    /// `dst /= src` (FP).
+    pub fn fdiv(&mut self, dst: FReg, src: FReg) -> &mut Asm {
+        self.insn(Instruction::Fdiv { dst, src })
+    }
+    /// `dst = min(dst, src)`.
+    pub fn fmin(&mut self, dst: FReg, src: FReg) -> &mut Asm {
+        self.insn(Instruction::Fmin { dst, src })
+    }
+    /// `dst = max(dst, src)`.
+    pub fn fmax(&mut self, dst: FReg, src: FReg) -> &mut Asm {
+        self.insn(Instruction::Fmax { dst, src })
+    }
+    /// Square root in place.
+    pub fn fsqrt(&mut self, dst: FReg) -> &mut Asm {
+        self.insn(Instruction::Fsqrt { dst })
+    }
+    /// Absolute value in place.
+    pub fn fabs(&mut self, dst: FReg) -> &mut Asm {
+        self.insn(Instruction::Fabs { dst })
+    }
+    /// Negate in place (FP).
+    pub fn fneg(&mut self, dst: FReg) -> &mut Asm {
+        self.insn(Instruction::Fneg { dst })
+    }
+    /// FP compare.
+    pub fn fcmp(&mut self, a: FReg, b: FReg) -> &mut Asm {
+        self.insn(Instruction::Fcmp { a, b })
+    }
+    /// Convert signed int to f64.
+    pub fn cvtif(&mut self, dst: FReg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::CvtIF { dst, src })
+    }
+    /// Convert f64 to signed int.
+    pub fn cvtfi(&mut self, dst: Reg, src: FReg) -> &mut Asm {
+        self.insn(Instruction::CvtFI { dst, src })
+    }
+    /// Move FP bits to an integer register.
+    pub fn movfr(&mut self, dst: Reg, src: FReg) -> &mut Asm {
+        self.insn(Instruction::MovFR { dst, src })
+    }
+    /// Move integer bits to an FP register.
+    pub fn movrf(&mut self, dst: FReg, src: Reg) -> &mut Asm {
+        self.insn(Instruction::MovRF { dst, src })
+    }
+    /// Trap into the hypervisor.
+    pub fn hypercall(&mut self, num: u16) -> &mut Asm {
+        self.insn(Instruction::Hypercall { num })
+    }
+
+    // ---- convenience sequences ----
+
+    /// `exit(code)`.
+    pub fn exit(&mut self, code: i64) -> &mut Asm {
+        self.movi(Reg::R1, code);
+        self.hypercall(crate::abi::SYS_EXIT)
+    }
+
+    /// `exit(code_reg)`.
+    pub fn exit_with(&mut self, code: Reg) -> &mut Asm {
+        if code != Reg::R1 {
+            self.mov(Reg::R1, code);
+        }
+        self.hypercall(crate::abi::SYS_EXIT)
+    }
+
+    // ---- assembly ----
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True when no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Resolves labels, patches fixups and encodes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded [`AsmError`]: duplicate labels/symbols,
+    /// unresolved references, or a missing entry label.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if let Some(err) = self.errors.first() {
+            return Err(err.clone());
+        }
+
+        let mut symbols: HashMap<String, u64> = HashMap::new();
+        for (name, idx) in &self.labels {
+            symbols.insert(name.clone(), CODE_BASE + *idx as u64 * INSN_LEN);
+        }
+        for (name, off) in &self.data_syms {
+            if symbols.contains_key(name) {
+                return Err(AsmError::DuplicateSymbol(name.clone()));
+            }
+            symbols.insert(name.clone(), DATA_BASE + off);
+        }
+
+        let mut insns = self.insns.clone();
+        for fx in &self.fixups {
+            let addr = *symbols
+                .get(&fx.symbol)
+                .ok_or_else(|| AsmError::UnknownSymbol(fx.symbol.clone()))?;
+            let insn = &mut insns[fx.insn];
+            match (&fx.kind, insn) {
+                (FixupKind::Target, Instruction::Jmp { target }) => *target = addr,
+                (FixupKind::Target, Instruction::Jcc { target, .. }) => *target = addr,
+                (FixupKind::Target, Instruction::Call { target }) => *target = addr,
+                (FixupKind::Lea, Instruction::MovRI { imm, .. }) => *imm = addr as i64,
+                (kind, insn) => unreachable!("fixup {kind:?} on {insn:?}"),
+            }
+        }
+
+        let entry = match &self.entry {
+            Some(label) => *symbols
+                .get(label)
+                .ok_or_else(|| AsmError::UnknownEntry(label.clone()))?,
+            None => CODE_BASE,
+        };
+
+        let mut code = Vec::with_capacity(insns.len() * INSN_LEN as usize);
+        for insn in &insns {
+            code.extend_from_slice(&encode(insn));
+        }
+
+        Ok(Program::new(
+            self.name.clone(),
+            code,
+            self.data.clone(),
+            entry,
+            symbols,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn forward_and_backward_references_resolve() {
+        let mut a = Asm::new("t");
+        a.jmp("fwd");
+        a.label("back");
+        a.nop();
+        a.label("fwd");
+        a.jmp("back");
+        let p = a.assemble().expect("assemble");
+        let i0 = decode(&p.code()[0..12]).expect("decode");
+        let fwd = p.symbol("fwd").expect("fwd");
+        let back = p.symbol("back").expect("back");
+        assert_eq!(i0, Instruction::Jmp { target: fwd });
+        assert_eq!(back, CODE_BASE + INSN_LEN);
+        assert_eq!(fwd, CODE_BASE + 2 * INSN_LEN);
+    }
+
+    #[test]
+    fn lea_resolves_data_symbols() {
+        let mut a = Asm::new("t");
+        a.data_f64("vec", &[1.0, 2.0]);
+        a.lea(Reg::R1, "vec");
+        a.exit(0);
+        let p = a.assemble().expect("assemble");
+        let i0 = decode(&p.code()[0..12]).expect("decode");
+        assert_eq!(
+            i0,
+            Instruction::MovRI {
+                dst: Reg::R1,
+                imm: DATA_BASE as i64,
+            }
+        );
+        assert_eq!(p.data().len(), 16);
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut a = Asm::new("t");
+        a.label("x").nop();
+        a.label("x").nop();
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn unknown_reference_is_an_error() {
+        let mut a = Asm::new("t");
+        a.jmp("nowhere");
+        assert_eq!(a.assemble(), Err(AsmError::UnknownSymbol("nowhere".into())));
+    }
+
+    #[test]
+    fn label_data_collision_is_an_error() {
+        let mut a = Asm::new("t");
+        a.label("x").nop();
+        a.data_u64("x", &[0]);
+        assert!(matches!(a.assemble(), Err(AsmError::DuplicateSymbol(_))));
+    }
+
+    #[test]
+    fn entry_label_selects_entry() {
+        let mut a = Asm::new("t");
+        a.nop();
+        a.label("main");
+        a.exit(0);
+        a.set_entry("main");
+        let p = a.assemble().expect("assemble");
+        assert_eq!(p.entry(), CODE_BASE + INSN_LEN);
+    }
+
+    #[test]
+    fn data_is_aligned_to_8() {
+        let mut a = Asm::new("t");
+        a.data_bytes("b", &[1, 2, 3]);
+        a.data_f64("f", &[1.5]);
+        a.nop();
+        let p = a.assemble().expect("assemble");
+        let f = p.symbol("f").expect("f");
+        assert_eq!(f % 8, 0);
+        assert_eq!(f, DATA_BASE + 8);
+    }
+
+    #[test]
+    fn bss_reserves_zeroed_space() {
+        let mut a = Asm::new("t");
+        a.bss("buf", 100);
+        a.nop();
+        let p = a.assemble().expect("assemble");
+        assert_eq!(p.data().len(), 100);
+        assert!(p.data().iter().all(|&b| b == 0));
+    }
+}

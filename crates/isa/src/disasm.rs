@@ -1,0 +1,125 @@
+//! Textual disassembly (`Display` for [`Instruction`]) used by trace logs
+//! and injection reports.
+
+use crate::Instruction;
+use std::fmt;
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction as I;
+        match self {
+            I::Nop => write!(f, "nop"),
+            I::Halt => write!(f, "halt"),
+            I::MovRR { dst, src } => write!(f, "mov {dst}, {src}"),
+            I::MovRI { dst, imm } => write!(f, "mov {dst}, {imm}"),
+            I::Ld { dst, base, off } => write!(f, "ld {dst}, [{base}{off:+}]"),
+            I::St { src, base, off } => write!(f, "st [{base}{off:+}], {src}"),
+            I::LdIdx { dst, base, idx } => write!(f, "ld {dst}, [{base}+{idx}*8]"),
+            I::StIdx { src, base, idx } => write!(f, "st [{base}+{idx}*8], {src}"),
+            I::Push { src } => write!(f, "push {src}"),
+            I::Pop { dst } => write!(f, "pop {dst}"),
+            I::Add { dst, src } => write!(f, "add {dst}, {src}"),
+            I::Sub { dst, src } => write!(f, "sub {dst}, {src}"),
+            I::Mul { dst, src } => write!(f, "mul {dst}, {src}"),
+            I::Divs { dst, src } => write!(f, "divs {dst}, {src}"),
+            I::Divu { dst, src } => write!(f, "divu {dst}, {src}"),
+            I::Rem { dst, src } => write!(f, "rem {dst}, {src}"),
+            I::And { dst, src } => write!(f, "and {dst}, {src}"),
+            I::Or { dst, src } => write!(f, "or {dst}, {src}"),
+            I::Xor { dst, src } => write!(f, "xor {dst}, {src}"),
+            I::Shl { dst, src } => write!(f, "shl {dst}, {src}"),
+            I::Shr { dst, src } => write!(f, "shr {dst}, {src}"),
+            I::Sar { dst, src } => write!(f, "sar {dst}, {src}"),
+            I::AddI { dst, imm } => write!(f, "add {dst}, {imm}"),
+            I::SubI { dst, imm } => write!(f, "sub {dst}, {imm}"),
+            I::MulI { dst, imm } => write!(f, "mul {dst}, {imm}"),
+            I::AndI { dst, imm } => write!(f, "and {dst}, {imm:#x}"),
+            I::OrI { dst, imm } => write!(f, "or {dst}, {imm:#x}"),
+            I::XorI { dst, imm } => write!(f, "xor {dst}, {imm:#x}"),
+            I::ShlI { dst, imm } => write!(f, "shl {dst}, {imm}"),
+            I::ShrI { dst, imm } => write!(f, "shr {dst}, {imm}"),
+            I::SarI { dst, imm } => write!(f, "sar {dst}, {imm}"),
+            I::Neg { dst } => write!(f, "neg {dst}"),
+            I::Not { dst } => write!(f, "not {dst}"),
+            I::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            I::CmpI { a, imm } => write!(f, "cmp {a}, {imm}"),
+            I::Jmp { target } => write!(f, "jmp {target:#x}"),
+            I::Jcc { cond, target } => write!(f, "j{cond} {target:#x}"),
+            I::Call { target } => write!(f, "call {target:#x}"),
+            I::CallR { target } => write!(f, "call {target}"),
+            I::Ret => write!(f, "ret"),
+            I::FMov { dst, src } => write!(f, "fmov {dst}, {src}"),
+            I::FMovI { dst, imm } => write!(f, "fmov {dst}, {imm}"),
+            I::FLd { dst, base, off } => write!(f, "fld {dst}, [{base}{off:+}]"),
+            I::FSt { src, base, off } => write!(f, "fst [{base}{off:+}], {src}"),
+            I::FLdIdx { dst, base, idx } => write!(f, "fld {dst}, [{base}+{idx}*8]"),
+            I::FStIdx { src, base, idx } => write!(f, "fst [{base}+{idx}*8], {src}"),
+            I::Fadd { dst, src } => write!(f, "fadd {dst}, {src}"),
+            I::Fsub { dst, src } => write!(f, "fsub {dst}, {src}"),
+            I::Fmul { dst, src } => write!(f, "fmul {dst}, {src}"),
+            I::Fdiv { dst, src } => write!(f, "fdiv {dst}, {src}"),
+            I::Fmin { dst, src } => write!(f, "fmin {dst}, {src}"),
+            I::Fmax { dst, src } => write!(f, "fmax {dst}, {src}"),
+            I::Fsqrt { dst } => write!(f, "fsqrt {dst}"),
+            I::Fabs { dst } => write!(f, "fabs {dst}"),
+            I::Fneg { dst } => write!(f, "fneg {dst}"),
+            I::Fcmp { a, b } => write!(f, "fcmp {a}, {b}"),
+            I::CvtIF { dst, src } => write!(f, "cvtif {dst}, {src}"),
+            I::CvtFI { dst, src } => write!(f, "cvtfi {dst}, {src}"),
+            I::MovFR { dst, src } => write!(f, "movfr {dst}, {src}"),
+            I::MovRF { dst, src } => write!(f, "movrf {dst}, {src}"),
+            I::Hypercall { num } => write!(f, "hcall {num}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, FReg, Reg};
+
+    #[test]
+    fn representative_formats() {
+        let cases: Vec<(Instruction, &str)> = vec![
+            (
+                Instruction::MovRR {
+                    dst: Reg::R1,
+                    src: Reg::R2,
+                },
+                "mov r1, r2",
+            ),
+            (
+                Instruction::Ld {
+                    dst: Reg::R1,
+                    base: Reg::SP,
+                    off: -8,
+                },
+                "ld r1, [sp-8]",
+            ),
+            (
+                Instruction::Jcc {
+                    cond: Cond::Lt,
+                    target: 0x400000,
+                },
+                "jlt 0x400000",
+            ),
+            (
+                Instruction::Fadd {
+                    dst: FReg::F0,
+                    src: FReg::F1,
+                },
+                "fadd f0, f1",
+            ),
+            (Instruction::Hypercall { num: 103 }, "hcall 103"),
+        ];
+        for (insn, expect) in cases {
+            assert_eq!(insn.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Instruction::Nop).is_empty());
+        assert!(!Instruction::Nop.to_string().is_empty());
+    }
+}

@@ -1,0 +1,583 @@
+//! Fixed-width binary encoding of guest instructions.
+//!
+//! Every instruction encodes to exactly [`INSN_LEN`] bytes:
+//! `[opcode][a][b][c][imm: 8 bytes little-endian]`. A fixed width keeps
+//! program-counter arithmetic trivial for the dynamic binary translator
+//! while still forcing code to live in guest memory as bytes — which is what
+//! lets a fault that corrupts a code pointer land in the middle of "text"
+//! and die with an illegal-opcode signal, as on real hardware.
+
+use crate::{Cond, FReg, Instruction, Reg};
+use std::fmt;
+
+/// The size in bytes of every encoded instruction.
+pub const INSN_LEN: u64 = 12;
+
+/// An error produced while decoding guest code bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer than [`INSN_LEN`] bytes were available.
+    Truncated,
+    /// The opcode byte does not name an instruction.
+    BadOpcode(u8),
+    /// A register field was out of range.
+    BadRegister(u8),
+    /// A condition-code field was out of range.
+    BadCond(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction bytes truncated"),
+            DecodeError::BadOpcode(op) => write!(f, "invalid opcode {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "invalid register field {r}"),
+            DecodeError::BadCond(c) => write!(f, "invalid condition field {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const NOP: u8 = 0;
+    pub const HALT: u8 = 1;
+    pub const MOV_RR: u8 = 2;
+    pub const MOV_RI: u8 = 3;
+    pub const LD: u8 = 4;
+    pub const ST: u8 = 5;
+    pub const LD_IDX: u8 = 6;
+    pub const ST_IDX: u8 = 7;
+    pub const PUSH: u8 = 8;
+    pub const POP: u8 = 9;
+    pub const ADD: u8 = 10;
+    pub const SUB: u8 = 11;
+    pub const MUL: u8 = 12;
+    pub const DIVS: u8 = 13;
+    pub const DIVU: u8 = 14;
+    pub const REM: u8 = 15;
+    pub const AND: u8 = 16;
+    pub const OR: u8 = 17;
+    pub const XOR: u8 = 18;
+    pub const SHL: u8 = 19;
+    pub const SHR: u8 = 20;
+    pub const SAR: u8 = 21;
+    pub const ADD_I: u8 = 22;
+    pub const SUB_I: u8 = 23;
+    pub const MUL_I: u8 = 24;
+    pub const AND_I: u8 = 25;
+    pub const OR_I: u8 = 26;
+    pub const XOR_I: u8 = 27;
+    pub const SHL_I: u8 = 28;
+    pub const SHR_I: u8 = 29;
+    pub const SAR_I: u8 = 30;
+    pub const NEG: u8 = 31;
+    pub const NOT: u8 = 32;
+    pub const CMP: u8 = 33;
+    pub const CMP_I: u8 = 34;
+    pub const JMP: u8 = 35;
+    pub const JCC: u8 = 36;
+    pub const CALL: u8 = 37;
+    pub const CALL_R: u8 = 38;
+    pub const RET: u8 = 39;
+    pub const FMOV: u8 = 40;
+    pub const FMOV_I: u8 = 41;
+    pub const FLD: u8 = 42;
+    pub const FST: u8 = 43;
+    pub const FLD_IDX: u8 = 44;
+    pub const FST_IDX: u8 = 45;
+    pub const FADD: u8 = 46;
+    pub const FSUB: u8 = 47;
+    pub const FMUL: u8 = 48;
+    pub const FDIV: u8 = 49;
+    pub const FMIN: u8 = 50;
+    pub const FMAX: u8 = 51;
+    pub const FSQRT: u8 = 52;
+    pub const FABS: u8 = 53;
+    pub const FNEG: u8 = 54;
+    pub const FCMP: u8 = 55;
+    pub const CVT_IF: u8 = 56;
+    pub const CVT_FI: u8 = 57;
+    pub const MOV_FR: u8 = 58;
+    pub const MOV_RF: u8 = 59;
+    pub const HYPERCALL: u8 = 60;
+}
+
+fn words(opcode: u8, a: u8, b: u8, c: u8, imm: u64) -> [u8; INSN_LEN as usize] {
+    let mut out = [0u8; INSN_LEN as usize];
+    out[0] = opcode;
+    out[1] = a;
+    out[2] = b;
+    out[3] = c;
+    out[4..12].copy_from_slice(&imm.to_le_bytes());
+    out
+}
+
+/// Encodes `insn` into its [`INSN_LEN`]-byte representation.
+pub fn encode(insn: &Instruction) -> [u8; INSN_LEN as usize] {
+    use Instruction as I;
+    let r = |r: Reg| r.index() as u8;
+    let f = |r: FReg| r.index() as u8;
+    match *insn {
+        I::Nop => words(op::NOP, 0, 0, 0, 0),
+        I::Halt => words(op::HALT, 0, 0, 0, 0),
+        I::MovRR { dst, src } => words(op::MOV_RR, r(dst), r(src), 0, 0),
+        I::MovRI { dst, imm } => words(op::MOV_RI, r(dst), 0, 0, imm as u64),
+        I::Ld { dst, base, off } => words(op::LD, r(dst), r(base), 0, off as i64 as u64),
+        I::St { src, base, off } => words(op::ST, r(src), r(base), 0, off as i64 as u64),
+        I::LdIdx { dst, base, idx } => words(op::LD_IDX, r(dst), r(base), r(idx), 0),
+        I::StIdx { src, base, idx } => words(op::ST_IDX, r(src), r(base), r(idx), 0),
+        I::Push { src } => words(op::PUSH, r(src), 0, 0, 0),
+        I::Pop { dst } => words(op::POP, r(dst), 0, 0, 0),
+        I::Add { dst, src } => words(op::ADD, r(dst), r(src), 0, 0),
+        I::Sub { dst, src } => words(op::SUB, r(dst), r(src), 0, 0),
+        I::Mul { dst, src } => words(op::MUL, r(dst), r(src), 0, 0),
+        I::Divs { dst, src } => words(op::DIVS, r(dst), r(src), 0, 0),
+        I::Divu { dst, src } => words(op::DIVU, r(dst), r(src), 0, 0),
+        I::Rem { dst, src } => words(op::REM, r(dst), r(src), 0, 0),
+        I::And { dst, src } => words(op::AND, r(dst), r(src), 0, 0),
+        I::Or { dst, src } => words(op::OR, r(dst), r(src), 0, 0),
+        I::Xor { dst, src } => words(op::XOR, r(dst), r(src), 0, 0),
+        I::Shl { dst, src } => words(op::SHL, r(dst), r(src), 0, 0),
+        I::Shr { dst, src } => words(op::SHR, r(dst), r(src), 0, 0),
+        I::Sar { dst, src } => words(op::SAR, r(dst), r(src), 0, 0),
+        I::AddI { dst, imm } => words(op::ADD_I, r(dst), 0, 0, imm as u64),
+        I::SubI { dst, imm } => words(op::SUB_I, r(dst), 0, 0, imm as u64),
+        I::MulI { dst, imm } => words(op::MUL_I, r(dst), 0, 0, imm as u64),
+        I::AndI { dst, imm } => words(op::AND_I, r(dst), 0, 0, imm as u64),
+        I::OrI { dst, imm } => words(op::OR_I, r(dst), 0, 0, imm as u64),
+        I::XorI { dst, imm } => words(op::XOR_I, r(dst), 0, 0, imm as u64),
+        I::ShlI { dst, imm } => words(op::SHL_I, r(dst), 0, 0, imm as u64),
+        I::ShrI { dst, imm } => words(op::SHR_I, r(dst), 0, 0, imm as u64),
+        I::SarI { dst, imm } => words(op::SAR_I, r(dst), 0, 0, imm as u64),
+        I::Neg { dst } => words(op::NEG, r(dst), 0, 0, 0),
+        I::Not { dst } => words(op::NOT, r(dst), 0, 0, 0),
+        I::Cmp { a, b } => words(op::CMP, r(a), r(b), 0, 0),
+        I::CmpI { a, imm } => words(op::CMP_I, r(a), 0, 0, imm as u64),
+        I::Jmp { target } => words(op::JMP, 0, 0, 0, target),
+        I::Jcc { cond, target } => words(op::JCC, cond.index() as u8, 0, 0, target),
+        I::Call { target } => words(op::CALL, 0, 0, 0, target),
+        I::CallR { target } => words(op::CALL_R, r(target), 0, 0, 0),
+        I::Ret => words(op::RET, 0, 0, 0, 0),
+        I::FMov { dst, src } => words(op::FMOV, f(dst), f(src), 0, 0),
+        I::FMovI { dst, imm } => words(op::FMOV_I, f(dst), 0, 0, imm.to_bits()),
+        I::FLd { dst, base, off } => words(op::FLD, f(dst), r(base), 0, off as i64 as u64),
+        I::FSt { src, base, off } => words(op::FST, f(src), r(base), 0, off as i64 as u64),
+        I::FLdIdx { dst, base, idx } => words(op::FLD_IDX, f(dst), r(base), r(idx), 0),
+        I::FStIdx { src, base, idx } => words(op::FST_IDX, f(src), r(base), r(idx), 0),
+        I::Fadd { dst, src } => words(op::FADD, f(dst), f(src), 0, 0),
+        I::Fsub { dst, src } => words(op::FSUB, f(dst), f(src), 0, 0),
+        I::Fmul { dst, src } => words(op::FMUL, f(dst), f(src), 0, 0),
+        I::Fdiv { dst, src } => words(op::FDIV, f(dst), f(src), 0, 0),
+        I::Fmin { dst, src } => words(op::FMIN, f(dst), f(src), 0, 0),
+        I::Fmax { dst, src } => words(op::FMAX, f(dst), f(src), 0, 0),
+        I::Fsqrt { dst } => words(op::FSQRT, f(dst), 0, 0, 0),
+        I::Fabs { dst } => words(op::FABS, f(dst), 0, 0, 0),
+        I::Fneg { dst } => words(op::FNEG, f(dst), 0, 0, 0),
+        I::Fcmp { a, b } => words(op::FCMP, f(a), f(b), 0, 0),
+        I::CvtIF { dst, src } => words(op::CVT_IF, f(dst), r(src), 0, 0),
+        I::CvtFI { dst, src } => words(op::CVT_FI, r(dst), f(src), 0, 0),
+        I::MovFR { dst, src } => words(op::MOV_FR, r(dst), f(src), 0, 0),
+        I::MovRF { dst, src } => words(op::MOV_RF, f(dst), r(src), 0, 0),
+        I::Hypercall { num } => words(op::HYPERCALL, 0, 0, 0, num as u64),
+    }
+}
+
+/// Decodes one instruction from the start of `bytes`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if fewer than [`INSN_LEN`] bytes are available or
+/// any field is malformed. The execution engine maps a decode failure to a
+/// `SIGILL` guest signal — the fate of a corrupted instruction pointer.
+pub fn decode(bytes: &[u8]) -> Result<Instruction, DecodeError> {
+    use Instruction as I;
+    if bytes.len() < INSN_LEN as usize {
+        return Err(DecodeError::Truncated);
+    }
+    let (a, b, c) = (bytes[1], bytes[2], bytes[3]);
+    let imm = u64::from_le_bytes(bytes[4..12].try_into().expect("sliced 8 bytes"));
+    let reg = |x: u8| Reg::from_index(x as usize).ok_or(DecodeError::BadRegister(x));
+    let freg = |x: u8| FReg::from_index(x as usize).ok_or(DecodeError::BadRegister(x));
+    let off = imm as i64 as i32;
+    let insn = match bytes[0] {
+        op::NOP => I::Nop,
+        op::HALT => I::Halt,
+        op::MOV_RR => I::MovRR {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::MOV_RI => I::MovRI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::LD => I::Ld {
+            dst: reg(a)?,
+            base: reg(b)?,
+            off,
+        },
+        op::ST => I::St {
+            src: reg(a)?,
+            base: reg(b)?,
+            off,
+        },
+        op::LD_IDX => I::LdIdx {
+            dst: reg(a)?,
+            base: reg(b)?,
+            idx: reg(c)?,
+        },
+        op::ST_IDX => I::StIdx {
+            src: reg(a)?,
+            base: reg(b)?,
+            idx: reg(c)?,
+        },
+        op::PUSH => I::Push { src: reg(a)? },
+        op::POP => I::Pop { dst: reg(a)? },
+        op::ADD => I::Add {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::SUB => I::Sub {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::MUL => I::Mul {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::DIVS => I::Divs {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::DIVU => I::Divu {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::REM => I::Rem {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::AND => I::And {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::OR => I::Or {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::XOR => I::Xor {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::SHL => I::Shl {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::SHR => I::Shr {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::SAR => I::Sar {
+            dst: reg(a)?,
+            src: reg(b)?,
+        },
+        op::ADD_I => I::AddI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::SUB_I => I::SubI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::MUL_I => I::MulI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::AND_I => I::AndI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::OR_I => I::OrI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::XOR_I => I::XorI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::SHL_I => I::ShlI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::SHR_I => I::ShrI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::SAR_I => I::SarI {
+            dst: reg(a)?,
+            imm: imm as i64,
+        },
+        op::NEG => I::Neg { dst: reg(a)? },
+        op::NOT => I::Not { dst: reg(a)? },
+        op::CMP => I::Cmp {
+            a: reg(a)?,
+            b: reg(b)?,
+        },
+        op::CMP_I => I::CmpI {
+            a: reg(a)?,
+            imm: imm as i64,
+        },
+        op::JMP => I::Jmp { target: imm },
+        op::JCC => I::Jcc {
+            cond: Cond::from_index(a as usize).ok_or(DecodeError::BadCond(a))?,
+            target: imm,
+        },
+        op::CALL => I::Call { target: imm },
+        op::CALL_R => I::CallR { target: reg(a)? },
+        op::RET => I::Ret,
+        op::FMOV => I::FMov {
+            dst: freg(a)?,
+            src: freg(b)?,
+        },
+        op::FMOV_I => I::FMovI {
+            dst: freg(a)?,
+            imm: f64::from_bits(imm),
+        },
+        op::FLD => I::FLd {
+            dst: freg(a)?,
+            base: reg(b)?,
+            off,
+        },
+        op::FST => I::FSt {
+            src: freg(a)?,
+            base: reg(b)?,
+            off,
+        },
+        op::FLD_IDX => I::FLdIdx {
+            dst: freg(a)?,
+            base: reg(b)?,
+            idx: reg(c)?,
+        },
+        op::FST_IDX => I::FStIdx {
+            src: freg(a)?,
+            base: reg(b)?,
+            idx: reg(c)?,
+        },
+        op::FADD => I::Fadd {
+            dst: freg(a)?,
+            src: freg(b)?,
+        },
+        op::FSUB => I::Fsub {
+            dst: freg(a)?,
+            src: freg(b)?,
+        },
+        op::FMUL => I::Fmul {
+            dst: freg(a)?,
+            src: freg(b)?,
+        },
+        op::FDIV => I::Fdiv {
+            dst: freg(a)?,
+            src: freg(b)?,
+        },
+        op::FMIN => I::Fmin {
+            dst: freg(a)?,
+            src: freg(b)?,
+        },
+        op::FMAX => I::Fmax {
+            dst: freg(a)?,
+            src: freg(b)?,
+        },
+        op::FSQRT => I::Fsqrt { dst: freg(a)? },
+        op::FABS => I::Fabs { dst: freg(a)? },
+        op::FNEG => I::Fneg { dst: freg(a)? },
+        op::FCMP => I::Fcmp {
+            a: freg(a)?,
+            b: freg(b)?,
+        },
+        op::CVT_IF => I::CvtIF {
+            dst: freg(a)?,
+            src: reg(b)?,
+        },
+        op::CVT_FI => I::CvtFI {
+            dst: reg(a)?,
+            src: freg(b)?,
+        },
+        op::MOV_FR => I::MovFR {
+            dst: reg(a)?,
+            src: freg(b)?,
+        },
+        op::MOV_RF => I::MovRF {
+            dst: freg(a)?,
+            src: reg(b)?,
+        },
+        op::HYPERCALL => I::Hypercall { num: imm as u16 },
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instructions() -> Vec<Instruction> {
+        use Instruction as I;
+        vec![
+            I::Nop,
+            I::Halt,
+            I::MovRR {
+                dst: Reg::R1,
+                src: Reg::R2,
+            },
+            I::MovRI {
+                dst: Reg::R3,
+                imm: -12345,
+            },
+            I::Ld {
+                dst: Reg::R4,
+                base: Reg::R5,
+                off: -8,
+            },
+            I::St {
+                src: Reg::R6,
+                base: Reg::SP,
+                off: 1024,
+            },
+            I::LdIdx {
+                dst: Reg::R0,
+                base: Reg::R1,
+                idx: Reg::R2,
+            },
+            I::StIdx {
+                src: Reg::R3,
+                base: Reg::R4,
+                idx: Reg::R5,
+            },
+            I::Push { src: Reg::R9 },
+            I::Pop { dst: Reg::R10 },
+            I::Add {
+                dst: Reg::R1,
+                src: Reg::R2,
+            },
+            I::ShlI {
+                dst: Reg::R1,
+                imm: 3,
+            },
+            I::Cmp {
+                a: Reg::R1,
+                b: Reg::R2,
+            },
+            I::CmpI {
+                a: Reg::R1,
+                imm: i64::MIN,
+            },
+            I::Jmp { target: 0x40_0000 },
+            I::Jcc {
+                cond: Cond::Uge,
+                target: 0x40_000c,
+            },
+            I::Call {
+                target: 0xdead_beef,
+            },
+            I::CallR { target: Reg::R7 },
+            I::Ret,
+            I::FMovI {
+                dst: FReg::F2,
+                imm: -0.5,
+            },
+            I::FLd {
+                dst: FReg::F1,
+                base: Reg::R2,
+                off: 64,
+            },
+            I::FStIdx {
+                src: FReg::F3,
+                base: Reg::R4,
+                idx: Reg::R5,
+            },
+            I::Fadd {
+                dst: FReg::F0,
+                src: FReg::F1,
+            },
+            I::Fsqrt { dst: FReg::F9 },
+            I::Fcmp {
+                a: FReg::F1,
+                b: FReg::F2,
+            },
+            I::CvtIF {
+                dst: FReg::F1,
+                src: Reg::R1,
+            },
+            I::CvtFI {
+                dst: Reg::R1,
+                src: FReg::F1,
+            },
+            I::MovFR {
+                dst: Reg::R2,
+                src: FReg::F3,
+            },
+            I::MovRF {
+                dst: FReg::F4,
+                src: Reg::R5,
+            },
+            I::Hypercall { num: 103 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_samples() {
+        for insn in sample_instructions() {
+            let bytes = encode(&insn);
+            let back = decode(&bytes).expect("decode");
+            assert_eq!(back, insn, "round-trip failed for {insn:?}");
+        }
+    }
+
+    #[test]
+    fn fmovi_nan_round_trips_by_bits() {
+        let insn = Instruction::FMovI {
+            dst: FReg::F0,
+            imm: f64::from_bits(0x7ff8_0000_dead_beef),
+        };
+        let back = decode(&encode(&insn)).expect("decode");
+        match back {
+            Instruction::FMovI { imm, .. } => {
+                assert_eq!(imm.to_bits(), 0x7ff8_0000_dead_beef);
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = encode(&Instruction::Nop);
+        assert_eq!(decode(&bytes[..11]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_opcode_is_rejected() {
+        let mut bytes = encode(&Instruction::Nop);
+        bytes[0] = 0xff;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn bad_register_is_rejected() {
+        let mut bytes = encode(&Instruction::MovRR {
+            dst: Reg::R1,
+            src: Reg::R2,
+        });
+        bytes[1] = 200;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadRegister(200)));
+    }
+
+    #[test]
+    fn bad_cond_is_rejected() {
+        let mut bytes = encode(&Instruction::Jcc {
+            cond: Cond::Eq,
+            target: 0,
+        });
+        bytes[1] = 99;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadCond(99)));
+    }
+}

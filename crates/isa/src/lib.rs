@@ -1,0 +1,67 @@
+//! # chaser-isa
+//!
+//! The guest instruction-set architecture used by the Chaser fault-injection
+//! platform.
+//!
+//! The Chaser paper (DSN 2020) instruments x86 guests running under
+//! QEMU/DECAF. This reproduction defines a compact, x86-flavoured 64-bit
+//! guest ISA that exposes the same surface the paper's mechanisms need:
+//!
+//! * the instruction classes the paper targets for injection
+//!   (`mov`, `fadd`, `fmul`, `cmp`, …) — see [`InsnClass`];
+//! * a *binary encoding* ([`encode`]) so programs live in guest memory as
+//!   bytes and are dynamically translated by `chaser-tcg`, exactly as QEMU
+//!   fetches and translates guest code;
+//! * architectural state ([`CpuState`]) that fault injectors corrupt;
+//! * an assembler ([`Asm`]) used by `chaser-workloads` to build the paper's
+//!   benchmark programs (Matvec, CLAMR-sim, bfs, kmeans, lud);
+//! * the guest ABI ([`abi`]) — hypercall numbers and the calling convention —
+//!   shared by the OS-lite kernel and the simulated MPI runtime.
+//!
+//! # Example
+//!
+//! Assemble a tiny program that sums `0..10` and exits with the sum:
+//!
+//! ```
+//! use chaser_isa::{Asm, Reg, Cond, abi};
+//!
+//! # fn main() -> Result<(), chaser_isa::AsmError> {
+//! let mut a = Asm::new("sum");
+//! a.movi(Reg::R1, 0); // acc
+//! a.movi(Reg::R2, 0); // i
+//! a.label("loop");
+//! a.add(Reg::R1, Reg::R2);
+//! a.addi(Reg::R2, 1);
+//! a.cmpi(Reg::R2, 10);
+//! a.jcc(Cond::Lt, "loop");
+//! a.mov(Reg::R0, Reg::R1);
+//! a.exit_with(Reg::R1);
+//! let program = a.assemble()?;
+//! assert_eq!(program.name(), "sum");
+//! # let _ = abi::SYS_EXIT;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abi;
+mod asm;
+mod cond;
+mod cpu;
+mod disasm;
+mod encode;
+mod insn;
+mod parser;
+mod program;
+mod reg;
+
+pub use asm::{Asm, AsmError};
+pub use cond::Cond;
+pub use cpu::{CpuState, Flags};
+pub use encode::{decode, encode, DecodeError, INSN_LEN};
+pub use insn::{InsnClass, Instruction};
+pub use parser::{parse_asm, ParseError};
+pub use program::{Program, CODE_BASE, DATA_BASE, PAGE_SIZE, STACK_SIZE, STACK_TOP};
+pub use reg::{FReg, Reg, NUM_FREGS, NUM_REGS};

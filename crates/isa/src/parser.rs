@@ -1,0 +1,716 @@
+//! A textual assembler: parses assembly source into a [`Program`].
+//!
+//! The accepted syntax is exactly what the disassembler prints (so
+//! `parse` ∘ `Display` round-trips every register-form instruction), plus
+//! labels, data directives and the `lea` pseudo-instruction:
+//!
+//! ```text
+//! ; matvec-ish fragment
+//! .data
+//! vec:  .f64 1.0, 2.0, 3.0
+//! n:    .i64 3
+//! buf:  .space 64
+//!
+//! .text
+//! .entry main
+//! main:
+//!     lea r1, vec
+//!     movi? no — mov r2, 0        ; register/immediate chosen by operand
+//! loop:
+//!     fld f1, [r1+0]
+//!     fadd f0, f1
+//!     add r1, 8
+//!     add r2, 1
+//!     cmp r2, 3
+//!     jlt loop
+//!     hcall 1
+//! ```
+//!
+//! Comments start with `;` or `#`. Registers are `r0..r15` (`sp` = `r15`)
+//! and `f0..f15`.
+
+use crate::{Asm, Cond, FReg, Instruction, Program, Reg};
+use std::fmt;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str) -> Option<Reg> {
+    if tok == "sp" {
+        return Some(Reg::SP);
+    }
+    let idx: usize = tok.strip_prefix('r')?.parse().ok()?;
+    Reg::from_index(idx)
+}
+
+fn parse_freg(tok: &str) -> Option<FReg> {
+    let idx: usize = tok.strip_prefix('f')?.parse().ok()?;
+    FReg::from_index(idx)
+}
+
+fn parse_int(tok: &str) -> Option<i64> {
+    let tok = tok.trim();
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).ok().map(|v| v as i64);
+    }
+    if let Some(hex) = tok.strip_prefix("-0x") {
+        return u64::from_str_radix(hex, 16).ok().map(|v| -(v as i64));
+    }
+    tok.parse().ok()
+}
+
+/// A memory operand: `[base+off]` or `[base+idx*8]`.
+enum Mem {
+    Off(Reg, i32),
+    Idx(Reg, Reg),
+}
+
+fn parse_mem(tok: &str) -> Option<Mem> {
+    let inner = tok.strip_prefix('[')?.strip_suffix(']')?;
+    if let Some(star) = inner.strip_suffix("*8") {
+        // base+idx*8
+        let (base, idx) = star.split_once('+')?;
+        return Some(Mem::Idx(parse_reg(base.trim())?, parse_reg(idx.trim())?));
+    }
+    // base, base+off, base-off
+    if let Some(pos) = inner[1..].find(['+', '-']).map(|p| p + 1) {
+        let (base, off) = inner.split_at(pos);
+        let off: i64 = parse_int(off)?;
+        return Some(Mem::Off(parse_reg(base.trim())?, i32::try_from(off).ok()?));
+    }
+    Some(Mem::Off(parse_reg(inner.trim())?, 0))
+}
+
+/// Splits an operand list on top-level commas.
+fn operands(rest: &str) -> Vec<&str> {
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+enum Section {
+    Text,
+    Data,
+}
+
+/// Parses assembly `source` into a program named `name`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with line number) for unknown mnemonics,
+/// malformed operands or bad directives, and forwards [`crate::AsmError`]s
+/// (duplicate/unknown labels) from final assembly.
+pub fn parse_asm(name: impl Into<String>, source: &str) -> Result<Program, ParseError> {
+    let mut a = Asm::new(name);
+    let mut section = Section::Text;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(rest) = line.strip_prefix('.') {
+            let (dir, args) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            match dir {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "entry" => {
+                    a.set_entry(args.trim());
+                }
+                other => return Err(err(lineno, format!("unknown directive `.{other}`"))),
+            }
+            continue;
+        }
+
+        // Labels (possibly followed by a data directive on the same line).
+        let mut body = line;
+        if let Some(colon) = line.find(':') {
+            let label = &line[..colon];
+            if label.chars().all(|c| c.is_alphanumeric() || c == '_') && !label.is_empty() {
+                body = line[colon + 1..].trim();
+                match section {
+                    Section::Text => {
+                        a.label(label);
+                        if body.is_empty() {
+                            continue;
+                        }
+                    }
+                    Section::Data => {
+                        parse_data(&mut a, label, body, lineno)?;
+                        continue;
+                    }
+                }
+            }
+        }
+        if matches!(section, Section::Data) {
+            return Err(err(lineno, "data lines must be `label: .directive ...`"));
+        }
+
+        parse_insn(&mut a, body, lineno)?;
+    }
+
+    a.assemble()
+        .map_err(|e| err(0, format!("assembly failed: {e}")))
+}
+
+fn parse_data(a: &mut Asm, label: &str, body: &str, lineno: usize) -> Result<(), ParseError> {
+    let Some(rest) = body.strip_prefix('.') else {
+        return Err(err(lineno, "expected a data directive after the label"));
+    };
+    let (dir, args) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+    match dir {
+        "f64" => {
+            let values: Result<Vec<f64>, _> =
+                operands(args).iter().map(|t| t.parse::<f64>()).collect();
+            let values = values.map_err(|_| err(lineno, "bad f64 literal"))?;
+            a.data_f64(label, &values);
+        }
+        "i64" => {
+            let values: Option<Vec<i64>> = operands(args).iter().map(|t| parse_int(t)).collect();
+            let values = values.ok_or_else(|| err(lineno, "bad i64 literal"))?;
+            a.data_i64(label, &values);
+        }
+        "u64" => {
+            let values: Option<Vec<u64>> = operands(args)
+                .iter()
+                .map(|t| parse_int(t).map(|v| v as u64))
+                .collect();
+            let values = values.ok_or_else(|| err(lineno, "bad u64 literal"))?;
+            a.data_u64(label, &values);
+        }
+        "space" => {
+            let size = parse_int(args.trim())
+                .filter(|&v| v >= 0)
+                .ok_or_else(|| err(lineno, "bad .space size"))?;
+            a.bss(label, size as u64);
+        }
+        other => return Err(err(lineno, format!("unknown data directive `.{other}`"))),
+    }
+    Ok(())
+}
+
+fn parse_insn(a: &mut Asm, body: &str, lineno: usize) -> Result<(), ParseError> {
+    use Instruction as I;
+    let (mnemonic, rest) = body.split_once(char::is_whitespace).unwrap_or((body, ""));
+    let ops = operands(rest);
+    let bad = || {
+        err(
+            lineno,
+            format!("malformed operands for `{mnemonic}`: `{rest}`"),
+        )
+    };
+
+    // Condition-code jumps: jeq/jne/jlt/...
+    if let Some(cond_str) = mnemonic.strip_prefix('j') {
+        if mnemonic != "jmp" {
+            let cond = Cond::ALL
+                .into_iter()
+                .find(|c| c.to_string() == cond_str)
+                .ok_or_else(|| err(lineno, format!("unknown jump `{mnemonic}`")))?;
+            let [target] = ops[..] else { return Err(bad()) };
+            if let Some(addr) = parse_int(target) {
+                a.insn(I::Jcc {
+                    cond,
+                    target: addr as u64,
+                });
+            } else {
+                a.jcc(cond, target);
+            }
+            return Ok(());
+        }
+    }
+
+    // Two-register / register-immediate ALU helpers.
+    macro_rules! rr_or_ri {
+        ($rr:ident, $ri:ident) => {{
+            let [d, s] = ops[..] else { return Err(bad()) };
+            let dst = parse_reg(d).ok_or_else(bad)?;
+            if let Some(src) = parse_reg(s) {
+                a.insn(I::$rr { dst, src });
+            } else {
+                let imm = parse_int(s).ok_or_else(bad)?;
+                a.insn(I::$ri { dst, imm });
+            }
+            Ok(())
+        }};
+    }
+    macro_rules! rr_only {
+        ($v:ident, $f1:ident, $f2:ident) => {{
+            let [x, y] = ops[..] else { return Err(bad()) };
+            a.insn(I::$v {
+                $f1: parse_reg(x).ok_or_else(bad)?,
+                $f2: parse_reg(y).ok_or_else(bad)?,
+            });
+            Ok(())
+        }};
+    }
+    macro_rules! ff {
+        ($v:ident) => {{
+            let [d, s] = ops[..] else { return Err(bad()) };
+            a.insn(I::$v {
+                dst: parse_freg(d).ok_or_else(bad)?,
+                src: parse_freg(s).ok_or_else(bad)?,
+            });
+            Ok(())
+        }};
+    }
+    macro_rules! f_unary {
+        ($v:ident) => {{
+            let [d] = ops[..] else { return Err(bad()) };
+            a.insn(I::$v {
+                dst: parse_freg(d).ok_or_else(bad)?,
+            });
+            Ok(())
+        }};
+    }
+
+    match mnemonic {
+        "nop" => {
+            a.nop();
+            Ok(())
+        }
+        "halt" => {
+            a.halt();
+            Ok(())
+        }
+        "ret" => {
+            a.ret();
+            Ok(())
+        }
+        "mov" => rr_or_ri!(MovRR, MovRI),
+        "add" => rr_or_ri!(Add, AddI),
+        "sub" => rr_or_ri!(Sub, SubI),
+        "mul" => rr_or_ri!(Mul, MulI),
+        "and" => rr_or_ri!(And, AndI),
+        "or" => rr_or_ri!(Or, OrI),
+        "xor" => rr_or_ri!(Xor, XorI),
+        "shl" => rr_or_ri!(Shl, ShlI),
+        "shr" => rr_or_ri!(Shr, ShrI),
+        "sar" => rr_or_ri!(Sar, SarI),
+        "divs" => rr_only!(Divs, dst, src),
+        "divu" => rr_only!(Divu, dst, src),
+        "rem" => rr_only!(Rem, dst, src),
+        "neg" => {
+            let [d] = ops[..] else { return Err(bad()) };
+            a.neg(parse_reg(d).ok_or_else(bad)?);
+            Ok(())
+        }
+        "not" => {
+            let [d] = ops[..] else { return Err(bad()) };
+            a.not(parse_reg(d).ok_or_else(bad)?);
+            Ok(())
+        }
+        "cmp" => {
+            let [x, y] = ops[..] else { return Err(bad()) };
+            let ra = parse_reg(x).ok_or_else(bad)?;
+            if let Some(rb) = parse_reg(y) {
+                a.cmp(ra, rb);
+            } else {
+                a.cmpi(ra, parse_int(y).ok_or_else(bad)?);
+            }
+            Ok(())
+        }
+        "push" => {
+            let [s] = ops[..] else { return Err(bad()) };
+            a.push(parse_reg(s).ok_or_else(bad)?);
+            Ok(())
+        }
+        "pop" => {
+            let [d] = ops[..] else { return Err(bad()) };
+            a.pop(parse_reg(d).ok_or_else(bad)?);
+            Ok(())
+        }
+        "ld" => {
+            let [d, m] = ops[..] else { return Err(bad()) };
+            let dst = parse_reg(d).ok_or_else(bad)?;
+            match parse_mem(m).ok_or_else(bad)? {
+                Mem::Off(base, off) => a.ld(dst, base, off),
+                Mem::Idx(base, idx) => a.ldx(dst, base, idx),
+            };
+            Ok(())
+        }
+        "st" => {
+            let [m, s] = ops[..] else { return Err(bad()) };
+            let src = parse_reg(s).ok_or_else(bad)?;
+            match parse_mem(m).ok_or_else(bad)? {
+                Mem::Off(base, off) => a.st(src, base, off),
+                Mem::Idx(base, idx) => a.stx(src, base, idx),
+            };
+            Ok(())
+        }
+        "fld" => {
+            let [d, m] = ops[..] else { return Err(bad()) };
+            let dst = parse_freg(d).ok_or_else(bad)?;
+            match parse_mem(m).ok_or_else(bad)? {
+                Mem::Off(base, off) => a.fld(dst, base, off),
+                Mem::Idx(base, idx) => a.fldx(dst, base, idx),
+            };
+            Ok(())
+        }
+        "fst" => {
+            let [m, s] = ops[..] else { return Err(bad()) };
+            let src = parse_freg(s).ok_or_else(bad)?;
+            match parse_mem(m).ok_or_else(bad)? {
+                Mem::Off(base, off) => a.fst(src, base, off),
+                Mem::Idx(base, idx) => a.fstx(src, base, idx),
+            };
+            Ok(())
+        }
+        "fmov" => {
+            let [d, s] = ops[..] else { return Err(bad()) };
+            let dst = parse_freg(d).ok_or_else(bad)?;
+            if let Some(src) = parse_freg(s) {
+                a.fmov(dst, src);
+            } else {
+                let imm: f64 = s.parse().map_err(|_| bad())?;
+                a.fmovi(dst, imm);
+            }
+            Ok(())
+        }
+        "fadd" => ff!(Fadd),
+        "fsub" => ff!(Fsub),
+        "fmul" => ff!(Fmul),
+        "fdiv" => ff!(Fdiv),
+        "fmin" => ff!(Fmin),
+        "fmax" => ff!(Fmax),
+        "fsqrt" => f_unary!(Fsqrt),
+        "fabs" => f_unary!(Fabs),
+        "fneg" => f_unary!(Fneg),
+        "fcmp" => {
+            let [x, y] = ops[..] else { return Err(bad()) };
+            a.fcmp(
+                parse_freg(x).ok_or_else(bad)?,
+                parse_freg(y).ok_or_else(bad)?,
+            );
+            Ok(())
+        }
+        "cvtif" => {
+            let [d, s] = ops[..] else { return Err(bad()) };
+            a.cvtif(
+                parse_freg(d).ok_or_else(bad)?,
+                parse_reg(s).ok_or_else(bad)?,
+            );
+            Ok(())
+        }
+        "cvtfi" => {
+            let [d, s] = ops[..] else { return Err(bad()) };
+            a.cvtfi(
+                parse_reg(d).ok_or_else(bad)?,
+                parse_freg(s).ok_or_else(bad)?,
+            );
+            Ok(())
+        }
+        "movfr" => {
+            let [d, s] = ops[..] else { return Err(bad()) };
+            a.movfr(
+                parse_reg(d).ok_or_else(bad)?,
+                parse_freg(s).ok_or_else(bad)?,
+            );
+            Ok(())
+        }
+        "movrf" => {
+            let [d, s] = ops[..] else { return Err(bad()) };
+            a.movrf(
+                parse_freg(d).ok_or_else(bad)?,
+                parse_reg(s).ok_or_else(bad)?,
+            );
+            Ok(())
+        }
+        "jmp" => {
+            let [t] = ops[..] else { return Err(bad()) };
+            if let Some(addr) = parse_int(t) {
+                a.insn(I::Jmp {
+                    target: addr as u64,
+                });
+            } else {
+                a.jmp(t);
+            }
+            Ok(())
+        }
+        "call" => {
+            let [t] = ops[..] else { return Err(bad()) };
+            if let Some(reg) = parse_reg(t) {
+                a.callr(reg);
+            } else if let Some(addr) = parse_int(t) {
+                a.insn(I::Call {
+                    target: addr as u64,
+                });
+            } else {
+                a.call(t);
+            }
+            Ok(())
+        }
+        "lea" => {
+            let [d, sym] = ops[..] else { return Err(bad()) };
+            a.lea(parse_reg(d).ok_or_else(bad)?, sym);
+            Ok(())
+        }
+        "hcall" => {
+            let [n] = ops[..] else { return Err(bad()) };
+            let num = parse_int(n)
+                .and_then(|v| u16::try_from(v).ok())
+                .ok_or_else(bad)?;
+            a.hypercall(num);
+            Ok(())
+        }
+        other => Err(err(lineno, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode, INSN_LEN};
+
+    #[test]
+    fn full_program_parses_and_runs_structure() {
+        let src = r#"
+            ; sum 1..10
+            .data
+            out: .space 8
+            init: .i64 0, 0
+            vec: .f64 1.5, -2.5
+
+            .text
+            .entry main
+            main:
+                mov r1, 0
+                mov r2, 1
+            loop:
+                add r1, r2
+                add r2, 1
+                cmp r2, 10
+                jle loop
+                lea r3, out
+                st [r3+0], r1
+                mov r1, r1
+                hcall 1
+        "#;
+        let p = parse_asm("sum", src).expect("parse");
+        assert_eq!(p.name(), "sum");
+        assert!(p.symbol("main").is_some());
+        assert!(p.symbol("loop").is_some());
+        assert!(p.symbol("out").is_some());
+        assert_eq!(p.symbol("vec").map(|v| v % 8), Some(0));
+        assert_eq!(p.entry(), p.symbol("main").expect("main"));
+        assert!(p.insn_count() >= 9);
+    }
+
+    #[test]
+    fn display_round_trips_through_the_parser() {
+        use crate::{FReg, Reg};
+        use Instruction as I;
+        let cases = vec![
+            I::Nop,
+            I::Halt,
+            I::Ret,
+            I::MovRR {
+                dst: Reg::R1,
+                src: Reg::R2,
+            },
+            I::MovRI {
+                dst: Reg::R3,
+                imm: -77,
+            },
+            I::Ld {
+                dst: Reg::R4,
+                base: Reg::SP,
+                off: -16,
+            },
+            I::St {
+                src: Reg::R5,
+                base: Reg::R6,
+                off: 8,
+            },
+            I::LdIdx {
+                dst: Reg::R1,
+                base: Reg::R2,
+                idx: Reg::R3,
+            },
+            I::StIdx {
+                src: Reg::R1,
+                base: Reg::R2,
+                idx: Reg::R3,
+            },
+            I::Push { src: Reg::R9 },
+            I::Pop { dst: Reg::R10 },
+            I::Add {
+                dst: Reg::R1,
+                src: Reg::R2,
+            },
+            I::SubI {
+                dst: Reg::R1,
+                imm: 4,
+            },
+            I::Divs {
+                dst: Reg::R1,
+                src: Reg::R2,
+            },
+            I::Neg { dst: Reg::R1 },
+            I::Cmp {
+                a: Reg::R1,
+                b: Reg::R2,
+            },
+            I::CmpI {
+                a: Reg::R1,
+                imm: 10,
+            },
+            I::Jmp { target: 0x400000 },
+            I::Jcc {
+                cond: Cond::Ult,
+                target: 0x40000c,
+            },
+            I::Call { target: 0x400018 },
+            I::CallR { target: Reg::R7 },
+            I::FMov {
+                dst: FReg::F1,
+                src: FReg::F2,
+            },
+            I::FMovI {
+                dst: FReg::F3,
+                imm: -1.25,
+            },
+            I::FLd {
+                dst: FReg::F1,
+                base: Reg::R2,
+                off: 24,
+            },
+            I::FSt {
+                src: FReg::F1,
+                base: Reg::R2,
+                off: 0,
+            },
+            I::FLdIdx {
+                dst: FReg::F0,
+                base: Reg::R1,
+                idx: Reg::R2,
+            },
+            I::FStIdx {
+                src: FReg::F0,
+                base: Reg::R1,
+                idx: Reg::R2,
+            },
+            I::Fadd {
+                dst: FReg::F0,
+                src: FReg::F1,
+            },
+            I::Fsqrt { dst: FReg::F5 },
+            I::Fcmp {
+                a: FReg::F1,
+                b: FReg::F2,
+            },
+            I::CvtIF {
+                dst: FReg::F1,
+                src: Reg::R1,
+            },
+            I::CvtFI {
+                dst: Reg::R1,
+                src: FReg::F1,
+            },
+            I::MovFR {
+                dst: Reg::R1,
+                src: FReg::F1,
+            },
+            I::MovRF {
+                dst: FReg::F1,
+                src: Reg::R1,
+            },
+            I::Hypercall { num: 103 },
+        ];
+        for insn in cases {
+            let text = insn.to_string();
+            let p = parse_asm("t", &text).unwrap_or_else(|e| panic!("parse `{text}`: {e}"));
+            let back = decode(&p.code()[..INSN_LEN as usize]).expect("decode");
+            assert_eq!(back, insn, "round trip failed for `{text}`");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_asm("t", "nop\nbogus r1\n").expect_err("must fail");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_asm("t", "mov r1\n").expect_err("must fail");
+        assert_eq!(e.line, 1);
+
+        let e = parse_asm("t", ".data\nx: .f64 notanumber\n").expect_err("must fail");
+        assert_eq!(e.line, 2);
+
+        let e = parse_asm("t", ".weird\n").expect_err("must fail");
+        assert!(e.message.contains("directive"));
+    }
+
+    #[test]
+    fn unknown_label_reference_is_reported() {
+        let e = parse_asm("t", "jmp nowhere\n").expect_err("must fail");
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = parse_asm(
+            "t",
+            "; leading comment\n\n   # another\nnop ; trailing\nhalt\n",
+        )
+        .expect("parse");
+        assert_eq!(p.insn_count(), 2);
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = parse_asm(
+            "t",
+            "ld r1, [r2]\nld r1, [r2+16]\nld r1, [sp-8]\nld r1, [r2+r3*8]\n",
+        )
+        .expect("parse");
+        let insns: Vec<Instruction> = (0..4)
+            .map(|i| {
+                decode(&p.code()[i * INSN_LEN as usize..(i + 1) * INSN_LEN as usize])
+                    .expect("decode")
+            })
+            .collect();
+        assert_eq!(
+            insns[0],
+            Instruction::Ld {
+                dst: Reg::R1,
+                base: Reg::R2,
+                off: 0
+            }
+        );
+        assert_eq!(
+            insns[2],
+            Instruction::Ld {
+                dst: Reg::R1,
+                base: Reg::SP,
+                off: -8
+            }
+        );
+        assert!(matches!(insns[3], Instruction::LdIdx { .. }));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests: encode/decode is a bijection on valid instructions, and
+//! decode never panics on arbitrary bytes.
+
+use chaser_isa::{decode, encode, Cond, FReg, Instruction, Reg, INSN_LEN};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0..chaser_isa::NUM_REGS).prop_map(|i| Reg::from_index(i).expect("in range"))
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0..chaser_isa::NUM_FREGS).prop_map(|i| FReg::from_index(i).expect("in range"))
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0..Cond::ALL.len()).prop_map(|i| Cond::from_index(i).expect("in range"))
+}
+
+fn arb_insn() -> impl Strategy<Value = Instruction> {
+    use Instruction as I;
+    prop_oneof![
+        Just(I::Nop),
+        Just(I::Halt),
+        Just(I::Ret),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::MovRR { dst, src }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::MovRI { dst, imm }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, off)| I::Ld { dst, base, off }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(src, base, off)| I::St { src, base, off }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(dst, base, idx)| I::LdIdx { dst, base, idx }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(src, base, idx)| I::StIdx { src, base, idx }),
+        arb_reg().prop_map(|src| I::Push { src }),
+        arb_reg().prop_map(|dst| I::Pop { dst }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Add { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Sub { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Mul { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Divs { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Divu { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Rem { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::And { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Or { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Xor { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Shl { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Shr { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Sar { dst, src }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::AddI { dst, imm }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::SubI { dst, imm }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::MulI { dst, imm }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::AndI { dst, imm }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::OrI { dst, imm }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::XorI { dst, imm }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::ShlI { dst, imm }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::ShrI { dst, imm }),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| I::SarI { dst, imm }),
+        arb_reg().prop_map(|dst| I::Neg { dst }),
+        arb_reg().prop_map(|dst| I::Not { dst }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| I::Cmp { a, b }),
+        (arb_reg(), any::<i64>()).prop_map(|(a, imm)| I::CmpI { a, imm }),
+        any::<u64>().prop_map(|target| I::Jmp { target }),
+        (arb_cond(), any::<u64>()).prop_map(|(cond, target)| I::Jcc { cond, target }),
+        any::<u64>().prop_map(|target| I::Call { target }),
+        arb_reg().prop_map(|target| I::CallR { target }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::FMov { dst, src }),
+        (arb_freg(), any::<u64>()).prop_map(|(dst, bits)| I::FMovI {
+            dst,
+            imm: f64::from_bits(bits),
+        }),
+        (arb_freg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, off)| I::FLd {
+            dst,
+            base,
+            off
+        }),
+        (arb_freg(), arb_reg(), any::<i32>()).prop_map(|(src, base, off)| I::FSt {
+            src,
+            base,
+            off
+        }),
+        (arb_freg(), arb_reg(), arb_reg()).prop_map(|(dst, base, idx)| I::FLdIdx {
+            dst,
+            base,
+            idx
+        }),
+        (arb_freg(), arb_reg(), arb_reg()).prop_map(|(src, base, idx)| I::FStIdx {
+            src,
+            base,
+            idx
+        }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fadd { dst, src }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fsub { dst, src }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fmul { dst, src }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fdiv { dst, src }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fmin { dst, src }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fmax { dst, src }),
+        arb_freg().prop_map(|dst| I::Fsqrt { dst }),
+        arb_freg().prop_map(|dst| I::Fabs { dst }),
+        arb_freg().prop_map(|dst| I::Fneg { dst }),
+        (arb_freg(), arb_freg()).prop_map(|(a, b)| I::Fcmp { a, b }),
+        (arb_freg(), arb_reg()).prop_map(|(dst, src)| I::CvtIF { dst, src }),
+        (arb_reg(), arb_freg()).prop_map(|(dst, src)| I::CvtFI { dst, src }),
+        (arb_reg(), arb_freg()).prop_map(|(dst, src)| I::MovFR { dst, src }),
+        (arb_freg(), arb_reg()).prop_map(|(dst, src)| I::MovRF { dst, src }),
+        any::<u16>().prop_map(|num| I::Hypercall { num }),
+    ]
+}
+
+fn insn_eq(a: &Instruction, b: &Instruction) -> bool {
+    // FMovI compares by bit pattern so NaN immediates round-trip.
+    if let (Instruction::FMovI { dst: d1, imm: i1 }, Instruction::FMovI { dst: d2, imm: i2 }) =
+        (a, b)
+    {
+        return d1 == d2 && i1.to_bits() == i2.to_bits();
+    }
+    a == b
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(insn in arb_insn()) {
+        let bytes = encode(&insn);
+        let back = decode(&bytes).expect("valid encoding must decode");
+        prop_assert!(insn_eq(&insn, &back), "{insn:?} -> {back:?}");
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), INSN_LEN as usize)) {
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn decode_is_left_inverse_even_when_reencoded(bytes in proptest::collection::vec(any::<u8>(), INSN_LEN as usize)) {
+        // If arbitrary bytes decode, re-encoding the decoded instruction and
+        // decoding again yields the same instruction (canonicalisation is
+        // stable). Raw bytes may differ because unused fields are ignored.
+        if let Ok(insn) = decode(&bytes) {
+            let canon = encode(&insn);
+            let again = decode(&canon).expect("canonical encoding decodes");
+            prop_assert!(insn_eq(&insn, &again));
+        }
+    }
+}
+
+proptest! {
+    /// `parse_asm` inverts `Display` for every instruction (NaN FP
+    /// immediates excluded: text cannot carry NaN payload bits).
+    #[test]
+    fn display_parses_back(insn in arb_insn()) {
+        if let Instruction::FMovI { imm, .. } = &insn {
+            prop_assume!(!imm.is_nan());
+        }
+        let text = insn.to_string();
+        let program = chaser_isa::parse_asm("t", &text)
+            .unwrap_or_else(|e| panic!("parse `{text}`: {e}"));
+        let back = decode(&program.code()[..INSN_LEN as usize]).expect("decode");
+        prop_assert!(insn_eq(&insn, &back), "`{text}` -> {back:?}");
+    }
+}
+
+proptest! {
+    /// The text assembler never panics, whatever the input.
+    #[test]
+    fn parser_never_panics(source in "\\PC{0,200}") {
+        let _ = chaser_isa::parse_asm("fuzz", &source);
+    }
+
+    /// Multi-line fuzz with newlines and plausible tokens.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        lines in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "mov r1, r2", "ld r1, [r2+", "st [r", ".data", ".text",
+                "x: .f64 1.0", "y:", "jmp x", "call", "hcall 99999",
+                "fadd f1", "lea r1", "; comment", ".entry", "ret ret",
+            ]),
+            0..20,
+        )
+    ) {
+        let source = lines.join("\n");
+        let _ = chaser_isa::parse_asm("fuzz", &source);
+    }
+}

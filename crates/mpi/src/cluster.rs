@@ -1,0 +1,1157 @@
+//! The simulated cluster: rank placement, deterministic scheduling and the
+//! MPI runtime service layer.
+
+use crate::collective::{CollKind, CollReq, CollectiveSlot};
+use crate::envelope::{Envelope, MpiError, MpiErrorKind, TaintCarrier, MAX_MSG_BYTES};
+use crate::net::{Interconnect, NetStats};
+use chaser_isa::abi::{self, MpiDatatype, MpiOp};
+use chaser_isa::Program;
+use chaser_taint::TaintPolicy;
+use chaser_tainthub::{MsgId, TaintHub};
+use chaser_vm::{ExitStatus, MpiRequest, Node, ProcState, ProcessFiles, Signal, SliceExit};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated machines (the paper's testbed has 4).
+    pub nodes: usize,
+    /// Instructions per scheduling slice.
+    pub quantum: u64,
+    /// Interconnect delivery latency in scheduler rounds.
+    pub net_latency: u64,
+    /// Interconnect bandwidth in bytes per scheduler round (`0` =
+    /// infinite): large messages take proportionally longer to arrive.
+    pub net_bytes_per_round: u64,
+    /// Abort the run as hung past this many total guest instructions.
+    pub max_total_insns: u64,
+    /// Abort the run as hung after this many progress-free rounds.
+    pub hang_rounds: u64,
+    /// Guest RAM per node.
+    pub phys_bytes: u64,
+    /// Taint propagation policy for every node.
+    pub taint_policy: TaintPolicy,
+    /// How taint crosses rank boundaries.
+    pub taint_carrier: TaintCarrier,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 4,
+            quantum: 10_000,
+            net_latency: 1,
+            net_bytes_per_round: 0,
+            max_total_insns: 500_000_000,
+            hang_rounds: 64,
+            phys_bytes: chaser_vm::DEFAULT_PHYS_BYTES,
+            taint_policy: TaintPolicy::Precise,
+            taint_carrier: TaintCarrier::Hub,
+        }
+    }
+}
+
+/// Observer of cluster-level MPI traffic (Chaser's tracer hooks in here to
+/// log cross-rank propagation).
+pub trait MpiObserver {
+    /// A point-to-point message was accepted from the sender.
+    fn on_send(&mut self, env: &Envelope, tainted_bytes: usize);
+    /// A point-to-point message was copied into the receiver's buffer;
+    /// `tainted_bytes` is how many payload bytes carried taint across.
+    fn on_delivered(&mut self, env: &Envelope, tainted_bytes: usize);
+}
+
+/// Result of one scheduling round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Something ran or completed this round.
+    pub progress: bool,
+    /// The run is over (all ranks exited, job aborted, or hang declared).
+    pub finished: bool,
+    /// Total retired guest instructions across all nodes.
+    pub total_insns: u64,
+}
+
+/// Final state of a cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterRun {
+    /// Per-rank exit status; `None` when the rank was still live at a hang.
+    pub rank_exits: Vec<Option<ExitStatus>>,
+    /// The first MPI runtime error, if any (aborts the whole job, like
+    /// `MPI_Abort`).
+    pub mpi_error: Option<MpiError>,
+    /// The run was declared hung.
+    pub hang: bool,
+    /// Total retired guest instructions.
+    pub total_insns: u64,
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Tainted point-to-point deliveries (cross-rank fault propagation).
+    pub cross_rank_tainted_deliveries: u64,
+}
+
+impl ClusterRun {
+    /// Did every rank exit with `exit(0)`?
+    pub fn all_success(&self) -> bool {
+        !self.hang
+            && self.mpi_error.is_none()
+            && self
+                .rank_exits
+                .iter()
+                .all(|e| e.is_some_and(|s| s.is_success()))
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct RankState {
+    inited: bool,
+    finalized: bool,
+    pending_recv: Option<RecvArgs>,
+    in_collective: bool,
+    /// Nonblocking request table (handles are indices).
+    requests: Vec<Request>,
+    /// Request handle an `MPI_Wait` is blocked on.
+    waiting_on: Option<usize>,
+}
+
+/// A nonblocking communication request.
+#[derive(Debug, Clone, Copy)]
+enum Request {
+    /// An `MPI_Irecv` still waiting for its message.
+    RecvPending(RecvArgs),
+    /// Completed (eager `MPI_Isend`s are born completed).
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RecvArgs {
+    buf: u64,
+    count: u64,
+    dtype: MpiDatatype,
+    /// `None` = `MPI_ANY_SOURCE`.
+    source: Option<u32>,
+    /// `None` = `MPI_ANY_TAG`.
+    tag: Option<u64>,
+}
+
+/// Outcome of a delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Deliver {
+    /// No mature matching message.
+    NoMatch,
+    /// Delivered; the request/receive is satisfied.
+    Done,
+    /// The receive ended the job (MPI error) or killed the rank.
+    Fatal,
+}
+
+/// A multi-node cluster running one MPI job (plus any number of standalone
+/// single-rank programs).
+pub struct Cluster {
+    cfg: ClusterConfig,
+    nodes: Vec<Node>,
+    /// rank → (node index, pid)
+    ranks: Vec<(usize, u64)>,
+    state: Vec<RankState>,
+    net: Interconnect,
+    coll: Option<CollectiveSlot>,
+    hub: Arc<TaintHub>,
+    observers: Vec<Rc<RefCell<dyn MpiObserver>>>,
+    round: u64,
+    stuck_rounds: u64,
+    mpi_error: Option<MpiError>,
+    hang: bool,
+    send_seq: u64,
+    cross_rank_tainted_deliveries: u64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("ranks", &self.ranks)
+            .field("round", &self.round)
+            .field("mpi_error", &self.mpi_error)
+            .field("hang", &self.hang)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// An empty cluster with `cfg.nodes` machines.
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        let nodes = (0..cfg.nodes)
+            .map(|i| Node::with_config(i as u32, cfg.phys_bytes, cfg.taint_policy))
+            .collect();
+        Cluster {
+            nodes,
+            ranks: Vec::new(),
+            state: Vec::new(),
+            net: Interconnect::new(0, cfg.net_latency).with_bandwidth(cfg.net_bytes_per_round),
+            coll: None,
+            hub: Arc::new(TaintHub::new()),
+            observers: Vec::new(),
+            round: 0,
+            stuck_rounds: 0,
+            mpi_error: None,
+            hang: false,
+            send_seq: 0,
+            cross_rank_tainted_deliveries: 0,
+            cfg,
+        }
+    }
+
+    /// Launches one program per rank, placing rank `i` on node
+    /// `i % nodes` (rank 0 — the master — lands on the head node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`chaser_vm::SpawnError`] from process creation.
+    pub fn launch(&mut self, programs: &[&Program]) -> Result<(), chaser_vm::SpawnError> {
+        for prog in programs {
+            let node_idx = self.ranks.len() % self.nodes.len();
+            let pid = self.nodes[node_idx].spawn(prog)?;
+            self.ranks.push((node_idx, pid));
+            self.state.push(RankState::default());
+        }
+        self.net = Interconnect::new(self.ranks.len(), self.cfg.net_latency)
+            .with_bandwidth(self.cfg.net_bytes_per_round);
+        if let Some(slot) = &self.coll {
+            debug_assert!(slot.is_empty());
+        }
+        Ok(())
+    }
+
+    /// Launches `copies` ranks of the same program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`chaser_vm::SpawnError`] from process creation.
+    pub fn launch_replicated(
+        &mut self,
+        program: &Program,
+        copies: usize,
+    ) -> Result<(), chaser_vm::SpawnError> {
+        let programs: Vec<&Program> = std::iter::repeat_n(program, copies).collect();
+        self.launch(&programs)
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> u32 {
+        self.ranks.len() as u32
+    }
+
+    /// The node hosting `rank` and the rank's pid on it.
+    pub fn rank_location(&self, rank: u32) -> (usize, u64) {
+        self.ranks[rank as usize]
+    }
+
+    /// Shared TaintHub instance.
+    pub fn hub(&self) -> &Arc<TaintHub> {
+        &self.hub
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, idx: usize) -> &Node {
+        &self.nodes[idx]
+    }
+
+    /// Mutable node access (for installing Chaser hooks).
+    pub fn node_mut(&mut self, idx: usize) -> &mut Node {
+        &mut self.nodes[idx]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Applies `f` to every node (hook installation convenience).
+    pub fn for_each_node_mut(&mut self, mut f: impl FnMut(&mut Node)) {
+        for node in &mut self.nodes {
+            f(node);
+        }
+    }
+
+    /// Registers a cluster-level MPI traffic observer.
+    pub fn add_observer(&mut self, obs: Rc<RefCell<dyn MpiObserver>>) {
+        self.observers.push(obs);
+    }
+
+    /// The output files of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank does not exist.
+    pub fn rank_files(&self, rank: u32) -> &ProcessFiles {
+        let (ni, pid) = self.rank_location(rank);
+        &self.nodes[ni].process(pid).expect("rank process").files
+    }
+
+    /// The exit status of `rank`, if it has exited.
+    pub fn rank_exit(&self, rank: u32) -> Option<ExitStatus> {
+        let (ni, pid) = self.rank_location(rank);
+        self.nodes[ni]
+            .process(pid)
+            .expect("rank process")
+            .exit_status()
+    }
+
+    /// Total retired guest instructions across all nodes.
+    pub fn total_insns(&self) -> u64 {
+        self.nodes.iter().map(Node::total_icount).sum()
+    }
+
+    /// Interconnect statistics.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Scheduler rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The first MPI error, if the job aborted on one.
+    pub fn mpi_error(&self) -> Option<MpiError> {
+        self.mpi_error
+    }
+
+    /// Kills `rank` from outside with `signal` — node/process failure
+    /// injection (e.g. to study how the job reacts to a slave node dying
+    /// mid-communication). Peers observe it as [`MpiErrorKind::RankDied`].
+    pub fn fail_rank(&mut self, rank: u32, signal: Signal) {
+        self.kill_rank(rank, signal);
+    }
+
+    /// Is the run over?
+    pub fn finished(&self) -> bool {
+        self.hang
+            || self.ranks.iter().all(|&(ni, pid)| {
+                self.nodes[ni]
+                    .process(pid)
+                    .is_some_and(|p| p.state == ProcState::Exited)
+            })
+    }
+
+    /// Executes one scheduling round: every live rank gets a quantum, MPI
+    /// requests are serviced, pending receives and collectives are retried.
+    pub fn step_round(&mut self) -> RoundReport {
+        let mut progress = false;
+        for rank in 0..self.ranks.len() as u32 {
+            if self.hang || self.finished() {
+                break;
+            }
+            let (ni, pid) = self.ranks[rank as usize];
+            let state = self.nodes[ni].process(pid).expect("rank process").state;
+            match state {
+                ProcState::Exited => {}
+                ProcState::BlockedMpi => {
+                    if self.state[rank as usize].pending_recv.is_some()
+                        && self.try_complete_recv(rank)
+                    {
+                        progress = true;
+                    }
+                    if self.pump_requests(rank) {
+                        progress = true;
+                    }
+                }
+                ProcState::Runnable => {
+                    let quantum = self.cfg.quantum;
+                    match self.nodes[ni].run_slice(pid, quantum) {
+                        SliceExit::QuantumExpired | SliceExit::Exited(_) => progress = true,
+                        SliceExit::MpiCall(req) => {
+                            progress = true;
+                            self.service(rank, req);
+                        }
+                        SliceExit::Blocked => {}
+                    }
+                }
+            }
+        }
+
+        if self.check_collective() {
+            progress = true;
+        }
+        // A rank's death can strand peers blocked in receives on it.
+        for rank in 0..self.ranks.len() as u32 {
+            let st = &self.state[rank as usize];
+            if (st.pending_recv.is_some() || st.waiting_on.is_some())
+                && self.check_dead_sender(rank)
+            {
+                progress = true;
+            }
+        }
+
+        self.round += 1;
+        if progress {
+            self.stuck_rounds = 0;
+        } else {
+            self.stuck_rounds += 1;
+        }
+        let total_insns = self.total_insns();
+        if self.stuck_rounds > self.cfg.hang_rounds + self.cfg.net_latency
+            || total_insns > self.cfg.max_total_insns
+        {
+            self.hang = true;
+        }
+        RoundReport {
+            progress,
+            finished: self.finished(),
+            total_insns,
+        }
+    }
+
+    /// Runs to completion.
+    pub fn run(&mut self) -> ClusterRun {
+        self.run_with(|_| {})
+    }
+
+    /// Runs to completion, invoking `observer` after every round (Chaser's
+    /// tracer samples tainted-byte counts here).
+    pub fn run_with(&mut self, mut observer: impl FnMut(&Cluster)) -> ClusterRun {
+        while !self.finished() {
+            self.step_round();
+            observer(self);
+        }
+        self.result()
+    }
+
+    /// Snapshot of the final state.
+    pub fn result(&self) -> ClusterRun {
+        ClusterRun {
+            rank_exits: (0..self.nranks()).map(|r| self.rank_exit(r)).collect(),
+            mpi_error: self.mpi_error,
+            hang: self.hang,
+            total_insns: self.total_insns(),
+            rounds: self.round,
+            cross_rank_tainted_deliveries: self.cross_rank_tainted_deliveries,
+        }
+    }
+
+    // ---- MPI service layer ----
+
+    fn complete(&mut self, rank: u32, ret: u64) {
+        let (ni, pid) = self.ranks[rank as usize];
+        self.nodes[ni].complete_mpi(pid, ret);
+    }
+
+    fn kill_rank(&mut self, rank: u32, sig: Signal) {
+        let (ni, pid) = self.ranks[rank as usize];
+        self.nodes[ni].abort_process(pid, ExitStatus::Signaled(sig));
+        self.state[rank as usize].pending_recv = None;
+    }
+
+    /// Records the first MPI error and aborts the whole job (`MPI_Abort`
+    /// semantics: the paper's "MPI runtime exceptions" terminations).
+    fn mpi_abort(&mut self, rank: u32, kind: MpiErrorKind) {
+        if self.mpi_error.is_none() {
+            self.mpi_error = Some(MpiError { rank, kind });
+        }
+        for r in 0..self.ranks.len() as u32 {
+            let (ni, pid) = self.ranks[r as usize];
+            let alive = self.nodes[ni]
+                .process(pid)
+                .is_some_and(|p| p.state != ProcState::Exited);
+            if alive {
+                self.nodes[ni].abort_process(pid, ExitStatus::MpiAborted);
+            }
+            self.state[r as usize].pending_recv = None;
+            self.state[r as usize].waiting_on = None;
+        }
+        self.coll = None;
+    }
+
+    fn rank_alive(&self, rank: u32) -> bool {
+        let (ni, pid) = self.ranks[rank as usize];
+        self.nodes[ni]
+            .process(pid)
+            .is_some_and(|p| p.state != ProcState::Exited)
+    }
+
+    fn service(&mut self, rank: u32, req: MpiRequest) {
+        let a = req.args;
+        let n = self.nranks() as u64;
+        let st = &mut self.state[rank as usize];
+        match req.num {
+            abi::MPI_INIT => {
+                st.inited = true;
+                self.complete(rank, 0);
+            }
+            abi::MPI_COMM_RANK => {
+                if !st.inited {
+                    return self.mpi_abort(rank, MpiErrorKind::NotInitialized);
+                }
+                self.complete(rank, rank as u64);
+            }
+            abi::MPI_COMM_SIZE => {
+                if !st.inited {
+                    return self.mpi_abort(rank, MpiErrorKind::NotInitialized);
+                }
+                self.complete(rank, n);
+            }
+            abi::MPI_SEND => self.do_send(rank, a),
+            abi::MPI_RECV => {
+                if !st.inited || st.finalized {
+                    return self.mpi_abort(rank, MpiErrorKind::NotInitialized);
+                }
+                let Some(dtype) = MpiDatatype::from_code(a[2]) else {
+                    return self.mpi_abort(rank, MpiErrorKind::InvalidDatatype);
+                };
+                if a[1].saturating_mul(dtype.size()) > MAX_MSG_BYTES {
+                    return self.mpi_abort(rank, MpiErrorKind::InvalidCount);
+                }
+                let Some(args) = self.parse_recv_args(rank, a, dtype) else {
+                    return; // job already aborted
+                };
+                self.state[rank as usize].pending_recv = Some(args);
+                self.try_complete_recv(rank);
+            }
+            abi::MPI_ISEND => {
+                let id = self.state[rank as usize].requests.len() as u64;
+                // Eager buffered send: the request is born complete.
+                self.state[rank as usize].requests.push(Request::Done);
+                self.do_send_ret(rank, a, id);
+            }
+            abi::MPI_IRECV => {
+                if !st.inited || st.finalized {
+                    return self.mpi_abort(rank, MpiErrorKind::NotInitialized);
+                }
+                let Some(dtype) = MpiDatatype::from_code(a[2]) else {
+                    return self.mpi_abort(rank, MpiErrorKind::InvalidDatatype);
+                };
+                if a[1].saturating_mul(dtype.size()) > MAX_MSG_BYTES {
+                    return self.mpi_abort(rank, MpiErrorKind::InvalidCount);
+                }
+                let Some(args) = self.parse_recv_args(rank, a, dtype) else {
+                    return;
+                };
+                let id = self.state[rank as usize].requests.len();
+                self.state[rank as usize]
+                    .requests
+                    .push(Request::RecvPending(args));
+                // Complete immediately when a matching message is mature.
+                self.try_complete_request(rank, id);
+                self.complete(rank, id as u64);
+            }
+            abi::MPI_WAIT => {
+                let id = a[0] as usize;
+                let st = &mut self.state[rank as usize];
+                match st.requests.get(id) {
+                    None => self.mpi_abort(rank, MpiErrorKind::InvalidOp),
+                    Some(Request::Done) => self.complete(rank, 0),
+                    Some(Request::RecvPending(_)) => {
+                        st.waiting_on = Some(id);
+                        // Retry now; otherwise the round loop keeps trying.
+                        if self.try_complete_request(rank, id) {
+                            self.finish_wait(rank);
+                        }
+                    }
+                }
+            }
+            abi::MPI_WTIME => {
+                let (ni, pid) = self.ranks[rank as usize];
+                let icount = self.nodes[ni].process(pid).map_or(0, |p| p.icount);
+                self.complete(rank, icount);
+            }
+            abi::MPI_BARRIER => self.join_collective(
+                rank,
+                CollReq {
+                    kind: CollKind::Barrier,
+                    sendbuf: 0,
+                    recvbuf: 0,
+                    count: 0,
+                    dtype: None,
+                    op: None,
+                    root: 0,
+                },
+            ),
+            abi::MPI_BCAST => {
+                let Some(dtype) = MpiDatatype::from_code(a[2]) else {
+                    return self.mpi_abort(rank, MpiErrorKind::InvalidDatatype);
+                };
+                self.join_collective(
+                    rank,
+                    CollReq {
+                        kind: CollKind::Bcast,
+                        sendbuf: a[0],
+                        recvbuf: a[0],
+                        count: a[1],
+                        dtype: Some(dtype),
+                        op: None,
+                        root: a[3] as u32,
+                    },
+                )
+            }
+            abi::MPI_REDUCE | abi::MPI_ALLREDUCE => {
+                let Some(dtype) = MpiDatatype::from_code(a[3]) else {
+                    return self.mpi_abort(rank, MpiErrorKind::InvalidDatatype);
+                };
+                let Some(op) = MpiOp::from_code(a[4]) else {
+                    return self.mpi_abort(rank, MpiErrorKind::InvalidOp);
+                };
+                if dtype == MpiDatatype::Byte {
+                    return self.mpi_abort(rank, MpiErrorKind::InvalidDatatype);
+                }
+                let (kind, root) = if req.num == abi::MPI_REDUCE {
+                    (CollKind::Reduce, a[5] as u32)
+                } else {
+                    (CollKind::Allreduce, 0)
+                };
+                self.join_collective(
+                    rank,
+                    CollReq {
+                        kind,
+                        sendbuf: a[0],
+                        recvbuf: a[1],
+                        count: a[2],
+                        dtype: Some(dtype),
+                        op: Some(op),
+                        root,
+                    },
+                )
+            }
+            abi::MPI_SCATTER | abi::MPI_GATHER => {
+                let Some(dtype) = MpiDatatype::from_code(a[3]) else {
+                    return self.mpi_abort(rank, MpiErrorKind::InvalidDatatype);
+                };
+                let kind = if req.num == abi::MPI_SCATTER {
+                    CollKind::Scatter
+                } else {
+                    CollKind::Gather
+                };
+                self.join_collective(
+                    rank,
+                    CollReq {
+                        kind,
+                        sendbuf: a[0],
+                        recvbuf: a[1],
+                        count: a[2],
+                        dtype: Some(dtype),
+                        op: None,
+                        root: a[4] as u32,
+                    },
+                )
+            }
+            abi::MPI_FINALIZE => {
+                st.finalized = true;
+                self.complete(rank, 0);
+            }
+            _ => self.mpi_abort(rank, MpiErrorKind::InvalidOp),
+        }
+    }
+
+    /// Validates receive arguments (wildcards allowed); `None` means the
+    /// job was aborted.
+    fn parse_recv_args(&mut self, rank: u32, a: [u64; 6], dtype: MpiDatatype) -> Option<RecvArgs> {
+        let n = self.nranks() as u64;
+        let source = if a[3] == abi::MPI_ANY {
+            None
+        } else {
+            if a[3] >= n {
+                self.mpi_abort(rank, MpiErrorKind::InvalidRank);
+                return None;
+            }
+            Some(a[3] as u32)
+        };
+        let tag = if a[4] == abi::MPI_ANY {
+            None
+        } else {
+            Some(a[4])
+        };
+        Some(RecvArgs {
+            buf: a[0],
+            count: a[1],
+            dtype,
+            source,
+            tag,
+        })
+    }
+
+    /// Completes a finished `MPI_Wait`.
+    fn finish_wait(&mut self, rank: u32) {
+        self.state[rank as usize].waiting_on = None;
+        self.complete(rank, 0);
+    }
+
+    fn do_send(&mut self, rank: u32, a: [u64; 6]) {
+        self.do_send_ret(rank, a, 0)
+    }
+
+    fn do_send_ret(&mut self, rank: u32, a: [u64; 6], ret: u64) {
+        let (buf, count, dtype_code, dest, tag) = (a[0], a[1], a[2], a[3], a[4]);
+        let n = self.nranks() as u64;
+        {
+            let st = &self.state[rank as usize];
+            if !st.inited || st.finalized {
+                return self.mpi_abort(rank, MpiErrorKind::NotInitialized);
+            }
+        }
+        let Some(dtype) = MpiDatatype::from_code(dtype_code) else {
+            return self.mpi_abort(rank, MpiErrorKind::InvalidDatatype);
+        };
+        let bytes = count.saturating_mul(dtype.size());
+        if bytes > MAX_MSG_BYTES {
+            return self.mpi_abort(rank, MpiErrorKind::InvalidCount);
+        }
+        if dest >= n {
+            return self.mpi_abort(rank, MpiErrorKind::InvalidRank);
+        }
+        let dest = dest as u32;
+        if !self.rank_alive(dest) {
+            return self.mpi_abort(rank, MpiErrorKind::RankDied);
+        }
+
+        let (ni, pid) = self.ranks[rank as usize];
+        // A corrupted buffer pointer faults inside the "MPI library": the
+        // rank dies with an OS exception, exactly like real MPI.
+        let data = match self.nodes[ni].read_guest(pid, buf, bytes) {
+            Ok(d) => d,
+            Err(_) => return self.kill_rank(rank, Signal::Segv),
+        };
+        let taint_on = self.cfg.taint_policy != TaintPolicy::Disabled;
+        let masks = if taint_on {
+            self.nodes[ni]
+                .read_guest_taint(pid, buf, bytes)
+                .unwrap_or_else(|_| vec![0; bytes as usize])
+        } else {
+            vec![0; bytes as usize]
+        };
+        let tainted = masks.iter().any(|&m| m != 0);
+
+        let seq = self.send_seq;
+        self.send_seq += 1;
+
+        let taint_header = match self.cfg.taint_carrier {
+            TaintCarrier::Header => Some(masks.clone()),
+            _ => None,
+        };
+        if self.cfg.taint_carrier == TaintCarrier::Hub && tainted {
+            self.hub.publish_seq(
+                MsgId {
+                    src: rank,
+                    dest,
+                    tag,
+                },
+                seq,
+                masks.clone(),
+            );
+        }
+
+        let env = Envelope {
+            src: rank,
+            dest,
+            tag,
+            dtype,
+            count,
+            data,
+            taint_header,
+            seq,
+        };
+        let tainted_bytes = masks.iter().filter(|&&m| m != 0).count();
+        for obs in self.observers.clone() {
+            obs.borrow_mut().on_send(&env, tainted_bytes);
+        }
+        self.net.send(env, self.round);
+        self.complete(rank, ret);
+    }
+
+    /// Attempts to deliver into one pending nonblocking receive request.
+    fn try_complete_request(&mut self, rank: u32, id: usize) -> bool {
+        let Some(Request::RecvPending(args)) = self.state[rank as usize].requests.get(id).copied()
+        else {
+            return false;
+        };
+        match self.deliver_into(rank, &args) {
+            Deliver::NoMatch => false,
+            Deliver::Done | Deliver::Fatal => {
+                if let Some(slot) = self.state[rank as usize].requests.get_mut(id) {
+                    *slot = Request::Done;
+                }
+                true
+            }
+        }
+    }
+
+    /// Attempts every pending request and any blocked `MPI_Wait` of `rank`;
+    /// returns `true` on progress.
+    fn pump_requests(&mut self, rank: u32) -> bool {
+        let mut progress = false;
+        let ids: Vec<usize> = self.state[rank as usize]
+            .requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Request::RecvPending(_)))
+            .map(|(i, _)| i)
+            .collect();
+        for id in ids {
+            if self.try_complete_request(rank, id) {
+                progress = true;
+            }
+        }
+        if let Some(id) = self.state[rank as usize].waiting_on {
+            if matches!(
+                self.state[rank as usize].requests.get(id),
+                Some(Request::Done)
+            ) {
+                self.finish_wait(rank);
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    fn try_complete_recv(&mut self, rank: u32) -> bool {
+        let Some(args) = self.state[rank as usize].pending_recv else {
+            return false;
+        };
+        match self.deliver_into(rank, &args) {
+            Deliver::NoMatch => false,
+            Deliver::Done => {
+                self.state[rank as usize].pending_recv = None;
+                self.complete(rank, 0);
+                true
+            }
+            Deliver::Fatal => {
+                self.state[rank as usize].pending_recv = None;
+                true
+            }
+        }
+    }
+
+    /// Matches a mature message against `args` and copies it (data and
+    /// taint) into the receiver.
+    fn deliver_into(&mut self, rank: u32, args: &RecvArgs) -> Deliver {
+        let Some(env) = self.net.try_match(rank, args.source, args.tag, self.round) else {
+            return Deliver::NoMatch;
+        };
+        if env.dtype != args.dtype {
+            self.mpi_abort(rank, MpiErrorKind::TypeMismatch);
+            return Deliver::Fatal;
+        }
+        if env.count > args.count {
+            self.mpi_abort(rank, MpiErrorKind::Truncation);
+            return Deliver::Fatal;
+        }
+        let (ni, pid) = self.ranks[rank as usize];
+        if self.nodes[ni]
+            .write_guest(pid, args.buf, &env.data)
+            .is_err()
+        {
+            self.kill_rank(rank, Signal::Segv);
+            return Deliver::Fatal;
+        }
+        // Incoming data overwrites whatever taint the buffer carried...
+        let mut masks = vec![0u8; env.data.len()];
+        let taint_on = self.cfg.taint_policy != TaintPolicy::Disabled;
+        // ...then the configured carrier re-applies the sender's taint.
+        match self.cfg.taint_carrier {
+            TaintCarrier::Header => {
+                if let Some(header) = &env.taint_header {
+                    masks.copy_from_slice(header);
+                }
+            }
+            TaintCarrier::Hub => {
+                let id = MsgId {
+                    src: env.src,
+                    dest: rank,
+                    tag: env.tag,
+                };
+                if let Some(rec) = self.hub.poll_matching(id, env.seq) {
+                    masks.copy_from_slice(&rec.masks);
+                }
+            }
+            TaintCarrier::None => {}
+        }
+        let tainted_bytes = masks.iter().filter(|&&m| m != 0).count();
+        if taint_on {
+            let _ = self.nodes[ni].write_guest_taint(pid, args.buf, &masks);
+        }
+        if tainted_bytes > 0 {
+            self.cross_rank_tainted_deliveries += 1;
+        }
+        for obs in self.observers.clone() {
+            obs.borrow_mut().on_delivered(&env, tainted_bytes);
+        }
+        Deliver::Done
+    }
+
+    /// A receive whose source died with nothing in flight can never
+    /// complete: surface it as `RankDied` (real MPI: the job dies once the
+    /// failure detector fires).
+    fn check_dead_sender(&mut self, rank: u32) -> bool {
+        let args = match (
+            self.state[rank as usize].pending_recv,
+            self.state[rank as usize].waiting_on,
+        ) {
+            (Some(args), _) => args,
+            (None, Some(id)) => match self.state[rank as usize].requests.get(id) {
+                Some(Request::RecvPending(args)) => *args,
+                _ => return false,
+            },
+            (None, None) => return false,
+        };
+        let senders_dead = match args.source {
+            Some(src) => !self.rank_alive(src),
+            // ANY_SOURCE: hopeless only when every other rank has exited.
+            None => (0..self.nranks()).all(|r| r == rank || !self.rank_alive(r)),
+        };
+        if !senders_dead {
+            return false;
+        }
+        if self.net.has_in_flight(rank, args.source, args.tag) {
+            return false;
+        }
+        self.mpi_abort(rank, MpiErrorKind::RankDied);
+        true
+    }
+
+    fn join_collective(&mut self, rank: u32, req: CollReq) {
+        {
+            let st = &self.state[rank as usize];
+            if !st.inited || st.finalized {
+                return self.mpi_abort(rank, MpiErrorKind::NotInitialized);
+            }
+        }
+        if req.root as u64 >= self.nranks() as u64 {
+            return self.mpi_abort(rank, MpiErrorKind::InvalidRank);
+        }
+        if let Some(dtype) = req.dtype {
+            if req.count.saturating_mul(dtype.size()) > MAX_MSG_BYTES {
+                return self.mpi_abort(rank, MpiErrorKind::InvalidCount);
+            }
+        }
+        let n = self.ranks.len();
+        let slot = self.coll.get_or_insert_with(|| CollectiveSlot::new(n));
+        if !slot.join(rank, req) {
+            return self.mpi_abort(rank, MpiErrorKind::TypeMismatch);
+        }
+        self.state[rank as usize].in_collective = true;
+        self.check_collective();
+    }
+
+    /// Completes the current collective if every rank has joined; detects
+    /// dead participants. Returns `true` when something completed or
+    /// errored.
+    fn check_collective(&mut self) -> bool {
+        let Some(slot) = &self.coll else { return false };
+        if slot.is_empty() {
+            return false;
+        }
+        let n = self.ranks.len();
+        let all = vec![true; n];
+        let live: Vec<bool> = (0..n as u32).map(|r| self.rank_alive(r)).collect();
+        if slot.complete(&all) {
+            let slot = self.coll.take().expect("checked above");
+            self.execute_collective(slot);
+            return true;
+        }
+        if slot.complete(&live) {
+            // Every live rank is waiting on a dead one.
+            let waiter = (0..n as u32).find(|&r| live[r as usize]).unwrap_or(0);
+            self.mpi_abort(waiter, MpiErrorKind::RankDied);
+            return true;
+        }
+        false
+    }
+
+    fn execute_collective(&mut self, slot: CollectiveSlot) {
+        let n = self.ranks.len() as u32;
+        let shape = slot.shape();
+        for r in 0..n {
+            self.state[r as usize].in_collective = false;
+        }
+        let elem = shape.dtype.map_or(0, MpiDatatype::size);
+        let bytes = shape.count * elem;
+        let carrier_taint = self.cfg.taint_carrier != TaintCarrier::None
+            && self.cfg.taint_policy != TaintPolicy::Disabled;
+
+        macro_rules! read_buf {
+            ($rank:expr, $addr:expr, $len:expr) => {{
+                let (ni, pid) = self.ranks[$rank as usize];
+                match self.nodes[ni].read_guest(pid, $addr, $len) {
+                    Ok(d) => d,
+                    Err(_) => {
+                        self.kill_rank($rank, Signal::Segv);
+                        self.mpi_abort($rank, MpiErrorKind::RankDied);
+                        return;
+                    }
+                }
+            }};
+        }
+        macro_rules! write_buf {
+            ($rank:expr, $addr:expr, $data:expr, $masks:expr) => {{
+                let (ni, pid) = self.ranks[$rank as usize];
+                if self.nodes[ni].write_guest(pid, $addr, $data).is_err() {
+                    self.kill_rank($rank, Signal::Segv);
+                    self.mpi_abort($rank, MpiErrorKind::RankDied);
+                    return;
+                }
+                let masks: &[u8] = $masks;
+                let _ = self.nodes[ni].write_guest_taint(pid, $addr, masks);
+            }};
+        }
+        macro_rules! read_taint {
+            ($rank:expr, $addr:expr, $len:expr) => {{
+                let (ni, pid) = self.ranks[$rank as usize];
+                self.nodes[ni]
+                    .read_guest_taint(pid, $addr, $len)
+                    .unwrap_or_else(|_| vec![0; $len as usize])
+            }};
+        }
+
+        match shape.kind {
+            CollKind::Barrier => {}
+            CollKind::Bcast => {
+                let data = read_buf!(shape.root, shape.sendbuf, bytes);
+                let masks = if carrier_taint {
+                    read_taint!(shape.root, shape.sendbuf, bytes)
+                } else {
+                    vec![0; bytes as usize]
+                };
+                let tainted = masks.iter().any(|&m| m != 0);
+                for (r, req) in slot.requests() {
+                    if r != shape.root {
+                        write_buf!(r, req.sendbuf, &data, &masks);
+                        if tainted {
+                            self.cross_rank_tainted_deliveries += 1;
+                        }
+                    }
+                }
+            }
+            CollKind::Reduce | CollKind::Allreduce => {
+                let dtype = shape.dtype.expect("reduce has a datatype");
+                let op = shape.op.expect("reduce has an operator");
+                let mut acc: Vec<u8> = Vec::new();
+                let mut acc_masks = vec![0u8; bytes as usize];
+                let mut contributions: Vec<Vec<u8>> = Vec::new();
+                let mut tainted_ranks: Vec<u32> = Vec::new();
+                for (r, req) in slot.requests() {
+                    let data = read_buf!(r, req.sendbuf, bytes);
+                    if carrier_taint {
+                        let masks = read_taint!(r, req.sendbuf, bytes);
+                        if masks.iter().any(|&m| m != 0) {
+                            tainted_ranks.push(r);
+                        }
+                        for (m, a) in masks.iter().zip(acc_masks.iter_mut()) {
+                            *a |= m;
+                        }
+                    }
+                    if acc.is_empty() {
+                        acc = data;
+                    } else {
+                        contributions.push(data);
+                    }
+                }
+                for data in &contributions {
+                    reduce_into(&mut acc, data, dtype, op);
+                }
+                if shape.kind == CollKind::Reduce {
+                    let root_req = slot
+                        .requests()
+                        .find(|(r, _)| *r == shape.root)
+                        .map(|(_, req)| *req)
+                        .expect("root joined");
+                    write_buf!(shape.root, root_req.recvbuf, &acc, &acc_masks);
+                    if tainted_ranks.iter().any(|&t| t != shape.root) {
+                        self.cross_rank_tainted_deliveries += 1;
+                    }
+                } else {
+                    for (r, req) in slot.requests() {
+                        write_buf!(r, req.recvbuf, &acc, &acc_masks);
+                        if tainted_ranks.iter().any(|&t| t != r) {
+                            self.cross_rank_tainted_deliveries += 1;
+                        }
+                    }
+                }
+            }
+            CollKind::Scatter => {
+                let total = bytes * n as u64;
+                let data = read_buf!(shape.root, shape.sendbuf, total);
+                let masks = if carrier_taint {
+                    read_taint!(shape.root, shape.sendbuf, total)
+                } else {
+                    vec![0; total as usize]
+                };
+                for (r, req) in slot.requests() {
+                    let off = (r as u64 * bytes) as usize;
+                    let chunk_masks = &masks[off..off + bytes as usize];
+                    let tainted = chunk_masks.iter().any(|&m| m != 0);
+                    write_buf!(
+                        r,
+                        req.recvbuf,
+                        &data[off..off + bytes as usize],
+                        chunk_masks
+                    );
+                    if tainted && r != shape.root {
+                        self.cross_rank_tainted_deliveries += 1;
+                    }
+                }
+            }
+            CollKind::Gather => {
+                let root_req = slot
+                    .requests()
+                    .find(|(r, _)| *r == shape.root)
+                    .map(|(_, req)| *req)
+                    .expect("root joined");
+                for (r, req) in slot.requests() {
+                    let data = read_buf!(r, req.sendbuf, bytes);
+                    let masks = if carrier_taint {
+                        read_taint!(r, req.sendbuf, bytes)
+                    } else {
+                        vec![0; bytes as usize]
+                    };
+                    let dst = root_req.recvbuf + r as u64 * bytes;
+                    let tainted = masks.iter().any(|&m| m != 0);
+                    write_buf!(shape.root, dst, &data, &masks);
+                    if tainted && r != shape.root {
+                        self.cross_rank_tainted_deliveries += 1;
+                    }
+                }
+            }
+        }
+
+        for (r, _) in slot.requests() {
+            if self.rank_alive(r) {
+                self.complete(r, 0);
+            }
+        }
+    }
+}
+
+/// Elementwise reduction of `src` into `acc`.
+fn reduce_into(acc: &mut [u8], src: &[u8], dtype: MpiDatatype, op: MpiOp) {
+    debug_assert_eq!(acc.len(), src.len());
+    let n = acc.len() / 8;
+    for i in 0..n {
+        let range = i * 8..(i + 1) * 8;
+        let a = u64::from_le_bytes(acc[range.clone()].try_into().expect("8 bytes"));
+        let b = u64::from_le_bytes(src[range.clone()].try_into().expect("8 bytes"));
+        let out = match dtype {
+            MpiDatatype::F64 => {
+                let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+                let r = match op {
+                    MpiOp::Sum => fa + fb,
+                    MpiOp::Min => fa.min(fb),
+                    MpiOp::Max => fa.max(fb),
+                    MpiOp::Prod => fa * fb,
+                };
+                r.to_bits()
+            }
+            MpiDatatype::I64 => {
+                let (ia, ib) = (a as i64, b as i64);
+                let r = match op {
+                    MpiOp::Sum => ia.wrapping_add(ib),
+                    MpiOp::Min => ia.min(ib),
+                    MpiOp::Max => ia.max(ib),
+                    MpiOp::Prod => ia.wrapping_mul(ib),
+                };
+                r as u64
+            }
+            MpiDatatype::Byte => unreachable!("byte reduce rejected at validation"),
+        };
+        acc[range].copy_from_slice(&out.to_le_bytes());
+    }
+}

@@ -1,0 +1,153 @@
+//! Shadow memory: per-byte taint over guest *physical* memory.
+
+use crate::TaintMask;
+use std::collections::HashMap;
+
+const SHADOW_PAGE: usize = 4096;
+
+/// Byte-granular shadow memory, keyed by physical address.
+///
+/// DECAF shadows physical memory so taint survives context switches and is
+/// shared by every mapping of a page; Chaser logs both virtual and physical
+/// addresses of tainted accesses. Pages are allocated lazily — a fault
+/// campaign touches a tiny fraction of guest RAM.
+///
+/// The structure maintains a running count of tainted bytes, which is what
+/// the paper's Fig. 7 samples every 100K instructions.
+#[derive(Debug, Default, Clone)]
+pub struct ShadowMem {
+    pages: HashMap<u64, Box<[u8; SHADOW_PAGE]>>,
+    tainted_bytes: usize,
+}
+
+impl ShadowMem {
+    /// An empty shadow.
+    pub fn new() -> ShadowMem {
+        ShadowMem::default()
+    }
+
+    /// The taint bits of the byte at physical address `paddr`.
+    pub fn byte(&self, paddr: u64) -> u8 {
+        let (page, off) = split(paddr);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Sets the taint bits of the byte at `paddr`.
+    pub fn set_byte(&mut self, paddr: u64, mask: u8) {
+        let (page, off) = split(paddr);
+        if mask == 0 {
+            // Avoid allocating a page just to store zero.
+            if let Some(p) = self.pages.get_mut(&page) {
+                if p[off] != 0 {
+                    self.tainted_bytes -= 1;
+                    p[off] = 0;
+                }
+            }
+            return;
+        }
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; SHADOW_PAGE]));
+        if p[off] == 0 {
+            self.tainted_bytes += 1;
+        }
+        p[off] = mask;
+    }
+
+    /// Loads the taint of the 8 bytes at `paddr` as a value mask
+    /// (little-endian, matching guest loads).
+    pub fn load8(&self, paddr: u64) -> TaintMask {
+        let bytes: [u8; 8] = std::array::from_fn(|i| self.byte(paddr + i as u64));
+        TaintMask::from_bytes(bytes)
+    }
+
+    /// Stores a value mask over the 8 bytes at `paddr`.
+    pub fn store8(&mut self, paddr: u64, mask: TaintMask) {
+        for i in 0..8 {
+            self.set_byte(paddr + i as u64, mask.byte(i));
+        }
+    }
+
+    /// Current number of tainted bytes (the Fig. 7 series).
+    pub fn tainted_bytes(&self) -> usize {
+        self.tainted_bytes
+    }
+
+    /// Clears all taint.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.tainted_bytes = 0;
+    }
+}
+
+fn split(paddr: u64) -> (u64, usize) {
+    (
+        paddr / SHADOW_PAGE as u64,
+        (paddr % SHADOW_PAGE as u64) as usize,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_memory_reads_clean() {
+        let s = ShadowMem::new();
+        assert_eq!(s.byte(0), 0);
+        assert!(s.load8(0x1234).is_clean());
+        assert_eq!(s.tainted_bytes(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip_across_page_boundary() {
+        let mut s = ShadowMem::new();
+        let paddr = SHADOW_PAGE as u64 - 4; // straddles two pages
+        let mask = TaintMask(0x1122_3344_5566_7788);
+        s.store8(paddr, mask);
+        assert_eq!(s.load8(paddr), mask);
+        assert_eq!(s.tainted_bytes(), 8);
+    }
+
+    #[test]
+    fn overwriting_with_clean_data_untaints() {
+        let mut s = ShadowMem::new();
+        s.store8(64, TaintMask::ALL);
+        assert_eq!(s.tainted_bytes(), 8);
+        s.store8(64, TaintMask::CLEAN);
+        assert_eq!(s.tainted_bytes(), 0);
+        assert!(s.load8(64).is_clean());
+    }
+
+    #[test]
+    fn tainted_byte_count_tracks_distinct_bytes() {
+        let mut s = ShadowMem::new();
+        s.set_byte(10, 0b1);
+        s.set_byte(10, 0b10); // same byte, still one
+        s.set_byte(11, 0b1);
+        assert_eq!(s.tainted_bytes(), 2);
+        s.set_byte(10, 0);
+        assert_eq!(s.tainted_bytes(), 1);
+    }
+
+    #[test]
+    fn partial_store_keeps_other_bytes() {
+        let mut s = ShadowMem::new();
+        s.store8(0, TaintMask(0x0000_0000_0000_00ff)); // byte 0 tainted
+        s.set_byte(3, 0xf0);
+        let m = s.load8(0);
+        assert_eq!(m.byte(0), 0xff);
+        assert_eq!(m.byte(3), 0xf0);
+        assert_eq!(m.byte(7), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = ShadowMem::new();
+        s.store8(0, TaintMask::ALL);
+        s.clear();
+        assert_eq!(s.tainted_bytes(), 0);
+        assert!(s.load8(0).is_clean());
+    }
+}

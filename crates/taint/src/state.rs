@@ -1,0 +1,173 @@
+//! Whole-CPU taint state: shadow registers, shadow temporaries and shadow
+//! memory under one policy.
+
+use crate::{ShadowMem, TaintMask, TaintPolicy};
+use chaser_isa::{FReg, Reg, NUM_FREGS, NUM_REGS};
+use chaser_tcg::{Global, Temp};
+
+/// Shadow state for one guest process plus the node's physical memory.
+///
+/// The execution engine in `chaser-vm` drives this in lock-step with the
+/// value computation: for every IR op it reads operand masks, calls
+/// [`TaintPolicy::propagate`], and writes the result mask back.
+#[derive(Debug, Clone)]
+pub struct TaintState {
+    policy: TaintPolicy,
+    regs: [TaintMask; NUM_REGS],
+    fregs: [TaintMask; NUM_FREGS],
+    locals: Vec<TaintMask>,
+    mem: ShadowMem,
+}
+
+impl TaintState {
+    /// A fully clean state under `policy`.
+    pub fn new(policy: TaintPolicy) -> TaintState {
+        TaintState {
+            policy,
+            regs: [TaintMask::CLEAN; NUM_REGS],
+            fregs: [TaintMask::CLEAN; NUM_FREGS],
+            locals: Vec::new(),
+            mem: ShadowMem::new(),
+        }
+    }
+
+    /// The active propagation policy.
+    pub fn policy(&self) -> TaintPolicy {
+        self.policy
+    }
+
+    /// True when the taint machinery is active at all.
+    pub fn is_enabled(&self) -> bool {
+        self.policy != TaintPolicy::Disabled
+    }
+
+    /// Prepares the local-temp shadow for a translation block with
+    /// `n_locals` temporaries (all clean: temps never outlive a block).
+    pub fn begin_block(&mut self, n_locals: u16) {
+        self.locals.clear();
+        self.locals.resize(n_locals as usize, TaintMask::CLEAN);
+    }
+
+    /// Reads the mask of an IR operand.
+    pub fn temp(&self, t: Temp) -> TaintMask {
+        match t {
+            Temp::Global(Global::Reg(r)) => self.regs[r.index()],
+            Temp::Global(Global::FReg(r)) => self.fregs[r.index()],
+            Temp::Local(i) => self.locals.get(i as usize).copied().unwrap_or_default(),
+        }
+    }
+
+    /// Writes the mask of an IR operand.
+    pub fn set_temp(&mut self, t: Temp, m: TaintMask) {
+        match t {
+            Temp::Global(Global::Reg(r)) => self.regs[r.index()] = m,
+            Temp::Global(Global::FReg(r)) => self.fregs[r.index()] = m,
+            Temp::Local(i) => {
+                let i = i as usize;
+                if i >= self.locals.len() {
+                    self.locals.resize(i + 1, TaintMask::CLEAN);
+                }
+                self.locals[i] = m;
+            }
+        }
+    }
+
+    /// Reads a general-purpose register's mask.
+    pub fn reg(&self, r: Reg) -> TaintMask {
+        self.regs[r.index()]
+    }
+
+    /// Taints (or cleans) a general-purpose register — an injection source.
+    pub fn set_reg(&mut self, r: Reg, m: TaintMask) {
+        self.regs[r.index()] = m;
+    }
+
+    /// Reads an FP register's mask.
+    pub fn freg(&self, r: FReg) -> TaintMask {
+        self.fregs[r.index()]
+    }
+
+    /// Taints (or cleans) an FP register — an injection source.
+    pub fn set_freg(&mut self, r: FReg, m: TaintMask) {
+        self.fregs[r.index()] = m;
+    }
+
+    /// Shadow memory (physical-address keyed).
+    pub fn mem(&self) -> &ShadowMem {
+        &self.mem
+    }
+
+    /// Mutable shadow memory.
+    pub fn mem_mut(&mut self) -> &mut ShadowMem {
+        &mut self.mem
+    }
+
+    /// Total tainted register bits across both files (diagnostics).
+    pub fn tainted_reg_bits(&self) -> u32 {
+        self.regs.iter().map(|m| m.count()).sum::<u32>()
+            + self.fregs.iter().map(|m| m.count()).sum::<u32>()
+    }
+
+    /// True when no register, temp or memory byte carries taint.
+    pub fn is_fully_clean(&self) -> bool {
+        self.tainted_reg_bits() == 0
+            && self.locals.iter().all(|m| m.is_clean())
+            && self.mem.tainted_bytes() == 0
+    }
+
+    /// Removes all taint (registers, temps and memory).
+    pub fn clear(&mut self) {
+        self.regs = [TaintMask::CLEAN; NUM_REGS];
+        self.fregs = [TaintMask::CLEAN; NUM_FREGS];
+        self.locals.clear();
+        self.mem.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temps_are_clean_at_block_start() {
+        let mut s = TaintState::new(TaintPolicy::Precise);
+        s.set_temp(Temp::Local(3), TaintMask::ALL);
+        s.begin_block(8);
+        assert!(s.temp(Temp::Local(3)).is_clean());
+    }
+
+    #[test]
+    fn globals_survive_blocks() {
+        let mut s = TaintState::new(TaintPolicy::Precise);
+        s.set_reg(Reg::R4, TaintMask::bit(7));
+        s.begin_block(2);
+        assert_eq!(s.temp(Temp::reg(Reg::R4)), TaintMask::bit(7));
+        assert_eq!(s.reg(Reg::R4), TaintMask::bit(7));
+    }
+
+    #[test]
+    fn freg_and_reg_files_are_distinct() {
+        let mut s = TaintState::new(TaintPolicy::Precise);
+        s.set_freg(FReg::F2, TaintMask::ALL);
+        assert!(s.reg(Reg::R2).is_clean());
+        assert_eq!(s.freg(FReg::F2), TaintMask::ALL);
+    }
+
+    #[test]
+    fn fully_clean_accounting() {
+        let mut s = TaintState::new(TaintPolicy::Conservative);
+        assert!(s.is_fully_clean());
+        s.mem_mut().set_byte(100, 1);
+        assert!(!s.is_fully_clean());
+        s.clear();
+        assert!(s.is_fully_clean());
+    }
+
+    #[test]
+    fn out_of_range_local_write_grows() {
+        let mut s = TaintState::new(TaintPolicy::Precise);
+        s.begin_block(1);
+        s.set_temp(Temp::Local(5), TaintMask::bit(1));
+        assert_eq!(s.temp(Temp::Local(5)), TaintMask::bit(1));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: shadow memory agrees with a naive model map, and the
+//! tainted-byte counter is always exact.
+
+use chaser_taint::{ShadowMem, TaintMask};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    SetByte(u64, u8),
+    Store8(u64, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Confine addresses to a few pages so operations actually collide.
+    let addr = 0u64..3 * 4096;
+    prop_oneof![
+        (addr.clone(), any::<u8>()).prop_map(|(a, m)| Op::SetByte(a, m)),
+        (addr, any::<u64>()).prop_map(|(a, m)| Op::Store8(a, m)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn shadow_matches_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut shadow = ShadowMem::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::SetByte(addr, mask) => {
+                    shadow.set_byte(addr, mask);
+                    if mask == 0 {
+                        model.remove(&addr);
+                    } else {
+                        model.insert(addr, mask);
+                    }
+                }
+                Op::Store8(addr, mask) => {
+                    shadow.store8(addr, TaintMask(mask));
+                    for i in 0..8u64 {
+                        let byte = (mask >> (8 * i)) as u8;
+                        if byte == 0 {
+                            model.remove(&(addr + i));
+                        } else {
+                            model.insert(addr + i, byte);
+                        }
+                    }
+                }
+            }
+        }
+        // Counter is exact.
+        prop_assert_eq!(shadow.tainted_bytes(), model.len());
+        // Every model byte reads back; spot-check some clean bytes too.
+        for (&addr, &mask) in &model {
+            prop_assert_eq!(shadow.byte(addr), mask);
+        }
+        for addr in (0..3 * 4096).step_by(97) {
+            prop_assert_eq!(shadow.byte(addr), model.get(&addr).copied().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn load8_equals_byte_assembly(stores in proptest::collection::vec((0u64..4096, any::<u64>()), 1..50), probe in 0u64..4096) {
+        let mut shadow = ShadowMem::new();
+        for (addr, mask) in &stores {
+            shadow.store8(*addr, TaintMask(*mask));
+        }
+        let assembled: [u8; 8] = std::array::from_fn(|i| shadow.byte(probe + i as u64));
+        prop_assert_eq!(shadow.load8(probe), TaintMask::from_bytes(assembled));
+    }
+}

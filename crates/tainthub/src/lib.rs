@@ -1,0 +1,273 @@
+//! # chaser-tainthub
+//!
+//! TaintHub: the central registry that synchronises MPI-message taint
+//! status between ranks — the piece Chaser adds over per-message-header
+//! schemes (Ashraf et al.'s approach the paper contrasts in Related Work).
+//!
+//! On the sender side, Chaser hooks the MPI send functions, extracts the
+//! message identity `(source, dest, tag)` and — *only if the send buffer is
+//! tainted* — publishes the buffer's per-byte taint masks to the hub. On
+//! the receiver side, Chaser polls the hub by `(source, tag)` after a
+//! receive completes; a miss costs one lookup and nothing else, which is
+//! why the paper argues the hub is cheaper than parsing a header on every
+//! message when no fault is in flight.
+//!
+//! The hub lives on the cluster head node in the paper's testbed; here it
+//! is a shared object owned by the simulated cluster. It is `Sync` so
+//! parallel campaigns can also share one hub across runs if desired
+//! (each run normally gets its own).
+//!
+//! # Example
+//!
+//! ```
+//! use chaser_tainthub::{MsgId, TaintHub};
+//!
+//! let hub = TaintHub::new();
+//! let id = MsgId { src: 0, dest: 2, tag: 7 };
+//! hub.publish(id, vec![0xff, 0x00, 0x01]);
+//! let rec = hub.poll(id).expect("published record");
+//! assert_eq!(rec.masks, vec![0xff, 0x00, 0x01]);
+//! assert!(hub.poll(id).is_none(), "records are consumed in FIFO order");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// The identity of one MPI message, as the hub keys taint records.
+///
+/// The paper's sender shares `(tag, dest)` plus the taint status; the
+/// receiver polls with `(tag, source)`. Both sides know all three fields,
+/// so the hub keys on the triple to disambiguate concurrent pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MsgId {
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dest: u32,
+    /// MPI message tag.
+    pub tag: u64,
+}
+
+/// A published taint record: one mask byte per message byte.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaintRecord {
+    /// Per-byte taint masks of the message payload.
+    pub masks: Vec<u8>,
+    /// The sender-side message sequence number.
+    ///
+    /// Only *tainted* messages are published (the design that keeps the
+    /// fault-free path cheap), so a bare FIFO would mis-align with the
+    /// message stream once clean messages interleave. The sequence number
+    /// lets [`TaintHub::poll_matching`] recognise that the front record
+    /// belongs to a *later* message than the one just received.
+    pub seq: u64,
+}
+
+impl TaintRecord {
+    /// True when at least one payload byte is tainted.
+    pub fn is_tainted(&self) -> bool {
+        self.masks.iter().any(|&m| m != 0)
+    }
+
+    /// Number of tainted payload bytes.
+    pub fn tainted_bytes(&self) -> usize {
+        self.masks.iter().filter(|&&m| m != 0).count()
+    }
+}
+
+/// Hub counters, used by the flexibility/overhead evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HubStats {
+    /// Records published by senders.
+    pub published: u64,
+    /// Poll requests from receivers.
+    pub polls: u64,
+    /// Polls that found a record.
+    pub hits: u64,
+    /// Total tainted payload bytes published.
+    pub tainted_bytes_published: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<MsgId, VecDeque<TaintRecord>>,
+    stats: HubStats,
+}
+
+/// The TaintHub service.
+#[derive(Debug, Default)]
+pub struct TaintHub {
+    inner: Mutex<Inner>,
+}
+
+impl TaintHub {
+    /// An empty hub.
+    pub fn new() -> TaintHub {
+        TaintHub::default()
+    }
+
+    /// Sender side: records the taint masks of an in-flight message.
+    ///
+    /// Multiple messages with the same id queue in FIFO order, matching the
+    /// non-overtaking delivery of the simulated interconnect.
+    pub fn publish(&self, id: MsgId, masks: Vec<u8>) {
+        self.publish_seq(id, 0, masks);
+    }
+
+    /// Sender side with an explicit message sequence number (see
+    /// [`TaintRecord::seq`]).
+    pub fn publish_seq(&self, id: MsgId, seq: u64, masks: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        inner.stats.published += 1;
+        inner.stats.tainted_bytes_published += masks.iter().filter(|&&m| m != 0).count() as u64;
+        inner
+            .map
+            .entry(id)
+            .or_default()
+            .push_back(TaintRecord { masks, seq });
+    }
+
+    /// Receiver side: consumes the front record for `id` only when it
+    /// belongs to message `seq`.
+    ///
+    /// Returns `None` both on a miss (nothing published for `id`) and when
+    /// the front record is for a later message — i.e. the received message
+    /// itself was clean.
+    pub fn poll_matching(&self, id: MsgId, seq: u64) -> Option<TaintRecord> {
+        let mut inner = self.inner.lock();
+        inner.stats.polls += 1;
+        let rec = {
+            let q = inner.map.get_mut(&id)?;
+            if q.front().is_some_and(|r| r.seq == seq) {
+                q.pop_front()
+            } else {
+                None
+            }
+        };
+        if rec.is_some() {
+            inner.stats.hits += 1;
+        }
+        rec
+    }
+
+    /// Receiver side: retrieves (and consumes) the oldest record for `id`.
+    ///
+    /// Returns `None` when the message was never published — the common,
+    /// fault-free case the hub makes cheap.
+    pub fn poll(&self, id: MsgId) -> Option<TaintRecord> {
+        let mut inner = self.inner.lock();
+        inner.stats.polls += 1;
+        let rec = inner.map.get_mut(&id).and_then(VecDeque::pop_front);
+        if rec.is_some() {
+            inner.stats.hits += 1;
+        }
+        rec
+    }
+
+    /// Number of queued (unconsumed) records.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().map.values().map(VecDeque::len).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> HubStats {
+        self.inner.lock().stats
+    }
+
+    /// Clears all records and counters (between campaign runs).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.stats = HubStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ID: MsgId = MsgId {
+        src: 1,
+        dest: 0,
+        tag: 9,
+    };
+
+    #[test]
+    fn miss_costs_a_poll_and_returns_none() {
+        let hub = TaintHub::new();
+        assert!(hub.poll(ID).is_none());
+        let stats = hub.stats();
+        assert_eq!(stats.polls, 1);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn records_are_fifo_per_id() {
+        let hub = TaintHub::new();
+        hub.publish(ID, vec![1]);
+        hub.publish(ID, vec![2]);
+        assert_eq!(hub.poll(ID).expect("first").masks, vec![1]);
+        assert_eq!(hub.poll(ID).expect("second").masks, vec![2]);
+        assert!(hub.poll(ID).is_none());
+    }
+
+    #[test]
+    fn ids_are_independent() {
+        let hub = TaintHub::new();
+        hub.publish(ID, vec![1]);
+        let other = MsgId {
+            tag: ID.tag + 1,
+            ..ID
+        };
+        assert!(hub.poll(other).is_none());
+        assert!(hub.poll(ID).is_some());
+    }
+
+    #[test]
+    fn stats_count_tainted_bytes() {
+        let hub = TaintHub::new();
+        hub.publish(ID, vec![0, 0xff, 0, 3]);
+        assert_eq!(hub.stats().tainted_bytes_published, 2);
+        assert_eq!(hub.pending(), 1);
+        hub.reset();
+        assert_eq!(hub.pending(), 0);
+        assert_eq!(hub.stats(), HubStats::default());
+    }
+
+    #[test]
+    fn record_taint_accessors() {
+        let rec = TaintRecord {
+            masks: vec![0, 1, 0],
+            seq: 0,
+        };
+        assert!(rec.is_tainted());
+        assert_eq!(rec.tainted_bytes(), 1);
+        let clean = TaintRecord {
+            masks: vec![0, 0],
+            seq: 0,
+        };
+        assert!(!clean.is_tainted());
+    }
+
+    #[test]
+    fn poll_matching_skips_records_for_later_messages() {
+        let hub = TaintHub::new();
+        // Message seq 5 was tainted and published; seqs 3 and 4 were clean.
+        hub.publish_seq(ID, 5, vec![0xff]);
+        assert!(hub.poll_matching(ID, 3).is_none());
+        assert!(hub.poll_matching(ID, 4).is_none());
+        let rec = hub.poll_matching(ID, 5).expect("record for seq 5");
+        assert_eq!(rec.seq, 5);
+        assert!(hub.poll_matching(ID, 5).is_none());
+    }
+
+    #[test]
+    fn hub_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TaintHub>();
+    }
+}

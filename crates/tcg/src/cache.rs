@@ -1,0 +1,161 @@
+//! The translation-block cache.
+
+use crate::TranslationBlock;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Counters describing cache behaviour; used by the overhead benchmarks to
+/// show the cost of Chaser's cache flushes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups that missed and required translation.
+    pub misses: u64,
+    /// Full-cache flushes.
+    pub flushes: u64,
+    /// Per-address-space flushes.
+    pub asid_flushes: u64,
+    /// Guest instructions translated (over all misses).
+    pub translated_insns: u64,
+}
+
+/// A cache of translated blocks, keyed by `(asid, pc)`.
+///
+/// `asid` is an address-space identifier (one per guest process), standing
+/// in for QEMU's CR3-tagged cache. Chaser calls [`TbCache::flush`] when the
+/// target process is detected via VMI so the next round of translation can
+/// splice in the fault injector, and flushes again after the injection
+/// completes to drop the instrumented blocks ("detach the injector").
+#[derive(Debug, Default)]
+pub struct TbCache {
+    map: HashMap<(u64, u64), Rc<TranslationBlock>>,
+    stats: CacheStats,
+}
+
+impl TbCache {
+    /// An empty cache.
+    pub fn new() -> TbCache {
+        TbCache::default()
+    }
+
+    /// Looks up the block for `pc` in address space `asid`, translating via
+    /// `translate` on a miss.
+    pub fn get_or_translate(
+        &mut self,
+        asid: u64,
+        pc: u64,
+        translate: impl FnOnce() -> TranslationBlock,
+    ) -> Rc<TranslationBlock> {
+        self.stats.lookups += 1;
+        if let Some(tb) = self.map.get(&(asid, pc)) {
+            return Rc::clone(tb);
+        }
+        self.stats.misses += 1;
+        let tb = Rc::new(translate());
+        self.stats.translated_insns += tb.insns().len() as u64;
+        self.map.insert((asid, pc), Rc::clone(&tb));
+        tb
+    }
+
+    /// Looks up without translating.
+    pub fn get(&self, asid: u64, pc: u64) -> Option<Rc<TranslationBlock>> {
+        self.map.get(&(asid, pc)).cloned()
+    }
+
+    /// Drops every cached block.
+    pub fn flush(&mut self) {
+        self.map.clear();
+        self.stats.flushes += 1;
+    }
+
+    /// Drops the blocks of one address space.
+    pub fn flush_asid(&mut self, asid: u64) {
+        self.map.retain(|(a, _), _| *a != asid);
+        self.stats.asid_flushes += 1;
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{translate_block, SliceFetcher};
+    use chaser_isa::{Asm, Reg, CODE_BASE};
+
+    fn code() -> Vec<u8> {
+        let mut a = Asm::new("t");
+        a.movi(Reg::R1, 1);
+        a.halt();
+        a.assemble().expect("assemble").code().to_vec()
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let code = code();
+        let mut cache = TbCache::new();
+        let t1 = cache.get_or_translate(1, CODE_BASE, || {
+            translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
+        });
+        let t2 = cache.get_or_translate(1, CODE_BASE, || panic!("must not retranslate"));
+        assert!(Rc::ptr_eq(&t1, &t2));
+        assert_eq!(cache.stats().lookups, 2);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn different_asids_do_not_share_blocks() {
+        let code = code();
+        let mut cache = TbCache::new();
+        cache.get_or_translate(1, CODE_BASE, || {
+            translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
+        });
+        assert!(cache.get(2, CODE_BASE).is_none());
+    }
+
+    #[test]
+    fn flush_forces_retranslation() {
+        let code = code();
+        let mut cache = TbCache::new();
+        cache.get_or_translate(1, CODE_BASE, || {
+            translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
+        });
+        cache.flush();
+        assert!(cache.is_empty());
+        let mut retranslated = false;
+        cache.get_or_translate(1, CODE_BASE, || {
+            retranslated = true;
+            translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
+        });
+        assert!(retranslated);
+        assert_eq!(cache.stats().flushes, 1);
+    }
+
+    #[test]
+    fn flush_asid_only_touches_that_space() {
+        let code = code();
+        let mut cache = TbCache::new();
+        for asid in [1, 2] {
+            cache.get_or_translate(asid, CODE_BASE, || {
+                translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
+            });
+        }
+        cache.flush_asid(1);
+        assert!(cache.get(1, CODE_BASE).is_none());
+        assert!(cache.get(2, CODE_BASE).is_some());
+    }
+}

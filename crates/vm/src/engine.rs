@@ -1,0 +1,561 @@
+//! The TCG-IR execution engine: computes values and propagates bitwise
+//! taint in lock-step, firing Chaser's callbacks at the spliced points.
+
+use crate::hooks::{GuestCtx, NodeHooks, TaintMemEvent};
+use crate::kernel::{ExitStatus, Signal};
+use crate::mem::{MemFault, PhysMemory};
+use crate::node::SliceExit;
+use crate::paging::{AddressSpace, PagePerms};
+use crate::process::{MpiRequest, ProcState, Process};
+use chaser_isa::{abi, Flags, Instruction, PAGE_SIZE};
+use chaser_taint::{PropKind, TaintMask, TaintState};
+use chaser_tcg::{
+    translate_block, CodeFetcher, Global, TbCache, TcgOp, Temp, TranslateHook, TranslationBlock,
+};
+use std::rc::Rc;
+
+/// Fetches code through a process's page tables (exec permission checked).
+struct AspaceFetcher<'a> {
+    aspace: &'a AddressSpace,
+    phys: &'a PhysMemory,
+}
+
+impl CodeFetcher for AspaceFetcher<'_> {
+    fn fetch_insn(&self, vaddr: u64) -> Option<[u8; chaser_isa::INSN_LEN as usize]> {
+        let mut bytes = [0u8; chaser_isa::INSN_LEN as usize];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            let paddr = self.aspace.translate_exec(vaddr + i as u64).ok()?;
+            *b = self.phys.read_u8(paddr);
+        }
+        Some(bytes)
+    }
+}
+
+/// Adapts the node-level translate hook to the tcg-level trait for one
+/// specific (node, pid).
+struct HookAdapter<'a> {
+    hook: &'a dyn crate::hooks::NodeTranslateHook,
+    node: u32,
+    pid: u64,
+}
+
+impl TranslateHook for HookAdapter<'_> {
+    fn inject_point(&self, pc: u64, insn: &Instruction) -> Option<u64> {
+        self.hook.inject_point(self.node, self.pid, pc, insn)
+    }
+}
+
+/// Loads a guest u64 with its taint mask; returns `(value, mask, paddr)`.
+fn load_u64_tainted(
+    aspace: &AddressSpace,
+    phys: &PhysMemory,
+    taint: &TaintState,
+    vaddr: u64,
+) -> Result<(u64, TaintMask, u64), MemFault> {
+    let paddr = aspace.translate_read(vaddr)?;
+    if vaddr % PAGE_SIZE <= PAGE_SIZE - 8 {
+        Ok((phys.read_u64(paddr), taint.mem().load8(paddr), paddr))
+    } else {
+        let mut val = [0u8; 8];
+        let mut mask = [0u8; 8];
+        for i in 0..8u64 {
+            let p = aspace.translate_read(vaddr + i)?;
+            val[i as usize] = phys.read_u8(p);
+            mask[i as usize] = taint.mem().byte(p);
+        }
+        Ok((u64::from_le_bytes(val), TaintMask::from_bytes(mask), paddr))
+    }
+}
+
+/// Stores a guest u64 with its taint mask; returns the first byte's paddr.
+fn store_u64_tainted(
+    aspace: &AddressSpace,
+    phys: &mut PhysMemory,
+    taint: &mut TaintState,
+    vaddr: u64,
+    value: u64,
+    mask: TaintMask,
+) -> Result<u64, MemFault> {
+    let paddr = aspace.translate_write(vaddr)?;
+    if vaddr % PAGE_SIZE <= PAGE_SIZE - 8 {
+        phys.write_u64(paddr, value);
+        taint.mem_mut().store8(paddr, mask);
+    } else {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            let p = aspace.translate_write(vaddr + i as u64)?;
+            phys.write_u8(p, *b);
+            taint.mem_mut().set_byte(p, mask.byte(i));
+        }
+    }
+    Ok(paddr)
+}
+
+/// Executes up to `quantum` guest instructions of `proc`.
+pub(crate) fn run_slice(
+    node_id: u32,
+    phys: &mut PhysMemory,
+    cache: &mut TbCache,
+    taint: &mut TaintState,
+    hooks: &NodeHooks,
+    proc: &mut Process,
+    quantum: u64,
+) -> SliceExit {
+    match proc.state {
+        ProcState::Runnable => {}
+        ProcState::BlockedMpi => return SliceExit::Blocked,
+        ProcState::Exited => {
+            return SliceExit::Exited(proc.exit.expect("exited process has a status"))
+        }
+    }
+
+    let mut executed: u64 = 0;
+    let mut locals: Vec<u64> = Vec::new();
+
+    'outer: loop {
+        let start_pc = proc.cpu.pc;
+        let pid = proc.pid();
+        let tb: Rc<TranslationBlock> = {
+            let fetcher = AspaceFetcher {
+                aspace: &proc.aspace,
+                phys,
+            };
+            let adapter = hooks.translate.as_ref().map(|h| HookAdapter {
+                hook: h.as_ref(),
+                node: node_id,
+                pid,
+            });
+            cache.get_or_translate(pid, start_pc, || {
+                translate_block(
+                    &fetcher,
+                    start_pc,
+                    adapter.as_ref().map(|a| a as &dyn TranslateHook),
+                )
+            })
+        };
+
+        taint.begin_block(tb.n_locals());
+        locals.clear();
+        locals.resize(tb.n_locals() as usize, 0u64);
+
+        // Index into tb.insns() of the instruction currently executing.
+        let mut insn_idx: usize = 0;
+        let mut cur_pc = start_pc;
+
+        macro_rules! val {
+            ($t:expr) => {
+                match $t {
+                    Temp::Global(Global::Reg(r)) => proc.cpu.reg(r),
+                    Temp::Global(Global::FReg(r)) => proc.cpu.freg_bits(r),
+                    Temp::Local(i) => locals[i as usize],
+                }
+            };
+        }
+        macro_rules! setval {
+            ($t:expr, $v:expr) => {
+                match $t {
+                    Temp::Global(Global::Reg(r)) => proc.cpu.set_reg(r, $v),
+                    Temp::Global(Global::FReg(r)) => proc.cpu.set_freg_bits(r, $v),
+                    Temp::Local(i) => locals[i as usize] = $v,
+                }
+            };
+        }
+        macro_rules! fault {
+            ($sig:expr) => {{
+                proc.terminate(ExitStatus::Signaled($sig));
+                return SliceExit::Exited(ExitStatus::Signaled($sig));
+            }};
+        }
+        macro_rules! binop {
+            ($d:expr, $a:expr, $b:expr, $kindv:expr, $op:expr) => {{
+                let (av, bv) = (val!($a), val!($b));
+                let out: u64 = $op(av, bv);
+                let (ta, tb_) = (taint.temp($a), taint.temp($b));
+                let kind = $kindv(av, bv, tb_);
+                let m = taint.policy().propagate(kind, ta, tb_);
+                setval!($d, out);
+                taint.set_temp($d, m);
+            }};
+        }
+
+        let policy = taint.policy();
+        let taint_on = taint.is_enabled();
+        for op in tb.ops() {
+            match *op {
+                TcgOp::InsnStart { pc } => {
+                    if executed >= quantum {
+                        // Safe resume point: the instruction has not begun.
+                        proc.cpu.pc = pc;
+                        return SliceExit::QuantumExpired;
+                    }
+                    executed += 1;
+                    proc.icount += 1;
+                    cur_pc = pc;
+                    // Advance the instruction index to match this pc.
+                    while insn_idx < tb.insns().len() && tb.insns()[insn_idx].0 != pc {
+                        insn_idx += 1;
+                    }
+                    // Guest function hooks (MPI interception).
+                    if !hooks.fn_hooks.is_empty() {
+                        if let Some(&hook_id) = hooks.fn_hooks.get(&(pid, pc)) {
+                            if let Some(sink) = &hooks.fn_hook_sink {
+                                let mut ctx = GuestCtx {
+                                    cpu: &mut proc.cpu,
+                                    aspace: &proc.aspace,
+                                    phys,
+                                    taint,
+                                    node: node_id,
+                                    pid,
+                                    icount: proc.icount,
+                                    pc,
+                                };
+                                sink.borrow_mut().on_fn_entry(hook_id, &mut ctx);
+                            }
+                        }
+                    }
+                }
+                TcgOp::Movi { d, imm } => {
+                    setval!(d, imm);
+                    taint.set_temp(d, TaintMask::CLEAN);
+                }
+                TcgOp::Mov { d, s } => {
+                    let v = val!(s);
+                    let m = taint.temp(s);
+                    setval!(d, v);
+                    taint.set_temp(d, m);
+                }
+                TcgOp::Add { d, a, b } => {
+                    binop!(d, a, b, |_a, _b, _tb| PropKind::AddSub, |x: u64, y: u64| x
+                        .wrapping_add(y))
+                }
+                TcgOp::Sub { d, a, b } => {
+                    binop!(d, a, b, |_a, _b, _tb| PropKind::AddSub, |x: u64, y: u64| x
+                        .wrapping_sub(y))
+                }
+                TcgOp::Mul { d, a, b } => {
+                    binop!(d, a, b, |_a, _b, _tb| PropKind::Mul, |x: u64, y: u64| x
+                        .wrapping_mul(y))
+                }
+                TcgOp::Divs { d, a, b } => {
+                    let (av, bv) = (val!(a), val!(b));
+                    if bv == 0 {
+                        fault!(Signal::Fpe);
+                    }
+                    let out = (av as i64).wrapping_div(bv as i64) as u64;
+                    let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
+                    setval!(d, out);
+                    taint.set_temp(d, m);
+                }
+                TcgOp::Divu { d, a, b } => {
+                    let (av, bv) = (val!(a), val!(b));
+                    if bv == 0 {
+                        fault!(Signal::Fpe);
+                    }
+                    let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
+                    setval!(d, av / bv);
+                    taint.set_temp(d, m);
+                }
+                TcgOp::Remu { d, a, b } => {
+                    let (av, bv) = (val!(a), val!(b));
+                    if bv == 0 {
+                        fault!(Signal::Fpe);
+                    }
+                    let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
+                    setval!(d, av % bv);
+                    taint.set_temp(d, m);
+                }
+                TcgOp::And { d, a, b } => binop!(
+                    d,
+                    a,
+                    b,
+                    |av, bv, _tb| PropKind::And { a: av, b: bv },
+                    |x: u64, y: u64| x & y
+                ),
+                TcgOp::Or { d, a, b } => binop!(
+                    d,
+                    a,
+                    b,
+                    |av, bv, _tb| PropKind::Or { a: av, b: bv },
+                    |x: u64, y: u64| x | y
+                ),
+                TcgOp::Xor { d, a, b } => {
+                    binop!(d, a, b, |_a, _b, _tb| PropKind::Xor, |x: u64, y: u64| x ^ y)
+                }
+                TcgOp::Shl { d, a, b } => binop!(
+                    d,
+                    a,
+                    b,
+                    |_av, bv: u64, tb_: TaintMask| PropKind::Shl {
+                        amount: tb_.is_clean().then_some((bv & 63) as u32)
+                    },
+                    |x: u64, y: u64| x << (y & 63)
+                ),
+                TcgOp::Shr { d, a, b } => binop!(
+                    d,
+                    a,
+                    b,
+                    |_av, bv: u64, tb_: TaintMask| PropKind::Shr {
+                        amount: tb_.is_clean().then_some((bv & 63) as u32)
+                    },
+                    |x: u64, y: u64| x >> (y & 63)
+                ),
+                TcgOp::Sar { d, a, b } => binop!(
+                    d,
+                    a,
+                    b,
+                    |_av, bv: u64, tb_: TaintMask| PropKind::Sar {
+                        amount: tb_.is_clean().then_some((bv & 63) as u32)
+                    },
+                    |x: u64, y: u64| ((x as i64) >> (y & 63)) as u64
+                ),
+                TcgOp::Neg { d, a } => {
+                    let m = policy.propagate(PropKind::Neg, taint.temp(a), TaintMask::CLEAN);
+                    let v = (val!(a) as i64).wrapping_neg() as u64;
+                    setval!(d, v);
+                    taint.set_temp(d, m);
+                }
+                TcgOp::Not { d, a } => {
+                    let m = policy.propagate(PropKind::Not, taint.temp(a), TaintMask::CLEAN);
+                    let v = !val!(a);
+                    setval!(d, v);
+                    taint.set_temp(d, m);
+                }
+                TcgOp::SetFlagsInt { a, b } => {
+                    proc.cpu.flags = Flags::from_int_cmp(val!(a), val!(b));
+                }
+                TcgOp::SetFlagsFp { a, b } => {
+                    proc.cpu.flags =
+                        Flags::from_fp_cmp(f64::from_bits(val!(a)), f64::from_bits(val!(b)));
+                }
+                TcgOp::QemuLd { d, addr } => {
+                    let vaddr = val!(addr);
+                    if !taint_on {
+                        // Fast path with the taint machinery disabled.
+                        match proc.aspace.read_u64(phys, vaddr) {
+                            Ok(value) => {
+                                setval!(d, value);
+                            }
+                            Err(_) => fault!(Signal::Segv),
+                        }
+                        continue;
+                    }
+                    match load_u64_tainted(&proc.aspace, phys, taint, vaddr) {
+                        Ok((value, mask, paddr)) => {
+                            setval!(d, value);
+                            taint.set_temp(d, mask);
+                            if mask.is_tainted() {
+                                if let Some(sink) = &hooks.taint_events {
+                                    sink.borrow_mut().on_taint_read(&TaintMemEvent {
+                                        node: node_id,
+                                        pid,
+                                        eip: cur_pc,
+                                        vaddr,
+                                        paddr,
+                                        taint: mask,
+                                        value,
+                                        icount: proc.icount,
+                                    });
+                                }
+                            }
+                        }
+                        Err(_) => fault!(Signal::Segv),
+                    }
+                }
+                TcgOp::QemuSt { s, addr } => {
+                    let vaddr = val!(addr);
+                    let value = val!(s);
+                    if !taint_on {
+                        if proc.aspace.write_u64(phys, vaddr, value).is_err() {
+                            fault!(Signal::Segv);
+                        }
+                        continue;
+                    }
+                    let mask = taint.temp(s);
+                    match store_u64_tainted(&proc.aspace, phys, taint, vaddr, value, mask) {
+                        Ok(paddr) => {
+                            if mask.is_tainted() {
+                                if let Some(sink) = &hooks.taint_events {
+                                    sink.borrow_mut().on_taint_write(&TaintMemEvent {
+                                        node: node_id,
+                                        pid,
+                                        eip: cur_pc,
+                                        vaddr,
+                                        paddr,
+                                        taint: mask,
+                                        value,
+                                        icount: proc.icount,
+                                    });
+                                }
+                            }
+                        }
+                        Err(_) => fault!(Signal::Segv),
+                    }
+                }
+                TcgOp::CallHelper { helper, d, a, b } => {
+                    let (av, bv) = (val!(a), val!(b));
+                    let out = helper.eval(av, bv);
+                    let kind = match helper {
+                        chaser_tcg::Helper::CvtIF | chaser_tcg::Helper::CvtFI => PropKind::Cvt,
+                        _ => PropKind::Fp,
+                    };
+                    let tb_ = if helper.is_binary() {
+                        taint.temp(b)
+                    } else {
+                        TaintMask::CLEAN
+                    };
+                    let m = policy.propagate(kind, taint.temp(a), tb_);
+                    setval!(d, out);
+                    taint.set_temp(d, m);
+                }
+                TcgOp::CallInject { point, pc } => {
+                    if let Some(sink) = &hooks.inject {
+                        let insn = tb
+                            .insns()
+                            .get(insn_idx)
+                            .map(|(_, i)| *i)
+                            .unwrap_or(Instruction::Nop);
+                        let action = {
+                            let mut ctx = GuestCtx {
+                                cpu: &mut proc.cpu,
+                                aspace: &proc.aspace,
+                                phys,
+                                taint,
+                                node: node_id,
+                                pid,
+                                icount: proc.icount,
+                                pc,
+                            };
+                            sink.borrow_mut().on_inject_point(point, &insn, &mut ctx)
+                        };
+                        if action.flush_tb {
+                            cache.flush();
+                        }
+                    }
+                }
+                TcgOp::ExitTb { next } => {
+                    proc.cpu.pc = next;
+                    continue 'outer;
+                }
+                TcgOp::ExitTbCond {
+                    cond,
+                    taken,
+                    fallthrough,
+                } => {
+                    proc.cpu.pc = if proc.cpu.flags.holds(cond) {
+                        taken
+                    } else {
+                        fallthrough
+                    };
+                    continue 'outer;
+                }
+                TcgOp::ExitTbIndirect { addr } => {
+                    proc.cpu.pc = val!(addr);
+                    continue 'outer;
+                }
+                TcgOp::Hypercall { num, next } => {
+                    proc.cpu.pc = next;
+                    if num >= abi::MPI_BASE {
+                        let args = [
+                            proc.cpu.reg(chaser_isa::Reg::R1),
+                            proc.cpu.reg(chaser_isa::Reg::R2),
+                            proc.cpu.reg(chaser_isa::Reg::R3),
+                            proc.cpu.reg(chaser_isa::Reg::R4),
+                            proc.cpu.reg(chaser_isa::Reg::R5),
+                            proc.cpu.reg(chaser_isa::Reg::R6),
+                        ];
+                        let req = MpiRequest {
+                            num,
+                            args,
+                            resume_pc: next,
+                        };
+                        proc.state = ProcState::BlockedMpi;
+                        proc.pending_mpi = Some(req);
+                        return SliceExit::MpiCall(req);
+                    }
+                    match handle_kernel_call(num, phys, proc) {
+                        KernelOutcome::Continue => continue 'outer,
+                        KernelOutcome::Exit(status) => {
+                            proc.terminate(status);
+                            return SliceExit::Exited(status);
+                        }
+                    }
+                }
+                TcgOp::Halt => {
+                    proc.terminate(ExitStatus::Halted);
+                    return SliceExit::Exited(ExitStatus::Halted);
+                }
+                TcgOp::BadFetch { .. } => fault!(Signal::Segv),
+                TcgOp::BadDecode { .. } => fault!(Signal::Ill),
+            }
+        }
+        // A well-formed TB always ends in a terminator; reaching here means
+        // the translator emitted a chained ExitTb which `continue`s above.
+        unreachable!("translation block fell through without a terminator");
+    }
+}
+
+enum KernelOutcome {
+    Continue,
+    Exit(ExitStatus),
+}
+
+/// Handles kernel-range hypercalls (`num < MPI_BASE`).
+fn handle_kernel_call(num: u16, phys: &mut PhysMemory, proc: &mut Process) -> KernelOutcome {
+    use chaser_isa::Reg;
+    let a1 = proc.cpu.reg(Reg::R1);
+    let a2 = proc.cpu.reg(Reg::R2);
+    let a3 = proc.cpu.reg(Reg::R3);
+    match num {
+        abi::SYS_EXIT => return KernelOutcome::Exit(ExitStatus::Exited(a1 as i64)),
+        abi::SYS_ASSERT_FAIL => return KernelOutcome::Exit(ExitStatus::AssertFailed(a1 as i64)),
+        abi::SYS_WRITE => {
+            let bytes = match proc.aspace.read_bytes(phys, a2, a3) {
+                Ok(b) => b,
+                Err(_) => return KernelOutcome::Exit(ExitStatus::Signaled(Signal::Segv)),
+            };
+            append_fd(proc, a1, &bytes);
+            proc.cpu.set_reg(Reg::R0, a3);
+        }
+        abi::SYS_WRITE_I64 => {
+            let text = format!("{}\n", a2 as i64);
+            append_fd(proc, a1, text.as_bytes());
+            proc.cpu.set_reg(Reg::R0, 0);
+        }
+        abi::SYS_WRITE_F64 => {
+            append_fd(proc, a1, &a2.to_le_bytes());
+            proc.cpu.set_reg(Reg::R0, 0);
+        }
+        abi::SYS_SBRK => {
+            let old = proc.brk;
+            let new = old.saturating_add(a1);
+            let map_from = old.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            let map_to = new.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            if map_to > map_from {
+                // Extend the heap; running out of guest RAM is fatal.
+                let aligned_from = old / PAGE_SIZE * PAGE_SIZE;
+                if proc
+                    .aspace
+                    .map_region(phys, aligned_from, map_to - aligned_from, PagePerms::RW)
+                    .is_err()
+                {
+                    return KernelOutcome::Exit(ExitStatus::Signaled(Signal::Segv));
+                }
+            }
+            proc.brk = new;
+            proc.cpu.set_reg(Reg::R0, old);
+        }
+        abi::SYS_CLOCK => {
+            let icount = proc.icount;
+            proc.cpu.set_reg(Reg::R0, icount);
+        }
+        _ => return KernelOutcome::Exit(ExitStatus::Signaled(Signal::Ill)),
+    }
+    KernelOutcome::Continue
+}
+
+fn append_fd(proc: &mut Process, fd: u64, bytes: &[u8]) {
+    match fd {
+        abi::FD_STDOUT => proc.files.stdout.extend_from_slice(bytes),
+        abi::FD_OUTPUT => proc.files.output.extend_from_slice(bytes),
+        _ => {}
+    }
+}

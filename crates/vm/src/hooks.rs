@@ -1,0 +1,194 @@
+//! Engine hook points: fault injection, taint-memory events and guest
+//! function hooks.
+
+use crate::mem::{MemFault, PhysMemory};
+use crate::paging::AddressSpace;
+use chaser_isa::{CpuState, FReg, Instruction, Reg};
+use chaser_taint::{TaintMask, TaintState};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A tainted-memory access record — the payload of the paper's
+/// `DECAF_READ_TAINTMEM_CB` / `DECAF_WRITE_TAINTMEM_CB` callbacks: Chaser
+/// "logs the eip, virtual memory address, physical memory address, tainted
+/// value and current value in this memory location for post analysis".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaintMemEvent {
+    /// Node the access happened on.
+    pub node: u32,
+    /// Process performing the access.
+    pub pid: u64,
+    /// Instruction pointer of the accessing instruction.
+    pub eip: u64,
+    /// Guest virtual address accessed.
+    pub vaddr: u64,
+    /// Guest physical address accessed.
+    pub paddr: u64,
+    /// The taint mask of the 8 accessed bytes.
+    pub taint: TaintMask,
+    /// The value currently in memory (after the access for writes).
+    pub value: u64,
+    /// The process's retired-instruction count at the access.
+    pub icount: u64,
+}
+
+/// Receiver for tainted-memory read/write events.
+pub trait TaintEventSink {
+    /// The guest read tainted memory.
+    fn on_taint_read(&mut self, ev: &TaintMemEvent);
+    /// The guest wrote tainted data to memory.
+    fn on_taint_write(&mut self, ev: &TaintMemEvent);
+}
+
+/// What the injector asks the engine to do after an injection callback.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectAction {
+    /// Flush this node's translation cache (used by `fi_clean_cb` to detach
+    /// the injector once the fault has been placed).
+    pub flush_tb: bool,
+}
+
+/// The fault injector's mutable view of the guest at an injection point.
+///
+/// This is what Chaser's `CORRUPT_REGISTER` / `CORRUPT_MEMORY` helpers
+/// operate on: architectural registers, guest memory through the process's
+/// page tables, and the taint state used to mark the injected fault as a
+/// taint source.
+pub struct GuestCtx<'a> {
+    /// Architectural CPU state.
+    pub cpu: &'a mut CpuState,
+    /// The process's address space (for vaddr→paddr translation).
+    pub aspace: &'a AddressSpace,
+    /// The node's physical memory.
+    pub phys: &'a mut PhysMemory,
+    /// The node's taint state.
+    pub taint: &'a mut TaintState,
+    /// Node id.
+    pub node: u32,
+    /// Process id.
+    pub pid: u64,
+    /// Retired-instruction count of the process.
+    pub icount: u64,
+    /// Address of the instruction about to execute.
+    pub pc: u64,
+}
+
+impl GuestCtx<'_> {
+    /// Reads a general-purpose register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.cpu.reg(r)
+    }
+
+    /// Writes a general-purpose register.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.cpu.set_reg(r, v);
+    }
+
+    /// Reads an FP register's raw bits.
+    pub fn freg_bits(&self, r: FReg) -> u64 {
+        self.cpu.freg_bits(r)
+    }
+
+    /// Writes an FP register's raw bits.
+    pub fn set_freg_bits(&mut self, r: FReg, bits: u64) {
+        self.cpu.set_freg_bits(r, bits);
+    }
+
+    /// Reads a guest u64 through the page tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if the address is unmapped.
+    pub fn read_mem(&self, vaddr: u64) -> Result<u64, MemFault> {
+        self.aspace.read_u64(self.phys, vaddr)
+    }
+
+    /// Writes a guest u64 through the page tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if the address is unmapped or read-only.
+    pub fn write_mem(&mut self, vaddr: u64, v: u64) -> Result<(), MemFault> {
+        self.aspace.write_u64(self.phys, vaddr, v)
+    }
+
+    /// Marks a register as a taint source (the injected fault's bits).
+    pub fn taint_reg(&mut self, r: Reg, mask: TaintMask) {
+        self.taint.set_reg(r, mask);
+    }
+
+    /// Marks an FP register as a taint source.
+    pub fn taint_freg(&mut self, r: FReg, mask: TaintMask) {
+        self.taint.set_freg(r, mask);
+    }
+
+    /// Marks 8 bytes of guest memory as a taint source.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if the address does not translate.
+    pub fn taint_mem(&mut self, vaddr: u64, mask: TaintMask) -> Result<(), MemFault> {
+        let paddr = self.aspace.translate_read(vaddr)?;
+        self.taint.mem_mut().store8(paddr, mask);
+        Ok(())
+    }
+}
+
+/// The engine-side fault injector callback (the paper's
+/// `DECAF_inject_fault`): invoked for every executed instrumented
+/// instruction, *before* the instruction itself runs.
+pub trait InjectSink {
+    /// `point` is the id the translate hook assigned; `insn` is the
+    /// targeted instruction.
+    fn on_inject_point(
+        &mut self,
+        point: u64,
+        insn: &Instruction,
+        ctx: &mut GuestCtx<'_>,
+    ) -> InjectAction;
+}
+
+/// Guest-function entry hook (how Chaser intercepts `mpi_send`/`mpi_recv`
+/// inside the guest and reads their arguments from registers/stack).
+pub trait FnHookSink {
+    /// The guest reached the entry of a hooked function.
+    fn on_fn_entry(&mut self, hook_id: u64, ctx: &mut GuestCtx<'_>);
+}
+
+/// Decides at translation time which instructions receive an injection
+/// callback; node/pid-aware wrapper around `chaser_tcg::TranslateHook`.
+pub trait NodeTranslateHook {
+    /// Should `insn` at `pc` in process `pid` on `node` be instrumented?
+    fn inject_point(&self, node: u32, pid: u64, pc: u64, insn: &Instruction) -> Option<u64>;
+}
+
+/// All hooks attached to a node. Every slot is optional; an unhooked node
+/// runs at plain-translation speed (the "efficient" design goal).
+#[derive(Default, Clone)]
+pub struct NodeHooks {
+    /// Translation-time instrumentation decision.
+    pub translate: Option<Rc<dyn NodeTranslateHook>>,
+    /// Fault-injection callback.
+    pub inject: Option<Rc<RefCell<dyn InjectSink>>>,
+    /// Tainted-memory access observer.
+    pub taint_events: Option<Rc<RefCell<dyn TaintEventSink>>>,
+    /// VMI process lifecycle observers.
+    pub vmi: Vec<Rc<RefCell<dyn crate::VmiSink>>>,
+    /// Hooked guest function entry addresses, per pid: `(pid, vaddr) → id`.
+    pub fn_hooks: HashMap<(u64, u64), u64>,
+    /// Receiver of function-entry hook events.
+    pub fn_hook_sink: Option<Rc<RefCell<dyn FnHookSink>>>,
+}
+
+impl std::fmt::Debug for NodeHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeHooks")
+            .field("translate", &self.translate.is_some())
+            .field("inject", &self.inject.is_some())
+            .field("taint_events", &self.taint_events.is_some())
+            .field("vmi_sinks", &self.vmi.len())
+            .field("fn_hooks", &self.fn_hooks.len())
+            .finish()
+    }
+}

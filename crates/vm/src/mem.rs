@@ -1,0 +1,157 @@
+//! Guest physical memory and frame allocation.
+
+use chaser_isa::PAGE_SIZE;
+use std::fmt;
+
+/// Default physical memory per node: 64 MiB, plenty for the paper's
+/// mini-app workloads while keeping thousands of campaign runs cheap.
+pub const DEFAULT_PHYS_BYTES: u64 = 64 << 20;
+
+/// Why a guest memory access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFaultKind {
+    /// No mapping for the page.
+    Unmapped,
+    /// Mapping exists but forbids the access (write to read-only, execute
+    /// of non-executable).
+    Protection,
+}
+
+/// A guest memory fault; the kernel turns this into `SIGSEGV`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting guest virtual address.
+    pub vaddr: u64,
+    /// The fault kind.
+    pub kind: MemFaultKind,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            MemFaultKind::Unmapped => write!(f, "unmapped guest address {:#x}", self.vaddr),
+            MemFaultKind::Protection => write!(f, "protection fault at {:#x}", self.vaddr),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// One node's physical memory plus a bump frame allocator.
+///
+/// Frames are never freed: campaign runs are short-lived and each run gets
+/// a fresh node, so reclamation buys nothing and would complicate the
+/// deterministic replay story.
+#[derive(Debug, Clone)]
+pub struct PhysMemory {
+    bytes: Vec<u8>,
+    next_frame: u64,
+}
+
+impl PhysMemory {
+    /// Allocates `size` bytes of zeroed guest RAM (rounded up to a page).
+    pub fn new(size: u64) -> PhysMemory {
+        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        PhysMemory {
+            bytes: vec![0u8; size as usize],
+            next_frame: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Allocates one zeroed frame, returning its physical base address, or
+    /// `None` when RAM is exhausted.
+    pub fn alloc_frame(&mut self) -> Option<u64> {
+        let base = self.next_frame;
+        if base + PAGE_SIZE > self.capacity() {
+            return None;
+        }
+        self.next_frame += PAGE_SIZE;
+        Some(base)
+    }
+
+    /// Reads one byte of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paddr` is beyond capacity — physical addresses only come
+    /// from the page tables, so this indicates a VM bug, not a guest fault.
+    pub fn read_u8(&self, paddr: u64) -> u8 {
+        self.bytes[paddr as usize]
+    }
+
+    /// Writes one byte of physical memory.
+    pub fn write_u8(&mut self, paddr: u64, v: u8) {
+        self.bytes[paddr as usize] = v;
+    }
+
+    /// Reads a little-endian u64 that does not cross a page boundary check
+    /// (physical memory is flat, so any in-range read is fine).
+    pub fn read_u64(&self, paddr: u64) -> u64 {
+        let p = paddr as usize;
+        u64::from_le_bytes(self.bytes[p..p + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, paddr: u64, v: u64) {
+        let p = paddr as usize;
+        self.bytes[p..p + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copies bytes out of physical memory.
+    pub fn read_bytes(&self, paddr: u64, len: usize) -> &[u8] {
+        &self.bytes[paddr as usize..paddr as usize + len]
+    }
+
+    /// Copies bytes into physical memory.
+    pub fn write_bytes(&mut self, paddr: u64, data: &[u8]) {
+        self.bytes[paddr as usize..paddr as usize + data.len()].copy_from_slice(data);
+    }
+}
+
+impl Default for PhysMemory {
+    fn default() -> PhysMemory {
+        PhysMemory::new(DEFAULT_PHYS_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_distinct_and_page_aligned() {
+        let mut m = PhysMemory::new(4 * PAGE_SIZE);
+        let a = m.alloc_frame().expect("frame a");
+        let b = m.alloc_frame().expect("frame b");
+        assert_ne!(a, b);
+        assert_eq!(a % PAGE_SIZE, 0);
+        assert_eq!(b % PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn allocation_exhausts() {
+        let mut m = PhysMemory::new(2 * PAGE_SIZE);
+        assert!(m.alloc_frame().is_some());
+        assert!(m.alloc_frame().is_some());
+        assert!(m.alloc_frame().is_none());
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = PhysMemory::new(PAGE_SIZE);
+        m.write_u64(16, 0xdead_beef_0bad_cafe);
+        assert_eq!(m.read_u64(16), 0xdead_beef_0bad_cafe);
+        assert_eq!(m.read_u8(16), 0xfe);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_page() {
+        let m = PhysMemory::new(PAGE_SIZE + 1);
+        assert_eq!(m.capacity(), 2 * PAGE_SIZE);
+    }
+}

@@ -1,0 +1,713 @@
+//! A simulated machine: physical memory, processes, translation cache,
+//! taint state and hooks.
+
+use crate::engine;
+use crate::hooks::NodeHooks;
+use crate::kernel::ExitStatus;
+use crate::mem::{MemFault, PhysMemory};
+use crate::paging::{AddressSpace, PagePerms};
+use crate::process::{MpiRequest, ProcState, Process};
+use crate::vmi::VmiAction;
+use chaser_isa::{CpuState, Program, CODE_BASE, DATA_BASE, PAGE_SIZE, STACK_SIZE, STACK_TOP};
+use chaser_taint::{TaintPolicy, TaintState};
+use chaser_tcg::{CacheStats, TbCache};
+use std::fmt;
+
+/// Why [`Node::run_slice`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceExit {
+    /// The quantum was used up; the process remains runnable.
+    QuantumExpired,
+    /// The process finished.
+    Exited(ExitStatus),
+    /// The process trapped into an MPI call and is now blocked; the cluster
+    /// runtime must complete the request.
+    MpiCall(MpiRequest),
+    /// The process was already blocked on MPI.
+    Blocked,
+}
+
+/// An error creating a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnError {
+    /// The node ran out of physical memory while building the address space.
+    OutOfMemory(MemFault),
+}
+
+impl fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpawnError::OutOfMemory(fault) => write!(f, "out of guest memory: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+/// One simulated machine running guest processes under introspection.
+#[derive(Debug)]
+pub struct Node {
+    id: u32,
+    phys: PhysMemory,
+    procs: Vec<Process>,
+    cache: TbCache,
+    taint: TaintState,
+    hooks: NodeHooks,
+    next_pid: u64,
+}
+
+impl Node {
+    /// A node with default physical memory and the precise taint policy.
+    pub fn new(id: u32) -> Node {
+        Node::with_config(id, crate::mem::DEFAULT_PHYS_BYTES, TaintPolicy::Precise)
+    }
+
+    /// A node with explicit memory size and taint policy.
+    pub fn with_config(id: u32, phys_bytes: u64, policy: TaintPolicy) -> Node {
+        Node {
+            id,
+            phys: PhysMemory::new(phys_bytes),
+            procs: Vec::new(),
+            cache: TbCache::new(),
+            taint: TaintState::new(policy),
+            hooks: NodeHooks::default(),
+            next_pid: 1,
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Loads `program` into a fresh process and reports it through VMI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnError::OutOfMemory`] when guest RAM is exhausted.
+    pub fn spawn(&mut self, program: &Program) -> Result<u64, SpawnError> {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+
+        let mut aspace = AddressSpace::new(pid);
+        // Text.
+        aspace
+            .map_region(
+                &mut self.phys,
+                CODE_BASE,
+                program.code().len().max(1) as u64,
+                PagePerms::RX,
+            )
+            .map_err(SpawnError::OutOfMemory)?;
+        poke(&aspace, &mut self.phys, CODE_BASE, program.code());
+        // Data.
+        if !program.data().is_empty() {
+            aspace
+                .map_region(
+                    &mut self.phys,
+                    DATA_BASE,
+                    program.data().len() as u64,
+                    PagePerms::RW,
+                )
+                .map_err(SpawnError::OutOfMemory)?;
+            poke(&aspace, &mut self.phys, DATA_BASE, program.data());
+        }
+        // Stack.
+        aspace
+            .map_region(
+                &mut self.phys,
+                STACK_TOP - STACK_SIZE,
+                STACK_SIZE,
+                PagePerms::RW,
+            )
+            .map_err(SpawnError::OutOfMemory)?;
+
+        let mut cpu = CpuState::new(program.entry());
+        cpu.set_sp(STACK_TOP);
+
+        let proc = Process::new(
+            pid,
+            program.name().to_string(),
+            cpu,
+            aspace,
+            program.heap_base(),
+        );
+        self.procs.push(proc);
+
+        // VMI: report creation, apply requested actions.
+        let mut action = VmiAction::NONE;
+        let sinks = self.hooks.vmi.clone();
+        for sink in sinks {
+            action = action.merge(sink.borrow_mut().on_process_created(
+                self.id,
+                pid,
+                program.name(),
+            ));
+        }
+        if action.flush_tb {
+            self.cache.flush();
+        }
+        Ok(pid)
+    }
+
+    /// Executes up to `quantum` instructions of process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` does not exist on this node.
+    pub fn run_slice(&mut self, pid: u64, quantum: u64) -> SliceExit {
+        let idx = self.index(pid).expect("unknown pid");
+        let proc = &mut self.procs[idx];
+        let exit = engine::run_slice(
+            self.id,
+            &mut self.phys,
+            &mut self.cache,
+            &mut self.taint,
+            &self.hooks,
+            proc,
+            quantum,
+        );
+        if let SliceExit::Exited(status) = exit {
+            let sinks = self.hooks.vmi.clone();
+            let mut action = VmiAction::NONE;
+            for sink in sinks {
+                action = action.merge(sink.borrow_mut().on_process_exited(self.id, pid, status));
+            }
+            if action.flush_tb {
+                self.cache.flush();
+            }
+        }
+        exit
+    }
+
+    fn index(&self, pid: u64) -> Option<usize> {
+        self.procs.iter().position(|p| p.pid() == pid)
+    }
+
+    /// The process with id `pid`, if any.
+    pub fn process(&self, pid: u64) -> Option<&Process> {
+        self.index(pid).map(|i| &self.procs[i])
+    }
+
+    /// Mutable access to a process.
+    pub fn process_mut(&mut self, pid: u64) -> Option<&mut Process> {
+        self.index(pid).map(move |i| &mut self.procs[i])
+    }
+
+    /// All processes on the node.
+    pub fn processes(&self) -> &[Process] {
+        &self.procs
+    }
+
+    /// Completes a blocked MPI call: sets the return value and makes the
+    /// process runnable again at its resume pc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is not blocked in an MPI call.
+    pub fn complete_mpi(&mut self, pid: u64, ret: u64) {
+        let proc = self.process_mut(pid).expect("unknown pid");
+        assert_eq!(proc.state, ProcState::BlockedMpi, "process not in MPI call");
+        let req = proc
+            .pending_mpi
+            .take()
+            .expect("blocked process has a request");
+        proc.cpu.set_reg(chaser_isa::abi::RET_REG, ret);
+        proc.cpu.pc = req.resume_pc;
+        proc.state = ProcState::Runnable;
+    }
+
+    /// Terminates a process from outside (MPI runtime abort, node failure
+    /// injection).
+    pub fn abort_process(&mut self, pid: u64, status: ExitStatus) {
+        if let Some(proc) = self.process_mut(pid) {
+            proc.terminate(status);
+        }
+    }
+
+    /// Reads guest memory of a (possibly blocked) process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the guest [`MemFault`] on bad addresses — the MPI runtime
+    /// turns this into an MPI error.
+    pub fn read_guest(&self, pid: u64, vaddr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        let proc = self.process(pid).expect("unknown pid");
+        proc.aspace.read_bytes(&self.phys, vaddr, len)
+    }
+
+    /// Writes guest memory of a process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the guest [`MemFault`] on bad addresses.
+    pub fn write_guest(&mut self, pid: u64, vaddr: u64, data: &[u8]) -> Result<(), MemFault> {
+        let idx = self.index(pid).expect("unknown pid");
+        let proc = &self.procs[idx];
+        proc.aspace.write_bytes(&mut self.phys, vaddr, data)
+    }
+
+    /// Reads the per-byte taint shadow of a guest buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the guest [`MemFault`] on bad addresses.
+    pub fn read_guest_taint(&self, pid: u64, vaddr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        let proc = self.process(pid).expect("unknown pid");
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let paddr = proc.aspace.translate_read(vaddr + i)?;
+            out.push(self.taint.mem().byte(paddr));
+        }
+        Ok(out)
+    }
+
+    /// Writes the per-byte taint shadow of a guest buffer (applying an
+    /// incoming message's taint on the receiver).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the guest [`MemFault`] on bad addresses.
+    pub fn write_guest_taint(
+        &mut self,
+        pid: u64,
+        vaddr: u64,
+        masks: &[u8],
+    ) -> Result<(), MemFault> {
+        let idx = self.index(pid).expect("unknown pid");
+        for (i, m) in masks.iter().enumerate() {
+            let paddr = self.procs[idx].aspace.translate_read(vaddr + i as u64)?;
+            self.taint.mem_mut().set_byte(paddr, *m);
+        }
+        Ok(())
+    }
+
+    /// The node's taint state.
+    pub fn taint(&self) -> &TaintState {
+        &self.taint
+    }
+
+    /// Mutable taint state.
+    pub fn taint_mut(&mut self) -> &mut TaintState {
+        &mut self.taint
+    }
+
+    /// Installed hooks.
+    pub fn hooks(&self) -> &NodeHooks {
+        &self.hooks
+    }
+
+    /// Mutable hooks (install injectors, tracers, VMI sinks, fn hooks).
+    pub fn hooks_mut(&mut self) -> &mut NodeHooks {
+        &mut self.hooks
+    }
+
+    /// Flushes the translation cache.
+    pub fn flush_cache(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Translation-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Sum of retired instructions over all processes on this node.
+    pub fn total_icount(&self) -> u64 {
+        self.procs.iter().map(|p| p.icount).sum()
+    }
+}
+
+/// Writes bytes through read translation only — the kernel loader may write
+/// into read-only/executable mappings.
+fn poke(aspace: &AddressSpace, phys: &mut PhysMemory, vaddr: u64, data: &[u8]) {
+    let mut cur = vaddr;
+    let mut off = 0usize;
+    while off < data.len() {
+        let paddr = aspace
+            .translate_read(cur)
+            .expect("loader writes mapped pages");
+        let in_page = ((PAGE_SIZE - cur % PAGE_SIZE) as usize).min(data.len() - off);
+        phys.write_bytes(paddr, &data[off..off + in_page]);
+        cur += in_page as u64;
+        off += in_page;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaser_isa::{Asm, Cond, FReg, Reg};
+
+    fn run_to_exit(node: &mut Node, pid: u64) -> ExitStatus {
+        loop {
+            match node.run_slice(pid, 100_000) {
+                SliceExit::Exited(status) => return status,
+                SliceExit::QuantumExpired => continue,
+                other => panic!("unexpected slice exit: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_program_exits_with_result() {
+        let mut a = Asm::new("sum");
+        a.movi(Reg::R1, 0);
+        a.movi(Reg::R2, 1);
+        a.label("loop");
+        a.add(Reg::R1, Reg::R2);
+        a.addi(Reg::R2, 1);
+        a.cmpi(Reg::R2, 10);
+        a.jcc(Cond::Le, "loop");
+        a.exit_with(Reg::R1);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        assert_eq!(run_to_exit(&mut node, pid), ExitStatus::Exited(55));
+    }
+
+    #[test]
+    fn fp_program_computes_dot_product() {
+        let mut a = Asm::new("dot");
+        a.data_f64("x", &[1.0, 2.0, 3.0]);
+        a.data_f64("y", &[4.0, 5.0, 6.0]);
+        a.lea(Reg::R1, "x");
+        a.lea(Reg::R2, "y");
+        a.movi(Reg::R3, 0); // i
+        a.fmovi(FReg::F0, 0.0); // acc
+        a.label("loop");
+        a.fldx(FReg::F1, Reg::R1, Reg::R3);
+        a.fldx(FReg::F2, Reg::R2, Reg::R3);
+        a.fmul(FReg::F1, FReg::F2);
+        a.fadd(FReg::F0, FReg::F1);
+        a.addi(Reg::R3, 1);
+        a.cmpi(Reg::R3, 3);
+        a.jcc(Cond::Lt, "loop");
+        a.cvtfi(Reg::R1, FReg::F0);
+        a.hypercall(chaser_isa::abi::SYS_EXIT);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        // 1*4 + 2*5 + 3*6 = 32
+        assert_eq!(run_to_exit(&mut node, pid), ExitStatus::Exited(32));
+    }
+
+    #[test]
+    fn call_and_ret_use_the_stack() {
+        let mut a = Asm::new("callret");
+        a.set_entry("main");
+        a.label("double");
+        a.add(Reg::R1, Reg::R1);
+        a.ret();
+        a.label("main");
+        a.movi(Reg::R1, 21);
+        a.call("double");
+        a.exit_with(Reg::R1);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        assert_eq!(run_to_exit(&mut node, pid), ExitStatus::Exited(42));
+    }
+
+    #[test]
+    fn unmapped_load_raises_sigsegv() {
+        let mut a = Asm::new("segv");
+        a.movi(Reg::R1, 0x6666_0000);
+        a.ld(Reg::R2, Reg::R1, 0);
+        a.exit(0);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        assert_eq!(
+            run_to_exit(&mut node, pid),
+            ExitStatus::Signaled(crate::Signal::Segv)
+        );
+    }
+
+    #[test]
+    fn divide_by_zero_raises_sigfpe() {
+        let mut a = Asm::new("fpe");
+        a.movi(Reg::R1, 10);
+        a.movi(Reg::R2, 0);
+        a.divs(Reg::R1, Reg::R2);
+        a.exit(0);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        assert_eq!(
+            run_to_exit(&mut node, pid),
+            ExitStatus::Signaled(crate::Signal::Fpe)
+        );
+    }
+
+    #[test]
+    fn jumping_into_data_raises_a_signal() {
+        let mut a = Asm::new("wild");
+        a.data_u64("junk", &[u64::MAX; 4]);
+        a.lea(Reg::R1, "junk");
+        a.callr(Reg::R1);
+        a.exit(0);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        // Data pages are not executable: fetch fault → SIGSEGV.
+        assert_eq!(
+            run_to_exit(&mut node, pid),
+            ExitStatus::Signaled(crate::Signal::Segv)
+        );
+    }
+
+    #[test]
+    fn stdout_and_output_files_are_captured() {
+        let mut a = Asm::new("writer");
+        a.movi(Reg::R1, chaser_isa::abi::FD_STDOUT as i64);
+        a.movi(Reg::R2, 123);
+        a.hypercall(chaser_isa::abi::SYS_WRITE_I64);
+        a.movi(Reg::R1, chaser_isa::abi::FD_OUTPUT as i64);
+        a.fmovi(FReg::F0, 1.5);
+        a.movfr(Reg::R2, FReg::F0);
+        a.hypercall(chaser_isa::abi::SYS_WRITE_F64);
+        a.exit(0);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        assert!(run_to_exit(&mut node, pid).is_success());
+        let files = &node.process(pid).expect("proc").files;
+        assert_eq!(files.stdout, b"123\n");
+        assert_eq!(files.output, 1.5f64.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn sbrk_grows_the_heap() {
+        let mut a = Asm::new("heap");
+        a.movi(Reg::R1, 4096 * 3);
+        a.hypercall(chaser_isa::abi::SYS_SBRK);
+        a.mov(Reg::R3, Reg::R0); // old brk
+        a.movi(Reg::R2, 777);
+        a.st(Reg::R2, Reg::R3, 8192);
+        a.ld(Reg::R4, Reg::R3, 8192);
+        a.exit_with(Reg::R4);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        assert_eq!(run_to_exit(&mut node, pid), ExitStatus::Exited(777));
+    }
+
+    #[test]
+    fn quantum_expiry_preserves_progress() {
+        let mut a = Asm::new("long");
+        a.movi(Reg::R1, 0);
+        a.movi(Reg::R2, 0);
+        a.label("loop");
+        a.addi(Reg::R1, 1);
+        a.addi(Reg::R2, 1);
+        a.cmpi(Reg::R2, 10_000);
+        a.jcc(Cond::Lt, "loop");
+        a.exit_with(Reg::R1);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        let mut slices = 0;
+        let status = loop {
+            match node.run_slice(pid, 1000) {
+                SliceExit::Exited(status) => break status,
+                SliceExit::QuantumExpired => slices += 1,
+                other => panic!("unexpected: {other:?}"),
+            }
+        };
+        assert_eq!(status, ExitStatus::Exited(10_000));
+        assert!(slices >= 10, "should have taken many slices, got {slices}");
+    }
+
+    #[test]
+    fn mpi_hypercall_blocks_and_completes() {
+        let mut a = Asm::new("mpi");
+        a.hypercall(chaser_isa::abi::MPI_COMM_RANK);
+        a.exit_with(Reg::R0);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        let exit = node.run_slice(pid, 1000);
+        let SliceExit::MpiCall(req) = exit else {
+            panic!("expected MPI call, got {exit:?}");
+        };
+        assert_eq!(req.num, chaser_isa::abi::MPI_COMM_RANK);
+        assert_eq!(
+            node.process(pid).expect("proc").state,
+            ProcState::BlockedMpi
+        );
+        // Scheduling a blocked process reports Blocked.
+        assert_eq!(node.run_slice(pid, 1000), SliceExit::Blocked);
+        node.complete_mpi(pid, 3);
+        assert_eq!(run_to_exit(&mut node, pid), ExitStatus::Exited(3));
+    }
+
+    #[test]
+    fn guest_memory_round_trip_via_node_api() {
+        let mut a = Asm::new("buf");
+        a.bss("buf", 64);
+        a.label("spin");
+        a.hypercall(chaser_isa::abi::MPI_BARRIER); // park the process
+        a.exit(0);
+        let prog = a.assemble().expect("assemble");
+        let buf_addr = prog.symbol("buf").expect("buf");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        assert!(matches!(node.run_slice(pid, 100), SliceExit::MpiCall(_)));
+        node.write_guest(pid, buf_addr, &[1, 2, 3, 4])
+            .expect("write");
+        assert_eq!(
+            node.read_guest(pid, buf_addr, 4).expect("read"),
+            vec![1, 2, 3, 4]
+        );
+        node.write_guest_taint(pid, buf_addr, &[0xff, 0, 0xff, 0])
+            .expect("taint");
+        assert_eq!(
+            node.read_guest_taint(pid, buf_addr, 4).expect("read taint"),
+            vec![0xff, 0, 0xff, 0]
+        );
+        assert_eq!(node.taint().mem().tainted_bytes(), 2);
+    }
+}
+
+#[cfg(test)]
+mod more_engine_tests {
+    use super::*;
+    use crate::kernel::Signal;
+    use chaser_isa::{abi, Asm, FReg, Reg};
+
+    fn run(prog: &chaser_isa::Program) -> (Node, u64, ExitStatus) {
+        let mut node = Node::new(0);
+        let pid = node.spawn(prog).expect("spawn");
+        loop {
+            match node.run_slice(pid, 1_000_000) {
+                SliceExit::Exited(status) => return (node, pid, status),
+                SliceExit::QuantumExpired => continue,
+                other => panic!("unexpected slice exit: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn push_pop_round_trip_and_stack_depth() {
+        let mut a = Asm::new("stack");
+        a.movi(Reg::R1, 111);
+        a.movi(Reg::R2, 222);
+        a.push(Reg::R1);
+        a.push(Reg::R2);
+        a.pop(Reg::R3); // 222
+        a.pop(Reg::R4); // 111
+        a.sub(Reg::R3, Reg::R4); // 111
+        a.exit_with(Reg::R3);
+        let (_, _, status) = run(&a.assemble().expect("assemble"));
+        assert_eq!(status, ExitStatus::Exited(111));
+    }
+
+    #[test]
+    fn unsigned_ops_and_remainder() {
+        let mut a = Asm::new("uops");
+        a.movi(Reg::R1, 17);
+        a.movi(Reg::R2, 5);
+        a.mov(Reg::R3, Reg::R1);
+        a.divu(Reg::R3, Reg::R2); // 3
+        a.mov(Reg::R4, Reg::R1);
+        a.rem(Reg::R4, Reg::R2); // 2
+        a.muli(Reg::R3, 10);
+        a.add(Reg::R3, Reg::R4); // 32
+        a.exit_with(Reg::R3);
+        let (_, _, status) = run(&a.assemble().expect("assemble"));
+        assert_eq!(status, ExitStatus::Exited(32));
+    }
+
+    #[test]
+    fn fp_min_max_sqrt_and_cvt() {
+        let mut a = Asm::new("fpops");
+        a.fmovi(FReg::F0, 9.0);
+        a.fsqrt(FReg::F0); // 3.0
+        a.fmovi(FReg::F1, -5.0);
+        a.fmax(FReg::F0, FReg::F1); // 3.0
+        a.fmin(FReg::F1, FReg::F0); // -5.0
+        a.fsub(FReg::F0, FReg::F1); // 8.0
+        a.cvtfi(Reg::R1, FReg::F0);
+        a.hypercall(abi::SYS_EXIT);
+        let (_, _, status) = run(&a.assemble().expect("assemble"));
+        assert_eq!(status, ExitStatus::Exited(8));
+    }
+
+    #[test]
+    fn sys_clock_returns_monotonic_icount() {
+        let mut a = Asm::new("clock");
+        a.hypercall(abi::SYS_CLOCK);
+        a.mov(Reg::R7, Reg::R0);
+        a.nop();
+        a.nop();
+        a.hypercall(abi::SYS_CLOCK);
+        a.sub(Reg::R0, Reg::R7);
+        a.exit_with(Reg::R0);
+        let (_, _, status) = run(&a.assemble().expect("assemble"));
+        // nop, nop, hypercall, mov retired between the two reads... the
+        // exact delta is the instruction distance: mov+nop+nop+hcall = 4.
+        assert_eq!(status, ExitStatus::Exited(4));
+    }
+
+    #[test]
+    fn unknown_kernel_call_is_sigill() {
+        let mut a = Asm::new("badcall");
+        a.hypercall(42); // unassigned kernel number
+        a.exit(0);
+        let (_, _, status) = run(&a.assemble().expect("assemble"));
+        assert_eq!(status, ExitStatus::Signaled(Signal::Ill));
+    }
+
+    #[test]
+    fn writes_to_unknown_fds_are_ignored() {
+        let mut a = Asm::new("badfd");
+        a.movi(Reg::R1, 99); // not a real fd
+        a.movi(Reg::R2, 7);
+        a.hypercall(abi::SYS_WRITE_I64);
+        a.exit(0);
+        let (node, pid, status) = run(&a.assemble().expect("assemble"));
+        assert!(status.is_success());
+        let files = &node.process(pid).expect("proc").files;
+        assert!(files.stdout.is_empty());
+        assert!(files.output.is_empty());
+    }
+
+    #[test]
+    fn stack_overflow_is_sigsegv() {
+        // Push in an endless loop: sp walks off the mapped stack.
+        let mut a = Asm::new("overflow");
+        a.label("spin");
+        a.push(Reg::R1);
+        a.jmp("spin");
+        let (_, _, status) = run(&a.assemble().expect("assemble"));
+        assert_eq!(status, ExitStatus::Signaled(Signal::Segv));
+    }
+
+    #[test]
+    fn cache_stats_reflect_execution() {
+        let mut a = Asm::new("cachestats");
+        a.movi(Reg::R1, 0);
+        a.label("loop");
+        a.addi(Reg::R1, 1);
+        a.cmpi(Reg::R1, 100);
+        a.jcc(chaser_isa::Cond::Lt, "loop");
+        a.exit(0);
+        let (node, _, status) = run(&a.assemble().expect("assemble"));
+        assert!(status.is_success());
+        let stats = node.cache_stats();
+        assert!(stats.lookups > stats.misses, "the loop body must hit");
+        assert!(stats.misses >= 2, "at least two distinct blocks translated");
+    }
+}

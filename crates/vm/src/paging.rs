@@ -1,0 +1,275 @@
+//! Per-process virtual address spaces.
+
+use crate::mem::{MemFault, MemFaultKind, PhysMemory};
+use chaser_isa::PAGE_SIZE;
+use std::collections::HashMap;
+
+/// Page permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagePerms {
+    /// Writable.
+    pub write: bool,
+    /// Executable.
+    pub exec: bool,
+}
+
+impl PagePerms {
+    /// Read-only data.
+    pub const R: PagePerms = PagePerms {
+        write: false,
+        exec: false,
+    };
+    /// Read-write data.
+    pub const RW: PagePerms = PagePerms {
+        write: true,
+        exec: false,
+    };
+    /// Read-execute text.
+    pub const RX: PagePerms = PagePerms {
+        write: false,
+        exec: true,
+    };
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pte {
+    frame: u64,
+    perms: PagePerms,
+}
+
+/// A single-level page table mapping guest virtual pages to physical
+/// frames, one per process.
+///
+/// The `asid` tags translation-cache entries (QEMU keys its TB cache by the
+/// guest's CR3; here the process id plays that role).
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    asid: u64,
+    pages: HashMap<u64, Pte>,
+}
+
+impl AddressSpace {
+    /// An empty address space tagged `asid`.
+    pub fn new(asid: u64) -> AddressSpace {
+        AddressSpace {
+            asid,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// The address-space identifier.
+    pub fn asid(&self) -> u64 {
+        self.asid
+    }
+
+    /// Maps `len` bytes starting at page-aligned `vaddr` with fresh zeroed
+    /// frames, returning an error when physical memory is exhausted.
+    pub fn map_region(
+        &mut self,
+        phys: &mut PhysMemory,
+        vaddr: u64,
+        len: u64,
+        perms: PagePerms,
+    ) -> Result<(), MemFault> {
+        assert_eq!(vaddr % PAGE_SIZE, 0, "mappings must be page aligned");
+        let pages = len.div_ceil(PAGE_SIZE);
+        for i in 0..pages {
+            let vpn = vaddr / PAGE_SIZE + i;
+            if self.pages.contains_key(&vpn) {
+                continue;
+            }
+            let frame = phys.alloc_frame().ok_or(MemFault {
+                vaddr: vpn * PAGE_SIZE,
+                kind: MemFaultKind::Unmapped,
+            })?;
+            self.pages.insert(vpn, Pte { frame, perms });
+        }
+        Ok(())
+    }
+
+    /// Translates a virtual address for a data read.
+    pub fn translate_read(&self, vaddr: u64) -> Result<u64, MemFault> {
+        self.translate(vaddr, false, false)
+    }
+
+    /// Translates a virtual address for a data write.
+    pub fn translate_write(&self, vaddr: u64) -> Result<u64, MemFault> {
+        self.translate(vaddr, true, false)
+    }
+
+    /// Translates a virtual address for instruction fetch.
+    pub fn translate_exec(&self, vaddr: u64) -> Result<u64, MemFault> {
+        self.translate(vaddr, false, true)
+    }
+
+    fn translate(&self, vaddr: u64, write: bool, exec: bool) -> Result<u64, MemFault> {
+        let vpn = vaddr / PAGE_SIZE;
+        let off = vaddr % PAGE_SIZE;
+        let pte = self.pages.get(&vpn).ok_or(MemFault {
+            vaddr,
+            kind: MemFaultKind::Unmapped,
+        })?;
+        if (write && !pte.perms.write) || (exec && !pte.perms.exec) {
+            return Err(MemFault {
+                vaddr,
+                kind: MemFaultKind::Protection,
+            });
+        }
+        Ok(pte.frame + off)
+    }
+
+    /// Reads a guest u64 (may cross a page boundary).
+    pub fn read_u64(&self, phys: &PhysMemory, vaddr: u64) -> Result<u64, MemFault> {
+        if vaddr % PAGE_SIZE <= PAGE_SIZE - 8 {
+            let p = self.translate_read(vaddr)?;
+            Ok(phys.read_u64(p))
+        } else {
+            let mut bytes = [0u8; 8];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                let p = self.translate_read(vaddr + i as u64)?;
+                *b = phys.read_u8(p);
+            }
+            Ok(u64::from_le_bytes(bytes))
+        }
+    }
+
+    /// Writes a guest u64 (may cross a page boundary).
+    pub fn write_u64(&self, phys: &mut PhysMemory, vaddr: u64, v: u64) -> Result<(), MemFault> {
+        if vaddr % PAGE_SIZE <= PAGE_SIZE - 8 {
+            let p = self.translate_write(vaddr)?;
+            phys.write_u64(p, v);
+        } else {
+            for (i, b) in v.to_le_bytes().iter().enumerate() {
+                let p = self.translate_write(vaddr + i as u64)?;
+                phys.write_u8(p, *b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads `len` guest bytes.
+    pub fn read_bytes(&self, phys: &PhysMemory, vaddr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        // `len` may be a corrupted guest value (e.g. a fault flipped a
+        // syscall argument): never pre-allocate it on the host. An absurd
+        // length walks into unmapped territory and faults like real
+        // hardware would, growing the buffer only as far as it got.
+        let mut out = Vec::with_capacity(len.min(64 * 1024) as usize);
+        let mut cur = vaddr;
+        let end = vaddr.checked_add(len).ok_or(MemFault {
+            vaddr,
+            kind: MemFaultKind::Unmapped,
+        })?;
+        while cur < end {
+            let p = self.translate_read(cur)?;
+            let in_page = (PAGE_SIZE - cur % PAGE_SIZE).min(end - cur);
+            out.extend_from_slice(phys.read_bytes(p, in_page as usize));
+            cur += in_page;
+        }
+        Ok(out)
+    }
+
+    /// Writes guest bytes.
+    pub fn write_bytes(
+        &self,
+        phys: &mut PhysMemory,
+        vaddr: u64,
+        data: &[u8],
+    ) -> Result<(), MemFault> {
+        let mut cur = vaddr;
+        let mut off = 0usize;
+        while off < data.len() {
+            let p = self.translate_write(cur)?;
+            let in_page = ((PAGE_SIZE - cur % PAGE_SIZE) as usize).min(data.len() - off);
+            phys.write_bytes(p, &data[off..off + in_page]);
+            cur += in_page as u64;
+            off += in_page;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMemory, AddressSpace) {
+        let mut phys = PhysMemory::new(32 * PAGE_SIZE);
+        let mut asp = AddressSpace::new(1);
+        asp.map_region(&mut phys, 0x1000, 3 * PAGE_SIZE, PagePerms::RW)
+            .expect("map");
+        (phys, asp)
+    }
+
+    #[test]
+    fn translate_and_rw_round_trip() {
+        let (mut phys, asp) = setup();
+        asp.write_u64(&mut phys, 0x1010, 77).expect("write");
+        assert_eq!(asp.read_u64(&phys, 0x1010).expect("read"), 77);
+    }
+
+    #[test]
+    fn cross_page_u64_access() {
+        let (mut phys, asp) = setup();
+        let vaddr = 0x1000 + PAGE_SIZE - 3;
+        asp.write_u64(&mut phys, vaddr, 0x1122_3344_5566_7788)
+            .expect("write");
+        assert_eq!(
+            asp.read_u64(&phys, vaddr).expect("read"),
+            0x1122_3344_5566_7788
+        );
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let (phys, asp) = setup();
+        let err = asp.read_u64(&phys, 0x9999_0000).expect_err("fault");
+        assert_eq!(err.kind, MemFaultKind::Unmapped);
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut phys = PhysMemory::new(8 * PAGE_SIZE);
+        let mut asp = AddressSpace::new(1);
+        asp.map_region(&mut phys, 0x2000, PAGE_SIZE, PagePerms::R)
+            .expect("map");
+        assert!(asp.read_u64(&phys, 0x2000).is_ok());
+        let err = asp.write_u64(&mut phys, 0x2000, 1).expect_err("fault");
+        assert_eq!(err.kind, MemFaultKind::Protection);
+    }
+
+    #[test]
+    fn exec_permission_is_enforced() {
+        let mut phys = PhysMemory::new(8 * PAGE_SIZE);
+        let mut asp = AddressSpace::new(1);
+        asp.map_region(&mut phys, 0x3000, PAGE_SIZE, PagePerms::RX)
+            .expect("map");
+        assert!(asp.translate_exec(0x3000).is_ok());
+        asp.map_region(&mut phys, 0x4000, PAGE_SIZE, PagePerms::RW)
+            .expect("map");
+        assert_eq!(
+            asp.translate_exec(0x4000).expect_err("fault").kind,
+            MemFaultKind::Protection
+        );
+    }
+
+    #[test]
+    fn bytes_round_trip_across_pages() {
+        let (mut phys, asp) = setup();
+        let data: Vec<u8> = (0..=255u8).cycle().take(2 * PAGE_SIZE as usize).collect();
+        asp.write_bytes(&mut phys, 0x1000, &data).expect("write");
+        let back = asp
+            .read_bytes(&phys, 0x1000, data.len() as u64)
+            .expect("read");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn double_map_is_idempotent() {
+        let (mut phys, mut asp) = setup();
+        asp.write_u64(&mut phys, 0x1000, 42).expect("write");
+        // Remapping the same region must not replace frames (data survives).
+        asp.map_region(&mut phys, 0x1000, PAGE_SIZE, PagePerms::RW)
+            .expect("remap");
+        assert_eq!(asp.read_u64(&phys, 0x1000).expect("read"), 42);
+    }
+}

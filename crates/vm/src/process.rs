@@ -1,0 +1,130 @@
+//! Guest processes.
+
+use crate::kernel::ExitStatus;
+use crate::paging::AddressSpace;
+use chaser_isa::CpuState;
+
+/// A process's scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Ready to execute.
+    Runnable,
+    /// Parked in an MPI call, waiting for the runtime to complete it.
+    BlockedMpi,
+    /// Finished (see [`Process::exit_status`]).
+    Exited,
+}
+
+/// A pending MPI hypercall captured by the engine, to be completed by the
+/// cluster runtime in `chaser-mpi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpiRequest {
+    /// The MPI hypercall number (`chaser_isa::abi::MPI_*`).
+    pub num: u16,
+    /// Arguments from `R1..=R6` at trap time.
+    pub args: [u64; 6],
+    /// Where execution resumes once the call completes.
+    pub resume_pc: u64,
+}
+
+/// Output streams of a process, captured for outcome classification.
+///
+/// `output` (fd 3) is the workload's result file; the campaign classifier
+/// compares it bitwise against the golden run — the paper's SDC criterion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessFiles {
+    /// Bytes written to stdout (fd 1).
+    pub stdout: Vec<u8>,
+    /// Bytes written to the result file (fd 3).
+    pub output: Vec<u8>,
+}
+
+/// A guest process: CPU, address space and kernel bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Process {
+    pid: u64,
+    name: String,
+    /// Architectural CPU state.
+    pub cpu: CpuState,
+    /// The process's page tables.
+    pub aspace: AddressSpace,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// Exit status once `state == Exited`.
+    pub exit: Option<ExitStatus>,
+    /// Retired guest instructions.
+    pub icount: u64,
+    /// Current heap break.
+    pub brk: u64,
+    /// Captured output streams.
+    pub files: ProcessFiles,
+    /// In-flight MPI request while `state == BlockedMpi`.
+    pub pending_mpi: Option<MpiRequest>,
+}
+
+impl Process {
+    pub(crate) fn new(
+        pid: u64,
+        name: String,
+        cpu: CpuState,
+        aspace: AddressSpace,
+        brk: u64,
+    ) -> Process {
+        Process {
+            pid,
+            name,
+            cpu,
+            aspace,
+            state: ProcState::Runnable,
+            exit: None,
+            icount: 0,
+            brk,
+            files: ProcessFiles::default(),
+            pending_mpi: None,
+        }
+    }
+
+    /// The process id (also its address-space id).
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    /// The program name (VMI screens against this).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The exit status, if the process has exited.
+    pub fn exit_status(&self) -> Option<ExitStatus> {
+        self.exit
+    }
+
+    /// Marks the process exited with `status`.
+    pub fn terminate(&mut self, status: ExitStatus) {
+        self.state = ProcState::Exited;
+        self.exit = Some(status);
+        self.pending_mpi = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Signal;
+
+    #[test]
+    fn terminate_transitions_state() {
+        let mut p = Process::new(1, "t".into(), CpuState::new(0), AddressSpace::new(1), 0);
+        assert_eq!(p.state, ProcState::Runnable);
+        assert_eq!(p.exit_status(), None);
+        p.pending_mpi = Some(MpiRequest {
+            num: 103,
+            args: [0; 6],
+            resume_pc: 0,
+        });
+        p.terminate(ExitStatus::Signaled(Signal::Segv));
+        assert_eq!(p.state, ProcState::Exited);
+        assert_eq!(p.exit_status(), Some(ExitStatus::Signaled(Signal::Segv)));
+        assert!(p.pending_mpi.is_none());
+    }
+}

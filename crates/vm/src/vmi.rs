@@ -1,0 +1,55 @@
+//! Virtual Machine Introspection events.
+//!
+//! DECAF's VMI reconstructs guest-OS process state from outside; Chaser
+//! registers a `VMI_CREATEPROC_CB` to detect its target application and
+//! arm the injector. Here the kernel is simulated, so the node reports
+//! process lifecycle events directly to registered [`VmiSink`]s and applies
+//! the returned [`VmiAction`]s (e.g. flushing the translation cache so the
+//! next translation round carries the instrumentation — the paper's
+//! sequence on target-process creation).
+
+use crate::kernel::ExitStatus;
+
+/// What a VMI sink wants done after observing an event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmiAction {
+    /// Flush the node's translation cache (forces retranslation, which
+    /// re-consults the translate hook).
+    pub flush_tb: bool,
+}
+
+impl VmiAction {
+    /// No action.
+    pub const NONE: VmiAction = VmiAction { flush_tb: false };
+    /// Flush the translation cache.
+    pub const FLUSH: VmiAction = VmiAction { flush_tb: true };
+
+    /// Combines two actions.
+    pub fn merge(self, other: VmiAction) -> VmiAction {
+        VmiAction {
+            flush_tb: self.flush_tb || other.flush_tb,
+        }
+    }
+}
+
+/// Observer of guest process lifecycle events.
+pub trait VmiSink {
+    /// A process was created on `node` with id `pid` running `name`.
+    fn on_process_created(&mut self, node: u32, pid: u64, name: &str) -> VmiAction;
+
+    /// A process exited.
+    fn on_process_exited(&mut self, _node: u32, _pid: u64, _status: ExitStatus) -> VmiAction {
+        VmiAction::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_ors_flags() {
+        assert_eq!(VmiAction::NONE.merge(VmiAction::FLUSH), VmiAction::FLUSH);
+        assert_eq!(VmiAction::NONE.merge(VmiAction::NONE), VmiAction::NONE);
+    }
+}

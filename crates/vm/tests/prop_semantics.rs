@@ -1,0 +1,201 @@
+//! Property tests for the execution engine.
+//!
+//! 1. *Semantic equivalence*: running a random straight-line program through
+//!    translate → IR-interpret must leave the CPU in the same state as a
+//!    direct reference evaluation of the guest instructions.
+//! 2. *Taint soundness*: with no injected fault the whole system stays
+//!    taint-free; with an injected tainted register, the precise policy's
+//!    final taint is a subset of the conservative policy's.
+
+use chaser_isa::{Asm, CpuState, FReg, Flags, Instruction, Reg};
+use chaser_taint::{TaintMask, TaintPolicy};
+use chaser_vm::{ExitStatus, Node, SliceExit};
+use proptest::prelude::*;
+
+/// Registers the generator uses (avoids SP so the stack stays sane, and R1
+/// because `exit_with` clobbers it).
+const REGS: [Reg; 6] = [Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7];
+const FREGS: [FReg; 4] = [FReg::F0, FReg::F1, FReg::F2, FReg::F3];
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    proptest::sample::select(&REGS[..])
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    proptest::sample::select(&FREGS[..])
+}
+
+/// Straight-line, memory-free, trap-free instructions.
+fn arb_insn() -> impl Strategy<Value = Instruction> {
+    use Instruction as I;
+    prop_oneof![
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::MovRR { dst, src }),
+        (arb_reg(), -1000i64..1000).prop_map(|(dst, imm)| I::MovRI { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Add { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Sub { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Mul { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::And { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Or { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Xor { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Shl { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Shr { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| I::Sar { dst, src }),
+        (arb_reg(), 0i64..64).prop_map(|(dst, imm)| I::ShlI { dst, imm }),
+        (arb_reg(), 0i64..64).prop_map(|(dst, imm)| I::ShrI { dst, imm }),
+        (arb_reg(), 0i64..64).prop_map(|(dst, imm)| I::SarI { dst, imm }),
+        (arb_reg(), -1000i64..1000).prop_map(|(dst, imm)| I::AddI { dst, imm }),
+        (arb_reg(), -1000i64..1000).prop_map(|(dst, imm)| I::XorI { dst, imm }),
+        arb_reg().prop_map(|dst| I::Neg { dst }),
+        arb_reg().prop_map(|dst| I::Not { dst }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| I::Cmp { a, b }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::FMov { dst, src }),
+        (arb_freg(), -100i32..100).prop_map(|(dst, v)| I::FMovI {
+            dst,
+            imm: v as f64 / 4.0
+        }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fadd { dst, src }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fsub { dst, src }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fmul { dst, src }),
+        (arb_freg(), arb_freg()).prop_map(|(dst, src)| I::Fdiv { dst, src }),
+        arb_freg().prop_map(|dst| I::Fabs { dst }),
+        arb_freg().prop_map(|dst| I::Fneg { dst }),
+        (arb_freg(), arb_reg()).prop_map(|(dst, src)| I::CvtIF { dst, src }),
+        (arb_reg(), arb_freg()).prop_map(|(dst, src)| I::MovFR { dst, src }),
+        (arb_freg(), arb_reg()).prop_map(|(dst, src)| I::MovRF { dst, src }),
+        (arb_freg(), arb_freg()).prop_map(|(a, b)| I::Fcmp { a, b }),
+    ]
+}
+
+/// Direct reference semantics for the generated subset.
+fn reference_step(cpu: &mut CpuState, insn: &Instruction) {
+    use Instruction as I;
+    match *insn {
+        I::MovRR { dst, src } => cpu.set_reg(dst, cpu.reg(src)),
+        I::MovRI { dst, imm } => cpu.set_reg(dst, imm as u64),
+        I::Add { dst, src } => cpu.set_reg(dst, cpu.reg(dst).wrapping_add(cpu.reg(src))),
+        I::Sub { dst, src } => cpu.set_reg(dst, cpu.reg(dst).wrapping_sub(cpu.reg(src))),
+        I::Mul { dst, src } => cpu.set_reg(dst, cpu.reg(dst).wrapping_mul(cpu.reg(src))),
+        I::And { dst, src } => cpu.set_reg(dst, cpu.reg(dst) & cpu.reg(src)),
+        I::Or { dst, src } => cpu.set_reg(dst, cpu.reg(dst) | cpu.reg(src)),
+        I::Xor { dst, src } => cpu.set_reg(dst, cpu.reg(dst) ^ cpu.reg(src)),
+        I::Shl { dst, src } => cpu.set_reg(dst, cpu.reg(dst) << (cpu.reg(src) & 63)),
+        I::Shr { dst, src } => cpu.set_reg(dst, cpu.reg(dst) >> (cpu.reg(src) & 63)),
+        I::Sar { dst, src } => {
+            cpu.set_reg(dst, ((cpu.reg(dst) as i64) >> (cpu.reg(src) & 63)) as u64)
+        }
+        I::ShlI { dst, imm } => cpu.set_reg(dst, cpu.reg(dst) << (imm as u64 & 63)),
+        I::ShrI { dst, imm } => cpu.set_reg(dst, cpu.reg(dst) >> (imm as u64 & 63)),
+        I::SarI { dst, imm } => {
+            cpu.set_reg(dst, ((cpu.reg(dst) as i64) >> (imm as u64 & 63)) as u64)
+        }
+        I::AddI { dst, imm } => cpu.set_reg(dst, cpu.reg(dst).wrapping_add(imm as u64)),
+        I::XorI { dst, imm } => cpu.set_reg(dst, cpu.reg(dst) ^ imm as u64),
+        I::Neg { dst } => cpu.set_reg(dst, (cpu.reg(dst) as i64).wrapping_neg() as u64),
+        I::Not { dst } => cpu.set_reg(dst, !cpu.reg(dst)),
+        I::Cmp { a, b } => cpu.flags = Flags::from_int_cmp(cpu.reg(a), cpu.reg(b)),
+        I::FMov { dst, src } => cpu.set_freg_bits(dst, cpu.freg_bits(src)),
+        I::FMovI { dst, imm } => cpu.set_freg(dst, imm),
+        I::Fadd { dst, src } => cpu.set_freg(dst, cpu.freg(dst) + cpu.freg(src)),
+        I::Fsub { dst, src } => cpu.set_freg(dst, cpu.freg(dst) - cpu.freg(src)),
+        I::Fmul { dst, src } => cpu.set_freg(dst, cpu.freg(dst) * cpu.freg(src)),
+        I::Fdiv { dst, src } => cpu.set_freg(dst, cpu.freg(dst) / cpu.freg(src)),
+        I::Fabs { dst } => cpu.set_freg(dst, cpu.freg(dst).abs()),
+        I::Fneg { dst } => cpu.set_freg(dst, -cpu.freg(dst)),
+        I::CvtIF { dst, src } => cpu.set_freg(dst, (cpu.reg(src) as i64) as f64),
+        I::MovFR { dst, src } => cpu.set_reg(dst, cpu.freg_bits(src)),
+        I::MovRF { dst, src } => cpu.set_freg_bits(dst, cpu.reg(src)),
+        I::Fcmp { a, b } => cpu.flags = Flags::from_fp_cmp(cpu.freg(a), cpu.freg(b)),
+        ref other => panic!("generator produced unsupported insn {other:?}"),
+    }
+}
+
+fn build_program(insns: &[Instruction]) -> chaser_isa::Program {
+    let mut a = Asm::new("prop");
+    for insn in insns {
+        a.insn(*insn);
+    }
+    a.exit(0);
+    a.assemble().expect("assemble")
+}
+
+fn run_program(node: &mut Node, prog: &chaser_isa::Program) -> u64 {
+    let pid = node.spawn(prog).expect("spawn");
+    loop {
+        match node.run_slice(pid, 1_000_000) {
+            SliceExit::Exited(status) => {
+                assert_eq!(status, ExitStatus::Exited(0));
+                return pid;
+            }
+            SliceExit::QuantumExpired => continue,
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_reference_semantics(insns in proptest::collection::vec(arb_insn(), 1..60)) {
+        let prog = build_program(&insns);
+        let mut node = Node::new(0);
+        let pid = run_program(&mut node, &prog);
+        let engine_cpu = &node.process(pid).expect("proc").cpu;
+
+        let mut reference = CpuState::new(prog.entry());
+        for insn in &insns {
+            reference_step(&mut reference, insn);
+        }
+        for r in REGS {
+            prop_assert_eq!(engine_cpu.reg(r), reference.reg(r), "mismatch in {}", r);
+        }
+        for f in FREGS {
+            prop_assert_eq!(
+                engine_cpu.freg_bits(f),
+                reference.freg_bits(f),
+                "mismatch in {}", f
+            );
+        }
+    }
+
+    #[test]
+    fn no_fault_means_no_taint(insns in proptest::collection::vec(arb_insn(), 1..60)) {
+        let prog = build_program(&insns);
+        let mut node = Node::new(0);
+        run_program(&mut node, &prog);
+        prop_assert!(node.taint().is_fully_clean());
+    }
+
+    #[test]
+    fn precise_taint_is_subset_of_conservative(
+        insns in proptest::collection::vec(arb_insn(), 1..60),
+        seed_bit in 0u32..64,
+    ) {
+        let prog = build_program(&insns);
+        let mut masks = Vec::new();
+        for policy in [TaintPolicy::Precise, TaintPolicy::Conservative] {
+            let mut node = Node::with_config(0, 16 << 20, policy);
+            let pid = node.spawn(&prog).expect("spawn");
+            // Seed taint: one bit of R2 is "faulty" from the start.
+            node.taint_mut().set_reg(Reg::R2, TaintMask::bit(seed_bit));
+            loop {
+                match node.run_slice(pid, 1_000_000) {
+                    SliceExit::Exited(_) => break,
+                    SliceExit::QuantumExpired => continue,
+                    other => panic!("unexpected: {other:?}"),
+                }
+            }
+            let mut per_reg = Vec::new();
+            for r in REGS {
+                per_reg.push(node.taint().reg(r));
+            }
+            for f in FREGS {
+                per_reg.push(node.taint().freg(f));
+            }
+            masks.push(per_reg);
+        }
+        for (p, c) in masks[0].iter().zip(&masks[1]) {
+            prop_assert_eq!(p.0 & !c.0, 0, "precise {} ⊄ conservative {}", p, c);
+        }
+    }
+}

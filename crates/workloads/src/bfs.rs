@@ -1,0 +1,168 @@
+//! BFS: breadth-first search over a CSR graph — the compare-heavy Rodinia
+//! benchmark the paper targets with `cmp` faults.
+
+use crate::rtlib;
+use chaser_isa::{Asm, Cond, Program, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// BFS problem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Extra random out-edges per node (a ring edge is always added, so
+    /// the graph is connected).
+    pub extra_edges: usize,
+    /// Seed for the generated graph.
+    pub seed: u64,
+}
+
+impl Default for BfsConfig {
+    fn default() -> BfsConfig {
+        BfsConfig {
+            nodes: 128,
+            extra_edges: 3,
+            seed: 11,
+        }
+    }
+}
+
+/// Deterministically generates the CSR graph `(offsets, adjacency)`.
+pub fn graph(cfg: &BfsConfig) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut adj = Vec::new();
+    for u in 0..n {
+        offsets.push(adj.len() as u64);
+        // Ring edge keeps the graph connected.
+        adj.push(((u + 1) % n) as u64);
+        for _ in 0..cfg.extra_edges {
+            adj.push(rng.gen_range(0..n) as u64);
+        }
+    }
+    offsets.push(adj.len() as u64);
+    (offsets, adj)
+}
+
+/// Host-side BFS mirroring the guest's queue order; returns per-node
+/// levels (`-1` = unreachable, impossible here thanks to the ring).
+pub fn reference_levels(cfg: &BfsConfig) -> Vec<i64> {
+    let (off, adj) = graph(cfg);
+    let mut level = vec![-1i64; cfg.nodes];
+    level[0] = 0;
+    let mut queue = vec![0usize];
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let lvl = level[u] + 1;
+        for &edge in &adj[off[u] as usize..off[u + 1] as usize] {
+            let v = edge as usize;
+            if level[v] == -1 {
+                level[v] = lvl;
+                queue.push(v);
+            }
+        }
+    }
+    level
+}
+
+/// The bytes the golden run writes: the level array, little-endian i64s.
+pub fn reference_output(cfg: &BfsConfig) -> Vec<u8> {
+    reference_levels(cfg)
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect()
+}
+
+/// Assembles the guest program.
+pub fn program(cfg: &BfsConfig) -> Program {
+    let n = cfg.nodes as i64;
+    let (off, adj) = graph(cfg);
+    let mut level0 = vec![-1i64; cfg.nodes];
+    level0[0] = 0;
+
+    let mut a = Asm::new("bfs");
+    rtlib::emit(&mut a);
+    a.set_entry("main");
+
+    a.data_u64("off", &off);
+    a.data_u64("adj", &adj);
+    a.data_i64("level", &level0);
+    a.bss("queue", (cfg.nodes * 8) as u64);
+
+    a.label("main");
+    a.lea(Reg::R7, "queue");
+    a.movi(Reg::R8, 0); // head
+    a.movi(Reg::R9, 0); // tail
+                        // push source 0
+    a.movi(Reg::R10, 0);
+    a.stx(Reg::R10, Reg::R7, Reg::R9);
+    a.addi(Reg::R9, 1);
+
+    a.label("bfs_loop");
+    a.cmp(Reg::R8, Reg::R9);
+    a.jcc(Cond::Ge, "bfs_done");
+    a.ldx(Reg::R10, Reg::R7, Reg::R8); // u
+    a.addi(Reg::R8, 1);
+    a.lea(Reg::R11, "level");
+    a.ldx(Reg::R12, Reg::R11, Reg::R10);
+    a.addi(Reg::R12, 1); // lvl = level[u] + 1
+    a.lea(Reg::R13, "off");
+    a.ldx(Reg::R14, Reg::R13, Reg::R10); // e = off[u]
+    a.mov(Reg::R4, Reg::R10);
+    a.addi(Reg::R4, 1);
+    a.ldx(Reg::R4, Reg::R13, Reg::R4); // end = off[u+1]
+
+    a.label("edge_loop");
+    a.cmp(Reg::R14, Reg::R4);
+    a.jcc(Cond::Ge, "bfs_loop");
+    a.lea(Reg::R5, "adj");
+    a.ldx(Reg::R5, Reg::R5, Reg::R14); // v
+    a.lea(Reg::R6, "level");
+    a.ldx(Reg::R3, Reg::R6, Reg::R5); // level[v]
+    a.cmpi(Reg::R3, -1);
+    a.jcc(Cond::Ne, "edge_next");
+    a.stx(Reg::R12, Reg::R6, Reg::R5); // level[v] = lvl
+    a.stx(Reg::R5, Reg::R7, Reg::R9); // queue[tail++] = v
+    a.addi(Reg::R9, 1);
+    a.label("edge_next");
+    a.addi(Reg::R14, 1);
+    a.jmp("edge_loop");
+
+    a.label("bfs_done");
+    a.lea(Reg::R1, "level");
+    a.movi(Reg::R2, n * 8);
+    a.call("write_out");
+    a.exit(0);
+
+    a.assemble().expect("bfs assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_is_connected_by_construction() {
+        let cfg = BfsConfig::default();
+        let levels = reference_levels(&cfg);
+        assert!(levels.iter().all(|&l| l >= 0), "ring keeps all reachable");
+        assert_eq!(levels[0], 0);
+    }
+
+    #[test]
+    fn program_assembles() {
+        let p = program(&BfsConfig::default());
+        assert_eq!(p.name(), "bfs");
+        assert!(p.insn_count() > 30);
+    }
+
+    #[test]
+    fn reference_output_is_n_levels() {
+        let cfg = BfsConfig::default();
+        assert_eq!(reference_output(&cfg).len(), cfg.nodes * 8);
+    }
+}

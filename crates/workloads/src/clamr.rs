@@ -1,0 +1,527 @@
+//! `clamr_sim`: a domain-decomposed 1-D shallow-water solver with a mass
+//! conservation checker, standing in for the DOE CLAMR mini-app.
+//!
+//! Like CLAMR, it simulates the long-range propagation of a wave with the
+//! shallow-water equations, checks a conservation law (total mass) during
+//! the run, and writes the final field for result comparison. The solver
+//! is a Lax–Friedrichs finite-volume scheme over a periodic 1-D domain
+//! decomposed across MPI ranks, with per-step halo exchange via
+//! send/recv — the communication pattern that lets injected faults
+//! propagate between ranks. See DESIGN.md for the substitution argument
+//! (full 2-D AMR is physics fidelity, not fault-path fidelity).
+//!
+//! Detection path: every `check_interval` steps the ranks all-reduce their
+//! local mass; every rank compares against the initial mass and calls the
+//! `assert_fail` checker when conservation is violated (or the mass became
+//! NaN) — the paper's "CLAMR detected the injected fault" outcome.
+
+use crate::rtlib;
+use chaser_isa::{Asm, Cond, FReg, Program, Reg};
+
+/// Halo-exchange tags.
+const TAG_TO_LEFT: i64 = 1;
+const TAG_TO_RIGHT: i64 = 2;
+
+/// Gravitational constant of the shallow-water system.
+pub const GRAVITY: f64 = 9.8;
+
+/// clamr_sim problem configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClamrConfig {
+    /// Global cell count (must be divisible by `ranks`).
+    pub ncells: usize,
+    /// MPI ranks.
+    pub ranks: u32,
+    /// Simulation steps.
+    pub steps: usize,
+    /// Conservation-check period in steps.
+    pub check_interval: usize,
+    /// Checkpoint period in steps: every `checkpoint_interval` steps the
+    /// field is gathered to rank 0 and appended to the result file (CLAMR's
+    /// `-i` argument; the paper runs `-i 10`). `0` disables periodic
+    /// checkpoints (final field only).
+    pub checkpoint_interval: usize,
+    /// Allowed |mass - mass0| drift before the checker aborts.
+    pub tolerance: f64,
+    /// Time step over (2 × cell width): the Lax–Friedrichs λ.
+    pub lambda: f64,
+}
+
+impl Default for ClamrConfig {
+    fn default() -> ClamrConfig {
+        ClamrConfig {
+            ncells: 64,
+            ranks: 4,
+            steps: 40,
+            check_interval: 5,
+            checkpoint_interval: 10,
+            // Golden-run FP drift of the conservation sums is ~1e-13
+            // (per-step rounding random-walks); 1e-11 leaves a ~100×
+            // margin while catching injected perturbations down to the
+            // mid-mantissa — CLAMR's checker is similarly aggressive
+            // (the paper detects 83.71% of register faults).
+            tolerance: 1e-11,
+            lambda: 0.025, // dt = 0.05, dx = 1.0
+        }
+    }
+}
+
+impl ClamrConfig {
+    /// Cells per rank.
+    pub fn local_n(&self) -> usize {
+        assert_eq!(
+            self.ncells % self.ranks as usize,
+            0,
+            "ncells must divide evenly across ranks"
+        );
+        self.ncells / self.ranks as usize
+    }
+}
+
+/// The deterministic initial condition: a smooth bump on a unit-depth lake
+/// at rest.
+pub fn initial_height(cfg: &ClamrConfig) -> Vec<f64> {
+    let n = cfg.ncells as f64;
+    (0..cfg.ncells)
+        .map(|i| {
+            let x = (i as f64 - n / 2.0) / (n / 8.0);
+            1.0 + 0.4 * (-x * x).exp()
+        })
+        .collect()
+}
+
+/// Host-side reference simulation mirroring the guest's arithmetic order
+/// exactly; returns the final height field.
+pub fn simulate(cfg: &ClamrConfig) -> Vec<f64> {
+    let mut sink = Vec::new();
+    simulate_with_checkpoints(cfg, &mut sink)
+}
+
+/// Reference simulation that also appends every checkpointed field to
+/// `checkpoints` (the guest writes the same bytes to its result file).
+pub fn simulate_with_checkpoints(cfg: &ClamrConfig, checkpoints: &mut Vec<f64>) -> Vec<f64> {
+    let n = cfg.ncells;
+    let c2 = 0.5 * GRAVITY;
+    let lam = cfg.lambda;
+    let mut h = initial_height(cfg);
+    let mut hu = vec![0.0f64; n];
+    let mut hn = vec![0.0f64; n];
+    let mut hun = vec![0.0f64; n];
+    for s in 1..=cfg.steps {
+        for i in 0..n {
+            let im = (i + n - 1) % n;
+            let ip = (i + 1) % n;
+            let (h_m, h_p) = (h[im], h[ip]);
+            let (hu_m, hu_p) = (hu[im], hu[ip]);
+            let f2p = ((hu_p * hu_p) / h_p) + ((h_p * h_p) * c2);
+            let f2m = ((hu_m * hu_m) / h_m) + ((h_m * h_m) * c2);
+            hn[i] = ((h_m + h_p) * 0.5) - ((hu_p - hu_m) * lam);
+            hun[i] = ((hu_m + hu_p) * 0.5) - ((f2p - f2m) * lam);
+        }
+        std::mem::swap(&mut h, &mut hn);
+        std::mem::swap(&mut hu, &mut hun);
+        if cfg.checkpoint_interval != 0 && s % cfg.checkpoint_interval == 0 {
+            checkpoints.extend_from_slice(&h);
+        }
+    }
+    h
+}
+
+/// The bytes the golden run's rank 0 writes to its result file: every
+/// periodic checkpoint followed by the final field.
+pub fn reference_output(cfg: &ClamrConfig) -> Vec<u8> {
+    let mut fields = Vec::new();
+    let final_h = simulate_with_checkpoints(cfg, &mut fields);
+    fields.extend_from_slice(&final_h);
+    fields
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
+}
+
+/// Emits `F0 = global mass, F1 = global momentum` as a callable guest
+/// function — CLAMR checks all its conservation laws, and momentum
+/// corruptions are invisible to the mass sum (the hu flux telescopes out
+/// of ∑h exactly under periodic boundaries). Clobbers `R1..R6`, `R9`,
+/// `R12`, `F0..F2`.
+fn emit_mass_fn(a: &mut Asm, local_n: i64) {
+    a.label("mass_global");
+    a.fmovi(FReg::F0, 0.0); // Σh
+    a.fmovi(FReg::F1, 0.0); // Σhu
+    a.movi(Reg::R9, 1);
+    a.label("mass_loop");
+    a.cmpi(Reg::R9, local_n);
+    a.jcc(Cond::Gt, "mass_sum_done");
+    a.lea(Reg::R12, "h");
+    a.fldx(FReg::F2, Reg::R12, Reg::R9);
+    a.fadd(FReg::F0, FReg::F2);
+    a.lea(Reg::R12, "hu");
+    a.fldx(FReg::F2, Reg::R12, Reg::R9);
+    a.fadd(FReg::F1, FReg::F2);
+    a.addi(Reg::R9, 1);
+    a.jmp("mass_loop");
+    a.label("mass_sum_done");
+    a.lea(Reg::R12, "mlocal");
+    a.fst(FReg::F0, Reg::R12, 0);
+    a.fst(FReg::F1, Reg::R12, 8);
+    a.lea(Reg::R1, "mlocal");
+    a.lea(Reg::R2, "mglobal");
+    a.movi(Reg::R3, 2); // both conserved quantities
+    a.movi(Reg::R4, 2); // F64
+    a.movi(Reg::R5, 1); // Sum
+    a.call("mpi_allreduce");
+    a.lea(Reg::R12, "mglobal");
+    a.fld(FReg::F0, Reg::R12, 0);
+    a.fld(FReg::F1, Reg::R12, 8);
+    a.ret();
+}
+
+/// Emits the checkpoint routine as a callable guest function: gather the
+/// interior field to rank 0, which appends it to the result file. Clobbers
+/// `R1..R6`.
+fn emit_checkpoint_fn(a: &mut Asm, local_n: i64, ncells: usize) {
+    a.label("checkpoint_fn");
+    a.lea(Reg::R1, "h");
+    a.addi(Reg::R1, 8); // interior start
+    a.lea(Reg::R2, "gbuf");
+    a.movi(Reg::R3, local_n);
+    a.movi(Reg::R4, 2); // F64
+    a.movi(Reg::R5, 0); // root
+    a.call("mpi_gather");
+    a.cmpi(Reg::R7, 0);
+    a.jcc(Cond::Ne, "ckpt_done");
+    a.lea(Reg::R1, "gbuf");
+    a.movi(Reg::R2, (ncells * 8) as i64);
+    a.call("write_out");
+    a.label("ckpt_done");
+    a.ret();
+}
+
+/// Emits the halo exchange for one step, in the canonical deadlock-free
+/// nonblocking pattern: post both `Irecv`s, then the `Isend`s, then `Wait`
+/// for the receives. Uses `R1..R6`, `R9`, `R10`, `F0`.
+fn emit_halo_exchange(a: &mut Asm, local_n: i64) {
+    let pack = |a: &mut Asm, src: &str, idx: i32, dst: &str, off: i32| {
+        a.lea(Reg::R6, src);
+        a.fld(FReg::F0, Reg::R6, idx * 8);
+        a.lea(Reg::R6, dst);
+        a.fst(FReg::F0, Reg::R6, off);
+    };
+    // Left neighbour: (rank + size - 1) % size; right: (rank + 1) % size.
+    let left = |a: &mut Asm| {
+        a.mov(Reg::R4, Reg::R7);
+        a.add(Reg::R4, Reg::R8);
+        a.subi(Reg::R4, 1);
+        a.rem(Reg::R4, Reg::R8);
+    };
+    let right = |a: &mut Asm| {
+        a.mov(Reg::R4, Reg::R7);
+        a.addi(Reg::R4, 1);
+        a.rem(Reg::R4, Reg::R8);
+    };
+
+    // Post the receives first.
+    // Right halo arrives from the right neighbour (their "to-left").
+    a.lea(Reg::R1, "rbufr");
+    a.movi(Reg::R2, 2);
+    a.movi(Reg::R3, 2); // F64
+    right(a);
+    a.movi(Reg::R5, TAG_TO_LEFT);
+    a.call("mpi_irecv");
+    a.mov(Reg::R9, Reg::R0);
+    // Left halo arrives from the left neighbour (their "to-right").
+    a.lea(Reg::R1, "rbufl");
+    a.movi(Reg::R2, 2);
+    a.movi(Reg::R3, 2);
+    left(a);
+    a.movi(Reg::R5, TAG_TO_RIGHT);
+    a.call("mpi_irecv");
+    a.mov(Reg::R10, Reg::R0);
+
+    // Ship my edges.
+    pack(a, "h", 1, "sbufl", 0);
+    pack(a, "hu", 1, "sbufl", 8);
+    a.lea(Reg::R1, "sbufl");
+    a.movi(Reg::R2, 2);
+    a.movi(Reg::R3, 2);
+    left(a);
+    a.movi(Reg::R5, TAG_TO_LEFT);
+    a.call("mpi_isend");
+    pack(a, "h", local_n as i32, "sbufr", 0);
+    pack(a, "hu", local_n as i32, "sbufr", 8);
+    a.lea(Reg::R1, "sbufr");
+    a.movi(Reg::R2, 2);
+    a.movi(Reg::R3, 2);
+    right(a);
+    a.movi(Reg::R5, TAG_TO_RIGHT);
+    a.call("mpi_isend");
+
+    // Complete the receives.
+    a.mov(Reg::R1, Reg::R9);
+    a.call("mpi_wait");
+    a.mov(Reg::R1, Reg::R10);
+    a.call("mpi_wait");
+    // Halos are unpacked by the caller.
+}
+
+/// Assembles the guest program (identical binary on every rank).
+pub fn program(cfg: &ClamrConfig) -> Program {
+    let local_n = cfg.local_n() as i64;
+    let h0 = initial_height(cfg);
+
+    let mut a = Asm::new("clamr_sim");
+    rtlib::emit(&mut a);
+    emit_mass_fn(&mut a, local_n);
+    emit_checkpoint_fn(&mut a, local_n, cfg.ncells);
+    a.set_entry("main");
+
+    // Per-rank initial stripes are selected at runtime from the global
+    // field by rank, so one binary serves all ranks.
+    a.data_f64("h0_global", &h0);
+    a.bss("h", ((local_n + 2) * 8) as u64);
+    a.bss("hu", ((local_n + 2) * 8) as u64);
+    a.bss("hn", ((local_n + 2) * 8) as u64);
+    a.bss("hun", ((local_n + 2) * 8) as u64);
+    a.bss("sbufl", 16);
+    a.bss("sbufr", 16);
+    a.bss("rbufl", 16);
+    a.bss("rbufr", 16);
+    a.bss("mlocal", 16);
+    a.bss("mglobal", 16);
+    a.bss("mass0", 16);
+    a.bss("gbuf", (cfg.ncells * 8) as u64);
+
+    a.label("main");
+    a.call("mpi_init");
+    a.call("mpi_comm_rank");
+    a.mov(Reg::R7, Reg::R0);
+    a.call("mpi_comm_size");
+    a.mov(Reg::R8, Reg::R0);
+
+    // Load my stripe: h[i] = h0_global[rank*local_n + i - 1], hu = 0.
+    a.movi(Reg::R9, 1);
+    a.label("init_loop");
+    a.cmpi(Reg::R9, local_n);
+    a.jcc(Cond::Gt, "init_done");
+    a.mov(Reg::R10, Reg::R7);
+    a.muli(Reg::R10, local_n);
+    a.add(Reg::R10, Reg::R9);
+    a.subi(Reg::R10, 1);
+    a.lea(Reg::R12, "h0_global");
+    a.fldx(FReg::F0, Reg::R12, Reg::R10);
+    a.lea(Reg::R12, "h");
+    a.fstx(FReg::F0, Reg::R12, Reg::R9);
+    a.fmovi(FReg::F1, 0.0);
+    a.lea(Reg::R12, "hu");
+    a.fstx(FReg::F1, Reg::R12, Reg::R9);
+    a.addi(Reg::R9, 1);
+    a.jmp("init_loop");
+    a.label("init_done");
+
+    // Solver constants live in high FP registers for the whole run.
+    a.fmovi(FReg::F10, cfg.lambda); // λ
+    a.fmovi(FReg::F11, 0.5);
+    a.fmovi(FReg::F12, 0.5 * GRAVITY); // c2
+    a.fmovi(FReg::F13, cfg.tolerance);
+
+    // Initial conserved quantities, via the checker path itself.
+    a.call("mass_global");
+    a.lea(Reg::R12, "mass0");
+    a.fst(FReg::F0, Reg::R12, 0);
+    a.fst(FReg::F1, Reg::R12, 8);
+
+    // ---- time stepping ----
+    a.movi(Reg::R14, 1); // step s
+    a.label("step_loop");
+    a.cmpi(Reg::R14, cfg.steps as i64);
+    a.jcc(Cond::Gt, "steps_done");
+
+    emit_halo_exchange(&mut a, local_n);
+    // Unpack halos: h[0],hu[0] ← rbufl; h[n+1],hu[n+1] ← rbufr.
+    a.lea(Reg::R6, "rbufl");
+    a.fld(FReg::F0, Reg::R6, 0);
+    a.fld(FReg::F1, Reg::R6, 8);
+    a.lea(Reg::R6, "h");
+    a.fst(FReg::F0, Reg::R6, 0);
+    a.lea(Reg::R6, "hu");
+    a.fst(FReg::F1, Reg::R6, 0);
+    a.lea(Reg::R6, "rbufr");
+    a.fld(FReg::F0, Reg::R6, 0);
+    a.fld(FReg::F1, Reg::R6, 8);
+    a.lea(Reg::R6, "h");
+    a.fst(FReg::F0, Reg::R6, ((local_n + 1) * 8) as i32);
+    a.lea(Reg::R6, "hu");
+    a.fst(FReg::F1, Reg::R6, ((local_n + 1) * 8) as i32);
+
+    // Lax–Friedrichs update of the interior.
+    a.movi(Reg::R9, 1);
+    a.label("comp_loop");
+    a.cmpi(Reg::R9, local_n);
+    a.jcc(Cond::Gt, "comp_done");
+    a.mov(Reg::R10, Reg::R9);
+    a.subi(Reg::R10, 1); // i-1
+    a.mov(Reg::R11, Reg::R9);
+    a.addi(Reg::R11, 1); // i+1
+    a.lea(Reg::R12, "h");
+    a.fldx(FReg::F0, Reg::R12, Reg::R10); // h_m
+    a.fldx(FReg::F1, Reg::R12, Reg::R11); // h_p
+    a.lea(Reg::R12, "hu");
+    a.fldx(FReg::F2, Reg::R12, Reg::R10); // hu_m
+    a.fldx(FReg::F3, Reg::R12, Reg::R11); // hu_p
+                                          // f2p = hu_p²/h_p + h_p²·c2
+    a.fmov(FReg::F4, FReg::F3);
+    a.fmul(FReg::F4, FReg::F3);
+    a.fdiv(FReg::F4, FReg::F1);
+    a.fmov(FReg::F5, FReg::F1);
+    a.fmul(FReg::F5, FReg::F1);
+    a.fmul(FReg::F5, FReg::F12);
+    a.fadd(FReg::F4, FReg::F5);
+    // f2m = hu_m²/h_m + h_m²·c2
+    a.fmov(FReg::F5, FReg::F2);
+    a.fmul(FReg::F5, FReg::F2);
+    a.fdiv(FReg::F5, FReg::F0);
+    a.fmov(FReg::F6, FReg::F0);
+    a.fmul(FReg::F6, FReg::F0);
+    a.fmul(FReg::F6, FReg::F12);
+    a.fadd(FReg::F5, FReg::F6);
+    // hn[i] = (h_m+h_p)·½ − (hu_p−hu_m)·λ
+    a.fmov(FReg::F6, FReg::F0);
+    a.fadd(FReg::F6, FReg::F1);
+    a.fmul(FReg::F6, FReg::F11);
+    a.fmov(FReg::F7, FReg::F3);
+    a.fsub(FReg::F7, FReg::F2);
+    a.fmul(FReg::F7, FReg::F10);
+    a.fsub(FReg::F6, FReg::F7);
+    a.lea(Reg::R12, "hn");
+    a.fstx(FReg::F6, Reg::R12, Reg::R9);
+    // hun[i] = (hu_m+hu_p)·½ − (f2p−f2m)·λ
+    a.fmov(FReg::F7, FReg::F2);
+    a.fadd(FReg::F7, FReg::F3);
+    a.fmul(FReg::F7, FReg::F11);
+    a.fsub(FReg::F4, FReg::F5);
+    a.fmul(FReg::F4, FReg::F10);
+    a.fsub(FReg::F7, FReg::F4);
+    a.lea(Reg::R12, "hun");
+    a.fstx(FReg::F7, Reg::R12, Reg::R9);
+    a.addi(Reg::R9, 1);
+    a.jmp("comp_loop");
+    a.label("comp_done");
+
+    // Copy back the interior.
+    a.movi(Reg::R9, 1);
+    a.label("copy_loop");
+    a.cmpi(Reg::R9, local_n);
+    a.jcc(Cond::Gt, "copy_done");
+    a.lea(Reg::R12, "hn");
+    a.fldx(FReg::F0, Reg::R12, Reg::R9);
+    a.lea(Reg::R12, "h");
+    a.fstx(FReg::F0, Reg::R12, Reg::R9);
+    a.lea(Reg::R12, "hun");
+    a.fldx(FReg::F0, Reg::R12, Reg::R9);
+    a.lea(Reg::R12, "hu");
+    a.fstx(FReg::F0, Reg::R12, Reg::R9);
+    a.addi(Reg::R9, 1);
+    a.jmp("copy_loop");
+    a.label("copy_done");
+
+    // Conservation check every `check_interval` steps.
+    a.mov(Reg::R10, Reg::R14);
+    a.movi(Reg::R11, cfg.check_interval as i64);
+    a.rem(Reg::R10, Reg::R11);
+    a.cmpi(Reg::R10, 0);
+    a.jcc(Cond::Ne, "no_check");
+    a.call("mass_global"); // F0 = global mass, F1 = global momentum
+    a.lea(Reg::R12, "mass0");
+    a.fld(FReg::F2, Reg::R12, 0);
+    a.fsub(FReg::F0, FReg::F2);
+    a.fabs(FReg::F0);
+    a.fcmp(FReg::F0, FReg::F13);
+    a.jcc(Cond::Gt, "conservation_violated");
+    a.lea(Reg::R12, "mass0");
+    a.fld(FReg::F2, Reg::R12, 8);
+    a.fsub(FReg::F1, FReg::F2);
+    a.fabs(FReg::F1);
+    a.fcmp(FReg::F1, FReg::F13);
+    a.jcc(Cond::Le, "no_check");
+    a.label("conservation_violated");
+    // A conservation law is violated (or the sum is NaN): detected!
+    a.mov(Reg::R1, Reg::R14);
+    a.call("assert_fail");
+    a.label("no_check");
+
+    // Periodic checkpoint (CLAMR's `-i`).
+    if cfg.checkpoint_interval != 0 {
+        a.mov(Reg::R10, Reg::R14);
+        a.movi(Reg::R11, cfg.checkpoint_interval as i64);
+        a.rem(Reg::R10, Reg::R11);
+        a.cmpi(Reg::R10, 0);
+        a.jcc(Cond::Ne, "no_ckpt");
+        a.call("checkpoint_fn");
+        a.label("no_ckpt");
+    }
+
+    a.addi(Reg::R14, 1);
+    a.jmp("step_loop");
+    a.label("steps_done");
+
+    // Final field.
+    a.call("checkpoint_fn");
+    a.call("mpi_finalize");
+    a.exit(0);
+
+    a.assemble().expect("clamr_sim assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_assembles() {
+        let p = program(&ClamrConfig::default());
+        assert_eq!(p.name(), "clamr_sim");
+        assert!(p.insn_count() > 150);
+        assert!(p.symbol("mass_global").is_some());
+    }
+
+    #[test]
+    fn reference_conserves_mass() {
+        let cfg = ClamrConfig::default();
+        let h0 = initial_height(&cfg);
+        let h = simulate(&cfg);
+        let m0: f64 = h0.iter().sum();
+        let m: f64 = h.iter().sum();
+        assert!(
+            (m - m0).abs() < 1e-9,
+            "Lax–Friedrichs with periodic BC conserves mass: {m0} vs {m}"
+        );
+        // The wave must actually have moved.
+        assert!(h0.iter().zip(&h).any(|(a, b)| (a - b).abs() > 1e-3));
+    }
+
+    #[test]
+    fn reference_output_sized_and_deterministic() {
+        let cfg = ClamrConfig::default();
+        // steps/checkpoint_interval periodic checkpoints plus the final
+        // field.
+        let fields = cfg.steps / cfg.checkpoint_interval + 1;
+        assert_eq!(reference_output(&cfg).len(), fields * cfg.ncells * 8);
+        assert_eq!(reference_output(&cfg), reference_output(&cfg));
+
+        let no_ckpt = ClamrConfig {
+            checkpoint_interval: 0,
+            ..cfg
+        };
+        assert_eq!(reference_output(&no_ckpt).len(), cfg.ncells * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn indivisible_cells_panic() {
+        let cfg = ClamrConfig {
+            ncells: 65,
+            ..ClamrConfig::default()
+        };
+        let _ = cfg.local_n();
+    }
+}

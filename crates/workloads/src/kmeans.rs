@@ -1,0 +1,280 @@
+//! k-means: Lloyd's algorithm — the FP-distance-kernel Rodinia benchmark
+//! the paper targets with floating-point faults.
+
+use crate::rtlib;
+use chaser_isa::{Asm, Cond, FReg, Program, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// k-means problem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmeansConfig {
+    /// Point count.
+    pub npoints: usize,
+    /// Dimensions per point.
+    pub dim: usize,
+    /// Cluster count.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iters: usize,
+    /// Seed for the generated points.
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> KmeansConfig {
+        KmeansConfig {
+            npoints: 64,
+            dim: 2,
+            k: 4,
+            iters: 8,
+            seed: 13,
+        }
+    }
+}
+
+/// Deterministically generates the input points (clustered blobs so the
+/// algorithm has real structure to find).
+pub fn points(cfg: &KmeansConfig) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut pts = Vec::with_capacity(cfg.npoints * cfg.dim);
+    for i in 0..cfg.npoints {
+        let blob = (i % cfg.k) as f64 * 10.0;
+        for _ in 0..cfg.dim {
+            pts.push(blob + rng.gen_range(-1.0..1.0));
+        }
+    }
+    pts
+}
+
+/// Host-side k-means mirroring the guest's arithmetic order; returns the
+/// final centroids.
+pub fn reference_centroids(cfg: &KmeansConfig) -> Vec<f64> {
+    let pts = points(cfg);
+    let (n, d, k) = (cfg.npoints, cfg.dim, cfg.k);
+    let mut cent: Vec<f64> = pts[..k * d].to_vec();
+    for _ in 0..cfg.iters {
+        let mut sum = vec![0.0f64; k * d];
+        let mut cnt = vec![0i64; k];
+        for p in 0..n {
+            let mut best = 0usize;
+            let mut bestd = f64::INFINITY;
+            for c in 0..k {
+                let mut dist = 0.0f64;
+                for j in 0..d {
+                    let diff = pts[p * d + j] - cent[c * d + j];
+                    dist += diff * diff;
+                }
+                if dist < bestd {
+                    bestd = dist;
+                    best = c;
+                }
+            }
+            cnt[best] += 1;
+            for j in 0..d {
+                sum[best * d + j] += pts[p * d + j];
+            }
+        }
+        for c in 0..k {
+            if cnt[c] > 0 {
+                for j in 0..d {
+                    cent[c * d + j] = sum[c * d + j] / (cnt[c] as f64);
+                }
+            }
+        }
+    }
+    cent
+}
+
+/// The bytes the golden run writes: the centroid matrix.
+pub fn reference_output(cfg: &KmeansConfig) -> Vec<u8> {
+    reference_centroids(cfg)
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
+}
+
+/// Assembles the guest program.
+pub fn program(cfg: &KmeansConfig) -> Program {
+    let (n, d, k) = (cfg.npoints as i64, cfg.dim as i64, cfg.k as i64);
+    let pts = points(cfg);
+    let cent0: Vec<f64> = pts[..(k * d) as usize].to_vec();
+
+    let mut a = Asm::new("kmeans");
+    rtlib::emit(&mut a);
+    a.set_entry("main");
+
+    a.data_f64("pts", &pts);
+    a.data_f64("cent", &cent0);
+    a.bss("sum", (k * d * 8) as u64);
+    a.bss("cnt", (k * 8) as u64);
+
+    a.label("main");
+    a.movi(Reg::R7, 0); // iteration
+    a.label("iter_loop");
+    a.cmpi(Reg::R7, cfg.iters as i64);
+    a.jcc(Cond::Ge, "iters_done");
+
+    // Zero the accumulators.
+    a.movi(Reg::R9, 0);
+    a.fmovi(FReg::F0, 0.0);
+    a.label("zero_sum");
+    a.cmpi(Reg::R9, k * d);
+    a.jcc(Cond::Ge, "zero_cnt_init");
+    a.lea(Reg::R12, "sum");
+    a.fstx(FReg::F0, Reg::R12, Reg::R9);
+    a.addi(Reg::R9, 1);
+    a.jmp("zero_sum");
+    a.label("zero_cnt_init");
+    a.movi(Reg::R9, 0);
+    a.movi(Reg::R13, 0);
+    a.label("zero_cnt");
+    a.cmpi(Reg::R9, k);
+    a.jcc(Cond::Ge, "assign_init");
+    a.lea(Reg::R12, "cnt");
+    a.stx(Reg::R13, Reg::R12, Reg::R9);
+    a.addi(Reg::R9, 1);
+    a.jmp("zero_cnt");
+
+    // Assignment phase.
+    a.label("assign_init");
+    a.movi(Reg::R8, 0); // p
+    a.label("point_loop");
+    a.cmpi(Reg::R8, n);
+    a.jcc(Cond::Ge, "update_init");
+    a.movi(Reg::R11, 0); // best
+    a.fmovi(FReg::F1, f64::INFINITY); // bestd
+    a.movi(Reg::R9, 0); // c
+    a.label("cent_loop");
+    a.cmpi(Reg::R9, k);
+    a.jcc(Cond::Ge, "cent_done");
+    a.fmovi(FReg::F2, 0.0); // dist
+    a.movi(Reg::R10, 0); // j
+    a.label("dim_loop");
+    a.cmpi(Reg::R10, d);
+    a.jcc(Cond::Ge, "dim_done");
+    // diff = pts[p*d + j] - cent[c*d + j]
+    a.mov(Reg::R12, Reg::R8);
+    a.muli(Reg::R12, d);
+    a.add(Reg::R12, Reg::R10);
+    a.lea(Reg::R13, "pts");
+    a.fldx(FReg::F3, Reg::R13, Reg::R12);
+    a.mov(Reg::R12, Reg::R9);
+    a.muli(Reg::R12, d);
+    a.add(Reg::R12, Reg::R10);
+    a.lea(Reg::R13, "cent");
+    a.fldx(FReg::F4, Reg::R13, Reg::R12);
+    a.fsub(FReg::F3, FReg::F4);
+    a.fmul(FReg::F3, FReg::F3);
+    a.fadd(FReg::F2, FReg::F3);
+    a.addi(Reg::R10, 1);
+    a.jmp("dim_loop");
+    a.label("dim_done");
+    a.fcmp(FReg::F2, FReg::F1);
+    a.jcc(Cond::Ge, "not_better");
+    a.fmov(FReg::F1, FReg::F2);
+    a.mov(Reg::R11, Reg::R9);
+    a.label("not_better");
+    a.addi(Reg::R9, 1);
+    a.jmp("cent_loop");
+    a.label("cent_done");
+    // cnt[best] += 1
+    a.lea(Reg::R13, "cnt");
+    a.ldx(Reg::R12, Reg::R13, Reg::R11);
+    a.addi(Reg::R12, 1);
+    a.stx(Reg::R12, Reg::R13, Reg::R11);
+    // sum[best*d + j] += pts[p*d + j]
+    a.movi(Reg::R10, 0);
+    a.label("acc_loop");
+    a.cmpi(Reg::R10, d);
+    a.jcc(Cond::Ge, "acc_done");
+    a.mov(Reg::R12, Reg::R8);
+    a.muli(Reg::R12, d);
+    a.add(Reg::R12, Reg::R10);
+    a.lea(Reg::R13, "pts");
+    a.fldx(FReg::F3, Reg::R13, Reg::R12);
+    a.mov(Reg::R12, Reg::R11);
+    a.muli(Reg::R12, d);
+    a.add(Reg::R12, Reg::R10);
+    a.lea(Reg::R13, "sum");
+    a.fldx(FReg::F4, Reg::R13, Reg::R12);
+    a.fadd(FReg::F4, FReg::F3);
+    a.fstx(FReg::F4, Reg::R13, Reg::R12);
+    a.addi(Reg::R10, 1);
+    a.jmp("acc_loop");
+    a.label("acc_done");
+    a.addi(Reg::R8, 1);
+    a.jmp("point_loop");
+
+    // Update phase.
+    a.label("update_init");
+    a.movi(Reg::R9, 0); // c
+    a.label("upd_loop");
+    a.cmpi(Reg::R9, k);
+    a.jcc(Cond::Ge, "upd_done");
+    a.lea(Reg::R13, "cnt");
+    a.ldx(Reg::R12, Reg::R13, Reg::R9);
+    a.cmpi(Reg::R12, 0);
+    a.jcc(Cond::Eq, "upd_next"); // empty cluster keeps its centroid
+    a.cvtif(FReg::F5, Reg::R12); // (f64)count
+    a.movi(Reg::R10, 0);
+    a.label("upd_dim");
+    a.cmpi(Reg::R10, d);
+    a.jcc(Cond::Ge, "upd_next");
+    a.mov(Reg::R12, Reg::R9);
+    a.muli(Reg::R12, d);
+    a.add(Reg::R12, Reg::R10);
+    a.lea(Reg::R13, "sum");
+    a.fldx(FReg::F3, Reg::R13, Reg::R12);
+    a.fdiv(FReg::F3, FReg::F5);
+    a.lea(Reg::R13, "cent");
+    a.fstx(FReg::F3, Reg::R13, Reg::R12);
+    a.addi(Reg::R10, 1);
+    a.jmp("upd_dim");
+    a.label("upd_next");
+    a.addi(Reg::R9, 1);
+    a.jmp("upd_loop");
+    a.label("upd_done");
+
+    a.addi(Reg::R7, 1);
+    a.jmp("iter_loop");
+    a.label("iters_done");
+
+    a.lea(Reg::R1, "cent");
+    a.movi(Reg::R2, k * d * 8);
+    a.call("write_out");
+    a.exit(0);
+
+    a.assemble().expect("kmeans assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_finds_blob_centres() {
+        let cfg = KmeansConfig::default();
+        let cent = reference_centroids(&cfg);
+        // Blobs sit near 0, 10, 20, 30 per coordinate; each centroid must
+        // be near one of them.
+        for c in 0..cfg.k {
+            let v = cent[c * cfg.dim];
+            let near = [0.0, 10.0, 20.0, 30.0].iter().any(|b| (v - b).abs() < 2.0);
+            assert!(near, "centroid {c} at {v} is not near any blob");
+        }
+    }
+
+    #[test]
+    fn program_assembles() {
+        let p = program(&KmeansConfig::default());
+        assert_eq!(p.name(), "kmeans");
+        assert!(p.insn_count() > 80);
+    }
+
+    #[test]
+    fn reference_output_is_centroid_matrix() {
+        let cfg = KmeansConfig::default();
+        assert_eq!(reference_output(&cfg).len(), cfg.k * cfg.dim * 8);
+    }
+}

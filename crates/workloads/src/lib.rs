@@ -1,0 +1,36 @@
+//! # chaser-workloads
+//!
+//! Guest-ISA implementations of the workloads the Chaser paper evaluates:
+//!
+//! * [`matvec`] — the MPI matrix-vector product (`b = A·x`) the paper uses
+//!   to demonstrate MPI fault injection (4 ranks, faults on the master);
+//! * [`clamr`] — `clamr_sim`, a domain-decomposed 1-D shallow-water solver
+//!   with halo exchange and a mass-conservation checker, standing in for
+//!   the DOE CLAMR mini-app (see DESIGN.md for the substitution argument);
+//! * [`bfs`], [`kmeans`], [`lud`] — the three Rodinia-style single-process
+//!   benchmarks (compare-heavy BFS, FP-heavy k-means, FP+compare LU
+//!   decomposition).
+//!
+//! Every workload provides:
+//!
+//! * `program(&cfg)` — the assembled guest [`Program`];
+//! * `reference_output(&cfg)` — a host-side reference computation of the
+//!   bytes the golden run writes to its result file. Guest FP instructions
+//!   evaluate with the same IEEE-754 `f64` semantics in the same order, so
+//!   golden guest output matches the reference *bitwise*.
+//!
+//! The [`rtlib`] module supplies the guest-side MPI wrapper functions
+//! (`mpi_send`, `mpi_recv`, …) whose entry addresses Chaser hooks, plus
+//! small I/O helpers.
+//!
+//! [`Program`]: chaser_isa::Program
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod clamr;
+pub mod kmeans;
+pub mod lud;
+pub mod matvec;
+pub mod rtlib;

@@ -1,0 +1,168 @@
+//! LUD: in-place LU decomposition (Doolittle, no pivoting) — the Rodinia
+//! benchmark the paper targets with combined FP and `cmp` faults.
+
+use crate::rtlib;
+use chaser_isa::{Asm, Cond, FReg, Program, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// LUD problem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LudConfig {
+    /// Matrix dimension (n×n).
+    pub n: usize,
+    /// Seed for the generated matrix.
+    pub seed: u64,
+}
+
+impl Default for LudConfig {
+    fn default() -> LudConfig {
+        LudConfig { n: 16, seed: 17 }
+    }
+}
+
+/// Deterministically generates a diagonally dominant input matrix (so the
+/// factorization needs no pivoting).
+pub fn matrix(cfg: &LudConfig) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = cfg.n;
+    let mut m: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    for i in 0..n {
+        m[i * n + i] += n as f64;
+    }
+    m
+}
+
+/// Host-side LU mirroring the guest's loop order; returns the packed LU
+/// factors in place.
+pub fn reference_lu(cfg: &LudConfig) -> Vec<f64> {
+    let n = cfg.n;
+    let mut m = matrix(cfg);
+    for k in 0..n {
+        let pivot = m[k * n + k];
+        for i in k + 1..n {
+            m[i * n + k] /= pivot;
+            let factor = m[i * n + k];
+            for j in k + 1..n {
+                m[i * n + j] -= factor * m[k * n + j];
+            }
+        }
+    }
+    m
+}
+
+/// The bytes the golden run writes: the packed LU matrix.
+pub fn reference_output(cfg: &LudConfig) -> Vec<u8> {
+    reference_lu(cfg)
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
+}
+
+/// Assembles the guest program.
+pub fn program(cfg: &LudConfig) -> Program {
+    let n = cfg.n as i64;
+    let m = matrix(cfg);
+
+    let mut a = Asm::new("lud");
+    rtlib::emit(&mut a);
+    a.set_entry("main");
+
+    a.data_f64("A", &m);
+
+    a.label("main");
+    a.movi(Reg::R7, 0); // k
+    a.label("k_loop");
+    a.cmpi(Reg::R7, n);
+    a.jcc(Cond::Ge, "k_done");
+    // pivot = A[k][k]
+    a.mov(Reg::R12, Reg::R7);
+    a.muli(Reg::R12, n);
+    a.add(Reg::R12, Reg::R7);
+    a.lea(Reg::R13, "A");
+    a.fldx(FReg::F0, Reg::R13, Reg::R12); // pivot
+    a.mov(Reg::R8, Reg::R7);
+    a.addi(Reg::R8, 1); // i = k+1
+    a.label("i_loop");
+    a.cmpi(Reg::R8, n);
+    a.jcc(Cond::Ge, "i_done");
+    // A[i][k] /= pivot; factor = A[i][k]
+    a.mov(Reg::R12, Reg::R8);
+    a.muli(Reg::R12, n);
+    a.add(Reg::R12, Reg::R7);
+    a.fldx(FReg::F1, Reg::R13, Reg::R12);
+    a.fdiv(FReg::F1, FReg::F0);
+    a.fstx(FReg::F1, Reg::R13, Reg::R12);
+    // trailing update
+    a.mov(Reg::R9, Reg::R7);
+    a.addi(Reg::R9, 1); // j = k+1
+    a.label("j_loop");
+    a.cmpi(Reg::R9, n);
+    a.jcc(Cond::Ge, "j_done");
+    // A[i][j] -= factor * A[k][j]
+    a.mov(Reg::R12, Reg::R7);
+    a.muli(Reg::R12, n);
+    a.add(Reg::R12, Reg::R9);
+    a.fldx(FReg::F2, Reg::R13, Reg::R12); // A[k][j]
+    a.fmul(FReg::F2, FReg::F1);
+    a.mov(Reg::R12, Reg::R8);
+    a.muli(Reg::R12, n);
+    a.add(Reg::R12, Reg::R9);
+    a.fldx(FReg::F3, Reg::R13, Reg::R12);
+    a.fsub(FReg::F3, FReg::F2);
+    a.fstx(FReg::F3, Reg::R13, Reg::R12);
+    a.addi(Reg::R9, 1);
+    a.jmp("j_loop");
+    a.label("j_done");
+    a.addi(Reg::R8, 1);
+    a.jmp("i_loop");
+    a.label("i_done");
+    a.addi(Reg::R7, 1);
+    a.jmp("k_loop");
+    a.label("k_done");
+
+    a.lea(Reg::R1, "A");
+    a.movi(Reg::R2, n * n * 8);
+    a.call("write_out");
+    a.exit(0);
+
+    a.assemble().expect("lud assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_factors_reconstruct_the_matrix() {
+        let cfg = LudConfig { n: 8, seed: 3 };
+        let n = cfg.n;
+        let orig = matrix(&cfg);
+        let lu = reference_lu(&cfg);
+        // (L·U)[i][j] must match the original (within fp error).
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..=i.min(j) {
+                    let l = if p == i { 1.0 } else { lu[i * n + p] };
+                    let u = lu[p * n + j];
+                    if p <= j && p <= i {
+                        acc += l * u;
+                    }
+                }
+                assert!(
+                    (acc - orig[i * n + j]).abs() < 1e-9,
+                    "LU reconstruction mismatch at ({i},{j}): {acc} vs {}",
+                    orig[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn program_assembles() {
+        let p = program(&LudConfig::default());
+        assert_eq!(p.name(), "lud");
+        assert!(p.insn_count() > 40);
+    }
+}

@@ -1,0 +1,322 @@
+//! Matvec: the MPI matrix-vector product (`b = A·x`) of the paper's case
+//! study (Burkardt's `matvec_mpi`).
+//!
+//! Master-worker structure, like the original: rank 0 (the master)
+//! broadcasts `x` and then *sends each row of `A`* to a worker
+//! (`dest = 1 + row mod (size-1)`); workers compute the dot product and
+//! send the row result back; the master assembles and writes `b`. The
+//! master never computes — it coordinates, which is why the paper injects
+//! faults into the master's `mov` instructions: they corrupt row data in
+//! flight (propagating to the workers), buffer pointers (OS exceptions
+//! inside the MPI library), or message arguments (MPI-detected errors) —
+//! the three rows of the paper's Table III.
+
+use crate::rtlib;
+use chaser_isa::{Asm, Cond, FReg, Program, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tag space for row payloads sent master → worker.
+pub const TAG_BASE: i64 = 100;
+/// Tag space for row-index headers sent master → worker.
+pub const TAG_INDEX: i64 = 5_000;
+/// Tag space for row results sent worker → master.
+pub const TAG_RESULT: i64 = 10_000;
+
+/// Matvec problem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatvecConfig {
+    /// Matrix dimension (n×n).
+    pub n: usize,
+    /// Number of MPI ranks: one master plus `ranks - 1` workers (the paper
+    /// uses 4). Must be at least 2.
+    pub ranks: u32,
+    /// Seed for the generated `A` and `x`.
+    pub seed: u64,
+}
+
+impl Default for MatvecConfig {
+    fn default() -> MatvecConfig {
+        MatvecConfig {
+            n: 16,
+            ranks: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// Deterministically generates the inputs for `cfg`.
+pub fn inputs(cfg: &MatvecConfig) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let a: Vec<f64> = (0..cfg.n * cfg.n)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let x: Vec<f64> = (0..cfg.n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    (a, x)
+}
+
+/// The bytes the golden run's master writes to its result file: `b = A·x`
+/// evaluated in guest order (ascending `j`, multiply-then-accumulate).
+pub fn reference_output(cfg: &MatvecConfig) -> Vec<u8> {
+    let (a, x) = inputs(cfg);
+    let mut out = Vec::with_capacity(cfg.n * 8);
+    for i in 0..cfg.n {
+        let mut acc = 0.0f64;
+        for j in 0..cfg.n {
+            acc += a[i * cfg.n + j] * x[j];
+        }
+        out.extend_from_slice(&acc.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Assembles the guest program (identical binary on every rank).
+///
+/// # Panics
+///
+/// Panics when `cfg.ranks < 2` — the master needs at least one worker.
+pub fn program(cfg: &MatvecConfig) -> Program {
+    assert!(cfg.ranks >= 2, "matvec needs a master and >= 1 worker");
+    let n = cfg.n as i64;
+    let (a_data, x_data) = inputs(cfg);
+
+    let mut a = Asm::new("matvec");
+    rtlib::emit(&mut a);
+    a.set_entry("main");
+
+    a.data_f64("A", &a_data);
+    a.data_f64("x", &x_data);
+    a.bss("b", (cfg.n * 8) as u64);
+    a.bss("rowbuf", (cfg.n * 8) as u64);
+    a.bss("sendbuf", 8);
+    a.bss("recvbuf", 8);
+    // The master's loop counters live in memory, as a compiler would spill
+    // them: the resulting ld/st traffic through pointer registers is what
+    // makes mov-class faults on the master land on addresses (the paper's
+    // dominant OS-exception outcome).
+    a.bss("i_var", 8);
+    a.bss("j_var", 8);
+    // Send staging: the master copies each row (and its index) into a
+    // staging buffer before handing it to MPI, as real codes memcpy into
+    // message buffers. Corrupting the copy corrupts the payload in
+    // flight — the cross-rank propagation path of the paper's Table III.
+    a.bss("stagebuf", (cfg.n * 8) as u64);
+    a.bss("idxbuf", 8);
+    // Worker-side results, indexed by the *received* row index (Burkardt's
+    // workers return (index, value) pairs): a corrupted index crashes the
+    // worker — the paper's "Slave Node failed" outcome.
+    a.bss("res", (cfg.n * 8) as u64);
+
+    a.label("main");
+    a.call("mpi_init");
+    a.call("mpi_comm_rank");
+    a.mov(Reg::R7, Reg::R0); // rank
+    a.call("mpi_comm_size");
+    a.mov(Reg::R8, Reg::R0); // size
+
+    // Broadcast x from the master.
+    a.lea(Reg::R1, "x");
+    a.movi(Reg::R2, n);
+    a.movi(Reg::R3, 2); // F64
+    a.movi(Reg::R4, 0); // root
+    a.call("mpi_bcast");
+
+    a.cmpi(Reg::R7, 0);
+    a.jcc(Cond::Ne, "worker");
+
+    // ---- master: ship every row to its worker ----
+    a.movi(Reg::R9, 0);
+    a.lea(Reg::R12, "i_var");
+    a.st(Reg::R9, Reg::R12, 0);
+    a.label("send_rows");
+    a.lea(Reg::R12, "i_var");
+    a.ld(Reg::R9, Reg::R12, 0); // i
+    a.cmpi(Reg::R9, n);
+    a.jcc(Cond::Ge, "rows_sent");
+    // dest = 1 + i % (size - 1)
+    a.mov(Reg::R10, Reg::R9);
+    a.mov(Reg::R11, Reg::R8);
+    a.subi(Reg::R11, 1);
+    a.rem(Reg::R10, Reg::R11);
+    a.addi(Reg::R10, 1);
+    // Stage and send the row-index header.
+    a.lea(Reg::R1, "idxbuf");
+    a.lea(Reg::R12, "i_var");
+    a.ld(Reg::R13, Reg::R12, 0);
+    a.st(Reg::R13, Reg::R1, 0);
+    a.movi(Reg::R2, 1);
+    a.movi(Reg::R3, 1); // I64
+    a.mov(Reg::R4, Reg::R10);
+    a.mov(Reg::R5, Reg::R9);
+    a.addi(Reg::R5, TAG_INDEX);
+    a.call("mpi_send");
+    // Stage the row: copy A[i] into stagebuf word by word.
+    a.lea(Reg::R14, "A");
+    a.mov(Reg::R13, Reg::R9);
+    a.muli(Reg::R13, n * 8);
+    a.add(Reg::R14, Reg::R13);
+    a.lea(Reg::R11, "stagebuf");
+    a.movi(Reg::R12, 0);
+    a.label("stage_loop");
+    a.ldx(Reg::R13, Reg::R14, Reg::R12);
+    a.stx(Reg::R13, Reg::R11, Reg::R12);
+    a.addi(Reg::R12, 1);
+    a.cmpi(Reg::R12, n);
+    a.jcc(Cond::Lt, "stage_loop");
+    // Send the staged row.
+    a.lea(Reg::R1, "stagebuf");
+    a.movi(Reg::R2, n);
+    a.movi(Reg::R3, 2); // F64
+    a.mov(Reg::R4, Reg::R10);
+    a.lea(Reg::R12, "i_var");
+    a.ld(Reg::R5, Reg::R12, 0);
+    a.addi(Reg::R5, TAG_BASE);
+    a.call("mpi_send");
+    // i++ through memory
+    a.lea(Reg::R12, "i_var");
+    a.ld(Reg::R9, Reg::R12, 0);
+    a.addi(Reg::R9, 1);
+    a.st(Reg::R9, Reg::R12, 0);
+    a.jmp("send_rows");
+    a.label("rows_sent");
+
+    // ---- master: collect the row results ----
+    a.movi(Reg::R9, 0);
+    a.lea(Reg::R12, "j_var");
+    a.st(Reg::R9, Reg::R12, 0);
+    a.label("recv_loop");
+    a.lea(Reg::R12, "j_var");
+    a.ld(Reg::R9, Reg::R12, 0);
+    a.cmpi(Reg::R9, n);
+    a.jcc(Cond::Ge, "recv_done");
+    a.mov(Reg::R10, Reg::R9);
+    a.mov(Reg::R11, Reg::R8);
+    a.subi(Reg::R11, 1);
+    a.rem(Reg::R10, Reg::R11);
+    a.addi(Reg::R10, 1); // owner worker
+    a.lea(Reg::R1, "recvbuf");
+    a.movi(Reg::R2, 1);
+    a.movi(Reg::R3, 2);
+    a.mov(Reg::R4, Reg::R10);
+    a.mov(Reg::R5, Reg::R9);
+    a.addi(Reg::R5, TAG_RESULT);
+    a.call("mpi_recv");
+    a.lea(Reg::R12, "recvbuf");
+    a.fld(FReg::F0, Reg::R12, 0);
+    a.lea(Reg::R12, "b");
+    a.lea(Reg::R13, "j_var");
+    a.ld(Reg::R9, Reg::R13, 0);
+    a.fstx(FReg::F0, Reg::R12, Reg::R9);
+    a.addi(Reg::R9, 1);
+    a.st(Reg::R9, Reg::R13, 0);
+    a.jmp("recv_loop");
+    a.label("recv_done");
+
+    // Write the result vector.
+    a.lea(Reg::R1, "b");
+    a.movi(Reg::R2, n * 8);
+    a.call("write_out");
+    a.call("mpi_finalize");
+    a.exit(0);
+
+    // ---- worker: receive my rows, return dot products ----
+    a.label("worker");
+    a.mov(Reg::R9, Reg::R7);
+    a.subi(Reg::R9, 1); // first row = worker index
+    a.label("worker_loop");
+    a.cmpi(Reg::R9, n);
+    a.jcc(Cond::Ge, "worker_done");
+    // Receive the row-index header.
+    a.lea(Reg::R1, "idxbuf");
+    a.movi(Reg::R2, 1);
+    a.movi(Reg::R3, 1); // I64
+    a.movi(Reg::R4, 0);
+    a.mov(Reg::R5, Reg::R9);
+    a.addi(Reg::R5, TAG_INDEX);
+    a.call("mpi_recv");
+    // Receive row i into rowbuf.
+    a.lea(Reg::R1, "rowbuf");
+    a.movi(Reg::R2, n);
+    a.movi(Reg::R3, 2);
+    a.movi(Reg::R4, 0);
+    a.mov(Reg::R5, Reg::R9);
+    a.addi(Reg::R5, TAG_BASE);
+    a.call("mpi_recv");
+    // dot = rowbuf · x
+    a.lea(Reg::R10, "rowbuf");
+    a.lea(Reg::R11, "x");
+    a.movi(Reg::R12, 0);
+    a.fmovi(FReg::F0, 0.0);
+    a.label("dot_loop");
+    a.fldx(FReg::F1, Reg::R10, Reg::R12);
+    a.fldx(FReg::F2, Reg::R11, Reg::R12);
+    a.fmul(FReg::F1, FReg::F2);
+    a.fadd(FReg::F0, FReg::F1);
+    a.addi(Reg::R12, 1);
+    a.cmpi(Reg::R12, n);
+    a.jcc(Cond::Lt, "dot_loop");
+    // File the result under the *received* index — a corrupted index from
+    // the master is a wild store that kills this worker (SIGSEGV on a
+    // slave node).
+    a.lea(Reg::R13, "idxbuf");
+    a.ld(Reg::R13, Reg::R13, 0);
+    a.lea(Reg::R14, "res");
+    a.fstx(FReg::F0, Reg::R14, Reg::R13);
+    // Return the row result.
+    a.lea(Reg::R1, "sendbuf");
+    a.fst(FReg::F0, Reg::R1, 0);
+    a.movi(Reg::R2, 1);
+    a.movi(Reg::R3, 2);
+    a.movi(Reg::R4, 0);
+    a.mov(Reg::R5, Reg::R9);
+    a.addi(Reg::R5, TAG_RESULT);
+    a.call("mpi_send");
+    // Next of my rows.
+    a.mov(Reg::R11, Reg::R8);
+    a.subi(Reg::R11, 1);
+    a.add(Reg::R9, Reg::R11);
+    a.jmp("worker_loop");
+    a.label("worker_done");
+    a.call("mpi_finalize");
+    a.exit(0);
+
+    a.assemble().expect("matvec assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_assembles_with_symbols() {
+        let cfg = MatvecConfig::default();
+        let p = program(&cfg);
+        assert_eq!(p.name(), "matvec");
+        assert!(p.symbol("main").is_some());
+        assert!(p.symbol("A").is_some());
+        assert!(p.symbol("mpi_send").is_some());
+        assert!(p.insn_count() > 50);
+    }
+
+    #[test]
+    fn reference_output_is_deterministic_and_sized() {
+        let cfg = MatvecConfig::default();
+        assert_eq!(reference_output(&cfg), reference_output(&cfg));
+        assert_eq!(reference_output(&cfg).len(), cfg.n * 8);
+        let other = MatvecConfig {
+            seed: 8,
+            ..MatvecConfig::default()
+        };
+        assert_ne!(reference_output(&cfg), reference_output(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "master and >= 1 worker")]
+    fn single_rank_is_rejected() {
+        let cfg = MatvecConfig {
+            ranks: 1,
+            ..MatvecConfig::default()
+        };
+        let _ = program(&cfg);
+    }
+}

@@ -1,0 +1,139 @@
+//! The guest runtime library: MPI wrapper functions and I/O helpers.
+//!
+//! MPI wrappers follow the guest calling convention (arguments already in
+//! `R1..=R6`, result in `R0`) and simply trap into the runtime. They exist
+//! as *named functions* — rather than inlined hypercalls — because Chaser
+//! hooks MPI by function entry address, exactly as the paper hooks
+//! `MPI_Send`/`MPI_Recv` inside the guest to read `(buf, count, datatype,
+//! tag, dest)` out of registers and stack.
+
+use chaser_isa::{abi, Asm, Reg};
+
+/// Emits the full runtime library. Call once per program; the entry label
+/// must be selected with [`Asm::set_entry`] since the library occupies the
+/// start of the text section.
+pub fn emit(a: &mut Asm) {
+    // ---- MPI wrappers ----
+    a.label("mpi_init");
+    a.hypercall(abi::MPI_INIT);
+    a.ret();
+
+    a.label("mpi_comm_rank");
+    a.hypercall(abi::MPI_COMM_RANK);
+    a.ret();
+
+    a.label("mpi_comm_size");
+    a.hypercall(abi::MPI_COMM_SIZE);
+    a.ret();
+
+    a.label(abi::symbols::MPI_SEND);
+    a.hypercall(abi::MPI_SEND);
+    a.ret();
+
+    a.label(abi::symbols::MPI_RECV);
+    a.hypercall(abi::MPI_RECV);
+    a.ret();
+
+    a.label("mpi_barrier");
+    a.hypercall(abi::MPI_BARRIER);
+    a.ret();
+
+    a.label(abi::symbols::MPI_BCAST);
+    a.hypercall(abi::MPI_BCAST);
+    a.ret();
+
+    a.label(abi::symbols::MPI_REDUCE);
+    a.hypercall(abi::MPI_REDUCE);
+    a.ret();
+
+    a.label("mpi_allreduce");
+    a.hypercall(abi::MPI_ALLREDUCE);
+    a.ret();
+
+    a.label("mpi_scatter");
+    a.hypercall(abi::MPI_SCATTER);
+    a.ret();
+
+    a.label("mpi_gather");
+    a.hypercall(abi::MPI_GATHER);
+    a.ret();
+
+    a.label("mpi_finalize");
+    a.hypercall(abi::MPI_FINALIZE);
+    a.ret();
+
+    a.label("mpi_isend");
+    a.hypercall(abi::MPI_ISEND);
+    a.ret();
+
+    a.label("mpi_irecv");
+    a.hypercall(abi::MPI_IRECV);
+    a.ret();
+
+    a.label("mpi_wait");
+    a.hypercall(abi::MPI_WAIT);
+    a.ret();
+
+    a.label("mpi_wtime");
+    a.hypercall(abi::MPI_WTIME);
+    a.ret();
+
+    // ---- I/O helpers ----
+
+    // write_out(ptr = R1, len = R2): write bytes to the result file (fd 3).
+    a.label("write_out");
+    a.mov(Reg::R3, Reg::R2);
+    a.mov(Reg::R2, Reg::R1);
+    a.movi(Reg::R1, abi::FD_OUTPUT as i64);
+    a.hypercall(abi::SYS_WRITE);
+    a.ret();
+
+    // print_i64(value = R1): decimal + newline on stdout.
+    a.label("print_i64");
+    a.mov(Reg::R2, Reg::R1);
+    a.movi(Reg::R1, abi::FD_STDOUT as i64);
+    a.hypercall(abi::SYS_WRITE_I64);
+    a.ret();
+
+    // assert_fail(code = R1): abort via the application checker path.
+    a.label("assert_fail");
+    a.hypercall(abi::SYS_ASSERT_FAIL);
+    a.ret(); // unreachable
+
+    // exit(code = R1).
+    a.label("exit");
+    a.hypercall(abi::SYS_EXIT);
+    a.ret(); // unreachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaser_isa::abi::symbols;
+
+    #[test]
+    fn rtlib_exports_the_hooked_symbols() {
+        let mut a = Asm::new("t");
+        emit(&mut a);
+        a.label("main");
+        a.exit(0);
+        a.set_entry("main");
+        let p = a.assemble().expect("assemble");
+        for sym in [
+            symbols::MPI_SEND,
+            symbols::MPI_RECV,
+            symbols::MPI_BCAST,
+            symbols::MPI_REDUCE,
+            "mpi_init",
+            "mpi_finalize",
+            "mpi_isend",
+            "mpi_irecv",
+            "mpi_wait",
+            "mpi_wtime",
+            "write_out",
+            "assert_fail",
+        ] {
+            assert!(p.symbol(sym).is_some(), "missing rtlib symbol {sym}");
+        }
+    }
+}

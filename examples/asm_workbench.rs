@@ -1,0 +1,89 @@
+//! Write a guest program in *textual* assembly, run it, inject into it —
+//! the full workflow without touching the builder API.
+//!
+//! Run with: `cargo run -p chaser --example asm_workbench`
+
+use chaser::{run_app, AppSpec, InjectionSpec, RunOptions};
+use chaser_isa::{parse_asm, InsnClass};
+
+const SOURCE: &str = r#"
+; Newton's method for sqrt(2), 20 iterations:
+;   x <- (x + 2/x) / 2
+.data
+two:    .f64 2.0
+half:   .f64 0.5
+out:    .space 8
+
+.text
+.entry main
+main:
+    lea r1, two
+    fld f1, [r1+0]      ; the constant 2.0
+    lea r1, half
+    fld f2, [r1+0]      ; the constant 0.5
+    fmov f0, 1.0        ; x0
+    mov r2, 0
+iter:
+    fmov f3, f1         ; 2
+    fdiv f3, f0         ; 2/x
+    fadd f3, f0         ; x + 2/x
+    fmul f3, f2         ; (x + 2/x)/2
+    fmov f0, f3
+    add r2, 1
+    cmp r2, 20
+    jlt iter
+
+    lea r1, out
+    fst [r1+0], f0
+    lea r1, out
+    mov r2, 8
+    ; write_out(ptr, len): fd 3 is the result file
+    mov r3, r2
+    mov r2, r1
+    mov r1, 3
+    hcall 2             ; SYS_WRITE
+    mov r1, 0
+    hcall 1             ; SYS_EXIT
+"#;
+
+fn main() {
+    let program = parse_asm("newton", SOURCE).expect("assembly parses");
+    println!(
+        "assembled `{}`: {} instructions, {} data bytes, entry {:#x}",
+        program.name(),
+        program.insn_count(),
+        program.data().len(),
+        program.entry()
+    );
+
+    let app = AppSpec::single(program);
+    let golden = run_app(&app, &RunOptions::golden());
+    let result = f64::from_bits(u64::from_le_bytes(
+        golden.outputs[0][..8].try_into().expect("8 bytes"),
+    ));
+    println!(
+        "golden: sqrt(2) ≈ {result} (true: {})",
+        std::f64::consts::SQRT_2
+    );
+    assert!((result - std::f64::consts::SQRT_2).abs() < 1e-12);
+
+    // Flip the sign bit of an fdiv input mid-iteration and watch Newton
+    // recover — or not.
+    for (n, bit) in [(5u64, 63u32), (5, 52), (19, 63)] {
+        let spec = InjectionSpec::deterministic("newton", InsnClass::Fdiv, n, vec![bit]);
+        let report = run_app(&app, &RunOptions::inject(spec));
+        let faulty = f64::from_bits(u64::from_le_bytes(
+            report.outputs[0][..8].try_into().expect("8 bytes"),
+        ));
+        let outcome = report.classify_against(&golden);
+        println!(
+            "fault at fdiv #{n}, bit {bit}: result {faulty:.15} -> {outcome} \
+             (Newton {} the fault)",
+            if matches!(outcome, chaser::Outcome::Benign) {
+                "absorbed"
+            } else {
+                "kept"
+            }
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: assemble a tiny guest program, inject one bit flip into its
+//! `fadd`, and see the outcome — the 60-second tour of the Chaser API.
+//!
+//! Run with: `cargo run -p chaser --example quickstart`
+
+use chaser::{run_app, AppSpec, InjectionSpec, RunOptions};
+use chaser_isa::{Asm, Cond, FReg, InsnClass, Reg};
+
+fn main() {
+    // 1. Build a guest program: sum 1.0 over 100 iterations, write the
+    //    result to its output file.
+    let mut a = Asm::new("quickstart");
+    a.bss("acc", 8); // the running sum lives in memory, so taint
+                     // propagation is visible as tainted reads/writes
+    a.fmovi(FReg::F0, 0.0);
+    a.fmovi(FReg::F1, 1.0);
+    a.movi(Reg::R7, 0);
+    a.lea(Reg::R8, "acc");
+    a.fst(FReg::F0, Reg::R8, 0);
+    a.label("loop");
+    a.fld(FReg::F0, Reg::R8, 0);
+    a.fadd(FReg::F0, FReg::F1);
+    a.fst(FReg::F0, Reg::R8, 0);
+    a.addi(Reg::R7, 1);
+    a.cmpi(Reg::R7, 100);
+    a.jcc(Cond::Lt, "loop");
+    a.fld(FReg::F0, Reg::R8, 0);
+    a.movi(Reg::R1, chaser_isa::abi::FD_OUTPUT as i64);
+    a.movfr(Reg::R2, FReg::F0);
+    a.hypercall(chaser_isa::abi::SYS_WRITE_F64);
+    a.exit(0);
+    let app = AppSpec::single(a.assemble().expect("assemble"));
+
+    // 2. Golden run: what the program does without faults.
+    let golden = run_app(&app, &RunOptions::golden());
+    let golden_sum = f64::from_bits(u64::from_le_bytes(
+        golden.outputs[0][..8].try_into().expect("8 bytes"),
+    ));
+    println!("golden run: sum = {golden_sum}");
+
+    // 3. Inject: flip bit 52 (the lowest exponent bit) of the fadd
+    //    destination on its 50th execution, with propagation tracing on.
+    let spec = InjectionSpec::deterministic("quickstart", InsnClass::Fadd, 50, vec![52]);
+    let report = run_app(&app, &RunOptions::inject_traced(spec));
+
+    let rec = &report.injections[0];
+    println!(
+        "injected at pc={:#x} insn=`{}` operand={} {:#018x} -> {:#018x} (icount {})",
+        rec.pc, rec.insn, rec.operand, rec.old_bits, rec.new_bits, rec.icount
+    );
+
+    // 4. Classify against the golden outputs.
+    let outcome = report.classify_against(&golden);
+    let faulty_sum = f64::from_bits(u64::from_le_bytes(
+        report.outputs[0][..8].try_into().expect("8 bytes"),
+    ));
+    println!("faulty run: sum = {faulty_sum}");
+    println!("outcome: {outcome}");
+
+    // 5. Look at the propagation trace.
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    println!(
+        "taint propagation: {} tainted reads, {} tainted writes, {} log entries",
+        trace.taint_reads,
+        trace.taint_writes,
+        trace.events.len()
+    );
+    for ev in trace.events.iter().take(3) {
+        println!(
+            "  {:?} eip={:#x} vaddr={:#x} paddr={:#x} taint={:#x} value={:#x}",
+            ev.kind, ev.eip, ev.vaddr, ev.paddr, ev.taint, ev.value
+        );
+    }
+    assert!(report.injected());
+}

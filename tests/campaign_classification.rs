@@ -1,0 +1,214 @@
+//! Campaign tests: small seeded campaigns over real workloads must be
+//! reproducible, classify into the paper's outcome classes, and produce
+//! coherent trace statistics.
+
+use chaser::{Campaign, CampaignConfig, Outcome, RankPool, TermCause};
+use chaser_isa::InsnClass;
+use chaser_workloads::{clamr, lud, matvec};
+
+fn small_campaign_cfg(runs: u64) -> CampaignConfig {
+    CampaignConfig {
+        runs,
+        seed: 1234,
+        parallelism: 2,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn lud_campaign_classifies_every_run() {
+    let cfg = lud::LudConfig { n: 8, seed: 17 };
+    let app = chaser::AppSpec::single(lud::program(&cfg));
+    let campaign = Campaign::new(
+        app,
+        CampaignConfig {
+            classes: vec![InsnClass::FpArith, InsnClass::Cmp],
+            bits_per_fault: 1,
+            ..small_campaign_cfg(30)
+        },
+    );
+    let result = campaign.run();
+    assert_eq!(
+        result.outcomes.len() as u64 + result.skipped,
+        30,
+        "every run accounted for"
+    );
+    assert!(!result.outcomes.is_empty());
+    let counts = result.outcome_counts();
+    assert_eq!(counts.total(), result.outcomes.len() as u64);
+    // Percentages sum to 100.
+    let (b, s, t) = counts.percentages();
+    assert!((b + s + t - 100.0).abs() < 1e-6);
+}
+
+#[test]
+fn campaigns_are_reproducible_under_a_seed() {
+    let cfg = lud::LudConfig { n: 8, seed: 17 };
+    let app = chaser::AppSpec::single(lud::program(&cfg));
+    let make = || {
+        Campaign::new(
+            app.clone(),
+            CampaignConfig {
+                classes: vec![InsnClass::FpArith],
+                ..small_campaign_cfg(12)
+            },
+        )
+        .run()
+    };
+    let a = make();
+    let b = make();
+    let key = |r: &chaser::CampaignResult| -> Vec<(u64, String)> {
+        r.outcomes
+            .iter()
+            .map(|o| (o.run_idx, format!("{}", o.outcome)))
+            .collect()
+    };
+    assert_eq!(key(&a), key(&b), "same seed, same outcomes");
+}
+
+#[test]
+fn different_seeds_give_different_fault_sites() {
+    let cfg = lud::LudConfig { n: 8, seed: 17 };
+    let app = chaser::AppSpec::single(lud::program(&cfg));
+    let run = |seed| {
+        Campaign::new(
+            app.clone(),
+            CampaignConfig {
+                seed,
+                classes: vec![InsnClass::FpArith],
+                ..small_campaign_cfg(8)
+            },
+        )
+        .run()
+    };
+    let a = run(1);
+    let b = run(2);
+    let sites = |r: &chaser::CampaignResult| -> Vec<u64> {
+        r.outcomes.iter().map(|o| o.trigger_n).collect()
+    };
+    assert_ne!(sites(&a), sites(&b));
+}
+
+#[test]
+fn matvec_campaign_shows_mpi_termination_classes() {
+    // Aggressive multi-bit mov faults on the master: the Table III setup.
+    let cfg = matvec::MatvecConfig::default();
+    let app = chaser::AppSpec::replicated(matvec::program(&cfg), cfg.ranks as usize, 4);
+    let campaign = Campaign::new(
+        app,
+        CampaignConfig {
+            classes: vec![InsnClass::Mov],
+            rank_pool: RankPool::Master,
+            bits_per_fault: 8,
+            tracing: true,
+            ..small_campaign_cfg(40)
+        },
+    );
+    let result = campaign.run();
+    let counts = result.outcome_counts();
+    assert!(
+        counts.terminated > 0,
+        "8-bit mov corruption must terminate some runs: {counts:?}"
+    );
+    let breakdown = result.termination_breakdown();
+    assert_eq!(breakdown.total(), counts.terminated);
+    // All faults were injected into rank 0.
+    assert!(result.outcomes.iter().all(|o| o.rank == 0));
+}
+
+#[test]
+fn clamr_campaign_detection_split_adds_up() {
+    let cfg = clamr::ClamrConfig {
+        ncells: 32,
+        ranks: 2,
+        steps: 20,
+        ..clamr::ClamrConfig::default()
+    };
+    let app = chaser::AppSpec::replicated(clamr::program(&cfg), 2, 2);
+    let campaign = Campaign::new(
+        app,
+        CampaignConfig {
+            classes: vec![InsnClass::FpArith],
+            rank_pool: RankPool::Random,
+            bits_per_fault: 1,
+            tracing: true,
+            ..small_campaign_cfg(30)
+        },
+    );
+    let result = campaign.run();
+    let (detected, benign, sdc) = result.detection_split();
+    assert_eq!(detected + benign + sdc, result.outcomes.len() as u64);
+    // Fault ranks were drawn from the pool.
+    assert!(result.outcomes.iter().all(|o| o.rank < 2));
+    // Traced runs must carry read/write counters consistent with events.
+    for o in &result.outcomes {
+        if let Outcome::Terminated(TermCause::Hang) = o.outcome {
+            continue;
+        }
+        assert!(o.total_insns > 0);
+    }
+}
+
+#[test]
+fn assertion_detections_come_from_the_conservation_checker() {
+    // High-bit flips in the solver state reliably blow up the mass; run
+    // until we see at least one assertion-class detection.
+    let cfg = clamr::ClamrConfig {
+        ncells: 32,
+        ranks: 2,
+        steps: 20,
+        check_interval: 2,
+        ..clamr::ClamrConfig::default()
+    };
+    let app = chaser::AppSpec::replicated(clamr::program(&cfg), 2, 2);
+    let campaign = Campaign::new(
+        app,
+        CampaignConfig {
+            classes: vec![InsnClass::Fadd],
+            rank_pool: RankPool::Random,
+            bits_per_fault: 4,
+            ..small_campaign_cfg(30)
+        },
+    );
+    let result = campaign.run();
+    let assertions = result.termination_breakdown().assertions;
+    assert!(
+        assertions > 0,
+        "the mass-conservation checker must catch some 4-bit FP faults: {:?}",
+        result.termination_breakdown()
+    );
+}
+
+#[test]
+fn site_vulnerability_groups_by_injection_pc() {
+    let cfg = lud::LudConfig { n: 8, seed: 17 };
+    let app = chaser::AppSpec::single(lud::program(&cfg));
+    let campaign = Campaign::new(
+        app,
+        CampaignConfig {
+            classes: vec![InsnClass::FpArith],
+            tracing: true,
+            ..small_campaign_cfg(25)
+        },
+    );
+    let result = campaign.run();
+    let sites = result.site_vulnerability();
+    assert!(!sites.is_empty());
+    let total: u64 = sites.values().map(|s| s.injections).sum();
+    assert_eq!(total, result.outcomes.len() as u64, "every run attributed");
+    for (pc, site) in &sites {
+        assert!(*pc >= chaser_isa::CODE_BASE, "sites are code addresses");
+        assert!(!site.insn.is_empty());
+        assert_eq!(
+            site.benign + site.sdc + site.terminated,
+            site.injections,
+            "outcome partition per site"
+        );
+        assert!(site.vulnerability() <= 1.0);
+    }
+    // Candidates are sorted by taint footprint.
+    let cands = result.hardening_candidates(5);
+    for pair in cands.windows(2) {
+        assert!(pair[0].1.mean_taint_ops() >= pair[1].1.mean_taint_ops());
+    }
+}

@@ -1,0 +1,173 @@
+//! Plugin-API integration tests: the three stock fault models drive real
+//! injections end-to-end through their terminal commands, and a custom
+//! user-written injector works through the same exported interfaces.
+
+use chaser::{
+    AppSpec, Chaser, CommandSpec, Corruption, DeterministicInjector, FiInterface, FiPlugin,
+    GroupInjector, InjectionSpec, OperandSel, PluginError, PluginHost, ProbabilisticInjector,
+    Trigger,
+};
+use chaser_isa::InsnClass;
+use chaser_workloads::lud;
+
+#[test]
+fn deterministic_model_drives_a_real_injection() {
+    let cfg = lud::LudConfig::default();
+    let app = AppSpec::single(lud::program(&cfg));
+
+    let mut chaser = Chaser::new();
+    chaser.load_plugin(&mut DeterministicInjector);
+    let msg = chaser
+        .exec_command("inject_fault lud fmul 100 7")
+        .expect("command");
+    assert!(msg.contains("deterministic"));
+    let report = chaser.run_pending(&app);
+    assert_eq!(report.injections.len(), 1);
+    assert_eq!(report.injections[0].exec_count, 100);
+    assert_eq!(
+        report.injections[0].old_bits ^ report.injections[0].new_bits,
+        1 << 7
+    );
+}
+
+#[test]
+fn probabilistic_model_eventually_fires() {
+    let cfg = lud::LudConfig::default();
+    let app = AppSpec::single(lud::program(&cfg));
+
+    let mut chaser = Chaser::new();
+    chaser.load_plugin(&mut ProbabilisticInjector);
+    chaser
+        .exec_command("inject_fault_prob lud fp 0.05 1 0 99")
+        .expect("command");
+    let report = chaser.run_pending(&app);
+    assert!(
+        report.injected(),
+        "p=0.05 over thousands of FP ops fires with near-certainty"
+    );
+}
+
+#[test]
+fn group_model_places_a_fault_group() {
+    let cfg = lud::LudConfig::default();
+    let app = AppSpec::single(lud::program(&cfg));
+
+    let mut chaser = Chaser::new();
+    chaser.load_plugin(&mut GroupInjector);
+    chaser
+        .exec_command("inject_fault_group lud 1.0 1 7")
+        .expect("command");
+    let report = chaser.run_pending(&app);
+    assert_eq!(report.injections.len(), 7, "group of 7 faults placed");
+}
+
+#[test]
+fn all_three_models_coexist_in_one_session() {
+    let mut chaser = Chaser::new();
+    chaser.load_plugin(&mut ProbabilisticInjector);
+    chaser.load_plugin(&mut DeterministicInjector);
+    chaser.load_plugin(&mut GroupInjector);
+    let names: Vec<String> = chaser.commands().iter().map(|c| c.name.clone()).collect();
+    assert!(names.contains(&"inject_fault".to_string()));
+    assert!(names.contains(&"inject_fault_prob".to_string()));
+    assert!(names.contains(&"inject_fault_group".to_string()));
+    assert!(matches!(
+        chaser.exec_command("bogus_command"),
+        Err(PluginError::UnknownCommand(_))
+    ));
+}
+
+/// A user-written injector: stuck-at-zero on the first `fdiv` destination.
+/// Exactly the "researchers build their own models on the interfaces"
+/// workflow the paper's Table II measures.
+struct StuckAtZeroInjector;
+
+impl FiPlugin for StuckAtZeroInjector {
+    fn plugin_init(&mut self, host: &mut PluginHost) -> FiInterface {
+        let cmd: CommandSpec = host.register_command(
+            "inject_stuck_zero",
+            "inject_stuck_zero <program> <n>",
+            Box::new(|state, args| {
+                let [program, n] = args else {
+                    return Err(PluginError::BadArgs("expected <program> <n>".into()));
+                };
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| PluginError::BadArgs("bad n".into()))?;
+                state.pending_spec = Some(InjectionSpec {
+                    target_program: program.to_string(),
+                    target_rank: 0,
+                    class: InsnClass::Fdiv,
+                    trigger: Trigger::AfterN(n),
+                    corruption: Corruption::SetValue(0),
+                    operand: OperandSel::Dst,
+                    max_injections: 1,
+                    seed: 0,
+                });
+                Ok(format!("stuck-at-zero armed on {program} after {n} fdivs"))
+            }),
+        );
+        FiInterface {
+            commands: vec![cmd],
+        }
+    }
+}
+
+#[test]
+fn custom_injector_works_through_the_exported_interfaces() {
+    let cfg = lud::LudConfig::default();
+    let app = AppSpec::single(lud::program(&cfg));
+
+    let mut chaser = Chaser::new();
+    chaser.load_plugin(&mut StuckAtZeroInjector);
+    chaser
+        .exec_command("inject_stuck_zero lud 3")
+        .expect("command");
+    let report = chaser.run_pending(&app);
+    assert_eq!(report.injections.len(), 1);
+    let rec = &report.injections[0];
+    assert_eq!(rec.new_bits, 0, "operand forced to zero");
+    assert!(rec.insn.starts_with("fdiv"));
+    // Zeroing an fdiv destination changes the LU factors: SDC or worse.
+    let golden = chaser.run(&app, &chaser::RunOptions::golden());
+    let outcome = report.classify_against(&golden);
+    assert_ne!(format!("{outcome}"), "benign");
+}
+
+#[test]
+fn intermittent_model_fires_periodically() {
+    use chaser::IntermittentInjector;
+    let cfg = lud::LudConfig::default();
+    let app = AppSpec::single(lud::program(&cfg));
+
+    let mut chaser = Chaser::new();
+    chaser.load_plugin(&mut IntermittentInjector);
+    chaser
+        .exec_command("inject_fault_intermittent lud fmul 100 50 3 4")
+        .expect("command");
+    let report = chaser.run_pending(&app);
+    assert_eq!(report.injections.len(), 4);
+    let counts: Vec<u64> = report.injections.iter().map(|r| r.exec_count).collect();
+    assert_eq!(
+        counts,
+        vec![100, 150, 200, 250],
+        "fires at start + k·period"
+    );
+}
+
+#[test]
+fn periodic_trigger_slides_past_the_end_gracefully() {
+    use chaser::IntermittentInjector;
+    // start beyond the program's dynamic fmul count: nothing fires, the
+    // run is a clean skip rather than an error.
+    let cfg = lud::LudConfig { n: 8, seed: 17 };
+    let app = AppSpec::single(lud::program(&cfg));
+    let mut chaser = Chaser::new();
+    chaser.load_plugin(&mut IntermittentInjector);
+    chaser
+        .exec_command("inject_fault_intermittent lud fmul 1000000 10 3 2")
+        .expect("command");
+    let report = chaser.run_pending(&app);
+    assert!(!report.injected());
+    assert!(report.cluster.all_success());
+}
