@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, tests, formatting, lints.
+# The workspace vendors its external dependencies (see vendor/), so this
+# runs fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+cargo clippy --offline --all-targets -- -D warnings

@@ -8,8 +8,14 @@
 //!    is in flight (the case the hub optimises for), on golden matvec.
 //! 3. **Precise vs conservative taint policy** — full traced CLAMR run
 //!    under both policies.
+//! 4. **Shared vs cold translation cache** — identical injection runs
+//!    started from a golden-warmed `Arc`-shared base layer of clean TBs
+//!    vs translating every block from scratch (the
+//!    `CampaignConfig::shared_tb_cache` knob).
 
-use chaser::{run_app, Corruption, InjectionSpec, OperandSel, RunOptions, Trigger};
+use chaser::{
+    prepare_app, run_app, run_prepared, Corruption, InjectionSpec, OperandSel, RunOptions, Trigger,
+};
 use chaser_bench::{clamr_app, lud_app, matvec_app, HarnessArgs};
 use chaser_isa::InsnClass;
 use chaser_mpi::TaintCarrier;
@@ -134,11 +140,44 @@ fn tracing_granularity(c: &mut Criterion) {
     group.finish();
 }
 
+fn shared_vs_cold_tb_cache(c: &mut Criterion) {
+    // One campaign-style injection run each way: `cold_translate` is what
+    // every run of a `shared_tb_cache = false` campaign pays, `shared_base`
+    // what runs 1..N of the default configuration pay (the warm-up itself
+    // is amortised over the whole campaign). The fault targets a slave's
+    // FP block so only the dot-product TBs leave the base layer.
+    let args = HarnessArgs::default();
+    let (app, _) = matvec_app(&args);
+    let prepared = prepare_app(&app, &[InsnClass::FpArith]);
+    let spec = InjectionSpec {
+        target_program: app.name.clone(),
+        target_rank: 1,
+        class: InsnClass::FpArith,
+        trigger: Trigger::AfterN(100),
+        corruption: Corruption::Identity,
+        operand: OperandSel::Dst,
+        max_injections: 1,
+        seed: 0,
+    };
+    let opts = RunOptions::inject(spec);
+    let mut group = c.benchmark_group("ablation/shared_tb_cache");
+    group.sample_size(20);
+
+    group.bench_function("cold_translate", |b| {
+        b.iter(|| run_app(&app, &opts));
+    });
+    group.bench_function("shared_base", |b| {
+        b.iter(|| run_prepared(&prepared, &opts));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     jit_vs_always_instrument,
     hub_vs_header,
     precise_vs_conservative_policy,
-    tracing_granularity
+    tracing_granularity,
+    shared_vs_cold_tb_cache
 );
 criterion_main!(benches);

@@ -12,9 +12,13 @@
 //!
 //! `cargo run --release -p chaser-bench --bin fig10_overhead -- --runs 9`
 
-use chaser::{run_app, AppSpec, Corruption, InjectionSpec, OperandSel, RunOptions, Trigger};
+use chaser::{
+    run_app, AppSpec, Campaign, CampaignConfig, Corruption, InjectionSpec, OperandSel, RankPool,
+    RunOptions, Trigger,
+};
 use chaser_bench::{clamr_app, matvec_app, print_table, HarnessArgs};
 use chaser_isa::InsnClass;
+use chaser_workloads::matvec;
 use std::time::Instant;
 
 /// Median wall-clock seconds over `reps` runs.
@@ -99,5 +103,66 @@ fn main() {
          only the *ratios* correspond to the paper's figure. The criterion \
          bench (`cargo bench -p chaser-bench --bench overhead`) measures the \
          same four configurations with rigorous statistics."
+    );
+
+    shared_cache_ablation();
+}
+
+/// The layered-translation-cache ablation: the same 100-run matvec
+/// campaign with the golden-warmed shared base layer on vs off. Outcomes
+/// must classify identically; the win is pure translation avoidance.
+fn shared_cache_ablation() {
+    let campaign = |shared_tb_cache: bool| {
+        let mv = matvec::MatvecConfig::default();
+        let app = AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 4);
+        let campaign = Campaign::new(
+            app,
+            CampaignConfig {
+                runs: 100,
+                seed: 0xCAFE,
+                classes: vec![InsnClass::FpArith],
+                rank_pool: RankPool::Random,
+                shared_tb_cache,
+                ..CampaignConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let result = campaign.run();
+        (t0.elapsed().as_secs_f64(), result)
+    };
+    let (t_shared, shared) = campaign(true);
+    let (t_cold, cold) = campaign(false);
+    assert_eq!(
+        shared.to_csv(),
+        cold.to_csv(),
+        "shared and cold campaigns must classify identically"
+    );
+
+    let row = |label: &str, t: f64, r: &chaser::CampaignResult| {
+        let s = r.cache_stats;
+        vec![
+            label.to_string(),
+            format!("{:.1}ms", t * 1e3),
+            format!("{:.3}x", t / t_cold),
+            format!("{}", s.misses),
+            format!("{}", s.base_hits),
+            format!("{:.1}%", 100.0 * s.base_hit_rate()),
+        ]
+    };
+    print_table(
+        "Layered TB cache: 100-run matvec campaign, shared base vs cold \
+         (identical outcome sets)",
+        &[
+            "config",
+            "wall clock",
+            "vs cold",
+            "translations",
+            "base hits",
+            "base hit rate",
+        ],
+        &[
+            row("shared_tb_cache=true", t_shared, &shared),
+            row("shared_tb_cache=false", t_cold, &cold),
+        ],
     );
 }

@@ -3,10 +3,13 @@
 
 use crate::injector::InjectionRecord;
 use crate::outcome::{Outcome, TermCause};
-use crate::session::{profile_app, run_app, AppSpec, RunOptions, RunReport};
+use crate::session::{
+    prepare_app, run_app, run_prepared, AppSpec, PreparedApp, RunOptions, RunReport,
+};
 use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
 use crate::tracer::TracerConfig;
 use chaser_isa::InsnClass;
+use chaser_tcg::CacheStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -44,6 +47,12 @@ pub struct CampaignConfig {
     pub tracing: bool,
     /// Tracer parameters when tracing.
     pub tracer: TracerConfig,
+    /// Share one immutable base layer of clean translation blocks (warmed
+    /// by the golden run) across all injection runs, so each run only
+    /// translates the handful of blocks it instruments. Off = the cold
+    /// path: every run translates from scratch. Outcomes are identical
+    /// either way; this is the ablation knob behind the Fig. 10 numbers.
+    pub shared_tb_cache: bool,
 }
 
 impl Default for CampaignConfig {
@@ -58,6 +67,7 @@ impl Default for CampaignConfig {
             operand: OperandSel::Random,
             tracing: false,
             tracer: TracerConfig::default(),
+            shared_tb_cache: true,
         }
     }
 }
@@ -87,6 +97,8 @@ pub struct RunOutcome {
     pub total_insns: u64,
     /// The injection record, when the fault fired.
     pub record: Option<InjectionRecord>,
+    /// Translation-cache statistics for this run (all nodes combined).
+    pub cache_stats: CacheStats,
 }
 
 impl RunOutcome {
@@ -175,6 +187,9 @@ pub struct CampaignResult {
     pub golden_insns: u64,
     /// Dynamic execution counts per `(rank, class index)` from profiling.
     pub profile_counts: BTreeMap<(u32, usize), u64>,
+    /// Translation-cache statistics summed over every injection run
+    /// (skipped runs included; the golden and profiling runs are not).
+    pub cache_stats: CacheStats,
 }
 
 impl CampaignResult {
@@ -400,15 +415,20 @@ impl Campaign {
         run_app(&self.app, &RunOptions::golden())
     }
 
+    /// Prepares the application for this campaign: golden run, profiling
+    /// run, and (warmed by the golden run) the per-node base translation
+    /// caches shared across workers when `cfg.shared_tb_cache` is set.
+    pub fn prepare(&self) -> PreparedApp {
+        prepare_app(&self.app, &self.cfg.classes)
+    }
+
     /// Executes the campaign: one golden + one profiling run, then
-    /// `cfg.runs` seeded injection runs across worker threads.
+    /// `cfg.runs` seeded injection runs across worker threads. With
+    /// `cfg.shared_tb_cache` every worker's runs start from the
+    /// golden-warmed base translation cache; outcomes are bit-identical to
+    /// the cold path either way.
     pub fn run(&self) -> CampaignResult {
-        let golden = self.golden();
-        assert!(
-            !golden.cluster.hang,
-            "golden run hung — application or cluster configuration is broken"
-        );
-        let (_, profile_counts) = profile_app(&self.app, &self.cfg.classes);
+        let prepared = self.prepare();
 
         let workers = if self.cfg.parallelism == 0 {
             std::thread::available_parallelism().map_or(4, |n| n.get())
@@ -418,6 +438,7 @@ impl Campaign {
 
         let next = AtomicU64::new(0);
         let outcomes = Mutex::new(Vec::with_capacity(self.cfg.runs as usize));
+        let cache_stats = Mutex::new(CacheStats::default());
         let skipped = AtomicU64::new(0);
 
         std::thread::scope(|scope| {
@@ -427,7 +448,8 @@ impl Campaign {
                     if idx >= self.cfg.runs {
                         break;
                     }
-                    let result = self.one_run(idx, &golden, &profile_counts);
+                    let (run_cache, result) = self.one_run(idx, &prepared);
+                    cache_stats.lock().expect("poisoned").absorb(run_cache);
                     match result {
                         Some(outcome) => outcomes.lock().expect("poisoned").push(outcome),
                         None => {
@@ -443,18 +465,18 @@ impl Campaign {
         CampaignResult {
             outcomes,
             skipped: skipped.load(Ordering::Relaxed),
-            golden_insns: golden.cluster.total_insns,
-            profile_counts: profile_counts.into_iter().collect(),
+            golden_insns: prepared.golden.cluster.total_insns,
+            profile_counts: prepared.profile_counts.into_iter().collect(),
+            cache_stats: cache_stats.into_inner().expect("poisoned"),
         }
     }
 
-    /// Draws the run's fault parameters and executes it.
-    fn one_run(
-        &self,
-        idx: u64,
-        golden: &RunReport,
-        profile: &std::collections::HashMap<(u32, usize), u64>,
-    ) -> Option<RunOutcome> {
+    /// Draws the run's fault parameters and executes it. Always returns the
+    /// run's cache statistics; the outcome is `None` when the fault never
+    /// fired.
+    fn one_run(&self, idx: u64, prepared: &PreparedApp) -> (CacheStats, Option<RunOutcome>) {
+        let golden = &prepared.golden;
+        let profile = &prepared.profile_counts;
         let mut rng = SmallRng::seed_from_u64(
             self.cfg
                 .seed
@@ -468,10 +490,12 @@ impl Campaign {
         let viable: Vec<usize> = (0..self.cfg.classes.len())
             .filter(|&ci| profile.get(&(rank, ci)).copied().unwrap_or(0) > 0)
             .collect();
-        let class_idx = *viable.get(
+        let Some(&class_idx) = viable.get(
             rng.gen_range(0..viable.len().max(1))
                 .min(viable.len().saturating_sub(1)),
-        )?;
+        ) else {
+            return (CacheStats::default(), None);
+        };
         let class = self.cfg.classes[class_idx];
         let dyn_count = profile[&(rank, class_idx)];
         let trigger_n = rng.gen_range(1..=dyn_count);
@@ -492,12 +516,17 @@ impl Campaign {
             tracer: self.cfg.tracer,
             hook_mpi_symbols: false,
         };
-        let report = run_app(&self.app, &opts);
+        let report = if self.cfg.shared_tb_cache {
+            run_prepared(prepared, &opts)
+        } else {
+            run_app(&self.app, &opts)
+        };
+        let cache_stats = report.cache_stats;
         if !report.injected() {
-            return None;
+            return (cache_stats, None);
         }
         let outcome = report.classify_against(golden);
-        Some(RunOutcome {
+        let outcome = RunOutcome {
             run_idx: idx,
             outcome,
             class,
@@ -509,7 +538,9 @@ impl Campaign {
             cross_rank: report.cluster.cross_rank_tainted_deliveries,
             total_insns: report.cluster.total_insns,
             record: report.injections.first().cloned(),
-        })
+            cache_stats,
+        };
+        (cache_stats, Some(outcome))
     }
 }
 
@@ -531,6 +562,7 @@ mod tests {
             cross_rank: cross,
             total_insns: 100,
             record: None,
+            cache_stats: CacheStats::default(),
         }
     }
 
@@ -540,6 +572,7 @@ mod tests {
             skipped: 0,
             golden_insns: 0,
             profile_counts: BTreeMap::new(),
+            cache_stats: CacheStats::default(),
         }
     }
 

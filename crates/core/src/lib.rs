@@ -80,8 +80,13 @@ pub use models::{
 pub use outcome::{classify, diff_outputs, CorruptedRegion, Outcome, TermCause};
 pub use plugin::{CommandSpec, FiInterface, FiPlugin, HostState, PluginError, PluginHost};
 pub use session::{
-    profile_app, run_app, run_app_insn_traced, AppSpec, Chaser, RunOptions, RunReport,
+    prepare_app, profile_app, run_app, run_app_insn_traced, run_prepared, AppSpec, Chaser,
+    PreparedApp, RunOptions, RunReport,
 };
+
+// Re-exported so cache-aware callers (benches, campaign analyses) can name
+// the layered-translation-cache types without depending on chaser-tcg.
+pub use chaser_tcg::{BaseLayer, CacheStats};
 pub use spec::{Corruption, InjectionSpec, OperandSel, Trigger};
 pub use tracer::{AccessKind, TraceEvent, TraceSummary, Tracer, TracerConfig};
 

@@ -9,10 +9,12 @@ use crate::tracer::{TraceSummary, Tracer, TracerConfig};
 use chaser_isa::{abi, InsnClass, Program};
 use chaser_mpi::{Cluster, ClusterConfig, ClusterRun};
 use chaser_tainthub::HubStats;
-use chaser_vm::{InjectSink, NodeTranslateHook, TaintEventSink, VmiSink};
+use chaser_tcg::{BaseLayer, CacheStats};
+use chaser_vm::{FnHookSink, InjectSink, NodeTranslateHook, TaintEventSink, VmiSink};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The application under test: one guest program per rank plus the cluster
 /// configuration to run it on.
@@ -119,6 +121,8 @@ pub struct RunReport {
     /// Guest MPI function-hook hits when `hook_mpi_symbols` was set:
     /// `(hook id, pc, args)`.
     pub fn_hook_hits: Vec<(u64, u64, [u64; 6])>,
+    /// Translation-cache statistics aggregated over the run's nodes.
+    pub cache_stats: CacheStats,
 }
 
 impl RunReport {
@@ -139,8 +143,76 @@ impl RunReport {
     }
 }
 
+/// The instrumentation sinks one run installs on every node: the translate
+/// hook plus the handle that receives its `CallInject` callbacks and VMI
+/// process events, pre-coerced to the node-facing trait objects.
+type InstrumentSinks = (
+    Rc<dyn NodeTranslateHook>,
+    Rc<RefCell<dyn InjectSink>>,
+    Rc<RefCell<dyn VmiSink>>,
+);
+
+/// Builds an [`InstrumentSinks`] triple from a translate hook and the handle
+/// serving as both its inject and VMI sink.
+fn instrument_sinks<H>(hook: Rc<dyn NodeTranslateHook>, handle: H) -> InstrumentSinks
+where
+    H: InjectSink + VmiSink + 'static,
+{
+    let handle = Rc::new(RefCell::new(handle));
+    (
+        hook,
+        Rc::clone(&handle) as Rc<RefCell<dyn InjectSink>>,
+        handle as Rc<RefCell<dyn VmiSink>>,
+    )
+}
+
+/// The one hook-wiring pass shared by every run flavour: installs whichever
+/// sinks are present on all nodes. Must run before launch so VMI observes
+/// process creation.
+fn wire_cluster_hooks(
+    cluster: &mut Cluster,
+    instrument: Option<InstrumentSinks>,
+    taint_events: Option<Rc<RefCell<dyn TaintEventSink>>>,
+    fn_hook_sink: Option<Rc<RefCell<dyn FnHookSink>>>,
+) {
+    cluster.for_each_node_mut(|node| {
+        let hooks = node.hooks_mut();
+        if let Some((translate, inject, vmi)) = &instrument {
+            hooks.translate = Some(Rc::clone(translate));
+            hooks.inject = Some(Rc::clone(inject));
+            hooks.vmi.push(Rc::clone(vmi));
+        }
+        if let Some(tr) = &taint_events {
+            hooks.taint_events = Some(Rc::clone(tr));
+        }
+        if let Some(logger) = &fn_hook_sink {
+            hooks.fn_hook_sink = Some(Rc::clone(logger));
+        }
+    });
+}
+
+/// Collects per-rank result-file and stdout bytes.
+fn collect_rank_files(cluster: &Cluster) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut outputs = Vec::new();
+    let mut stdouts = Vec::new();
+    for rank in 0..cluster.nranks() {
+        let files = cluster.rank_files(rank);
+        outputs.push(files.output.clone());
+        stdouts.push(files.stdout.clone());
+    }
+    (outputs, stdouts)
+}
+
 /// Executes one run of `app` under `opts`.
 pub fn run_app(app: &AppSpec, opts: &RunOptions) -> RunReport {
+    run_app_inner(app, opts, None)
+}
+
+fn run_app_inner(
+    app: &AppSpec,
+    opts: &RunOptions,
+    base_caches: Option<&[Arc<BaseLayer>]>,
+) -> RunReport {
     // The paper's "fault propagation tracing" switch governs the whole
     // taint machinery (DECAF++-style elastic tainting): with tracing off,
     // no shadow state is maintained at all, which is what makes the
@@ -150,6 +222,9 @@ pub fn run_app(app: &AppSpec, opts: &RunOptions) -> RunReport {
         cluster_cfg.taint_policy = chaser_taint::TaintPolicy::Disabled;
     }
     let mut cluster = Cluster::new(cluster_cfg);
+    if let Some(bases) = base_caches {
+        cluster.install_base_caches(bases);
+    }
 
     let injector = opts.spec.clone().map(Injector::new);
     let tracer = opts
@@ -159,29 +234,21 @@ pub fn run_app(app: &AppSpec, opts: &RunOptions) -> RunReport {
         .hook_mpi_symbols
         .then(|| Rc::new(RefCell::new(FnHookLogger::default())));
 
-    // Hooks must be in place before launch so VMI observes creation.
-    if let Some(inj) = &injector {
-        let handle = Rc::new(RefCell::new(InjectorHandle(Rc::clone(inj))));
-        cluster.for_each_node_mut(|node| {
-            let hooks = node.hooks_mut();
-            hooks.translate = Some(Rc::clone(inj) as Rc<dyn NodeTranslateHook>);
-            hooks.inject = Some(Rc::clone(&handle) as Rc<RefCell<dyn InjectSink>>);
-            hooks
-                .vmi
-                .push(Rc::clone(&handle) as Rc<RefCell<dyn VmiSink>>);
-        });
-    }
-    if let Some(tr) = &tracer {
-        cluster.for_each_node_mut(|node| {
-            node.hooks_mut().taint_events = Some(Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>);
-        });
-    }
-    if let Some(logger) = &fn_logger {
-        cluster.for_each_node_mut(|node| {
-            node.hooks_mut().fn_hook_sink =
-                Some(Rc::clone(logger) as Rc<RefCell<dyn chaser_vm::FnHookSink>>);
-        });
-    }
+    wire_cluster_hooks(
+        &mut cluster,
+        injector.as_ref().map(|inj| {
+            instrument_sinks(
+                Rc::clone(inj) as Rc<dyn NodeTranslateHook>,
+                InjectorHandle(Rc::clone(inj)),
+            )
+        }),
+        tracer
+            .as_ref()
+            .map(|tr| Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>),
+        fn_logger
+            .as_ref()
+            .map(|l| Rc::clone(l) as Rc<RefCell<dyn FnHookSink>>),
+    );
 
     let program_refs: Vec<&Program> = app.programs.iter().collect();
     cluster.launch(&program_refs).expect("launch application");
@@ -224,13 +291,7 @@ pub fn run_app(app: &AppSpec, opts: &RunOptions) -> RunReport {
         }
     });
 
-    let mut outputs = Vec::new();
-    let mut stdouts = Vec::new();
-    for rank in 0..cluster.nranks() {
-        let files = cluster.rank_files(rank);
-        outputs.push(files.output.clone());
-        stdouts.push(files.stdout.clone());
-    }
+    let (outputs, stdouts) = collect_rank_files(&cluster);
 
     RunReport {
         cluster: cluster_run,
@@ -241,7 +302,82 @@ pub fn run_app(app: &AppSpec, opts: &RunOptions) -> RunReport {
         trace: tracer.map(|tr| tr.borrow().summary().clone()),
         hub_stats: cluster.hub().stats(),
         fn_hook_hits: fn_logger.map_or_else(Vec::new, |l| l.borrow().hits.clone()),
+        cache_stats: cluster.tb_cache_stats(),
     }
+}
+
+/// An application prepared for repeated campaign runs: the golden
+/// (fault-free) reference report, per-`(rank, class)` dynamic execution
+/// counts, and one immutable base translation cache per node, sealed from
+/// a hook-free warm-up run. Cheap to share across worker threads — the
+/// base layers are read-only `Arc`s that every run's overlay sits on top
+/// of, so workers skip almost all translation work.
+#[derive(Debug, Clone)]
+pub struct PreparedApp {
+    /// The application under test.
+    pub app: AppSpec,
+    /// The golden reference report (produced by the warm-up run).
+    pub golden: RunReport,
+    /// Dynamic execution counts per `(rank, class index)`.
+    pub profile_counts: HashMap<(u32, usize), u64>,
+    /// Clean-TB base layers, one per node, warmed by the golden run.
+    pub base_caches: Vec<Arc<BaseLayer>>,
+}
+
+/// Prepares `app` for repeated runs: executes one hook-free golden run,
+/// seals every node's translation cache into a shareable base layer, and
+/// profiles the dynamic execution counts of `classes`.
+///
+/// The warm-up must be the *golden* run, not the profiling run: with no
+/// translate hook installed every block translates clean, so sealing
+/// captures the whole guest working set. [`ProfileHook`] instruments the
+/// target's blocks, and sealing drops instrumented TBs.
+///
+/// # Panics
+///
+/// Panics when the golden run hangs — the application or cluster
+/// configuration is broken.
+pub fn prepare_app(app: &AppSpec, classes: &[InsnClass]) -> PreparedApp {
+    let mut cluster_cfg = app.cluster.clone();
+    cluster_cfg.taint_policy = chaser_taint::TaintPolicy::Disabled;
+    let mut cluster = Cluster::new(cluster_cfg);
+    let program_refs: Vec<&Program> = app.programs.iter().collect();
+    cluster.launch(&program_refs).expect("launch application");
+    let cluster_run = cluster.run();
+    assert!(
+        !cluster_run.hang,
+        "golden run hung — application or cluster configuration is broken"
+    );
+    let (outputs, stdouts) = collect_rank_files(&cluster);
+    let golden = RunReport {
+        cluster: cluster_run,
+        outputs,
+        stdouts,
+        injections: Vec::new(),
+        injector_exec_count: 0,
+        trace: None,
+        hub_stats: cluster.hub().stats(),
+        fn_hook_hits: Vec::new(),
+        cache_stats: cluster.tb_cache_stats(),
+    };
+    let base_caches = cluster.seal_tb_caches();
+    let (_, profile_counts) = profile_app(app, classes);
+    PreparedApp {
+        app: app.clone(),
+        golden,
+        profile_counts,
+        base_caches,
+    }
+}
+
+/// Runs the prepared application once under `opts`, with every node born
+/// holding the shared base translation cache. Semantics are identical to
+/// [`run_app`] on [`PreparedApp::app`] — instrumented blocks always
+/// translate fresh into the per-run overlay, and flushes clear only the
+/// overlay — so same options and seed give the same [`RunReport`] contents
+/// (modulo `cache_stats`).
+pub fn run_prepared(prepared: &PreparedApp, opts: &RunOptions) -> RunReport {
+    run_app_inner(&prepared.app, opts, Some(&prepared.base_caches))
 }
 
 /// Runs `app` fault-free while counting dynamic executions of each class in
@@ -253,26 +389,20 @@ pub fn profile_app(
 ) -> (RunReport, HashMap<(u32, usize), u64>) {
     let mut cluster = Cluster::new(app.cluster.clone());
     let profile = ProfileHook::new(app.name.clone(), classes.to_vec());
-    let handle = Rc::new(RefCell::new(ProfileHandle(Rc::clone(&profile))));
-    cluster.for_each_node_mut(|node| {
-        let hooks = node.hooks_mut();
-        hooks.translate = Some(Rc::clone(&profile) as Rc<dyn NodeTranslateHook>);
-        hooks.inject = Some(Rc::clone(&handle) as Rc<RefCell<dyn InjectSink>>);
-        hooks
-            .vmi
-            .push(Rc::clone(&handle) as Rc<RefCell<dyn VmiSink>>);
-    });
+    wire_cluster_hooks(
+        &mut cluster,
+        Some(instrument_sinks(
+            Rc::clone(&profile) as Rc<dyn NodeTranslateHook>,
+            ProfileHandle(Rc::clone(&profile)),
+        )),
+        None,
+        None,
+    );
     let program_refs: Vec<&Program> = app.programs.iter().collect();
     cluster.launch(&program_refs).expect("launch application");
     let cluster_run = cluster.run();
 
-    let mut outputs = Vec::new();
-    let mut stdouts = Vec::new();
-    for rank in 0..cluster.nranks() {
-        let files = cluster.rank_files(rank);
-        outputs.push(files.output.clone());
-        stdouts.push(files.stdout.clone());
-    }
+    let (outputs, stdouts) = collect_rank_files(&cluster);
     let report = RunReport {
         cluster: cluster_run,
         outputs,
@@ -282,6 +412,7 @@ pub fn profile_app(
         trace: None,
         hub_stats: cluster.hub().stats(),
         fn_hook_hits: Vec::new(),
+        cache_stats: cluster.tb_cache_stats(),
     };
     (report, profile.counts())
 }
@@ -297,25 +428,19 @@ pub fn run_app_insn_traced(
 ) -> (RunReport, crate::InsnTraceSummary) {
     let mut cluster = Cluster::new(app.cluster.clone());
     let tracer = crate::InsnLevelTracer::new(app.name.clone(), seed_taint);
-    let handle = Rc::new(RefCell::new(crate::InsnTraceHandle(Rc::clone(&tracer))));
-    cluster.for_each_node_mut(|node| {
-        let hooks = node.hooks_mut();
-        hooks.translate = Some(Rc::clone(&tracer) as Rc<dyn NodeTranslateHook>);
-        hooks.inject = Some(Rc::clone(&handle) as Rc<RefCell<dyn InjectSink>>);
-        hooks
-            .vmi
-            .push(Rc::clone(&handle) as Rc<RefCell<dyn VmiSink>>);
-    });
+    wire_cluster_hooks(
+        &mut cluster,
+        Some(instrument_sinks(
+            Rc::clone(&tracer) as Rc<dyn NodeTranslateHook>,
+            crate::InsnTraceHandle(Rc::clone(&tracer)),
+        )),
+        None,
+        None,
+    );
     let program_refs: Vec<&Program> = app.programs.iter().collect();
     cluster.launch(&program_refs).expect("launch application");
     let cluster_run = cluster.run();
-    let mut outputs = Vec::new();
-    let mut stdouts = Vec::new();
-    for rank in 0..cluster.nranks() {
-        let files = cluster.rank_files(rank);
-        outputs.push(files.output.clone());
-        stdouts.push(files.stdout.clone());
-    }
+    let (outputs, stdouts) = collect_rank_files(&cluster);
     let report = RunReport {
         cluster: cluster_run,
         outputs,
@@ -325,6 +450,7 @@ pub fn run_app_insn_traced(
         trace: None,
         hub_stats: cluster.hub().stats(),
         fn_hook_hits: Vec::new(),
+        cache_stats: cluster.tb_cache_stats(),
     };
     (report, tracer.summary())
 }

@@ -8,6 +8,7 @@ use chaser_isa::abi::{self, MpiDatatype, MpiOp};
 use chaser_isa::Program;
 use chaser_taint::TaintPolicy;
 use chaser_tainthub::{MsgId, TaintHub};
+use chaser_tcg::{BaseLayer, CacheStats};
 use chaser_vm::{ExitStatus, MpiRequest, Node, ProcState, ProcessFiles, Signal, SliceExit};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -273,6 +274,32 @@ impl Cluster {
         for node in &mut self.nodes {
             f(node);
         }
+    }
+
+    /// Installs shared base translation caches node-index-wise: `bases[i]`
+    /// becomes node `i`'s immutable clean-TB layer. Extra entries (either
+    /// side) are ignored, so a base set sealed from an identically
+    /// configured cluster always lines up.
+    pub fn install_base_caches(&mut self, bases: &[Arc<BaseLayer>]) {
+        for (node, base) in self.nodes.iter_mut().zip(bases) {
+            node.install_base_cache(Arc::clone(base));
+        }
+    }
+
+    /// Seals every node's translation cache into an immutable base layer
+    /// (clean blocks only), for sharing with other clusters running the
+    /// same guest code layout.
+    pub fn seal_tb_caches(&self) -> Vec<Arc<BaseLayer>> {
+        self.nodes.iter().map(Node::seal_cache).collect()
+    }
+
+    /// Aggregated translation-cache statistics across all nodes.
+    pub fn tb_cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for node in &self.nodes {
+            total.absorb(node.cache_stats());
+        }
+        total
     }
 
     /// Registers a cluster-level MPI traffic observer.

@@ -1,23 +1,117 @@
 //! The translation-block cache.
+//!
+//! Layered since the campaign-sharing refactor: an optional immutable
+//! [`BaseLayer`] of clean (uninstrumented) blocks, shared read-only via
+//! `Arc` across campaign worker threads, underneath a mutable per-run
+//! overlay. Flushes invalidate only the overlay — the warm base survives
+//! the VMI attach/detach flush cycle, so a 5 000-run campaign translates
+//! each guest block once instead of 5 000 times.
 
 use crate::TranslationBlock;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Counters describing cache behaviour; used by the overhead benchmarks to
-/// show the cost of Chaser's cache flushes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// show the cost of Chaser's cache flushes, and by campaign reports to show
+/// how much translation the shared base layer absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Total lookups.
     pub lookups: u64,
     /// Lookups that missed and required translation.
     pub misses: u64,
-    /// Full-cache flushes.
+    /// Lookups served by a block originating in the shared base layer
+    /// (whether validated on this lookup or already memoised in the overlay).
+    pub base_hits: u64,
+    /// Lookups served by a block translated into the overlay this run.
+    pub overlay_hits: u64,
+    /// Full-cache (overlay) flushes.
     pub flushes: u64,
     /// Per-address-space flushes.
     pub asid_flushes: u64,
     /// Guest instructions translated (over all misses).
     pub translated_insns: u64,
+    /// Blocks resident in the overlay when the stats were read.
+    pub overlay_blocks: u64,
+    /// Blocks resident in the shared base layer when the stats were read.
+    pub base_blocks: u64,
+}
+
+impl CacheStats {
+    /// How often the shared base layer avoided a translation, in `[0, 1]`:
+    /// `base_hits / (base_hits + misses)`. Lookups served by run-local
+    /// *fresh* blocks already in the overlay are excluded — they neither
+    /// needed the base nor cost a translation — so the rate isolates what
+    /// the base layer contributes on top of a plain per-run cache.
+    pub fn base_hit_rate(&self) -> f64 {
+        if self.base_hits + self.misses == 0 {
+            0.0
+        } else {
+            self.base_hits as f64 / (self.base_hits + self.misses) as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (gauges add too: callers aggregate
+    /// stats snapshots across nodes or runs).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.lookups += other.lookups;
+        self.misses += other.misses;
+        self.base_hits += other.base_hits;
+        self.overlay_hits += other.overlay_hits;
+        self.flushes += other.flushes;
+        self.asid_flushes += other.asid_flushes;
+        self.translated_insns += other.translated_insns;
+        self.overlay_blocks += other.overlay_blocks;
+        self.base_blocks += other.base_blocks;
+    }
+}
+
+/// An immutable layer of clean translation blocks, keyed like the cache by
+/// `(asid, pc)`. Built once (typically by sealing the cache after a golden
+/// run) and shared read-only across nodes and campaign worker threads.
+///
+/// Validity contract: a base layer describes one specific guest code layout
+/// — the same programs spawned in the same order (so the same pid/asid
+/// assignment). The cluster constructors enforce this by rebuilding every
+/// campaign run from the same [`Program`](chaser_isa::Program) set that
+/// warmed the base.
+#[derive(Debug, Default)]
+pub struct BaseLayer {
+    map: HashMap<(u64, u64), Arc<TranslationBlock>>,
+}
+
+impl BaseLayer {
+    /// Number of blocks in the layer.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the layer holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a block. No validation: callers that might instrument must
+    /// go through [`TbCache::get_or_translate_validated`].
+    pub fn get(&self, asid: u64, pc: u64) -> Option<&Arc<TranslationBlock>> {
+        self.map.get(&(asid, pc))
+    }
+
+    /// Total guest instructions covered by the layer.
+    pub fn covered_insns(&self) -> u64 {
+        self.map.values().map(|tb| tb.insns().len() as u64).sum()
+    }
+}
+
+/// Where an overlay entry came from; decides which hit counter a repeat
+/// lookup bumps and whether sealing may export the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Provenance {
+    /// Validated clean block adopted from the base layer.
+    FromBase,
+    /// Block translated into the overlay this run.
+    Fresh,
 }
 
 /// A cache of translated blocks, keyed by `(asid, pc)`.
@@ -27,67 +121,164 @@ pub struct CacheStats {
 /// target process is detected via VMI so the next round of translation can
 /// splice in the fault injector, and flushes again after the injection
 /// completes to drop the instrumented blocks ("detach the injector").
+///
+/// Both flushes clear only the overlay: clean blocks adopted from the base
+/// layer are re-validated (cheaply) on the next lookup, so the attach /
+/// detach cycle never pays for retranslation of unaffected code.
 #[derive(Debug, Default)]
 pub struct TbCache {
-    map: HashMap<(u64, u64), Rc<TranslationBlock>>,
+    base: Option<Arc<BaseLayer>>,
+    overlay: HashMap<(u64, u64), (Arc<TranslationBlock>, Provenance)>,
     stats: CacheStats,
 }
 
 impl TbCache {
-    /// An empty cache.
+    /// An empty cache with no base layer (the cold-cache path).
     pub fn new() -> TbCache {
         TbCache::default()
     }
 
+    /// An empty overlay on top of a shared base layer.
+    pub fn with_base(base: Arc<BaseLayer>) -> TbCache {
+        TbCache {
+            base: Some(base),
+            ..TbCache::default()
+        }
+    }
+
+    /// Installs (or replaces) the shared base layer. Existing overlay
+    /// entries are dropped: their provenance would be stale.
+    pub fn set_base(&mut self, base: Arc<BaseLayer>) {
+        self.overlay.clear();
+        self.base = Some(base);
+    }
+
+    /// The shared base layer, if one is installed.
+    pub fn base(&self) -> Option<&Arc<BaseLayer>> {
+        self.base.as_ref()
+    }
+
     /// Looks up the block for `pc` in address space `asid`, translating via
-    /// `translate` on a miss.
+    /// `translate` on a miss. Base-layer candidates are accepted without
+    /// validation — for callers that never instrument (golden runs, tests).
+    /// Instrumenting callers must use [`Self::get_or_translate_validated`].
     pub fn get_or_translate(
         &mut self,
         asid: u64,
         pc: u64,
         translate: impl FnOnce() -> TranslationBlock,
-    ) -> Rc<TranslationBlock> {
+    ) -> Arc<TranslationBlock> {
+        self.get_or_translate_validated(asid, pc, |_| true, translate)
+    }
+
+    /// Looks up the block for `pc` in address space `asid`.
+    ///
+    /// Resolution order:
+    /// 1. overlay hit — returned directly (provenance decides the counter);
+    /// 2. base-layer candidate — adopted into the overlay iff
+    ///    `base_valid(tb)` confirms the caller's translate hook would leave
+    ///    the clean block untouched (typically: no instruction in the block
+    ///    is an inject point). The adoption is memoised, so validation runs
+    ///    once per (asid, pc) per flush epoch, not once per lookup;
+    /// 3. miss — `translate` runs and the result enters the overlay.
+    ///
+    /// Memoising the validation is sound because every hook state change
+    /// (VMI arming the injector, the injector detaching after firing) is
+    /// accompanied by a flush: within one flush epoch the hook's decision
+    /// for a given block is constant.
+    pub fn get_or_translate_validated(
+        &mut self,
+        asid: u64,
+        pc: u64,
+        base_valid: impl FnOnce(&TranslationBlock) -> bool,
+        translate: impl FnOnce() -> TranslationBlock,
+    ) -> Arc<TranslationBlock> {
         self.stats.lookups += 1;
-        if let Some(tb) = self.map.get(&(asid, pc)) {
-            return Rc::clone(tb);
+        if let Some((tb, provenance)) = self.overlay.get(&(asid, pc)) {
+            match provenance {
+                Provenance::FromBase => self.stats.base_hits += 1,
+                Provenance::Fresh => self.stats.overlay_hits += 1,
+            }
+            return Arc::clone(tb);
+        }
+        if let Some(base) = &self.base {
+            if let Some(tb) = base.get(asid, pc) {
+                if base_valid(tb) {
+                    self.stats.base_hits += 1;
+                    let tb = Arc::clone(tb);
+                    self.overlay
+                        .insert((asid, pc), (Arc::clone(&tb), Provenance::FromBase));
+                    return tb;
+                }
+            }
         }
         self.stats.misses += 1;
-        let tb = Rc::new(translate());
+        let tb = Arc::new(translate());
         self.stats.translated_insns += tb.insns().len() as u64;
-        self.map.insert((asid, pc), Rc::clone(&tb));
+        self.overlay
+            .insert((asid, pc), (Arc::clone(&tb), Provenance::Fresh));
         tb
     }
 
-    /// Looks up without translating.
-    pub fn get(&self, asid: u64, pc: u64) -> Option<Rc<TranslationBlock>> {
-        self.map.get(&(asid, pc)).cloned()
+    /// Looks up without translating (overlay first, then base, unvalidated).
+    pub fn get(&self, asid: u64, pc: u64) -> Option<Arc<TranslationBlock>> {
+        if let Some((tb, _)) = self.overlay.get(&(asid, pc)) {
+            return Some(Arc::clone(tb));
+        }
+        self.base
+            .as_ref()
+            .and_then(|base| base.get(asid, pc))
+            .cloned()
     }
 
-    /// Drops every cached block.
+    /// Drops every overlay block. The base layer (if any) survives; its
+    /// blocks are re-validated on the next lookup.
     pub fn flush(&mut self) {
-        self.map.clear();
+        self.overlay.clear();
         self.stats.flushes += 1;
     }
 
-    /// Drops the blocks of one address space.
+    /// Drops the overlay blocks of one address space.
     pub fn flush_asid(&mut self, asid: u64) {
-        self.map.retain(|(a, _), _| *a != asid);
+        self.overlay.retain(|(a, _), _| *a != asid);
         self.stats.asid_flushes += 1;
     }
 
-    /// Number of cached blocks.
+    /// Number of overlay blocks (the base layer is reported separately via
+    /// [`CacheStats::base_blocks`]).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.overlay.len()
     }
 
-    /// True when the cache holds no blocks.
+    /// True when the overlay holds no blocks.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.overlay.is_empty()
     }
 
-    /// Cache statistics.
+    /// Freezes the clean portion of this cache into an immutable base
+    /// layer: every uninstrumented overlay block plus everything already in
+    /// the current base. Call after a hook-free golden run to warm the
+    /// layer campaign workers will share.
+    pub fn seal(&self) -> Arc<BaseLayer> {
+        let mut map: HashMap<(u64, u64), Arc<TranslationBlock>> = match &self.base {
+            Some(base) => base.map.clone(),
+            None => HashMap::new(),
+        };
+        for (key, (tb, _)) in &self.overlay {
+            if !tb.is_instrumented() {
+                map.insert(*key, Arc::clone(tb));
+            }
+        }
+        Arc::new(BaseLayer { map })
+    }
+
+    /// Cache statistics, with the block-count gauges sampled now.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            overlay_blocks: self.overlay.len() as u64,
+            base_blocks: self.base.as_ref().map_or(0, |b| b.len() as u64),
+            ..self.stats
+        }
     }
 }
 
@@ -104,26 +295,27 @@ mod tests {
         a.assemble().expect("assemble").code().to_vec()
     }
 
+    fn translate(code: &[u8]) -> TranslationBlock {
+        translate_block(&SliceFetcher::new(CODE_BASE, code), CODE_BASE, None)
+    }
+
     #[test]
     fn second_lookup_hits() {
         let code = code();
         let mut cache = TbCache::new();
-        let t1 = cache.get_or_translate(1, CODE_BASE, || {
-            translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
-        });
+        let t1 = cache.get_or_translate(1, CODE_BASE, || translate(&code));
         let t2 = cache.get_or_translate(1, CODE_BASE, || panic!("must not retranslate"));
-        assert!(Rc::ptr_eq(&t1, &t2));
+        assert!(Arc::ptr_eq(&t1, &t2));
         assert_eq!(cache.stats().lookups, 2);
         assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().overlay_hits, 1);
     }
 
     #[test]
     fn different_asids_do_not_share_blocks() {
         let code = code();
         let mut cache = TbCache::new();
-        cache.get_or_translate(1, CODE_BASE, || {
-            translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
-        });
+        cache.get_or_translate(1, CODE_BASE, || translate(&code));
         assert!(cache.get(2, CODE_BASE).is_none());
     }
 
@@ -131,15 +323,13 @@ mod tests {
     fn flush_forces_retranslation() {
         let code = code();
         let mut cache = TbCache::new();
-        cache.get_or_translate(1, CODE_BASE, || {
-            translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
-        });
+        cache.get_or_translate(1, CODE_BASE, || translate(&code));
         cache.flush();
         assert!(cache.is_empty());
         let mut retranslated = false;
         cache.get_or_translate(1, CODE_BASE, || {
             retranslated = true;
-            translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
+            translate(&code)
         });
         assert!(retranslated);
         assert_eq!(cache.stats().flushes, 1);
@@ -150,12 +340,128 @@ mod tests {
         let code = code();
         let mut cache = TbCache::new();
         for asid in [1, 2] {
-            cache.get_or_translate(asid, CODE_BASE, || {
-                translate_block(&SliceFetcher::new(CODE_BASE, &code), CODE_BASE, None)
-            });
+            cache.get_or_translate(asid, CODE_BASE, || translate(&code));
         }
         cache.flush_asid(1);
         assert!(cache.get(1, CODE_BASE).is_none());
         assert!(cache.get(2, CODE_BASE).is_some());
+    }
+
+    #[test]
+    fn sealed_base_serves_hits_across_flushes() {
+        let code = code();
+        let mut warm = TbCache::new();
+        warm.get_or_translate(1, CODE_BASE, || translate(&code));
+        let base = warm.seal();
+        assert_eq!(base.len(), 1);
+
+        let mut cache = TbCache::with_base(Arc::clone(&base));
+        let t1 = cache.get_or_translate(1, CODE_BASE, || panic!("base must serve this"));
+        assert!(Arc::ptr_eq(&t1, base.get(1, CODE_BASE).expect("sealed")));
+        cache.flush();
+        // The overlay is gone but the base still serves the block.
+        cache.get_or_translate(1, CODE_BASE, || panic!("base survives the flush"));
+        let stats = cache.stats();
+        assert_eq!(stats.base_hits, 2);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.base_blocks, 1);
+    }
+
+    #[test]
+    fn failed_validation_translates_fresh() {
+        let code = code();
+        let mut warm = TbCache::new();
+        warm.get_or_translate(1, CODE_BASE, || translate(&code));
+        let base = warm.seal();
+
+        let mut cache = TbCache::with_base(base);
+        // An "armed injector" rejects the clean block: fresh translation.
+        let tb = cache.get_or_translate_validated(1, CODE_BASE, |_| false, || translate(&code));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().base_hits, 0);
+        // The fresh block is memoised: the validator must not run again
+        // until a flush opens a new hook epoch.
+        let again = cache.get_or_translate_validated(
+            1,
+            CODE_BASE,
+            |_| panic!("validation is memoised within a flush epoch"),
+            || panic!("already cached"),
+        );
+        assert!(Arc::ptr_eq(&tb, &again));
+        assert_eq!(cache.stats().overlay_hits, 1);
+        // After the flush ("injector detached"), the base serves it again.
+        cache.flush();
+        cache.get_or_translate_validated(1, CODE_BASE, |_| true, || panic!("base serves this"));
+        assert_eq!(cache.stats().base_hits, 1);
+    }
+
+    #[test]
+    fn validation_memoised_for_adopted_blocks() {
+        let code = code();
+        let mut warm = TbCache::new();
+        warm.get_or_translate(1, CODE_BASE, || translate(&code));
+        let base = warm.seal();
+
+        let mut cache = TbCache::with_base(base);
+        let mut validations = 0;
+        for _ in 0..5 {
+            cache.get_or_translate_validated(
+                1,
+                CODE_BASE,
+                |_| {
+                    validations += 1;
+                    true
+                },
+                || panic!("base serves this"),
+            );
+        }
+        assert_eq!(validations, 1, "adoption memoises the validation");
+        assert_eq!(cache.stats().base_hits, 5);
+    }
+
+    #[test]
+    fn seal_skips_instrumented_blocks() {
+        struct EveryInsn;
+        impl crate::TranslateHook for EveryInsn {
+            fn inject_point(&self, _pc: u64, _insn: &chaser_isa::Instruction) -> Option<u64> {
+                Some(0)
+            }
+        }
+
+        let code = code();
+        let mut cache = TbCache::new();
+        cache.get_or_translate(1, CODE_BASE, || translate(&code));
+        cache.get_or_translate(1, CODE_BASE + 64, || {
+            translate_block(
+                &SliceFetcher::new(CODE_BASE + 64, &code),
+                CODE_BASE + 64,
+                Some(&EveryInsn),
+            )
+        });
+        let base = cache.seal();
+        assert_eq!(base.len(), 1, "instrumented block must not be exported");
+        assert!(base.get(1, CODE_BASE).is_some());
+        assert!(base.get(1, CODE_BASE + 64).is_none());
+    }
+
+    #[test]
+    fn stats_absorb_and_hit_rate() {
+        let mut a = CacheStats {
+            lookups: 8,
+            base_hits: 6,
+            misses: 2,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            lookups: 2,
+            base_hits: 2,
+            ..CacheStats::default()
+        };
+        a.absorb(b);
+        assert_eq!(a.lookups, 10);
+        assert_eq!(a.base_hits, 8);
+        // 8 base hits vs 2 translations: the base avoided 80% of the
+        // translations that would otherwise have happened.
+        assert!((a.base_hit_rate() - 0.8).abs() < 1e-12);
     }
 }

@@ -18,7 +18,11 @@
 //!
 //! Translated blocks are cached in a [`TbCache`]; Chaser flushes the cache
 //! when the target process appears (or when injection is disarmed) to force
-//! retranslation with (or without) instrumentation.
+//! retranslation with (or without) instrumentation. The cache is layered:
+//! flushes clear only a per-run overlay, while an optional `Arc`-shared
+//! [`BaseLayer`] of clean blocks — warmed once by a golden run — survives
+//! and is re-validated against the active hook on the next lookup, so
+//! campaign runs skip almost all translation work.
 //!
 //! # Example
 //!
@@ -45,7 +49,7 @@ mod ir;
 mod tb;
 mod translate;
 
-pub use cache::{CacheStats, TbCache};
+pub use cache::{BaseLayer, CacheStats, TbCache};
 pub use ir::{Global, Helper, TcgOp, Temp};
 pub use tb::TranslationBlock;
 pub use translate::{

@@ -12,7 +12,7 @@ use chaser_taint::{PropKind, TaintMask, TaintState};
 use chaser_tcg::{
     translate_block, CodeFetcher, Global, TbCache, TcgOp, Temp, TranslateHook, TranslationBlock,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Fetches code through a process's page tables (exec permission checked).
 struct AspaceFetcher<'a> {
@@ -114,7 +114,7 @@ pub(crate) fn run_slice(
     'outer: loop {
         let start_pc = proc.cpu.pc;
         let pid = proc.pid();
-        let tb: Rc<TranslationBlock> = {
+        let tb: Arc<TranslationBlock> = {
             let fetcher = AspaceFetcher {
                 aspace: &proc.aspace,
                 phys,
@@ -124,13 +124,28 @@ pub(crate) fn run_slice(
                 node: node_id,
                 pid,
             });
-            cache.get_or_translate(pid, start_pc, || {
-                translate_block(
-                    &fetcher,
-                    start_pc,
-                    adapter.as_ref().map(|a| a as &dyn TranslateHook),
-                )
-            })
+            cache.get_or_translate_validated(
+                pid,
+                start_pc,
+                // A clean block from the shared base layer is reusable only
+                // if the active hook would leave every instruction in it
+                // uninstrumented; otherwise it must be retranslated so the
+                // injection callback gets spliced in.
+                |tb| match &adapter {
+                    Some(a) => tb
+                        .insns()
+                        .iter()
+                        .all(|(pc, insn)| a.inject_point(*pc, insn).is_none()),
+                    None => true,
+                },
+                || {
+                    translate_block(
+                        &fetcher,
+                        start_pc,
+                        adapter.as_ref().map(|a| a as &dyn TranslateHook),
+                    )
+                },
+            )
         };
 
         taint.begin_block(tb.n_locals());

@@ -68,3 +68,7 @@ pub use node::{Node, SliceExit, SpawnError};
 pub use paging::{AddressSpace, PagePerms};
 pub use process::{MpiRequest, ProcState, Process, ProcessFiles};
 pub use vmi::{VmiAction, VmiSink};
+
+// Re-exported so cache-sharing callers can name the layered-cache types
+// without a direct chaser-tcg dependency.
+pub use chaser_tcg::{BaseLayer, CacheStats};

@@ -10,8 +10,9 @@ use crate::process::{MpiRequest, ProcState, Process};
 use crate::vmi::VmiAction;
 use chaser_isa::{CpuState, Program, CODE_BASE, DATA_BASE, PAGE_SIZE, STACK_SIZE, STACK_TOP};
 use chaser_taint::{TaintPolicy, TaintState};
-use chaser_tcg::{CacheStats, TbCache};
+use chaser_tcg::{BaseLayer, CacheStats, TbCache};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why [`Node::run_slice`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,9 +303,24 @@ impl Node {
         &mut self.hooks
     }
 
-    /// Flushes the translation cache.
+    /// Flushes the translation cache (the overlay only — a shared base
+    /// layer installed via [`Node::install_base_cache`] survives).
     pub fn flush_cache(&mut self) {
         self.cache.flush();
+    }
+
+    /// Installs a shared base layer of clean translation blocks, typically
+    /// sealed from a golden run of the same program set. Subsequent
+    /// translation lookups serve validated clean blocks from it instead of
+    /// retranslating.
+    pub fn install_base_cache(&mut self, base: Arc<BaseLayer>) {
+        self.cache.set_base(base);
+    }
+
+    /// Freezes this node's clean translated blocks into an immutable base
+    /// layer shareable across nodes and threads.
+    pub fn seal_cache(&self) -> Arc<BaseLayer> {
+        self.cache.seal()
     }
 
     /// Translation-cache statistics.

@@ -1,0 +1,77 @@
+//! Campaign-level guarantees of the shared translation cache: turning
+//! `shared_tb_cache` on must not change a single outcome (the serialized
+//! result sets are byte-identical), while serving the overwhelming
+//! majority of lookups from the golden-warmed base layer.
+
+use chaser::{AppSpec, Campaign, CampaignConfig, CampaignResult, RankPool};
+use chaser_isa::InsnClass;
+use chaser_workloads::matvec;
+
+fn run_campaign(cfg: CampaignConfig) -> CampaignResult {
+    let mv = matvec::MatvecConfig::default();
+    let app = AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 4);
+    Campaign::new(app, cfg).run()
+}
+
+#[test]
+fn shared_cache_preserves_outcomes_bit_for_bit() {
+    // Mov faults on the master — the paper's Table III setup. Mov targets
+    // instrument a large share of the master's blocks and the crashes
+    // diverge from the golden path, making this the adversarial case for
+    // cache-state leaking into semantics.
+    let cfg = |shared_tb_cache: bool| CampaignConfig {
+        runs: 50,
+        seed: 0xCAFE,
+        parallelism: 2,
+        classes: vec![InsnClass::Mov],
+        shared_tb_cache,
+        ..CampaignConfig::default()
+    };
+    let shared = run_campaign(cfg(true));
+    let cold = run_campaign(cfg(false));
+
+    // Same seeds, same faults, same classifications — the serialized
+    // outcome sets must match byte for byte.
+    assert_eq!(shared.to_csv(), cold.to_csv());
+    assert_eq!(shared.skipped, cold.skipped);
+    assert_eq!(shared.outcome_counts(), cold.outcome_counts());
+
+    // The cold path never sees a base layer; the shared path avoids most
+    // of its translation work.
+    assert_eq!(cold.cache_stats.base_hits, 0);
+    assert!(cold.cache_stats.misses > 0);
+    assert!(shared.cache_stats.base_hit_rate() > 0.9);
+    assert!(shared.cache_stats.misses < cold.cache_stats.misses / 2);
+}
+
+#[test]
+fn shared_runs_serve_over_ninety_percent_from_base() {
+    // FP faults on a random rank: instrumentation touches only the slaves'
+    // dot-product blocks, so nearly every lookup of every run should ride
+    // the golden-warmed base layer.
+    let shared = run_campaign(CampaignConfig {
+        runs: 50,
+        seed: 0xCAFE,
+        parallelism: 2,
+        classes: vec![InsnClass::FpArith],
+        rank_pool: RankPool::Random,
+        shared_tb_cache: true,
+        ..CampaignConfig::default()
+    });
+
+    assert!(!shared.outcomes.is_empty());
+    for run in &shared.outcomes {
+        assert!(
+            run.cache_stats.base_hits > 0,
+            "run {} never hit the base layer",
+            run.run_idx
+        );
+        assert!(
+            run.cache_stats.base_hit_rate() > 0.9,
+            "run {} base hit rate {:.3} <= 0.9",
+            run.run_idx,
+            run.cache_stats.base_hit_rate()
+        );
+    }
+    assert!(shared.cache_stats.base_hit_rate() > 0.9);
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for the `serde` trait surface.
+//!
+//! This workspace uses serde only for `#[derive(Serialize, Deserialize)]`
+//! markers and trait bounds (`T: Serialize + DeserializeOwned`); no data
+//! format crate (serde_json etc.) exists in the tree, so nothing ever calls
+//! a serializer. The traits are therefore empty markers, and the derive
+//! macros emit empty impls. Actual on-disk output goes through the
+//! hand-written CSV emitters in `chaser-core`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose shape is serialization-ready.
+pub trait Serialize {}
+
+/// Marker for types whose shape is deserialization-ready.
+pub trait Deserialize<'de>: Sized {}
+
+pub mod de {
+    /// Deserialization independent of any borrowed input lifetime.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}
+
+macro_rules! impl_marker {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_marker!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}

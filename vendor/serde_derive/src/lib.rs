@@ -1,0 +1,41 @@
+//! Derive macros for the vendored serde marker traits.
+//!
+//! The real serde_derive generates visitor plumbing; here the traits are
+//! empty markers (no format crate exists in this workspace), so the derives
+//! only have to name the type. No `syn` dependency: the type identifier is
+//! the ident following the first top-level `struct`/`enum`/`union` keyword.
+//! Generic derived types are unsupported (the workspace has none).
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("expected type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("derive input contains no struct/enum/union");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
