@@ -9,3 +9,8 @@ cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
+
+# Resilience smoke: journaled 20-run campaign with a forced harness panic
+# and a watchdog budget, killed mid-way (journal truncation) and resumed;
+# the resumed outcome CSV must be byte-identical to an uninterrupted run.
+cargo run --release --offline -p chaser-bench --bin resilience_smoke

@@ -55,6 +55,7 @@ fn main() {
             chaser::Outcome::Sdc => 0u64,
             chaser::Outcome::Benign => 1,
             chaser::Outcome::Terminated(_) => 2,
+            chaser::Outcome::HarnessFault { .. } => 3,
         };
         (class, o.trigger_n)
     });

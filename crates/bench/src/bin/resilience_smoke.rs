@@ -1,0 +1,100 @@
+//! CI smoke test for the resilient campaign engine: runs a 20-run matvec
+//! campaign with one forced harness panic and a watchdog budget, journals
+//! it, simulates a mid-campaign kill by truncating the journal, resumes,
+//! and diffs the resumed result against an uninterrupted run.
+//!
+//! `cargo run --release -p chaser-bench --bin resilience_smoke`
+//!
+//! Exits non-zero (panics) on any divergence; prints a one-line summary
+//! per stage otherwise.
+
+use chaser::{AppSpec, Campaign, CampaignConfig};
+use chaser_isa::InsnClass;
+use chaser_mpi::RunBudget;
+use chaser_workloads::matvec;
+use std::fs;
+
+fn campaign() -> Campaign {
+    let mv = matvec::MatvecConfig::default();
+    let app = AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 4);
+    Campaign::new(
+        app,
+        CampaignConfig {
+            runs: 20,
+            seed: 0xC0DE,
+            parallelism: 2,
+            classes: vec![InsnClass::Mov],
+            // One run panics inside the harness; long-lived runs trip the
+            // instruction watchdog. Both must come back as rows, not bring
+            // the campaign down.
+            panic_runs: vec![3],
+            run_budget: RunBudget {
+                max_insns: 4_500,
+                max_rounds: 0,
+            },
+            ..CampaignConfig::default()
+        },
+    )
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("chaser-resilience-smoke-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("campaign.jsonl");
+
+    // Stage 1: the uninterrupted reference.
+    let clean = campaign().run();
+    let faults = clean.harness_faults().count();
+    let budget_stops = clean.termination_breakdown().budget_exhausted;
+    assert_eq!(
+        clean.outcomes.len() as u64 + clean.skipped,
+        20,
+        "campaign must account for every run"
+    );
+    assert_eq!(faults, 1, "the forced panic must be quarantined");
+    assert!(budget_stops >= 1, "the watchdog must have fired");
+    println!(
+        "clean run: {} rows ({} skipped, {} harness fault, {} budget stops)",
+        clean.outcomes.len(),
+        clean.skipped,
+        faults,
+        budget_stops
+    );
+
+    // Stage 2: journal the same campaign.
+    let journaled = campaign().run_journaled(&path).expect("journaled run");
+    assert_eq!(
+        clean.to_csv(),
+        journaled.to_csv(),
+        "journaling changed outcomes"
+    );
+    let lines = fs::read_to_string(&path).expect("journal readable");
+    println!(
+        "journal: {} lines at {}",
+        lines.lines().count(),
+        path.display()
+    );
+
+    // Stage 3: simulate a SIGKILL mid-campaign — keep the header and the
+    // first 8 rows, tear the 9th mid-line.
+    let all: Vec<&str> = lines.lines().collect();
+    let mut truncated = all[..9].join("\n");
+    truncated.push('\n');
+    truncated.push_str(&all[9][..all[9].len() / 2]);
+    fs::write(&path, truncated).expect("truncate journal");
+    println!("killed: journal truncated to 9 complete lines + one torn row");
+
+    // Stage 4: resume and diff.
+    let resumed = campaign().resume(&path).expect("resume");
+    assert_eq!(
+        clean.to_csv(),
+        resumed.to_csv(),
+        "resumed campaign diverged from the uninterrupted run"
+    );
+    assert_eq!(clean.skipped, resumed.skipped);
+    println!("resume: outcome CSV byte-identical to the uninterrupted run");
+
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_dir(&dir);
+    println!("resilience smoke: OK");
+}

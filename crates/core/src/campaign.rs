@@ -2,6 +2,9 @@
 //! runs executed in parallel, classified against a golden run.
 
 use crate::injector::InjectionRecord;
+use crate::journal::{
+    golden_digest, CampaignJournal, Fnv1a, JournalError, JournalHeader, JournalRow, JOURNAL_VERSION,
+};
 use crate::outcome::{Outcome, TermCause};
 use crate::session::{
     prepare_app, run_app, run_prepared, AppSpec, PreparedApp, RunOptions, RunReport,
@@ -9,13 +12,17 @@ use crate::session::{
 use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
 use crate::tracer::TracerConfig;
 use chaser_isa::InsnClass;
+use chaser_mpi::RunBudget;
 use chaser_tcg::CacheStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
 
 /// Which rank receives the fault in each run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +60,16 @@ pub struct CampaignConfig {
     /// path: every run translates from scratch. Outcomes are identical
     /// either way; this is the ablation knob behind the Fig. 10 numbers.
     pub shared_tb_cache: bool,
+    /// Per-run watchdog budget (instructions / rounds) applied to every
+    /// injection run; merged with the cluster configuration's own budget,
+    /// tighter bound wins. Default unlimited.
+    pub run_budget: RunBudget,
+    /// Chaos knob: run indices whose execution deliberately panics *inside
+    /// the harness* (not the guest). Used by the resilience tests and the
+    /// CI smoke run to prove panic isolation: these runs must come back as
+    /// quarantined [`Outcome::HarnessFault`] rows while every other run
+    /// completes normally.
+    pub panic_runs: Vec<u64>,
 }
 
 impl Default for CampaignConfig {
@@ -68,6 +85,8 @@ impl Default for CampaignConfig {
             tracing: false,
             tracer: TracerConfig::default(),
             shared_tb_cache: true,
+            run_budget: RunBudget::default(),
+            panic_runs: Vec::new(),
         }
     }
 }
@@ -93,6 +112,9 @@ pub struct RunOutcome {
     pub taint_writes: u64,
     /// Tainted point-to-point deliveries (fault crossed ranks).
     pub cross_rank: u64,
+    /// Tainted deliveries whose TaintHub sync was lost after retries (the
+    /// degraded-mode counter; non-zero only under an unreliable hub link).
+    pub taint_sync_lost: u64,
     /// Total guest instructions the run retired.
     pub total_insns: u64,
     /// The injection record, when the fault fired.
@@ -117,10 +139,14 @@ pub struct OutcomeCounts {
     pub sdc: u64,
     /// Abnormal terminations.
     pub terminated: u64,
+    /// Quarantined harness failures — tool faults, excluded from
+    /// [`OutcomeCounts::total`] and the Fig. 6 percentages because they say
+    /// nothing about the target.
+    pub harness_faults: u64,
 }
 
 impl OutcomeCounts {
-    /// Total classified runs.
+    /// Total classified runs (quarantined harness faults excluded).
     pub fn total(&self) -> u64 {
         self.benign + self.sdc + self.terminated
     }
@@ -151,6 +177,8 @@ pub struct TerminationBreakdown {
     pub hangs: u64,
     /// Voluntary non-zero exits.
     pub abnormal_exits: u64,
+    /// Watchdog budget stops (deterministic runaway detection).
+    pub budget_exhausted: u64,
 }
 
 impl TerminationBreakdown {
@@ -162,6 +190,7 @@ impl TerminationBreakdown {
             + self.assertions
             + self.hangs
             + self.abnormal_exits
+            + self.budget_exhausted
     }
 
     fn add(&mut self, cause: &TermCause) {
@@ -172,6 +201,7 @@ impl TerminationBreakdown {
             TermCause::AssertionFailure { .. } => self.assertions += 1,
             TermCause::Hang => self.hangs += 1,
             TermCause::AbnormalExit { .. } => self.abnormal_exits += 1,
+            TermCause::BudgetExhausted(_) => self.budget_exhausted += 1,
         }
     }
 }
@@ -201,9 +231,17 @@ impl CampaignResult {
                 Outcome::Benign => c.benign += 1,
                 Outcome::Sdc => c.sdc += 1,
                 Outcome::Terminated(_) => c.terminated += 1,
+                Outcome::HarnessFault { .. } => c.harness_faults += 1,
             }
         }
         c
+    }
+
+    /// Quarantined harness-failure rows (tool faults, not target outcomes).
+    pub fn harness_faults(&self) -> impl Iterator<Item = &RunOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|r| r.outcome.is_harness_fault())
     }
 
     /// Table III attribution over all terminated runs.
@@ -244,6 +282,7 @@ impl CampaignResult {
                 Outcome::Terminated(_) => detected += 1,
                 Outcome::Benign => benign += 1,
                 Outcome::Sdc => sdc += 1,
+                Outcome::HarnessFault { .. } => {}
             }
         }
         (detected, benign, sdc)
@@ -254,7 +293,7 @@ impl CampaignResult {
     /// persist it.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "run_idx,outcome,class,rank,trigger_n,taint_reads,taint_writes,cross_rank,total_insns,site_pc,insn
+            "run_idx,outcome,class,rank,trigger_n,taint_reads,taint_writes,cross_rank,taint_sync_lost,total_insns,site_pc,insn
 ",
         );
         for run in &self.outcomes {
@@ -264,7 +303,7 @@ impl CampaignResult {
                 .map(|r| (format!("{:#x}", r.pc), r.insn.replace(',', ";")))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{:?},{},{},{},{},{},{},{},{}
+                "{},{},{:?},{},{},{},{},{},{},{},{},{}
 ",
                 run.run_idx,
                 run.outcome,
@@ -274,6 +313,7 @@ impl CampaignResult {
                 run.taint_reads,
                 run.taint_writes,
                 run.cross_rank,
+                run.taint_sync_lost,
                 run.total_insns,
                 pc,
                 insn,
@@ -374,6 +414,8 @@ impl CampaignResult {
                 Outcome::Benign => site.benign += 1,
                 Outcome::Sdc => site.sdc += 1,
                 Outcome::Terminated(_) => site.terminated += 1,
+                // Unreachable in practice: quarantined rows carry no record.
+                Outcome::HarnessFault { .. } => continue,
             }
             site.taint_ops += run.taint_reads + run.taint_writes;
             if run.propagated() {
@@ -394,6 +436,88 @@ impl CampaignResult {
         });
         v.truncate(n);
         v
+    }
+}
+
+/// Rows replayed from a journal before a resume re-executes the rest.
+#[derive(Debug, Default)]
+struct ReplayBase {
+    outcomes: Vec<RunOutcome>,
+    skipped: u64,
+    cache_stats: CacheStats,
+}
+
+thread_local! {
+    /// Set on campaign worker threads so the quarantine panic hook knows a
+    /// panic there is caught and reported as a [`RunOutcome`], not printed.
+    static QUARANTINE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// stderr backtrace for panics on quarantined campaign workers. Panics on
+/// any other thread still reach the previous hook untouched.
+fn install_quarantine_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUARANTINE.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Renders a `catch_unwind` payload as a short single-line message fit for
+/// the journal (one row per line) and the outcome CSV (comma-separated).
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    let text = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    let mut clean: String = text
+        .chars()
+        .map(|c| match c {
+            '\n' | '\r' => ' ',
+            ',' => ';',
+            c => c,
+        })
+        .collect();
+    if clean.len() > 200 {
+        let mut cut = 200;
+        while !clean.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        clean.truncate(cut);
+        clean.push_str("...");
+    }
+    clean
+}
+
+/// The quarantine row for a run whose *harness* (not guest) panicked: the
+/// campaign keeps going, and this run is reported as a tool fault that says
+/// nothing about the target application.
+fn harness_fault_outcome(idx: u64, payload: Box<dyn std::any::Any + Send>) -> RunOutcome {
+    RunOutcome {
+        run_idx: idx,
+        outcome: Outcome::HarnessFault {
+            run_idx: idx,
+            payload: payload_message(payload),
+        },
+        class: InsnClass::Any,
+        rank: 0,
+        trigger_n: 0,
+        injected: false,
+        taint_reads: 0,
+        taint_writes: 0,
+        cross_rank: 0,
+        taint_sync_lost: 0,
+        total_insns: 0,
+        record: None,
+        cache_stats: CacheStats::default(),
     }
 }
 
@@ -429,31 +553,161 @@ impl Campaign {
     /// the cold path either way.
     pub fn run(&self) -> CampaignResult {
         let prepared = self.prepare();
+        let indices: Vec<u64> = (0..self.cfg.runs).collect();
+        self.execute(&prepared, &indices, None, ReplayBase::default())
+    }
 
+    /// Like [`Campaign::run`], journaling every finished run to `path` as
+    /// an append-only checkpoint. A campaign killed mid-way can be finished
+    /// with [`Campaign::resume`] on the same journal.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] on filesystem failures.
+    pub fn run_journaled(&self, path: &Path) -> Result<CampaignResult, JournalError> {
+        let prepared = self.prepare();
+        let journal = CampaignJournal::create(path, self.journal_header(&prepared))?;
+        let indices: Vec<u64> = (0..self.cfg.runs).collect();
+        Ok(self.execute(&prepared, &indices, Some(&journal), ReplayBase::default()))
+    }
+
+    /// Resumes a journaled campaign: validates that the journal belongs to
+    /// *this* campaign (seed, configuration fingerprint, golden-output
+    /// digest), replays the intact rows, and re-executes only the missing
+    /// run indices. The result is byte-identical to an uninterrupted
+    /// [`Campaign::run`] — per-run outcomes are deterministic functions of
+    /// `(seed, run index)`, so it does not matter which process computed
+    /// each row.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::HeaderMismatch`] when the journal was written by a
+    /// different campaign; [`JournalError::Malformed`] on a damaged
+    /// journal (a truncated final line is tolerated, anything else is not).
+    pub fn resume(&self, path: &Path) -> Result<CampaignResult, JournalError> {
+        let prepared = self.prepare();
+        let expected = self.journal_header(&prepared);
+        let (found, rows) = CampaignJournal::read(path)?;
+        if found != expected {
+            return Err(JournalError::HeaderMismatch { expected, found });
+        }
+        // Last-wins dedup: a killed-and-resumed campaign may have journaled
+        // a run twice; per-run determinism makes the copies identical, but
+        // only one may be replayed.
+        let mut by_idx: BTreeMap<u64, JournalRow> = BTreeMap::new();
+        for row in rows {
+            by_idx.insert(row.run_idx(), row);
+        }
+        let mut base = ReplayBase::default();
+        for row in by_idx.values() {
+            match row {
+                JournalRow::Outcome(o) => {
+                    base.cache_stats.absorb(o.cache_stats);
+                    base.outcomes.push((**o).clone());
+                }
+                JournalRow::Skip { cache_stats, .. } => {
+                    base.cache_stats.absorb(*cache_stats);
+                    base.skipped += 1;
+                }
+            }
+        }
+        let missing: Vec<u64> = (0..self.cfg.runs)
+            .filter(|i| !by_idx.contains_key(i))
+            .collect();
+        let journal = CampaignJournal::append_to(path)?;
+        Ok(self.execute(&prepared, &missing, Some(&journal), base))
+    }
+
+    /// The header binding a journal to this campaign.
+    fn journal_header(&self, prepared: &PreparedApp) -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            seed: self.cfg.seed,
+            runs: self.cfg.runs,
+            config_hash: self.config_fingerprint(),
+            golden_digest: golden_digest(&prepared.golden.outputs),
+        }
+    }
+
+    /// Fingerprint of every outcome-relevant configuration knob.
+    /// `parallelism` and `shared_tb_cache` are excluded: worker count and
+    /// cache sharing change performance, never outcomes.
+    fn config_fingerprint(&self) -> u64 {
+        let c = &self.cfg;
+        let mut h = Fnv1a::new();
+        h.write(
+            format!(
+                "{};{};{:?};{:?};{};{:?};{};{:?};{:?};{:?}",
+                c.runs,
+                c.seed,
+                c.classes,
+                c.rank_pool,
+                c.bits_per_fault,
+                c.operand,
+                c.tracing,
+                c.tracer,
+                c.run_budget,
+                c.panic_runs,
+            )
+            .as_bytes(),
+        );
+        h.finish()
+    }
+
+    /// The shared worker loop behind [`Campaign::run`], `run_journaled`
+    /// and `resume`: executes `indices` across worker threads, each run
+    /// isolated under `catch_unwind` so a harness panic quarantines that
+    /// one run (as [`Outcome::HarnessFault`]) instead of poisoning the
+    /// campaign, and folds the results into `base` (the rows a resume
+    /// replayed from the journal).
+    fn execute(
+        &self,
+        prepared: &PreparedApp,
+        indices: &[u64],
+        journal: Option<&CampaignJournal>,
+        base: ReplayBase,
+    ) -> CampaignResult {
         let workers = if self.cfg.parallelism == 0 {
             std::thread::available_parallelism().map_or(4, |n| n.get())
         } else {
             self.cfg.parallelism
         };
 
-        let next = AtomicU64::new(0);
-        let outcomes = Mutex::new(Vec::with_capacity(self.cfg.runs as usize));
-        let cache_stats = Mutex::new(CacheStats::default());
-        let skipped = AtomicU64::new(0);
+        install_quarantine_hook();
+        let next = AtomicUsize::new(0);
+        let outcomes = Mutex::new(base.outcomes);
+        let cache_stats = Mutex::new(base.cache_stats);
+        let skipped = AtomicU64::new(base.skipped);
 
         std::thread::scope(|scope| {
-            for _ in 0..workers.min(self.cfg.runs as usize).max(1) {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= self.cfg.runs {
-                        break;
-                    }
-                    let (run_cache, result) = self.one_run(idx, &prepared);
-                    cache_stats.lock().expect("poisoned").absorb(run_cache);
-                    match result {
-                        Some(outcome) => outcomes.lock().expect("poisoned").push(outcome),
-                        None => {
-                            skipped.fetch_add(1, Ordering::Relaxed);
+            for _ in 0..workers.min(indices.len()).max(1) {
+                scope.spawn(|| {
+                    QUARANTINE.with(|q| q.set(true));
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&idx) = indices.get(slot) else { break };
+                        match catch_unwind(AssertUnwindSafe(|| self.one_run(idx, prepared))) {
+                            Ok((run_cache, Some(outcome))) => {
+                                cache_stats.lock().expect("poisoned").absorb(run_cache);
+                                if let Some(j) = journal {
+                                    let _ = j.append_outcome(&outcome);
+                                }
+                                outcomes.lock().expect("poisoned").push(outcome);
+                            }
+                            Ok((run_cache, None)) => {
+                                cache_stats.lock().expect("poisoned").absorb(run_cache);
+                                if let Some(j) = journal {
+                                    let _ = j.append_skip(idx, run_cache);
+                                }
+                                skipped.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(payload) => {
+                                let outcome = harness_fault_outcome(idx, payload);
+                                if let Some(j) = journal {
+                                    let _ = j.append_outcome(&outcome);
+                                }
+                                outcomes.lock().expect("poisoned").push(outcome);
+                            }
                         }
                     }
                 });
@@ -466,7 +720,7 @@ impl Campaign {
             outcomes,
             skipped: skipped.load(Ordering::Relaxed),
             golden_insns: prepared.golden.cluster.total_insns,
-            profile_counts: prepared.profile_counts.into_iter().collect(),
+            profile_counts: prepared.profile_counts.clone().into_iter().collect(),
             cache_stats: cache_stats.into_inner().expect("poisoned"),
         }
     }
@@ -475,6 +729,9 @@ impl Campaign {
     /// run's cache statistics; the outcome is `None` when the fault never
     /// fired.
     fn one_run(&self, idx: u64, prepared: &PreparedApp) -> (CacheStats, Option<RunOutcome>) {
+        if self.cfg.panic_runs.contains(&idx) {
+            panic!("forced harness panic (run {idx})");
+        }
         let golden = &prepared.golden;
         let profile = &prepared.profile_counts;
         let mut rng = SmallRng::seed_from_u64(
@@ -515,6 +772,7 @@ impl Campaign {
             tracing: self.cfg.tracing,
             tracer: self.cfg.tracer,
             hook_mpi_symbols: false,
+            budget: self.cfg.run_budget,
         };
         let report = if self.cfg.shared_tb_cache {
             run_prepared(prepared, &opts)
@@ -536,6 +794,7 @@ impl Campaign {
             taint_reads: report.trace.as_ref().map_or(0, |t| t.taint_reads),
             taint_writes: report.trace.as_ref().map_or(0, |t| t.taint_writes),
             cross_rank: report.cluster.cross_rank_tainted_deliveries,
+            taint_sync_lost: report.cluster.taint_sync_lost,
             total_insns: report.cluster.total_insns,
             record: report.injections.first().cloned(),
             cache_stats,
@@ -560,6 +819,7 @@ mod tests {
             taint_reads: reads,
             taint_writes: writes,
             cross_rank: cross,
+            taint_sync_lost: 0,
             total_insns: 100,
             record: None,
             cache_stats: CacheStats::default(),

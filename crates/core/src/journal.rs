@@ -1,0 +1,967 @@
+//! Append-only campaign journal: checkpoint/resume for long campaigns.
+//!
+//! A campaign writes one JSONL file: a header line binding the journal to
+//! its campaign (seed, config fingerprint, golden-output digest) followed
+//! by one line per finished run, appended as workers complete them. A
+//! killed campaign leaves at worst one truncated trailing line; resuming
+//! validates the header, replays the intact rows, and re-executes only the
+//! missing run indices — reproducing the uninterrupted [`CampaignResult`]
+//! byte for byte.
+//!
+//! The vendored `serde` is marker-only (no `serde_json`), so the JSON here
+//! is hand-rolled: a minimal value model plus explicit encoders/decoders
+//! for exactly the types a [`RunOutcome`] contains.
+
+use crate::campaign::RunOutcome;
+use crate::injector::InjectionRecord;
+use crate::outcome::{Outcome, TermCause};
+use chaser_isa::InsnClass;
+use chaser_mpi::{BudgetKind, MpiErrorKind};
+use chaser_tcg::CacheStats;
+use chaser_vm::Signal;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+// ---- minimal JSON value model ----
+
+/// A parsed JSON value. Numbers are integers only — nothing a campaign
+/// journal stores is fractional.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (wide enough for both `u64` and `i64`).
+    Num(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved so encoding is canonical.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self, key: &str) -> Result<i128, JournalError> {
+        match self.get(key) {
+            Some(Json::Num(n)) => Ok(*n),
+            _ => Err(bad(format!("missing numeric field `{key}`"))),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, JournalError> {
+        u64::try_from(self.num(key)?).map_err(|_| bad(format!("field `{key}` out of u64 range")))
+    }
+
+    fn i64(&self, key: &str) -> Result<i64, JournalError> {
+        i64::try_from(self.num(key)?).map_err(|_| bad(format!("field `{key}` out of i64 range")))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, JournalError> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Ok(s),
+            _ => Err(bad(format!("missing string field `{key}`"))),
+        }
+    }
+
+    fn bool_or(&self, key: &str, default: bool) -> bool {
+        match self.get(key) {
+            Some(Json::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+}
+
+fn encode(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => out.push_str(&n.to_string()),
+        Json::Str(s) => encode_str(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_str(k, out);
+                out.push(':');
+                encode(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn bad(msg: impl Into<String>) -> JournalError {
+    JournalError::Malformed(msg.into())
+}
+
+impl<'a> Parser<'a> {
+    fn new(line: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JournalError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(bad(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JournalError> {
+        match self.peek().ok_or_else(|| bad("unexpected end of line"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(bad(format!("unexpected byte `{}`", other as char))),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JournalError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(bad(format!("expected literal `{lit}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JournalError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
+        text.parse::<i128>()
+            .map(Json::Num)
+            .map_err(|_| bad(format!("bad number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, JournalError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Operate on the original &str slice to keep UTF-8 intact.
+        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|_| bad("invalid UTF-8 in string"))?;
+        let mut chars = rest.char_indices();
+        loop {
+            let (i, c) = chars.next().ok_or_else(|| bad("unterminated string"))?;
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or_else(|| bad("dangling escape"))?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars.next().ok_or_else(|| bad("short \\u escape"))?;
+                                code = code * 16
+                                    + h.to_digit(16).ok_or_else(|| bad("bad \\u escape"))?;
+                            }
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| bad("bad \\u code point"))?,
+                            );
+                        }
+                        other => return Err(bad(format!("unknown escape `\\{other}`"))),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JournalError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(bad("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JournalError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(bad("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON value from `line`, rejecting trailing garbage.
+pub fn parse_json(line: &str) -> Result<Json, JournalError> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(bad("trailing bytes after JSON value"));
+    }
+    Ok(v)
+}
+
+// ---- fingerprints ----
+
+/// FNV-1a over a byte stream: the journal's stable, dependency-free hash.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a::default()
+    }
+
+    /// Absorbs `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digest of the golden run's per-rank output files: resuming against a
+/// *different* application (or a changed golden) must be rejected, because
+/// journalled SDC/benign classifications are only valid against the golden
+/// outputs they were computed from.
+pub fn golden_digest(outputs: &[Vec<u8>]) -> u64 {
+    let mut h = Fnv1a::new();
+    for out in outputs {
+        h.write(&(out.len() as u64).to_le_bytes());
+        h.write(out);
+    }
+    h.finish()
+}
+
+// ---- journal proper ----
+
+/// Errors reading or validating a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A non-trailing line failed to parse, or a parsed row is missing
+    /// required fields.
+    Malformed(String),
+    /// The header does not match the resuming campaign (different seed,
+    /// configuration, or golden outputs).
+    HeaderMismatch {
+        /// What the resuming campaign computed.
+        expected: JournalHeader,
+        /// What the journal file recorded.
+        found: JournalHeader,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Malformed(msg) => write!(f, "malformed journal: {msg}"),
+            JournalError::HeaderMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different campaign (expected {expected:?}, found {found:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// The journal's first line: binds the file to one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Journal format version.
+    pub version: u64,
+    /// The campaign's master seed.
+    pub seed: u64,
+    /// Number of injection runs the campaign will execute.
+    pub runs: u64,
+    /// Fingerprint of the outcome-relevant campaign configuration
+    /// (parallelism excluded — worker count never changes outcomes).
+    pub config_hash: u64,
+    /// [`golden_digest`] of the golden run's outputs.
+    pub golden_digest: u64,
+}
+
+/// Current journal format version.
+pub const JOURNAL_VERSION: u64 = 1;
+
+impl JournalHeader {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("chaser_journal".into(), Json::Num(self.version as i128)),
+            ("seed".into(), Json::Num(self.seed as i128)),
+            ("runs".into(), Json::Num(self.runs as i128)),
+            ("config_hash".into(), Json::Num(self.config_hash as i128)),
+            (
+                "golden_digest".into(),
+                Json::Num(self.golden_digest as i128),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<JournalHeader, JournalError> {
+        Ok(JournalHeader {
+            version: v.u64("chaser_journal")?,
+            seed: v.u64("seed")?,
+            runs: v.u64("runs")?,
+            config_hash: v.u64("config_hash")?,
+            golden_digest: v.u64("golden_digest")?,
+        })
+    }
+}
+
+/// One replayed journal row.
+#[derive(Debug, Clone)]
+pub enum JournalRow {
+    /// A classified (or quarantined) run.
+    Outcome(Box<RunOutcome>),
+    /// A run whose fault never fired; only its cache statistics matter.
+    Skip {
+        /// The skipped run index.
+        run_idx: u64,
+        /// The run's translation-cache statistics.
+        cache_stats: CacheStats,
+    },
+}
+
+impl JournalRow {
+    /// The run index this row finishes.
+    pub fn run_idx(&self) -> u64 {
+        match self {
+            JournalRow::Outcome(o) => o.run_idx,
+            JournalRow::Skip { run_idx, .. } => *run_idx,
+        }
+    }
+}
+
+/// An open, append-mode campaign journal. Thread-safe: campaign workers
+/// append rows concurrently; every row is written (and flushed) as one
+/// whole line under a lock, so a kill can only truncate the final line.
+#[derive(Debug)]
+pub struct CampaignJournal {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl CampaignJournal {
+    /// Creates (truncating) a journal at `path` and writes the header.
+    pub fn create(path: &Path, header: JournalHeader) -> Result<CampaignJournal, JournalError> {
+        let file = File::create(path)?;
+        let journal = CampaignJournal {
+            writer: Mutex::new(BufWriter::new(file)),
+        };
+        journal.append_line(&header.to_json())?;
+        Ok(journal)
+    }
+
+    /// Reopens `path` for appending further rows (resume). A torn final
+    /// line — the shape a kill mid-write leaves behind — is trimmed back to
+    /// the last complete row first, so appended rows start on a fresh line.
+    pub fn append_to(path: &Path) -> Result<CampaignJournal, JournalError> {
+        let bytes = std::fs::read(path)?;
+        if !bytes.is_empty() && !bytes.ends_with(b"\n") {
+            let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(keep as u64)?;
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(CampaignJournal {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn append_line(&self, value: &Json) -> Result<(), JournalError> {
+        let mut line = String::new();
+        encode(value, &mut line);
+        line.push('\n');
+        let mut w = self.writer.lock().expect("journal lock poisoned");
+        w.write_all(line.as_bytes())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Appends one finished run.
+    pub fn append_outcome(&self, outcome: &RunOutcome) -> Result<(), JournalError> {
+        self.append_line(&outcome_to_json(outcome))
+    }
+
+    /// Appends a skipped (never-fired) run.
+    pub fn append_skip(&self, run_idx: u64, cache_stats: CacheStats) -> Result<(), JournalError> {
+        self.append_line(&Json::Obj(vec![
+            ("run_idx".into(), Json::Num(run_idx as i128)),
+            ("skip".into(), Json::Bool(true)),
+            ("cache_stats".into(), cache_stats_to_json(&cache_stats)),
+        ]))
+    }
+
+    /// Reads and validates a journal: returns the header and the intact
+    /// rows. A truncated *final* line (the kill signature) is tolerated and
+    /// dropped; a malformed line anywhere else is an error.
+    pub fn read(path: &Path) -> Result<(JournalHeader, Vec<JournalRow>), JournalError> {
+        let text = std::fs::read_to_string(path)?;
+        let mut lines = text.split('\n');
+        let header_line = lines
+            .next()
+            .filter(|l| !l.is_empty())
+            .ok_or_else(|| bad("empty journal (no header line)"))?;
+        let header = JournalHeader::from_json(&parse_json(header_line)?)?;
+        let rest: Vec<&str> = lines.filter(|l| !l.trim().is_empty()).collect();
+        let mut rows = Vec::new();
+        for (i, line) in rest.iter().enumerate() {
+            let parsed = parse_json(line).and_then(|v| row_from_json(&v));
+            match parsed {
+                Ok(row) => rows.push(row),
+                // Only the final line may be damaged (the append was cut
+                // mid-write); anything earlier means real corruption.
+                Err(_) if i + 1 == rest.len() && !text.ends_with('\n') => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((header, rows))
+    }
+}
+
+// ---- RunOutcome <-> JSON ----
+
+fn cache_stats_to_json(c: &CacheStats) -> Json {
+    Json::Obj(vec![
+        ("lookups".into(), Json::Num(c.lookups as i128)),
+        ("misses".into(), Json::Num(c.misses as i128)),
+        ("base_hits".into(), Json::Num(c.base_hits as i128)),
+        ("overlay_hits".into(), Json::Num(c.overlay_hits as i128)),
+        ("flushes".into(), Json::Num(c.flushes as i128)),
+        ("asid_flushes".into(), Json::Num(c.asid_flushes as i128)),
+        (
+            "translated_insns".into(),
+            Json::Num(c.translated_insns as i128),
+        ),
+        ("overlay_blocks".into(), Json::Num(c.overlay_blocks as i128)),
+        ("base_blocks".into(), Json::Num(c.base_blocks as i128)),
+    ])
+}
+
+fn cache_stats_from_json(v: &Json) -> Result<CacheStats, JournalError> {
+    Ok(CacheStats {
+        lookups: v.u64("lookups")?,
+        misses: v.u64("misses")?,
+        base_hits: v.u64("base_hits")?,
+        overlay_hits: v.u64("overlay_hits")?,
+        flushes: v.u64("flushes")?,
+        asid_flushes: v.u64("asid_flushes")?,
+        translated_insns: v.u64("translated_insns")?,
+        overlay_blocks: v.u64("overlay_blocks")?,
+        base_blocks: v.u64("base_blocks")?,
+    })
+}
+
+fn record_to_json(r: &InjectionRecord) -> Json {
+    Json::Obj(vec![
+        ("node".into(), Json::Num(r.node as i128)),
+        ("pid".into(), Json::Num(r.pid as i128)),
+        ("pc".into(), Json::Num(r.pc as i128)),
+        ("insn".into(), Json::Str(r.insn.clone())),
+        ("operand".into(), Json::Str(r.operand.clone())),
+        ("old_bits".into(), Json::Num(r.old_bits as i128)),
+        ("new_bits".into(), Json::Num(r.new_bits as i128)),
+        ("taint_mask".into(), Json::Num(r.taint_mask as i128)),
+        ("icount".into(), Json::Num(r.icount as i128)),
+        ("exec_count".into(), Json::Num(r.exec_count as i128)),
+    ])
+}
+
+fn record_from_json(v: &Json) -> Result<InjectionRecord, JournalError> {
+    Ok(InjectionRecord {
+        node: v.u64("node")? as u32,
+        pid: v.u64("pid")?,
+        pc: v.u64("pc")?,
+        insn: v.str("insn")?.to_string(),
+        operand: v.str("operand")?.to_string(),
+        old_bits: v.u64("old_bits")?,
+        new_bits: v.u64("new_bits")?,
+        taint_mask: v.u64("taint_mask")?,
+        icount: v.u64("icount")?,
+        exec_count: v.u64("exec_count")?,
+    })
+}
+
+fn signal_name(s: Signal) -> &'static str {
+    match s {
+        Signal::Segv => "segv",
+        Signal::Fpe => "fpe",
+        Signal::Ill => "ill",
+    }
+}
+
+fn signal_from_name(s: &str) -> Result<Signal, JournalError> {
+    match s {
+        "segv" => Ok(Signal::Segv),
+        "fpe" => Ok(Signal::Fpe),
+        "ill" => Ok(Signal::Ill),
+        other => Err(bad(format!("unknown signal `{other}`"))),
+    }
+}
+
+fn mpi_error_name(k: MpiErrorKind) -> &'static str {
+    match k {
+        MpiErrorKind::NotInitialized => "not_initialized",
+        MpiErrorKind::InvalidRank => "invalid_rank",
+        MpiErrorKind::InvalidDatatype => "invalid_datatype",
+        MpiErrorKind::InvalidCount => "invalid_count",
+        MpiErrorKind::InvalidOp => "invalid_op",
+        MpiErrorKind::Truncation => "truncation",
+        MpiErrorKind::TypeMismatch => "type_mismatch",
+        MpiErrorKind::RankDied => "rank_died",
+    }
+}
+
+fn mpi_error_from_name(s: &str) -> Result<MpiErrorKind, JournalError> {
+    Ok(match s {
+        "not_initialized" => MpiErrorKind::NotInitialized,
+        "invalid_rank" => MpiErrorKind::InvalidRank,
+        "invalid_datatype" => MpiErrorKind::InvalidDatatype,
+        "invalid_count" => MpiErrorKind::InvalidCount,
+        "invalid_op" => MpiErrorKind::InvalidOp,
+        "truncation" => MpiErrorKind::Truncation,
+        "type_mismatch" => MpiErrorKind::TypeMismatch,
+        "rank_died" => MpiErrorKind::RankDied,
+        other => return Err(bad(format!("unknown MPI error `{other}`"))),
+    })
+}
+
+fn class_name(c: InsnClass) -> String {
+    format!("{c:?}")
+}
+
+fn class_from_name(s: &str) -> Result<InsnClass, JournalError> {
+    Ok(match s {
+        "Mov" => InsnClass::Mov,
+        "IntAlu" => InsnClass::IntAlu,
+        "Cmp" => InsnClass::Cmp,
+        "Fadd" => InsnClass::Fadd,
+        "Fsub" => InsnClass::Fsub,
+        "Fmul" => InsnClass::Fmul,
+        "Fdiv" => InsnClass::Fdiv,
+        "FpArith" => InsnClass::FpArith,
+        "FMov" => InsnClass::FMov,
+        "Fcmp" => InsnClass::Fcmp,
+        "Branch" => InsnClass::Branch,
+        "Any" => InsnClass::Any,
+        other => return Err(bad(format!("unknown instruction class `{other}`"))),
+    })
+}
+
+fn cause_to_json(cause: &TermCause) -> Json {
+    let kv = |k: &str, fields: Vec<(String, Json)>| {
+        let mut all = vec![("kind".to_string(), Json::Str(k.to_string()))];
+        all.extend(fields);
+        Json::Obj(all)
+    };
+    match cause {
+        TermCause::BudgetExhausted(kind) => kv(
+            "budget",
+            vec![(
+                "which".into(),
+                Json::Str(
+                    match kind {
+                        BudgetKind::Insns => "insns",
+                        BudgetKind::Rounds => "rounds",
+                    }
+                    .into(),
+                ),
+            )],
+        ),
+        TermCause::OsException { rank, signal } => kv(
+            "os_exception",
+            vec![
+                ("rank".into(), Json::Num(*rank as i128)),
+                ("signal".into(), Json::Str(signal_name(*signal).into())),
+            ],
+        ),
+        TermCause::MpiError(kind) => kv(
+            "mpi_error",
+            vec![("which".into(), Json::Str(mpi_error_name(*kind).into()))],
+        ),
+        TermCause::AssertionFailure { rank, code } => kv(
+            "assertion",
+            vec![
+                ("rank".into(), Json::Num(*rank as i128)),
+                ("code".into(), Json::Num(*code as i128)),
+            ],
+        ),
+        TermCause::AbnormalExit { rank, code } => kv(
+            "abnormal_exit",
+            vec![
+                ("rank".into(), Json::Num(*rank as i128)),
+                ("code".into(), Json::Num(*code as i128)),
+            ],
+        ),
+        TermCause::Hang => kv("hang", vec![]),
+    }
+}
+
+fn cause_from_json(v: &Json) -> Result<TermCause, JournalError> {
+    Ok(match v.str("kind")? {
+        "budget" => TermCause::BudgetExhausted(match v.str("which")? {
+            "insns" => BudgetKind::Insns,
+            "rounds" => BudgetKind::Rounds,
+            other => return Err(bad(format!("unknown budget kind `{other}`"))),
+        }),
+        "os_exception" => TermCause::OsException {
+            rank: v.u64("rank")? as u32,
+            signal: signal_from_name(v.str("signal")?)?,
+        },
+        "mpi_error" => TermCause::MpiError(mpi_error_from_name(v.str("which")?)?),
+        "assertion" => TermCause::AssertionFailure {
+            rank: v.u64("rank")? as u32,
+            code: v.i64("code")?,
+        },
+        "abnormal_exit" => TermCause::AbnormalExit {
+            rank: v.u64("rank")? as u32,
+            code: v.i64("code")?,
+        },
+        "hang" => TermCause::Hang,
+        other => return Err(bad(format!("unknown termination cause `{other}`"))),
+    })
+}
+
+fn outcome_kind_to_json(outcome: &Outcome) -> Json {
+    match outcome {
+        Outcome::Benign => Json::Obj(vec![("kind".into(), Json::Str("benign".into()))]),
+        Outcome::Sdc => Json::Obj(vec![("kind".into(), Json::Str("sdc".into()))]),
+        Outcome::Terminated(cause) => Json::Obj(vec![
+            ("kind".into(), Json::Str("terminated".into())),
+            ("cause".into(), cause_to_json(cause)),
+        ]),
+        Outcome::HarnessFault { run_idx, payload } => Json::Obj(vec![
+            ("kind".into(), Json::Str("harness_fault".into())),
+            ("run_idx".into(), Json::Num(*run_idx as i128)),
+            ("payload".into(), Json::Str(payload.clone())),
+        ]),
+    }
+}
+
+fn outcome_kind_from_json(v: &Json) -> Result<Outcome, JournalError> {
+    Ok(match v.str("kind")? {
+        "benign" => Outcome::Benign,
+        "sdc" => Outcome::Sdc,
+        "terminated" => Outcome::Terminated(cause_from_json(
+            v.get("cause").ok_or_else(|| bad("missing `cause`"))?,
+        )?),
+        "harness_fault" => Outcome::HarnessFault {
+            run_idx: v.u64("run_idx")?,
+            payload: v.str("payload")?.to_string(),
+        },
+        other => return Err(bad(format!("unknown outcome kind `{other}`"))),
+    })
+}
+
+fn outcome_to_json(o: &RunOutcome) -> Json {
+    Json::Obj(vec![
+        ("run_idx".into(), Json::Num(o.run_idx as i128)),
+        ("outcome".into(), outcome_kind_to_json(&o.outcome)),
+        ("class".into(), Json::Str(class_name(o.class))),
+        ("rank".into(), Json::Num(o.rank as i128)),
+        ("trigger_n".into(), Json::Num(o.trigger_n as i128)),
+        ("injected".into(), Json::Bool(o.injected)),
+        ("taint_reads".into(), Json::Num(o.taint_reads as i128)),
+        ("taint_writes".into(), Json::Num(o.taint_writes as i128)),
+        ("cross_rank".into(), Json::Num(o.cross_rank as i128)),
+        ("total_insns".into(), Json::Num(o.total_insns as i128)),
+        (
+            "taint_sync_lost".into(),
+            Json::Num(o.taint_sync_lost as i128),
+        ),
+        (
+            "record".into(),
+            o.record.as_ref().map_or(Json::Null, record_to_json),
+        ),
+        ("cache_stats".into(), cache_stats_to_json(&o.cache_stats)),
+    ])
+}
+
+fn outcome_from_json(v: &Json) -> Result<RunOutcome, JournalError> {
+    Ok(RunOutcome {
+        run_idx: v.u64("run_idx")?,
+        outcome: outcome_kind_from_json(v.get("outcome").ok_or_else(|| bad("missing `outcome`"))?)?,
+        class: class_from_name(v.str("class")?)?,
+        rank: v.u64("rank")? as u32,
+        trigger_n: v.u64("trigger_n")?,
+        injected: v.bool_or("injected", false),
+        taint_reads: v.u64("taint_reads")?,
+        taint_writes: v.u64("taint_writes")?,
+        cross_rank: v.u64("cross_rank")?,
+        total_insns: v.u64("total_insns")?,
+        taint_sync_lost: v.u64("taint_sync_lost")?,
+        record: match v.get("record") {
+            Some(Json::Null) | None => None,
+            Some(rec) => Some(record_from_json(rec)?),
+        },
+        cache_stats: cache_stats_from_json(
+            v.get("cache_stats")
+                .ok_or_else(|| bad("missing `cache_stats`"))?,
+        )?,
+    })
+}
+
+fn row_from_json(v: &Json) -> Result<JournalRow, JournalError> {
+    if v.bool_or("skip", false) {
+        Ok(JournalRow::Skip {
+            run_idx: v.u64("run_idx")?,
+            cache_stats: cache_stats_from_json(
+                v.get("cache_stats")
+                    .ok_or_else(|| bad("missing `cache_stats`"))?,
+            )?,
+        })
+    } else {
+        Ok(JournalRow::Outcome(Box::new(outcome_from_json(v)?)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome() -> RunOutcome {
+        RunOutcome {
+            run_idx: 7,
+            outcome: Outcome::Terminated(TermCause::OsException {
+                rank: 0,
+                signal: Signal::Segv,
+            }),
+            class: InsnClass::FpArith,
+            rank: 0,
+            trigger_n: 1234,
+            injected: true,
+            taint_reads: 5,
+            taint_writes: 3,
+            cross_rank: 1,
+            total_insns: 99_000,
+            taint_sync_lost: 0,
+            record: Some(InjectionRecord {
+                node: 0,
+                pid: 1,
+                pc: 0x40_0010,
+                insn: "fadd f0, f1".into(),
+                operand: "f0".into(),
+                old_bits: 0x3ff0_0000_0000_0000,
+                new_bits: 0x3ff0_0000_0000_0001,
+                taint_mask: 1,
+                icount: 777,
+                exec_count: 1234,
+            }),
+            cache_stats: CacheStats {
+                lookups: 10,
+                misses: 2,
+                ..CacheStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn outcome_rows_round_trip() {
+        for outcome in [
+            Outcome::Benign,
+            Outcome::Sdc,
+            Outcome::Terminated(TermCause::Hang),
+            Outcome::Terminated(TermCause::BudgetExhausted(BudgetKind::Rounds)),
+            Outcome::Terminated(TermCause::MpiError(MpiErrorKind::Truncation)),
+            Outcome::Terminated(TermCause::AssertionFailure { rank: 2, code: -9 }),
+            Outcome::HarnessFault {
+                run_idx: 7,
+                payload: "index out of bounds: \"quoted\"".into(),
+            },
+        ] {
+            let mut o = sample_outcome();
+            o.outcome = outcome;
+            let mut line = String::new();
+            encode(&outcome_to_json(&o), &mut line);
+            let back = outcome_from_json(&parse_json(&line).expect("parse")).expect("decode");
+            assert_eq!(format!("{o:?}"), format!("{back:?}"), "round trip");
+        }
+    }
+
+    #[test]
+    fn strings_with_escapes_survive() {
+        let v = Json::Str("a\"b\\c\nd\te\u{1}f — π".into());
+        let mut line = String::new();
+        encode(&v, &mut line);
+        assert_eq!(parse_json(&line).expect("parse"), v);
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated() {
+        let dir = std::env::temp_dir().join("chaser-journal-test-trunc");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("j.jsonl");
+        let header = JournalHeader {
+            version: JOURNAL_VERSION,
+            seed: 1,
+            runs: 10,
+            config_hash: 2,
+            golden_digest: 3,
+        };
+        let j = CampaignJournal::create(&path, header).expect("create");
+        j.append_outcome(&sample_outcome()).expect("append");
+        drop(j);
+        // Simulate a kill mid-append: add a half-written row.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("{\"run_idx\":9,\"outco");
+        std::fs::write(&path, &text).expect("write");
+        let (h, rows) = CampaignJournal::read(&path).expect("read back");
+        assert_eq!(h, header);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].run_idx(), 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_before_the_final_line_is_an_error() {
+        let dir = std::env::temp_dir().join("chaser-journal-test-corrupt");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("j.jsonl");
+        let header = JournalHeader {
+            version: JOURNAL_VERSION,
+            seed: 1,
+            runs: 10,
+            config_hash: 2,
+            golden_digest: 3,
+        };
+        let j = CampaignJournal::create(&path, header).expect("create");
+        j.append_skip(0, CacheStats::default()).expect("append");
+        drop(j);
+        let text = std::fs::read_to_string(&path).expect("read");
+        // Damage the middle line, keep a valid complete line after it.
+        let damaged = text.replace("\"skip\":true", "\"skip\":tr");
+        let with_tail = format!("{damaged}{{\"run_idx\":1,\"skip\":true,\"cache_stats\":{{\"lookups\":0,\"misses\":0,\"base_hits\":0,\"overlay_hits\":0,\"flushes\":0,\"asid_flushes\":0,\"translated_insns\":0,\"overlay_blocks\":0,\"base_blocks\":0}}}}\n");
+        std::fs::write(&path, &with_tail).expect("write");
+        assert!(CampaignJournal::read(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

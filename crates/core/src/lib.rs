@@ -58,6 +58,7 @@ pub mod analysis;
 mod campaign;
 mod injector;
 mod insn_trace;
+mod journal;
 pub mod models;
 mod outcome;
 mod plugin;
@@ -74,6 +75,9 @@ pub use injector::{
     OperandLoc, ProfileHandle, ProfileHook,
 };
 pub use insn_trace::{InsnLevelTracer, InsnTraceHandle, InsnTraceSummary};
+pub use journal::{
+    golden_digest, CampaignJournal, JournalError, JournalHeader, JournalRow, JOURNAL_VERSION,
+};
 pub use models::{
     DeterministicInjector, GroupInjector, IntermittentInjector, ProbabilisticInjector,
 };

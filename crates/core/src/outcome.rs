@@ -1,7 +1,7 @@
 //! Outcome classification: benign / SDC / terminated, with termination
 //! causes matching the paper's Table III attribution.
 
-use chaser_mpi::{ClusterRun, MpiErrorKind};
+use chaser_mpi::{BudgetKind, ClusterRun, MpiErrorKind};
 use chaser_vm::{ExitStatus, Signal};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -9,6 +9,10 @@ use std::fmt;
 /// Why a run terminated abnormally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TermCause {
+    /// The per-run watchdog budget ([`chaser_mpi::RunBudget`]) stopped the
+    /// run — a runaway execution bounded deterministically, distinct from
+    /// the progress-heuristic [`TermCause::Hang`].
+    BudgetExhausted(BudgetKind),
     /// A rank was killed by an OS signal. `rank == 0` is the paper's
     /// "OS exceptions" row; `rank > 0` is its "Slave Node failed" row.
     OsException {
@@ -54,6 +58,7 @@ impl TermCause {
 impl fmt::Display for TermCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TermCause::BudgetExhausted(kind) => write!(f, "{kind} exhausted"),
             TermCause::OsException { rank, signal } => {
                 write!(f, "rank {rank} killed by {signal}")
             }
@@ -69,8 +74,9 @@ impl fmt::Display for TermCause {
     }
 }
 
-/// The three failure-outcome classes of the paper's Fig. 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// The three failure-outcome classes of the paper's Fig. 6, plus the
+/// harness-fault quarantine row (a tool failure, never a target outcome).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Outcome {
     /// Output files compare bitwise equal to the golden run.
     Benign,
@@ -78,6 +84,16 @@ pub enum Outcome {
     Sdc,
     /// The run terminated abnormally.
     Terminated(TermCause),
+    /// The *harness itself* panicked while executing this run. The row is
+    /// quarantined: it says nothing about the target application and is
+    /// excluded from vulnerability statistics, but the campaign keeps the
+    /// run index so a resume can retry or a human can debug the payload.
+    HarnessFault {
+        /// The campaign run index whose execution panicked.
+        run_idx: u64,
+        /// The panic payload, sanitised to a single CSV-safe line.
+        payload: String,
+    },
 }
 
 impl Outcome {
@@ -85,6 +101,11 @@ impl Outcome {
     /// abnormal termination, including the app's own checker)?
     pub fn is_detected(&self) -> bool {
         matches!(self, Outcome::Terminated(_))
+    }
+
+    /// Is this a quarantined harness failure rather than a target outcome?
+    pub fn is_harness_fault(&self) -> bool {
+        matches!(self, Outcome::HarnessFault { .. })
     }
 }
 
@@ -94,6 +115,9 @@ impl fmt::Display for Outcome {
             Outcome::Benign => write!(f, "benign"),
             Outcome::Sdc => write!(f, "SDC"),
             Outcome::Terminated(cause) => write!(f, "terminated ({cause})"),
+            Outcome::HarnessFault { run_idx, payload } => {
+                write!(f, "harness fault (run {run_idx}: {payload})")
+            }
         }
     }
 }
@@ -103,10 +127,15 @@ impl fmt::Display for Outcome {
 /// `outputs[r]` / `golden[r]` are rank `r`'s result-file bytes. The outputs
 /// are compared *bitwise*, the paper's SDC criterion.
 ///
-/// Priority order (first match wins): hang → master OS exception →
-/// application assertion → slave OS exception → MPI error → abnormal
-/// voluntary exit → output comparison.
+/// Priority order (first match wins): budget exhaustion → hang → master OS
+/// exception → application assertion → slave OS exception → MPI error →
+/// abnormal voluntary exit → output comparison. A budget stop outranks the
+/// hang heuristic because it is deterministic: the same bound fires at the
+/// same instruction on every replay.
 pub fn classify(run: &ClusterRun, outputs: &[Vec<u8>], golden: &[Vec<u8>]) -> Outcome {
+    if let Some(kind) = run.budget_exhausted {
+        return Outcome::Terminated(TermCause::BudgetExhausted(kind));
+    }
     if run.hang {
         return Outcome::Terminated(TermCause::Hang);
     }
@@ -240,9 +269,12 @@ mod tests {
             rank_exits,
             mpi_error: None,
             hang: false,
+            budget_exhausted: None,
             total_insns: 0,
             rounds: 0,
             cross_rank_tainted_deliveries: 0,
+            taint_sync_lost: 0,
+            live_at_stop: Vec::new(),
         }
     }
 
@@ -380,6 +412,28 @@ mod tests {
                 len: 3
             }]
         );
+    }
+
+    #[test]
+    fn budget_exhaustion_outranks_hang() {
+        let mut r = run(vec![None]);
+        r.hang = true;
+        r.budget_exhausted = Some(BudgetKind::Insns);
+        assert_eq!(
+            classify(&r, &[], &[]),
+            Outcome::Terminated(TermCause::BudgetExhausted(BudgetKind::Insns))
+        );
+    }
+
+    #[test]
+    fn harness_fault_is_not_a_detection() {
+        let o = Outcome::HarnessFault {
+            run_idx: 3,
+            payload: "boom".into(),
+        };
+        assert!(o.is_harness_fault());
+        assert!(!o.is_detected());
+        assert_eq!(o.to_string(), "harness fault (run 3: boom)");
     }
 
     #[test]

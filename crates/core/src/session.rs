@@ -7,7 +7,7 @@ use crate::plugin::{FiInterface, FiPlugin, HostState, PluginError, PluginHost};
 use crate::spec::InjectionSpec;
 use crate::tracer::{TraceSummary, Tracer, TracerConfig};
 use chaser_isa::{abi, InsnClass, Program};
-use chaser_mpi::{Cluster, ClusterConfig, ClusterRun};
+use chaser_mpi::{Cluster, ClusterConfig, ClusterRun, NetStats, RunBudget};
 use chaser_tainthub::HubStats;
 use chaser_tcg::{BaseLayer, CacheStats};
 use chaser_vm::{FnHookSink, InjectSink, NodeTranslateHook, TaintEventSink, VmiSink};
@@ -74,6 +74,9 @@ pub struct RunOptions {
     /// interception mechanism; mostly useful for demos and tests — the
     /// runtime-level observers carry the actual taint synchronisation).
     pub hook_mpi_symbols: bool,
+    /// Per-run watchdog budget, merged (tighter bound wins) with the
+    /// cluster configuration's own [`RunBudget`].
+    pub budget: RunBudget,
 }
 
 impl RunOptions {
@@ -118,6 +121,15 @@ pub struct RunReport {
     pub trace: Option<TraceSummary>,
     /// TaintHub counters.
     pub hub_stats: HubStats,
+    /// TaintHub records still queued (unconsumed) at run end — a campaign
+    /// over a healthy hub sees this drain to 0 on completed runs.
+    pub hub_pending: usize,
+    /// Taint records published to the hub over the whole run (lifetime
+    /// counter; unaffected by consumption and GC).
+    pub hub_published: u64,
+    /// Interconnect counters (drops, retransmits, duplicates, losses on an
+    /// unreliable fabric).
+    pub net: NetStats,
     /// Guest MPI function-hook hits when `hook_mpi_symbols` was set:
     /// `(hook id, pc, args)`.
     pub fn_hook_hits: Vec<(u64, u64, [u64; 6])>,
@@ -221,6 +233,7 @@ fn run_app_inner(
     if !opts.tracing {
         cluster_cfg.taint_policy = chaser_taint::TaintPolicy::Disabled;
     }
+    cluster_cfg.run_budget = cluster_cfg.run_budget.merge(opts.budget);
     let mut cluster = Cluster::new(cluster_cfg);
     if let Some(bases) = base_caches {
         cluster.install_base_caches(bases);
@@ -301,6 +314,9 @@ fn run_app_inner(
         injector_exec_count: injector.as_ref().map_or(0, |i| i.exec_count()),
         trace: tracer.map(|tr| tr.borrow().summary().clone()),
         hub_stats: cluster.hub().stats(),
+        hub_pending: cluster.hub().pending(),
+        hub_published: cluster.hub().published_total(),
+        net: cluster.net_stats(),
         fn_hook_hits: fn_logger.map_or_else(Vec::new, |l| l.borrow().hits.clone()),
         cache_stats: cluster.tb_cache_stats(),
     }
@@ -357,6 +373,9 @@ pub fn prepare_app(app: &AppSpec, classes: &[InsnClass]) -> PreparedApp {
         injector_exec_count: 0,
         trace: None,
         hub_stats: cluster.hub().stats(),
+        hub_pending: cluster.hub().pending(),
+        hub_published: cluster.hub().published_total(),
+        net: cluster.net_stats(),
         fn_hook_hits: Vec::new(),
         cache_stats: cluster.tb_cache_stats(),
     };
@@ -411,6 +430,9 @@ pub fn profile_app(
         injector_exec_count: 0,
         trace: None,
         hub_stats: cluster.hub().stats(),
+        hub_pending: cluster.hub().pending(),
+        hub_published: cluster.hub().published_total(),
+        net: cluster.net_stats(),
         fn_hook_hits: Vec::new(),
         cache_stats: cluster.tb_cache_stats(),
     };
@@ -449,6 +471,9 @@ pub fn run_app_insn_traced(
         injector_exec_count: 0,
         trace: None,
         hub_stats: cluster.hub().stats(),
+        hub_pending: cluster.hub().pending(),
+        hub_published: cluster.hub().published_total(),
+        net: cluster.net_stats(),
         fn_hook_hits: Vec::new(),
         cache_stats: cluster.tb_cache_stats(),
     };

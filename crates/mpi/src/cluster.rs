@@ -3,16 +3,133 @@
 
 use crate::collective::{CollKind, CollReq, CollectiveSlot};
 use crate::envelope::{Envelope, MpiError, MpiErrorKind, TaintCarrier, MAX_MSG_BYTES};
-use crate::net::{Interconnect, NetStats};
+use crate::net::{Faultiness, Interconnect, NetStats};
 use chaser_isa::abi::{self, MpiDatatype, MpiOp};
 use chaser_isa::Program;
 use chaser_taint::TaintPolicy;
 use chaser_tainthub::{MsgId, TaintHub};
 use chaser_tcg::{BaseLayer, CacheStats};
 use chaser_vm::{ExitStatus, MpiRequest, Node, ProcState, ProcessFiles, Signal, SliceExit};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// Per-run watchdog budgets, enforced by the scheduler (rounds) and down in
+/// the `chaser-vm` engine loop (instructions). `0` disables a bound.
+///
+/// The cluster's `hang_rounds` heuristic only catches runs that stop making
+/// progress; a fault that turns a bounded loop *unbounded* keeps retiring
+/// instructions forever and is caught by these budgets instead,
+/// deterministically, at the same instruction on every replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunBudget {
+    /// Stop the run after this many total retired guest instructions.
+    pub max_insns: u64,
+    /// Stop the run after this many scheduler rounds.
+    pub max_rounds: u64,
+}
+
+impl RunBudget {
+    /// No bounds at all (the default).
+    pub fn unlimited() -> RunBudget {
+        RunBudget::default()
+    }
+
+    /// True when neither bound is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_insns == 0 && self.max_rounds == 0
+    }
+
+    /// The tighter of each pair of bounds (`0` = unset loses to any bound).
+    pub fn merge(self, other: RunBudget) -> RunBudget {
+        fn min_set(a: u64, b: u64) -> u64 {
+            match (a, b) {
+                (0, b) => b,
+                (a, 0) => a,
+                (a, b) => a.min(b),
+            }
+        }
+        RunBudget {
+            max_insns: min_set(self.max_insns, other.max_insns),
+            max_rounds: min_set(self.max_rounds, other.max_rounds),
+        }
+    }
+}
+
+/// Which [`RunBudget`] bound stopped the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BudgetKind {
+    /// `max_insns` fired (runaway computation).
+    Insns,
+    /// `max_rounds` fired (runaway scheduling, e.g. livelock).
+    Rounds,
+}
+
+impl std::fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetKind::Insns => write!(f, "instruction budget"),
+            BudgetKind::Rounds => write!(f, "round budget"),
+        }
+    }
+}
+
+/// Reliability policy for the receiver-side TaintHub sync path. The hub
+/// lives on the head node in the paper's testbed, so its polls traverse a
+/// control network that can fail independently of the MPI fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HubSyncPolicy {
+    /// Probability one poll attempt fails.
+    pub drop_prob: f64,
+    /// Poll retries (with backoff) after the first failure before the
+    /// delivery falls into degraded mode and the sync is declared lost.
+    pub max_retries: u32,
+    /// Scheduler rounds a published record survives before [`TaintHub::gc`]
+    /// may expire it. `0` disables garbage collection.
+    pub record_ttl: u64,
+    /// Seed for the poll-failure stream.
+    pub seed: u64,
+}
+
+impl Default for HubSyncPolicy {
+    fn default() -> HubSyncPolicy {
+        HubSyncPolicy {
+            drop_prob: 0.0,
+            max_retries: 3,
+            record_ttl: 4096,
+            seed: 0,
+        }
+    }
+}
+
+/// What a live rank was doing when the run was stopped by the watchdog
+/// (hang declaration or budget exhaustion) — the debuggable part of a hang
+/// report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PendingOp {
+    /// Blocked in `MPI_Recv`.
+    Recv,
+    /// Blocked in `MPI_Wait` on a nonblocking request.
+    Wait,
+    /// Waiting in a collective for peers to join.
+    Collective,
+    /// Blocked in the MPI runtime with no recorded wait reason.
+    Mpi,
+    /// Runnable user code — a runaway loop, not a communication wait.
+    Compute,
+}
+
+/// One live rank in a hang/budget report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HangRank {
+    /// The rank that was still live.
+    pub rank: u32,
+    /// What it was waiting on (or doing) when the run was stopped.
+    pub pending: PendingOp,
+}
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -28,7 +145,8 @@ pub struct ClusterConfig {
     pub net_bytes_per_round: u64,
     /// Abort the run as hung past this many total guest instructions.
     pub max_total_insns: u64,
-    /// Abort the run as hung after this many progress-free rounds.
+    /// Abort the run as hung after this many progress-free rounds (see the
+    /// threshold note at the hang check in [`Cluster::step_round`]).
     pub hang_rounds: u64,
     /// Guest RAM per node.
     pub phys_bytes: u64,
@@ -36,6 +154,12 @@ pub struct ClusterConfig {
     pub taint_policy: TaintPolicy,
     /// How taint crosses rank boundaries.
     pub taint_carrier: TaintCarrier,
+    /// Per-run watchdog budgets (instructions / rounds); default unlimited.
+    pub run_budget: RunBudget,
+    /// Interconnect unreliability knobs; default fully reliable.
+    pub net_faultiness: Faultiness,
+    /// TaintHub sync-path reliability policy; default fully reliable.
+    pub hub_sync: HubSyncPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -50,6 +174,9 @@ impl Default for ClusterConfig {
             phys_bytes: chaser_vm::DEFAULT_PHYS_BYTES,
             taint_policy: TaintPolicy::Precise,
             taint_carrier: TaintCarrier::Hub,
+            run_budget: RunBudget::default(),
+            net_faultiness: Faultiness::default(),
+            hub_sync: HubSyncPolicy::default(),
         }
     }
 }
@@ -85,18 +212,28 @@ pub struct ClusterRun {
     pub mpi_error: Option<MpiError>,
     /// The run was declared hung.
     pub hang: bool,
+    /// The [`RunBudget`] bound that stopped the run, if one fired.
+    pub budget_exhausted: Option<BudgetKind>,
     /// Total retired guest instructions.
     pub total_insns: u64,
     /// Scheduler rounds executed.
     pub rounds: u64,
     /// Tainted point-to-point deliveries (cross-rank fault propagation).
     pub cross_rank_tainted_deliveries: u64,
+    /// Tainted deliveries whose TaintHub sync failed after every retry
+    /// (degraded mode): the taint crossed the fabric but its masks were
+    /// lost, so `cross_rank_tainted_deliveries` under-counts by this much.
+    pub taint_sync_lost: u64,
+    /// The ranks still live when the watchdog (hang or budget) stopped the
+    /// run, with what each was waiting on. Empty for completed runs.
+    pub live_at_stop: Vec<HangRank>,
 }
 
 impl ClusterRun {
     /// Did every rank exit with `exit(0)`?
     pub fn all_success(&self) -> bool {
         !self.hang
+            && self.budget_exhausted.is_none()
             && self.mpi_error.is_none()
             && self
                 .rank_exits
@@ -164,8 +301,13 @@ pub struct Cluster {
     stuck_rounds: u64,
     mpi_error: Option<MpiError>,
     hang: bool,
+    budget_exhausted: Option<BudgetKind>,
     send_seq: u64,
     cross_rank_tainted_deliveries: u64,
+    taint_sync_lost: u64,
+    /// Poll-failure stream for the hub sync path; only instantiated when
+    /// `cfg.hub_sync.drop_prob > 0` so the reliable path is untouched.
+    hub_rng: Option<SmallRng>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -190,7 +332,9 @@ impl Cluster {
             nodes,
             ranks: Vec::new(),
             state: Vec::new(),
-            net: Interconnect::new(0, cfg.net_latency).with_bandwidth(cfg.net_bytes_per_round),
+            net: Interconnect::new(0, cfg.net_latency)
+                .with_bandwidth(cfg.net_bytes_per_round)
+                .with_faultiness(cfg.net_faultiness),
             coll: None,
             hub: Arc::new(TaintHub::new()),
             observers: Vec::new(),
@@ -198,8 +342,12 @@ impl Cluster {
             stuck_rounds: 0,
             mpi_error: None,
             hang: false,
+            budget_exhausted: None,
             send_seq: 0,
             cross_rank_tainted_deliveries: 0,
+            taint_sync_lost: 0,
+            hub_rng: (cfg.hub_sync.drop_prob > 0.0)
+                .then(|| SmallRng::seed_from_u64(cfg.hub_sync.seed ^ 0x4B5D_CE11)),
             cfg,
         }
     }
@@ -218,7 +366,8 @@ impl Cluster {
             self.state.push(RankState::default());
         }
         self.net = Interconnect::new(self.ranks.len(), self.cfg.net_latency)
-            .with_bandwidth(self.cfg.net_bytes_per_round);
+            .with_bandwidth(self.cfg.net_bytes_per_round)
+            .with_faultiness(self.cfg.net_faultiness);
         if let Some(slot) = &self.coll {
             debug_assert!(slot.is_empty());
         }
@@ -356,6 +505,7 @@ impl Cluster {
     /// Is the run over?
     pub fn finished(&self) -> bool {
         self.hang
+            || self.budget_exhausted.is_some()
             || self.ranks.iter().all(|&(ni, pid)| {
                 self.nodes[ni]
                     .process(pid)
@@ -387,6 +537,18 @@ impl Cluster {
                 }
                 ProcState::Runnable => {
                     let quantum = self.cfg.quantum;
+                    if self.cfg.run_budget.max_insns != 0 {
+                        let remaining = self
+                            .cfg
+                            .run_budget
+                            .max_insns
+                            .saturating_sub(self.total_insns());
+                        if remaining == 0 {
+                            self.budget_exhausted.get_or_insert(BudgetKind::Insns);
+                            break;
+                        }
+                        self.nodes[ni].set_insn_budget(remaining);
+                    }
                     match self.nodes[ni].run_slice(pid, quantum) {
                         SliceExit::QuantumExpired | SliceExit::Exited(_) => progress = true,
                         SliceExit::MpiCall(req) => {
@@ -394,6 +556,12 @@ impl Cluster {
                             self.service(rank, req);
                         }
                         SliceExit::Blocked => {}
+                        SliceExit::BudgetExhausted => {
+                            // The slice did retire instructions, so this is
+                            // progress — but the run-level watchdog fired.
+                            progress = true;
+                            self.budget_exhausted.get_or_insert(BudgetKind::Insns);
+                        }
                     }
                 }
             }
@@ -413,14 +581,33 @@ impl Cluster {
         }
 
         self.round += 1;
+        if self.cfg.run_budget.max_rounds != 0
+            && self.round >= self.cfg.run_budget.max_rounds
+            && !self.finished()
+        {
+            self.budget_exhausted.get_or_insert(BudgetKind::Rounds);
+        }
+        if self.cfg.hub_sync.record_ttl != 0 && self.round.is_multiple_of(64) {
+            self.hub.gc(self.round, self.cfg.hub_sync.record_ttl);
+        }
         if progress {
             self.stuck_rounds = 0;
         } else {
             self.stuck_rounds += 1;
         }
         let total_insns = self.total_insns();
-        if self.stuck_rounds > self.cfg.hang_rounds + self.cfg.net_latency
-            || total_insns > self.cfg.max_total_insns
+        // Hang threshold: a round with zero progress anywhere is only
+        // conclusive once every message that was in flight at the start of
+        // the stall has had time to land. Messages mature after
+        // `net_latency` rounds (plus bandwidth serialisation, which itself
+        // counts as progress when a delivery completes), so we wait
+        // `hang_rounds` grace rounds *plus* `net_latency` drain rounds
+        // before declaring a hang. A budget stop takes precedence: a run
+        // that exhausted its watchdog budget is classified as
+        // BudgetExhausted, never as a hang.
+        if self.budget_exhausted.is_none()
+            && (self.stuck_rounds > self.cfg.hang_rounds + self.cfg.net_latency
+                || total_insns > self.cfg.max_total_insns)
         {
             self.hang = true;
         }
@@ -448,14 +635,48 @@ impl Cluster {
 
     /// Snapshot of the final state.
     pub fn result(&self) -> ClusterRun {
+        let stopped_by_watchdog = self.hang || self.budget_exhausted.is_some();
         ClusterRun {
             rank_exits: (0..self.nranks()).map(|r| self.rank_exit(r)).collect(),
             mpi_error: self.mpi_error,
             hang: self.hang,
+            budget_exhausted: self.budget_exhausted,
             total_insns: self.total_insns(),
             rounds: self.round,
             cross_rank_tainted_deliveries: self.cross_rank_tainted_deliveries,
+            taint_sync_lost: self.taint_sync_lost,
+            live_at_stop: if stopped_by_watchdog {
+                self.live_at_stop()
+            } else {
+                Vec::new()
+            },
         }
+    }
+
+    /// The ranks still live right now, with what each is blocked on — the
+    /// hang-report payload ("which ranks were alive and what were they
+    /// waiting for" from the paper's hang diagnosis workflow).
+    pub fn live_at_stop(&self) -> Vec<HangRank> {
+        (0..self.nranks())
+            .filter(|&r| self.rank_alive(r))
+            .map(|rank| {
+                let st = &self.state[rank as usize];
+                let (ni, pid) = self.ranks[rank as usize];
+                let proc_state = self.nodes[ni].process(pid).expect("live rank").state;
+                let pending = if st.pending_recv.is_some() {
+                    PendingOp::Recv
+                } else if st.waiting_on.is_some() {
+                    PendingOp::Wait
+                } else if st.in_collective {
+                    PendingOp::Collective
+                } else if proc_state == ProcState::BlockedMpi {
+                    PendingOp::Mpi
+                } else {
+                    PendingOp::Compute
+                };
+                HangRank { rank, pending }
+            })
+            .collect()
     }
 
     // ---- MPI service layer ----
@@ -756,7 +977,7 @@ impl Cluster {
             _ => None,
         };
         if self.cfg.taint_carrier == TaintCarrier::Hub && tainted {
-            self.hub.publish_seq(
+            self.hub.publish_seq_at(
                 MsgId {
                     src: rank,
                     dest,
@@ -764,6 +985,7 @@ impl Cluster {
                 },
                 seq,
                 masks.clone(),
+                self.round,
             );
         }
 
@@ -886,8 +1108,26 @@ impl Cluster {
                     dest: rank,
                     tag: env.tag,
                 };
-                if let Some(rec) = self.hub.poll_matching(id, env.seq) {
-                    masks.copy_from_slice(&rec.masks);
+                // The hub is a remote service in the paper's deployment, so
+                // a poll can fail. Retry a bounded number of times; if every
+                // attempt fails, consume the record anyway (keeping the
+                // per-id sequence stream aligned for later messages) but
+                // record the lost synchronisation.
+                let mut synced = true;
+                if let Some(rng) = &mut self.hub_rng {
+                    let p = self.cfg.hub_sync.drop_prob;
+                    synced = false;
+                    for _ in 0..=self.cfg.hub_sync.max_retries {
+                        if !rng.gen_bool(p) {
+                            synced = true;
+                            break;
+                        }
+                    }
+                }
+                match self.hub.poll_matching(id, env.seq) {
+                    Some(rec) if synced => masks.copy_from_slice(&rec.masks),
+                    Some(rec) if rec.is_tainted() => self.taint_sync_lost += 1,
+                    _ => {}
                 }
             }
             TaintCarrier::None => {}

@@ -36,7 +36,10 @@ mod collective;
 mod envelope;
 mod net;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterRun, MpiObserver, RoundReport};
+pub use cluster::{
+    BudgetKind, Cluster, ClusterConfig, ClusterRun, HangRank, HubSyncPolicy, MpiObserver,
+    PendingOp, RoundReport, RunBudget,
+};
 pub use collective::{CollKind, CollReq, CollectiveSlot};
 pub use envelope::{Envelope, MpiError, MpiErrorKind, TaintCarrier, MAX_MSG_BYTES};
-pub use net::{Interconnect, NetStats};
+pub use net::{Faultiness, Interconnect, NetStats};

@@ -1,7 +1,10 @@
 //! End-to-end cluster tests with hand-written guest MPI programs.
 
 use chaser_isa::{abi, Asm, Cond, Program, Reg};
-use chaser_mpi::{Cluster, ClusterConfig, MpiErrorKind, TaintCarrier};
+use chaser_mpi::{
+    BudgetKind, Cluster, ClusterConfig, Faultiness, HubSyncPolicy, MpiErrorKind, PendingOp,
+    RunBudget, TaintCarrier,
+};
 use chaser_taint::TaintMask;
 use chaser_vm::{ExitStatus, Signal};
 
@@ -831,6 +834,177 @@ fn wtime_is_monotonic() {
     cluster.launch_replicated(&prog, 1).expect("launch");
     let run = cluster.run();
     assert_eq!(run.rank_exits[0], Some(ExitStatus::Exited(0)));
+}
+
+/// The per-run instruction budget stops a runaway loop at exactly the same
+/// instruction on every replay, and is classified as a budget stop, not a
+/// hang.
+#[test]
+fn insn_budget_stops_runaway_deterministically() {
+    let spin = {
+        let mut a = Asm::new("spin");
+        a.label("forever");
+        a.jmp("forever");
+        a.assemble().expect("assemble")
+    };
+    let mut totals = Vec::new();
+    for _ in 0..2 {
+        let mut cfg = small_config(1);
+        cfg.run_budget = RunBudget {
+            max_insns: 50_000,
+            max_rounds: 0,
+        };
+        let mut cluster = Cluster::new(cfg);
+        cluster.launch_replicated(&spin, 1).expect("launch");
+        let run = cluster.run();
+        assert_eq!(run.budget_exhausted, Some(BudgetKind::Insns));
+        assert!(!run.hang, "budget stop must not be classified as a hang");
+        assert_eq!(run.rank_exits[0], None);
+        assert_eq!(run.total_insns, 50_000, "budget binds exactly");
+        assert_eq!(run.live_at_stop.len(), 1);
+        assert_eq!(run.live_at_stop[0].pending, PendingOp::Compute);
+        totals.push(run.total_insns);
+    }
+    assert_eq!(totals[0], totals[1], "deterministic across replays");
+}
+
+/// The round budget stops a deadlocked job before the hang heuristic gets a
+/// chance to, and the report names the live ranks and their pending ops.
+#[test]
+fn round_budget_fires_before_the_hang_heuristic() {
+    let mut a = Asm::new("deadlock");
+    a.data_i64("buf", &[0]);
+    a.hypercall(abi::MPI_INIT);
+    a.hypercall(abi::MPI_COMM_RANK);
+    a.mov(Reg::R7, Reg::R0);
+    a.movi(Reg::R6, 1);
+    a.sub(Reg::R6, Reg::R7);
+    a.lea(Reg::R1, "buf");
+    a.movi(Reg::R2, 1);
+    a.movi(Reg::R3, 1);
+    a.mov(Reg::R4, Reg::R6);
+    a.movi(Reg::R5, 7);
+    a.hypercall(abi::MPI_RECV);
+    a.exit(0);
+    let prog = a.assemble().expect("assemble");
+
+    let mut cfg = small_config(2);
+    cfg.run_budget = RunBudget {
+        max_insns: 0,
+        max_rounds: 10,
+    };
+    let mut cluster = Cluster::new(cfg);
+    cluster.launch_replicated(&prog, 2).expect("launch");
+    let run = cluster.run();
+    assert_eq!(run.budget_exhausted, Some(BudgetKind::Rounds));
+    assert!(!run.hang);
+    assert_eq!(run.rounds, 10);
+    let pending: Vec<PendingOp> = run.live_at_stop.iter().map(|h| h.pending).collect();
+    assert_eq!(pending, vec![PendingOp::Recv, PendingOp::Recv]);
+}
+
+/// A genuine hang report names the live ranks and what they wait on.
+#[test]
+fn hang_report_names_live_ranks_and_pending_ops() {
+    let mut a = Asm::new("halfdeadlock");
+    a.data_i64("buf", &[0]);
+    a.hypercall(abi::MPI_INIT);
+    a.hypercall(abi::MPI_COMM_RANK);
+    a.cmpi(Reg::R0, 0);
+    a.jcc(Cond::Ne, "spin");
+    // Rank 0 blocks in a receive rank 1 never serves, while rank 1 spins
+    // in user code — live-but-stuck, so the stall is a hang, not RankDied.
+    emit_recv(&mut a, "buf", 1, 1, 1, 7);
+    a.exit(0);
+    a.label("spin");
+    a.label("forever");
+    a.jmp("forever");
+    let prog = a.assemble().expect("assemble");
+
+    let mut cfg = small_config(2);
+    cfg.max_total_insns = 200_000;
+    let mut cluster = Cluster::new(cfg);
+    cluster.launch_replicated(&prog, 2).expect("launch");
+    let run = cluster.run();
+    assert!(run.hang);
+    assert_eq!(run.live_at_stop.len(), 2);
+    assert_eq!(run.live_at_stop[0].rank, 0);
+    assert_eq!(run.live_at_stop[0].pending, PendingOp::Recv);
+    assert_eq!(run.live_at_stop[1].rank, 1);
+    assert_eq!(run.live_at_stop[1].pending, PendingOp::Compute);
+}
+
+/// A lossy fabric with retransmission enabled must not change MPI results:
+/// the ack/retransmit layer hides drops and duplicates from the runtime.
+#[test]
+fn lossy_interconnect_preserves_mpi_results() {
+    let prog = bcast_reduce_program();
+    let reliable = {
+        let mut cluster = Cluster::new(small_config(3));
+        cluster.launch_replicated(&prog, 3).expect("launch");
+        cluster.run()
+    };
+    for seed in [1u64, 7, 42] {
+        let mut cfg = small_config(3);
+        cfg.net_faultiness = Faultiness {
+            drop_prob: 0.4,
+            dup_prob: 0.3,
+            max_retries: 32,
+            seed,
+        };
+        let mut cluster = Cluster::new(cfg);
+        cluster.launch_replicated(&prog, 3).expect("launch");
+        let run = cluster.run();
+        assert!(!run.hang, "seed {seed}");
+        assert_eq!(run.mpi_error, None, "seed {seed}");
+        assert_eq!(run.rank_exits, reliable.rank_exits, "seed {seed}");
+        assert_eq!(cluster.net_stats().lost, 0, "retransmit must recover");
+    }
+}
+
+/// When every TaintHub poll fails, the delivery completes in degraded mode:
+/// the data arrives, the taint is dropped, and the loss is counted.
+#[test]
+fn exhausted_hub_retries_degrade_to_taint_sync_lost() {
+    let mut cfg = small_config(2);
+    cfg.taint_carrier = TaintCarrier::Hub;
+    cfg.hub_sync = HubSyncPolicy {
+        drop_prob: 1.0,
+        max_retries: 3,
+        ..HubSyncPolicy::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let prog = ping_pong_program();
+    cluster.launch_replicated(&prog, 2).expect("launch");
+
+    let buf = prog.symbol("buf").expect("buf symbol");
+    let (ni, pid) = cluster.rank_location(0);
+    cluster
+        .node_mut(ni)
+        .write_guest_taint(pid, buf, &[0xff; 8])
+        .expect("taint");
+
+    let run = cluster.run();
+    assert!(!run.hang);
+    assert_eq!(
+        run.rank_exits[0],
+        Some(ExitStatus::Exited(43)),
+        "data flows"
+    );
+    assert!(run.taint_sync_lost >= 1, "lost sync must be counted");
+    assert_eq!(
+        run.cross_rank_tainted_deliveries, 0,
+        "degraded deliveries must not count as propagated taint"
+    );
+    let (ni1, pid1) = cluster.rank_location(1);
+    let slave_masks = cluster
+        .node(ni1)
+        .read_guest_taint(pid1, buf, 8)
+        .expect("slave taint");
+    assert!(
+        slave_masks.iter().all(|&m| m == 0),
+        "taint must not cross when sync is lost"
+    );
 }
 
 /// Mid-collective process death: one rank dies before joining a barrier

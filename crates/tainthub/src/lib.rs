@@ -65,6 +65,10 @@ pub struct TaintRecord {
     /// lets [`TaintHub::poll_matching`] recognise that the front record
     /// belongs to a *later* message than the one just received.
     pub seq: u64,
+    /// Publication timestamp in the publisher's clock (scheduler rounds for
+    /// the cluster), consulted by [`TaintHub::gc`] to expire records whose
+    /// receiver will never poll (e.g. it died mid-communication).
+    pub published_at: u64,
 }
 
 impl TaintRecord {
@@ -90,6 +94,8 @@ pub struct HubStats {
     pub hits: u64,
     /// Total tainted payload bytes published.
     pub tainted_bytes_published: u64,
+    /// Records dropped by [`TaintHub::gc`] after their TTL lapsed.
+    pub expired: u64,
 }
 
 #[derive(Debug, Default)]
@@ -121,14 +127,20 @@ impl TaintHub {
     /// Sender side with an explicit message sequence number (see
     /// [`TaintRecord::seq`]).
     pub fn publish_seq(&self, id: MsgId, seq: u64, masks: Vec<u8>) {
+        self.publish_seq_at(id, seq, masks, 0);
+    }
+
+    /// Sender side with an explicit sequence number and publication
+    /// timestamp (see [`TaintRecord::published_at`] and [`TaintHub::gc`]).
+    pub fn publish_seq_at(&self, id: MsgId, seq: u64, masks: Vec<u8>, now: u64) {
         let mut inner = self.inner.lock();
         inner.stats.published += 1;
         inner.stats.tainted_bytes_published += masks.iter().filter(|&&m| m != 0).count() as u64;
-        inner
-            .map
-            .entry(id)
-            .or_default()
-            .push_back(TaintRecord { masks, seq });
+        inner.map.entry(id).or_default().push_back(TaintRecord {
+            masks,
+            seq,
+            published_at: now,
+        });
     }
 
     /// Receiver side: consumes the front record for `id` only when it
@@ -171,6 +183,31 @@ impl TaintHub {
     /// Number of queued (unconsumed) records.
     pub fn pending(&self) -> usize {
         self.inner.lock().map.values().map(VecDeque::len).sum()
+    }
+
+    /// Total records ever published (consumed or not) — with
+    /// [`TaintHub::pending`] this lets long campaigns assert the hub
+    /// drains instead of accumulating records invisibly.
+    pub fn published_total(&self) -> u64 {
+        self.inner.lock().stats.published
+    }
+
+    /// Drops every record older than `ttl` at time `now` (both in the
+    /// publisher's clock; see [`TaintRecord::published_at`]) and returns
+    /// how many were expired. Records for receivers that died or aborted
+    /// mid-communication are never polled; without a TTL they would pin
+    /// their payload masks for the rest of the run.
+    pub fn gc(&self, now: u64, ttl: u64) -> usize {
+        let mut inner = self.inner.lock();
+        let mut expired = 0;
+        inner.map.retain(|_, q| {
+            let before = q.len();
+            q.retain(|r| now.saturating_sub(r.published_at) <= ttl);
+            expired += before - q.len();
+            !q.is_empty()
+        });
+        inner.stats.expired += expired as u64;
+        expired
     }
 
     /// Counter snapshot.
@@ -243,14 +280,32 @@ mod tests {
         let rec = TaintRecord {
             masks: vec![0, 1, 0],
             seq: 0,
+            published_at: 0,
         };
         assert!(rec.is_tainted());
         assert_eq!(rec.tainted_bytes(), 1);
         let clean = TaintRecord {
             masks: vec![0, 0],
             seq: 0,
+            published_at: 0,
         };
         assert!(!clean.is_tainted());
+    }
+
+    #[test]
+    fn gc_expires_only_stale_records() {
+        let hub = TaintHub::new();
+        hub.publish_seq_at(ID, 0, vec![1], 0);
+        hub.publish_seq_at(ID, 7, vec![2], 90);
+        assert_eq!(hub.published_total(), 2);
+        // At round 100 with ttl 50 only the round-0 record is stale.
+        assert_eq!(hub.gc(100, 50), 1);
+        assert_eq!(hub.pending(), 1);
+        assert_eq!(hub.stats().expired, 1);
+        // The surviving record is still consumable by its seq.
+        assert_eq!(hub.poll_matching(ID, 7).expect("survivor").masks, vec![2]);
+        // Idempotent once drained.
+        assert_eq!(hub.gc(1000, 0), 0);
     }
 
     #[test]

@@ -90,7 +90,14 @@ fn store_u64_tainted(
     Ok(paddr)
 }
 
-/// Executes up to `quantum` guest instructions of `proc`.
+/// Executes up to `quantum` guest instructions of `proc`, additionally
+/// capped by the run-level `insn_budget` (`u64::MAX` = unlimited). The
+/// budget is checked at the same safe resume point as the quantum; when it
+/// binds first the slice reports [`SliceExit::BudgetExhausted`] so the
+/// caller can stop the whole run deterministically.
+// One internal call site (Node::run_slice); the flat parameter list keeps
+// the hot path free of a wrapper struct build per slice.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_slice(
     node_id: u32,
     phys: &mut PhysMemory,
@@ -99,6 +106,7 @@ pub(crate) fn run_slice(
     hooks: &NodeHooks,
     proc: &mut Process,
     quantum: u64,
+    insn_budget: u64,
 ) -> SliceExit {
     match proc.state {
         ProcState::Runnable => {}
@@ -197,10 +205,16 @@ pub(crate) fn run_slice(
         for op in tb.ops() {
             match *op {
                 TcgOp::InsnStart { pc } => {
-                    if executed >= quantum {
+                    if executed >= quantum || executed >= insn_budget {
                         // Safe resume point: the instruction has not begun.
                         proc.cpu.pc = pc;
-                        return SliceExit::QuantumExpired;
+                        // The budget binding is terminal for the run, so it
+                        // wins over a simultaneous quantum expiry.
+                        return if executed >= insn_budget {
+                            SliceExit::BudgetExhausted
+                        } else {
+                            SliceExit::QuantumExpired
+                        };
                     }
                     executed += 1;
                     proc.icount += 1;

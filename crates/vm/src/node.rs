@@ -19,6 +19,9 @@ use std::sync::Arc;
 pub enum SliceExit {
     /// The quantum was used up; the process remains runnable.
     QuantumExpired,
+    /// The per-run instruction budget was used up; the process remains
+    /// runnable but the watchdog owner should stop the run.
+    BudgetExhausted,
     /// The process finished.
     Exited(ExitStatus),
     /// The process trapped into an MPI call and is now blocked; the cluster
@@ -55,6 +58,9 @@ pub struct Node {
     taint: TaintState,
     hooks: NodeHooks,
     next_pid: u64,
+    /// Remaining run-level instruction budget (`u64::MAX` = unlimited).
+    /// Set by the watchdog owner (the cluster scheduler) before each slice.
+    insn_budget: u64,
 }
 
 impl Node {
@@ -73,7 +79,16 @@ impl Node {
             taint: TaintState::new(policy),
             hooks: NodeHooks::default(),
             next_pid: 1,
+            insn_budget: u64::MAX,
         }
+    }
+
+    /// Caps the instructions the next [`Node::run_slice`] may retire,
+    /// independently of its quantum. When the budget binds before the
+    /// quantum the slice returns [`SliceExit::BudgetExhausted`].
+    /// `u64::MAX` (the default) disables the cap.
+    pub fn set_insn_budget(&mut self, remaining: u64) {
+        self.insn_budget = remaining;
     }
 
     /// The node id.
@@ -167,6 +182,7 @@ impl Node {
             &self.hooks,
             proc,
             quantum,
+            self.insn_budget,
         );
         if let SliceExit::Exited(status) = exit {
             let sinks = self.hooks.vmi.clone();
@@ -380,6 +396,30 @@ mod tests {
 
         let mut node = Node::new(0);
         let pid = node.spawn(&prog).expect("spawn");
+        assert_eq!(run_to_exit(&mut node, pid), ExitStatus::Exited(55));
+    }
+
+    #[test]
+    fn insn_budget_binds_before_quantum_and_resumes_cleanly() {
+        let mut a = Asm::new("sum");
+        a.movi(Reg::R1, 0);
+        a.movi(Reg::R2, 1);
+        a.label("loop");
+        a.add(Reg::R1, Reg::R2);
+        a.addi(Reg::R2, 1);
+        a.cmpi(Reg::R2, 10);
+        a.jcc(Cond::Le, "loop");
+        a.exit_with(Reg::R1);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        node.set_insn_budget(5);
+        assert_eq!(node.run_slice(pid, 100_000), SliceExit::BudgetExhausted);
+        assert_eq!(node.process(pid).expect("alive").icount, 5);
+        // Lifting the budget resumes at the interrupted pc with identical
+        // semantics: the program still computes 55.
+        node.set_insn_budget(u64::MAX);
         assert_eq!(run_to_exit(&mut node, pid), ExitStatus::Exited(55));
     }
 

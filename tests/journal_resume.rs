@@ -1,0 +1,72 @@
+//! Property test for journaled resume: no matter where a kill lands in the
+//! journal — after any complete row, with any torn prefix of the next row —
+//! resuming reproduces the uninterrupted campaign's outcome CSV byte for
+//! byte.
+
+use chaser::{AppSpec, Campaign, CampaignConfig};
+use chaser_isa::InsnClass;
+use chaser_workloads::matvec;
+use proptest::prelude::*;
+use std::fs;
+use std::sync::OnceLock;
+
+const RUNS: u64 = 12;
+
+fn campaign() -> Campaign {
+    let mv = matvec::MatvecConfig::default();
+    let app = AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 4);
+    Campaign::new(
+        app,
+        CampaignConfig {
+            runs: RUNS,
+            seed: 0xBEEF,
+            parallelism: 2,
+            classes: vec![InsnClass::Mov],
+            ..CampaignConfig::default()
+        },
+    )
+}
+
+/// The uninterrupted reference CSV, computed once.
+fn clean_csv() -> &'static str {
+    static CSV: OnceLock<String> = OnceLock::new();
+    CSV.get_or_init(|| campaign().run().to_csv())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn resume_from_any_kill_point_is_byte_identical(
+        keep_rows in 0usize..=(RUNS as usize),
+        tear_frac in 0u64..100,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "chaser-journal-prop-{}-{keep_rows}-{tear_frac}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("campaign.jsonl");
+
+        campaign().run_journaled(&path).expect("journaled run");
+        let text = fs::read_to_string(&path).expect("journal readable");
+        let lines: Vec<&str> = text.lines().collect();
+
+        // Kill after the header + `keep_rows` complete rows, tearing off a
+        // prefix of the next row when there is one.
+        let keep = (1 + keep_rows).min(lines.len());
+        let mut truncated = lines[..keep].join("\n");
+        truncated.push('\n');
+        if let Some(next) = lines.get(keep) {
+            let cut = (next.len() as u64 * tear_frac / 100) as usize;
+            truncated.push_str(&next[..cut]);
+        }
+        fs::write(&path, truncated).expect("truncate");
+
+        let resumed_csv = campaign().resume(&path).expect("resume").to_csv();
+        prop_assert_eq!(clean_csv(), resumed_csv.as_str());
+
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_dir(&dir);
+    }
+}

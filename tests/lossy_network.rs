@@ -1,0 +1,135 @@
+//! End-to-end behaviour over an unreliable interconnect: the ack/retransmit
+//! layer must make a lossy fabric semantically invisible (same outputs, same
+//! campaign outcome distribution as a reliable one), and an unreliable
+//! TaintHub link must degrade to `taint_sync_lost` accounting — never to a
+//! wrong result.
+
+use chaser::{run_app, AppSpec, Campaign, CampaignConfig, CampaignResult, RankPool, RunOptions};
+use chaser_isa::InsnClass;
+use chaser_mpi::Faultiness;
+use chaser_workloads::matvec;
+
+/// The timing-independent view of a campaign: per-run classification.
+/// (`total_insns` legitimately varies with delivery timing — retransmits
+/// stretch runs — so byte-comparing the full CSV would over-assert.)
+fn classification(result: &CampaignResult) -> Vec<(u64, String, u32, u64)> {
+    result
+        .outcomes
+        .iter()
+        .map(|o| (o.run_idx, o.outcome.to_string(), o.rank, o.trigger_n))
+        .collect()
+}
+
+fn app() -> AppSpec {
+    let mv = matvec::MatvecConfig::default();
+    AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 4)
+}
+
+fn lossy(seed: u64) -> Faultiness {
+    Faultiness {
+        drop_prob: 0.4,
+        dup_prob: 0.3,
+        max_retries: 32,
+        seed,
+    }
+}
+
+/// A fault-free run over a badly lossy fabric produces the reliable run's
+/// outputs exactly; the damage shows up only in the fabric statistics.
+#[test]
+fn lossy_fabric_is_invisible_to_golden_outputs() {
+    let reliable = run_app(&app(), &RunOptions::golden());
+    for seed in [1u64, 7, 42] {
+        let mut lossy_app = app();
+        lossy_app.cluster.net_faultiness = lossy(seed);
+        let report = run_app(&lossy_app, &RunOptions::golden());
+        assert_eq!(report.outputs, reliable.outputs, "seed {seed}");
+        assert!(report.net.dropped > 0, "fabric was not actually lossy");
+        assert!(report.net.retransmits > 0, "drops must be retransmitted");
+        assert_eq!(report.net.lost, 0, "no message may be lost for good");
+    }
+}
+
+/// A whole injection campaign over the lossy fabric classifies every run
+/// exactly as the reliable fabric does: drops and duplicates change
+/// delivery timing, never MPI semantics.
+#[test]
+fn lossy_fabric_preserves_the_outcome_distribution() {
+    let cfg = CampaignConfig {
+        runs: 15,
+        seed: 0xFADE,
+        parallelism: 2,
+        classes: vec![InsnClass::Mov],
+        ..CampaignConfig::default()
+    };
+    let reliable = Campaign::new(app(), cfg.clone()).run();
+
+    let mut lossy_app = app();
+    lossy_app.cluster.net_faultiness = lossy(9);
+    let lossy = Campaign::new(lossy_app, cfg).run();
+
+    assert_eq!(classification(&reliable), classification(&lossy));
+    assert_eq!(reliable.skipped, lossy.skipped);
+    assert_eq!(reliable.outcome_counts(), lossy.outcome_counts());
+}
+
+/// When every TaintHub poll fails, taint synchronisation degrades instead
+/// of crashing: data still flows (classification is unchanged), and runs
+/// whose fault would have crossed ranks report the lost syncs.
+#[test]
+fn exhausted_hub_retries_surface_as_taint_sync_lost() {
+    // Slave FP faults: the tainted dot products ride MPI back to the
+    // master, which is the hub-synchronised path under test. (Master
+    // faults in matvec never cross ranks — the master only receives.)
+    let cfg = CampaignConfig {
+        runs: 15,
+        seed: 0xFADE,
+        parallelism: 2,
+        classes: vec![InsnClass::FpArith],
+        rank_pool: RankPool::Random,
+        tracing: true,
+        ..CampaignConfig::default()
+    };
+    let healthy = Campaign::new(app(), cfg.clone()).run();
+    let crossed: u64 = healthy.outcomes.iter().map(|o| o.cross_rank).sum();
+    assert!(crossed > 0, "seed must produce cross-rank propagation");
+    assert_eq!(
+        healthy
+            .outcomes
+            .iter()
+            .map(|o| o.taint_sync_lost)
+            .sum::<u64>(),
+        0,
+        "reliable hub must lose nothing"
+    );
+
+    let mut degraded_app = app();
+    degraded_app.cluster.hub_sync.drop_prob = 1.0;
+    let degraded = Campaign::new(degraded_app, cfg).run();
+
+    // Same guest-visible behaviour: data deliveries are unaffected, so
+    // every run classifies identically.
+    assert_eq!(
+        healthy.to_csv().lines().count(),
+        degraded.to_csv().lines().count()
+    );
+    for (h, d) in healthy.outcomes.iter().zip(&degraded.outcomes) {
+        assert_eq!(h.run_idx, d.run_idx);
+        assert_eq!(h.outcome, d.outcome, "run {}", h.run_idx);
+    }
+    // But the taint view degraded, and says so.
+    assert_eq!(
+        degraded.outcomes.iter().map(|o| o.cross_rank).sum::<u64>(),
+        0,
+        "lost syncs must not be double-counted as propagation"
+    );
+    assert!(
+        degraded
+            .outcomes
+            .iter()
+            .map(|o| o.taint_sync_lost)
+            .sum::<u64>()
+            > 0,
+        "lost syncs must be reported"
+    );
+}

@@ -1,0 +1,202 @@
+//! Resilience guarantees of the campaign engine: harness panics are
+//! quarantined as [`Outcome::HarnessFault`] rows while every other run
+//! completes, watchdog budgets classify runaways deterministically, and a
+//! journaled campaign killed mid-way resumes to a byte-identical result.
+
+use chaser::{AppSpec, Campaign, CampaignConfig, JournalError, Outcome, TermCause};
+use chaser_isa::InsnClass;
+use chaser_mpi::{BudgetKind, RunBudget};
+use chaser_workloads::matvec;
+use std::fs;
+use std::path::PathBuf;
+
+fn campaign(cfg: CampaignConfig) -> Campaign {
+    let mv = matvec::MatvecConfig::default();
+    let app = AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 4);
+    Campaign::new(app, cfg)
+}
+
+fn base_cfg(runs: u64) -> CampaignConfig {
+    CampaignConfig {
+        runs,
+        seed: 0xC0DE,
+        parallelism: 2,
+        classes: vec![InsnClass::Mov],
+        ..CampaignConfig::default()
+    }
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chaser-resilient-{}-{name}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir.join("campaign.jsonl")
+}
+
+/// The ISSUE 2 acceptance campaign: one forced harness panic plus a budget
+/// tight enough to stop the longest-lived runs, in one 20-run campaign.
+/// Every remaining run must still complete and classify normally.
+#[test]
+fn panics_and_budget_stops_are_quarantined_not_fatal() {
+    let mut cfg = base_cfg(20);
+    cfg.panic_runs = vec![3];
+    // Above every injection point, below the full-length (benign/SDC) runs:
+    // long-lived runs hit the watchdog, early crashes keep their own cause.
+    cfg.run_budget = RunBudget {
+        max_insns: 4_500,
+        max_rounds: 0,
+    };
+    let result = campaign(cfg.clone()).run();
+
+    // The campaign completed: every run index is accounted for.
+    assert_eq!(result.outcomes.len() as u64 + result.skipped, 20);
+
+    // Exactly the forced panic came back quarantined, with the run index
+    // and panic message preserved in the row.
+    let faults: Vec<_> = result.harness_faults().collect();
+    assert_eq!(faults.len(), 1);
+    assert_eq!(faults[0].run_idx, 3);
+    match &faults[0].outcome {
+        Outcome::HarnessFault { run_idx, payload } => {
+            assert_eq!(*run_idx, 3);
+            assert!(payload.contains("forced harness panic"), "{payload}");
+        }
+        other => panic!("expected a harness fault, got {other}"),
+    }
+    assert_eq!(result.outcome_counts().harness_faults, 1);
+
+    // The watchdog fired on the long-lived runs, deterministically at the
+    // budget boundary, and is attributed in the termination breakdown.
+    let budget_rows: Vec<_> = result
+        .outcomes
+        .iter()
+        .filter(|o| {
+            matches!(
+                o.outcome,
+                Outcome::Terminated(TermCause::BudgetExhausted(BudgetKind::Insns))
+            )
+        })
+        .collect();
+    assert!(!budget_rows.is_empty(), "no run hit the watchdog");
+    for row in &budget_rows {
+        assert_eq!(row.total_insns, 4_500, "budget stop must be exact");
+    }
+    assert_eq!(
+        result.termination_breakdown().budget_exhausted,
+        budget_rows.len() as u64
+    );
+
+    // Other causes survive alongside: the budget quarantines runaways, it
+    // does not repaint crashes that happened first.
+    assert!(result.outcomes.iter().any(|o| matches!(
+        o.outcome,
+        Outcome::Terminated(TermCause::OsException { .. })
+    )));
+
+    // Harness faults say nothing about the target: excluded from the
+    // Fig. 6 percentages.
+    assert_eq!(
+        result.outcome_counts().total() + 1 + result.skipped,
+        20,
+        "classified + quarantined + skipped must cover the campaign"
+    );
+
+    // Deterministic replay: the identical configuration reproduces the
+    // identical rows, panic and budget stops included.
+    let replay = campaign(cfg).run();
+    assert_eq!(result.to_csv(), replay.to_csv());
+}
+
+/// A budget no run reaches must not perturb a single outcome.
+#[test]
+fn unreached_budget_changes_nothing() {
+    let unlimited = campaign(base_cfg(15)).run();
+    let mut cfg = base_cfg(15);
+    cfg.run_budget = RunBudget {
+        max_insns: u64::MAX / 2,
+        max_rounds: u64::MAX / 2,
+    };
+    let generous = campaign(cfg).run();
+    assert_eq!(unlimited.to_csv(), generous.to_csv());
+    assert_eq!(unlimited.skipped, generous.skipped);
+}
+
+/// Kill-and-resume: truncate the journal mid-row (the shape a SIGKILL
+/// leaves behind) and resume; the merged result must match an
+/// uninterrupted campaign byte for byte.
+#[test]
+fn resume_after_kill_reproduces_the_campaign_byte_for_byte() {
+    let cfg = base_cfg(20);
+    let clean = campaign(cfg.clone()).run();
+
+    let path = temp_journal("kill");
+    let full = campaign(cfg.clone()).run_journaled(&path).expect("journal");
+    assert_eq!(clean.to_csv(), full.to_csv());
+
+    // Simulate the kill: keep the header + the first 6 complete rows +
+    // half of the 7th.
+    let text = fs::read_to_string(&path).expect("journal readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 8, "journal too short to truncate");
+    let mut truncated = lines[..7].join("\n");
+    truncated.push('\n');
+    truncated.push_str(&lines[7][..lines[7].len() / 2]);
+    fs::write(&path, truncated).expect("truncate");
+
+    let resumed = campaign(cfg.clone()).resume(&path).expect("resume");
+    assert_eq!(clean.to_csv(), resumed.to_csv());
+    assert_eq!(clean.skipped, resumed.skipped);
+    assert_eq!(clean.outcome_counts(), resumed.outcome_counts());
+
+    // The journal now holds every run again; a second resume re-executes
+    // nothing and still reproduces the result.
+    let re_resumed = campaign(cfg).resume(&path).expect("second resume");
+    assert_eq!(clean.to_csv(), re_resumed.to_csv());
+
+    let _ = fs::remove_file(&path);
+}
+
+/// A journal whose header was tampered with — or that belongs to a
+/// different campaign — must be rejected, not silently merged.
+#[test]
+fn tampered_or_foreign_journals_are_rejected() {
+    let cfg = base_cfg(8);
+    let path = temp_journal("tamper");
+    campaign(cfg.clone()).run_journaled(&path).expect("journal");
+
+    // Different campaign (other seed): header mismatch.
+    let mut other = cfg.clone();
+    other.seed ^= 1;
+    match campaign(other).resume(&path) {
+        Err(JournalError::HeaderMismatch { expected, found }) => {
+            assert_ne!(expected.seed, found.seed);
+        }
+        other => panic!("foreign journal accepted: {other:?}"),
+    }
+
+    // Same campaign, doctored golden digest: header mismatch.
+    let text = fs::read_to_string(&path).expect("journal readable");
+    let (header, rest) = text.split_once('\n').expect("header line");
+    let needle = "\"golden_digest\":";
+    let at = header.find(needle).expect("digest field") + needle.len();
+    let digit_end = header[at..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(header.len(), |i| at + i);
+    let digit = &header[at..digit_end];
+    let doctored: u64 = digit.parse::<u64>().expect("digit").wrapping_add(1);
+    let tampered = format!(
+        "{}{}{}\n{}",
+        &header[..at],
+        doctored,
+        &header[digit_end..],
+        rest
+    );
+    fs::write(&path, tampered).expect("tamper");
+    match campaign(cfg).resume(&path) {
+        Err(JournalError::HeaderMismatch { expected, found }) => {
+            assert_ne!(expected.golden_digest, found.golden_digest);
+        }
+        other => panic!("tampered journal accepted: {other:?}"),
+    }
+
+    let _ = fs::remove_file(&path);
+}
