@@ -14,3 +14,8 @@ cargo clippy --offline --all-targets -- -D warnings
 # and a watchdog budget, killed mid-way (journal truncation) and resumed;
 # the resumed outcome CSV must be byte-identical to an uninterrupted run.
 cargo run --release --offline -p chaser-bench --bin resilience_smoke
+
+# Warm-start smoke: the same small campaign cold vs restored from the
+# shared copy-on-write cluster checkpoint; outcome CSVs must be
+# byte-identical and the warm runs must skip measurable prefix work.
+cargo run --release --offline -p chaser-bench --bin warm_start_smoke

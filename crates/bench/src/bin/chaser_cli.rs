@@ -7,16 +7,18 @@
 
 use chaser::analysis::TraceAnalysis;
 use chaser::{
-    AppSpec, Chaser, DeterministicInjector, GroupInjector, IntermittentInjector,
-    ProbabilisticInjector, RunOptions,
+    AppSpec, Campaign, CampaignConfig, Chaser, DeterministicInjector, GroupInjector,
+    IntermittentInjector, ProbabilisticInjector, RankPool, RunOptions,
 };
 use chaser_bench::HarnessArgs;
+use chaser_isa::InsnClass;
 use std::io::{BufRead, Write};
 
 struct Cli {
     chaser: Chaser,
     app: Option<AppSpec>,
     golden: Option<chaser::RunReport>,
+    warm_start: bool,
 }
 
 fn build_app(name: &str, args: &HarnessArgs) -> Option<AppSpec> {
@@ -41,6 +43,7 @@ impl Cli {
             chaser,
             app: None,
             golden: None,
+            warm_start: false,
         }
     }
 
@@ -93,6 +96,24 @@ impl Cli {
                 None => println!("no app loaded (use `load <app>` first)"),
             },
             "run" => self.run_pending(),
+            "warm" => match parts.next() {
+                Some("on") => {
+                    self.warm_start = true;
+                    println!("warm start on: campaigns restore runs from a CoW checkpoint");
+                }
+                Some("off") => {
+                    self.warm_start = false;
+                    println!("warm start off: campaigns execute every run from launch");
+                }
+                _ => println!(
+                    "warm start is {} (use `warm on` / `warm off`)",
+                    if self.warm_start { "on" } else { "off" }
+                ),
+            },
+            "campaign" => {
+                let runs = parts.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+                self.run_campaign(runs);
+            }
             "commands" => {
                 for spec in self.chaser.commands() {
                     println!("  {}", spec.help);
@@ -198,6 +219,52 @@ impl Cli {
         }
     }
 
+    /// Runs a fault-injection campaign over the loaded app, honouring the
+    /// `warm` toggle, and dumps outcome counts plus snapshot statistics.
+    fn run_campaign(&self, runs: u64) {
+        let Some(app) = self.app.clone() else {
+            println!("no app loaded (use `load <app>` first)");
+            return;
+        };
+        let campaign = Campaign::new(
+            app,
+            CampaignConfig {
+                runs,
+                classes: vec![InsnClass::FpArith, InsnClass::Mov],
+                rank_pool: RankPool::Random,
+                warm_start: self.warm_start,
+                ..CampaignConfig::default()
+            },
+        );
+        println!(
+            "running {} injection runs ({})...",
+            runs,
+            if self.warm_start {
+                "warm-started from a CoW checkpoint"
+            } else {
+                "cold"
+            }
+        );
+        let result = campaign.run();
+        let counts = result.outcome_counts();
+        let (b, s, t) = counts.percentages();
+        println!(
+            "outcomes: {} benign ({b:.1}%), {} SDC ({s:.1}%), {} terminated ({t:.1}%), \
+             {} skipped",
+            counts.benign, counts.sdc, counts.terminated, result.skipped
+        );
+        let snap = result.snapshot_stats;
+        if snap.restores > 0 {
+            println!(
+                "snapshot stats: {} restores, {} insns skipped, \
+                 {} pages shared, {} privatised by CoW",
+                snap.restores, snap.insns_skipped, snap.pages_shared, snap.pages_cow
+            );
+        } else {
+            println!("snapshot stats: no restores (cold campaign or no usable checkpoint)");
+        }
+    }
+
     fn help(&self) {
         println!("commands:");
         println!("  apps                         list loadable applications");
@@ -208,6 +275,8 @@ impl Cli {
         println!("  inject_fault_prob …          arm the probabilistic injector");
         println!("  inject_fault_group …         arm the group injector");
         println!("  run                          execute the armed injection (traced)");
+        println!("  warm [on|off]                toggle campaign warm start (CoW checkpoint)");
+        println!("  campaign [runs]              run an FI campaign; dumps snapshot stats");
         println!("  quit                         leave");
     }
 }

@@ -7,7 +7,8 @@ use crate::journal::{
 };
 use crate::outcome::{Outcome, TermCause};
 use crate::session::{
-    prepare_app, run_app, run_prepared, AppSpec, PreparedApp, RunOptions, RunReport,
+    prepare_app, run_app, run_prepared, run_warm, warm_start_for, AppSpec, PreparedApp, RunOptions,
+    RunReport, SnapshotStats, WarmStartOptions,
 };
 use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
 use crate::tracer::TracerConfig;
@@ -60,6 +61,15 @@ pub struct CampaignConfig {
     /// path: every run translates from scratch. Outcomes are identical
     /// either way; this is the ablation knob behind the Fig. 10 numbers.
     pub shared_tb_cache: bool,
+    /// Warm-start: execute the fault-free prefix once, freeze the cluster
+    /// in a copy-on-write [`chaser_mpi::ClusterSnapshot`] at the last
+    /// round boundary before any targetable instruction executes, and
+    /// restore every injection run from that shared checkpoint so workers
+    /// execute only the suffix. The outcome CSV is byte-identical to a
+    /// cold campaign on the same seed; the win is the skipped prefix
+    /// instructions (reported in
+    /// [`CampaignResult::snapshot_stats`]).
+    pub warm_start: bool,
     /// Per-run watchdog budget (instructions / rounds) applied to every
     /// injection run; merged with the cluster configuration's own budget,
     /// tighter bound wins. Default unlimited.
@@ -85,6 +95,7 @@ impl Default for CampaignConfig {
             tracing: false,
             tracer: TracerConfig::default(),
             shared_tb_cache: true,
+            warm_start: false,
             run_budget: RunBudget::default(),
             panic_runs: Vec::new(),
         }
@@ -220,6 +231,11 @@ pub struct CampaignResult {
     /// Translation-cache statistics summed over every injection run
     /// (skipped runs included; the golden and profiling runs are not).
     pub cache_stats: CacheStats,
+    /// Snapshot/restore counters summed over the injection runs this
+    /// process executed (all zero unless `warm_start` was on; rows a
+    /// resume replayed from a journal contribute nothing — the row codec
+    /// carries outcomes, not performance counters).
+    pub snapshot_stats: SnapshotStats,
 }
 
 impl CampaignResult {
@@ -542,8 +558,26 @@ impl Campaign {
     /// Prepares the application for this campaign: golden run, profiling
     /// run, and (warmed by the golden run) the per-node base translation
     /// caches shared across workers when `cfg.shared_tb_cache` is set.
+    /// With `cfg.warm_start`, additionally captures the shared
+    /// copy-on-write checkpoint every injection run restores from.
     pub fn prepare(&self) -> PreparedApp {
-        prepare_app(&self.app, &self.cfg.classes)
+        let mut prepared = prepare_app(&self.app, &self.cfg.classes);
+        if self.cfg.warm_start {
+            let ranks: Vec<u32> = match self.cfg.rank_pool {
+                RankPool::Master => vec![0],
+                RankPool::Random => (0..self.app.nranks()).collect(),
+            };
+            prepared.warm = warm_start_for(
+                &prepared,
+                &WarmStartOptions {
+                    classes: self.cfg.classes.clone(),
+                    ranks,
+                    tracing: self.cfg.tracing,
+                    budget: self.cfg.run_budget,
+                },
+            );
+        }
+        prepared
     }
 
     /// Executes the campaign: one golden + one profiling run, then
@@ -629,15 +663,18 @@ impl Campaign {
         }
     }
 
-    /// Fingerprint of every outcome-relevant configuration knob.
-    /// `parallelism` and `shared_tb_cache` are excluded: worker count and
-    /// cache sharing change performance, never outcomes.
+    /// Fingerprint of every configuration knob that shapes the journal's
+    /// contents or provenance. Only `parallelism` is excluded: which
+    /// worker computed a row never changes it. `shared_tb_cache` and
+    /// `warm_start` *are* included even though both are replay-equivalent
+    /// knobs — a journal must be finished under the exact execution regime
+    /// that started it, or its rows mix provenances silently.
     fn config_fingerprint(&self) -> u64 {
         let c = &self.cfg;
         let mut h = Fnv1a::new();
         h.write(
             format!(
-                "{};{};{:?};{:?};{};{:?};{};{:?};{:?};{:?}",
+                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{:?};{:?}",
                 c.runs,
                 c.seed,
                 c.classes,
@@ -646,6 +683,8 @@ impl Campaign {
                 c.operand,
                 c.tracing,
                 c.tracer,
+                c.shared_tb_cache,
+                c.warm_start,
                 c.run_budget,
                 c.panic_runs,
             )
@@ -677,6 +716,7 @@ impl Campaign {
         let next = AtomicUsize::new(0);
         let outcomes = Mutex::new(base.outcomes);
         let cache_stats = Mutex::new(base.cache_stats);
+        let snapshot_stats = Mutex::new(SnapshotStats::default());
         let skipped = AtomicU64::new(base.skipped);
 
         std::thread::scope(|scope| {
@@ -687,15 +727,17 @@ impl Campaign {
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&idx) = indices.get(slot) else { break };
                         match catch_unwind(AssertUnwindSafe(|| self.one_run(idx, prepared))) {
-                            Ok((run_cache, Some(outcome))) => {
+                            Ok((run_cache, run_snap, Some(outcome))) => {
                                 cache_stats.lock().expect("poisoned").absorb(run_cache);
+                                snapshot_stats.lock().expect("poisoned").absorb(run_snap);
                                 if let Some(j) = journal {
                                     let _ = j.append_outcome(&outcome);
                                 }
                                 outcomes.lock().expect("poisoned").push(outcome);
                             }
-                            Ok((run_cache, None)) => {
+                            Ok((run_cache, run_snap, None)) => {
                                 cache_stats.lock().expect("poisoned").absorb(run_cache);
+                                snapshot_stats.lock().expect("poisoned").absorb(run_snap);
                                 if let Some(j) = journal {
                                     let _ = j.append_skip(idx, run_cache);
                                 }
@@ -722,13 +764,18 @@ impl Campaign {
             golden_insns: prepared.golden.cluster.total_insns,
             profile_counts: prepared.profile_counts.clone().into_iter().collect(),
             cache_stats: cache_stats.into_inner().expect("poisoned"),
+            snapshot_stats: snapshot_stats.into_inner().expect("poisoned"),
         }
     }
 
     /// Draws the run's fault parameters and executes it. Always returns the
-    /// run's cache statistics; the outcome is `None` when the fault never
-    /// fired.
-    fn one_run(&self, idx: u64, prepared: &PreparedApp) -> (CacheStats, Option<RunOutcome>) {
+    /// run's cache and snapshot statistics; the outcome is `None` when the
+    /// fault never fired.
+    fn one_run(
+        &self,
+        idx: u64,
+        prepared: &PreparedApp,
+    ) -> (CacheStats, SnapshotStats, Option<RunOutcome>) {
         if self.cfg.panic_runs.contains(&idx) {
             panic!("forced harness panic (run {idx})");
         }
@@ -751,7 +798,7 @@ impl Campaign {
             rng.gen_range(0..viable.len().max(1))
                 .min(viable.len().saturating_sub(1)),
         ) else {
-            return (CacheStats::default(), None);
+            return (CacheStats::default(), SnapshotStats::default(), None);
         };
         let class = self.cfg.classes[class_idx];
         let dyn_count = profile[&(rank, class_idx)];
@@ -774,14 +821,17 @@ impl Campaign {
             hook_mpi_symbols: false,
             budget: self.cfg.run_budget,
         };
-        let report = if self.cfg.shared_tb_cache {
+        let report = if prepared.warm.is_some() {
+            run_warm(prepared, &opts, self.cfg.shared_tb_cache)
+        } else if self.cfg.shared_tb_cache {
             run_prepared(prepared, &opts)
         } else {
             run_app(&self.app, &opts)
         };
         let cache_stats = report.cache_stats;
+        let snap_stats = report.snapshot;
         if !report.injected() {
-            return (cache_stats, None);
+            return (cache_stats, snap_stats, None);
         }
         let outcome = report.classify_against(golden);
         let outcome = RunOutcome {
@@ -799,7 +849,7 @@ impl Campaign {
             record: report.injections.first().cloned(),
             cache_stats,
         };
-        (cache_stats, Some(outcome))
+        (cache_stats, snap_stats, Some(outcome))
     }
 }
 
@@ -833,6 +883,7 @@ mod tests {
             golden_insns: 0,
             profile_counts: BTreeMap::new(),
             cache_stats: CacheStats::default(),
+            snapshot_stats: SnapshotStats::default(),
         }
     }
 

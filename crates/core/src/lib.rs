@@ -84,8 +84,9 @@ pub use models::{
 pub use outcome::{classify, diff_outputs, CorruptedRegion, Outcome, TermCause};
 pub use plugin::{CommandSpec, FiInterface, FiPlugin, HostState, PluginError, PluginHost};
 pub use session::{
-    prepare_app, profile_app, run_app, run_app_insn_traced, run_prepared, AppSpec, Chaser,
-    PreparedApp, RunOptions, RunReport,
+    prepare_app, profile_app, run_app, run_app_insn_traced, run_prepared, run_warm, warm_start_for,
+    AppSpec, Chaser, PreparedApp, RunOptions, RunReport, SnapshotStats, WarmStart,
+    WarmStartOptions,
 };
 
 // Re-exported so cache-aware callers (benches, campaign analyses) can name

@@ -7,10 +7,11 @@ use crate::plugin::{FiInterface, FiPlugin, HostState, PluginError, PluginHost};
 use crate::spec::InjectionSpec;
 use crate::tracer::{TraceSummary, Tracer, TracerConfig};
 use chaser_isa::{abi, InsnClass, Program};
-use chaser_mpi::{Cluster, ClusterConfig, ClusterRun, NetStats, RunBudget};
+use chaser_mpi::{Cluster, ClusterConfig, ClusterRun, ClusterSnapshot, NetStats, RunBudget};
 use chaser_tainthub::HubStats;
 use chaser_tcg::{BaseLayer, CacheStats};
 use chaser_vm::{FnHookSink, InjectSink, NodeTranslateHook, TaintEventSink, VmiSink};
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -104,6 +105,32 @@ impl RunOptions {
     }
 }
 
+/// Snapshot/restore counters for one run (or summed over a campaign).
+/// All zero on cold runs; a warm-started run reports one restore plus its
+/// copy-on-write page traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotStats {
+    /// Cluster restores performed (1 for a warm run, 0 for a cold one).
+    pub restores: u64,
+    /// Pages adopted `Arc`-shared (zero-copy) from the snapshot.
+    pub pages_shared: u64,
+    /// Shared pages privatised by a suffix write (the run's dirty set).
+    pub pages_cow: u64,
+    /// Guest instructions the checkpointed prefix covered — work a warm
+    /// run did *not* re-execute.
+    pub insns_skipped: u64,
+}
+
+impl SnapshotStats {
+    /// Accumulates `other` into `self` (campaign-level aggregation).
+    pub fn absorb(&mut self, other: SnapshotStats) {
+        self.restores += other.restores;
+        self.pages_shared += other.pages_shared;
+        self.pages_cow += other.pages_cow;
+        self.insns_skipped += other.insns_skipped;
+    }
+}
+
 /// Everything one run produced.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -135,6 +162,8 @@ pub struct RunReport {
     pub fn_hook_hits: Vec<(u64, u64, [u64; 6])>,
     /// Translation-cache statistics aggregated over the run's nodes.
     pub cache_stats: CacheStats,
+    /// Snapshot/restore counters (all zero on cold runs).
+    pub snapshot: SnapshotStats,
 }
 
 impl RunReport {
@@ -220,21 +249,71 @@ pub fn run_app(app: &AppSpec, opts: &RunOptions) -> RunReport {
     run_app_inner(app, opts, None)
 }
 
-fn run_app_inner(
-    app: &AppSpec,
-    opts: &RunOptions,
-    base_caches: Option<&[Arc<BaseLayer>]>,
-) -> RunReport {
-    // The paper's "fault propagation tracing" switch governs the whole
-    // taint machinery (DECAF++-style elastic tainting): with tracing off,
-    // no shadow state is maintained at all, which is what makes the
-    // FI-only configuration nearly free (Fig. 10).
+/// The cluster configuration a run actually executes under. The paper's
+/// "fault propagation tracing" switch governs the whole taint machinery
+/// (DECAF++-style elastic tainting): with tracing off, no shadow state is
+/// maintained at all, which is what makes the FI-only configuration nearly
+/// free (Fig. 10). The per-run watchdog budget is merged in (tighter bound
+/// wins). A warm-start prefix must be captured under this same effective
+/// configuration, or replay equivalence breaks.
+fn effective_cluster_cfg(app: &AppSpec, opts: &RunOptions) -> ClusterConfig {
     let mut cluster_cfg = app.cluster.clone();
     if !opts.tracing {
         cluster_cfg.taint_policy = chaser_taint::TaintPolicy::Disabled;
     }
     cluster_cfg.run_budget = cluster_cfg.run_budget.merge(opts.budget);
-    let mut cluster = Cluster::new(cluster_cfg);
+    cluster_cfg
+}
+
+/// Drives `cluster` to completion, sampling tainted-byte counts into the
+/// tracer after every round.
+fn run_sampled(cluster: &mut Cluster, tracer: Option<&Rc<RefCell<Tracer>>>) -> ClusterRun {
+    cluster.run_with(|c| {
+        if let Some(tr) = tracer {
+            let total = c.total_insns();
+            let tainted: usize = c
+                .nodes()
+                .iter()
+                .map(|n| n.taint().mem().tainted_bytes())
+                .sum();
+            tr.borrow_mut().maybe_sample(total, tainted);
+        }
+    })
+}
+
+/// Assembles the [`RunReport`] shared by every run flavour.
+fn build_report(
+    cluster: &Cluster,
+    cluster_run: ClusterRun,
+    injector: Option<&Rc<Injector>>,
+    tracer: Option<Rc<RefCell<Tracer>>>,
+    fn_logger: Option<Rc<RefCell<FnHookLogger>>>,
+    snapshot: SnapshotStats,
+) -> RunReport {
+    let (outputs, stdouts) = collect_rank_files(cluster);
+    RunReport {
+        cluster: cluster_run,
+        outputs,
+        stdouts,
+        injections: injector.map(|i| i.records()).unwrap_or_default(),
+        injector_exec_count: injector.map_or(0, |i| i.exec_count()),
+        trace: tracer.map(|tr| tr.borrow().summary().clone()),
+        hub_stats: cluster.hub().stats(),
+        hub_pending: cluster.hub().pending(),
+        hub_published: cluster.hub().published_total(),
+        net: cluster.net_stats(),
+        fn_hook_hits: fn_logger.map_or_else(Vec::new, |l| l.borrow().hits.clone()),
+        cache_stats: cluster.tb_cache_stats(),
+        snapshot,
+    }
+}
+
+fn run_app_inner(
+    app: &AppSpec,
+    opts: &RunOptions,
+    base_caches: Option<&[Arc<BaseLayer>]>,
+) -> RunReport {
+    let mut cluster = Cluster::new(effective_cluster_cfg(app, opts));
     if let Some(bases) = base_caches {
         cluster.install_base_caches(bases);
     }
@@ -291,35 +370,15 @@ fn run_app_inner(
         }
     }
 
-    let sample_tracer = tracer.clone();
-    let cluster_run = cluster.run_with(|c| {
-        if let Some(tr) = &sample_tracer {
-            let total = c.total_insns();
-            let tainted: usize = c
-                .nodes()
-                .iter()
-                .map(|n| n.taint().mem().tainted_bytes())
-                .sum();
-            tr.borrow_mut().maybe_sample(total, tainted);
-        }
-    });
-
-    let (outputs, stdouts) = collect_rank_files(&cluster);
-
-    RunReport {
-        cluster: cluster_run,
-        outputs,
-        stdouts,
-        injections: injector.as_ref().map(|i| i.records()).unwrap_or_default(),
-        injector_exec_count: injector.as_ref().map_or(0, |i| i.exec_count()),
-        trace: tracer.map(|tr| tr.borrow().summary().clone()),
-        hub_stats: cluster.hub().stats(),
-        hub_pending: cluster.hub().pending(),
-        hub_published: cluster.hub().published_total(),
-        net: cluster.net_stats(),
-        fn_hook_hits: fn_logger.map_or_else(Vec::new, |l| l.borrow().hits.clone()),
-        cache_stats: cluster.tb_cache_stats(),
-    }
+    let cluster_run = run_sampled(&mut cluster, tracer.as_ref());
+    build_report(
+        &cluster,
+        cluster_run,
+        injector.as_ref(),
+        tracer,
+        fn_logger,
+        SnapshotStats::default(),
+    )
 }
 
 /// An application prepared for repeated campaign runs: the golden
@@ -338,6 +397,179 @@ pub struct PreparedApp {
     pub profile_counts: HashMap<(u32, usize), u64>,
     /// Clean-TB base layers, one per node, warmed by the golden run.
     pub base_caches: Vec<Arc<BaseLayer>>,
+    /// Warm-start checkpoint, when one was captured (see
+    /// [`warm_start_for`]). `None` means every run executes from launch.
+    pub warm: Option<WarmStart>,
+}
+
+/// A warm-start checkpoint shared by every injection run of a campaign:
+/// the cluster frozen at the last round boundary *before any targetable
+/// instruction executes*. Each run's trigger count is at least 1, so no
+/// fault can fire inside the checkpointed prefix — restoring it and
+/// executing only the suffix is replay-equivalent to a cold run.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// The copy-on-write checkpoint every warm run restores from. Guest
+    /// pages inside are `Arc`-shared across worker threads; each run
+    /// privatises only the pages its suffix writes.
+    pub snapshot: Arc<ClusterSnapshot>,
+    /// Scheduler rounds the checkpointed prefix covers.
+    pub safe_rounds: u64,
+    /// Guest instructions the prefix retired (skipped by every warm run).
+    pub prefix_insns: u64,
+}
+
+/// What a warm-start capture must know about the campaign it serves: the
+/// `(rank, class)` pairs faults may target, and the per-run execution
+/// regime (tracing, watchdog budget) the prefix must be captured under.
+#[derive(Debug, Clone)]
+pub struct WarmStartOptions {
+    /// Instruction classes faults may target.
+    pub classes: Vec<InsnClass>,
+    /// Ranks faults may target (the campaign's rank pool, expanded).
+    pub ranks: Vec<u32>,
+    /// Whether campaign runs trace fault propagation.
+    pub tracing: bool,
+    /// The campaign's per-run watchdog budget.
+    pub budget: RunBudget,
+}
+
+/// Captures a warm-start checkpoint for `prepared` under `wopts`, in two
+/// passes over the fault-free execution:
+///
+/// 1. **Trigger-site analysis** — a profiled cluster steps round by round
+///    to find the largest prefix with zero dynamic executions of any
+///    campaign class on any targetable rank. Since every run draws a
+///    trigger count of at least 1, no fault can fire inside that prefix.
+/// 2. **Capture** — a hook-free cluster replays the safe prefix under the
+///    exact effective configuration injection runs execute with (same
+///    taint policy, same merged budget — RNG streams and round clocks must
+///    line up), and is frozen at the round boundary.
+///
+/// Returns `None` when warm-starting cannot help: the first targetable
+/// instruction executes in round 0, or none ever executes (every campaign
+/// run would skip anyway).
+pub fn warm_start_for(prepared: &PreparedApp, wopts: &WarmStartOptions) -> Option<WarmStart> {
+    let app = &prepared.app;
+    let run_opts = RunOptions {
+        tracing: wopts.tracing,
+        budget: wopts.budget,
+        ..RunOptions::default()
+    };
+    let cfg = effective_cluster_cfg(app, &run_opts);
+    let program_refs: Vec<&Program> = app.programs.iter().collect();
+
+    let mut probe = Cluster::new(cfg.clone());
+    let profile = ProfileHook::new(app.name.clone(), wopts.classes.clone());
+    wire_cluster_hooks(
+        &mut probe,
+        Some(instrument_sinks(
+            Rc::clone(&profile) as Rc<dyn NodeTranslateHook>,
+            ProfileHandle(Rc::clone(&profile)),
+        )),
+        None,
+        None,
+    );
+    probe.launch(&program_refs).expect("launch application");
+    let mut safe_rounds = 0;
+    loop {
+        if probe.finished() {
+            return None;
+        }
+        probe.step_round();
+        let counts = profile.counts();
+        let fired = wopts.ranks.iter().any(|&r| {
+            (0..wopts.classes.len()).any(|ci| counts.get(&(r, ci)).copied().unwrap_or(0) > 0)
+        });
+        if fired {
+            break;
+        }
+        safe_rounds = probe.round();
+    }
+    if safe_rounds == 0 {
+        return None;
+    }
+
+    let mut prefix = Cluster::new(cfg);
+    prefix.install_base_caches(&prepared.base_caches);
+    prefix.launch(&program_refs).expect("launch application");
+    for _ in 0..safe_rounds {
+        prefix.step_round();
+    }
+    let snap = prefix.snapshot();
+    Some(WarmStart {
+        safe_rounds,
+        prefix_insns: snap.total_insns(),
+        snapshot: Arc::new(snap),
+    })
+}
+
+/// Runs the prepared application once from its warm-start checkpoint:
+/// restores the shared snapshot (zero-copy; guest pages go copy-on-write),
+/// wires this run's hooks, replays VMI process-creation events so the
+/// injector arms exactly as a cold run's would, and executes only the
+/// suffix. With `share_base_caches`, nodes are also born holding the
+/// golden-warmed base translation layers.
+///
+/// Replay-equivalent to [`run_prepared`] under the same options: the
+/// checkpoint predates every possible trigger site and RNG streams resume
+/// at their captured positions, so the report matches a cold run's (modulo
+/// `cache_stats` and the `snapshot` counters).
+///
+/// # Panics
+///
+/// Panics when `prepared` carries no checkpoint, or when
+/// `opts.hook_mpi_symbols` is set (unsupported on the warm path).
+pub fn run_warm(prepared: &PreparedApp, opts: &RunOptions, share_base_caches: bool) -> RunReport {
+    let warm = prepared
+        .warm
+        .as_ref()
+        .expect("prepared application has no warm-start checkpoint");
+    assert!(
+        !opts.hook_mpi_symbols,
+        "symbol hooks are not supported on the warm path"
+    );
+    let app = &prepared.app;
+    let mut cluster = Cluster::from_snapshot(effective_cluster_cfg(app, opts), &warm.snapshot);
+
+    let injector = opts.spec.clone().map(Injector::new);
+    let tracer = opts
+        .tracing
+        .then(|| Rc::new(RefCell::new(Tracer::new(opts.tracer))));
+    wire_cluster_hooks(
+        &mut cluster,
+        injector.as_ref().map(|inj| {
+            instrument_sinks(
+                Rc::clone(inj) as Rc<dyn NodeTranslateHook>,
+                InjectorHandle(Rc::clone(inj)),
+            )
+        }),
+        tracer
+            .as_ref()
+            .map(|tr| Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>),
+        None,
+    );
+    cluster.replay_vmi_creations();
+    if share_base_caches {
+        cluster.install_base_caches(&prepared.base_caches);
+    }
+
+    let cluster_run = run_sampled(&mut cluster, tracer.as_ref());
+    let mem = cluster.mem_stats();
+    let snapshot = SnapshotStats {
+        restores: 1,
+        pages_shared: mem.pages_shared,
+        pages_cow: mem.pages_cow,
+        insns_skipped: warm.prefix_insns,
+    };
+    build_report(
+        &cluster,
+        cluster_run,
+        injector.as_ref(),
+        tracer,
+        None,
+        snapshot,
+    )
 }
 
 /// Prepares `app` for repeated runs: executes one hook-free golden run,
@@ -364,21 +596,14 @@ pub fn prepare_app(app: &AppSpec, classes: &[InsnClass]) -> PreparedApp {
         !cluster_run.hang,
         "golden run hung — application or cluster configuration is broken"
     );
-    let (outputs, stdouts) = collect_rank_files(&cluster);
-    let golden = RunReport {
-        cluster: cluster_run,
-        outputs,
-        stdouts,
-        injections: Vec::new(),
-        injector_exec_count: 0,
-        trace: None,
-        hub_stats: cluster.hub().stats(),
-        hub_pending: cluster.hub().pending(),
-        hub_published: cluster.hub().published_total(),
-        net: cluster.net_stats(),
-        fn_hook_hits: Vec::new(),
-        cache_stats: cluster.tb_cache_stats(),
-    };
+    let golden = build_report(
+        &cluster,
+        cluster_run,
+        None,
+        None,
+        None,
+        SnapshotStats::default(),
+    );
     let base_caches = cluster.seal_tb_caches();
     let (_, profile_counts) = profile_app(app, classes);
     PreparedApp {
@@ -386,6 +611,7 @@ pub fn prepare_app(app: &AppSpec, classes: &[InsnClass]) -> PreparedApp {
         golden,
         profile_counts,
         base_caches,
+        warm: None,
     }
 }
 
@@ -420,22 +646,14 @@ pub fn profile_app(
     let program_refs: Vec<&Program> = app.programs.iter().collect();
     cluster.launch(&program_refs).expect("launch application");
     let cluster_run = cluster.run();
-
-    let (outputs, stdouts) = collect_rank_files(&cluster);
-    let report = RunReport {
-        cluster: cluster_run,
-        outputs,
-        stdouts,
-        injections: Vec::new(),
-        injector_exec_count: 0,
-        trace: None,
-        hub_stats: cluster.hub().stats(),
-        hub_pending: cluster.hub().pending(),
-        hub_published: cluster.hub().published_total(),
-        net: cluster.net_stats(),
-        fn_hook_hits: Vec::new(),
-        cache_stats: cluster.tb_cache_stats(),
-    };
+    let report = build_report(
+        &cluster,
+        cluster_run,
+        None,
+        None,
+        None,
+        SnapshotStats::default(),
+    );
     (report, profile.counts())
 }
 
@@ -462,21 +680,14 @@ pub fn run_app_insn_traced(
     let program_refs: Vec<&Program> = app.programs.iter().collect();
     cluster.launch(&program_refs).expect("launch application");
     let cluster_run = cluster.run();
-    let (outputs, stdouts) = collect_rank_files(&cluster);
-    let report = RunReport {
-        cluster: cluster_run,
-        outputs,
-        stdouts,
-        injections: Vec::new(),
-        injector_exec_count: 0,
-        trace: None,
-        hub_stats: cluster.hub().stats(),
-        hub_pending: cluster.hub().pending(),
-        hub_published: cluster.hub().published_total(),
-        net: cluster.net_stats(),
-        fn_hook_hits: Vec::new(),
-        cache_stats: cluster.tb_cache_stats(),
-    };
+    let report = build_report(
+        &cluster,
+        cluster_run,
+        None,
+        None,
+        None,
+        SnapshotStats::default(),
+    );
     (report, tracer.summary())
 }
 

@@ -1,0 +1,110 @@
+//! Warm-start replay equivalence: a campaign whose runs restore from the
+//! shared copy-on-write checkpoint must classify byte-identically to a
+//! cold campaign on the same seed, while measurably skipping prefix work.
+
+use chaser::{AppSpec, Campaign, CampaignConfig, RankPool};
+use chaser_isa::InsnClass;
+use chaser_workloads::matvec;
+
+/// Matvec on a fine scheduling quantum, so the fault-free prefix (MPI
+/// init, broadcast of `x`, first row sends) spans several rounds before
+/// the first worker fp instruction — a real prefix for the checkpoint.
+fn app() -> AppSpec {
+    let mv = matvec::MatvecConfig::default();
+    let mut app = AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 2);
+    app.cluster.quantum = 200;
+    app
+}
+
+fn config(warm_start: bool, tracing: bool) -> CampaignConfig {
+    CampaignConfig {
+        runs: 24,
+        seed: 0x5EED_CAFE,
+        parallelism: 2,
+        classes: vec![InsnClass::FpArith],
+        rank_pool: RankPool::Random,
+        tracing,
+        warm_start,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn warm_campaign_matches_cold_byte_for_byte() {
+    let cold = Campaign::new(app(), config(false, false)).run();
+    let warm = Campaign::new(app(), config(true, false)).run();
+    assert_eq!(
+        cold.to_csv(),
+        warm.to_csv(),
+        "warm-start changed campaign outcomes"
+    );
+    assert_eq!(cold.skipped, warm.skipped);
+
+    // Cold runs never restore; every warm run that executes restores once.
+    // Runs whose drawn rank has no viable class skip before any cluster is
+    // built (the master never computes fp), on both paths alike.
+    assert_eq!(cold.snapshot_stats, chaser::SnapshotStats::default());
+    let s = warm.snapshot_stats;
+    assert_eq!(
+        s.restores,
+        24 - warm.skipped,
+        "every executed warm run must restore the checkpoint"
+    );
+    assert!(s.pages_shared > 0, "restores must adopt shared pages");
+    assert!(
+        s.pages_cow < s.pages_shared,
+        "the suffix dirty set must stay below full residency (CoW wins)"
+    );
+    // The warm-vs-cold ablation claim: each run skipped the prefix.
+    assert!(s.insns_skipped > 0, "warm runs must skip prefix work");
+    let skipped_per_run = s.insns_skipped / s.restores;
+    for run in &warm.outcomes {
+        assert!(
+            run.total_insns >= skipped_per_run,
+            "reported totals must include the restored prefix"
+        );
+    }
+}
+
+#[test]
+fn resume_rejects_journal_from_a_different_execution_regime() {
+    let dir = std::env::temp_dir().join(format!("chaser-warm-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("campaign.jsonl");
+    Campaign::new(app(), config(false, false))
+        .run_journaled(&path)
+        .expect("journaled run");
+
+    // A journal written cold must not be finished warm (or with cache
+    // sharing toggled): both knobs are part of the config fingerprint.
+    let warm = Campaign::new(app(), config(true, false)).resume(&path);
+    assert!(
+        matches!(warm, Err(chaser::JournalError::HeaderMismatch { .. })),
+        "resume accepted a journal from a different warm_start regime"
+    );
+    let mut cfg = config(false, false);
+    cfg.shared_tb_cache = false;
+    let uncached = Campaign::new(app(), cfg).resume(&path);
+    assert!(
+        matches!(uncached, Err(chaser::JournalError::HeaderMismatch { .. })),
+        "resume accepted a journal from a different shared_tb_cache regime"
+    );
+
+    // Unchanged config still resumes cleanly.
+    let same = Campaign::new(app(), config(false, false)).resume(&path);
+    assert!(same.is_ok(), "identical config must resume");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn warm_campaign_matches_cold_with_tracing() {
+    let cold = Campaign::new(app(), config(false, true)).run();
+    let warm = Campaign::new(app(), config(true, true)).run();
+    assert_eq!(
+        cold.to_csv(),
+        warm.to_csv(),
+        "warm-start changed traced campaign outcomes"
+    );
+    assert!(warm.snapshot_stats.restores > 0);
+}

@@ -52,7 +52,7 @@ impl CollReq {
 }
 
 /// Tracks the globally current collective until every live rank has joined.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CollectiveSlot {
     arrived: Vec<Option<CollReq>>,
 }

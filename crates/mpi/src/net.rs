@@ -76,7 +76,13 @@ struct InFlight {
 /// one property fault propagation cares about: messages arrive *later* than
 /// they were sent, so taint status must be synchronised out-of-band — the
 /// reason TaintHub exists).
-#[derive(Debug, Default)]
+///
+/// `Clone` captures the complete fabric state — in-flight messages, the
+/// global sequence counter, the per-pair ordering floors and the *current
+/// position* of the fault-stream RNG (no re-seed). Cluster snapshots rely
+/// on this: a restored interconnect replays exactly the drops, duplicates
+/// and delays the original would have produced.
+#[derive(Debug, Default, Clone)]
 pub struct Interconnect {
     queues: Vec<Vec<InFlight>>,
     latency: u64,
@@ -241,6 +247,30 @@ impl Interconnect {
     /// Counter snapshot.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Visits every in-flight message in deterministic (queue, insertion)
+    /// order as `(dest, deliver_at, seq, envelope)` — state digests hash
+    /// this to compare fabrics.
+    pub fn for_each_in_flight(&self, mut f: impl FnMut(u32, u64, u64, &Envelope)) {
+        for (dest, q) in self.queues.iter().enumerate() {
+            for m in q {
+                f(dest as u32, m.deliver_at, m.seq, &m.env);
+            }
+        }
+    }
+
+    /// The global send-sequence counter (monotone over the fabric's life).
+    pub fn seq_counter(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The per-pair delivery-time floors in sorted order (deterministic,
+    /// unlike the backing map's iteration order).
+    pub fn pair_floors_sorted(&self) -> Vec<((u32, u32), u64)> {
+        let mut floors: Vec<_> = self.pair_floor.iter().map(|(k, v)| (*k, *v)).collect();
+        floors.sort_unstable();
+        floors
     }
 }
 

@@ -79,6 +79,25 @@ impl ShadowMem {
         self.pages.clear();
         self.tainted_bytes = 0;
     }
+
+    /// Visits every shadow page holding at least one tainted byte, in
+    /// ascending physical-page order, as `(page_base_paddr, masks)`.
+    ///
+    /// Allocated-but-fully-clean pages (taint written then cleared) are
+    /// skipped, so the visit sequence is a pure function of the tainted
+    /// set — two executions with identical taint contents visit identical
+    /// sequences regardless of allocation history. This is what state
+    /// digests hash.
+    pub fn for_each_tainted_page(&self, mut f: impl FnMut(u64, &[u8])) {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        for page in keys {
+            let bytes = &self.pages[&page][..];
+            if bytes.iter().any(|&b| b != 0) {
+                f(page * SHADOW_PAGE as u64, bytes);
+            }
+        }
+    }
 }
 
 fn split(paddr: u64) -> (u64, usize) {

@@ -221,6 +221,60 @@ impl TaintHub {
         inner.map.clear();
         inner.stats = HubStats::default();
     }
+
+    /// Freezes the hub's full state — every queued record plus the
+    /// counters — into a [`HubSnapshot`]. Queues are stored in sorted
+    /// `MsgId` order so the snapshot is deterministic regardless of map
+    /// iteration order.
+    pub fn snapshot(&self) -> HubSnapshot {
+        let inner = self.inner.lock();
+        let mut queues: Vec<(MsgId, Vec<TaintRecord>)> = inner
+            .map
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(id, q)| (*id, q.iter().cloned().collect()))
+            .collect();
+        queues.sort_unstable_by_key(|(id, _)| (id.src, id.dest, id.tag));
+        HubSnapshot {
+            queues,
+            stats: inner.stats,
+        }
+    }
+
+    /// Replaces the hub's state with the snapshot's (records and counters).
+    pub fn restore(&self, snap: &HubSnapshot) {
+        let mut inner = self.inner.lock();
+        inner.map = snap
+            .queues
+            .iter()
+            .map(|(id, q)| (*id, q.iter().cloned().collect()))
+            .collect();
+        inner.stats = snap.stats;
+    }
+}
+
+/// A frozen image of a [`TaintHub`]: queued records in sorted-id order plus
+/// the counters, cheap to clone and shareable across threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HubSnapshot {
+    queues: Vec<(MsgId, Vec<TaintRecord>)>,
+    stats: HubStats,
+}
+
+impl HubSnapshot {
+    /// Visits every queued record in deterministic order (for digests).
+    pub fn for_each_record(&self, mut f: impl FnMut(MsgId, &TaintRecord)) {
+        for (id, q) in &self.queues {
+            for rec in q {
+                f(*id, rec);
+            }
+        }
+    }
+
+    /// Total queued records captured.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|(_, q)| q.len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +372,29 @@ mod tests {
         let rec = hub.poll_matching(ID, 5).expect("record for seq 5");
         assert_eq!(rec.seq, 5);
         assert!(hub.poll_matching(ID, 5).is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_records_and_stats() {
+        let hub = TaintHub::new();
+        hub.publish_seq_at(ID, 3, vec![0xff, 0], 10);
+        hub.publish_seq_at(ID, 5, vec![1], 11);
+        let snap = hub.snapshot();
+        assert_eq!(snap.pending(), 2);
+        // Mutate the hub past the capture point...
+        hub.poll_matching(ID, 3);
+        hub.publish(ID, vec![9]);
+        // ...then restore a fresh hub and check it matches the capture.
+        let other = TaintHub::new();
+        other.restore(&snap);
+        assert_eq!(other.snapshot(), snap);
+        assert_eq!(
+            other.poll_matching(ID, 3).expect("restored record").masks,
+            vec![0xff, 0]
+        );
+        let mut seen = Vec::new();
+        snap.for_each_record(|id, rec| seen.push((id, rec.seq)));
+        assert_eq!(seen, vec![(ID, 3), (ID, 5)]);
     }
 
     #[test]

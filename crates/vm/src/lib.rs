@@ -63,8 +63,8 @@ pub use hooks::{
     TaintMemEvent,
 };
 pub use kernel::{ExitStatus, Signal};
-pub use mem::{MemFault, MemFaultKind, PhysMemory, DEFAULT_PHYS_BYTES};
-pub use node::{Node, SliceExit, SpawnError};
+pub use mem::{MemFault, MemFaultKind, MemSnapshot, MemStats, PhysMemory, DEFAULT_PHYS_BYTES};
+pub use node::{Node, NodeSnapshot, SliceExit, SpawnError};
 pub use paging::{AddressSpace, PagePerms};
 pub use process::{MpiRequest, ProcState, Process, ProcessFiles};
 pub use vmi::{VmiAction, VmiSink};

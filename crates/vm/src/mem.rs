@@ -1,11 +1,31 @@
 //! Guest physical memory and frame allocation.
+//!
+//! Memory is page-granular and lazily materialised: a page holds no storage
+//! until first written, reads of untouched pages serve a shared zero page.
+//! Pages are either `Owned` (private, writable in place) or `Shared`
+//! (`Arc`-backed, adopted from a [`MemSnapshot`]); writing a `Shared` page
+//! copies it on write. This is what lets a whole cluster checkpoint be
+//! shared across campaign workers the way the layered TB cache shares
+//! translations: the snapshot holds `Arc`s to frozen pages, every restored
+//! node starts by referencing them, and only pages the suffix execution
+//! actually dirties are ever copied.
 
 use chaser_isa::PAGE_SIZE;
 use std::fmt;
+use std::sync::Arc;
 
 /// Default physical memory per node: 64 MiB, plenty for the paper's
 /// mini-app workloads while keeping thousands of campaign runs cheap.
 pub const DEFAULT_PHYS_BYTES: u64 = 64 << 20;
+
+/// Page size in bytes as a usize index width.
+const PAGE_BYTES: usize = PAGE_SIZE as usize;
+
+/// One physical page.
+type Page = [u8; PAGE_BYTES];
+
+/// The canonical all-zero page served for reads of never-written pages.
+static ZERO_PAGE: Page = [0u8; PAGE_BYTES];
 
 /// Why a guest memory access faulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,34 +57,96 @@ impl fmt::Display for MemFault {
 
 impl std::error::Error for MemFault {}
 
+/// Backing storage for one resident physical page.
+#[derive(Clone)]
+enum PageState {
+    /// Private storage, written in place.
+    Owned(Box<Page>),
+    /// Frozen storage adopted from a snapshot; copied on first write.
+    Shared(Arc<Page>),
+}
+
+impl PageState {
+    fn bytes(&self) -> &Page {
+        match self {
+            PageState::Owned(p) => p,
+            PageState::Shared(p) => p,
+        }
+    }
+}
+
+/// Copy-on-write / dirty-page counters for one `PhysMemory`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Pages adopted as `Arc`-shared (zero-copy) when this memory was
+    /// restored from a snapshot.
+    pub pages_shared: u64,
+    /// Shared pages privatised by a write since then (the run's dirty set).
+    pub pages_cow: u64,
+}
+
+impl MemStats {
+    /// Accumulates `other` into `self` (for cluster- and campaign-level
+    /// aggregation).
+    pub fn absorb(&mut self, other: &MemStats) {
+        self.pages_shared += other.pages_shared;
+        self.pages_cow += other.pages_cow;
+    }
+}
+
+/// A frozen, `Arc`-shared image of a `PhysMemory`, cheap to clone and safe
+/// to hand to many worker threads at once. Never-written pages stay `None`
+/// so a snapshot costs storage proportional to the resident set only.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    pages: Vec<Option<Arc<Page>>>,
+    next_frame: u64,
+}
+
+impl MemSnapshot {
+    /// Number of resident (captured) pages in the snapshot.
+    pub fn resident_pages(&self) -> u64 {
+        self.pages.iter().filter(|p| p.is_some()).count() as u64
+    }
+}
+
 /// One node's physical memory plus a bump frame allocator.
 ///
 /// Frames are never freed: campaign runs are short-lived and each run gets
 /// a fresh node, so reclamation buys nothing and would complicate the
 /// deterministic replay story.
-#[derive(Debug, Clone)]
+///
+/// All multi-byte accessors (`read_u64`, `read_bytes`, ...) require the
+/// access to stay within one physical page. Every caller honours this:
+/// frames are page-aligned and the paging layer chunks virtually-contiguous
+/// accesses per page before touching physical memory.
+#[derive(Clone)]
 pub struct PhysMemory {
-    bytes: Vec<u8>,
+    pages: Vec<Option<PageState>>,
     next_frame: u64,
+    stats: MemStats,
 }
 
 impl PhysMemory {
     /// Allocates `size` bytes of zeroed guest RAM (rounded up to a page).
+    /// Storage is lazy: untouched pages occupy no memory.
     pub fn new(size: u64) -> PhysMemory {
-        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let npages = size.div_ceil(PAGE_SIZE) as usize;
         PhysMemory {
-            bytes: vec![0u8; size as usize],
+            pages: vec![None; npages],
             next_frame: 0,
+            stats: MemStats::default(),
         }
     }
 
     /// Total capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.bytes.len() as u64
+        self.pages.len() as u64 * PAGE_SIZE
     }
 
     /// Allocates one zeroed frame, returning its physical base address, or
-    /// `None` when RAM is exhausted.
+    /// `None` when RAM is exhausted. The frame's storage stays lazy until
+    /// first written.
     pub fn alloc_frame(&mut self) -> Option<u64> {
         let base = self.next_frame;
         if base + PAGE_SIZE > self.capacity() {
@@ -74,6 +156,40 @@ impl PhysMemory {
         Some(base)
     }
 
+    /// The resident page backing `paddr` for reads, or the zero page.
+    #[inline]
+    fn page(&self, paddr: u64) -> &Page {
+        match &self.pages[(paddr / PAGE_SIZE) as usize] {
+            Some(state) => state.bytes(),
+            None => &ZERO_PAGE,
+        }
+    }
+
+    /// The private, writable page backing `paddr`, materialising zero pages
+    /// and copying shared pages on demand.
+    #[inline]
+    fn page_mut(&mut self, paddr: u64) -> &mut Page {
+        let slot = &mut self.pages[(paddr / PAGE_SIZE) as usize];
+        match slot {
+            Some(PageState::Owned(p)) => p,
+            Some(PageState::Shared(shared)) => {
+                self.stats.pages_cow += 1;
+                *slot = Some(PageState::Owned(Box::new(**shared)));
+                match slot {
+                    Some(PageState::Owned(p)) => p,
+                    _ => unreachable!("just installed an owned page"),
+                }
+            }
+            None => {
+                *slot = Some(PageState::Owned(Box::new(ZERO_PAGE)));
+                match slot {
+                    Some(PageState::Owned(p)) => p,
+                    _ => unreachable!("just installed an owned page"),
+                }
+            }
+        }
+    }
+
     /// Reads one byte of physical memory.
     ///
     /// # Panics
@@ -81,35 +197,131 @@ impl PhysMemory {
     /// Panics if `paddr` is beyond capacity — physical addresses only come
     /// from the page tables, so this indicates a VM bug, not a guest fault.
     pub fn read_u8(&self, paddr: u64) -> u8 {
-        self.bytes[paddr as usize]
+        self.page(paddr)[(paddr % PAGE_SIZE) as usize]
     }
 
     /// Writes one byte of physical memory.
     pub fn write_u8(&mut self, paddr: u64, v: u8) {
-        self.bytes[paddr as usize] = v;
+        self.page_mut(paddr)[(paddr % PAGE_SIZE) as usize] = v;
     }
 
-    /// Reads a little-endian u64 that does not cross a page boundary check
-    /// (physical memory is flat, so any in-range read is fine).
+    /// Reads a little-endian u64 that must not cross a physical page
+    /// boundary (frames are page-aligned, so the paging layer's fast path
+    /// guarantees this).
     pub fn read_u64(&self, paddr: u64) -> u64 {
-        let p = paddr as usize;
-        u64::from_le_bytes(self.bytes[p..p + 8].try_into().expect("8 bytes"))
+        let off = (paddr % PAGE_SIZE) as usize;
+        debug_assert!(off + 8 <= PAGE_BYTES, "u64 read crosses a page");
+        u64::from_le_bytes(self.page(paddr)[off..off + 8].try_into().expect("8 bytes"))
     }
 
-    /// Writes a little-endian u64.
+    /// Writes a little-endian u64 (same single-page contract as
+    /// [`PhysMemory::read_u64`]).
     pub fn write_u64(&mut self, paddr: u64, v: u64) {
-        let p = paddr as usize;
-        self.bytes[p..p + 8].copy_from_slice(&v.to_le_bytes());
+        let off = (paddr % PAGE_SIZE) as usize;
+        debug_assert!(off + 8 <= PAGE_BYTES, "u64 write crosses a page");
+        self.page_mut(paddr)[off..off + 8].copy_from_slice(&v.to_le_bytes());
     }
 
-    /// Copies bytes out of physical memory.
+    /// Borrows bytes out of physical memory. The range must stay within one
+    /// physical page (all callers chunk per page).
     pub fn read_bytes(&self, paddr: u64, len: usize) -> &[u8] {
-        &self.bytes[paddr as usize..paddr as usize + len]
+        let off = (paddr % PAGE_SIZE) as usize;
+        debug_assert!(off + len <= PAGE_BYTES, "read crosses a physical page");
+        &self.page(paddr)[off..off + len]
     }
 
-    /// Copies bytes into physical memory.
+    /// Copies bytes into physical memory (single-page contract as above).
     pub fn write_bytes(&mut self, paddr: u64, data: &[u8]) {
-        self.bytes[paddr as usize..paddr as usize + data.len()].copy_from_slice(data);
+        let off = (paddr % PAGE_SIZE) as usize;
+        debug_assert!(
+            off + data.len() <= PAGE_BYTES,
+            "write crosses a physical page"
+        );
+        self.page_mut(paddr)[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Copy-on-write counters for this memory.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Freezes the current contents into an `Arc`-shared [`MemSnapshot`].
+    ///
+    /// Owned pages are converted to shared in place (no copy), so taking a
+    /// snapshot is cheap and the snapshotted memory keeps working — its next
+    /// write to any captured page simply pays one CoW copy.
+    pub fn snapshot(&mut self) -> MemSnapshot {
+        let pages = self
+            .pages
+            .iter_mut()
+            .map(|slot| match slot.take() {
+                None => None,
+                Some(PageState::Shared(a)) => {
+                    *slot = Some(PageState::Shared(Arc::clone(&a)));
+                    Some(a)
+                }
+                Some(PageState::Owned(b)) => {
+                    let a: Arc<Page> = Arc::from(b);
+                    *slot = Some(PageState::Shared(Arc::clone(&a)));
+                    Some(a)
+                }
+            })
+            .collect();
+        MemSnapshot {
+            pages,
+            next_frame: self.next_frame,
+        }
+    }
+
+    /// Reconstructs a memory from a snapshot. Every captured page is
+    /// adopted zero-copy as `Shared`; writes privatise pages on demand.
+    pub fn from_snapshot(snap: &MemSnapshot) -> PhysMemory {
+        let mut shared = 0u64;
+        let pages = snap
+            .pages
+            .iter()
+            .map(|p| {
+                p.as_ref().map(|a| {
+                    shared += 1;
+                    PageState::Shared(Arc::clone(a))
+                })
+            })
+            .collect();
+        PhysMemory {
+            pages,
+            next_frame: snap.next_frame,
+            stats: MemStats {
+                pages_shared: shared,
+                pages_cow: 0,
+            },
+        }
+    }
+
+    /// Visits every resident page in address order as `(base_paddr, bytes)`.
+    /// Never-written pages are skipped; because page residency is a
+    /// deterministic function of the writes executed, two equivalent
+    /// executions visit identical sequences — which is what makes this
+    /// usable for state digests.
+    pub fn for_each_resident_page(&self, mut f: impl FnMut(u64, &[u8])) {
+        for (idx, slot) in self.pages.iter().enumerate() {
+            if let Some(state) = slot {
+                f(idx as u64 * PAGE_SIZE, state.bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PhysMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysMemory")
+            .field("capacity", &self.capacity())
+            .field("next_frame", &self.next_frame)
+            .field(
+                "resident_pages",
+                &self.pages.iter().filter(|p| p.is_some()).count(),
+            )
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -153,5 +365,75 @@ mod tests {
     fn capacity_rounds_up_to_page() {
         let m = PhysMemory::new(PAGE_SIZE + 1);
         assert_eq!(m.capacity(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn untouched_pages_read_zero_and_stay_lazy() {
+        let m = PhysMemory::new(8 * PAGE_SIZE);
+        assert_eq!(m.read_u8(3 * PAGE_SIZE + 7), 0);
+        assert_eq!(m.read_u64(5 * PAGE_SIZE), 0);
+        assert_eq!(m.read_bytes(PAGE_SIZE, 16), &[0u8; 16]);
+        let mut resident = 0;
+        m.for_each_resident_page(|_, _| resident += 1);
+        assert_eq!(resident, 0, "reads must not materialise pages");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_contents() {
+        let mut m = PhysMemory::new(4 * PAGE_SIZE);
+        m.write_u64(8, 0x1111_2222_3333_4444);
+        m.write_bytes(2 * PAGE_SIZE + 100, b"hello");
+        let snap = m.snapshot();
+        assert_eq!(snap.resident_pages(), 2);
+
+        let r = PhysMemory::from_snapshot(&snap);
+        assert_eq!(r.read_u64(8), 0x1111_2222_3333_4444);
+        assert_eq!(r.read_bytes(2 * PAGE_SIZE + 100, 5), b"hello");
+        assert_eq!(r.read_u8(3 * PAGE_SIZE), 0);
+        assert_eq!(r.stats().pages_shared, 2);
+        assert_eq!(r.stats().pages_cow, 0);
+    }
+
+    #[test]
+    fn writes_after_restore_copy_on_write_without_disturbing_the_snapshot() {
+        let mut m = PhysMemory::new(2 * PAGE_SIZE);
+        m.write_u8(0, 0xAA);
+        let snap = m.snapshot();
+
+        let mut a = PhysMemory::from_snapshot(&snap);
+        let mut b = PhysMemory::from_snapshot(&snap);
+        a.write_u8(0, 0xBB);
+        assert_eq!(a.read_u8(0), 0xBB);
+        assert_eq!(b.read_u8(0), 0xAA, "sibling restore unaffected");
+        assert_eq!(a.stats().pages_cow, 1);
+        // Repeated writes to an already-privatised page cost nothing more.
+        a.write_u8(1, 0xCC);
+        assert_eq!(a.stats().pages_cow, 1);
+        b.write_u8(PAGE_SIZE, 1);
+        assert_eq!(b.stats().pages_cow, 0, "fresh zero page is not a CoW");
+        // A third restore still sees the original byte.
+        assert_eq!(PhysMemory::from_snapshot(&snap).read_u8(0), 0xAA);
+    }
+
+    #[test]
+    fn snapshotted_memory_keeps_working_after_capture() {
+        let mut m = PhysMemory::new(2 * PAGE_SIZE);
+        m.write_u8(10, 1);
+        let snap = m.snapshot();
+        m.write_u8(10, 2);
+        assert_eq!(m.read_u8(10), 2);
+        assert_eq!(PhysMemory::from_snapshot(&snap).read_u8(10), 1);
+        assert_eq!(m.stats().pages_cow, 1, "post-capture write pays one CoW");
+    }
+
+    #[test]
+    fn frame_allocator_state_survives_snapshot() {
+        let mut m = PhysMemory::new(4 * PAGE_SIZE);
+        let a = m.alloc_frame().expect("frame");
+        m.write_u8(a, 9);
+        let snap = m.snapshot();
+        let mut r = PhysMemory::from_snapshot(&snap);
+        let b = r.alloc_frame().expect("next frame");
+        assert_eq!(b, a + PAGE_SIZE, "bump pointer restored");
     }
 }

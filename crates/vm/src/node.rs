@@ -4,7 +4,7 @@
 use crate::engine;
 use crate::hooks::NodeHooks;
 use crate::kernel::ExitStatus;
-use crate::mem::{MemFault, PhysMemory};
+use crate::mem::{MemFault, MemSnapshot, MemStats, PhysMemory};
 use crate::paging::{AddressSpace, PagePerms};
 use crate::process::{MpiRequest, ProcState, Process};
 use crate::vmi::VmiAction;
@@ -347,6 +347,89 @@ impl Node {
     /// Sum of retired instructions over all processes on this node.
     pub fn total_icount(&self) -> u64 {
         self.procs.iter().map(|p| p.icount).sum()
+    }
+
+    /// Copy-on-write / dirty-page counters of this node's guest RAM.
+    pub fn mem_stats(&self) -> MemStats {
+        self.phys.stats()
+    }
+
+    /// Visits every resident physical page in address order (for state
+    /// digests; see [`PhysMemory::for_each_resident_page`]).
+    pub fn for_each_resident_page(&self, f: impl FnMut(u64, &[u8])) {
+        self.phys.for_each_resident_page(f)
+    }
+
+    /// Freezes this node into a [`NodeSnapshot`]: guest RAM as `Arc`-shared
+    /// pages, the full process table, and the taint shadow state. Hooks and
+    /// the translation cache are *not* captured — hooks are per-run wiring
+    /// (and not `Send`), and translations are derived state a restored node
+    /// rebuilds or adopts from the shared base layer.
+    pub fn snapshot(&mut self) -> NodeSnapshot {
+        NodeSnapshot {
+            id: self.id,
+            phys: self.phys.snapshot(),
+            procs: self.procs.clone(),
+            taint: self.taint.clone(),
+            next_pid: self.next_pid,
+        }
+    }
+
+    /// Reconstructs a node from a snapshot. Captured pages are adopted
+    /// zero-copy; the node starts with a fresh translation cache, no hooks
+    /// and an unlimited instruction budget — the restorer wires those the
+    /// same way a cold run does.
+    pub fn from_snapshot(snap: &NodeSnapshot) -> Node {
+        Node {
+            id: snap.id,
+            phys: PhysMemory::from_snapshot(&snap.phys),
+            procs: snap.procs.clone(),
+            cache: TbCache::new(),
+            taint: snap.taint.clone(),
+            hooks: NodeHooks::default(),
+            next_pid: snap.next_pid,
+            insn_budget: u64::MAX,
+        }
+    }
+
+    /// Re-fires `on_process_created` for process `pid`. A restored node
+    /// already holds its process table, so VMI consumers wired after the
+    /// restore (injectors arming on a target program name) would otherwise
+    /// never see the creations they key on. The caller replays in the
+    /// original creation order — for a cluster that is rank order, which
+    /// interleaves across nodes.
+    pub fn replay_vmi_creation(&mut self, pid: u64) {
+        let Some(proc) = self.process(pid) else {
+            return;
+        };
+        let name = proc.name().to_string();
+        let sinks = self.hooks.vmi.clone();
+        let mut action = VmiAction::NONE;
+        for sink in &sinks {
+            action = action.merge(sink.borrow_mut().on_process_created(self.id, pid, &name));
+        }
+        if action.flush_tb {
+            self.cache.flush();
+        }
+    }
+}
+
+/// A frozen image of one node, cheap to clone and shareable across worker
+/// threads (`Arc`-backed pages). Captures memory, processes and taint;
+/// excludes hooks and the translation cache (see [`Node::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    id: u32,
+    phys: MemSnapshot,
+    procs: Vec<Process>,
+    taint: TaintState,
+    next_pid: u64,
+}
+
+impl NodeSnapshot {
+    /// Number of resident guest-RAM pages captured.
+    pub fn resident_pages(&self) -> u64 {
+        self.phys.resident_pages()
     }
 }
 
