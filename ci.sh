@@ -5,7 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release --offline
+# Warnings are errors for the tier-1 build: rustc must come back clean
+# before clippy gets its adversarial pass below.
+RUSTFLAGS="-D warnings" cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
@@ -19,3 +21,9 @@ cargo run --release --offline -p chaser-bench --bin resilience_smoke
 # shared copy-on-write cluster checkpoint; outcome CSVs must be
 # byte-identical and the warm runs must skip measurable prefix work.
 cargo run --release --offline -p chaser-bench --bin warm_start_smoke
+
+# Provenance smoke: inject one worker fault into matvec, require the
+# provenance graph to carry it across ranks (>=1 message edge, reach >=2),
+# and require the DOT/JSON exports to stay byte-identical across cold,
+# warm-started and journal-resumed executions of the same seed.
+cargo run --release --offline -p chaser-bench --bin provenance_smoke

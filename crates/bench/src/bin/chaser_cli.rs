@@ -96,6 +96,7 @@ impl Cli {
                 None => println!("no app loaded (use `load <app>` first)"),
             },
             "run" => self.run_pending(),
+            "trace" => self.trace_pending(parts.next() == Some("dot")),
             "warm" => match parts.next() {
                 Some("on") => {
                     self.warm_start = true;
@@ -219,6 +220,84 @@ impl Cli {
         }
     }
 
+    /// Runs the armed injection with provenance recording and walks the
+    /// resulting cross-rank propagation graph: contamination timeline,
+    /// blast radius, message edges and sink classification. With `dot` the
+    /// Graphviz export is printed instead of the per-rank listing.
+    fn trace_pending(&mut self, dot: bool) {
+        let Some(app) = self.app.clone() else {
+            println!("no app loaded (use `load <app>` first)");
+            return;
+        };
+        let Some(spec) = self.chaser.take_pending_spec() else {
+            println!("no injection armed (use an inject_fault command first)");
+            return;
+        };
+        if self.golden.is_none() {
+            println!("(running golden reference first)");
+            self.golden = Some(chaser::run_app(&app, &RunOptions::golden()));
+        }
+        let golden = self.golden.as_ref().expect("set above");
+
+        let report = chaser::run_app(&app, &RunOptions::inject_traced(spec));
+        if report.injections.is_empty() {
+            println!("note: the injector never fired");
+        }
+        let outcome = report.classify_against(golden);
+        println!("outcome: {outcome}");
+        let Some(graph) = &report.provenance else {
+            println!("no provenance graph recorded");
+            return;
+        };
+        println!(
+            "provenance: {} events ({} dropped), {} sites, {} flow edges, \
+             {} cross-rank message edges, digest {:#018x}",
+            graph.events.len(),
+            graph.dropped_events,
+            graph.sites.len(),
+            graph.flow_edges.len(),
+            graph.msg_edges.len(),
+            graph.digest()
+        );
+        if dot {
+            println!("{}", graph.to_dot());
+            return;
+        }
+        let reach = graph.rank_reach();
+        println!(
+            "rank reach: {} rank(s) {:?}; blast radius {} byte(s)",
+            reach.len(),
+            reach,
+            graph.blast_radius_bytes()
+        );
+        println!("first contamination round per rank:");
+        for (rank, round) in graph.first_contamination_rounds() {
+            println!("  rank {rank}: round {round}");
+        }
+        for e in &graph.msg_edges {
+            println!(
+                "  msg edge: rank {} -> rank {} tag {:#x} seq {} round {} \
+                 ({} tainted byte(s))",
+                e.src, e.dest, e.tag, e.seq, e.round, e.tainted_bytes
+            );
+        }
+        let corrupted: Vec<u32> = report
+            .corrupted_regions(golden)
+            .iter()
+            .map(|r| r.rank)
+            .collect();
+        println!("sink classification (against golden outputs):");
+        for sink in graph.classify_sinks(&corrupted) {
+            match sink.last_write {
+                Some(w) => println!(
+                    "  rank {}: {:?} (last tainted write pc={:#x} vaddr={:#x} round {})",
+                    sink.rank, sink.kind, w.eip, w.vaddr, w.round
+                ),
+                None => println!("  rank {}: {:?}", sink.rank, sink.kind),
+            }
+        }
+    }
+
     /// Runs a fault-injection campaign over the loaded app, honouring the
     /// `warm` toggle, and dumps outcome counts plus snapshot statistics.
     fn run_campaign(&self, runs: u64) {
@@ -275,6 +354,7 @@ impl Cli {
         println!("  inject_fault_prob …          arm the probabilistic injector");
         println!("  inject_fault_group …         arm the group injector");
         println!("  run                          execute the armed injection (traced)");
+        println!("  trace [dot]                  run and walk the propagation provenance graph");
         println!("  warm [on|off]                toggle campaign warm start (CoW checkpoint)");
         println!("  campaign [runs]              run an FI campaign; dumps snapshot stats");
         println!("  quit                         leave");

@@ -15,6 +15,7 @@
 //! | Fig. 9 (tainted-write histogram) | `fig9_taint_writes` |
 //! | Fig. 10 (runtime overhead) | `fig10_overhead` |
 //! | §IV-B CLAMR detection stats | `clamr_case_study` |
+//! | Cross-rank propagation provenance (Matvec) | `fig6_propagation` |
 //!
 //! Every binary accepts `--runs N`, `--seed N`, `--size N` and `--ranks N`
 //! so the full paper-scale campaign (thousands of runs) is reproducible

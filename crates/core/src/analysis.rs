@@ -193,6 +193,7 @@ mod tests {
             paddr: vaddr ^ 0xf000,
             taint: 0xff,
             value: 1,
+            prov: 1,
             icount,
         }
     }
@@ -256,6 +257,64 @@ mod tests {
         assert_eq!(analysis.flow_edges.len(), 1);
         let hottest = analysis.hottest_flows(5);
         assert_eq!(hottest[0], (edge, 2));
+    }
+
+    #[test]
+    fn hottest_sites_break_total_ties_by_address() {
+        // Three addresses, one access each: totals tie, so the ranking
+        // must fall back to ascending address order — deterministically.
+        let trace = TraceSummary {
+            events: vec![
+                ev(AccessKind::Read, 0, 1, 0x3000, 0x400000, 10),
+                ev(AccessKind::Read, 0, 1, 0x1000, 0x400000, 20),
+                ev(AccessKind::Read, 0, 1, 0x2000, 0x400000, 30),
+            ],
+            ..TraceSummary::default()
+        };
+        let analysis = TraceAnalysis::from_trace(&trace);
+        let addrs: Vec<u64> = analysis.hottest_sites(3).iter().map(|(a, _)| *a).collect();
+        assert_eq!(addrs, vec![0x1000, 0x2000, 0x3000]);
+    }
+
+    #[test]
+    fn hottest_flows_break_count_ties_by_writer_then_reader() {
+        // Three distinct edges observed once each; order must come from
+        // (writer_eip, reader_eip) ascending, not hash order.
+        let trace = TraceSummary {
+            events: vec![
+                ev(AccessKind::Write, 0, 1, 0x1000, 0x40_0020, 1),
+                ev(AccessKind::Read, 0, 1, 0x1000, 0x40_0030, 2),
+                ev(AccessKind::Write, 0, 1, 0x2000, 0x40_0010, 3),
+                ev(AccessKind::Read, 0, 1, 0x2000, 0x40_0040, 4),
+                ev(AccessKind::Write, 0, 1, 0x3000, 0x40_0010, 5),
+                ev(AccessKind::Read, 0, 1, 0x3000, 0x40_0015, 6),
+            ],
+            ..TraceSummary::default()
+        };
+        let analysis = TraceAnalysis::from_trace(&trace);
+        let flows = analysis.hottest_flows(10);
+        let pairs: Vec<(u64, u64)> = flows
+            .iter()
+            .map(|(e, _)| (e.writer_eip, e.reader_eip))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (0x40_0010, 0x40_0015),
+                (0x40_0010, 0x40_0040),
+                (0x40_0020, 0x40_0030),
+            ]
+        );
+        // Higher counts still dominate the address tie-break.
+        let mut events = trace.events.clone();
+        events.push(ev(AccessKind::Read, 0, 1, 0x1000, 0x40_0030, 7));
+        let analysis = TraceAnalysis::from_trace(&TraceSummary {
+            events,
+            ..TraceSummary::default()
+        });
+        let top = analysis.hottest_flows(1);
+        assert_eq!(top[0].0.writer_eip, 0x40_0020);
+        assert_eq!(top[0].1, 2);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::journal::{
     golden_digest, CampaignJournal, Fnv1a, JournalError, JournalHeader, JournalRow, JOURNAL_VERSION,
 };
 use crate::outcome::{Outcome, TermCause};
+use crate::provenance::ProvenanceGraph;
 use crate::session::{
     prepare_app, run_app, run_prepared, run_warm, warm_start_for, AppSpec, PreparedApp, RunOptions,
     RunReport, SnapshotStats, WarmStartOptions,
@@ -55,6 +56,9 @@ pub struct CampaignConfig {
     pub tracing: bool,
     /// Tracer parameters when tracing.
     pub tracer: TracerConfig,
+    /// Record a fault-propagation provenance graph per run and journal its
+    /// aggregates (rank reach, blast radius, message-edge count, digest).
+    pub provenance: bool,
     /// Share one immutable base layer of clean translation blocks (warmed
     /// by the golden run) across all injection runs, so each run only
     /// translates the handful of blocks it instruments. Off = the cold
@@ -94,6 +98,7 @@ impl Default for CampaignConfig {
             operand: OperandSel::Random,
             tracing: false,
             tracer: TracerConfig::default(),
+            provenance: false,
             shared_tb_cache: true,
             warm_start: false,
             run_budget: RunBudget::default(),
@@ -126,6 +131,17 @@ pub struct RunOutcome {
     /// Tainted deliveries whose TaintHub sync was lost after retries (the
     /// degraded-mode counter; non-zero only under an unreliable hub link).
     pub taint_sync_lost: u64,
+    /// Ranks the fault reached, per the provenance graph (0 when
+    /// provenance recording was off).
+    pub prov_rank_reach: u32,
+    /// Provenance blast radius: distinct tainted `(rank, byte)` write
+    /// destinations.
+    pub prov_blast_radius: u64,
+    /// Cross-rank message edges in the provenance graph.
+    pub prov_msg_edges: u64,
+    /// Digest of the run's canonical provenance-graph JSON (replay
+    /// fingerprint; 0 when provenance recording was off).
+    pub prov_digest: u64,
     /// Total guest instructions the run retired.
     pub total_insns: u64,
     /// The injection record, when the fault fired.
@@ -309,7 +325,7 @@ impl CampaignResult {
     /// persist it.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "run_idx,outcome,class,rank,trigger_n,taint_reads,taint_writes,cross_rank,taint_sync_lost,total_insns,site_pc,insn
+            "run_idx,outcome,class,rank,trigger_n,taint_reads,taint_writes,cross_rank,taint_sync_lost,prov_rank_reach,prov_blast_radius,prov_msg_edges,prov_digest,total_insns,site_pc,insn
 ",
         );
         for run in &self.outcomes {
@@ -319,7 +335,7 @@ impl CampaignResult {
                 .map(|r| (format!("{:#x}", r.pc), r.insn.replace(',', ";")))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{:?},{},{},{},{},{},{},{},{},{}
+                "{},{},{:?},{},{},{},{},{},{},{},{},{},{:#x},{},{},{}
 ",
                 run.run_idx,
                 run.outcome,
@@ -330,6 +346,10 @@ impl CampaignResult {
                 run.taint_writes,
                 run.cross_rank,
                 run.taint_sync_lost,
+                run.prov_rank_reach,
+                run.prov_blast_radius,
+                run.prov_msg_edges,
+                run.prov_digest,
                 run.total_insns,
                 pc,
                 insn,
@@ -531,6 +551,10 @@ fn harness_fault_outcome(idx: u64, payload: Box<dyn std::any::Any + Send>) -> Ru
         taint_writes: 0,
         cross_rank: 0,
         taint_sync_lost: 0,
+        prov_rank_reach: 0,
+        prov_blast_radius: 0,
+        prov_msg_edges: 0,
+        prov_digest: 0,
         total_insns: 0,
         record: None,
         cache_stats: CacheStats::default(),
@@ -573,6 +597,7 @@ impl Campaign {
                     classes: self.cfg.classes.clone(),
                     ranks,
                     tracing: self.cfg.tracing,
+                    provenance: self.cfg.provenance,
                     budget: self.cfg.run_budget,
                 },
             );
@@ -674,7 +699,7 @@ impl Campaign {
         let mut h = Fnv1a::new();
         h.write(
             format!(
-                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{:?};{:?}",
+                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{};{:?};{:?}",
                 c.runs,
                 c.seed,
                 c.classes,
@@ -683,6 +708,7 @@ impl Campaign {
                 c.operand,
                 c.tracing,
                 c.tracer,
+                c.provenance,
                 c.shared_tb_cache,
                 c.warm_start,
                 c.run_budget,
@@ -818,6 +844,7 @@ impl Campaign {
             spec: Some(spec),
             tracing: self.cfg.tracing,
             tracer: self.cfg.tracer,
+            provenance: self.cfg.provenance,
             hook_mpi_symbols: false,
             budget: self.cfg.run_budget,
         };
@@ -834,6 +861,7 @@ impl Campaign {
             return (cache_stats, snap_stats, None);
         }
         let outcome = report.classify_against(golden);
+        let prov = report.provenance.as_ref();
         let outcome = RunOutcome {
             run_idx: idx,
             outcome,
@@ -845,6 +873,10 @@ impl Campaign {
             taint_writes: report.trace.as_ref().map_or(0, |t| t.taint_writes),
             cross_rank: report.cluster.cross_rank_tainted_deliveries,
             taint_sync_lost: report.cluster.taint_sync_lost,
+            prov_rank_reach: prov.map_or(0, |g| g.rank_reach().len() as u32),
+            prov_blast_radius: prov.map_or(0, ProvenanceGraph::blast_radius_bytes),
+            prov_msg_edges: prov.map_or(0, |g| g.msg_edges.len() as u64),
+            prov_digest: prov.map_or(0, ProvenanceGraph::digest),
             total_insns: report.cluster.total_insns,
             record: report.injections.first().cloned(),
             cache_stats,
@@ -870,6 +902,10 @@ mod tests {
             taint_writes: writes,
             cross_rank: cross,
             taint_sync_lost: 0,
+            prov_rank_reach: 0,
+            prov_blast_radius: 0,
+            prov_msg_edges: 0,
+            prov_digest: 0,
             total_insns: 100,
             record: None,
             cache_stats: CacheStats::default(),

@@ -4,7 +4,7 @@
 
 use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
 use chaser_isa::{FReg, Instruction, Reg};
-use chaser_taint::TaintMask;
+use chaser_taint::{ProvSet, TaintMask};
 use chaser_vm::{
     ExitStatus, FnHookSink, GuestCtx, InjectAction, InjectSink, NodeTranslateHook, VmiAction,
     VmiSink,
@@ -256,13 +256,16 @@ impl Injector {
                 if let Ok(old) = ctx.read_mem(addr) {
                     let mut st = self.state.borrow_mut();
                     let new = self.corrupt(old, &mut st.rng);
+                    // The fault's provenance id: its ordinal among this
+                    // injector's placements.
+                    let prov = ProvSet::single(st.injections_done as u32);
                     drop(st);
                     let mask = match &self.spec.corruption {
                         Corruption::Identity => TaintMask::ALL,
                         _ => TaintMask(old ^ new),
                     };
                     if ctx.write_mem(addr, new).is_ok() {
-                        let _ = ctx.taint_mem(addr, mask);
+                        let _ = ctx.taint_mem_with_prov(addr, mask, prov);
                         let mut st = self.state.borrow_mut();
                         let exec_count = st.exec_count;
                         st.records.push(InjectionRecord {
@@ -311,14 +314,15 @@ impl Injector {
             Corruption::Identity => TaintMask::ALL,
             _ => TaintMask(old ^ new),
         };
+        let prov = ProvSet::single(st.injections_done as u32);
         match loc {
             OperandLoc::Reg(r) => {
                 ctx.set_reg(r, new);
-                ctx.taint_reg(r, mask);
+                ctx.taint_reg_with_prov(r, mask, prov);
             }
             OperandLoc::FReg(r) => {
                 ctx.set_freg_bits(r, new);
-                ctx.taint_freg(r, mask);
+                ctx.taint_freg_with_prov(r, mask, prov);
             }
         }
         let exec_count = st.exec_count;

@@ -82,7 +82,7 @@ impl Json {
     }
 }
 
-fn encode(value: &Json, out: &mut String) {
+pub(crate) fn encode(value: &Json, out: &mut String) {
     match value {
         Json::Null => out.push_str("null"),
         Json::Bool(true) => out.push_str("true"),
@@ -410,8 +410,10 @@ pub struct JournalHeader {
     pub golden_digest: u64,
 }
 
-/// Current journal format version.
-pub const JOURNAL_VERSION: u64 = 1;
+/// Current journal format version. Version 2 added the per-run provenance
+/// aggregates (`prov_rank_reach` / `prov_blast_radius` / `prov_msg_edges` /
+/// `prov_digest`) to outcome rows.
+pub const JOURNAL_VERSION: u64 = 2;
 
 impl JournalHeader {
     fn to_json(self) -> Json {
@@ -799,6 +801,16 @@ fn outcome_to_json(o: &RunOutcome) -> Json {
             Json::Num(o.taint_sync_lost as i128),
         ),
         (
+            "prov_rank_reach".into(),
+            Json::Num(o.prov_rank_reach as i128),
+        ),
+        (
+            "prov_blast_radius".into(),
+            Json::Num(o.prov_blast_radius as i128),
+        ),
+        ("prov_msg_edges".into(), Json::Num(o.prov_msg_edges as i128)),
+        ("prov_digest".into(), Json::Num(o.prov_digest as i128)),
+        (
             "record".into(),
             o.record.as_ref().map_or(Json::Null, record_to_json),
         ),
@@ -819,6 +831,10 @@ fn outcome_from_json(v: &Json) -> Result<RunOutcome, JournalError> {
         cross_rank: v.u64("cross_rank")?,
         total_insns: v.u64("total_insns")?,
         taint_sync_lost: v.u64("taint_sync_lost")?,
+        prov_rank_reach: v.u64("prov_rank_reach")? as u32,
+        prov_blast_radius: v.u64("prov_blast_radius")?,
+        prov_msg_edges: v.u64("prov_msg_edges")?,
+        prov_digest: v.u64("prov_digest")?,
         record: match v.get("record") {
             Some(Json::Null) | None => None,
             Some(rec) => Some(record_from_json(rec)?),
@@ -864,6 +880,10 @@ mod tests {
             cross_rank: 1,
             total_insns: 99_000,
             taint_sync_lost: 0,
+            prov_rank_reach: 2,
+            prov_blast_radius: 48,
+            prov_msg_edges: 1,
+            prov_digest: 0xDEAD_BEEF,
             record: Some(InjectionRecord {
                 node: 0,
                 pid: 1,

@@ -62,6 +62,7 @@ mod journal;
 pub mod models;
 mod outcome;
 mod plugin;
+mod provenance;
 mod session;
 mod spec;
 mod tracer;
@@ -83,6 +84,10 @@ pub use models::{
 };
 pub use outcome::{classify, diff_outputs, CorruptedRegion, Outcome, TermCause};
 pub use plugin::{CommandSpec, FiInterface, FiPlugin, HostState, PluginError, PluginHost};
+pub use provenance::{
+    MsgEdge, ProvEvent, ProvFlowEdge, ProvSite, ProvenanceGraph, ProvenanceRecorder, SinkClass,
+    SinkKind, PROV_LOG_CAPACITY, UNRESOLVED_RANK,
+};
 pub use session::{
     prepare_app, profile_app, run_app, run_app_insn_traced, run_prepared, run_warm, warm_start_for,
     AppSpec, Chaser, PreparedApp, RunOptions, RunReport, SnapshotStats, WarmStart,
@@ -114,6 +119,10 @@ mod serde_surface_tests {
         assert_serde::<crate::TermCause>();
         assert_serde::<crate::RunOutcome>();
         assert_serde::<crate::CampaignResult>();
+        assert_serde::<crate::ProvenanceGraph>();
+        assert_serde::<crate::ProvEvent>();
+        assert_serde::<crate::MsgEdge>();
+        assert_serde::<crate::SinkClass>();
         assert_serialize::<crate::analysis::TraceAnalysis>();
     }
 

@@ -4,16 +4,21 @@
 use crate::injector::{FnHookLogger, Injector, InjectorHandle, ProfileHandle, ProfileHook};
 use crate::outcome::{classify, Outcome};
 use crate::plugin::{FiInterface, FiPlugin, HostState, PluginError, PluginHost};
+use crate::provenance::{ProvenanceGraph, ProvenanceRecorder, PROV_LOG_CAPACITY};
 use crate::spec::InjectionSpec;
 use crate::tracer::{TraceSummary, Tracer, TracerConfig};
 use chaser_isa::{abi, InsnClass, Program};
-use chaser_mpi::{Cluster, ClusterConfig, ClusterRun, ClusterSnapshot, NetStats, RunBudget};
+use chaser_mpi::{
+    Cluster, ClusterConfig, ClusterRun, ClusterSnapshot, MpiObserver, NetStats, RunBudget,
+};
 use chaser_tainthub::HubStats;
 use chaser_tcg::{BaseLayer, CacheStats};
-use chaser_vm::{FnHookSink, InjectSink, NodeTranslateHook, TaintEventSink, VmiSink};
+use chaser_vm::{
+    FnHookSink, InjectSink, NodeTranslateHook, TaintEventFanout, TaintEventSink, VmiSink,
+};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -71,6 +76,9 @@ pub struct RunOptions {
     pub tracing: bool,
     /// Tracer parameters.
     pub tracer: TracerConfig,
+    /// Record a per-run fault-propagation [`ProvenanceGraph`] (taint
+    /// machinery stays on even without `tracing`).
+    pub provenance: bool,
     /// Hook the guest MPI wrapper functions by symbol address (the paper's
     /// interception mechanism; mostly useful for demos and tests — the
     /// runtime-level observers carry the actual taint synchronisation).
@@ -86,11 +94,12 @@ impl RunOptions {
         RunOptions::default()
     }
 
-    /// Options injecting `spec` with tracing on.
+    /// Options injecting `spec` with tracing and provenance recording on.
     pub fn inject_traced(spec: InjectionSpec) -> RunOptions {
         RunOptions {
             spec: Some(spec),
             tracing: true,
+            provenance: true,
             ..RunOptions::default()
         }
     }
@@ -164,6 +173,9 @@ pub struct RunReport {
     pub cache_stats: CacheStats,
     /// Snapshot/restore counters (all zero on cold runs).
     pub snapshot: SnapshotStats,
+    /// The fault-propagation provenance graph when
+    /// [`RunOptions::provenance`] was set.
+    pub provenance: Option<ProvenanceGraph>,
 }
 
 impl RunReport {
@@ -258,7 +270,7 @@ pub fn run_app(app: &AppSpec, opts: &RunOptions) -> RunReport {
 /// configuration, or replay equivalence breaks.
 fn effective_cluster_cfg(app: &AppSpec, opts: &RunOptions) -> ClusterConfig {
     let mut cluster_cfg = app.cluster.clone();
-    if !opts.tracing {
+    if !opts.tracing && !opts.provenance {
         cluster_cfg.taint_policy = chaser_taint::TaintPolicy::Disabled;
     }
     cluster_cfg.run_budget = cluster_cfg.run_budget.merge(opts.budget);
@@ -266,9 +278,17 @@ fn effective_cluster_cfg(app: &AppSpec, opts: &RunOptions) -> ClusterConfig {
 }
 
 /// Drives `cluster` to completion, sampling tainted-byte counts into the
-/// tracer after every round.
-fn run_sampled(cluster: &mut Cluster, tracer: Option<&Rc<RefCell<Tracer>>>) -> ClusterRun {
+/// tracer after every round and keeping the provenance recorder's round
+/// cell current so its events carry round attribution.
+fn run_sampled(
+    cluster: &mut Cluster,
+    tracer: Option<&Rc<RefCell<Tracer>>>,
+    round: Option<&Rc<Cell<u64>>>,
+) -> ClusterRun {
     cluster.run_with(|c| {
+        if let Some(cell) = round {
+            cell.set(c.round());
+        }
         if let Some(tr) = tracer {
             let total = c.total_insns();
             let tainted: usize = c
@@ -289,7 +309,16 @@ fn build_report(
     tracer: Option<Rc<RefCell<Tracer>>>,
     fn_logger: Option<Rc<RefCell<FnHookLogger>>>,
     snapshot: SnapshotStats,
+    recorder: Option<Rc<RefCell<ProvenanceRecorder>>>,
 ) -> RunReport {
+    let provenance = recorder.map(|rec| {
+        let mut rank_of: BTreeMap<(u32, u64), u32> = BTreeMap::new();
+        for rank in 0..cluster.nranks() {
+            let (ni, pid) = cluster.rank_location(rank);
+            rank_of.insert((ni as u32, pid), rank);
+        }
+        rec.borrow().to_graph(&rank_of)
+    });
     let (outputs, stdouts) = collect_rank_files(cluster);
     RunReport {
         cluster: cluster_run,
@@ -305,7 +334,42 @@ fn build_report(
         fn_hook_hits: fn_logger.map_or_else(Vec::new, |l| l.borrow().hits.clone()),
         cache_stats: cluster.tb_cache_stats(),
         snapshot,
+        provenance,
     }
+}
+
+/// Builds the single taint-event sink a run installs: the tracer and/or
+/// the provenance recorder, fanned out when both are present.
+fn taint_event_sink(
+    tracer: Option<&Rc<RefCell<Tracer>>>,
+    recorder: Option<&Rc<RefCell<ProvenanceRecorder>>>,
+) -> Option<Rc<RefCell<dyn TaintEventSink>>> {
+    match (tracer, recorder) {
+        (None, None) => None,
+        (Some(tr), None) => Some(Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>),
+        (None, Some(rec)) => Some(Rc::clone(rec) as Rc<RefCell<dyn TaintEventSink>>),
+        (Some(tr), Some(rec)) => {
+            let mut fanout = TaintEventFanout::new();
+            fanout.push(Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>);
+            fanout.push(Rc::clone(rec) as Rc<RefCell<dyn TaintEventSink>>);
+            Some(Rc::new(RefCell::new(fanout)) as Rc<RefCell<dyn TaintEventSink>>)
+        }
+    }
+}
+
+/// Creates the provenance recorder for a run (when enabled), registers it
+/// as an MPI observer for cross-rank edges, and primes its round cell with
+/// the cluster's current round (non-zero on warm restores).
+fn wire_provenance(
+    cluster: &mut Cluster,
+    opts: &RunOptions,
+) -> Option<Rc<RefCell<ProvenanceRecorder>>> {
+    let recorder = opts
+        .provenance
+        .then(|| Rc::new(RefCell::new(ProvenanceRecorder::new(PROV_LOG_CAPACITY))))?;
+    recorder.borrow().round_handle().set(cluster.round());
+    cluster.add_observer(Rc::clone(&recorder) as Rc<RefCell<dyn MpiObserver>>);
+    Some(recorder)
 }
 
 fn run_app_inner(
@@ -322,6 +386,7 @@ fn run_app_inner(
     let tracer = opts
         .tracing
         .then(|| Rc::new(RefCell::new(Tracer::new(opts.tracer))));
+    let recorder = wire_provenance(&mut cluster, opts);
     let fn_logger = opts
         .hook_mpi_symbols
         .then(|| Rc::new(RefCell::new(FnHookLogger::default())));
@@ -334,9 +399,7 @@ fn run_app_inner(
                 InjectorHandle(Rc::clone(inj)),
             )
         }),
-        tracer
-            .as_ref()
-            .map(|tr| Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>),
+        taint_event_sink(tracer.as_ref(), recorder.as_ref()),
         fn_logger
             .as_ref()
             .map(|l| Rc::clone(l) as Rc<RefCell<dyn FnHookSink>>),
@@ -370,7 +433,8 @@ fn run_app_inner(
         }
     }
 
-    let cluster_run = run_sampled(&mut cluster, tracer.as_ref());
+    let round = recorder.as_ref().map(|r| r.borrow().round_handle());
+    let cluster_run = run_sampled(&mut cluster, tracer.as_ref(), round.as_ref());
     build_report(
         &cluster,
         cluster_run,
@@ -378,6 +442,7 @@ fn run_app_inner(
         tracer,
         fn_logger,
         SnapshotStats::default(),
+        recorder,
     )
 }
 
@@ -430,6 +495,9 @@ pub struct WarmStartOptions {
     pub ranks: Vec<u32>,
     /// Whether campaign runs trace fault propagation.
     pub tracing: bool,
+    /// Whether campaign runs record provenance graphs (keeps the taint
+    /// machinery on, like `tracing`).
+    pub provenance: bool,
     /// The campaign's per-run watchdog budget.
     pub budget: RunBudget,
 }
@@ -453,6 +521,7 @@ pub fn warm_start_for(prepared: &PreparedApp, wopts: &WarmStartOptions) -> Optio
     let app = &prepared.app;
     let run_opts = RunOptions {
         tracing: wopts.tracing,
+        provenance: wopts.provenance,
         budget: wopts.budget,
         ..RunOptions::default()
     };
@@ -536,6 +605,7 @@ pub fn run_warm(prepared: &PreparedApp, opts: &RunOptions, share_base_caches: bo
     let tracer = opts
         .tracing
         .then(|| Rc::new(RefCell::new(Tracer::new(opts.tracer))));
+    let recorder = wire_provenance(&mut cluster, opts);
     wire_cluster_hooks(
         &mut cluster,
         injector.as_ref().map(|inj| {
@@ -544,9 +614,7 @@ pub fn run_warm(prepared: &PreparedApp, opts: &RunOptions, share_base_caches: bo
                 InjectorHandle(Rc::clone(inj)),
             )
         }),
-        tracer
-            .as_ref()
-            .map(|tr| Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>),
+        taint_event_sink(tracer.as_ref(), recorder.as_ref()),
         None,
     );
     cluster.replay_vmi_creations();
@@ -554,7 +622,8 @@ pub fn run_warm(prepared: &PreparedApp, opts: &RunOptions, share_base_caches: bo
         cluster.install_base_caches(&prepared.base_caches);
     }
 
-    let cluster_run = run_sampled(&mut cluster, tracer.as_ref());
+    let round = recorder.as_ref().map(|r| r.borrow().round_handle());
+    let cluster_run = run_sampled(&mut cluster, tracer.as_ref(), round.as_ref());
     let mem = cluster.mem_stats();
     let snapshot = SnapshotStats {
         restores: 1,
@@ -569,6 +638,7 @@ pub fn run_warm(prepared: &PreparedApp, opts: &RunOptions, share_base_caches: bo
         tracer,
         None,
         snapshot,
+        recorder,
     )
 }
 
@@ -603,6 +673,7 @@ pub fn prepare_app(app: &AppSpec, classes: &[InsnClass]) -> PreparedApp {
         None,
         None,
         SnapshotStats::default(),
+        None,
     );
     let base_caches = cluster.seal_tb_caches();
     let (_, profile_counts) = profile_app(app, classes);
@@ -653,6 +724,7 @@ pub fn profile_app(
         None,
         None,
         SnapshotStats::default(),
+        None,
     );
     (report, profile.counts())
 }
@@ -687,6 +759,7 @@ pub fn run_app_insn_traced(
         None,
         None,
         SnapshotStats::default(),
+        None,
     );
     (report, tracer.summary())
 }

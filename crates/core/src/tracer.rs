@@ -41,6 +41,9 @@ pub struct TraceEvent {
     pub taint: u64,
     /// Value at the location.
     pub value: u64,
+    /// Raw [`chaser_taint::ProvSet`] bits of the access (0 when the taint
+    /// carries no fault provenance).
+    pub prov: u32,
     /// Process instruction count at the access.
     pub icount: u64,
 }
@@ -101,18 +104,18 @@ impl TraceSummary {
     }
 
     /// Renders the retained event log as CSV — the paper's per-access
-    /// record (kind, node, pid, eip, vaddr, paddr, taint, value, icount)
-    /// for external post-analysis.
+    /// record (kind, node, pid, eip, vaddr, paddr, taint, value, prov,
+    /// icount) for external post-analysis. Rows keep log order.
     pub fn events_to_csv(&self) -> String {
-        let mut out = String::from("kind,node,pid,eip,vaddr,paddr,taint,value,icount\n");
+        let mut out = String::from("kind,node,pid,eip,vaddr,paddr,taint,value,prov,icount\n");
         for ev in &self.events {
             let kind = match ev.kind {
                 AccessKind::Read => "read",
                 AccessKind::Write => "write",
             };
             out.push_str(&format!(
-                "{kind},{},{},{:#x},{:#x},{:#x},{:#x},{:#x},{}\n",
-                ev.node, ev.pid, ev.eip, ev.vaddr, ev.paddr, ev.taint, ev.value, ev.icount
+                "{kind},{},{},{:#x},{:#x},{:#x},{:#x},{:#x},{:#x},{}\n",
+                ev.node, ev.pid, ev.eip, ev.vaddr, ev.paddr, ev.taint, ev.value, ev.prov, ev.icount
             ));
         }
         out
@@ -186,6 +189,7 @@ impl Tracer {
                 paddr: ev.paddr,
                 taint: ev.taint.0,
                 value: ev.value,
+                prov: ev.prov.bits(),
                 icount: ev.icount,
             });
         } else {
@@ -207,7 +211,7 @@ impl TaintEventSink for Tracer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chaser_taint::TaintMask;
+    use chaser_taint::{ProvSet, TaintMask};
 
     fn ev(node: u32, pid: u64) -> TaintMemEvent {
         TaintMemEvent {
@@ -219,6 +223,7 @@ mod tests {
             taint: TaintMask::bit(3),
             value: 42,
             icount: 7,
+            prov: ProvSet::single(0),
         }
     }
 
@@ -264,11 +269,44 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next(),
-            Some("kind,node,pid,eip,vaddr,paddr,taint,value,icount")
+            Some("kind,node,pid,eip,vaddr,paddr,taint,value,prov,icount")
         );
         let first = lines.next().expect("one event row");
         assert!(first.starts_with("read,0,1,0x400000,0x1000,0x2000,"));
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn event_csv_rows_keep_log_order_and_column_count() {
+        let mut t = Tracer::new(TracerConfig::default());
+        t.on_taint_write(&ev(1, 2));
+        t.on_taint_read(&ev(0, 1));
+        t.on_taint_write(&ev(3, 4));
+        let csv = t.summary().events_to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        // Rows appear in log order, not sorted.
+        assert!(rows[0].starts_with("write,1,2,"));
+        assert!(rows[1].starts_with("read,0,1,"));
+        assert!(rows[2].starts_with("write,3,4,"));
+        // Every row (header included) has exactly the 10 declared columns.
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), 10, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn event_csv_carries_provenance_bits() {
+        let mut t = Tracer::new(TracerConfig::default());
+        t.on_taint_read(&ev(0, 1));
+        let row = t
+            .summary()
+            .events_to_csv()
+            .lines()
+            .nth(1)
+            .unwrap()
+            .to_string();
+        // prov is the 9th column, hex-formatted (ProvSet::single(0) = bit 0).
+        assert_eq!(row.split(',').nth(8), Some("0x1"));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::envelope::{Envelope, MpiError, MpiErrorKind, TaintCarrier, MAX_MSG_BY
 use crate::net::{Faultiness, Interconnect, NetStats};
 use chaser_isa::abi::{self, MpiDatatype, MpiOp};
 use chaser_isa::Program;
-use chaser_taint::TaintPolicy;
+use chaser_taint::{ProvSet, TaintPolicy};
 use chaser_tainthub::{HubSnapshot, MsgId, TaintHub};
 use chaser_tcg::{BaseLayer, CacheStats};
 use chaser_vm::{
@@ -183,6 +183,28 @@ impl Default for ClusterConfig {
     }
 }
 
+/// One tainted payload crossing a rank boundary: the provenance subsystem's
+/// message-edge record, emitted when a delivery (point-to-point or
+/// collective fan-out) carries taint into the destination rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossRankEdge {
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dest: u32,
+    /// MPI message tag (collectives use their operation discriminant).
+    pub tag: u64,
+    /// Sender-side sequence number of the message (0 for collectives).
+    pub seq: u64,
+    /// Scheduler round at which the payload landed in the receiver.
+    pub round: u64,
+    /// Number of tainted payload bytes that crossed.
+    pub tainted_bytes: usize,
+    /// Union of the per-byte fault provenance that crossed (raw `ProvSet`
+    /// bits; 0 when the carrier lost or never had provenance).
+    pub prov_bits: u32,
+}
+
 /// Observer of cluster-level MPI traffic (Chaser's tracer hooks in here to
 /// log cross-rank propagation).
 pub trait MpiObserver {
@@ -191,6 +213,10 @@ pub trait MpiObserver {
     /// A point-to-point message was copied into the receiver's buffer;
     /// `tainted_bytes` is how many payload bytes carried taint across.
     fn on_delivered(&mut self, env: &Envelope, tainted_bytes: usize);
+    /// A delivery carried taint across a rank boundary (fires after
+    /// [`MpiObserver::on_delivered`], and also for tainted collective
+    /// fan-outs, which `on_delivered` does not see).
+    fn on_tainted_delivery(&mut self, _edge: &CrossRankEdge) {}
 }
 
 /// Result of one scheduling round.
@@ -821,6 +847,10 @@ impl Cluster {
                 h.write_u64(base);
                 h.write_bytes(masks);
             });
+            node.taint().prov_mem().for_each(|paddr, p| {
+                h.write_u64(paddr);
+                h.write_u64(u64::from(p.bits()));
+            });
         }
         self.net.for_each_in_flight(|dest, deliver_at, seq, env| {
             h.write_u64(u64::from(dest));
@@ -1148,7 +1178,18 @@ impl Cluster {
             _ => None,
         };
         if self.cfg.taint_carrier == TaintCarrier::Hub && tainted {
-            self.hub.publish_seq_at(
+            // Tainted sends also carry their fault provenance, so the
+            // receiver can extend the propagation graph across the rank
+            // boundary. Empty when the sender tracks no provenance.
+            let provs = if self.nodes[ni].taint().prov_any() {
+                self.nodes[ni]
+                    .read_guest_prov(pid, buf, bytes)
+                    .map(|ps| ps.iter().map(|p| p.bits()).collect())
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            self.hub.publish_full(
                 MsgId {
                     src: rank,
                     dest,
@@ -1157,6 +1198,7 @@ impl Cluster {
                 seq,
                 masks.clone(),
                 self.round,
+                provs,
             );
         }
 
@@ -1265,6 +1307,7 @@ impl Cluster {
         }
         // Incoming data overwrites whatever taint the buffer carried...
         let mut masks = vec![0u8; env.data.len()];
+        let mut provs = vec![ProvSet::EMPTY; env.data.len()];
         let taint_on = self.cfg.taint_policy != TaintPolicy::Disabled;
         // ...then the configured carrier re-applies the sender's taint.
         match self.cfg.taint_carrier {
@@ -1296,7 +1339,12 @@ impl Cluster {
                     }
                 }
                 match self.hub.poll_matching(id, env.seq) {
-                    Some(rec) if synced => masks.copy_from_slice(&rec.masks),
+                    Some(rec) if synced => {
+                        masks.copy_from_slice(&rec.masks);
+                        for (dst, bits) in provs.iter_mut().zip(rec.provs.iter()) {
+                            *dst = ProvSet::from_bits(*bits);
+                        }
+                    }
                     Some(rec) if rec.is_tainted() => self.taint_sync_lost += 1,
                     _ => {}
                 }
@@ -1306,12 +1354,32 @@ impl Cluster {
         let tainted_bytes = masks.iter().filter(|&&m| m != 0).count();
         if taint_on {
             let _ = self.nodes[ni].write_guest_taint(pid, args.buf, &masks);
+            if provs.iter().any(|p| !p.is_empty()) || self.nodes[ni].taint().prov_any() {
+                let _ = self.nodes[ni].write_guest_prov(pid, args.buf, &provs);
+            }
         }
         if tainted_bytes > 0 {
             self.cross_rank_tainted_deliveries += 1;
         }
         for obs in self.observers.clone() {
             obs.borrow_mut().on_delivered(&env, tainted_bytes);
+        }
+        if tainted_bytes > 0 {
+            let edge = CrossRankEdge {
+                src: env.src,
+                dest: rank,
+                tag: env.tag,
+                seq: env.seq,
+                round: self.round,
+                tainted_bytes,
+                prov_bits: provs
+                    .iter()
+                    .fold(ProvSet::EMPTY, |acc, p| acc.union(*p))
+                    .bits(),
+            };
+            for obs in self.observers.clone() {
+                obs.borrow_mut().on_tainted_delivery(&edge);
+            }
         }
         Deliver::Done
     }
@@ -1420,7 +1488,7 @@ impl Cluster {
             }};
         }
         macro_rules! write_buf {
-            ($rank:expr, $addr:expr, $data:expr, $masks:expr) => {{
+            ($rank:expr, $addr:expr, $data:expr, $masks:expr, $provs:expr) => {{
                 let (ni, pid) = self.ranks[$rank as usize];
                 if self.nodes[ni].write_guest(pid, $addr, $data).is_err() {
                     self.kill_rank($rank, Signal::Segv);
@@ -1429,6 +1497,10 @@ impl Cluster {
                 }
                 let masks: &[u8] = $masks;
                 let _ = self.nodes[ni].write_guest_taint(pid, $addr, masks);
+                let provs: &[ProvSet] = $provs;
+                if provs.iter().any(|p| !p.is_empty()) || self.nodes[ni].taint().prov_any() {
+                    let _ = self.nodes[ni].write_guest_prov(pid, $addr, provs);
+                }
             }};
         }
         macro_rules! read_taint {
@@ -1439,6 +1511,24 @@ impl Cluster {
                     .unwrap_or_else(|_| vec![0; $len as usize])
             }};
         }
+        macro_rules! read_prov {
+            ($rank:expr, $addr:expr, $len:expr) => {{
+                let (ni, pid) = self.ranks[$rank as usize];
+                if self.nodes[ni].taint().prov_any() {
+                    self.nodes[ni]
+                        .read_guest_prov(pid, $addr, $len)
+                        .unwrap_or_else(|_| vec![ProvSet::EMPTY; $len as usize])
+                } else {
+                    vec![ProvSet::EMPTY; $len as usize]
+                }
+            }};
+        }
+
+        let tag = coll_tag(shape.kind);
+        let union_bits = |ps: &[ProvSet]| ps.iter().fold(ProvSet::EMPTY, |a, p| a.union(*p)).bits();
+        // Tainted cross-rank movements observed during this collective;
+        // fired to observers once the data movement is complete.
+        let mut edges: Vec<CrossRankEdge> = Vec::new();
 
         match shape.kind {
             CollKind::Barrier => {}
@@ -1449,12 +1539,28 @@ impl Cluster {
                 } else {
                     vec![0; bytes as usize]
                 };
+                let provs = if carrier_taint {
+                    read_prov!(shape.root, shape.sendbuf, bytes)
+                } else {
+                    vec![ProvSet::EMPTY; bytes as usize]
+                };
                 let tainted = masks.iter().any(|&m| m != 0);
+                let tainted_bytes = masks.iter().filter(|&&m| m != 0).count();
+                let prov_bits = union_bits(&provs);
                 for (r, req) in slot.requests() {
                     if r != shape.root {
-                        write_buf!(r, req.sendbuf, &data, &masks);
+                        write_buf!(r, req.sendbuf, &data, &masks, &provs);
                         if tainted {
                             self.cross_rank_tainted_deliveries += 1;
+                            edges.push(CrossRankEdge {
+                                src: shape.root,
+                                dest: r,
+                                tag,
+                                seq: 0,
+                                round: self.round,
+                                tainted_bytes,
+                                prov_bits,
+                            });
                         }
                     }
                 }
@@ -1464,17 +1570,27 @@ impl Cluster {
                 let op = shape.op.expect("reduce has an operator");
                 let mut acc: Vec<u8> = Vec::new();
                 let mut acc_masks = vec![0u8; bytes as usize];
+                let mut acc_provs = vec![ProvSet::EMPTY; bytes as usize];
                 let mut contributions: Vec<Vec<u8>> = Vec::new();
                 let mut tainted_ranks: Vec<u32> = Vec::new();
+                // Per contributing rank: tainted byte count + provenance
+                // union, for the edge records.
+                let mut taint_srcs: Vec<(u32, usize, u32)> = Vec::new();
                 for (r, req) in slot.requests() {
                     let data = read_buf!(r, req.sendbuf, bytes);
                     if carrier_taint {
                         let masks = read_taint!(r, req.sendbuf, bytes);
-                        if masks.iter().any(|&m| m != 0) {
+                        let provs = read_prov!(r, req.sendbuf, bytes);
+                        let tainted_bytes = masks.iter().filter(|&&m| m != 0).count();
+                        if tainted_bytes > 0 {
                             tainted_ranks.push(r);
+                            taint_srcs.push((r, tainted_bytes, union_bits(&provs)));
                         }
                         for (m, a) in masks.iter().zip(acc_masks.iter_mut()) {
                             *a |= m;
+                        }
+                        for (p, a) in provs.iter().zip(acc_provs.iter_mut()) {
+                            *a = a.union(*p);
                         }
                     }
                     if acc.is_empty() {
@@ -1492,15 +1608,41 @@ impl Cluster {
                         .find(|(r, _)| *r == shape.root)
                         .map(|(_, req)| *req)
                         .expect("root joined");
-                    write_buf!(shape.root, root_req.recvbuf, &acc, &acc_masks);
+                    write_buf!(shape.root, root_req.recvbuf, &acc, &acc_masks, &acc_provs);
                     if tainted_ranks.iter().any(|&t| t != shape.root) {
                         self.cross_rank_tainted_deliveries += 1;
                     }
+                    for &(t, tainted_bytes, prov_bits) in &taint_srcs {
+                        if t != shape.root {
+                            edges.push(CrossRankEdge {
+                                src: t,
+                                dest: shape.root,
+                                tag,
+                                seq: 0,
+                                round: self.round,
+                                tainted_bytes,
+                                prov_bits,
+                            });
+                        }
+                    }
                 } else {
                     for (r, req) in slot.requests() {
-                        write_buf!(r, req.recvbuf, &acc, &acc_masks);
+                        write_buf!(r, req.recvbuf, &acc, &acc_masks, &acc_provs);
                         if tainted_ranks.iter().any(|&t| t != r) {
                             self.cross_rank_tainted_deliveries += 1;
+                        }
+                        for &(t, tainted_bytes, prov_bits) in &taint_srcs {
+                            if t != r {
+                                edges.push(CrossRankEdge {
+                                    src: t,
+                                    dest: r,
+                                    tag,
+                                    seq: 0,
+                                    round: self.round,
+                                    tainted_bytes,
+                                    prov_bits,
+                                });
+                            }
                         }
                     }
                 }
@@ -1513,18 +1655,34 @@ impl Cluster {
                 } else {
                     vec![0; total as usize]
                 };
+                let provs = if carrier_taint {
+                    read_prov!(shape.root, shape.sendbuf, total)
+                } else {
+                    vec![ProvSet::EMPTY; total as usize]
+                };
                 for (r, req) in slot.requests() {
                     let off = (r as u64 * bytes) as usize;
                     let chunk_masks = &masks[off..off + bytes as usize];
+                    let chunk_provs = &provs[off..off + bytes as usize];
                     let tainted = chunk_masks.iter().any(|&m| m != 0);
                     write_buf!(
                         r,
                         req.recvbuf,
                         &data[off..off + bytes as usize],
-                        chunk_masks
+                        chunk_masks,
+                        chunk_provs
                     );
                     if tainted && r != shape.root {
                         self.cross_rank_tainted_deliveries += 1;
+                        edges.push(CrossRankEdge {
+                            src: shape.root,
+                            dest: r,
+                            tag,
+                            seq: 0,
+                            round: self.round,
+                            tainted_bytes: chunk_masks.iter().filter(|&&m| m != 0).count(),
+                            prov_bits: union_bits(chunk_provs),
+                        });
                     }
                 }
             }
@@ -1541,13 +1699,33 @@ impl Cluster {
                     } else {
                         vec![0; bytes as usize]
                     };
+                    let provs = if carrier_taint {
+                        read_prov!(r, req.sendbuf, bytes)
+                    } else {
+                        vec![ProvSet::EMPTY; bytes as usize]
+                    };
                     let dst = root_req.recvbuf + r as u64 * bytes;
                     let tainted = masks.iter().any(|&m| m != 0);
-                    write_buf!(shape.root, dst, &data, &masks);
+                    write_buf!(shape.root, dst, &data, &masks, &provs);
                     if tainted && r != shape.root {
                         self.cross_rank_tainted_deliveries += 1;
+                        edges.push(CrossRankEdge {
+                            src: r,
+                            dest: shape.root,
+                            tag,
+                            seq: 0,
+                            round: self.round,
+                            tainted_bytes: masks.iter().filter(|&&m| m != 0).count(),
+                            prov_bits: union_bits(&provs),
+                        });
                     }
                 }
+            }
+        }
+
+        for edge in edges {
+            for obs in self.observers.clone() {
+                obs.borrow_mut().on_tainted_delivery(&edge);
             }
         }
 
@@ -1557,6 +1735,22 @@ impl Cluster {
             }
         }
     }
+}
+
+/// The synthetic message tag [`CrossRankEdge`]s use for collective data
+/// movements (collectives have no user tag; point-to-point tags are small,
+/// so a high base keeps the ranges disjoint).
+fn coll_tag(kind: CollKind) -> u64 {
+    const COLL_TAG_BASE: u64 = 0xC0_11_EC_00;
+    COLL_TAG_BASE
+        + match kind {
+            CollKind::Barrier => 0,
+            CollKind::Bcast => 1,
+            CollKind::Reduce => 2,
+            CollKind::Allreduce => 3,
+            CollKind::Scatter => 4,
+            CollKind::Gather => 5,
+        }
 }
 
 /// Elementwise reduction of `src` into `acc`.

@@ -37,8 +37,8 @@ mod envelope;
 mod net;
 
 pub use cluster::{
-    BudgetKind, Cluster, ClusterConfig, ClusterRun, ClusterSnapshot, HangRank, HubSyncPolicy,
-    MpiObserver, PendingOp, RoundReport, RunBudget,
+    BudgetKind, Cluster, ClusterConfig, ClusterRun, ClusterSnapshot, CrossRankEdge, HangRank,
+    HubSyncPolicy, MpiObserver, PendingOp, RoundReport, RunBudget,
 };
 pub use collective::{CollKind, CollReq, CollectiveSlot};
 pub use envelope::{Envelope, MpiError, MpiErrorKind, TaintCarrier, MAX_MSG_BYTES};

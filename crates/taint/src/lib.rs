@@ -43,10 +43,12 @@
 
 mod mask;
 mod policy;
+mod prov;
 mod shadow;
 mod state;
 
 pub use mask::TaintMask;
 pub use policy::{PropKind, TaintPolicy};
+pub use prov::{ProvMem, ProvSet};
 pub use shadow::ShadowMem;
 pub use state::TaintState;

@@ -1,7 +1,7 @@
 //! Whole-CPU taint state: shadow registers, shadow temporaries and shadow
-//! memory under one policy.
+//! memory under one policy, with fault provenance carried in parallel.
 
-use crate::{ShadowMem, TaintMask, TaintPolicy};
+use crate::{ProvMem, ProvSet, ShadowMem, TaintMask, TaintPolicy};
 use chaser_isa::{FReg, Reg, NUM_FREGS, NUM_REGS};
 use chaser_tcg::{Global, Temp};
 
@@ -10,6 +10,11 @@ use chaser_tcg::{Global, Temp};
 /// The execution engine in `chaser-vm` drives this in lock-step with the
 /// value computation: for every IR op it reads operand masks, calls
 /// [`TaintPolicy::propagate`], and writes the result mask back.
+///
+/// Alongside each mask the state carries a [`ProvSet`] naming the injected
+/// fault(s) the taint derives from. Provenance follows the masks (a clean
+/// result always has empty provenance) and is gated behind a `prov_any`
+/// flag so runs that never inject pay one branch per shadow write.
 #[derive(Debug, Clone)]
 pub struct TaintState {
     policy: TaintPolicy,
@@ -17,6 +22,13 @@ pub struct TaintState {
     fregs: [TaintMask; NUM_FREGS],
     locals: Vec<TaintMask>,
     mem: ShadowMem,
+    prov_regs: [ProvSet; NUM_REGS],
+    prov_fregs: [ProvSet; NUM_FREGS],
+    prov_locals: Vec<ProvSet>,
+    prov_mem: ProvMem,
+    /// True once any non-empty provenance has been written; while false,
+    /// every provenance shadow is known-empty and reads/writes short-circuit.
+    prov_any: bool,
 }
 
 impl TaintState {
@@ -28,6 +40,11 @@ impl TaintState {
             fregs: [TaintMask::CLEAN; NUM_FREGS],
             locals: Vec::new(),
             mem: ShadowMem::new(),
+            prov_regs: [ProvSet::EMPTY; NUM_REGS],
+            prov_fregs: [ProvSet::EMPTY; NUM_FREGS],
+            prov_locals: Vec::new(),
+            prov_mem: ProvMem::new(),
+            prov_any: false,
         }
     }
 
@@ -46,6 +63,10 @@ impl TaintState {
     pub fn begin_block(&mut self, n_locals: u16) {
         self.locals.clear();
         self.locals.resize(n_locals as usize, TaintMask::CLEAN);
+        if self.prov_any {
+            self.prov_locals.clear();
+            self.prov_locals.resize(n_locals as usize, ProvSet::EMPTY);
+        }
     }
 
     /// Reads the mask of an IR operand.
@@ -57,8 +78,62 @@ impl TaintState {
         }
     }
 
-    /// Writes the mask of an IR operand.
+    /// Writes the mask of an IR operand. Provenance at the destination is
+    /// cleared: a caller with provenance to record uses
+    /// [`TaintState::set_temp_with_prov`] or a propagation helper.
     pub fn set_temp(&mut self, t: Temp, m: TaintMask) {
+        self.write_temp_mask(t, m);
+        if self.prov_any {
+            self.write_temp_prov(t, ProvSet::EMPTY);
+        }
+    }
+
+    /// Writes mask and provenance of an IR operand together.
+    pub fn set_temp_with_prov(&mut self, t: Temp, m: TaintMask, p: ProvSet) {
+        self.write_temp_mask(t, m);
+        if !p.is_empty() {
+            self.prov_any = true;
+        }
+        if self.prov_any {
+            self.write_temp_prov(t, if m.is_tainted() { p } else { ProvSet::EMPTY });
+        }
+    }
+
+    /// Writes the result of a binary propagation: mask `m` at `d`, with the
+    /// provenance union of operands `a` and `b` when the result is tainted.
+    /// Reads operand provenance before touching `d`, so `d` may alias `a`
+    /// or `b`.
+    pub fn set_temp2(&mut self, d: Temp, m: TaintMask, a: Temp, b: Temp) {
+        if self.prov_any {
+            let p = if m.is_tainted() {
+                self.temp_prov(a).union(self.temp_prov(b))
+            } else {
+                ProvSet::EMPTY
+            };
+            self.write_temp_mask(d, m);
+            self.write_temp_prov(d, p);
+        } else {
+            self.write_temp_mask(d, m);
+        }
+    }
+
+    /// Writes the result of a unary propagation (or a copy): mask `m` at
+    /// `d`, inheriting `a`'s provenance when the result is tainted.
+    pub fn set_temp1(&mut self, d: Temp, m: TaintMask, a: Temp) {
+        if self.prov_any {
+            let p = if m.is_tainted() {
+                self.temp_prov(a)
+            } else {
+                ProvSet::EMPTY
+            };
+            self.write_temp_mask(d, m);
+            self.write_temp_prov(d, p);
+        } else {
+            self.write_temp_mask(d, m);
+        }
+    }
+
+    fn write_temp_mask(&mut self, t: Temp, m: TaintMask) {
         match t {
             Temp::Global(Global::Reg(r)) => self.regs[r.index()] = m,
             Temp::Global(Global::FReg(r)) => self.fregs[r.index()] = m,
@@ -72,6 +147,39 @@ impl TaintState {
         }
     }
 
+    fn write_temp_prov(&mut self, t: Temp, p: ProvSet) {
+        match t {
+            Temp::Global(Global::Reg(r)) => self.prov_regs[r.index()] = p,
+            Temp::Global(Global::FReg(r)) => self.prov_fregs[r.index()] = p,
+            Temp::Local(i) => {
+                let i = i as usize;
+                if i >= self.prov_locals.len() {
+                    if p.is_empty() {
+                        return;
+                    }
+                    self.prov_locals.resize(i + 1, ProvSet::EMPTY);
+                }
+                self.prov_locals[i] = p;
+            }
+        }
+    }
+
+    /// Reads the provenance of an IR operand.
+    pub fn temp_prov(&self, t: Temp) -> ProvSet {
+        if !self.prov_any {
+            return ProvSet::EMPTY;
+        }
+        match t {
+            Temp::Global(Global::Reg(r)) => self.prov_regs[r.index()],
+            Temp::Global(Global::FReg(r)) => self.prov_fregs[r.index()],
+            Temp::Local(i) => self
+                .prov_locals
+                .get(i as usize)
+                .copied()
+                .unwrap_or_default(),
+        }
+    }
+
     /// Reads a general-purpose register's mask.
     pub fn reg(&self, r: Reg) -> TaintMask {
         self.regs[r.index()]
@@ -80,6 +188,9 @@ impl TaintState {
     /// Taints (or cleans) a general-purpose register — an injection source.
     pub fn set_reg(&mut self, r: Reg, m: TaintMask) {
         self.regs[r.index()] = m;
+        if self.prov_any {
+            self.prov_regs[r.index()] = ProvSet::EMPTY;
+        }
     }
 
     /// Reads an FP register's mask.
@@ -90,6 +201,41 @@ impl TaintState {
     /// Taints (or cleans) an FP register — an injection source.
     pub fn set_freg(&mut self, r: FReg, m: TaintMask) {
         self.fregs[r.index()] = m;
+        if self.prov_any {
+            self.prov_fregs[r.index()] = ProvSet::EMPTY;
+        }
+    }
+
+    /// Taints a general-purpose register as fault `p`'s injection site.
+    pub fn set_reg_with_prov(&mut self, r: Reg, m: TaintMask, p: ProvSet) {
+        self.regs[r.index()] = m;
+        if !p.is_empty() {
+            self.prov_any = true;
+        }
+        if self.prov_any {
+            self.prov_regs[r.index()] = if m.is_tainted() { p } else { ProvSet::EMPTY };
+        }
+    }
+
+    /// Taints an FP register as fault `p`'s injection site.
+    pub fn set_freg_with_prov(&mut self, r: FReg, m: TaintMask, p: ProvSet) {
+        self.fregs[r.index()] = m;
+        if !p.is_empty() {
+            self.prov_any = true;
+        }
+        if self.prov_any {
+            self.prov_fregs[r.index()] = if m.is_tainted() { p } else { ProvSet::EMPTY };
+        }
+    }
+
+    /// A general-purpose register's provenance.
+    pub fn reg_prov(&self, r: Reg) -> ProvSet {
+        self.prov_regs[r.index()]
+    }
+
+    /// An FP register's provenance.
+    pub fn freg_prov(&self, r: FReg) -> ProvSet {
+        self.prov_fregs[r.index()]
     }
 
     /// Shadow memory (physical-address keyed).
@@ -97,9 +243,66 @@ impl TaintState {
         &self.mem
     }
 
-    /// Mutable shadow memory.
+    /// Mutable shadow memory. Direct mask writes bypass provenance; pair
+    /// them with [`TaintState::set_prov_byte`] when provenance matters.
     pub fn mem_mut(&mut self) -> &mut ShadowMem {
         &mut self.mem
+    }
+
+    /// Provenance shadow memory.
+    pub fn prov_mem(&self) -> &ProvMem {
+        &self.prov_mem
+    }
+
+    /// The provenance of one physical byte.
+    pub fn prov_byte(&self, paddr: u64) -> ProvSet {
+        if !self.prov_any {
+            return ProvSet::EMPTY;
+        }
+        self.prov_mem.byte(paddr)
+    }
+
+    /// Sets (or clears) the provenance of one physical byte.
+    pub fn set_prov_byte(&mut self, paddr: u64, p: ProvSet) {
+        if !p.is_empty() {
+            self.prov_any = true;
+        }
+        if self.prov_any {
+            self.prov_mem.set_byte(paddr, p);
+        }
+    }
+
+    /// Union provenance of the 8 bytes at `paddr` (the provenance of an
+    /// 8-byte guest load).
+    pub fn prov_load8(&self, paddr: u64) -> ProvSet {
+        if !self.prov_any {
+            return ProvSet::EMPTY;
+        }
+        self.prov_mem.load8(paddr)
+    }
+
+    /// Stores provenance `p` over the 8 bytes at `paddr`, byte-gated by
+    /// `mask`: bytes whose taint byte is clean get empty provenance.
+    pub fn prov_store8(&mut self, paddr: u64, mask: TaintMask, p: ProvSet) {
+        if !p.is_empty() {
+            self.prov_any = true;
+        }
+        if !self.prov_any {
+            return;
+        }
+        for i in 0..8u64 {
+            let bp = if mask.byte(i as usize) != 0 {
+                p
+            } else {
+                ProvSet::EMPTY
+            };
+            self.prov_mem.set_byte(paddr + i, bp);
+        }
+    }
+
+    /// True once any non-empty provenance has been recorded.
+    pub fn prov_any(&self) -> bool {
+        self.prov_any
     }
 
     /// Total tainted register bits across both files (diagnostics).
@@ -115,12 +318,17 @@ impl TaintState {
             && self.mem.tainted_bytes() == 0
     }
 
-    /// Removes all taint (registers, temps and memory).
+    /// Removes all taint and provenance (registers, temps and memory).
     pub fn clear(&mut self) {
         self.regs = [TaintMask::CLEAN; NUM_REGS];
         self.fregs = [TaintMask::CLEAN; NUM_FREGS];
         self.locals.clear();
         self.mem.clear();
+        self.prov_regs = [ProvSet::EMPTY; NUM_REGS];
+        self.prov_fregs = [ProvSet::EMPTY; NUM_FREGS];
+        self.prov_locals.clear();
+        self.prov_mem.clear();
+        self.prov_any = false;
     }
 }
 
@@ -169,5 +377,74 @@ mod tests {
         s.begin_block(1);
         s.set_temp(Temp::Local(5), TaintMask::bit(1));
         assert_eq!(s.temp(Temp::Local(5)), TaintMask::bit(1));
+    }
+
+    #[test]
+    fn provenance_follows_propagation() {
+        let mut s = TaintState::new(TaintPolicy::Precise);
+        let p = ProvSet::single(0);
+        s.set_reg_with_prov(Reg::R1, TaintMask::bit(3), p);
+        assert!(s.prov_any());
+        assert_eq!(s.reg_prov(Reg::R1), p);
+        // Binary result inherits the operand union.
+        s.set_temp2(
+            Temp::reg(Reg::R2),
+            TaintMask::bit(3),
+            Temp::reg(Reg::R1),
+            Temp::reg(Reg::R0),
+        );
+        assert_eq!(s.reg_prov(Reg::R2), p);
+        // Clean result drops provenance.
+        s.set_temp2(
+            Temp::reg(Reg::R2),
+            TaintMask::CLEAN,
+            Temp::reg(Reg::R1),
+            Temp::reg(Reg::R0),
+        );
+        assert_eq!(s.reg_prov(Reg::R2), ProvSet::EMPTY);
+    }
+
+    #[test]
+    fn set_temp_clears_provenance_at_destination() {
+        let mut s = TaintState::new(TaintPolicy::Precise);
+        s.set_reg_with_prov(Reg::R1, TaintMask::ALL, ProvSet::single(2));
+        s.set_temp(Temp::reg(Reg::R1), TaintMask::bit(0));
+        assert_eq!(s.reg_prov(Reg::R1), ProvSet::EMPTY);
+    }
+
+    #[test]
+    fn destination_aliasing_operand_keeps_provenance() {
+        let mut s = TaintState::new(TaintPolicy::Precise);
+        let p = ProvSet::single(1);
+        s.set_reg_with_prov(Reg::R3, TaintMask::ALL, p);
+        // d aliases a: provenance must be read before the write.
+        s.set_temp2(
+            Temp::reg(Reg::R3),
+            TaintMask::ALL,
+            Temp::reg(Reg::R3),
+            Temp::reg(Reg::R0),
+        );
+        assert_eq!(s.reg_prov(Reg::R3), p);
+    }
+
+    #[test]
+    fn prov_store8_is_mask_gated() {
+        let mut s = TaintState::new(TaintPolicy::Precise);
+        let p = ProvSet::single(0);
+        // Only byte 1 of the mask is tainted.
+        s.prov_store8(0x100, TaintMask(0xff00), p);
+        assert_eq!(s.prov_byte(0x100), ProvSet::EMPTY);
+        assert_eq!(s.prov_byte(0x101), p);
+        assert_eq!(s.prov_load8(0x100), p);
+    }
+
+    #[test]
+    fn clear_resets_prov_gate() {
+        let mut s = TaintState::new(TaintPolicy::Precise);
+        s.set_prov_byte(7, ProvSet::single(4));
+        assert!(s.prov_any());
+        s.clear();
+        assert!(!s.prov_any());
+        assert_eq!(s.prov_mem().provenanced_bytes(), 0);
     }
 }

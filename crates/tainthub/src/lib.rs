@@ -69,6 +69,11 @@ pub struct TaintRecord {
     /// the cluster), consulted by [`TaintHub::gc`] to expire records whose
     /// receiver will never poll (e.g. it died mid-communication).
     pub published_at: u64,
+    /// Per-byte fault provenance of the payload (`ProvSet` bitmasks from
+    /// `chaser-taint`, stored raw to keep the hub dependency-light). Empty
+    /// when the publisher does not track provenance; otherwise parallel to
+    /// [`TaintRecord::masks`].
+    pub provs: Vec<u32>,
 }
 
 impl TaintRecord {
@@ -133,6 +138,12 @@ impl TaintHub {
     /// Sender side with an explicit sequence number and publication
     /// timestamp (see [`TaintRecord::published_at`] and [`TaintHub::gc`]).
     pub fn publish_seq_at(&self, id: MsgId, seq: u64, masks: Vec<u8>, now: u64) {
+        self.publish_full(id, seq, masks, now, Vec::new());
+    }
+
+    /// Sender side carrying per-byte fault provenance alongside the masks
+    /// (see [`TaintRecord::provs`]).
+    pub fn publish_full(&self, id: MsgId, seq: u64, masks: Vec<u8>, now: u64, provs: Vec<u32>) {
         let mut inner = self.inner.lock();
         inner.stats.published += 1;
         inner.stats.tainted_bytes_published += masks.iter().filter(|&&m| m != 0).count() as u64;
@@ -140,6 +151,7 @@ impl TaintHub {
             masks,
             seq,
             published_at: now,
+            provs,
         });
     }
 
@@ -335,6 +347,7 @@ mod tests {
             masks: vec![0, 1, 0],
             seq: 0,
             published_at: 0,
+            provs: Vec::new(),
         };
         assert!(rec.is_tainted());
         assert_eq!(rec.tainted_bytes(), 1);
@@ -342,6 +355,7 @@ mod tests {
             masks: vec![0, 0],
             seq: 0,
             published_at: 0,
+            provs: Vec::new(),
         };
         assert!(!clean.is_tainted());
     }
@@ -395,6 +409,17 @@ mod tests {
         let mut seen = Vec::new();
         snap.for_each_record(|id, rec| seen.push((id, rec.seq)));
         assert_eq!(seen, vec![(ID, 3), (ID, 5)]);
+    }
+
+    #[test]
+    fn publish_full_carries_provenance() {
+        let hub = TaintHub::new();
+        hub.publish_full(ID, 2, vec![0xff, 0], 5, vec![0b1, 0]);
+        let rec = hub.poll_matching(ID, 2).expect("record");
+        assert_eq!(rec.provs, vec![0b1, 0]);
+        // Plain publishes leave provenance empty.
+        hub.publish_seq_at(ID, 3, vec![1], 6);
+        assert!(hub.poll_matching(ID, 3).expect("record").provs.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::node::SliceExit;
 use crate::paging::{AddressSpace, PagePerms};
 use crate::process::{MpiRequest, ProcState, Process};
 use chaser_isa::{abi, Flags, Instruction, PAGE_SIZE};
-use chaser_taint::{PropKind, TaintMask, TaintState};
+use chaser_taint::{PropKind, ProvSet, TaintMask, TaintState};
 use chaser_tcg::{
     translate_block, CodeFetcher, Global, TbCache, TcgOp, Temp, TranslateHook, TranslationBlock,
 };
@@ -45,29 +45,43 @@ impl TranslateHook for HookAdapter<'_> {
     }
 }
 
-/// Loads a guest u64 with its taint mask; returns `(value, mask, paddr)`.
+/// Loads a guest u64 with its taint mask and provenance; returns
+/// `(value, mask, prov, paddr)`.
 fn load_u64_tainted(
     aspace: &AddressSpace,
     phys: &PhysMemory,
     taint: &TaintState,
     vaddr: u64,
-) -> Result<(u64, TaintMask, u64), MemFault> {
+) -> Result<(u64, TaintMask, ProvSet, u64), MemFault> {
     let paddr = aspace.translate_read(vaddr)?;
     if vaddr % PAGE_SIZE <= PAGE_SIZE - 8 {
-        Ok((phys.read_u64(paddr), taint.mem().load8(paddr), paddr))
+        Ok((
+            phys.read_u64(paddr),
+            taint.mem().load8(paddr),
+            taint.prov_load8(paddr),
+            paddr,
+        ))
     } else {
         let mut val = [0u8; 8];
         let mut mask = [0u8; 8];
+        let mut prov = ProvSet::EMPTY;
         for i in 0..8u64 {
             let p = aspace.translate_read(vaddr + i)?;
             val[i as usize] = phys.read_u8(p);
             mask[i as usize] = taint.mem().byte(p);
+            prov = prov.union(taint.prov_byte(p));
         }
-        Ok((u64::from_le_bytes(val), TaintMask::from_bytes(mask), paddr))
+        Ok((
+            u64::from_le_bytes(val),
+            TaintMask::from_bytes(mask),
+            prov,
+            paddr,
+        ))
     }
 }
 
-/// Stores a guest u64 with its taint mask; returns the first byte's paddr.
+/// Stores a guest u64 with its taint mask and provenance; returns the first
+/// byte's paddr.
 fn store_u64_tainted(
     aspace: &AddressSpace,
     phys: &mut PhysMemory,
@@ -75,16 +89,24 @@ fn store_u64_tainted(
     vaddr: u64,
     value: u64,
     mask: TaintMask,
+    prov: ProvSet,
 ) -> Result<u64, MemFault> {
     let paddr = aspace.translate_write(vaddr)?;
     if vaddr % PAGE_SIZE <= PAGE_SIZE - 8 {
         phys.write_u64(paddr, value);
         taint.mem_mut().store8(paddr, mask);
+        taint.prov_store8(paddr, mask, prov);
     } else {
         for (i, b) in value.to_le_bytes().iter().enumerate() {
             let p = aspace.translate_write(vaddr + i as u64)?;
             phys.write_u8(p, *b);
             taint.mem_mut().set_byte(p, mask.byte(i));
+            let bp = if mask.byte(i) != 0 {
+                prov
+            } else {
+                ProvSet::EMPTY
+            };
+            taint.set_prov_byte(p, bp);
         }
     }
     Ok(paddr)
@@ -196,7 +218,7 @@ pub(crate) fn run_slice(
                 let kind = $kindv(av, bv, tb_);
                 let m = taint.policy().propagate(kind, ta, tb_);
                 setval!($d, out);
-                taint.set_temp($d, m);
+                taint.set_temp2($d, m, $a, $b);
             }};
         }
 
@@ -250,7 +272,7 @@ pub(crate) fn run_slice(
                     let v = val!(s);
                     let m = taint.temp(s);
                     setval!(d, v);
-                    taint.set_temp(d, m);
+                    taint.set_temp1(d, m, s);
                 }
                 TcgOp::Add { d, a, b } => {
                     binop!(d, a, b, |_a, _b, _tb| PropKind::AddSub, |x: u64, y: u64| x
@@ -272,7 +294,7 @@ pub(crate) fn run_slice(
                     let out = (av as i64).wrapping_div(bv as i64) as u64;
                     let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
                     setval!(d, out);
-                    taint.set_temp(d, m);
+                    taint.set_temp2(d, m, a, b);
                 }
                 TcgOp::Divu { d, a, b } => {
                     let (av, bv) = (val!(a), val!(b));
@@ -281,7 +303,7 @@ pub(crate) fn run_slice(
                     }
                     let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
                     setval!(d, av / bv);
-                    taint.set_temp(d, m);
+                    taint.set_temp2(d, m, a, b);
                 }
                 TcgOp::Remu { d, a, b } => {
                     let (av, bv) = (val!(a), val!(b));
@@ -290,7 +312,7 @@ pub(crate) fn run_slice(
                     }
                     let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
                     setval!(d, av % bv);
-                    taint.set_temp(d, m);
+                    taint.set_temp2(d, m, a, b);
                 }
                 TcgOp::And { d, a, b } => binop!(
                     d,
@@ -340,13 +362,13 @@ pub(crate) fn run_slice(
                     let m = policy.propagate(PropKind::Neg, taint.temp(a), TaintMask::CLEAN);
                     let v = (val!(a) as i64).wrapping_neg() as u64;
                     setval!(d, v);
-                    taint.set_temp(d, m);
+                    taint.set_temp1(d, m, a);
                 }
                 TcgOp::Not { d, a } => {
                     let m = policy.propagate(PropKind::Not, taint.temp(a), TaintMask::CLEAN);
                     let v = !val!(a);
                     setval!(d, v);
-                    taint.set_temp(d, m);
+                    taint.set_temp1(d, m, a);
                 }
                 TcgOp::SetFlagsInt { a, b } => {
                     proc.cpu.flags = Flags::from_int_cmp(val!(a), val!(b));
@@ -368,9 +390,9 @@ pub(crate) fn run_slice(
                         continue;
                     }
                     match load_u64_tainted(&proc.aspace, phys, taint, vaddr) {
-                        Ok((value, mask, paddr)) => {
+                        Ok((value, mask, prov, paddr)) => {
                             setval!(d, value);
-                            taint.set_temp(d, mask);
+                            taint.set_temp_with_prov(d, mask, prov);
                             if mask.is_tainted() {
                                 if let Some(sink) = &hooks.taint_events {
                                     sink.borrow_mut().on_taint_read(&TaintMemEvent {
@@ -382,6 +404,7 @@ pub(crate) fn run_slice(
                                         taint: mask,
                                         value,
                                         icount: proc.icount,
+                                        prov,
                                     });
                                 }
                             }
@@ -399,7 +422,8 @@ pub(crate) fn run_slice(
                         continue;
                     }
                     let mask = taint.temp(s);
-                    match store_u64_tainted(&proc.aspace, phys, taint, vaddr, value, mask) {
+                    let prov = taint.temp_prov(s);
+                    match store_u64_tainted(&proc.aspace, phys, taint, vaddr, value, mask, prov) {
                         Ok(paddr) => {
                             if mask.is_tainted() {
                                 if let Some(sink) = &hooks.taint_events {
@@ -412,6 +436,7 @@ pub(crate) fn run_slice(
                                         taint: mask,
                                         value,
                                         icount: proc.icount,
+                                        prov,
                                     });
                                 }
                             }
@@ -433,7 +458,11 @@ pub(crate) fn run_slice(
                     };
                     let m = policy.propagate(kind, taint.temp(a), tb_);
                     setval!(d, out);
-                    taint.set_temp(d, m);
+                    if helper.is_binary() {
+                        taint.set_temp2(d, m, a, b);
+                    } else {
+                        taint.set_temp1(d, m, a);
+                    }
                 }
                 TcgOp::CallInject { point, pc } => {
                     if let Some(sink) = &hooks.inject {

@@ -4,7 +4,7 @@
 use crate::mem::{MemFault, PhysMemory};
 use crate::paging::AddressSpace;
 use chaser_isa::{CpuState, FReg, Instruction, Reg};
-use chaser_taint::{TaintMask, TaintState};
+use chaser_taint::{ProvSet, TaintMask, TaintState};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -31,6 +31,8 @@ pub struct TaintMemEvent {
     pub value: u64,
     /// The process's retired-instruction count at the access.
     pub icount: u64,
+    /// Provenance of the tainted data: which injected fault(s) it traces to.
+    pub prov: ProvSet,
 }
 
 /// Receiver for tainted-memory read/write events.
@@ -132,6 +134,87 @@ impl GuestCtx<'_> {
         let paddr = self.aspace.translate_read(vaddr)?;
         self.taint.mem_mut().store8(paddr, mask);
         Ok(())
+    }
+
+    /// Marks a register as a taint source attributed to fault `prov`.
+    pub fn taint_reg_with_prov(&mut self, r: Reg, mask: TaintMask, prov: ProvSet) {
+        self.taint.set_reg_with_prov(r, mask, prov);
+    }
+
+    /// Marks an FP register as a taint source attributed to fault `prov`.
+    pub fn taint_freg_with_prov(&mut self, r: FReg, mask: TaintMask, prov: ProvSet) {
+        self.taint.set_freg_with_prov(r, mask, prov);
+    }
+
+    /// Marks 8 bytes of guest memory as a taint source attributed to fault
+    /// `prov`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if the address does not translate.
+    pub fn taint_mem_with_prov(
+        &mut self,
+        vaddr: u64,
+        mask: TaintMask,
+        prov: ProvSet,
+    ) -> Result<(), MemFault> {
+        let paddr = self.aspace.translate_read(vaddr)?;
+        self.taint.mem_mut().store8(paddr, mask);
+        self.taint.prov_store8(paddr, mask, prov);
+        Ok(())
+    }
+}
+
+/// Fans tainted-memory events out to several sinks: `NodeHooks` holds one
+/// `taint_events` slot, but a traced-and-provenance-recorded run needs both
+/// the tracer's sampler and the provenance recorder to observe the same
+/// stream. Sinks are invoked in registration order.
+#[derive(Default, Clone)]
+pub struct TaintEventFanout {
+    sinks: Vec<Rc<RefCell<dyn TaintEventSink>>>,
+}
+
+impl TaintEventFanout {
+    /// An empty fanout.
+    pub fn new() -> TaintEventFanout {
+        TaintEventFanout::default()
+    }
+
+    /// Appends a sink; it will see every subsequent event.
+    pub fn push(&mut self, sink: Rc<RefCell<dyn TaintEventSink>>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of registered sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no sink is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl std::fmt::Debug for TaintEventFanout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaintEventFanout")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TaintEventSink for TaintEventFanout {
+    fn on_taint_read(&mut self, ev: &TaintMemEvent) {
+        for sink in &self.sinks {
+            sink.borrow_mut().on_taint_read(ev);
+        }
+    }
+
+    fn on_taint_write(&mut self, ev: &TaintMemEvent) {
+        for sink in &self.sinks {
+            sink.borrow_mut().on_taint_write(ev);
+        }
     }
 }
 

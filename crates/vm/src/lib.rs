@@ -59,8 +59,8 @@ mod process;
 mod vmi;
 
 pub use hooks::{
-    FnHookSink, GuestCtx, InjectAction, InjectSink, NodeHooks, NodeTranslateHook, TaintEventSink,
-    TaintMemEvent,
+    FnHookSink, GuestCtx, InjectAction, InjectSink, NodeHooks, NodeTranslateHook, TaintEventFanout,
+    TaintEventSink, TaintMemEvent,
 };
 pub use kernel::{ExitStatus, Signal};
 pub use mem::{MemFault, MemFaultKind, MemSnapshot, MemStats, PhysMemory, DEFAULT_PHYS_BYTES};

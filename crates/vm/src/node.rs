@@ -299,6 +299,46 @@ impl Node {
         Ok(())
     }
 
+    /// Reads the per-byte fault provenance of a guest buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the guest [`MemFault`] on bad addresses.
+    pub fn read_guest_prov(
+        &self,
+        pid: u64,
+        vaddr: u64,
+        len: u64,
+    ) -> Result<Vec<chaser_taint::ProvSet>, MemFault> {
+        let proc = self.process(pid).expect("unknown pid");
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let paddr = proc.aspace.translate_read(vaddr + i)?;
+            out.push(self.taint.prov_byte(paddr));
+        }
+        Ok(out)
+    }
+
+    /// Writes the per-byte fault provenance of a guest buffer (applying an
+    /// incoming message's provenance on the receiver).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the guest [`MemFault`] on bad addresses.
+    pub fn write_guest_prov(
+        &mut self,
+        pid: u64,
+        vaddr: u64,
+        provs: &[chaser_taint::ProvSet],
+    ) -> Result<(), MemFault> {
+        let idx = self.index(pid).expect("unknown pid");
+        for (i, p) in provs.iter().enumerate() {
+            let paddr = self.procs[idx].aspace.translate_read(vaddr + i as u64)?;
+            self.taint.set_prov_byte(paddr, *p);
+        }
+        Ok(())
+    }
+
     /// The node's taint state.
     pub fn taint(&self) -> &TaintState {
         &self.taint

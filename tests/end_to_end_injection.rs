@@ -330,6 +330,6 @@ fn trace_event_csv_round_trips_real_runs() {
         "header plus one row per event"
     );
     for line in csv.lines().skip(1) {
-        assert_eq!(line.split(',').count(), 9, "all paper fields present");
+        assert_eq!(line.split(',').count(), 10, "all paper fields present");
     }
 }

@@ -33,6 +33,82 @@ fn clean_csv() -> &'static str {
     CSV.get_or_init(|| campaign().run().to_csv())
 }
 
+/// Writes a real journal, hands its text to `mangle`, writes the result
+/// back and returns what `resume` says about it.
+fn resume_mangled(
+    tag: &str,
+    mangle: impl FnOnce(String) -> String,
+) -> Result<chaser::CampaignResult, chaser::JournalError> {
+    let dir = std::env::temp_dir().join(format!("chaser-journal-neg-{}-{tag}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("campaign.jsonl");
+    campaign().run_journaled(&path).expect("journaled run");
+    let text = fs::read_to_string(&path).expect("journal readable");
+    fs::write(&path, mangle(text)).expect("rewrite journal");
+    let out = campaign().resume(&path);
+    let _ = fs::remove_dir_all(&dir);
+    out
+}
+
+#[test]
+fn resume_rejects_an_empty_journal() {
+    let err = resume_mangled("empty", |_| String::new()).expect_err("empty file must not resume");
+    assert!(
+        err.to_string().contains("empty journal"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn resume_rejects_a_corrupt_config_fingerprint() {
+    // Flip one digit of the header's config hash: the journal then claims
+    // to belong to a differently-configured campaign.
+    let err = resume_mangled("fingerprint", |text| {
+        let (header, rest) = text.split_once('\n').expect("header line");
+        let at = header.find("\"config_hash\":").expect("hash field") + "\"config_hash\":".len();
+        let mut h: Vec<char> = header.chars().collect();
+        h[at] = if h[at] == '9' { '1' } else { '9' };
+        format!("{}\n{rest}", h.into_iter().collect::<String>())
+    })
+    .expect_err("corrupt fingerprint must not resume");
+    assert!(
+        matches!(err, chaser::JournalError::HeaderMismatch { .. }),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn resume_rejects_a_truncated_header() {
+    // A kill during the very first write leaves a torn header; unlike a
+    // torn trailing *row*, that is not recoverable.
+    let err = resume_mangled("torn-header", |text| {
+        let header = text.split('\n').next().expect("header line");
+        header[..header.len() / 2].to_string()
+    })
+    .expect_err("torn header must not resume");
+    assert!(
+        matches!(err, chaser::JournalError::Malformed(_)),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn resume_rejects_corruption_before_the_final_row() {
+    // Only the final unterminated line may be damaged (the kill
+    // signature); a mangled row in the middle is real corruption.
+    let err = resume_mangled("mid-row", |text| {
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 3, "need rows to corrupt");
+        lines[2] = "{\"run_idx\":bogus";
+        format!("{}\n", lines.join("\n"))
+    })
+    .expect_err("mid-journal corruption must not resume");
+    assert!(
+        matches!(err, chaser::JournalError::Malformed(_)),
+        "unexpected error: {err}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
