@@ -27,3 +27,9 @@ cargo run --release --offline -p chaser-bench --bin warm_start_smoke
 # and require the DOT/JSON exports to stay byte-identical across cold,
 # warm-started and journal-resumed executions of the same seed.
 cargo run --release --offline -p chaser-bench --bin provenance_smoke
+
+# Hot-path perf smoke: prove the tb_chaining / taint_fast_path knobs
+# observationally inert (outcome CSV, provenance exports, state digest
+# byte-identical), then require >=2x engine throughput with both knobs on
+# vs both off. Writes BENCH_engine.json.
+cargo run --release --offline -p chaser-bench --bin perf_smoke

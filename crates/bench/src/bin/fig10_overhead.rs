@@ -107,6 +107,7 @@ fn main() {
 
     shared_cache_ablation();
     warm_start_ablation();
+    hot_path_ablation();
 }
 
 /// The layered-translation-cache ablation: the same 100-run matvec
@@ -165,6 +166,71 @@ fn shared_cache_ablation() {
             row("shared_tb_cache=true", t_shared, &shared),
             row("shared_tb_cache=false", t_cold, &cold),
         ],
+    );
+}
+
+/// The hot-path execution ablation: the same 100-run matvec campaign with
+/// TB chaining and the taint-idle fast path on vs off. Outcome CSVs must
+/// be byte-identical; the engine counters show where the win comes from
+/// (chained dispatches and memory ops that skipped all shadow work).
+fn hot_path_ablation() {
+    let campaign = |on: bool| {
+        let mv = matvec::MatvecConfig::default();
+        let app = AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 4);
+        let campaign = Campaign::new(
+            app,
+            CampaignConfig {
+                runs: 100,
+                seed: 0xCAFE,
+                classes: vec![InsnClass::FpArith],
+                rank_pool: RankPool::Random,
+                tb_chaining: on,
+                taint_fast_path: on,
+                ..CampaignConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let result = campaign.run();
+        (t0.elapsed().as_secs_f64(), result)
+    };
+    let (t_on, on) = campaign(true);
+    let (t_off, off) = campaign(false);
+    assert_eq!(
+        on.to_csv(),
+        off.to_csv(),
+        "optimized and unoptimized campaigns must classify identically"
+    );
+
+    let row = |label: &str, t: f64, r: &chaser::CampaignResult| {
+        let s = r.engine_stats;
+        let mem_ops = s.fast_path_insns + s.slow_path_insns;
+        vec![
+            label.to_string(),
+            format!("{:.1}ms", t * 1e3),
+            format!("{:.3}x", t / t_off),
+            format!("{}", s.tb_chain_hits),
+            format!("{}", s.chain_severs),
+            format!(
+                "{} ({:.1}%)",
+                s.fast_path_insns,
+                100.0 * s.fast_path_insns as f64 / mem_ops.max(1) as f64
+            ),
+            format!("{}", s.slow_path_insns),
+        ]
+    };
+    print_table(
+        "Hot-path execution: 100-run matvec campaign, tb_chaining + \
+         taint_fast_path on vs off (identical outcome sets)",
+        &[
+            "config",
+            "wall clock",
+            "vs off",
+            "chain hits",
+            "severs",
+            "fast-path mem ops",
+            "slow-path mem ops",
+        ],
+        &[row("knobs on", t_on, &on), row("knobs off", t_off, &off)],
     );
 }
 

@@ -1,0 +1,318 @@
+//! Hot-path engine performance smoke: CI gate for the interpreter's two
+//! fast paths (TB chaining and the taint-idle memory path).
+//!
+//! Measures engine throughput (guest insns/sec) on a memory-heavy loop in
+//! four regimes — cold (no base cache, knobs off), warm (shared base
+//! cache, knobs off), chained (warm + TB chaining), and taint-idle (warm +
+//! chaining + taint-idle fast path) — and requires the fully optimized
+//! regime to beat the unoptimized one by at least 2x. Before trusting the
+//! speedup it proves the knobs observationally inert: a traced,
+//! provenance-recording campaign must produce byte-identical outcome CSVs,
+//! an injected run must export byte-identical provenance DOT/JSON, and a
+//! fault-free cluster must reach the same state digest with the knobs on
+//! and off.
+//!
+//! Writes the measured numbers to `BENCH_engine.json` (hand-rolled JSON;
+//! the vendored serde has no serializer).
+//!
+//! `cargo run --release -p chaser-bench --bin perf_smoke`
+
+use chaser::{AppSpec, Campaign, CampaignConfig, RankPool, RunOptions};
+use chaser_isa::{Asm, Cond, InsnClass, Program, Reg};
+use chaser_mpi::{Cluster, ClusterConfig};
+use chaser_tcg::BaseLayer;
+use chaser_vm::{EngineStats, ExecTuning, Node, SliceExit};
+use chaser_workloads::matvec;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Iterations of the measurement loop (8 memory ops each).
+const LOOP_ITERS: i64 = 100_000;
+/// Timed repetitions per regime (the best is reported: noise only ever
+/// slows a run down, so the fastest rep is the truest measure and the
+/// regime ratio is far more stable than with medians).
+const REPS: usize = 7;
+/// Required speedup: both knobs on vs both knobs off.
+const REQUIRED_SPEEDUP: f64 = 2.0;
+
+/// A memory-heavy update loop: every iteration walks four slots of a small
+/// buffer with a load/add/store each — the read-modify-write access
+/// pattern that dominates real numeric kernels. It exercises everything
+/// the taint-idle regime elides at once: shadow and provenance lookups on
+/// the memory ops, mask propagation on the arithmetic, and (being a short
+/// block) cache-lookup overhead that TB chaining removes.
+fn loop_program() -> Program {
+    let mut a = Asm::new("hotloop");
+    a.data_u64("buf", &[0; 8]);
+    a.lea(Reg::R5, "buf");
+    a.movi(Reg::R1, 0);
+    a.label("loop");
+    for slot in 0..4 {
+        a.ld(Reg::R2, Reg::R5, slot * 8);
+        a.addi(Reg::R2, 1);
+        a.st(Reg::R2, Reg::R5, slot * 8);
+    }
+    a.addi(Reg::R1, 1);
+    a.cmpi(Reg::R1, LOOP_ITERS);
+    a.jcc(Cond::Lt, "loop");
+    a.exit(0);
+    a.assemble().expect("assemble hotloop")
+}
+
+/// Runs `prog` to completion on a fresh node under `tuning`, returning
+/// `(retired insns, seconds, stats)`. The node keeps its default precise
+/// taint policy — the taint machinery is *on* but idle, which is exactly
+/// the regime the taint-idle fast path targets.
+fn run_once(
+    prog: &Program,
+    tuning: ExecTuning,
+    base: Option<&Arc<BaseLayer>>,
+) -> (u64, f64, EngineStats) {
+    let mut node = Node::new(0);
+    node.set_exec_tuning(tuning);
+    if let Some(base) = base {
+        node.install_base_cache(Arc::clone(base));
+    }
+    let pid = node.spawn(prog).expect("spawn");
+    let t0 = Instant::now();
+    loop {
+        match node.run_slice(pid, 1_000_000) {
+            SliceExit::Exited(_) => break,
+            SliceExit::QuantumExpired => continue,
+            other => panic!("unexpected slice exit: {other:?}"),
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (node.total_icount(), secs, node.engine_stats())
+}
+
+/// One timed rep of every regime, interleaved so slow drift (thermal,
+/// frequency scaling) hits all regimes alike. Returns per-regime
+/// `(best insns/sec so far, last stats)` accumulated into `acc`.
+fn measure_round(
+    prog: &Program,
+    regimes: &[(ExecTuning, Option<&Arc<BaseLayer>>)],
+    acc: &mut [(f64, EngineStats)],
+) {
+    for (i, (tuning, base)) in regimes.iter().enumerate() {
+        let (insns, secs, s) = run_once(prog, *tuning, *base);
+        let ips = insns as f64 / secs;
+        if ips > acc[i].0 {
+            acc[i].0 = ips;
+        }
+        acc[i].1 = s;
+    }
+}
+
+/// Seals a clean base translation layer warmed by one full run.
+fn warmed_base(prog: &Program) -> Arc<BaseLayer> {
+    let mut node = Node::new(0);
+    let pid = node.spawn(prog).expect("spawn");
+    loop {
+        match node.run_slice(pid, 1_000_000) {
+            SliceExit::Exited(_) => break,
+            SliceExit::QuantumExpired => continue,
+            other => panic!("unexpected slice exit: {other:?}"),
+        }
+    }
+    node.seal_cache()
+}
+
+/// The matvec application the correctness gates run on.
+fn matvec_app() -> AppSpec {
+    let mv = matvec::MatvecConfig::default();
+    AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 2)
+}
+
+/// Gate 1: a traced, provenance-recording campaign must classify
+/// byte-identically with the knobs on and off, while the optimized run
+/// actually exercises the fast paths.
+fn assert_campaign_identity() -> (EngineStats, EngineStats) {
+    let campaign = |tb_chaining: bool, taint_fast_path: bool| {
+        Campaign::new(
+            matvec_app(),
+            CampaignConfig {
+                runs: 30,
+                seed: 0xFA57,
+                classes: vec![InsnClass::FpArith],
+                rank_pool: RankPool::Random,
+                tracing: true,
+                provenance: true,
+                tb_chaining,
+                taint_fast_path,
+                ..CampaignConfig::default()
+            },
+        )
+        .run()
+    };
+    let on = campaign(true, true);
+    let off = campaign(false, false);
+    assert_eq!(
+        on.to_csv(),
+        off.to_csv(),
+        "outcome CSV must be byte-identical across the hot-path knobs"
+    );
+    assert!(
+        on.engine_stats.tb_chain_hits > 0,
+        "optimized campaign must follow chain links"
+    );
+    assert_eq!(
+        off.engine_stats.tb_chain_hits, 0,
+        "knobs-off campaign must never chain"
+    );
+    assert_eq!(
+        off.engine_stats.fast_path_insns, 0,
+        "knobs-off campaign must never take the taint-idle path"
+    );
+    (on.engine_stats, off.engine_stats)
+}
+
+/// Gate 2: an injected, traced run must export byte-identical provenance
+/// DOT/JSON with the knobs on and off.
+fn assert_provenance_identity() {
+    let app = matvec_app();
+    let report = |tuning: ExecTuning| {
+        let spec = chaser::InjectionSpec {
+            target_program: app.name.clone(),
+            target_rank: 0,
+            class: InsnClass::FpArith,
+            trigger: chaser::Trigger::AfterN(3),
+            corruption: chaser::Corruption::FlipRandomBits(2),
+            operand: chaser::OperandSel::Dst,
+            max_injections: 1,
+            seed: 7,
+        };
+        let opts = RunOptions {
+            exec_tuning: tuning,
+            ..RunOptions::inject_traced(spec)
+        };
+        chaser::run_app(&app, &opts)
+    };
+    let on = report(ExecTuning::default());
+    let off = report(ExecTuning {
+        tb_chaining: false,
+        taint_fast_path: false,
+    });
+    let graph_on = on.provenance.expect("provenance graph (knobs on)");
+    let graph_off = off.provenance.expect("provenance graph (knobs off)");
+    assert_eq!(
+        graph_on.to_dot(),
+        graph_off.to_dot(),
+        "provenance DOT export must be byte-identical across the knobs"
+    );
+    assert_eq!(
+        graph_on.to_json(),
+        graph_off.to_json(),
+        "provenance JSON export must be byte-identical across the knobs"
+    );
+    assert_eq!(on.outputs, off.outputs, "rank outputs must match");
+}
+
+/// Gate 3: a fault-free cluster must reach the same state digest under
+/// both tunings.
+fn assert_state_digest_identity() {
+    let digest = |tuning: ExecTuning| {
+        let mv = matvec::MatvecConfig::default();
+        let program = matvec::program(&mv);
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            exec_tuning: tuning,
+            ..ClusterConfig::default()
+        });
+        let programs: Vec<&Program> = (0..mv.ranks).map(|_| &program).collect();
+        cluster.launch(&programs).expect("launch");
+        let run = cluster.run();
+        assert!(!run.hang, "fault-free matvec must not hang");
+        cluster.state_digest()
+    };
+    let on = digest(ExecTuning::default());
+    let off = digest(ExecTuning {
+        tb_chaining: false,
+        taint_fast_path: false,
+    });
+    assert_eq!(
+        on, off,
+        "cluster state digest must be identical across the hot-path knobs"
+    );
+}
+
+fn main() {
+    // Correctness gates first: a speedup measured on a divergent engine
+    // would be meaningless.
+    let (stats_on, stats_off) = assert_campaign_identity();
+    assert_provenance_identity();
+    assert_state_digest_identity();
+    println!("perf_smoke: correctness gates passed (outcome CSV, provenance exports, state digest byte-identical)");
+
+    let prog = loop_program();
+    let base = warmed_base(&prog);
+    let off = ExecTuning {
+        tb_chaining: false,
+        taint_fast_path: false,
+    };
+    let chained_only = ExecTuning {
+        tb_chaining: true,
+        taint_fast_path: false,
+    };
+    let regimes = [
+        (off, None),
+        (off, Some(&base)),
+        (chained_only, Some(&base)),
+        (ExecTuning::default(), Some(&base)),
+    ];
+    let mut acc = [(0.0f64, EngineStats::default()); 4];
+    for _ in 0..REPS {
+        measure_round(&prog, &regimes, &mut acc);
+    }
+    let (cold_ips, warm_ips, chained_ips, opt_ips) = (acc[0].0, acc[1].0, acc[2].0, acc[3].0);
+    let opt_stats = acc[3].1;
+
+    let speedup = opt_ips / warm_ips.max(1.0);
+    println!("perf_smoke: engine throughput (guest insns/sec, best of {REPS}):");
+    println!("  cold       (knobs off, no base cache): {cold_ips:>12.0}");
+    println!("  warm       (knobs off, shared base)  : {warm_ips:>12.0}");
+    println!("  chained    (tb_chaining only)        : {chained_ips:>12.0}");
+    println!("  taint-idle (both knobs on)           : {opt_ips:>12.0}");
+    println!("  speedup (both on vs both off, warm)  : {speedup:.2}x");
+    println!(
+        "  optimized-run counters: {} chain hits, {} severs, {} fast-path / {} slow-path mem ops",
+        opt_stats.tb_chain_hits,
+        opt_stats.chain_severs,
+        opt_stats.fast_path_insns,
+        opt_stats.slow_path_insns
+    );
+
+    assert!(
+        opt_stats.tb_chain_hits > 0 && opt_stats.slow_path_insns == 0,
+        "optimized run must chain and stay entirely on the taint-idle path"
+    );
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "hot-path speedup regressed: {speedup:.2}x < {REQUIRED_SPEEDUP}x"
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"hotloop ({} iters, 8 mem ops each)\",\n  \
+         \"insns_per_sec_cold\": {cold_ips:.0},\n  \
+         \"insns_per_sec_warm\": {warm_ips:.0},\n  \
+         \"insns_per_sec_chained\": {chained_ips:.0},\n  \
+         \"insns_per_sec_taint_idle\": {opt_ips:.0},\n  \
+         \"speedup_on_vs_off\": {speedup:.3},\n  \
+         \"tb_chain_hits\": {},\n  \
+         \"chain_severs\": {},\n  \
+         \"fast_path_insns\": {},\n  \
+         \"slow_path_insns\": {},\n  \
+         \"campaign_chain_hits_on\": {},\n  \
+         \"campaign_chain_hits_off\": {}\n}}\n",
+        LOOP_ITERS,
+        opt_stats.tb_chain_hits,
+        opt_stats.chain_severs,
+        opt_stats.fast_path_insns,
+        opt_stats.slow_path_insns,
+        stats_on.tb_chain_hits,
+        stats_off.tb_chain_hits,
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("perf_smoke: wrote BENCH_engine.json");
+    println!("perf_smoke: PASS");
+}

@@ -16,6 +16,7 @@ use crate::tracer::TracerConfig;
 use chaser_isa::InsnClass;
 use chaser_mpi::RunBudget;
 use chaser_tcg::CacheStats;
+use chaser_vm::{EngineStats, ExecTuning};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -78,6 +79,15 @@ pub struct CampaignConfig {
     /// injection run; merged with the cluster configuration's own budget,
     /// tighter bound wins. Default unlimited.
     pub run_budget: RunBudget,
+    /// TB chaining: patch direct block exits so steady-state dispatch jumps
+    /// block-to-block without translation-cache hash lookups. Outcomes are
+    /// byte-identical either way; off is the ablation baseline.
+    pub tb_chaining: bool,
+    /// Taint-idle fast path: while no taint (or provenance) is live in a
+    /// node's shadow memory, guest memory operations skip all shadow work.
+    /// Outcomes are byte-identical either way; off is the ablation
+    /// baseline.
+    pub taint_fast_path: bool,
     /// Chaos knob: run indices whose execution deliberately panics *inside
     /// the harness* (not the guest). Used by the resilience tests and the
     /// CI smoke run to prove panic isolation: these runs must come back as
@@ -102,6 +112,8 @@ impl Default for CampaignConfig {
             shared_tb_cache: true,
             warm_start: false,
             run_budget: RunBudget::default(),
+            tb_chaining: true,
+            taint_fast_path: true,
             panic_runs: Vec::new(),
         }
     }
@@ -148,6 +160,9 @@ pub struct RunOutcome {
     pub record: Option<InjectionRecord>,
     /// Translation-cache statistics for this run (all nodes combined).
     pub cache_stats: CacheStats,
+    /// Hot-path engine counters for this run (all nodes combined): chain
+    /// hits/severs and fast- vs slow-path memory operations.
+    pub engine_stats: EngineStats,
 }
 
 impl RunOutcome {
@@ -252,6 +267,10 @@ pub struct CampaignResult {
     /// resume replayed from a journal contribute nothing — the row codec
     /// carries outcomes, not performance counters).
     pub snapshot_stats: SnapshotStats,
+    /// Hot-path engine counters summed over every classified run (skipped
+    /// runs excluded). Outcome rows journal their own counters, so a
+    /// resumed campaign reports the same totals as an uninterrupted one.
+    pub engine_stats: EngineStats,
 }
 
 impl CampaignResult {
@@ -353,6 +372,32 @@ impl CampaignResult {
                 run.total_insns,
                 pc,
                 insn,
+            ));
+        }
+        out
+    }
+
+    /// Renders the per-run hot-path engine counters as CSV. Kept separate
+    /// from [`CampaignResult::to_csv`] on purpose: outcome CSVs must stay
+    /// byte-identical across the `tb_chaining` / `taint_fast_path` ablation
+    /// knobs, while these counters are exactly what the knobs change.
+    pub fn stats_csv(&self) -> String {
+        let mut out = String::from(
+            "run_idx,tb_chain_hits,chain_severs,fast_path_insns,slow_path_insns,tb_lookups,tb_misses
+",
+        );
+        for run in &self.outcomes {
+            let e = run.engine_stats;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}
+",
+                run.run_idx,
+                e.tb_chain_hits,
+                e.chain_severs,
+                e.fast_path_insns,
+                e.slow_path_insns,
+                run.cache_stats.lookups,
+                run.cache_stats.misses,
             ));
         }
         out
@@ -558,6 +603,7 @@ fn harness_fault_outcome(idx: u64, payload: Box<dyn std::any::Any + Send>) -> Ru
         total_insns: 0,
         record: None,
         cache_stats: CacheStats::default(),
+        engine_stats: EngineStats::default(),
     }
 }
 
@@ -690,16 +736,18 @@ impl Campaign {
 
     /// Fingerprint of every configuration knob that shapes the journal's
     /// contents or provenance. Only `parallelism` is excluded: which
-    /// worker computed a row never changes it. `shared_tb_cache` and
-    /// `warm_start` *are* included even though both are replay-equivalent
-    /// knobs — a journal must be finished under the exact execution regime
-    /// that started it, or its rows mix provenances silently.
+    /// worker computed a row never changes it. `shared_tb_cache`,
+    /// `warm_start`, `tb_chaining` and `taint_fast_path` *are* included
+    /// even though all four are replay-equivalent knobs — a journal must be
+    /// finished under the exact execution regime that started it, or its
+    /// rows mix provenances silently (the journaled engine counters would
+    /// be incomparable across rows).
     fn config_fingerprint(&self) -> u64 {
         let c = &self.cfg;
         let mut h = Fnv1a::new();
         h.write(
             format!(
-                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{};{:?};{:?}",
+                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{};{:?};{};{};{:?}",
                 c.runs,
                 c.seed,
                 c.classes,
@@ -712,6 +760,8 @@ impl Campaign {
                 c.shared_tb_cache,
                 c.warm_start,
                 c.run_budget,
+                c.tb_chaining,
+                c.taint_fast_path,
                 c.panic_runs,
             )
             .as_bytes(),
@@ -784,6 +834,10 @@ impl Campaign {
 
         let mut outcomes = outcomes.into_inner().expect("poisoned");
         outcomes.sort_by_key(|o| o.run_idx);
+        let mut engine_stats = EngineStats::default();
+        for o in &outcomes {
+            engine_stats.absorb(o.engine_stats);
+        }
         CampaignResult {
             outcomes,
             skipped: skipped.load(Ordering::Relaxed),
@@ -791,6 +845,7 @@ impl Campaign {
             profile_counts: prepared.profile_counts.clone().into_iter().collect(),
             cache_stats: cache_stats.into_inner().expect("poisoned"),
             snapshot_stats: snapshot_stats.into_inner().expect("poisoned"),
+            engine_stats,
         }
     }
 
@@ -847,6 +902,10 @@ impl Campaign {
             provenance: self.cfg.provenance,
             hook_mpi_symbols: false,
             budget: self.cfg.run_budget,
+            exec_tuning: ExecTuning {
+                tb_chaining: self.cfg.tb_chaining,
+                taint_fast_path: self.cfg.taint_fast_path,
+            },
         };
         let report = if prepared.warm.is_some() {
             run_warm(prepared, &opts, self.cfg.shared_tb_cache)
@@ -880,6 +939,7 @@ impl Campaign {
             total_insns: report.cluster.total_insns,
             record: report.injections.first().cloned(),
             cache_stats,
+            engine_stats: report.engine_stats,
         };
         (cache_stats, snap_stats, Some(outcome))
     }
@@ -909,6 +969,7 @@ mod tests {
             total_insns: 100,
             record: None,
             cache_stats: CacheStats::default(),
+            engine_stats: EngineStats::default(),
         }
     }
 
@@ -920,6 +981,7 @@ mod tests {
             profile_counts: BTreeMap::new(),
             cache_stats: CacheStats::default(),
             snapshot_stats: SnapshotStats::default(),
+            engine_stats: EngineStats::default(),
         }
     }
 

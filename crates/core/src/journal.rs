@@ -18,7 +18,7 @@ use crate::outcome::{Outcome, TermCause};
 use chaser_isa::InsnClass;
 use chaser_mpi::{BudgetKind, MpiErrorKind};
 use chaser_tcg::CacheStats;
-use chaser_vm::Signal;
+use chaser_vm::{EngineStats, Signal};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -412,8 +412,10 @@ pub struct JournalHeader {
 
 /// Current journal format version. Version 2 added the per-run provenance
 /// aggregates (`prov_rank_reach` / `prov_blast_radius` / `prov_msg_edges` /
-/// `prov_digest`) to outcome rows.
-pub const JOURNAL_VERSION: u64 = 2;
+/// `prov_digest`) to outcome rows. Version 3 added the per-run hot-path
+/// engine counters (`engine_stats`) to outcome rows and folded the
+/// `tb_chaining` / `taint_fast_path` knobs into the config fingerprint.
+pub const JOURNAL_VERSION: u64 = 3;
 
 impl JournalHeader {
     fn to_json(self) -> Json {
@@ -580,6 +582,30 @@ fn cache_stats_from_json(v: &Json) -> Result<CacheStats, JournalError> {
         translated_insns: v.u64("translated_insns")?,
         overlay_blocks: v.u64("overlay_blocks")?,
         base_blocks: v.u64("base_blocks")?,
+    })
+}
+
+fn engine_stats_to_json(e: &EngineStats) -> Json {
+    Json::Obj(vec![
+        ("tb_chain_hits".into(), Json::Num(e.tb_chain_hits as i128)),
+        ("chain_severs".into(), Json::Num(e.chain_severs as i128)),
+        (
+            "fast_path_insns".into(),
+            Json::Num(e.fast_path_insns as i128),
+        ),
+        (
+            "slow_path_insns".into(),
+            Json::Num(e.slow_path_insns as i128),
+        ),
+    ])
+}
+
+fn engine_stats_from_json(v: &Json) -> Result<EngineStats, JournalError> {
+    Ok(EngineStats {
+        tb_chain_hits: v.u64("tb_chain_hits")?,
+        chain_severs: v.u64("chain_severs")?,
+        fast_path_insns: v.u64("fast_path_insns")?,
+        slow_path_insns: v.u64("slow_path_insns")?,
     })
 }
 
@@ -815,6 +841,7 @@ fn outcome_to_json(o: &RunOutcome) -> Json {
             o.record.as_ref().map_or(Json::Null, record_to_json),
         ),
         ("cache_stats".into(), cache_stats_to_json(&o.cache_stats)),
+        ("engine_stats".into(), engine_stats_to_json(&o.engine_stats)),
     ])
 }
 
@@ -842,6 +869,10 @@ fn outcome_from_json(v: &Json) -> Result<RunOutcome, JournalError> {
         cache_stats: cache_stats_from_json(
             v.get("cache_stats")
                 .ok_or_else(|| bad("missing `cache_stats`"))?,
+        )?,
+        engine_stats: engine_stats_from_json(
+            v.get("engine_stats")
+                .ok_or_else(|| bad("missing `engine_stats`"))?,
         )?,
     })
 }
@@ -900,6 +931,12 @@ mod tests {
                 lookups: 10,
                 misses: 2,
                 ..CacheStats::default()
+            },
+            engine_stats: EngineStats {
+                tb_chain_hits: 42,
+                chain_severs: 1,
+                fast_path_insns: 800,
+                slow_path_insns: 7,
             },
         }
     }

@@ -14,7 +14,8 @@ use chaser_mpi::{
 use chaser_tainthub::HubStats;
 use chaser_tcg::{BaseLayer, CacheStats};
 use chaser_vm::{
-    FnHookSink, InjectSink, NodeTranslateHook, TaintEventFanout, TaintEventSink, VmiSink,
+    EngineStats, ExecTuning, FnHookSink, InjectSink, NodeTranslateHook, TaintEventFanout,
+    TaintEventSink, VmiSink,
 };
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
@@ -86,6 +87,10 @@ pub struct RunOptions {
     /// Per-run watchdog budget, merged (tighter bound wins) with the
     /// cluster configuration's own [`RunBudget`].
     pub budget: RunBudget,
+    /// Hot-path engine knobs (TB chaining, taint-idle fast path). Both
+    /// default on; turning either off is observationally equivalent but
+    /// slower — see `DESIGN.md` §9.
+    pub exec_tuning: ExecTuning,
 }
 
 impl RunOptions {
@@ -171,6 +176,9 @@ pub struct RunReport {
     pub fn_hook_hits: Vec<(u64, u64, [u64; 6])>,
     /// Translation-cache statistics aggregated over the run's nodes.
     pub cache_stats: CacheStats,
+    /// Hot-path engine counters aggregated over the run's nodes (chain
+    /// hits/severs, fast- vs slow-path memory operations).
+    pub engine_stats: EngineStats,
     /// Snapshot/restore counters (all zero on cold runs).
     pub snapshot: SnapshotStats,
     /// The fault-propagation provenance graph when
@@ -274,6 +282,7 @@ fn effective_cluster_cfg(app: &AppSpec, opts: &RunOptions) -> ClusterConfig {
         cluster_cfg.taint_policy = chaser_taint::TaintPolicy::Disabled;
     }
     cluster_cfg.run_budget = cluster_cfg.run_budget.merge(opts.budget);
+    cluster_cfg.exec_tuning = opts.exec_tuning;
     cluster_cfg
 }
 
@@ -333,6 +342,7 @@ fn build_report(
         net: cluster.net_stats(),
         fn_hook_hits: fn_logger.map_or_else(Vec::new, |l| l.borrow().hits.clone()),
         cache_stats: cluster.tb_cache_stats(),
+        engine_stats: cluster.engine_stats(),
         snapshot,
         provenance,
     }

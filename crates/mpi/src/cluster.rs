@@ -10,7 +10,8 @@ use chaser_taint::{ProvSet, TaintPolicy};
 use chaser_tainthub::{HubSnapshot, MsgId, TaintHub};
 use chaser_tcg::{BaseLayer, CacheStats};
 use chaser_vm::{
-    ExitStatus, MpiRequest, Node, NodeSnapshot, ProcState, ProcessFiles, Signal, SliceExit,
+    EngineStats, ExecTuning, ExitStatus, MpiRequest, Node, NodeSnapshot, ProcState, ProcessFiles,
+    Signal, SliceExit,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -162,6 +163,9 @@ pub struct ClusterConfig {
     pub net_faultiness: Faultiness,
     /// TaintHub sync-path reliability policy; default fully reliable.
     pub hub_sync: HubSyncPolicy,
+    /// Hot-path execution tuning for every node (TB chaining, taint-idle
+    /// fast path); default all on.
+    pub exec_tuning: ExecTuning,
 }
 
 impl Default for ClusterConfig {
@@ -179,6 +183,7 @@ impl Default for ClusterConfig {
             run_budget: RunBudget::default(),
             net_faultiness: Faultiness::default(),
             hub_sync: HubSyncPolicy::default(),
+            exec_tuning: ExecTuning::default(),
         }
     }
 }
@@ -354,7 +359,11 @@ impl Cluster {
     /// An empty cluster with `cfg.nodes` machines.
     pub fn new(cfg: ClusterConfig) -> Cluster {
         let nodes = (0..cfg.nodes)
-            .map(|i| Node::with_config(i as u32, cfg.phys_bytes, cfg.taint_policy))
+            .map(|i| {
+                let mut node = Node::with_config(i as u32, cfg.phys_bytes, cfg.taint_policy);
+                node.set_exec_tuning(cfg.exec_tuning);
+                node
+            })
             .collect();
         Cluster {
             nodes,
@@ -475,6 +484,15 @@ impl Cluster {
         let mut total = CacheStats::default();
         for node in &self.nodes {
             total.absorb(node.cache_stats());
+        }
+        total
+    }
+
+    /// Aggregated hot-path execution counters across all nodes.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for node in &self.nodes {
+            total.absorb(node.engine_stats());
         }
         total
     }
@@ -770,7 +788,15 @@ impl Cluster {
         let hub = TaintHub::new();
         hub.restore(&snap.hub);
         Cluster {
-            nodes: snap.nodes.iter().map(Node::from_snapshot).collect(),
+            nodes: snap
+                .nodes
+                .iter()
+                .map(|ns| {
+                    let mut node = Node::from_snapshot(ns);
+                    node.set_exec_tuning(cfg.exec_tuning);
+                    node
+                })
+                .collect(),
             ranks: snap.ranks.clone(),
             state: snap.state.clone(),
             net: snap.net.clone(),

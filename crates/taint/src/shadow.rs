@@ -13,11 +13,30 @@ const SHADOW_PAGE: usize = 4096;
 /// campaign touches a tiny fraction of guest RAM.
 ///
 /// The structure maintains a running count of tainted bytes, which is what
-/// the paper's Fig. 7 samples every 100K instructions.
+/// the paper's Fig. 7 samples every 100K instructions, and a per-page
+/// tainted-byte count, which is what the engine's taint-idle fast path
+/// consults to skip shadow work entirely while no taint is live.
 #[derive(Debug, Default, Clone)]
 pub struct ShadowMem {
-    pages: HashMap<u64, Box<[u8; SHADOW_PAGE]>>,
+    pages: HashMap<u64, ShadowPage>,
     tainted_bytes: usize,
+}
+
+/// One lazily-allocated shadow page plus a summary count of its tainted
+/// bytes, so page-level "any taint here?" queries cost one map lookup.
+#[derive(Debug, Clone)]
+struct ShadowPage {
+    masks: Box<[u8; SHADOW_PAGE]>,
+    tainted: u32,
+}
+
+impl ShadowPage {
+    fn new() -> ShadowPage {
+        ShadowPage {
+            masks: Box::new([0u8; SHADOW_PAGE]),
+            tainted: 0,
+        }
+    }
 }
 
 impl ShadowMem {
@@ -29,7 +48,7 @@ impl ShadowMem {
     /// The taint bits of the byte at physical address `paddr`.
     pub fn byte(&self, paddr: u64) -> u8 {
         let (page, off) = split(paddr);
-        self.pages.get(&page).map_or(0, |p| p[off])
+        self.pages.get(&page).map_or(0, |p| p.masks[off])
     }
 
     /// Sets the taint bits of the byte at `paddr`.
@@ -38,40 +57,103 @@ impl ShadowMem {
         if mask == 0 {
             // Avoid allocating a page just to store zero.
             if let Some(p) = self.pages.get_mut(&page) {
-                if p[off] != 0 {
+                if p.masks[off] != 0 {
                     self.tainted_bytes -= 1;
-                    p[off] = 0;
+                    p.tainted -= 1;
+                    p.masks[off] = 0;
                 }
             }
             return;
         }
-        let p = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u8; SHADOW_PAGE]));
-        if p[off] == 0 {
+        let p = self.pages.entry(page).or_insert_with(ShadowPage::new);
+        if p.masks[off] == 0 {
             self.tainted_bytes += 1;
+            p.tainted += 1;
         }
-        p[off] = mask;
+        p.masks[off] = mask;
     }
 
     /// Loads the taint of the 8 bytes at `paddr` as a value mask
-    /// (little-endian, matching guest loads).
+    /// (little-endian, matching guest loads). One page lookup when the
+    /// access stays inside a shadow page.
     pub fn load8(&self, paddr: u64) -> TaintMask {
-        let bytes: [u8; 8] = std::array::from_fn(|i| self.byte(paddr + i as u64));
-        TaintMask::from_bytes(bytes)
+        let (page, off) = split(paddr);
+        if off <= SHADOW_PAGE - 8 {
+            match self.pages.get(&page) {
+                None => TaintMask::CLEAN,
+                Some(p) if p.tainted == 0 => TaintMask::CLEAN,
+                Some(p) => TaintMask::from_bytes(
+                    p.masks[off..off + 8].try_into().expect("8 in-page bytes"),
+                ),
+            }
+        } else {
+            let bytes: [u8; 8] = std::array::from_fn(|i| self.byte(paddr + i as u64));
+            TaintMask::from_bytes(bytes)
+        }
     }
 
-    /// Stores a value mask over the 8 bytes at `paddr`.
+    /// Stores a value mask over the 8 bytes at `paddr`. One page lookup
+    /// when the access stays inside a shadow page.
     pub fn store8(&mut self, paddr: u64, mask: TaintMask) {
+        let (page, off) = split(paddr);
+        if off > SHADOW_PAGE - 8 {
+            for i in 0..8 {
+                self.set_byte(paddr + i as u64, mask.byte(i));
+            }
+            return;
+        }
+        if mask.is_clean() {
+            // Clearing: only touch a page that exists and carries taint.
+            if let Some(p) = self.pages.get_mut(&page) {
+                if p.tainted == 0 {
+                    return;
+                }
+                for i in 0..8 {
+                    if p.masks[off + i] != 0 {
+                        self.tainted_bytes -= 1;
+                        p.tainted -= 1;
+                        p.masks[off + i] = 0;
+                    }
+                }
+            }
+            return;
+        }
+        let p = self.pages.entry(page).or_insert_with(ShadowPage::new);
         for i in 0..8 {
-            self.set_byte(paddr + i as u64, mask.byte(i));
+            let m = mask.byte(i);
+            let old = p.masks[off + i];
+            match (old == 0, m == 0) {
+                (true, false) => {
+                    self.tainted_bytes += 1;
+                    p.tainted += 1;
+                }
+                (false, true) => {
+                    self.tainted_bytes -= 1;
+                    p.tainted -= 1;
+                }
+                _ => {}
+            }
+            p.masks[off + i] = m;
         }
     }
 
     /// Current number of tainted bytes (the Fig. 7 series).
     pub fn tainted_bytes(&self) -> usize {
         self.tainted_bytes
+    }
+
+    /// True when no byte anywhere carries taint — the engine's taint-idle
+    /// fast-path gate. Invariant: `tainted_bytes == 0` ⇔ every allocated
+    /// page's summary count is zero ⇔ every mask byte is zero.
+    pub fn is_idle(&self) -> bool {
+        self.tainted_bytes == 0
+    }
+
+    /// Number of tainted bytes in the shadow page containing `paddr` (the
+    /// per-page taint summary).
+    pub fn page_tainted_bytes(&self, paddr: u64) -> u32 {
+        let (page, _) = split(paddr);
+        self.pages.get(&page).map_or(0, |p| p.tainted)
     }
 
     /// Clears all taint.
@@ -92,9 +174,9 @@ impl ShadowMem {
         let mut keys: Vec<u64> = self.pages.keys().copied().collect();
         keys.sort_unstable();
         for page in keys {
-            let bytes = &self.pages[&page][..];
-            if bytes.iter().any(|&b| b != 0) {
-                f(page * SHADOW_PAGE as u64, bytes);
+            let p = &self.pages[&page];
+            if p.tainted > 0 {
+                f(page * SHADOW_PAGE as u64, &p.masks[..]);
             }
         }
     }
@@ -159,6 +241,57 @@ mod tests {
         assert_eq!(m.byte(0), 0xff);
         assert_eq!(m.byte(3), 0xf0);
         assert_eq!(m.byte(7), 0);
+    }
+
+    #[test]
+    fn page_summaries_track_per_page_counts() {
+        let mut s = ShadowMem::new();
+        assert!(s.is_idle());
+        s.store8(0, TaintMask::ALL);
+        s.set_byte(SHADOW_PAGE as u64 + 5, 0x1);
+        assert!(!s.is_idle());
+        assert_eq!(s.page_tainted_bytes(100), 8);
+        assert_eq!(s.page_tainted_bytes(SHADOW_PAGE as u64), 1);
+        assert_eq!(s.page_tainted_bytes(2 * SHADOW_PAGE as u64), 0);
+        s.store8(0, TaintMask::CLEAN);
+        s.set_byte(SHADOW_PAGE as u64 + 5, 0);
+        assert!(s.is_idle());
+        assert_eq!(s.page_tainted_bytes(0), 0);
+    }
+
+    #[test]
+    fn straddling_store_updates_both_page_summaries() {
+        let mut s = ShadowMem::new();
+        let paddr = SHADOW_PAGE as u64 - 4;
+        s.store8(paddr, TaintMask::ALL);
+        assert_eq!(s.page_tainted_bytes(0), 4);
+        assert_eq!(s.page_tainted_bytes(SHADOW_PAGE as u64), 4);
+        s.store8(paddr, TaintMask::CLEAN);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn partial_overwrite_keeps_counts_consistent() {
+        let mut s = ShadowMem::new();
+        s.store8(16, TaintMask(0x0000_0000_ffff_ffff)); // bytes 0..4 tainted
+        assert_eq!(s.tainted_bytes(), 4);
+        // Overwrite with the complementary half: bytes 4..8 tainted.
+        s.store8(16, TaintMask(0xffff_ffff_0000_0000));
+        assert_eq!(s.tainted_bytes(), 4);
+        assert_eq!(s.page_tainted_bytes(16), 4);
+        assert_eq!(s.byte(16), 0);
+        assert_eq!(s.byte(20), 0xff);
+    }
+
+    #[test]
+    fn cleared_pages_are_skipped_by_page_visit() {
+        let mut s = ShadowMem::new();
+        s.store8(0, TaintMask::ALL);
+        s.store8(SHADOW_PAGE as u64, TaintMask::ALL);
+        s.store8(0, TaintMask::CLEAN); // page 0 allocated but clean
+        let mut seen = Vec::new();
+        s.for_each_tainted_page(|base, _| seen.push(base));
+        assert_eq!(seen, vec![SHADOW_PAGE as u64]);
     }
 
     #[test]

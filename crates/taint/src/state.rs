@@ -29,6 +29,17 @@ pub struct TaintState {
     /// True once any non-empty provenance has been written; while false,
     /// every provenance shadow is known-empty and reads/writes short-circuit.
     prov_any: bool,
+    /// Number of tainted global shadows (regs + fregs), maintained at every
+    /// mask write so [`TaintState::fully_idle`] is O(1).
+    tainted_globals: u32,
+    /// Number of tainted local-temp shadows.
+    tainted_locals: u32,
+}
+
+/// Updates a population counter for a mask overwrite.
+#[inline]
+fn repop(count: &mut u32, old: TaintMask, new: TaintMask) {
+    *count = *count - old.is_tainted() as u32 + new.is_tainted() as u32;
 }
 
 impl TaintState {
@@ -45,6 +56,8 @@ impl TaintState {
             prov_locals: Vec::new(),
             prov_mem: ProvMem::new(),
             prov_any: false,
+            tainted_globals: 0,
+            tainted_locals: 0,
         }
     }
 
@@ -63,6 +76,7 @@ impl TaintState {
     pub fn begin_block(&mut self, n_locals: u16) {
         self.locals.clear();
         self.locals.resize(n_locals as usize, TaintMask::CLEAN);
+        self.tainted_locals = 0;
         if self.prov_any {
             self.prov_locals.clear();
             self.prov_locals.resize(n_locals as usize, ProvSet::EMPTY);
@@ -135,13 +149,20 @@ impl TaintState {
 
     fn write_temp_mask(&mut self, t: Temp, m: TaintMask) {
         match t {
-            Temp::Global(Global::Reg(r)) => self.regs[r.index()] = m,
-            Temp::Global(Global::FReg(r)) => self.fregs[r.index()] = m,
+            Temp::Global(Global::Reg(r)) => {
+                repop(&mut self.tainted_globals, self.regs[r.index()], m);
+                self.regs[r.index()] = m;
+            }
+            Temp::Global(Global::FReg(r)) => {
+                repop(&mut self.tainted_globals, self.fregs[r.index()], m);
+                self.fregs[r.index()] = m;
+            }
             Temp::Local(i) => {
                 let i = i as usize;
                 if i >= self.locals.len() {
                     self.locals.resize(i + 1, TaintMask::CLEAN);
                 }
+                repop(&mut self.tainted_locals, self.locals[i], m);
                 self.locals[i] = m;
             }
         }
@@ -187,6 +208,7 @@ impl TaintState {
 
     /// Taints (or cleans) a general-purpose register — an injection source.
     pub fn set_reg(&mut self, r: Reg, m: TaintMask) {
+        repop(&mut self.tainted_globals, self.regs[r.index()], m);
         self.regs[r.index()] = m;
         if self.prov_any {
             self.prov_regs[r.index()] = ProvSet::EMPTY;
@@ -200,6 +222,7 @@ impl TaintState {
 
     /// Taints (or cleans) an FP register — an injection source.
     pub fn set_freg(&mut self, r: FReg, m: TaintMask) {
+        repop(&mut self.tainted_globals, self.fregs[r.index()], m);
         self.fregs[r.index()] = m;
         if self.prov_any {
             self.prov_fregs[r.index()] = ProvSet::EMPTY;
@@ -208,6 +231,7 @@ impl TaintState {
 
     /// Taints a general-purpose register as fault `p`'s injection site.
     pub fn set_reg_with_prov(&mut self, r: Reg, m: TaintMask, p: ProvSet) {
+        repop(&mut self.tainted_globals, self.regs[r.index()], m);
         self.regs[r.index()] = m;
         if !p.is_empty() {
             self.prov_any = true;
@@ -219,6 +243,7 @@ impl TaintState {
 
     /// Taints an FP register as fault `p`'s injection site.
     pub fn set_freg_with_prov(&mut self, r: FReg, m: TaintMask, p: ProvSet) {
+        repop(&mut self.tainted_globals, self.fregs[r.index()], m);
         self.fregs[r.index()] = m;
         if !p.is_empty() {
             self.prov_any = true;
@@ -311,6 +336,27 @@ impl TaintState {
             + self.fregs.iter().map(|m| m.count()).sum::<u32>()
     }
 
+    /// True when *memory* carries no taint and no provenance: the engine's
+    /// taint-idle fast-path gate for guest loads and clean stores. Two
+    /// counter reads, no hashing.
+    ///
+    /// Registers/temps may still be tainted while this holds — that is
+    /// fine: a load from idle memory produces a clean mask regardless, and
+    /// a store of a tainted temp is excluded from the fast path by its own
+    /// mask check.
+    pub fn mem_idle(&self) -> bool {
+        self.mem.is_idle() && (!self.prov_any || self.prov_mem.provenanced_bytes() == 0)
+    }
+
+    /// True when *nothing* carries taint or provenance — no register, no
+    /// temp, no memory byte. Four counter reads, no scanning. While this
+    /// holds, every propagation is clean-in ⇒ clean-out (see
+    /// [`TaintPolicy::propagate`]) and the engine may skip per-op shadow
+    /// bookkeeping entirely; only an injector can break the regime.
+    pub fn fully_idle(&self) -> bool {
+        self.tainted_globals == 0 && self.tainted_locals == 0 && self.mem_idle()
+    }
+
     /// True when no register, temp or memory byte carries taint.
     pub fn is_fully_clean(&self) -> bool {
         self.tainted_reg_bits() == 0
@@ -329,6 +375,8 @@ impl TaintState {
         self.prov_locals.clear();
         self.prov_mem.clear();
         self.prov_any = false;
+        self.tainted_globals = 0;
+        self.tainted_locals = 0;
     }
 }
 

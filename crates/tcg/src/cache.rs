@@ -9,7 +9,9 @@
 
 use crate::TranslationBlock;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::{Rc, Weak};
 use std::sync::Arc;
 
 /// Counters describing cache behaviour; used by the overhead benchmarks to
@@ -114,6 +116,76 @@ enum Provenance {
     Fresh,
 }
 
+/// Which successor slot of a [`DispatchBlock`] a chain link occupies.
+///
+/// `Taken` is the unconditional / branch-taken successor; `Fallthrough` is
+/// the not-taken successor of a conditional exit. Blocks ending in an
+/// indirect jump or a hypercall have no chainable slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainSlot {
+    /// Unconditional exit or the taken side of a conditional exit.
+    Taken,
+    /// The not-taken side of a conditional exit.
+    Fallthrough,
+}
+
+/// One patched successor link: valid only while the cache is still in the
+/// epoch the link was recorded under.
+#[derive(Debug, Clone)]
+struct ChainLink {
+    epoch: u64,
+    succ: Weak<DispatchBlock>,
+}
+
+/// A per-cache dispatch wrapper around one translated block, carrying the
+/// patchable successor slots used for TB chaining (QEMU's direct block
+/// linking).
+///
+/// Links are deliberately *not* stored inside [`TranslationBlock`]: those
+/// are `Arc`-shared across threads via the [`BaseLayer`], whereas chain
+/// links are meaningful only within one cache's flush epoch. Each cache
+/// wraps the blocks it dispatches in its own `Rc<DispatchBlock>`, so links
+/// never leak between runs and base-layer sharing stays sound.
+///
+/// Successor slots hold [`Weak`] references — blocks freely link in cycles
+/// (every loop back-edge is one), and strong links would leak the whole
+/// cycle once the overlay drops it.
+#[derive(Debug)]
+pub struct DispatchBlock {
+    tb: Arc<TranslationBlock>,
+    links: [RefCell<Option<ChainLink>>; 2],
+}
+
+impl DispatchBlock {
+    fn new(tb: Arc<TranslationBlock>) -> Rc<DispatchBlock> {
+        Rc::new(DispatchBlock {
+            tb,
+            links: [RefCell::new(None), RefCell::new(None)],
+        })
+    }
+
+    /// The wrapped translation block.
+    pub fn tb(&self) -> &Arc<TranslationBlock> {
+        &self.tb
+    }
+
+    fn slot(&self, s: ChainSlot) -> &RefCell<Option<ChainLink>> {
+        &self.links[s as usize]
+    }
+}
+
+/// Result of following a chain link (see [`TbCache::follow`]).
+#[derive(Debug, Clone)]
+pub enum ChainFollow {
+    /// Live link: dispatch the successor directly, no hash lookup needed.
+    Hit(Rc<DispatchBlock>),
+    /// The slot was patched but the link has been severed by an intervening
+    /// flush / invalidation (stale epoch, or the successor was dropped).
+    Severed,
+    /// The slot has not been patched since the last sever.
+    Unlinked,
+}
+
 /// A cache of translated blocks, keyed by `(asid, pc)`.
 ///
 /// `asid` is an address-space identifier (one per guest process), standing
@@ -125,11 +197,19 @@ enum Provenance {
 /// Both flushes clear only the overlay: clean blocks adopted from the base
 /// layer are re-validated (cheaply) on the next lookup, so the attach /
 /// detach cycle never pays for retranslation of unaffected code.
+/// TB chaining rides on top: lookups hand out [`DispatchBlock`] wrappers
+/// whose successor slots the engine patches on first dispatch, letting
+/// steady-state execution jump block-to-block without touching the hash
+/// maps. Every invalidation (flush, asid flush, base swap) bumps the cache
+/// `epoch`, lazily severing all outstanding links.
 #[derive(Debug, Default)]
 pub struct TbCache {
     base: Option<Arc<BaseLayer>>,
-    overlay: HashMap<(u64, u64), (Arc<TranslationBlock>, Provenance)>,
+    overlay: HashMap<(u64, u64), (Rc<DispatchBlock>, Provenance)>,
     stats: CacheStats,
+    /// Chain-link validity epoch; links recorded under an older epoch are
+    /// dead. Bumped by every event that can invalidate a translation.
+    epoch: u64,
 }
 
 impl TbCache {
@@ -150,7 +230,14 @@ impl TbCache {
     /// entries are dropped: their provenance would be stale.
     pub fn set_base(&mut self, base: Arc<BaseLayer>) {
         self.overlay.clear();
+        self.epoch += 1;
         self.base = Some(base);
+    }
+
+    /// The current chain-link epoch. Links are valid only while the epoch
+    /// they were recorded under is still current.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The shared base layer, if one is installed.
@@ -193,37 +280,89 @@ impl TbCache {
         base_valid: impl FnOnce(&TranslationBlock) -> bool,
         translate: impl FnOnce() -> TranslationBlock,
     ) -> Arc<TranslationBlock> {
+        Arc::clone(
+            self.dispatch_get_or_translate_validated(asid, pc, base_valid, translate)
+                .tb(),
+        )
+    }
+
+    /// [`Self::get_or_translate_validated`], but returning the cache's
+    /// [`DispatchBlock`] wrapper so the caller can participate in TB
+    /// chaining ([`Self::chain`] / [`Self::follow`]).
+    pub fn dispatch_get_or_translate_validated(
+        &mut self,
+        asid: u64,
+        pc: u64,
+        base_valid: impl FnOnce(&TranslationBlock) -> bool,
+        translate: impl FnOnce() -> TranslationBlock,
+    ) -> Rc<DispatchBlock> {
         self.stats.lookups += 1;
-        if let Some((tb, provenance)) = self.overlay.get(&(asid, pc)) {
+        if let Some((db, provenance)) = self.overlay.get(&(asid, pc)) {
             match provenance {
                 Provenance::FromBase => self.stats.base_hits += 1,
                 Provenance::Fresh => self.stats.overlay_hits += 1,
             }
-            return Arc::clone(tb);
+            return Rc::clone(db);
         }
         if let Some(base) = &self.base {
             if let Some(tb) = base.get(asid, pc) {
                 if base_valid(tb) {
                     self.stats.base_hits += 1;
-                    let tb = Arc::clone(tb);
+                    let db = DispatchBlock::new(Arc::clone(tb));
                     self.overlay
-                        .insert((asid, pc), (Arc::clone(&tb), Provenance::FromBase));
-                    return tb;
+                        .insert((asid, pc), (Rc::clone(&db), Provenance::FromBase));
+                    return db;
                 }
             }
         }
         self.stats.misses += 1;
         let tb = Arc::new(translate());
         self.stats.translated_insns += tb.insns().len() as u64;
+        let db = DispatchBlock::new(tb);
         self.overlay
-            .insert((asid, pc), (Arc::clone(&tb), Provenance::Fresh));
-        tb
+            .insert((asid, pc), (Rc::clone(&db), Provenance::Fresh));
+        db
+    }
+
+    /// Patches `pred`'s successor `slot` to point at `succ`, tagged with
+    /// the current epoch. Callers must only chain blocks of the same
+    /// address space that were both dispatched in the current epoch (the
+    /// engine guarantees this by patching immediately after the hash
+    /// lookup that resolved the exit).
+    pub fn chain(&self, pred: &DispatchBlock, slot: ChainSlot, succ: &Rc<DispatchBlock>) {
+        *pred.slot(slot).borrow_mut() = Some(ChainLink {
+            epoch: self.epoch,
+            succ: Rc::downgrade(succ),
+        });
+    }
+
+    /// Follows `pred`'s successor `slot`. A link recorded under an older
+    /// epoch (or whose successor has been dropped) reports
+    /// [`ChainFollow::Severed`] and is cleared so the next dispatch
+    /// re-resolves through the hash maps — and re-validates against the
+    /// active hook state.
+    pub fn follow(&self, pred: &DispatchBlock, slot: ChainSlot) -> ChainFollow {
+        let mut link = pred.slot(slot).borrow_mut();
+        match &*link {
+            None => ChainFollow::Unlinked,
+            Some(l) if l.epoch == self.epoch => match l.succ.upgrade() {
+                Some(succ) => ChainFollow::Hit(succ),
+                None => {
+                    *link = None;
+                    ChainFollow::Severed
+                }
+            },
+            Some(_) => {
+                *link = None;
+                ChainFollow::Severed
+            }
+        }
     }
 
     /// Looks up without translating (overlay first, then base, unvalidated).
     pub fn get(&self, asid: u64, pc: u64) -> Option<Arc<TranslationBlock>> {
-        if let Some((tb, _)) = self.overlay.get(&(asid, pc)) {
-            return Some(Arc::clone(tb));
+        if let Some((db, _)) = self.overlay.get(&(asid, pc)) {
+            return Some(Arc::clone(db.tb()));
         }
         self.base
             .as_ref()
@@ -232,16 +371,21 @@ impl TbCache {
     }
 
     /// Drops every overlay block. The base layer (if any) survives; its
-    /// blocks are re-validated on the next lookup.
+    /// blocks are re-validated on the next lookup. All chain links are
+    /// severed (epoch bump).
     pub fn flush(&mut self) {
         self.overlay.clear();
         self.stats.flushes += 1;
+        self.epoch += 1;
     }
 
-    /// Drops the overlay blocks of one address space.
+    /// Drops the overlay blocks of one address space. Chain links of
+    /// *every* address space are severed (epoch bump) — conservative, but
+    /// links re-form on the next dispatch.
     pub fn flush_asid(&mut self, asid: u64) {
         self.overlay.retain(|(a, _), _| *a != asid);
         self.stats.asid_flushes += 1;
+        self.epoch += 1;
     }
 
     /// Number of overlay blocks (the base layer is reported separately via
@@ -264,9 +408,9 @@ impl TbCache {
             Some(base) => base.map.clone(),
             None => HashMap::new(),
         };
-        for (key, (tb, _)) in &self.overlay {
-            if !tb.is_instrumented() {
-                map.insert(*key, Arc::clone(tb));
+        for (key, (db, _)) in &self.overlay {
+            if !db.tb().is_instrumented() {
+                map.insert(*key, Arc::clone(db.tb()));
             }
         }
         Arc::new(BaseLayer { map })
@@ -442,6 +586,140 @@ mod tests {
         assert_eq!(base.len(), 1, "instrumented block must not be exported");
         assert!(base.get(1, CODE_BASE).is_some());
         assert!(base.get(1, CODE_BASE + 64).is_none());
+    }
+
+    fn dispatch(cache: &mut TbCache, asid: u64, pc: u64, code: &[u8]) -> Rc<DispatchBlock> {
+        cache.dispatch_get_or_translate_validated(
+            asid,
+            pc,
+            |_| true,
+            || translate_block(&SliceFetcher::new(pc, code), pc, None),
+        )
+    }
+
+    #[test]
+    fn chain_link_follows_until_flush_severs() {
+        let code = code();
+        let mut cache = TbCache::new();
+        let a = dispatch(&mut cache, 1, CODE_BASE, &code);
+        let b = dispatch(&mut cache, 1, CODE_BASE + 64, &code);
+        assert!(matches!(
+            cache.follow(&a, ChainSlot::Taken),
+            ChainFollow::Unlinked
+        ));
+        cache.chain(&a, ChainSlot::Taken, &b);
+        let ChainFollow::Hit(succ) = cache.follow(&a, ChainSlot::Taken) else {
+            panic!("patched link must hit");
+        };
+        assert!(Rc::ptr_eq(&succ, &b));
+        // A full flush severs the link lazily via the epoch bump.
+        cache.flush();
+        assert!(matches!(
+            cache.follow(&a, ChainSlot::Taken),
+            ChainFollow::Severed
+        ));
+        // The sever clears the slot: the next follow reports Unlinked.
+        assert!(matches!(
+            cache.follow(&a, ChainSlot::Taken),
+            ChainFollow::Unlinked
+        ));
+    }
+
+    #[test]
+    fn flush_asid_severs_links_of_every_address_space() {
+        let code = code();
+        let mut cache = TbCache::new();
+        let a = dispatch(&mut cache, 1, CODE_BASE, &code);
+        let b = dispatch(&mut cache, 1, CODE_BASE + 64, &code);
+        cache.chain(&a, ChainSlot::Fallthrough, &b);
+        cache.flush_asid(7); // unrelated asid — still bumps the epoch
+        assert!(matches!(
+            cache.follow(&a, ChainSlot::Fallthrough),
+            ChainFollow::Severed
+        ));
+    }
+
+    #[test]
+    fn hook_driven_retranslation_is_not_reachable_through_stale_links() {
+        // An injector arming flushes the cache; a block the injector now
+        // targets is retranslated (validation fails). A predecessor chained
+        // to the old clean block must NOT jump to it — the link is severed
+        // and the next dispatch resolves the instrumented replacement.
+        let code = code();
+        let mut cache = TbCache::new();
+        let pred = dispatch(&mut cache, 1, CODE_BASE, &code);
+        let clean = dispatch(&mut cache, 1, CODE_BASE + 64, &code);
+        cache.chain(&pred, ChainSlot::Taken, &clean);
+        cache.flush(); // injector armed
+        assert!(matches!(
+            cache.follow(&pred, ChainSlot::Taken),
+            ChainFollow::Severed
+        ));
+        let instrumented = cache.dispatch_get_or_translate_validated(
+            1,
+            CODE_BASE + 64,
+            |_| false, // armed hook rejects the clean block
+            || {
+                translate_block(
+                    &SliceFetcher::new(CODE_BASE + 64, &code),
+                    CODE_BASE + 64,
+                    None,
+                )
+            },
+        );
+        assert!(!Rc::ptr_eq(&instrumented, &clean));
+    }
+
+    #[test]
+    fn dropped_successor_reports_severed() {
+        let code = code();
+        let mut cache = TbCache::new();
+        let a = dispatch(&mut cache, 1, CODE_BASE, &code);
+        let b = dispatch(&mut cache, 1, CODE_BASE + 64, &code);
+        cache.chain(&a, ChainSlot::Taken, &b);
+        // Simulate the overlay (and every other owner) dropping `b` while
+        // the epoch stays current: the Weak link dangles.
+        drop(b);
+        cache.overlay.remove(&(1, CODE_BASE + 64));
+        assert!(matches!(
+            cache.follow(&a, ChainSlot::Taken),
+            ChainFollow::Severed
+        ));
+    }
+
+    #[test]
+    fn self_links_do_not_leak_blocks() {
+        // A one-block loop links to itself; Weak successor slots must let
+        // the block free once the overlay drops it.
+        let code = code();
+        let mut cache = TbCache::new();
+        let a = dispatch(&mut cache, 1, CODE_BASE, &code);
+        cache.chain(&a, ChainSlot::Taken, &a);
+        let weak = Rc::downgrade(&a);
+        drop(a);
+        cache.flush();
+        assert!(
+            weak.upgrade().is_none(),
+            "cycle must not keep the block alive"
+        );
+    }
+
+    #[test]
+    fn set_base_severs_links() {
+        let code = code();
+        let mut warm = TbCache::new();
+        warm.get_or_translate(1, CODE_BASE, || translate(&code));
+        let base = warm.seal();
+
+        let mut cache = TbCache::new();
+        let a = dispatch(&mut cache, 1, CODE_BASE, &code);
+        let b = dispatch(&mut cache, 1, CODE_BASE + 64, &code);
+        cache.chain(&a, ChainSlot::Taken, &b);
+        cache.set_base(base);
+        assert!(matches!(
+            cache.follow(&a, ChainSlot::Taken),
+            ChainFollow::Severed
+        ));
     }
 
     #[test]

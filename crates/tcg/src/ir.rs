@@ -184,6 +184,19 @@ pub enum TcgOp {
         /// Right operand.
         b: Temp,
     },
+    /// `d = a + imm` (wrapping). Folds the ISA's add/sub-immediate forms —
+    /// a subtraction is an addition of the negated immediate in two's
+    /// complement — saving the `Movi` dispatch a materialized immediate
+    /// temp would cost. Taint-wise the immediate operand is CLEAN, so this
+    /// propagates exactly like `Add` with a clean `b`.
+    Addi {
+        /// Destination.
+        d: Temp,
+        /// Left operand.
+        a: Temp,
+        /// Immediate addend (already negated for subtract-immediate).
+        imm: u64,
+    },
     /// `d = a * b` (wrapping).
     Mul {
         /// Destination.
@@ -295,6 +308,15 @@ pub enum TcgOp {
         /// Right operand.
         b: Temp,
     },
+    /// Integer compare against an immediate: sets the guest flags from `a`
+    /// vs `imm`. Folding the immediate saves the `Movi` dispatch per
+    /// compare-immediate, the ISA's dominant loop-control idiom.
+    SetFlagsInti {
+        /// Left operand.
+        a: Temp,
+        /// Right immediate.
+        imm: u64,
+    },
     /// FP compare on raw bits: sets the guest flags (unordered on NaN).
     SetFlagsFp {
         /// Left operand (raw bits).
@@ -302,19 +324,27 @@ pub enum TcgOp {
         /// Right operand (raw bits).
         b: Temp,
     },
-    /// 64-bit guest memory load (QEMU's `qemu_ld`).
+    /// 64-bit guest memory load (QEMU's `qemu_ld`). The effective address
+    /// is `addr + disp` — folding the constant displacement into the
+    /// memory op saves a `Movi`+`Add` pair per base+offset access, the
+    /// dominant addressing mode.
     QemuLd {
         /// Destination.
         d: Temp,
-        /// Guest virtual address.
+        /// Guest virtual address base.
         addr: Temp,
+        /// Constant displacement added to `addr`.
+        disp: i64,
     },
-    /// 64-bit guest memory store (QEMU's `qemu_st`).
+    /// 64-bit guest memory store (QEMU's `qemu_st`); effective address
+    /// `addr + disp` as for [`TcgOp::QemuLd`].
     QemuSt {
         /// Value stored.
         s: Temp,
-        /// Guest virtual address.
+        /// Guest virtual address base.
         addr: Temp,
+        /// Constant displacement added to `addr`.
+        disp: i64,
     },
     /// Call a runtime helper (FP arithmetic, conversions).
     CallHelper {
@@ -388,6 +418,7 @@ impl fmt::Display for TcgOp {
             O::Mov { d, s } => write!(f, "mov_i64 {d}, {s}"),
             O::Add { d, a, b } => write!(f, "add_i64 {d}, {a}, {b}"),
             O::Sub { d, a, b } => write!(f, "sub_i64 {d}, {a}, {b}"),
+            O::Addi { d, a, imm } => write!(f, "addi_i64 {d}, {a}, {imm:#x}"),
             O::Mul { d, a, b } => write!(f, "mul_i64 {d}, {a}, {b}"),
             O::Divs { d, a, b } => write!(f, "div_i64 {d}, {a}, {b}"),
             O::Divu { d, a, b } => write!(f, "divu_i64 {d}, {a}, {b}"),
@@ -401,9 +432,22 @@ impl fmt::Display for TcgOp {
             O::Neg { d, a } => write!(f, "neg_i64 {d}, {a}"),
             O::Not { d, a } => write!(f, "not_i64 {d}, {a}"),
             O::SetFlagsInt { a, b } => write!(f, "setflags_i64 {a}, {b}"),
+            O::SetFlagsInti { a, imm } => write!(f, "setflagsi_i64 {a}, {imm:#x}"),
             O::SetFlagsFp { a, b } => write!(f, "setflags_f64 {a}, {b}"),
-            O::QemuLd { d, addr } => write!(f, "qemu_ld_i64 {d}, {addr}"),
-            O::QemuSt { s, addr } => write!(f, "qemu_st_i64 {s}, {addr}"),
+            O::QemuLd { d, addr, disp } => {
+                if *disp == 0 {
+                    write!(f, "qemu_ld_i64 {d}, {addr}")
+                } else {
+                    write!(f, "qemu_ld_i64 {d}, {addr}{disp:+}")
+                }
+            }
+            O::QemuSt { s, addr, disp } => {
+                if *disp == 0 {
+                    write!(f, "qemu_st_i64 {s}, {addr}")
+                } else {
+                    write!(f, "qemu_st_i64 {s}, {addr}{disp:+}")
+                }
+            }
             O::CallHelper { helper, d, a, b } => {
                 if helper.is_binary() {
                     write!(f, "call {helper} {d}, {a}, {b}")

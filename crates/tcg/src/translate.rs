@@ -77,21 +77,6 @@ impl Ctx {
         t
     }
 
-    /// Computes `base + off` into a fresh temp.
-    fn addr_off(&mut self, base: Temp, off: i32) -> Temp {
-        if off == 0 {
-            return base;
-        }
-        let o = self.movi(off as i64 as u64);
-        let t = self.tmp();
-        self.emit(TcgOp::Add {
-            d: t,
-            a: base,
-            b: o,
-        });
-        t
-    }
-
     /// Computes `base + idx * 8` into a fresh temp.
     fn addr_idx(&mut self, base: Temp, idx: Temp) -> Temp {
         let eight = self.movi(8);
@@ -186,17 +171,17 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
             imm: imm as u64,
         }),
         I::Ld { dst, base, off } => {
-            let addr = ctx.addr_off(Temp::reg(base), off);
             ctx.emit(O::QemuLd {
                 d: Temp::reg(dst),
-                addr,
+                addr: Temp::reg(base),
+                disp: off as i64,
             });
         }
         I::St { src, base, off } => {
-            let addr = ctx.addr_off(Temp::reg(base), off);
             ctx.emit(O::QemuSt {
                 s: Temp::reg(src),
-                addr,
+                addr: Temp::reg(base),
+                disp: off as i64,
             });
         }
         I::LdIdx { dst, base, idx } => {
@@ -204,6 +189,7 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
             ctx.emit(O::QemuLd {
                 d: Temp::reg(dst),
                 addr,
+                disp: 0,
             });
         }
         I::StIdx { src, base, idx } => {
@@ -211,6 +197,7 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
             ctx.emit(O::QemuSt {
                 s: Temp::reg(src),
                 addr,
+                disp: 0,
             });
         }
         I::Push { src } => {
@@ -223,11 +210,16 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
             ctx.emit(O::QemuSt {
                 s: Temp::reg(src),
                 addr: sp,
+                disp: 0,
             });
         }
         I::Pop { dst } => {
             let t = ctx.tmp();
-            ctx.emit(O::QemuLd { d: t, addr: sp });
+            ctx.emit(O::QemuLd {
+                d: t,
+                addr: sp,
+                disp: 0,
+            });
             let eight = ctx.movi(8);
             ctx.emit(O::Add {
                 d: sp,
@@ -251,8 +243,24 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
         I::Shl { dst, src } => bin(ctx, BinKind::Shl, dst, src),
         I::Shr { dst, src } => bin(ctx, BinKind::Shr, dst, src),
         I::Sar { dst, src } => bin(ctx, BinKind::Sar, dst, src),
-        I::AddI { dst, imm } => bin_imm(ctx, BinKind::Add, dst, imm),
-        I::SubI { dst, imm } => bin_imm(ctx, BinKind::Sub, dst, imm),
+        // Add/sub-immediate fold straight into `Addi` (subtraction adds the
+        // negated immediate), skipping the materialized immediate temp.
+        I::AddI { dst, imm } => {
+            let d = Temp::reg(dst);
+            ctx.emit(O::Addi {
+                d,
+                a: d,
+                imm: imm as u64,
+            });
+        }
+        I::SubI { dst, imm } => {
+            let d = Temp::reg(dst);
+            ctx.emit(O::Addi {
+                d,
+                a: d,
+                imm: imm.wrapping_neg() as u64,
+            });
+        }
         I::MulI { dst, imm } => bin_imm(ctx, BinKind::Mul, dst, imm),
         I::AndI { dst, imm } => bin_imm(ctx, BinKind::And, dst, imm),
         I::OrI { dst, imm } => bin_imm(ctx, BinKind::Or, dst, imm),
@@ -272,13 +280,10 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
             a: Temp::reg(a),
             b: Temp::reg(b),
         }),
-        I::CmpI { a, imm } => {
-            let t = ctx.movi(imm as u64);
-            ctx.emit(O::SetFlagsInt {
-                a: Temp::reg(a),
-                b: t,
-            });
-        }
+        I::CmpI { a, imm } => ctx.emit(O::SetFlagsInti {
+            a: Temp::reg(a),
+            imm: imm as u64,
+        }),
         I::Jmp { target } => {
             ctx.emit(O::ExitTb { next: target });
             return true;
@@ -305,7 +310,11 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
         }
         I::Ret => {
             let t = ctx.tmp();
-            ctx.emit(O::QemuLd { d: t, addr: sp });
+            ctx.emit(O::QemuLd {
+                d: t,
+                addr: sp,
+                disp: 0,
+            });
             let eight = ctx.movi(8);
             ctx.emit(O::Add {
                 d: sp,
@@ -324,17 +333,17 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
             imm: imm.to_bits(),
         }),
         I::FLd { dst, base, off } => {
-            let addr = ctx.addr_off(Temp::reg(base), off);
             ctx.emit(O::QemuLd {
                 d: Temp::freg(dst),
-                addr,
+                addr: Temp::reg(base),
+                disp: off as i64,
             });
         }
         I::FSt { src, base, off } => {
-            let addr = ctx.addr_off(Temp::reg(base), off);
             ctx.emit(O::QemuSt {
                 s: Temp::freg(src),
-                addr,
+                addr: Temp::reg(base),
+                disp: off as i64,
             });
         }
         I::FLdIdx { dst, base, idx } => {
@@ -342,6 +351,7 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
             ctx.emit(O::QemuLd {
                 d: Temp::freg(dst),
                 addr,
+                disp: 0,
             });
         }
         I::FStIdx { src, base, idx } => {
@@ -349,6 +359,7 @@ fn lower(ctx: &mut Ctx, insn: &Instruction, next: u64) -> bool {
             ctx.emit(O::QemuSt {
                 s: Temp::freg(src),
                 addr,
+                disp: 0,
             });
         }
         I::Fadd { dst, src } => fp_bin(ctx, Helper::Fadd, dst, src),
@@ -467,7 +478,11 @@ fn emit_push_imm(ctx: &mut Ctx, value: u64) {
         b: eight,
     });
     let v = ctx.movi(value);
-    ctx.emit(TcgOp::QemuSt { s: v, addr: sp });
+    ctx.emit(TcgOp::QemuSt {
+        s: v,
+        addr: sp,
+        disp: 0,
+    });
 }
 
 #[cfg(test)]

@@ -10,9 +10,88 @@ use crate::process::{MpiRequest, ProcState, Process};
 use chaser_isa::{abi, Flags, Instruction, PAGE_SIZE};
 use chaser_taint::{PropKind, ProvSet, TaintMask, TaintState};
 use chaser_tcg::{
-    translate_block, CodeFetcher, Global, TbCache, TcgOp, Temp, TranslateHook, TranslationBlock,
+    translate_block, ChainFollow, ChainSlot, CodeFetcher, DispatchBlock, Global, TbCache, TcgOp,
+    Temp, TranslateHook, TranslationBlock,
 };
-use std::sync::Arc;
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+
+/// Hot-path execution tuning: ablation knobs for the two interpreter fast
+/// paths. Both default to on; campaigns expose them so the optimized and
+/// unoptimized regimes can be proven byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecTuning {
+    /// TB chaining / direct block linking: steady-state execution jumps
+    /// block-to-block through patched successor slots instead of hashing
+    /// into the translation cache at every block boundary.
+    pub tb_chaining: bool,
+    /// Taint-idle fast path: while shadow memory holds no taint (and no
+    /// provenance), guest loads and clean stores skip shadow reads/writes,
+    /// provenance propagation and taint-hook dispatch.
+    pub taint_fast_path: bool,
+}
+
+impl Default for ExecTuning {
+    fn default() -> ExecTuning {
+        ExecTuning {
+            tb_chaining: true,
+            taint_fast_path: true,
+        }
+    }
+}
+
+/// Hot-path execution counters, making the fast paths observable in run
+/// reports and campaign results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Block dispatches served by following a chain link (no cache hash
+    /// lookup).
+    pub tb_chain_hits: u64,
+    /// Stale chain links encountered and discarded (the predecessor was
+    /// patched in an earlier flush epoch, or its successor was dropped).
+    pub chain_severs: u64,
+    /// Guest memory operations that took the taint-idle (or taint-disabled)
+    /// fast path, skipping all shadow work.
+    pub fast_path_insns: u64,
+    /// Guest memory operations that ran the full taint/provenance slow
+    /// path.
+    pub slow_path_insns: u64,
+}
+
+impl EngineStats {
+    /// Accumulates `other` into `self` (for cross-node / cross-run
+    /// aggregation).
+    pub fn absorb(&mut self, other: EngineStats) {
+        self.tb_chain_hits += other.tb_chain_hits;
+        self.chain_severs += other.chain_severs;
+        self.fast_path_insns += other.fast_path_insns;
+        self.slow_path_insns += other.slow_path_insns;
+    }
+}
+
+/// Slice-local hot counters. These are kept out of [`EngineStats`] during
+/// dispatch so the fast-path increments touch plain locals — register
+/// resident in the call-free fast tiers — instead of doing a
+/// read-modify-write through the `&mut EngineStats` borrow on every memory
+/// op. They are folded into the shared stats at every slice exit.
+#[derive(Default)]
+struct HotCounters {
+    chain_hits: u64,
+    chain_severs: u64,
+    fast: u64,
+    slow: u64,
+}
+
+impl HotCounters {
+    #[inline]
+    fn flush_into(&mut self, stats: &mut EngineStats) {
+        stats.tb_chain_hits += self.chain_hits;
+        stats.chain_severs += self.chain_severs;
+        stats.fast_path_insns += self.fast;
+        stats.slow_path_insns += self.slow;
+        *self = HotCounters::default();
+    }
+}
 
 /// Fetches code through a process's page tables (exec permission checked).
 struct AspaceFetcher<'a> {
@@ -112,6 +191,231 @@ fn store_u64_tainted(
     Ok(paddr)
 }
 
+/// Exit disposition of the fully-clean block executor.
+enum CleanStep {
+    /// Direct-jump terminator reached; `pc` is set, chain through `slot`.
+    Chain(ChainSlot),
+    /// Indirect terminator reached; `pc` is set, dispatch without chaining.
+    NoChain,
+    /// The quantum/budget bound hit at an instruction boundary; `pc` is set
+    /// to the safe resume point.
+    Limit,
+    /// An MPI hypercall; `pc` is set to the resume point and the request
+    /// registers are untouched, so the caller rebuilds the `MpiRequest`
+    /// (keeping this enum two words wide — returned in registers, not
+    /// through a stack slot).
+    Mpi(u16),
+    /// A kernel hypercall; `pc` is set to the resume point.
+    Kernel(u16),
+    Halt,
+    Fault(Signal),
+    /// An op this executor does not model (an injection callback); the
+    /// caller resumes the general loop at op index `idx`.
+    Bail(usize),
+}
+
+/// Executes one translation block under the fully-clean fast regime: no
+/// taint or provenance exists anywhere in the node (`fully_idle`), no guest
+/// function hooks are installed and no injector is wired, so every op
+/// reduces to its architectural effect. Keeping this loop entirely free of
+/// taint/hook/provenance code — rather than branching around it per op —
+/// shrinks the dispatch body enough to matter: the win is code locality and
+/// register pressure, not the (predictable) branches themselves.
+///
+/// On `Bail` the caller re-enters the general loop at the offending op with
+/// `executed` and the counters already flushed; every other variant is a
+/// block exit with `proc` in its architectural exit state.
+#[inline(never)]
+fn run_tb_clean(
+    tb: &TranslationBlock,
+    proc: &mut Process,
+    phys: &mut PhysMemory,
+    locals: &mut [u64],
+    executed: &mut u64,
+    limit: u64,
+    fast: &mut u64,
+) -> CleanStep {
+    let mut exec = *executed;
+    let mut n_fast = 0u64;
+
+    macro_rules! val {
+        ($t:expr) => {
+            match $t {
+                Temp::Global(Global::Reg(r)) => proc.cpu.reg(r),
+                Temp::Global(Global::FReg(r)) => proc.cpu.freg_bits(r),
+                Temp::Local(i) => locals[i as usize],
+            }
+        };
+    }
+    macro_rules! setval {
+        ($t:expr, $v:expr) => {
+            match $t {
+                Temp::Global(Global::Reg(r)) => proc.cpu.set_reg(r, $v),
+                Temp::Global(Global::FReg(r)) => proc.cpu.set_freg_bits(r, $v),
+                Temp::Local(i) => locals[i as usize] = $v,
+            }
+        };
+    }
+
+    let step = 'run: {
+        for (idx, op) in tb.ops().iter().enumerate() {
+            match *op {
+                TcgOp::InsnStart { pc } => {
+                    if exec >= limit {
+                        // Safe resume point: the instruction has not begun.
+                        proc.cpu.pc = pc;
+                        break 'run CleanStep::Limit;
+                    }
+                    exec += 1;
+                }
+                TcgOp::Movi { d, imm } => setval!(d, imm),
+                TcgOp::Mov { d, s } => {
+                    let v = val!(s);
+                    setval!(d, v);
+                }
+                TcgOp::Add { d, a, b } => {
+                    let v = val!(a).wrapping_add(val!(b));
+                    setval!(d, v);
+                }
+                TcgOp::Sub { d, a, b } => {
+                    let v = val!(a).wrapping_sub(val!(b));
+                    setval!(d, v);
+                }
+                TcgOp::Addi { d, a, imm } => {
+                    let v = val!(a).wrapping_add(imm);
+                    setval!(d, v);
+                }
+                TcgOp::Mul { d, a, b } => {
+                    let v = val!(a).wrapping_mul(val!(b));
+                    setval!(d, v);
+                }
+                TcgOp::Divs { d, a, b } => {
+                    let (av, bv) = (val!(a), val!(b));
+                    if bv == 0 {
+                        break 'run CleanStep::Fault(Signal::Fpe);
+                    }
+                    setval!(d, (av as i64).wrapping_div(bv as i64) as u64);
+                }
+                TcgOp::Divu { d, a, b } => {
+                    let (av, bv) = (val!(a), val!(b));
+                    if bv == 0 {
+                        break 'run CleanStep::Fault(Signal::Fpe);
+                    }
+                    setval!(d, av / bv);
+                }
+                TcgOp::Remu { d, a, b } => {
+                    let (av, bv) = (val!(a), val!(b));
+                    if bv == 0 {
+                        break 'run CleanStep::Fault(Signal::Fpe);
+                    }
+                    setval!(d, av % bv);
+                }
+                TcgOp::And { d, a, b } => {
+                    let v = val!(a) & val!(b);
+                    setval!(d, v);
+                }
+                TcgOp::Or { d, a, b } => {
+                    let v = val!(a) | val!(b);
+                    setval!(d, v);
+                }
+                TcgOp::Xor { d, a, b } => {
+                    let v = val!(a) ^ val!(b);
+                    setval!(d, v);
+                }
+                TcgOp::Shl { d, a, b } => {
+                    let v = val!(a) << (val!(b) & 63);
+                    setval!(d, v);
+                }
+                TcgOp::Shr { d, a, b } => {
+                    let v = val!(a) >> (val!(b) & 63);
+                    setval!(d, v);
+                }
+                TcgOp::Sar { d, a, b } => {
+                    let v = ((val!(a) as i64) >> (val!(b) & 63)) as u64;
+                    setval!(d, v);
+                }
+                TcgOp::Neg { d, a } => {
+                    let v = (val!(a) as i64).wrapping_neg() as u64;
+                    setval!(d, v);
+                }
+                TcgOp::Not { d, a } => {
+                    let v = !val!(a);
+                    setval!(d, v);
+                }
+                TcgOp::SetFlagsInt { a, b } => {
+                    proc.cpu.flags = Flags::from_int_cmp(val!(a), val!(b));
+                }
+                TcgOp::SetFlagsInti { a, imm } => {
+                    proc.cpu.flags = Flags::from_int_cmp(val!(a), imm);
+                }
+                TcgOp::SetFlagsFp { a, b } => {
+                    proc.cpu.flags =
+                        Flags::from_fp_cmp(f64::from_bits(val!(a)), f64::from_bits(val!(b)));
+                }
+                TcgOp::QemuLd { d, addr, disp } => {
+                    let vaddr = val!(addr).wrapping_add(disp as u64);
+                    n_fast += 1;
+                    match proc.aspace.read_u64(phys, vaddr) {
+                        Ok(value) => setval!(d, value),
+                        Err(_) => break 'run CleanStep::Fault(Signal::Segv),
+                    }
+                }
+                TcgOp::QemuSt { s, addr, disp } => {
+                    let vaddr = val!(addr).wrapping_add(disp as u64);
+                    let value = val!(s);
+                    n_fast += 1;
+                    if proc.aspace.write_u64(phys, vaddr, value).is_err() {
+                        break 'run CleanStep::Fault(Signal::Segv);
+                    }
+                }
+                TcgOp::CallHelper { helper, d, a, b } => {
+                    let out = helper.eval(val!(a), val!(b));
+                    setval!(d, out);
+                }
+                TcgOp::CallInject { .. } => break 'run CleanStep::Bail(idx),
+                TcgOp::ExitTb { next } => {
+                    proc.cpu.pc = next;
+                    break 'run CleanStep::Chain(ChainSlot::Taken);
+                }
+                TcgOp::ExitTbCond {
+                    cond,
+                    taken,
+                    fallthrough,
+                } => {
+                    let slot = if proc.cpu.flags.holds(cond) {
+                        proc.cpu.pc = taken;
+                        ChainSlot::Taken
+                    } else {
+                        proc.cpu.pc = fallthrough;
+                        ChainSlot::Fallthrough
+                    };
+                    break 'run CleanStep::Chain(slot);
+                }
+                TcgOp::ExitTbIndirect { addr } => {
+                    proc.cpu.pc = val!(addr);
+                    break 'run CleanStep::NoChain;
+                }
+                TcgOp::Hypercall { num, next } => {
+                    proc.cpu.pc = next;
+                    if num >= abi::MPI_BASE {
+                        break 'run CleanStep::Mpi(num);
+                    }
+                    break 'run CleanStep::Kernel(num);
+                }
+                TcgOp::Halt => break 'run CleanStep::Halt,
+                TcgOp::BadFetch { .. } => break 'run CleanStep::Fault(Signal::Segv),
+                TcgOp::BadDecode { .. } => break 'run CleanStep::Fault(Signal::Ill),
+            }
+        }
+        // A well-formed TB always ends in a terminator; reaching here means
+        // the translator emitted a chained ExitTb which breaks above.
+        unreachable!("translation block fell through without a terminator");
+    };
+    *executed = exec;
+    *fast += n_fast;
+    step
+}
+
 /// Executes up to `quantum` guest instructions of `proc`, additionally
 /// capped by the run-level `insn_budget` (`u64::MAX` = unlimited). The
 /// budget is checked at the same safe resume point as the quantum; when it
@@ -129,6 +433,8 @@ pub(crate) fn run_slice(
     proc: &mut Process,
     quantum: u64,
     insn_budget: u64,
+    tuning: ExecTuning,
+    stats: &mut EngineStats,
 ) -> SliceExit {
     match proc.state {
         ProcState::Runnable => {}
@@ -139,46 +445,114 @@ pub(crate) fn run_slice(
     }
 
     let mut executed: u64 = 0;
+    // `proc.icount` advances in lock-step with `executed`; instead of a
+    // second read-modify-write per instruction it is materialized as
+    // `icount_base + executed` at every point that observes it (hook
+    // contexts, taint events, kernel calls and slice exits).
+    let icount_base = proc.icount;
+    let mut hot = HotCounters::default();
     let mut locals: Vec<u64> = Vec::new();
+
+    // Per-slice hoists: the hook wiring cannot change while we hold
+    // `&NodeHooks`, so presence checks and the translate-hook adapter are
+    // resolved once instead of per dispatch / per instruction.
+    let pid = proc.pid();
+    let adapter = hooks.translate.as_ref().map(|h| HookAdapter {
+        hook: h.as_ref(),
+        node: node_id,
+        pid,
+    });
+    let has_fn_hooks = !hooks.fn_hooks.is_empty();
+    let track_inject = hooks.inject.is_some();
+    let chaining = tuning.tb_chaining;
+    let fast_path = tuning.taint_fast_path;
+    // The quantum and the run budget are checked at the same resume point;
+    // fusing them into one bound leaves a single compare per instruction.
+    let limit = quantum.min(insn_budget);
+
+    // TB chaining state: a successor resolved by following a chain link
+    // (dispatched without a cache lookup), and a predecessor slot awaiting
+    // its first patch (filled right after the lookup that resolves it).
+    let mut next_block: Option<Rc<DispatchBlock>> = None;
+    let mut pending_patch: Option<(Rc<DispatchBlock>, ChainSlot)> = None;
 
     'outer: loop {
         let start_pc = proc.cpu.pc;
-        let pid = proc.pid();
-        let tb: Arc<TranslationBlock> = {
-            let fetcher = AspaceFetcher {
-                aspace: &proc.aspace,
-                phys,
-            };
-            let adapter = hooks.translate.as_ref().map(|h| HookAdapter {
-                hook: h.as_ref(),
-                node: node_id,
-                pid,
-            });
-            cache.get_or_translate_validated(
-                pid,
-                start_pc,
-                // A clean block from the shared base layer is reusable only
-                // if the active hook would leave every instruction in it
-                // uninstrumented; otherwise it must be retranslated so the
-                // injection callback gets spliced in.
-                |tb| match &adapter {
-                    Some(a) => tb
-                        .insns()
-                        .iter()
-                        .all(|(pc, insn)| a.inject_point(*pc, insn).is_none()),
-                    None => true,
-                },
-                || {
-                    translate_block(
-                        &fetcher,
-                        start_pc,
-                        adapter.as_ref().map(|a| a as &dyn TranslateHook),
-                    )
-                },
-            )
+        let db: Rc<DispatchBlock> = match next_block.take() {
+            Some(db) => db,
+            None => {
+                let fetcher = AspaceFetcher {
+                    aspace: &proc.aspace,
+                    phys,
+                };
+                let db = cache.dispatch_get_or_translate_validated(
+                    pid,
+                    start_pc,
+                    // A clean block from the shared base layer is reusable
+                    // only if the active hook would leave every instruction
+                    // in it uninstrumented; otherwise it must be
+                    // retranslated so the injection callback gets spliced
+                    // in.
+                    |tb| match &adapter {
+                        Some(a) => tb
+                            .insns()
+                            .iter()
+                            .all(|(pc, insn)| a.inject_point(*pc, insn).is_none()),
+                        None => true,
+                    },
+                    || {
+                        translate_block(
+                            &fetcher,
+                            start_pc,
+                            adapter.as_ref().map(|a| a as &dyn TranslateHook),
+                        )
+                    },
+                );
+                if let Some((pred, slot)) = pending_patch.take() {
+                    cache.chain(&pred, slot, &db);
+                }
+                db
+            }
         };
+        // Borrow the TB out of the dispatch block: `db` is a local `Rc`
+        // that outlives the block body, so no refcount traffic is needed
+        // (an `Arc::clone` here costs two atomic RMWs per block dispatch).
+        let tb: &TranslationBlock = db.tb();
 
-        taint.begin_block(tb.n_locals());
+        // Resolves a direct-jump exit to `slot`: dispatch through the live
+        // link when one exists, otherwise fall back to the cache lookup and
+        // patch the slot afterwards.
+        macro_rules! chain_exit {
+            ($slot:expr) => {
+                if chaining {
+                    match cache.follow(&db, $slot) {
+                        ChainFollow::Hit(succ) => {
+                            hot.chain_hits += 1;
+                            next_block = Some(succ);
+                        }
+                        ChainFollow::Severed => {
+                            hot.chain_severs += 1;
+                            pending_patch = Some((Rc::clone(&db), $slot));
+                        }
+                        ChainFollow::Unlinked => {
+                            pending_patch = Some((Rc::clone(&db), $slot));
+                        }
+                    }
+                }
+            };
+        }
+
+        // Fully-clean fast regime: when *nothing* carries taint or
+        // provenance (an O(1) counter check), every propagation in this
+        // block is clean-in ⇒ clean-out (`TaintPolicy::propagate`
+        // guarantees it), so all per-op shadow bookkeeping — including the
+        // per-block local-shadow reset — is skipped. Taint only ever
+        // originates from an injection callback; both in-block callback
+        // sites re-check the gate and drop back to the slow path.
+        let mut clean = fast_path && taint.fully_idle();
+        if !clean {
+            taint.begin_block(tb.n_locals());
+        }
         locals.clear();
         locals.resize(tb.n_locals() as usize, 0u64);
 
@@ -204,8 +578,19 @@ pub(crate) fn run_slice(
                 }
             };
         }
+        // Materializes everything an observer outside the dispatch loop may
+        // read: `proc.icount` (kept as `icount_base + executed` while
+        // dispatching) and the engine counters (kept in `hot`). Invoked at
+        // every slice exit.
+        macro_rules! sync_counters {
+            () => {
+                proc.icount = icount_base + executed;
+                hot.flush_into(stats);
+            };
+        }
         macro_rules! fault {
             ($sig:expr) => {{
+                sync_counters!();
                 proc.terminate(ExitStatus::Signaled($sig));
                 return SliceExit::Exited(ExitStatus::Signaled($sig));
             }};
@@ -214,22 +599,97 @@ pub(crate) fn run_slice(
             ($d:expr, $a:expr, $b:expr, $kindv:expr, $op:expr) => {{
                 let (av, bv) = (val!($a), val!($b));
                 let out: u64 = $op(av, bv);
-                let (ta, tb_) = (taint.temp($a), taint.temp($b));
-                let kind = $kindv(av, bv, tb_);
-                let m = taint.policy().propagate(kind, ta, tb_);
                 setval!($d, out);
-                taint.set_temp2($d, m, $a, $b);
+                if !clean {
+                    let (ta, tb_) = (taint.temp($a), taint.temp($b));
+                    let kind = $kindv(av, bv, tb_);
+                    let m = taint.policy().propagate(kind, ta, tb_);
+                    taint.set_temp2($d, m, $a, $b);
+                }
             }};
+        }
+
+        // Fully-clean blocks with no hooks in play dispatch through the
+        // specialized executor, which carries no taint/hook/provenance code
+        // at all (see `run_tb_clean`). `Bail` re-enters the general loop
+        // below at the op the executor does not model; the gate guarantees
+        // nothing in the block can flip the clean regime mid-block, so
+        // `clean` stays true across the bail.
+        let mut start_op = 0usize;
+        if clean && !has_fn_hooks && !track_inject {
+            match run_tb_clean(
+                tb,
+                proc,
+                phys,
+                &mut locals,
+                &mut executed,
+                limit,
+                &mut hot.fast,
+            ) {
+                CleanStep::Chain(slot) => {
+                    chain_exit!(slot);
+                    continue 'outer;
+                }
+                CleanStep::NoChain => continue 'outer,
+                CleanStep::Limit => {
+                    sync_counters!();
+                    // The budget binding is terminal for the run, so it
+                    // wins over a simultaneous quantum expiry.
+                    return if executed >= insn_budget {
+                        SliceExit::BudgetExhausted
+                    } else {
+                        SliceExit::QuantumExpired
+                    };
+                }
+                CleanStep::Mpi(num) => {
+                    let args = [
+                        proc.cpu.reg(chaser_isa::Reg::R1),
+                        proc.cpu.reg(chaser_isa::Reg::R2),
+                        proc.cpu.reg(chaser_isa::Reg::R3),
+                        proc.cpu.reg(chaser_isa::Reg::R4),
+                        proc.cpu.reg(chaser_isa::Reg::R5),
+                        proc.cpu.reg(chaser_isa::Reg::R6),
+                    ];
+                    let req = MpiRequest {
+                        num,
+                        args,
+                        resume_pc: proc.cpu.pc,
+                    };
+                    proc.state = ProcState::BlockedMpi;
+                    proc.pending_mpi = Some(req);
+                    sync_counters!();
+                    return SliceExit::MpiCall(req);
+                }
+                CleanStep::Kernel(num) => {
+                    // Kernel calls observe `icount` (SYS_CLOCK).
+                    sync_counters!();
+                    match handle_kernel_call(num, phys, proc) {
+                        KernelOutcome::Continue => continue 'outer,
+                        KernelOutcome::Exit(status) => {
+                            proc.terminate(status);
+                            return SliceExit::Exited(status);
+                        }
+                    }
+                }
+                CleanStep::Halt => {
+                    sync_counters!();
+                    proc.terminate(ExitStatus::Halted);
+                    return SliceExit::Exited(ExitStatus::Halted);
+                }
+                CleanStep::Fault(sig) => fault!(sig),
+                CleanStep::Bail(idx) => start_op = idx,
+            }
         }
 
         let policy = taint.policy();
         let taint_on = taint.is_enabled();
-        for op in tb.ops() {
+        for op in &tb.ops()[start_op..] {
             match *op {
                 TcgOp::InsnStart { pc } => {
-                    if executed >= quantum || executed >= insn_budget {
+                    if executed >= limit {
                         // Safe resume point: the instruction has not begun.
                         proc.cpu.pc = pc;
+                        sync_counters!();
                         // The budget binding is terminal for the run, so it
                         // wins over a simultaneous quantum expiry.
                         return if executed >= insn_budget {
@@ -239,14 +699,21 @@ pub(crate) fn run_slice(
                         };
                     }
                     executed += 1;
-                    proc.icount += 1;
-                    cur_pc = pc;
-                    // Advance the instruction index to match this pc.
-                    while insn_idx < tb.insns().len() && tb.insns()[insn_idx].0 != pc {
-                        insn_idx += 1;
+                    if !clean {
+                        // Only the slow-path taint events consume `cur_pc`;
+                        // the regime-flip sites below reset it from their
+                        // own `pc` before the slow path can run.
+                        cur_pc = pc;
+                    }
+                    // Advance the instruction index to match this pc; only
+                    // the injection callback consumes it.
+                    if track_inject {
+                        while insn_idx < tb.insns().len() && tb.insns()[insn_idx].0 != pc {
+                            insn_idx += 1;
+                        }
                     }
                     // Guest function hooks (MPI interception).
-                    if !hooks.fn_hooks.is_empty() {
+                    if has_fn_hooks {
                         if let Some(&hook_id) = hooks.fn_hooks.get(&(pid, pc)) {
                             if let Some(sink) = &hooks.fn_hook_sink {
                                 let mut ctx = GuestCtx {
@@ -256,23 +723,37 @@ pub(crate) fn run_slice(
                                     taint,
                                     node: node_id,
                                     pid,
-                                    icount: proc.icount,
+                                    icount: icount_base + executed,
                                     pc,
                                 };
                                 sink.borrow_mut().on_fn_entry(hook_id, &mut ctx);
+                                // The hook may have tainted registers or
+                                // memory: re-check the clean gate. Locals
+                                // were untouched and all-clean up to this
+                                // op, so materializing their shadow now is
+                                // exact.
+                                if clean && !taint.fully_idle() {
+                                    taint.begin_block(tb.n_locals());
+                                    clean = false;
+                                    cur_pc = pc;
+                                }
                             }
                         }
                     }
                 }
                 TcgOp::Movi { d, imm } => {
                     setval!(d, imm);
-                    taint.set_temp(d, TaintMask::CLEAN);
+                    if !clean {
+                        taint.set_temp(d, TaintMask::CLEAN);
+                    }
                 }
                 TcgOp::Mov { d, s } => {
                     let v = val!(s);
-                    let m = taint.temp(s);
                     setval!(d, v);
-                    taint.set_temp1(d, m, s);
+                    if !clean {
+                        let m = taint.temp(s);
+                        taint.set_temp1(d, m, s);
+                    }
                 }
                 TcgOp::Add { d, a, b } => {
                     binop!(d, a, b, |_a, _b, _tb| PropKind::AddSub, |x: u64, y: u64| x
@@ -281,6 +762,17 @@ pub(crate) fn run_slice(
                 TcgOp::Sub { d, a, b } => {
                     binop!(d, a, b, |_a, _b, _tb| PropKind::AddSub, |x: u64, y: u64| x
                         .wrapping_sub(y))
+                }
+                TcgOp::Addi { d, a, imm } => {
+                    let out = val!(a).wrapping_add(imm);
+                    setval!(d, out);
+                    if !clean {
+                        // The immediate operand is CLEAN with empty
+                        // provenance, so this is exactly `Add` with a clean
+                        // `b`: same kind, source provenance from `a` alone.
+                        let m = policy.propagate(PropKind::AddSub, taint.temp(a), TaintMask::CLEAN);
+                        taint.set_temp1(d, m, a);
+                    }
                 }
                 TcgOp::Mul { d, a, b } => {
                     binop!(d, a, b, |_a, _b, _tb| PropKind::Mul, |x: u64, y: u64| x
@@ -292,27 +784,33 @@ pub(crate) fn run_slice(
                         fault!(Signal::Fpe);
                     }
                     let out = (av as i64).wrapping_div(bv as i64) as u64;
-                    let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
                     setval!(d, out);
-                    taint.set_temp2(d, m, a, b);
+                    if !clean {
+                        let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
+                        taint.set_temp2(d, m, a, b);
+                    }
                 }
                 TcgOp::Divu { d, a, b } => {
                     let (av, bv) = (val!(a), val!(b));
                     if bv == 0 {
                         fault!(Signal::Fpe);
                     }
-                    let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
                     setval!(d, av / bv);
-                    taint.set_temp2(d, m, a, b);
+                    if !clean {
+                        let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
+                        taint.set_temp2(d, m, a, b);
+                    }
                 }
                 TcgOp::Remu { d, a, b } => {
                     let (av, bv) = (val!(a), val!(b));
                     if bv == 0 {
                         fault!(Signal::Fpe);
                     }
-                    let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
                     setval!(d, av % bv);
-                    taint.set_temp2(d, m, a, b);
+                    if !clean {
+                        let m = policy.propagate(PropKind::Div, taint.temp(a), taint.temp(b));
+                        taint.set_temp2(d, m, a, b);
+                    }
                 }
                 TcgOp::And { d, a, b } => binop!(
                     d,
@@ -359,28 +857,39 @@ pub(crate) fn run_slice(
                     |x: u64, y: u64| ((x as i64) >> (y & 63)) as u64
                 ),
                 TcgOp::Neg { d, a } => {
-                    let m = policy.propagate(PropKind::Neg, taint.temp(a), TaintMask::CLEAN);
                     let v = (val!(a) as i64).wrapping_neg() as u64;
                     setval!(d, v);
-                    taint.set_temp1(d, m, a);
+                    if !clean {
+                        let m = policy.propagate(PropKind::Neg, taint.temp(a), TaintMask::CLEAN);
+                        taint.set_temp1(d, m, a);
+                    }
                 }
                 TcgOp::Not { d, a } => {
-                    let m = policy.propagate(PropKind::Not, taint.temp(a), TaintMask::CLEAN);
                     let v = !val!(a);
                     setval!(d, v);
-                    taint.set_temp1(d, m, a);
+                    if !clean {
+                        let m = policy.propagate(PropKind::Not, taint.temp(a), TaintMask::CLEAN);
+                        taint.set_temp1(d, m, a);
+                    }
                 }
                 TcgOp::SetFlagsInt { a, b } => {
                     proc.cpu.flags = Flags::from_int_cmp(val!(a), val!(b));
+                }
+                TcgOp::SetFlagsInti { a, imm } => {
+                    proc.cpu.flags = Flags::from_int_cmp(val!(a), imm);
                 }
                 TcgOp::SetFlagsFp { a, b } => {
                     proc.cpu.flags =
                         Flags::from_fp_cmp(f64::from_bits(val!(a)), f64::from_bits(val!(b)));
                 }
-                TcgOp::QemuLd { d, addr } => {
-                    let vaddr = val!(addr);
-                    if !taint_on {
-                        // Fast path with the taint machinery disabled.
+                TcgOp::QemuLd { d, addr, disp } => {
+                    let vaddr = val!(addr).wrapping_add(disp as u64);
+                    if !taint_on || clean {
+                        // Fast path: taint machinery disabled, or the
+                        // fully-clean regime holds — `d`'s shadow is
+                        // already clean and its provenance empty, so even
+                        // the destination write is skipped.
+                        hot.fast += 1;
                         match proc.aspace.read_u64(phys, vaddr) {
                             Ok(value) => {
                                 setval!(d, value);
@@ -389,6 +898,23 @@ pub(crate) fn run_slice(
                         }
                         continue;
                     }
+                    if fast_path && taint.mem_idle() {
+                        // Taint-idle fast path: the shadow holds no taint
+                        // and no provenance, so the load's mask is CLEAN
+                        // and its provenance EMPTY by construction — skip
+                        // the shadow reads and the (never-firing, since the
+                        // mask is clean) taint-read hook.
+                        hot.fast += 1;
+                        match proc.aspace.read_u64(phys, vaddr) {
+                            Ok(value) => {
+                                setval!(d, value);
+                                taint.set_temp(d, TaintMask::CLEAN);
+                            }
+                            Err(_) => fault!(Signal::Segv),
+                        }
+                        continue;
+                    }
+                    hot.slow += 1;
                     match load_u64_tainted(&proc.aspace, phys, taint, vaddr) {
                         Ok((value, mask, prov, paddr)) => {
                             setval!(d, value);
@@ -403,7 +929,7 @@ pub(crate) fn run_slice(
                                         paddr,
                                         taint: mask,
                                         value,
-                                        icount: proc.icount,
+                                        icount: icount_base + executed,
                                         prov,
                                     });
                                 }
@@ -412,16 +938,32 @@ pub(crate) fn run_slice(
                         Err(_) => fault!(Signal::Segv),
                     }
                 }
-                TcgOp::QemuSt { s, addr } => {
-                    let vaddr = val!(addr);
+                TcgOp::QemuSt { s, addr, disp } => {
+                    let vaddr = val!(addr).wrapping_add(disp as u64);
                     let value = val!(s);
-                    if !taint_on {
+                    if !taint_on || clean {
+                        // Fast path: taint disabled, or fully clean — the
+                        // stored mask is clean over an all-clean shadow,
+                        // a complete no-op on every shadow structure.
+                        hot.fast += 1;
                         if proc.aspace.write_u64(phys, vaddr, value).is_err() {
                             fault!(Signal::Segv);
                         }
                         continue;
                     }
                     let mask = taint.temp(s);
+                    if fast_path && mask.is_clean() && taint.mem_idle() {
+                        // Taint-idle fast path: a clean store over an
+                        // all-clean shadow is a shadow no-op (nothing to
+                        // clear), its provenance write is empty, and the
+                        // taint-write hook cannot fire — skip all three.
+                        hot.fast += 1;
+                        if proc.aspace.write_u64(phys, vaddr, value).is_err() {
+                            fault!(Signal::Segv);
+                        }
+                        continue;
+                    }
+                    hot.slow += 1;
                     let prov = taint.temp_prov(s);
                     match store_u64_tainted(&proc.aspace, phys, taint, vaddr, value, mask, prov) {
                         Ok(paddr) => {
@@ -435,7 +977,7 @@ pub(crate) fn run_slice(
                                         paddr,
                                         taint: mask,
                                         value,
-                                        icount: proc.icount,
+                                        icount: icount_base + executed,
                                         prov,
                                     });
                                 }
@@ -447,21 +989,23 @@ pub(crate) fn run_slice(
                 TcgOp::CallHelper { helper, d, a, b } => {
                     let (av, bv) = (val!(a), val!(b));
                     let out = helper.eval(av, bv);
-                    let kind = match helper {
-                        chaser_tcg::Helper::CvtIF | chaser_tcg::Helper::CvtFI => PropKind::Cvt,
-                        _ => PropKind::Fp,
-                    };
-                    let tb_ = if helper.is_binary() {
-                        taint.temp(b)
-                    } else {
-                        TaintMask::CLEAN
-                    };
-                    let m = policy.propagate(kind, taint.temp(a), tb_);
                     setval!(d, out);
-                    if helper.is_binary() {
-                        taint.set_temp2(d, m, a, b);
-                    } else {
-                        taint.set_temp1(d, m, a);
+                    if !clean {
+                        let kind = match helper {
+                            chaser_tcg::Helper::CvtIF | chaser_tcg::Helper::CvtFI => PropKind::Cvt,
+                            _ => PropKind::Fp,
+                        };
+                        let tb_ = if helper.is_binary() {
+                            taint.temp(b)
+                        } else {
+                            TaintMask::CLEAN
+                        };
+                        let m = policy.propagate(kind, taint.temp(a), tb_);
+                        if helper.is_binary() {
+                            taint.set_temp2(d, m, a, b);
+                        } else {
+                            taint.set_temp1(d, m, a);
+                        }
                     }
                 }
                 TcgOp::CallInject { point, pc } => {
@@ -487,10 +1031,19 @@ pub(crate) fn run_slice(
                         if action.flush_tb {
                             cache.flush();
                         }
+                        // An injector is the only in-block taint source:
+                        // if it fired, leave the clean regime for the rest
+                        // of this block (locals were all-clean up to here).
+                        if clean && !taint.fully_idle() {
+                            taint.begin_block(tb.n_locals());
+                            clean = false;
+                            cur_pc = pc;
+                        }
                     }
                 }
                 TcgOp::ExitTb { next } => {
                     proc.cpu.pc = next;
+                    chain_exit!(ChainSlot::Taken);
                     continue 'outer;
                 }
                 TcgOp::ExitTbCond {
@@ -498,11 +1051,14 @@ pub(crate) fn run_slice(
                     taken,
                     fallthrough,
                 } => {
-                    proc.cpu.pc = if proc.cpu.flags.holds(cond) {
-                        taken
+                    let slot = if proc.cpu.flags.holds(cond) {
+                        proc.cpu.pc = taken;
+                        ChainSlot::Taken
                     } else {
-                        fallthrough
+                        proc.cpu.pc = fallthrough;
+                        ChainSlot::Fallthrough
                     };
+                    chain_exit!(slot);
                     continue 'outer;
                 }
                 TcgOp::ExitTbIndirect { addr } => {
@@ -527,8 +1083,11 @@ pub(crate) fn run_slice(
                         };
                         proc.state = ProcState::BlockedMpi;
                         proc.pending_mpi = Some(req);
+                        sync_counters!();
                         return SliceExit::MpiCall(req);
                     }
+                    // Kernel calls observe `icount` (SYS_CLOCK).
+                    sync_counters!();
                     match handle_kernel_call(num, phys, proc) {
                         KernelOutcome::Continue => continue 'outer,
                         KernelOutcome::Exit(status) => {
@@ -538,6 +1097,7 @@ pub(crate) fn run_slice(
                     }
                 }
                 TcgOp::Halt => {
+                    sync_counters!();
                     proc.terminate(ExitStatus::Halted);
                     return SliceExit::Exited(ExitStatus::Halted);
                 }

@@ -58,6 +58,7 @@ mod paging;
 mod process;
 mod vmi;
 
+pub use engine::{EngineStats, ExecTuning};
 pub use hooks::{
     FnHookSink, GuestCtx, InjectAction, InjectSink, NodeHooks, NodeTranslateHook, TaintEventFanout,
     TaintEventSink, TaintMemEvent,

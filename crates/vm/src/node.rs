@@ -1,7 +1,7 @@
 //! A simulated machine: physical memory, processes, translation cache,
 //! taint state and hooks.
 
-use crate::engine;
+use crate::engine::{self, EngineStats, ExecTuning};
 use crate::hooks::NodeHooks;
 use crate::kernel::ExitStatus;
 use crate::mem::{MemFault, MemSnapshot, MemStats, PhysMemory};
@@ -61,6 +61,10 @@ pub struct Node {
     /// Remaining run-level instruction budget (`u64::MAX` = unlimited).
     /// Set by the watchdog owner (the cluster scheduler) before each slice.
     insn_budget: u64,
+    /// Hot-path tuning knobs applied to every slice (default: all on).
+    tuning: ExecTuning,
+    /// Accumulated hot-path counters over every slice this node ran.
+    engine_stats: EngineStats,
 }
 
 impl Node {
@@ -80,7 +84,25 @@ impl Node {
             hooks: NodeHooks::default(),
             next_pid: 1,
             insn_budget: u64::MAX,
+            tuning: ExecTuning::default(),
+            engine_stats: EngineStats::default(),
         }
+    }
+
+    /// Sets the hot-path tuning knobs (TB chaining, taint-idle fast path)
+    /// applied to every subsequent slice.
+    pub fn set_exec_tuning(&mut self, tuning: ExecTuning) {
+        self.tuning = tuning;
+    }
+
+    /// The active hot-path tuning knobs.
+    pub fn exec_tuning(&self) -> ExecTuning {
+        self.tuning
+    }
+
+    /// Hot-path execution counters accumulated over every slice.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine_stats
     }
 
     /// Caps the instructions the next [`Node::run_slice`] may retire,
@@ -183,6 +205,8 @@ impl Node {
             proc,
             quantum,
             self.insn_budget,
+            self.tuning,
+            &mut self.engine_stats,
         );
         if let SliceExit::Exited(status) = exit {
             let sinks = self.hooks.vmi.clone();
@@ -429,6 +453,8 @@ impl Node {
             hooks: NodeHooks::default(),
             next_pid: snap.next_pid,
             insn_budget: u64::MAX,
+            tuning: ExecTuning::default(),
+            engine_stats: EngineStats::default(),
         }
     }
 
@@ -872,6 +898,169 @@ mod more_engine_tests {
         a.jmp("spin");
         let (_, _, status) = run(&a.assemble().expect("assemble"));
         assert_eq!(status, ExitStatus::Signaled(Signal::Segv));
+    }
+
+    fn loop_prog(iters: i64) -> chaser_isa::Program {
+        let mut a = Asm::new("hotloop");
+        a.data_u64("buf", &[0; 8]);
+        a.lea(Reg::R5, "buf");
+        a.movi(Reg::R1, 0);
+        a.label("loop");
+        a.ld(Reg::R2, Reg::R5, 0);
+        a.add(Reg::R2, Reg::R1);
+        a.st(Reg::R2, Reg::R5, 0);
+        a.addi(Reg::R1, 1);
+        a.cmpi(Reg::R1, iters);
+        a.jcc(chaser_isa::Cond::Lt, "loop");
+        a.ld(Reg::R0, Reg::R5, 0);
+        a.exit_with(Reg::R0);
+        a.assemble().expect("assemble")
+    }
+
+    fn run_tuned(tuning: ExecTuning) -> (Node, ExitStatus) {
+        let mut node = Node::new(0);
+        node.set_exec_tuning(tuning);
+        let pid = node.spawn(&loop_prog(100)).expect("spawn");
+        let status = loop {
+            match node.run_slice(pid, 1000) {
+                SliceExit::Exited(s) => break s,
+                SliceExit::QuantumExpired => continue,
+                other => panic!("unexpected slice exit: {other:?}"),
+            }
+        };
+        (node, status)
+    }
+
+    #[test]
+    fn tb_chaining_hits_links_and_preserves_results() {
+        let on = ExecTuning::default();
+        let off = ExecTuning {
+            tb_chaining: false,
+            taint_fast_path: false,
+        };
+        let (chained, s1) = run_tuned(on);
+        let (unchained, s2) = run_tuned(off);
+        assert_eq!(s1, ExitStatus::Exited(4950));
+        assert_eq!(s2, s1, "ablation must not change the outcome");
+        let cs = chained.engine_stats();
+        let us = unchained.engine_stats();
+        assert!(cs.tb_chain_hits > 50, "loop re-dispatch must follow links");
+        assert_eq!(us.tb_chain_hits, 0, "knob off must never chain");
+        // Chaining removes hash lookups: the chained run does strictly
+        // fewer cache lookups for the same instruction stream.
+        assert!(chained.cache_stats().lookups < unchained.cache_stats().lookups);
+        // With no taint anywhere, every memory op takes the fast path.
+        assert!(cs.fast_path_insns > 0);
+        assert_eq!(cs.slow_path_insns, 0);
+        // Knob off: every memory op pays the full shadow walk.
+        assert_eq!(us.fast_path_insns, 0);
+        assert!(us.slow_path_insns > 0);
+    }
+
+    #[test]
+    fn taint_fast_path_flips_to_slow_when_taint_appears() {
+        let mut a = Asm::new("flip");
+        a.bss("buf", 64);
+        a.lea(Reg::R5, "buf");
+        a.ld(Reg::R2, Reg::R5, 0); // fast: shadow idle
+        a.hypercall(chaser_isa::abi::MPI_BARRIER); // park for taint write
+        a.ld(Reg::R3, Reg::R5, 0); // slow: taint is live now
+        a.exit(0);
+        let prog = a.assemble().expect("assemble");
+        let buf = prog.symbol("buf").expect("buf");
+
+        let mut node = Node::new(0);
+        let pid = node.spawn(&prog).expect("spawn");
+        assert!(matches!(node.run_slice(pid, 100), SliceExit::MpiCall(_)));
+        let before = node.engine_stats();
+        assert!(before.fast_path_insns >= 1);
+        assert_eq!(before.slow_path_insns, 0);
+
+        node.write_guest_taint(pid, buf, &[0xff]).expect("taint");
+        node.complete_mpi(pid, 0);
+        let status = loop {
+            match node.run_slice(pid, 100) {
+                SliceExit::Exited(s) => break s,
+                SliceExit::QuantumExpired => continue,
+                other => panic!("unexpected: {other:?}"),
+            }
+        };
+        assert!(status.is_success());
+        let after = node.engine_stats();
+        assert!(
+            after.slow_path_insns >= 1,
+            "live taint must force the slow path"
+        );
+        // The tainted load must still see its mask.
+        assert!(node.taint().mem().tainted_bytes() > 0);
+    }
+
+    /// An injection callback is the one in-block taint source: firing
+    /// mid-block must drop the engine out of the fully-clean regime, and
+    /// the injected taint must propagate through the rest of the same
+    /// block — a store *after* the callback carries it into shadow memory.
+    #[test]
+    fn injection_mid_block_leaves_the_clean_regime() {
+        use crate::hooks::{GuestCtx, InjectAction, InjectSink, NodeTranslateHook};
+        use chaser_isa::Instruction;
+        use chaser_taint::TaintMask;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct TargetStores;
+        impl NodeTranslateHook for TargetStores {
+            fn inject_point(&self, _n: u32, _p: u64, _pc: u64, insn: &Instruction) -> Option<u64> {
+                matches!(insn, Instruction::St { .. }).then_some(1)
+            }
+        }
+        struct TaintR2 {
+            fired: u32,
+        }
+        impl InjectSink for TaintR2 {
+            fn on_inject_point(
+                &mut self,
+                _point: u64,
+                _insn: &Instruction,
+                ctx: &mut GuestCtx<'_>,
+            ) -> InjectAction {
+                if self.fired == 0 {
+                    ctx.taint_reg(Reg::R2, TaintMask::bit(0));
+                }
+                self.fired += 1;
+                InjectAction::default()
+            }
+        }
+
+        // One straight-line block: the load runs clean, the callback on
+        // the store taints R2 right before it executes.
+        let mut a = Asm::new("inject");
+        a.bss("buf", 64);
+        a.lea(Reg::R5, "buf");
+        a.ld(Reg::R2, Reg::R5, 0);
+        a.st(Reg::R2, Reg::R5, 8);
+        a.exit(0);
+        let prog = a.assemble().expect("assemble");
+
+        let mut node = Node::new(0);
+        node.hooks_mut().translate = Some(Rc::new(TargetStores));
+        let sink = Rc::new(RefCell::new(TaintR2 { fired: 0 }));
+        node.hooks_mut().inject = Some(sink.clone());
+        let pid = node.spawn(&prog).expect("spawn");
+        let status = loop {
+            match node.run_slice(pid, 100_000) {
+                SliceExit::Exited(s) => break s,
+                SliceExit::QuantumExpired => continue,
+                other => panic!("unexpected slice exit: {other:?}"),
+            }
+        };
+        assert!(status.is_success());
+        assert_eq!(sink.borrow().fired, 1, "one store, one callback");
+        // The injected taint reached shadow memory through the store that
+        // followed the callback in the same block...
+        assert!(node.taint().mem().tainted_bytes() > 0);
+        // ...which is only possible off the clean regime: the tainted
+        // store ran the full slow path.
+        assert!(node.engine_stats().slow_path_insns >= 1);
     }
 
     #[test]

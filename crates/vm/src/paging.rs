@@ -3,6 +3,7 @@
 use crate::mem::{MemFault, MemFaultKind, PhysMemory};
 use chaser_isa::PAGE_SIZE;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Page permissions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,15 +38,47 @@ struct Pte {
     perms: PagePerms,
 }
 
+/// Size of the direct-mapped software TLB (power of two).
+const TLB_SIZE: usize = 64;
+
+// A TLB entry packs a cached page-table hit into one atomic word (a
+// single-word entry cannot tear, so relaxed loads/stores are sound even
+// with the address space shared across campaign threads): bits 0..28 hold
+// `vpn + 1` (zero = invalid), bits 28..60 the physical frame number, bit
+// 60 the write permission and bit 61 the exec permission. Pages whose vpn
+// or frame number overflows the field are simply never cached.
+const TLB_TAG_BITS: u32 = 28;
+const TLB_FRAME_BITS: u32 = 32;
+const TLB_TAG_MASK: u64 = (1 << TLB_TAG_BITS) - 1;
+const TLB_FRAME_MASK: u64 = (1 << TLB_FRAME_BITS) - 1;
+const TLB_WRITE_BIT: u64 = 1 << (TLB_TAG_BITS + TLB_FRAME_BITS);
+const TLB_EXEC_BIT: u64 = 1 << (TLB_TAG_BITS + TLB_FRAME_BITS + 1);
+
 /// A single-level page table mapping guest virtual pages to physical
 /// frames, one per process.
 ///
 /// The `asid` tags translation-cache entries (QEMU keys its TB cache by the
 /// guest's CR3; here the process id plays that role).
-#[derive(Debug, Clone)]
+///
+/// Translation goes through a direct-mapped software TLB in front of the
+/// page-table hash map. Mappings are only ever *added* (`map_region` skips
+/// pages already present and nothing unmaps), so a cached entry can never
+/// go stale and the TLB needs no invalidation.
+#[derive(Debug)]
 pub struct AddressSpace {
     asid: u64,
     pages: HashMap<u64, Pte>,
+    tlb: [AtomicU64; TLB_SIZE],
+}
+
+impl Clone for AddressSpace {
+    fn clone(&self) -> AddressSpace {
+        AddressSpace {
+            asid: self.asid,
+            pages: self.pages.clone(),
+            tlb: std::array::from_fn(|i| AtomicU64::new(self.tlb[i].load(Ordering::Relaxed))),
+        }
+    }
 }
 
 impl AddressSpace {
@@ -54,6 +87,7 @@ impl AddressSpace {
         AddressSpace {
             asid,
             pages: HashMap::new(),
+            tlb: [const { AtomicU64::new(0) }; TLB_SIZE],
         }
     }
 
@@ -105,17 +139,41 @@ impl AddressSpace {
     fn translate(&self, vaddr: u64, write: bool, exec: bool) -> Result<u64, MemFault> {
         let vpn = vaddr / PAGE_SIZE;
         let off = vaddr % PAGE_SIZE;
-        let pte = self.pages.get(&vpn).ok_or(MemFault {
-            vaddr,
-            kind: MemFaultKind::Unmapped,
-        })?;
-        if (write && !pte.perms.write) || (exec && !pte.perms.exec) {
+        let tag = vpn + 1;
+        let slot = &self.tlb[vpn as usize & (TLB_SIZE - 1)];
+        let cached = slot.load(Ordering::Relaxed);
+        let (frame, writable, executable) = if cached & TLB_TAG_MASK == tag {
+            // TLB hit: one array index instead of a hash lookup.
+            (
+                ((cached >> TLB_TAG_BITS) & TLB_FRAME_MASK) * PAGE_SIZE,
+                cached & TLB_WRITE_BIT != 0,
+                cached & TLB_EXEC_BIT != 0,
+            )
+        } else {
+            let pte = self.pages.get(&vpn).ok_or(MemFault {
+                vaddr,
+                kind: MemFaultKind::Unmapped,
+            })?;
+            let frame_pn = pte.frame / PAGE_SIZE;
+            if tag <= TLB_TAG_MASK && frame_pn <= TLB_FRAME_MASK && pte.frame % PAGE_SIZE == 0 {
+                let mut entry = tag | (frame_pn << TLB_TAG_BITS);
+                if pte.perms.write {
+                    entry |= TLB_WRITE_BIT;
+                }
+                if pte.perms.exec {
+                    entry |= TLB_EXEC_BIT;
+                }
+                slot.store(entry, Ordering::Relaxed);
+            }
+            (pte.frame, pte.perms.write, pte.perms.exec)
+        };
+        if (write && !writable) || (exec && !executable) {
             return Err(MemFault {
                 vaddr,
                 kind: MemFaultKind::Protection,
             });
         }
-        Ok(pte.frame + off)
+        Ok(frame + off)
     }
 
     /// Reads a guest u64 (may cross a page boundary).
