@@ -10,7 +10,7 @@ cd "$(dirname "$0")"
 RUSTFLAGS="-D warnings" cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
-cargo clippy --offline --all-targets -- -D warnings
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Resilience smoke: journaled 20-run campaign with a forced harness panic
 # and a watchdog budget, killed mid-way (journal truncation) and resumed;
@@ -31,5 +31,8 @@ cargo run --release --offline -p chaser-bench --bin provenance_smoke
 # Hot-path perf smoke: prove the tb_chaining / taint_fast_path knobs
 # observationally inert (outcome CSV, provenance exports, state digest
 # byte-identical), then require >=2x engine throughput with both knobs on
-# vs both off. Writes BENCH_engine.json.
+# vs both off. Also gates intra-run rank parallelism: an 8-rank workload
+# must be digest-identical serial vs rank_threads=4 and faster by 1.5x
+# (calibrated down to the host's measured raw thread-scaling ceiling on
+# throttled CI containers). Writes BENCH_engine.json.
 cargo run --release --offline -p chaser-bench --bin perf_smoke

@@ -2,7 +2,9 @@
 //! `perf_smoke` CI gate measures, under criterion's statistics — cold (no
 //! base cache, knobs off), warm (shared base cache, knobs off), chained
 //! (warm + TB chaining), and taint-idle (warm + chaining + the taint-idle
-//! fast path) — plus the same ladder on a fault-free golden cluster run.
+//! fast path) — plus intra-run rank parallelism (`rank_threads` 1 vs 4 on
+//! 8 compute-bound ranks) and the same ladder on a fault-free golden
+//! cluster run.
 //!
 //! `cargo bench -p chaser-bench --bench bench_engine`
 
@@ -92,6 +94,35 @@ fn regimes(c: &mut Criterion) {
     group.finish();
 }
 
+/// Intra-run rank parallelism: 8 compute-bound ranks (one per node)
+/// advanced by 1 vs 4 compute workers. The coarse quantum keeps round
+/// barriers rare, so this measures the parallel compute phase rather than
+/// fork/join overhead.
+fn rank_threads(c: &mut Criterion) {
+    let prog = loop_program();
+    let run = |rank_threads: usize| {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 8,
+            rank_threads,
+            quantum: 100_000,
+            ..ClusterConfig::default()
+        });
+        let programs: Vec<&Program> = (0..8).map(|_| &prog).collect();
+        cluster.launch(&programs).expect("launch");
+        let result = cluster.run();
+        assert!(!result.hang, "compute-bound ranks must not hang");
+        result.total_insns
+    };
+    let insns = run(1);
+    eprintln!("engine/rank_threads: {insns} guest insns per iteration");
+
+    let mut group = c.benchmark_group("engine/rank_threads");
+    group.sample_size(10);
+    group.bench_function("serial", |b| b.iter(|| run(1)));
+    group.bench_function("threads_4", |b| b.iter(|| run(4)));
+    group.finish();
+}
+
 fn golden_cluster(c: &mut Criterion) {
     let mv = matvec::MatvecConfig::default();
     let program = matvec::program(&mv);
@@ -124,5 +155,5 @@ fn golden_cluster(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, regimes, golden_cluster);
+criterion_group!(benches, regimes, rank_threads, golden_cluster);
 criterion_main!(benches);

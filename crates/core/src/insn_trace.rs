@@ -19,9 +19,9 @@ use chaser_taint::TaintMask;
 use chaser_vm::{
     ExitStatus, GuestCtx, InjectAction, InjectSink, NodeTranslateHook, VmiAction, VmiSink,
 };
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// What instruction-level tracing collected.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -54,17 +54,17 @@ pub struct InsnLevelTracer {
     /// tracer has live taint to chase even without a separate injector
     /// (the translate/inject hook slots are occupied by the tracer).
     seed_taint: bool,
-    state: RefCell<InsnTraceState>,
+    state: Mutex<InsnTraceState>,
 }
 
 impl InsnLevelTracer {
     /// A tracer for `program`, optionally seeding taint at start.
-    pub fn new(program: impl Into<String>, seed_taint: bool) -> Rc<InsnLevelTracer> {
-        Rc::new(InsnLevelTracer {
+    pub fn new(program: impl Into<String>, seed_taint: bool) -> Arc<InsnLevelTracer> {
+        Arc::new(InsnLevelTracer {
             program: program.into(),
             log_capacity: 10_000,
             seed_taint,
-            state: RefCell::new(InsnTraceState {
+            state: Mutex::new(InsnTraceState {
                 active: HashSet::new(),
                 seeded: false,
                 summary: InsnTraceSummary::default(),
@@ -74,7 +74,7 @@ impl InsnLevelTracer {
 
     /// Results so far.
     pub fn summary(&self) -> InsnTraceSummary {
-        self.state.borrow().summary.clone()
+        self.state.lock().summary.clone()
     }
 }
 
@@ -82,17 +82,13 @@ impl NodeTranslateHook for InsnLevelTracer {
     fn inject_point(&self, node: u32, pid: u64, _pc: u64, _insn: &Instruction) -> Option<u64> {
         // Every instruction of an active process is instrumented — this is
         // exactly the cost Chaser's JIT design avoids.
-        self.state
-            .borrow()
-            .active
-            .contains(&(node, pid))
-            .then_some(0)
+        self.state.lock().active.contains(&(node, pid)).then_some(0)
     }
 }
 
 /// Sink half of [`InsnLevelTracer`] for the node hook slots.
 #[derive(Debug, Clone)]
-pub struct InsnTraceHandle(pub Rc<InsnLevelTracer>);
+pub struct InsnTraceHandle(pub Arc<InsnLevelTracer>);
 
 impl InjectSink for InsnTraceHandle {
     fn on_inject_point(
@@ -102,7 +98,7 @@ impl InjectSink for InsnTraceHandle {
         ctx: &mut GuestCtx<'_>,
     ) -> InjectAction {
         let tracer = &self.0;
-        let mut st = tracer.state.borrow_mut();
+        let mut st = tracer.state.lock();
         if tracer.seed_taint && !st.seeded {
             st.seeded = true;
             ctx.taint_freg(FReg::F0, TaintMask::ALL);
@@ -126,12 +122,12 @@ impl VmiSink for InsnTraceHandle {
         if name != self.0.program {
             return VmiAction::NONE;
         }
-        self.0.state.borrow_mut().active.insert((node, pid));
+        self.0.state.lock().active.insert((node, pid));
         VmiAction::FLUSH
     }
 
     fn on_process_exited(&mut self, node: u32, pid: u64, _status: ExitStatus) -> VmiAction {
-        self.0.state.borrow_mut().active.remove(&(node, pid));
+        self.0.state.lock().active.remove(&(node, pid));
         VmiAction::NONE
     }
 }
@@ -144,7 +140,7 @@ mod tests {
     #[test]
     fn arms_only_for_matching_program() {
         let tracer = InsnLevelTracer::new("app", false);
-        let mut handle = InsnTraceHandle(Rc::clone(&tracer));
+        let mut handle = InsnTraceHandle(Arc::clone(&tracer));
         assert_eq!(handle.on_process_created(0, 1, "other"), VmiAction::NONE);
         assert_eq!(handle.on_process_created(0, 2, "app"), VmiAction::FLUSH);
         let nop = Instruction::Nop;
@@ -161,7 +157,7 @@ mod tests {
     #[test]
     fn exit_disarms() {
         let tracer = InsnLevelTracer::new("app", false);
-        let mut handle = InsnTraceHandle(Rc::clone(&tracer));
+        let mut handle = InsnTraceHandle(Arc::clone(&tracer));
         handle.on_process_created(1, 7, "app");
         handle.on_process_exited(1, 7, ExitStatus::Exited(0));
         assert_eq!(tracer.inject_point(1, 7, 0, &Instruction::Nop), None);

@@ -16,7 +16,7 @@ use crate::campaign::RunOutcome;
 use crate::injector::InjectionRecord;
 use crate::outcome::{Outcome, TermCause};
 use chaser_isa::InsnClass;
-use chaser_mpi::{BudgetKind, MpiErrorKind};
+use chaser_mpi::{BudgetKind, MpiErrorKind, ParallelStats};
 use chaser_tcg::CacheStats;
 use chaser_vm::{EngineStats, Signal};
 use std::fs::{File, OpenOptions};
@@ -415,7 +415,9 @@ pub struct JournalHeader {
 /// `prov_digest`) to outcome rows. Version 3 added the per-run hot-path
 /// engine counters (`engine_stats`) to outcome rows and folded the
 /// `tb_chaining` / `taint_fast_path` knobs into the config fingerprint.
-pub const JOURNAL_VERSION: u64 = 3;
+/// Version 4 added the per-run rank-parallelism counters (`parallel`) to
+/// outcome rows and folded `rank_threads` into the config fingerprint.
+pub const JOURNAL_VERSION: u64 = 4;
 
 impl JournalHeader {
     fn to_json(self) -> Json {
@@ -606,6 +608,35 @@ fn engine_stats_from_json(v: &Json) -> Result<EngineStats, JournalError> {
         chain_severs: v.u64("chain_severs")?,
         fast_path_insns: v.u64("fast_path_insns")?,
         slow_path_insns: v.u64("slow_path_insns")?,
+    })
+}
+
+fn parallel_stats_to_json(p: &ParallelStats) -> Json {
+    Json::Obj(vec![
+        ("threads".into(), Json::Num(p.threads as i128)),
+        ("rounds".into(), Json::Num(p.rounds as i128)),
+        (
+            "parallel_rounds".into(),
+            Json::Num(p.parallel_rounds as i128),
+        ),
+        (
+            "max_worker_insns".into(),
+            Json::Num(p.max_worker_insns as i128),
+        ),
+        (
+            "total_worker_insns".into(),
+            Json::Num(p.total_worker_insns as i128),
+        ),
+    ])
+}
+
+fn parallel_stats_from_json(v: &Json) -> Result<ParallelStats, JournalError> {
+    Ok(ParallelStats {
+        threads: v.u64("threads")?,
+        rounds: v.u64("rounds")?,
+        parallel_rounds: v.u64("parallel_rounds")?,
+        max_worker_insns: v.u64("max_worker_insns")?,
+        total_worker_insns: v.u64("total_worker_insns")?,
     })
 }
 
@@ -842,6 +873,7 @@ fn outcome_to_json(o: &RunOutcome) -> Json {
         ),
         ("cache_stats".into(), cache_stats_to_json(&o.cache_stats)),
         ("engine_stats".into(), engine_stats_to_json(&o.engine_stats)),
+        ("parallel".into(), parallel_stats_to_json(&o.parallel)),
     ])
 }
 
@@ -873,6 +905,9 @@ fn outcome_from_json(v: &Json) -> Result<RunOutcome, JournalError> {
         engine_stats: engine_stats_from_json(
             v.get("engine_stats")
                 .ok_or_else(|| bad("missing `engine_stats`"))?,
+        )?,
+        parallel: parallel_stats_from_json(
+            v.get("parallel").ok_or_else(|| bad("missing `parallel`"))?,
         )?,
     })
 }
@@ -937,6 +972,13 @@ mod tests {
                 chain_severs: 1,
                 fast_path_insns: 800,
                 slow_path_insns: 7,
+            },
+            parallel: ParallelStats {
+                threads: 4,
+                rounds: 12,
+                parallel_rounds: 11,
+                max_worker_insns: 30_000,
+                total_worker_insns: 99_000,
             },
         }
     }

@@ -90,7 +90,7 @@ pub use provenance::{
 };
 pub use session::{
     prepare_app, profile_app, run_app, run_app_insn_traced, run_prepared, run_warm, warm_start_for,
-    AppSpec, Chaser, PreparedApp, RunOptions, RunReport, SnapshotStats, WarmStart,
+    AppSpec, Chaser, HookRegistry, PreparedApp, RunOptions, RunReport, SnapshotStats, WarmStart,
     WarmStartOptions,
 };
 

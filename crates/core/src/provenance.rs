@@ -19,9 +19,7 @@ use crate::tracer::AccessKind;
 use chaser_mpi::{CrossRankEdge, Envelope, MpiObserver};
 use chaser_vm::{TaintEventSink, TaintMemEvent};
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
 
 /// Rank value for propagation events whose process could not be resolved
 /// to an MPI rank (never produced by a normal run; kept instead of
@@ -475,12 +473,13 @@ impl ProvenanceGraph {
 }
 
 /// Per-run recorder wired into the VM's tainted-memory hooks (through the
-/// [`chaser_vm::TaintEventFanout`], next to the tracer) and into the
-/// cluster's MPI observers. The session updates the shared round cell
-/// after every scheduler round so events carry round attribution.
+/// cluster's round-barrier taint drain, next to the tracer) and into the
+/// cluster's MPI observers. The cluster announces the scheduler round via
+/// [`TaintEventSink::on_round`] before dispatching each round's buffered
+/// events, so events carry round attribution.
 #[derive(Debug)]
 pub struct ProvenanceRecorder {
-    round: Rc<Cell<u64>>,
+    round: u64,
     capacity: usize,
     events: Vec<ProvEvent>,
     msg_edges: Vec<MsgEdge>,
@@ -492,18 +491,12 @@ impl ProvenanceRecorder {
     /// never dropped; there are at most a few per delivery).
     pub fn new(capacity: usize) -> ProvenanceRecorder {
         ProvenanceRecorder {
-            round: Rc::new(Cell::new(0)),
+            round: 0,
             capacity,
             events: Vec::new(),
             msg_edges: Vec::new(),
             dropped: 0,
         }
-    }
-
-    /// The shared cell the session updates with the cluster's current
-    /// scheduler round.
-    pub fn round_handle(&self) -> Rc<Cell<u64>> {
-        Rc::clone(&self.round)
     }
 
     fn log(&mut self, kind: AccessKind, ev: &TaintMemEvent) {
@@ -522,7 +515,7 @@ impl ProvenanceRecorder {
             taint: ev.taint.0,
             value: ev.value,
             prov: ev.prov.bits(),
-            round: self.round.get(),
+            round: self.round,
             icount: ev.icount,
         });
     }
@@ -539,6 +532,10 @@ impl ProvenanceRecorder {
 }
 
 impl TaintEventSink for ProvenanceRecorder {
+    fn on_round(&mut self, round: u64) {
+        self.round = round;
+    }
+
     fn on_taint_read(&mut self, ev: &TaintMemEvent) {
         self.log(AccessKind::Read, ev);
     }
@@ -596,11 +593,11 @@ mod tests {
 
     fn recorded() -> ProvenanceGraph {
         let mut r = ProvenanceRecorder::new(16);
-        r.round_handle().set(2);
+        r.on_round(2);
         r.on_taint_write(&mem_event(0, 1, 0x400, 0x2000, ProvSet::single(0)));
         r.on_taint_read(&mem_event(0, 1, 0x408, 0x2000, ProvSet::single(0)));
         r.on_tainted_delivery(&edge(0, 1, 3));
-        r.round_handle().set(4);
+        r.on_round(4);
         r.on_taint_write(&mem_event(1, 1, 0x500, 0x3000, ProvSet::single(0)));
         r.to_graph(&rank_map())
     }

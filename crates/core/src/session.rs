@@ -9,18 +9,18 @@ use crate::spec::InjectionSpec;
 use crate::tracer::{TraceSummary, Tracer, TracerConfig};
 use chaser_isa::{abi, InsnClass, Program};
 use chaser_mpi::{
-    Cluster, ClusterConfig, ClusterRun, ClusterSnapshot, MpiObserver, NetStats, RunBudget,
+    Cluster, ClusterConfig, ClusterRun, ClusterSnapshot, NetStats, ParallelStats, RunBudget,
+    SharedMpiObserver,
 };
 use chaser_tainthub::HubStats;
 use chaser_tcg::{BaseLayer, CacheStats};
 use chaser_vm::{
-    EngineStats, ExecTuning, FnHookSink, InjectSink, NodeTranslateHook, TaintEventFanout,
-    TaintEventSink, VmiSink,
+    EngineStats, ExecTuning, InjectSink, SharedFnHookSink, SharedInjectSink, SharedTaintSink,
+    SharedTranslateHook, SharedVmiSink, VmiSink,
 };
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// The application under test: one guest program per rank plus the cluster
@@ -91,6 +91,11 @@ pub struct RunOptions {
     /// default on; turning either off is observationally equivalent but
     /// slower — see `DESIGN.md` §9.
     pub exec_tuning: ExecTuning,
+    /// Worker threads the cluster scheduler's compute phase may fan nodes
+    /// out over. `0` inherits the application's own
+    /// [`ClusterConfig::rank_threads`]; any other value overrides it.
+    /// Observationally inert — see `DESIGN.md` §10.
+    pub rank_threads: usize,
 }
 
 impl RunOptions {
@@ -181,6 +186,9 @@ pub struct RunReport {
     pub engine_stats: EngineStats,
     /// Snapshot/restore counters (all zero on cold runs).
     pub snapshot: SnapshotStats,
+    /// Scheduler-parallelism counters: threads used, rounds that ran work
+    /// on more than one worker, and the per-worker instruction balance.
+    pub parallel: ParallelStats,
     /// The fault-propagation provenance graph when
     /// [`RunOptions::provenance`] was set.
     pub provenance: Option<ProvenanceGraph>,
@@ -204,52 +212,85 @@ impl RunReport {
     }
 }
 
-/// The instrumentation sinks one run installs on every node: the translate
-/// hook plus the handle that receives its `CallInject` callbacks and VMI
-/// process events, pre-coerced to the node-facing trait objects.
-type InstrumentSinks = (
-    Rc<dyn NodeTranslateHook>,
-    Rc<RefCell<dyn InjectSink>>,
-    Rc<RefCell<dyn VmiSink>>,
-);
-
-/// Builds an [`InstrumentSinks`] triple from a translate hook and the handle
-/// serving as both its inject and VMI sink.
-fn instrument_sinks<H>(hook: Rc<dyn NodeTranslateHook>, handle: H) -> InstrumentSinks
-where
-    H: InjectSink + VmiSink + 'static,
-{
-    let handle = Rc::new(RefCell::new(handle));
-    (
-        hook,
-        Rc::clone(&handle) as Rc<RefCell<dyn InjectSink>>,
-        handle as Rc<RefCell<dyn VmiSink>>,
-    )
+/// The one typed hook-wiring builder shared by every run flavour: collects
+/// whichever sinks a run needs and installs them all in a single pass.
+/// Node-level hooks (translate / inject / VMI / guest-function sinks) land
+/// on every node; taint sinks and MPI observers register at the cluster so
+/// their events commit in canonical rank order at the round barrier. Must
+/// be applied before launch so VMI observes process creation.
+#[derive(Default)]
+pub struct HookRegistry {
+    translate: Option<SharedTranslateHook>,
+    inject: Option<SharedInjectSink>,
+    vmi: Option<SharedVmiSink>,
+    fn_hook_sink: Option<SharedFnHookSink>,
+    taint_sinks: Vec<SharedTaintSink>,
+    observers: Vec<SharedMpiObserver>,
 }
 
-/// The one hook-wiring pass shared by every run flavour: installs whichever
-/// sinks are present on all nodes. Must run before launch so VMI observes
-/// process creation.
-fn wire_cluster_hooks(
-    cluster: &mut Cluster,
-    instrument: Option<InstrumentSinks>,
-    taint_events: Option<Rc<RefCell<dyn TaintEventSink>>>,
-    fn_hook_sink: Option<Rc<RefCell<dyn FnHookSink>>>,
-) {
-    cluster.for_each_node_mut(|node| {
-        let hooks = node.hooks_mut();
-        if let Some((translate, inject, vmi)) = &instrument {
-            hooks.translate = Some(Rc::clone(translate));
-            hooks.inject = Some(Rc::clone(inject));
-            hooks.vmi.push(Rc::clone(vmi));
+impl HookRegistry {
+    /// An empty registry.
+    pub fn new() -> HookRegistry {
+        HookRegistry::default()
+    }
+
+    /// Installs `hook` as the translate hook and `handle` as both the
+    /// inject sink receiving its `CallInject` callbacks and the VMI sink
+    /// screening process events.
+    pub fn instrument<H>(mut self, hook: SharedTranslateHook, handle: H) -> HookRegistry
+    where
+        H: InjectSink + VmiSink + Send + 'static,
+    {
+        let handle = Arc::new(Mutex::new(handle));
+        self.translate = Some(hook);
+        self.inject = Some(Arc::clone(&handle) as SharedInjectSink);
+        self.vmi = Some(handle as SharedVmiSink);
+        self
+    }
+
+    /// Registers a cluster-level taint-event sink (tracer, provenance
+    /// recorder); events are drained to it at each round barrier.
+    pub fn taint_sink(mut self, sink: SharedTaintSink) -> HookRegistry {
+        self.taint_sinks.push(sink);
+        self
+    }
+
+    /// Registers an MPI runtime observer.
+    pub fn observer(mut self, obs: SharedMpiObserver) -> HookRegistry {
+        self.observers.push(obs);
+        self
+    }
+
+    /// Installs the guest function-entry sink.
+    pub fn fn_hook_sink(mut self, sink: SharedFnHookSink) -> HookRegistry {
+        self.fn_hook_sink = Some(sink);
+        self
+    }
+
+    /// Wires everything collected into `cluster`.
+    pub fn apply(self, cluster: &mut Cluster) {
+        cluster.for_each_node_mut(|node| {
+            let hooks = node.hooks_mut();
+            if let Some(translate) = &self.translate {
+                hooks.translate = Some(Arc::clone(translate));
+            }
+            if let Some(inject) = &self.inject {
+                hooks.inject = Some(Arc::clone(inject));
+            }
+            if let Some(vmi) = &self.vmi {
+                hooks.vmi.push(Arc::clone(vmi));
+            }
+            if let Some(sink) = &self.fn_hook_sink {
+                hooks.fn_hook_sink = Some(Arc::clone(sink));
+            }
+        });
+        for sink in self.taint_sinks {
+            cluster.add_taint_sink(sink);
         }
-        if let Some(tr) = &taint_events {
-            hooks.taint_events = Some(Rc::clone(tr));
+        for obs in self.observers {
+            cluster.add_observer(obs);
         }
-        if let Some(logger) = &fn_hook_sink {
-            hooks.fn_hook_sink = Some(Rc::clone(logger));
-        }
-    });
+    }
 }
 
 /// Collects per-rank result-file and stdout bytes.
@@ -283,21 +324,21 @@ fn effective_cluster_cfg(app: &AppSpec, opts: &RunOptions) -> ClusterConfig {
     }
     cluster_cfg.run_budget = cluster_cfg.run_budget.merge(opts.budget);
     cluster_cfg.exec_tuning = opts.exec_tuning;
+    if opts.rank_threads != 0 {
+        cluster_cfg.rank_threads = opts.rank_threads;
+    }
+    if opts.hook_mpi_symbols {
+        // Function-entry hits are logged in firing order from inside the
+        // compute phase; keep that order deterministic by running serial.
+        cluster_cfg.rank_threads = 1;
+    }
     cluster_cfg
 }
 
 /// Drives `cluster` to completion, sampling tainted-byte counts into the
-/// tracer after every round and keeping the provenance recorder's round
-/// cell current so its events carry round attribution.
-fn run_sampled(
-    cluster: &mut Cluster,
-    tracer: Option<&Rc<RefCell<Tracer>>>,
-    round: Option<&Rc<Cell<u64>>>,
-) -> ClusterRun {
+/// tracer after every round.
+fn run_sampled(cluster: &mut Cluster, tracer: Option<&Arc<Mutex<Tracer>>>) -> ClusterRun {
     cluster.run_with(|c| {
-        if let Some(cell) = round {
-            cell.set(c.round());
-        }
         if let Some(tr) = tracer {
             let total = c.total_insns();
             let tainted: usize = c
@@ -305,7 +346,7 @@ fn run_sampled(
                 .iter()
                 .map(|n| n.taint().mem().tainted_bytes())
                 .sum();
-            tr.borrow_mut().maybe_sample(total, tainted);
+            tr.lock().maybe_sample(total, tainted);
         }
     })
 }
@@ -314,11 +355,11 @@ fn run_sampled(
 fn build_report(
     cluster: &Cluster,
     cluster_run: ClusterRun,
-    injector: Option<&Rc<Injector>>,
-    tracer: Option<Rc<RefCell<Tracer>>>,
-    fn_logger: Option<Rc<RefCell<FnHookLogger>>>,
+    injector: Option<&Arc<Injector>>,
+    tracer: Option<Arc<Mutex<Tracer>>>,
+    fn_logger: Option<Arc<Mutex<FnHookLogger>>>,
     snapshot: SnapshotStats,
-    recorder: Option<Rc<RefCell<ProvenanceRecorder>>>,
+    recorder: Option<Arc<Mutex<ProvenanceRecorder>>>,
 ) -> RunReport {
     let provenance = recorder.map(|rec| {
         let mut rank_of: BTreeMap<(u32, u64), u32> = BTreeMap::new();
@@ -326,7 +367,7 @@ fn build_report(
             let (ni, pid) = cluster.rank_location(rank);
             rank_of.insert((ni as u32, pid), rank);
         }
-        rec.borrow().to_graph(&rank_of)
+        rec.lock().to_graph(&rank_of)
     });
     let (outputs, stdouts) = collect_rank_files(cluster);
     RunReport {
@@ -335,51 +376,44 @@ fn build_report(
         stdouts,
         injections: injector.map(|i| i.records()).unwrap_or_default(),
         injector_exec_count: injector.map_or(0, |i| i.exec_count()),
-        trace: tracer.map(|tr| tr.borrow().summary().clone()),
+        trace: tracer.map(|tr| tr.lock().summary().clone()),
         hub_stats: cluster.hub().stats(),
         hub_pending: cluster.hub().pending(),
         hub_published: cluster.hub().published_total(),
         net: cluster.net_stats(),
-        fn_hook_hits: fn_logger.map_or_else(Vec::new, |l| l.borrow().hits.clone()),
+        fn_hook_hits: fn_logger.map_or_else(Vec::new, |l| l.lock().hits.clone()),
         cache_stats: cluster.tb_cache_stats(),
         engine_stats: cluster.engine_stats(),
         snapshot,
+        parallel: cluster.parallel_stats(),
         provenance,
     }
 }
 
-/// Builds the single taint-event sink a run installs: the tracer and/or
-/// the provenance recorder, fanned out when both are present.
-fn taint_event_sink(
-    tracer: Option<&Rc<RefCell<Tracer>>>,
-    recorder: Option<&Rc<RefCell<ProvenanceRecorder>>>,
-) -> Option<Rc<RefCell<dyn TaintEventSink>>> {
-    match (tracer, recorder) {
-        (None, None) => None,
-        (Some(tr), None) => Some(Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>),
-        (None, Some(rec)) => Some(Rc::clone(rec) as Rc<RefCell<dyn TaintEventSink>>),
-        (Some(tr), Some(rec)) => {
-            let mut fanout = TaintEventFanout::new();
-            fanout.push(Rc::clone(tr) as Rc<RefCell<dyn TaintEventSink>>);
-            fanout.push(Rc::clone(rec) as Rc<RefCell<dyn TaintEventSink>>);
-            Some(Rc::new(RefCell::new(fanout)) as Rc<RefCell<dyn TaintEventSink>>)
-        }
+/// Builds the hook registry every injection-run flavour shares: injector
+/// instrumentation, the tracer and provenance recorder as barrier-drained
+/// taint sinks, and the recorder doubling as the cross-rank MPI observer.
+fn run_registry(
+    injector: Option<&Arc<Injector>>,
+    tracer: Option<&Arc<Mutex<Tracer>>>,
+    recorder: Option<&Arc<Mutex<ProvenanceRecorder>>>,
+) -> HookRegistry {
+    let mut registry = HookRegistry::new();
+    if let Some(inj) = injector {
+        registry = registry.instrument(
+            Arc::clone(inj) as SharedTranslateHook,
+            InjectorHandle(Arc::clone(inj)),
+        );
     }
-}
-
-/// Creates the provenance recorder for a run (when enabled), registers it
-/// as an MPI observer for cross-rank edges, and primes its round cell with
-/// the cluster's current round (non-zero on warm restores).
-fn wire_provenance(
-    cluster: &mut Cluster,
-    opts: &RunOptions,
-) -> Option<Rc<RefCell<ProvenanceRecorder>>> {
-    let recorder = opts
-        .provenance
-        .then(|| Rc::new(RefCell::new(ProvenanceRecorder::new(PROV_LOG_CAPACITY))))?;
-    recorder.borrow().round_handle().set(cluster.round());
-    cluster.add_observer(Rc::clone(&recorder) as Rc<RefCell<dyn MpiObserver>>);
-    Some(recorder)
+    if let Some(tr) = tracer {
+        registry = registry.taint_sink(Arc::clone(tr) as SharedTaintSink);
+    }
+    if let Some(rec) = recorder {
+        registry = registry
+            .taint_sink(Arc::clone(rec) as SharedTaintSink)
+            .observer(Arc::clone(rec) as SharedMpiObserver);
+    }
+    registry
 }
 
 fn run_app_inner(
@@ -395,25 +429,19 @@ fn run_app_inner(
     let injector = opts.spec.clone().map(Injector::new);
     let tracer = opts
         .tracing
-        .then(|| Rc::new(RefCell::new(Tracer::new(opts.tracer))));
-    let recorder = wire_provenance(&mut cluster, opts);
+        .then(|| Arc::new(Mutex::new(Tracer::new(opts.tracer))));
+    let recorder = opts
+        .provenance
+        .then(|| Arc::new(Mutex::new(ProvenanceRecorder::new(PROV_LOG_CAPACITY))));
     let fn_logger = opts
         .hook_mpi_symbols
-        .then(|| Rc::new(RefCell::new(FnHookLogger::default())));
+        .then(|| Arc::new(Mutex::new(FnHookLogger::default())));
 
-    wire_cluster_hooks(
-        &mut cluster,
-        injector.as_ref().map(|inj| {
-            instrument_sinks(
-                Rc::clone(inj) as Rc<dyn NodeTranslateHook>,
-                InjectorHandle(Rc::clone(inj)),
-            )
-        }),
-        taint_event_sink(tracer.as_ref(), recorder.as_ref()),
-        fn_logger
-            .as_ref()
-            .map(|l| Rc::clone(l) as Rc<RefCell<dyn FnHookSink>>),
-    );
+    let mut registry = run_registry(injector.as_ref(), tracer.as_ref(), recorder.as_ref());
+    if let Some(logger) = &fn_logger {
+        registry = registry.fn_hook_sink(Arc::clone(logger) as SharedFnHookSink);
+    }
+    registry.apply(&mut cluster);
 
     let program_refs: Vec<&Program> = app.programs.iter().collect();
     cluster.launch(&program_refs).expect("launch application");
@@ -443,8 +471,7 @@ fn run_app_inner(
         }
     }
 
-    let round = recorder.as_ref().map(|r| r.borrow().round_handle());
-    let cluster_run = run_sampled(&mut cluster, tracer.as_ref(), round.as_ref());
+    let cluster_run = run_sampled(&mut cluster, tracer.as_ref());
     build_report(
         &cluster,
         cluster_run,
@@ -540,15 +567,12 @@ pub fn warm_start_for(prepared: &PreparedApp, wopts: &WarmStartOptions) -> Optio
 
     let mut probe = Cluster::new(cfg.clone());
     let profile = ProfileHook::new(app.name.clone(), wopts.classes.clone());
-    wire_cluster_hooks(
-        &mut probe,
-        Some(instrument_sinks(
-            Rc::clone(&profile) as Rc<dyn NodeTranslateHook>,
-            ProfileHandle(Rc::clone(&profile)),
-        )),
-        None,
-        None,
-    );
+    HookRegistry::new()
+        .instrument(
+            Arc::clone(&profile) as SharedTranslateHook,
+            ProfileHandle(Arc::clone(&profile)),
+        )
+        .apply(&mut probe);
     probe.launch(&program_refs).expect("launch application");
     let mut safe_rounds = 0;
     loop {
@@ -614,26 +638,17 @@ pub fn run_warm(prepared: &PreparedApp, opts: &RunOptions, share_base_caches: bo
     let injector = opts.spec.clone().map(Injector::new);
     let tracer = opts
         .tracing
-        .then(|| Rc::new(RefCell::new(Tracer::new(opts.tracer))));
-    let recorder = wire_provenance(&mut cluster, opts);
-    wire_cluster_hooks(
-        &mut cluster,
-        injector.as_ref().map(|inj| {
-            instrument_sinks(
-                Rc::clone(inj) as Rc<dyn NodeTranslateHook>,
-                InjectorHandle(Rc::clone(inj)),
-            )
-        }),
-        taint_event_sink(tracer.as_ref(), recorder.as_ref()),
-        None,
-    );
+        .then(|| Arc::new(Mutex::new(Tracer::new(opts.tracer))));
+    let recorder = opts
+        .provenance
+        .then(|| Arc::new(Mutex::new(ProvenanceRecorder::new(PROV_LOG_CAPACITY))));
+    run_registry(injector.as_ref(), tracer.as_ref(), recorder.as_ref()).apply(&mut cluster);
     cluster.replay_vmi_creations();
     if share_base_caches {
         cluster.install_base_caches(&prepared.base_caches);
     }
 
-    let round = recorder.as_ref().map(|r| r.borrow().round_handle());
-    let cluster_run = run_sampled(&mut cluster, tracer.as_ref(), round.as_ref());
+    let cluster_run = run_sampled(&mut cluster, tracer.as_ref());
     let mem = cluster.mem_stats();
     let snapshot = SnapshotStats {
         restores: 1,
@@ -715,15 +730,12 @@ pub fn profile_app(
 ) -> (RunReport, HashMap<(u32, usize), u64>) {
     let mut cluster = Cluster::new(app.cluster.clone());
     let profile = ProfileHook::new(app.name.clone(), classes.to_vec());
-    wire_cluster_hooks(
-        &mut cluster,
-        Some(instrument_sinks(
-            Rc::clone(&profile) as Rc<dyn NodeTranslateHook>,
-            ProfileHandle(Rc::clone(&profile)),
-        )),
-        None,
-        None,
-    );
+    HookRegistry::new()
+        .instrument(
+            Arc::clone(&profile) as SharedTranslateHook,
+            ProfileHandle(Arc::clone(&profile)),
+        )
+        .apply(&mut cluster);
     let program_refs: Vec<&Program> = app.programs.iter().collect();
     cluster.launch(&program_refs).expect("launch application");
     let cluster_run = cluster.run();
@@ -748,17 +760,18 @@ pub fn run_app_insn_traced(
     app: &AppSpec,
     seed_taint: bool,
 ) -> (RunReport, crate::InsnTraceSummary) {
-    let mut cluster = Cluster::new(app.cluster.clone());
+    // The per-instruction log records firing order from inside the compute
+    // phase; keep it deterministic by running serial.
+    let mut cluster_cfg = app.cluster.clone();
+    cluster_cfg.rank_threads = 1;
+    let mut cluster = Cluster::new(cluster_cfg);
     let tracer = crate::InsnLevelTracer::new(app.name.clone(), seed_taint);
-    wire_cluster_hooks(
-        &mut cluster,
-        Some(instrument_sinks(
-            Rc::clone(&tracer) as Rc<dyn NodeTranslateHook>,
-            crate::InsnTraceHandle(Rc::clone(&tracer)),
-        )),
-        None,
-        None,
-    );
+    HookRegistry::new()
+        .instrument(
+            Arc::clone(&tracer) as SharedTranslateHook,
+            crate::InsnTraceHandle(Arc::clone(&tracer)),
+        )
+        .apply(&mut cluster);
     let program_refs: Vec<&Program> = app.programs.iter().collect();
     cluster.launch(&program_refs).expect("launch application");
     let cluster_run = cluster.run();

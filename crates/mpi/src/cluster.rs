@@ -10,14 +10,13 @@ use chaser_taint::{ProvSet, TaintPolicy};
 use chaser_tainthub::{HubSnapshot, MsgId, TaintHub};
 use chaser_tcg::{BaseLayer, CacheStats};
 use chaser_vm::{
-    EngineStats, ExecTuning, ExitStatus, MpiRequest, Node, NodeSnapshot, ProcState, ProcessFiles,
-    Signal, SliceExit,
+    BufferedTaintEvent, EngineStats, ExecTuning, ExitStatus, MpiRequest, Node, NodeSnapshot,
+    ProcState, ProcessFiles, SharedTaintSink, Signal, SliceExit, TaintAccessKind,
 };
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Per-run watchdog budgets, enforced by the scheduler (rounds) and down in
@@ -166,6 +165,11 @@ pub struct ClusterConfig {
     /// Hot-path execution tuning for every node (TB chaining, taint-idle
     /// fast path); default all on.
     pub exec_tuning: ExecTuning,
+    /// Worker threads the compute phase of [`Cluster::step_round`] may fan
+    /// nodes out over (`0` and `1` both mean serial). Observationally
+    /// inert: every thread count produces byte-identical outcomes, state
+    /// digests and event streams — the knob only buys wall-clock time.
+    pub rank_threads: usize,
 }
 
 impl Default for ClusterConfig {
@@ -184,6 +188,7 @@ impl Default for ClusterConfig {
             net_faultiness: Faultiness::default(),
             hub_sync: HubSyncPolicy::default(),
             exec_tuning: ExecTuning::default(),
+            rank_threads: 1,
         }
     }
 }
@@ -222,6 +227,52 @@ pub trait MpiObserver {
     /// [`MpiObserver::on_delivered`], and also for tainted collective
     /// fan-outs, which `on_delivered` does not see).
     fn on_tainted_delivery(&mut self, _edge: &CrossRankEdge) {}
+}
+
+/// A shared, `Send`-clean MPI observer handle. Observers only ever fire in
+/// the serial exchange phase, so the mutex is uncontended; it exists so the
+/// same sink can also be wired as a node hook or held by the caller.
+pub type SharedMpiObserver = Arc<Mutex<dyn MpiObserver + Send>>;
+
+/// Deterministic counters describing how the phased scheduler used its
+/// compute-phase workers. Integer-only by design: wall-clock barrier times
+/// would differ between machines and replays, so the barrier cost is
+/// captured as counts (`parallel_rounds` — one barrier wait per fanned-out
+/// round) and the imbalance as instruction totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelStats {
+    /// Largest worker count a compute phase was fanned out over.
+    pub threads: u64,
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Rounds whose compute phase ran on more than one worker; each one
+    /// joined at the round barrier (a barrier wait).
+    pub parallel_rounds: u64,
+    /// Sum over rounds of the busiest worker's retired instructions — the
+    /// critical path of all compute phases.
+    pub max_worker_insns: u64,
+    /// Total instructions retired in compute phases (all workers).
+    pub total_worker_insns: u64,
+}
+
+impl ParallelStats {
+    /// Rank imbalance: critical path relative to a perfectly balanced
+    /// fan-out (`1.0` = perfectly balanced, `threads` = fully serial).
+    pub fn imbalance(&self) -> f64 {
+        if self.total_worker_insns == 0 || self.threads == 0 {
+            return 1.0;
+        }
+        self.max_worker_insns as f64 / (self.total_worker_insns as f64 / self.threads as f64)
+    }
+
+    /// Folds another run's counters into this aggregate (campaign totals).
+    pub fn absorb(&mut self, other: ParallelStats) {
+        self.threads = self.threads.max(other.threads);
+        self.rounds += other.rounds;
+        self.parallel_rounds += other.parallel_rounds;
+        self.max_worker_insns += other.max_worker_insns;
+        self.total_worker_insns += other.total_worker_insns;
+    }
 }
 
 /// Result of one scheduling round.
@@ -329,7 +380,12 @@ pub struct Cluster {
     net: Interconnect,
     coll: Option<CollectiveSlot>,
     hub: Arc<TaintHub>,
-    observers: Vec<Rc<RefCell<dyn MpiObserver>>>,
+    observers: Vec<SharedMpiObserver>,
+    /// Cluster-level taint-event sinks: per-node buffers drain into these
+    /// in canonical `(round, rank)` order at every round barrier.
+    taint_sinks: Vec<SharedTaintSink>,
+    /// Deterministic scheduler-parallelism counters for this run.
+    pstats: ParallelStats,
     round: u64,
     stuck_rounds: u64,
     mpi_error: Option<MpiError>,
@@ -375,6 +431,8 @@ impl Cluster {
             coll: None,
             hub: Arc::new(TaintHub::new()),
             observers: Vec::new(),
+            taint_sinks: Vec::new(),
+            pstats: ParallelStats::default(),
             round: 0,
             stuck_rounds: 0,
             mpi_error: None,
@@ -497,9 +555,28 @@ impl Cluster {
         total
     }
 
-    /// Registers a cluster-level MPI traffic observer.
-    pub fn add_observer(&mut self, obs: Rc<RefCell<dyn MpiObserver>>) {
+    /// Registers a cluster-level MPI traffic observer. Observers fire only
+    /// in the serial exchange phase, in canonical rank order, regardless of
+    /// [`ClusterConfig::rank_threads`].
+    pub fn add_observer(&mut self, obs: SharedMpiObserver) {
         self.observers.push(obs);
+    }
+
+    /// Registers a taint-event sink and opens the per-node event gate.
+    /// Events buffered during compute slices are replayed into every sink
+    /// at the round barrier, in canonical `(round, rank)` order; the
+    /// current round is announced first via
+    /// [`chaser_vm::TaintEventSink::on_round`].
+    pub fn add_taint_sink(&mut self, sink: SharedTaintSink) {
+        self.taint_sinks.push(sink);
+        for node in &mut self.nodes {
+            node.hooks_mut().taint_events = true;
+        }
+    }
+
+    /// This run's deterministic scheduler-parallelism counters.
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.pstats
     }
 
     /// The output files of `rank`.
@@ -559,56 +636,150 @@ impl Cluster {
             })
     }
 
-    /// Executes one scheduling round: every live rank gets a quantum, MPI
-    /// requests are serviced, pending receives and collectives are retried.
+    /// Executes one scheduling round in two phases.
+    ///
+    /// **Compute phase**: every rank that was `Runnable` at the round start
+    /// advances by one quantum on its node, with whole nodes fanned out
+    /// over up to [`ClusterConfig::rank_threads`] scoped worker threads
+    /// (ranks sharing a node run sequentially in ascending rank order, and
+    /// processes own disjoint address spaces, so per-node results are
+    /// independent of node placement on workers). Nothing shared mutates
+    /// here: MPI calls, taint events and slice exits are only *recorded*.
+    ///
+    /// **Exchange phase** (serial, canonical rank order): recorded MPI
+    /// calls are serviced, pending receives and requests of ranks that were
+    /// blocked at the round start are pumped, collectives complete, and the
+    /// per-node taint-event buffers drain into the registered sinks. Every
+    /// cross-rank effect — interconnect envelopes, TaintHub records,
+    /// observer callbacks, taint events — commits at this barrier, which is
+    /// why every `rank_threads` value replays byte-identically.
     pub fn step_round(&mut self) -> RoundReport {
         let mut progress = false;
+
+        // ---- Compute phase ----
+        // The instruction budget is checked once, at the round start: every
+        // runnable rank gets the same remaining allowance as its slice cap,
+        // so the (bounded) overshoot is identical for every thread count.
+        let mut slice_budget = u64::MAX;
+        if self.cfg.run_budget.max_insns != 0 {
+            let remaining = self
+                .cfg
+                .run_budget
+                .max_insns
+                .saturating_sub(self.total_insns());
+            if remaining == 0 {
+                self.budget_exhausted.get_or_insert(BudgetKind::Insns);
+            } else {
+                slice_budget = remaining;
+            }
+        }
+
+        // Rank states sampled at the round start steer the whole round:
+        // completions during the exchange phase make a rank runnable next
+        // round, never mid-round.
+        let mut per_node: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.nodes.len()];
+        let mut blocked = vec![false; self.ranks.len()];
+        if !self.finished() {
+            for rank in 0..self.ranks.len() as u32 {
+                let (ni, pid) = self.ranks[rank as usize];
+                match self.nodes[ni].process(pid).expect("rank process").state {
+                    ProcState::Exited => {}
+                    ProcState::BlockedMpi => blocked[rank as usize] = true,
+                    ProcState::Runnable => per_node[ni].push((rank, pid)),
+                }
+            }
+        }
+
+        let quantum = self.cfg.quantum;
+        let threads = self.cfg.rank_threads.max(1).min(self.nodes.len().max(1));
+        let mut slice_exits: Vec<Option<SliceExit>> = vec![None; self.ranks.len()];
+        let any_runnable = per_node.iter().any(|v| !v.is_empty());
+        if any_runnable {
+            let pre_icounts: Vec<u64> = self.nodes.iter().map(Node::total_icount).collect();
+            let chunk = self.nodes.len().div_ceil(threads);
+            let exits: Vec<(u32, SliceExit)> = if threads <= 1 {
+                let mut out = Vec::new();
+                for (node, ranks) in self.nodes.iter_mut().zip(&per_node) {
+                    run_node_slices(node, ranks, quantum, slice_budget, &mut out);
+                }
+                out
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .nodes
+                        .chunks_mut(chunk)
+                        .zip(per_node.chunks(chunk))
+                        .map(|(nodes, ranks)| {
+                            s.spawn(move || {
+                                let mut out = Vec::new();
+                                for (node, ranks) in nodes.iter_mut().zip(ranks) {
+                                    run_node_slices(node, ranks, quantum, slice_budget, &mut out);
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("compute worker panicked"))
+                        .collect()
+                })
+            };
+            for (rank, exit) in exits {
+                slice_exits[rank as usize] = Some(exit);
+            }
+
+            // Deterministic parallelism accounting: per-worker retired
+            // instructions come from icount deltas, not wall clocks.
+            let deltas: Vec<u64> = self
+                .nodes
+                .iter()
+                .zip(&pre_icounts)
+                .map(|(n, &pre)| n.total_icount() - pre)
+                .collect();
+            let workers_used = deltas.chunks(chunk).filter(|c| c.iter().any(|&d| d > 0));
+            self.pstats.threads = self.pstats.threads.max(threads as u64);
+            if threads > 1 && workers_used.clone().count() > 1 {
+                self.pstats.parallel_rounds += 1;
+            }
+            self.pstats.max_worker_insns += deltas
+                .chunks(chunk)
+                .map(|c| c.iter().sum::<u64>())
+                .max()
+                .unwrap_or(0);
+            self.pstats.total_worker_insns += deltas.iter().sum::<u64>();
+        }
+        self.pstats.rounds += 1;
+
+        // ---- Exchange phase (serial, ascending rank order) ----
         for rank in 0..self.ranks.len() as u32 {
-            if self.hang || self.finished() {
+            // An earlier rank's exchange can abort the whole job (or
+            // exhaust the budget); recorded calls of later ranks then
+            // belong to dead processes and must not be serviced.
+            if self.finished() || self.mpi_error.is_some() {
                 break;
             }
-            let (ni, pid) = self.ranks[rank as usize];
-            let state = self.nodes[ni].process(pid).expect("rank process").state;
-            match state {
-                ProcState::Exited => {}
-                ProcState::BlockedMpi => {
-                    if self.state[rank as usize].pending_recv.is_some()
-                        && self.try_complete_recv(rank)
-                    {
-                        progress = true;
-                    }
-                    if self.pump_requests(rank) {
-                        progress = true;
-                    }
+            if blocked[rank as usize] {
+                if self.state[rank as usize].pending_recv.is_some() && self.try_complete_recv(rank)
+                {
+                    progress = true;
                 }
-                ProcState::Runnable => {
-                    let quantum = self.cfg.quantum;
-                    if self.cfg.run_budget.max_insns != 0 {
-                        let remaining = self
-                            .cfg
-                            .run_budget
-                            .max_insns
-                            .saturating_sub(self.total_insns());
-                        if remaining == 0 {
-                            self.budget_exhausted.get_or_insert(BudgetKind::Insns);
-                            break;
-                        }
-                        self.nodes[ni].set_insn_budget(remaining);
-                    }
-                    match self.nodes[ni].run_slice(pid, quantum) {
-                        SliceExit::QuantumExpired | SliceExit::Exited(_) => progress = true,
-                        SliceExit::MpiCall(req) => {
-                            progress = true;
-                            self.service(rank, req);
-                        }
-                        SliceExit::Blocked => {}
-                        SliceExit::BudgetExhausted => {
-                            // The slice did retire instructions, so this is
-                            // progress — but the run-level watchdog fired.
-                            progress = true;
-                            self.budget_exhausted.get_or_insert(BudgetKind::Insns);
-                        }
-                    }
+                if self.pump_requests(rank) {
+                    progress = true;
+                }
+            }
+            match slice_exits[rank as usize].take() {
+                None | Some(SliceExit::Blocked) => {}
+                Some(SliceExit::QuantumExpired) | Some(SliceExit::Exited(_)) => progress = true,
+                Some(SliceExit::MpiCall(req)) => {
+                    progress = true;
+                    self.service(rank, req);
+                }
+                Some(SliceExit::BudgetExhausted) => {
+                    // The slice did retire instructions, so this is
+                    // progress — but the run-level watchdog fired.
+                    progress = true;
+                    self.budget_exhausted.get_or_insert(BudgetKind::Insns);
                 }
             }
         }
@@ -625,6 +796,10 @@ impl Cluster {
                 progress = true;
             }
         }
+
+        // Taint events commit at the barrier, before the round advances, so
+        // every event is attributed to the round it executed in.
+        self.drain_taint_events();
 
         self.round += 1;
         if self.cfg.run_budget.max_rounds != 0
@@ -803,6 +978,8 @@ impl Cluster {
             coll: snap.coll.clone(),
             hub: Arc::new(hub),
             observers: Vec::new(),
+            taint_sinks: Vec::new(),
+            pstats: ParallelStats::default(),
             round: snap.round,
             stuck_rounds: snap.stuck_rounds,
             mpi_error: snap.mpi_error,
@@ -904,6 +1081,46 @@ impl Cluster {
             total.absorb(&node.mem_stats());
         }
         total
+    }
+
+    /// Drains every node's buffered taint events into the registered sinks
+    /// in canonical `(round, rank)` order. Within one rank the events keep
+    /// execution order (ranks sharing a node run sequentially, so a node's
+    /// buffer is already segmented by rank).
+    fn drain_taint_events(&mut self) {
+        if self.taint_sinks.is_empty() {
+            // No consumers: clear any buffers so a gate opened without a
+            // sink cannot grow without bound.
+            for node in &mut self.nodes {
+                node.take_taint_events();
+            }
+            return;
+        }
+        let mut per_rank: Vec<Vec<BufferedTaintEvent>> = vec![Vec::new(); self.ranks.len() + 1];
+        for node in &mut self.nodes {
+            for ev in node.take_taint_events() {
+                let rank = self
+                    .ranks
+                    .iter()
+                    .position(|&(ni, pid)| ni as u32 == ev.ev.node && pid == ev.ev.pid)
+                    .unwrap_or(self.ranks.len());
+                per_rank[rank].push(ev);
+            }
+        }
+        for sink in &self.taint_sinks {
+            sink.lock().on_round(self.round);
+        }
+        for events in &per_rank {
+            for be in events {
+                for sink in &self.taint_sinks {
+                    let mut s = sink.lock();
+                    match be.kind {
+                        TaintAccessKind::Read => s.on_taint_read(&be.ev),
+                        TaintAccessKind::Write => s.on_taint_write(&be.ev),
+                    }
+                }
+            }
+        }
     }
 
     // ---- MPI service layer ----
@@ -1239,8 +1456,8 @@ impl Cluster {
             seq,
         };
         let tainted_bytes = masks.iter().filter(|&&m| m != 0).count();
-        for obs in self.observers.clone() {
-            obs.borrow_mut().on_send(&env, tainted_bytes);
+        for obs in &self.observers {
+            obs.lock().on_send(&env, tainted_bytes);
         }
         self.net.send(env, self.round);
         self.complete(rank, ret);
@@ -1387,8 +1604,8 @@ impl Cluster {
         if tainted_bytes > 0 {
             self.cross_rank_tainted_deliveries += 1;
         }
-        for obs in self.observers.clone() {
-            obs.borrow_mut().on_delivered(&env, tainted_bytes);
+        for obs in &self.observers {
+            obs.lock().on_delivered(&env, tainted_bytes);
         }
         if tainted_bytes > 0 {
             let edge = CrossRankEdge {
@@ -1403,8 +1620,8 @@ impl Cluster {
                     .fold(ProvSet::EMPTY, |acc, p| acc.union(*p))
                     .bits(),
             };
-            for obs in self.observers.clone() {
-                obs.borrow_mut().on_tainted_delivery(&edge);
+            for obs in &self.observers {
+                obs.lock().on_tainted_delivery(&edge);
             }
         }
         Deliver::Done
@@ -1750,8 +1967,8 @@ impl Cluster {
         }
 
         for edge in edges {
-            for obs in self.observers.clone() {
-                obs.borrow_mut().on_tainted_delivery(&edge);
+            for obs in &self.observers {
+                obs.lock().on_tainted_delivery(&edge);
             }
         }
 
@@ -1760,6 +1977,25 @@ impl Cluster {
                 self.complete(r, 0);
             }
         }
+    }
+}
+
+/// Compute-phase worker body: advances every runnable rank of one node by
+/// one quantum, in ascending rank order. Pure node-local work — anything
+/// cross-rank is recorded in `out` (and in the node's taint buffer) for the
+/// serial exchange phase.
+fn run_node_slices(
+    node: &mut Node,
+    ranks: &[(u32, u64)],
+    quantum: u64,
+    slice_budget: u64,
+    out: &mut Vec<(u32, SliceExit)>,
+) {
+    for &(rank, pid) in ranks {
+        if slice_budget != u64::MAX {
+            node.set_insn_budget(slice_budget);
+        }
+        out.push((rank, node.run_slice(pid, quantum)));
     }
 }
 

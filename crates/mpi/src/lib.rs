@@ -38,7 +38,8 @@ mod net;
 
 pub use cluster::{
     BudgetKind, Cluster, ClusterConfig, ClusterRun, ClusterSnapshot, CrossRankEdge, HangRank,
-    HubSyncPolicy, MpiObserver, PendingOp, RoundReport, RunBudget,
+    HubSyncPolicy, MpiObserver, ParallelStats, PendingOp, RoundReport, RunBudget,
+    SharedMpiObserver,
 };
 pub use collective::{CollKind, CollReq, CollectiveSlot};
 pub use envelope::{Envelope, MpiError, MpiErrorKind, TaintCarrier, MAX_MSG_BYTES};

@@ -9,9 +9,8 @@
 
 use crate::TranslationBlock;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::{Rc, Weak};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Counters describing cache behaviour; used by the overhead benchmarks to
@@ -129,14 +128,6 @@ pub enum ChainSlot {
     Fallthrough,
 }
 
-/// One patched successor link: valid only while the cache is still in the
-/// epoch the link was recorded under.
-#[derive(Debug, Clone)]
-struct ChainLink {
-    epoch: u64,
-    succ: Weak<DispatchBlock>,
-}
-
 /// A per-cache dispatch wrapper around one translated block, carrying the
 /// patchable successor slots used for TB chaining (QEMU's direct block
 /// linking).
@@ -144,32 +135,32 @@ struct ChainLink {
 /// Links are deliberately *not* stored inside [`TranslationBlock`]: those
 /// are `Arc`-shared across threads via the [`BaseLayer`], whereas chain
 /// links are meaningful only within one cache's flush epoch. Each cache
-/// wraps the blocks it dispatches in its own `Rc<DispatchBlock>`, so links
+/// wraps the blocks it dispatches in its own `Arc<DispatchBlock>`, so links
 /// never leak between runs and base-layer sharing stays sound.
 ///
-/// Successor slots hold [`Weak`] references — blocks freely link in cycles
-/// (every loop back-edge is one), and strong links would leak the whole
-/// cycle once the overlay drops it.
+/// A successor slot is one packed word — `epoch << 32 | successor id` — so
+/// the block is plain data (`Send + Sync`) and a node owning a cache can
+/// move across worker threads. The id indexes the owning cache's dispatch
+/// slab; links never hold a reference to the successor, so link cycles
+/// (every loop back-edge is one) cannot leak blocks. The word is atomic
+/// only to satisfy `Sync`; exactly one thread dispatches a given cache at a
+/// time, so `Relaxed` ordering is sufficient.
 #[derive(Debug)]
 pub struct DispatchBlock {
     tb: Arc<TranslationBlock>,
-    links: [RefCell<Option<ChainLink>>; 2],
+    /// This block's id in the owning cache's dispatch slab (`slab[id - 1]`);
+    /// 0 is reserved as the unlinked sentinel in packed slots.
+    id: u32,
+    links: [AtomicU64; 2],
 }
 
 impl DispatchBlock {
-    fn new(tb: Arc<TranslationBlock>) -> Rc<DispatchBlock> {
-        Rc::new(DispatchBlock {
-            tb,
-            links: [RefCell::new(None), RefCell::new(None)],
-        })
-    }
-
     /// The wrapped translation block.
     pub fn tb(&self) -> &Arc<TranslationBlock> {
         &self.tb
     }
 
-    fn slot(&self, s: ChainSlot) -> &RefCell<Option<ChainLink>> {
+    fn slot(&self, s: ChainSlot) -> &AtomicU64 {
         &self.links[s as usize]
     }
 }
@@ -178,9 +169,9 @@ impl DispatchBlock {
 #[derive(Debug, Clone)]
 pub enum ChainFollow {
     /// Live link: dispatch the successor directly, no hash lookup needed.
-    Hit(Rc<DispatchBlock>),
+    Hit(Arc<DispatchBlock>),
     /// The slot was patched but the link has been severed by an intervening
-    /// flush / invalidation (stale epoch, or the successor was dropped).
+    /// flush / invalidation (stale epoch).
     Severed,
     /// The slot has not been patched since the last sever.
     Unlinked,
@@ -205,7 +196,13 @@ pub enum ChainFollow {
 #[derive(Debug, Default)]
 pub struct TbCache {
     base: Option<Arc<BaseLayer>>,
-    overlay: HashMap<(u64, u64), (Rc<DispatchBlock>, Provenance)>,
+    overlay: HashMap<(u64, u64), (Arc<DispatchBlock>, Provenance)>,
+    /// Dispatch-block registry: `slab[id - 1]` resolves the id a chain link
+    /// carries. Cleared only when the whole overlay is cleared (full flush,
+    /// base swap); an asid flush retains it so surviving blocks keep valid
+    /// ids — the removed blocks' entries leak until the next full flush,
+    /// which is bounded by the overlay's own size.
+    slab: Vec<Arc<DispatchBlock>>,
     stats: CacheStats,
     /// Chain-link validity epoch; links recorded under an older epoch are
     /// dead. Bumped by every event that can invalidate a translation.
@@ -230,8 +227,21 @@ impl TbCache {
     /// entries are dropped: their provenance would be stale.
     pub fn set_base(&mut self, base: Arc<BaseLayer>) {
         self.overlay.clear();
+        self.slab.clear();
         self.epoch += 1;
         self.base = Some(base);
+    }
+
+    /// Wraps `tb` in a fresh dispatch block registered in the slab.
+    fn alloc_dispatch(&mut self, tb: Arc<TranslationBlock>) -> Arc<DispatchBlock> {
+        let id = u32::try_from(self.slab.len() + 1).expect("dispatch slab overflow");
+        let db = Arc::new(DispatchBlock {
+            tb,
+            id,
+            links: [AtomicU64::new(0), AtomicU64::new(0)],
+        });
+        self.slab.push(Arc::clone(&db));
+        db
     }
 
     /// The current chain-link epoch. Links are valid only while the epoch
@@ -295,22 +305,23 @@ impl TbCache {
         pc: u64,
         base_valid: impl FnOnce(&TranslationBlock) -> bool,
         translate: impl FnOnce() -> TranslationBlock,
-    ) -> Rc<DispatchBlock> {
+    ) -> Arc<DispatchBlock> {
         self.stats.lookups += 1;
         if let Some((db, provenance)) = self.overlay.get(&(asid, pc)) {
             match provenance {
                 Provenance::FromBase => self.stats.base_hits += 1,
                 Provenance::Fresh => self.stats.overlay_hits += 1,
             }
-            return Rc::clone(db);
+            return Arc::clone(db);
         }
         if let Some(base) = &self.base {
             if let Some(tb) = base.get(asid, pc) {
                 if base_valid(tb) {
                     self.stats.base_hits += 1;
-                    let db = DispatchBlock::new(Arc::clone(tb));
+                    let tb = Arc::clone(tb);
+                    let db = self.alloc_dispatch(tb);
                     self.overlay
-                        .insert((asid, pc), (Rc::clone(&db), Provenance::FromBase));
+                        .insert((asid, pc), (Arc::clone(&db), Provenance::FromBase));
                     return db;
                 }
             }
@@ -318,9 +329,9 @@ impl TbCache {
         self.stats.misses += 1;
         let tb = Arc::new(translate());
         self.stats.translated_insns += tb.insns().len() as u64;
-        let db = DispatchBlock::new(tb);
+        let db = self.alloc_dispatch(tb);
         self.overlay
-            .insert((asid, pc), (Rc::clone(&db), Provenance::Fresh));
+            .insert((asid, pc), (Arc::clone(&db), Provenance::Fresh));
         db
     }
 
@@ -329,31 +340,31 @@ impl TbCache {
     /// address space that were both dispatched in the current epoch (the
     /// engine guarantees this by patching immediately after the hash
     /// lookup that resolved the exit).
-    pub fn chain(&self, pred: &DispatchBlock, slot: ChainSlot, succ: &Rc<DispatchBlock>) {
-        *pred.slot(slot).borrow_mut() = Some(ChainLink {
-            epoch: self.epoch,
-            succ: Rc::downgrade(succ),
-        });
+    pub fn chain(&self, pred: &DispatchBlock, slot: ChainSlot, succ: &Arc<DispatchBlock>) {
+        let packed = (self.epoch & 0xffff_ffff) << 32 | u64::from(succ.id);
+        pred.slot(slot).store(packed, Ordering::Relaxed);
     }
 
     /// Follows `pred`'s successor `slot`. A link recorded under an older
-    /// epoch (or whose successor has been dropped) reports
-    /// [`ChainFollow::Severed`] and is cleared so the next dispatch
-    /// re-resolves through the hash maps — and re-validates against the
-    /// active hook state.
+    /// epoch reports [`ChainFollow::Severed`] and is cleared so the next
+    /// dispatch re-resolves through the hash maps — and re-validates
+    /// against the active hook state.
     pub fn follow(&self, pred: &DispatchBlock, slot: ChainSlot) -> ChainFollow {
-        let mut link = pred.slot(slot).borrow_mut();
-        match &*link {
-            None => ChainFollow::Unlinked,
-            Some(l) if l.epoch == self.epoch => match l.succ.upgrade() {
-                Some(succ) => ChainFollow::Hit(succ),
-                None => {
-                    *link = None;
-                    ChainFollow::Severed
-                }
-            },
-            Some(_) => {
-                *link = None;
+        let packed = pred.slot(slot).load(Ordering::Relaxed);
+        if packed == 0 {
+            return ChainFollow::Unlinked;
+        }
+        let (epoch, id) = (packed >> 32, packed as u32);
+        if epoch != self.epoch & 0xffff_ffff {
+            pred.slot(slot).store(0, Ordering::Relaxed);
+            return ChainFollow::Severed;
+        }
+        match self.slab.get(id as usize - 1) {
+            Some(succ) => ChainFollow::Hit(Arc::clone(succ)),
+            // Unreachable while the epoch matches (the slab only shrinks on
+            // epoch bumps), but sever defensively rather than panic.
+            None => {
+                pred.slot(slot).store(0, Ordering::Relaxed);
                 ChainFollow::Severed
             }
         }
@@ -375,6 +386,7 @@ impl TbCache {
     /// severed (epoch bump).
     pub fn flush(&mut self) {
         self.overlay.clear();
+        self.slab.clear();
         self.stats.flushes += 1;
         self.epoch += 1;
     }
@@ -588,7 +600,7 @@ mod tests {
         assert!(base.get(1, CODE_BASE + 64).is_none());
     }
 
-    fn dispatch(cache: &mut TbCache, asid: u64, pc: u64, code: &[u8]) -> Rc<DispatchBlock> {
+    fn dispatch(cache: &mut TbCache, asid: u64, pc: u64, code: &[u8]) -> Arc<DispatchBlock> {
         cache.dispatch_get_or_translate_validated(
             asid,
             pc,
@@ -611,7 +623,7 @@ mod tests {
         let ChainFollow::Hit(succ) = cache.follow(&a, ChainSlot::Taken) else {
             panic!("patched link must hit");
         };
-        assert!(Rc::ptr_eq(&succ, &b));
+        assert!(Arc::ptr_eq(&succ, &b));
         // A full flush severs the link lazily via the epoch bump.
         cache.flush();
         assert!(matches!(
@@ -667,41 +679,54 @@ mod tests {
                 )
             },
         );
-        assert!(!Rc::ptr_eq(&instrumented, &clean));
+        assert!(!Arc::ptr_eq(&instrumented, &clean));
     }
 
     #[test]
-    fn dropped_successor_reports_severed() {
+    fn surviving_blocks_relink_after_an_asid_flush() {
+        // An asid flush severs every link (epoch bump) but keeps the
+        // dispatch slab, so blocks of untouched address spaces keep valid
+        // ids and can re-chain in the new epoch.
         let code = code();
         let mut cache = TbCache::new();
         let a = dispatch(&mut cache, 1, CODE_BASE, &code);
         let b = dispatch(&mut cache, 1, CODE_BASE + 64, &code);
         cache.chain(&a, ChainSlot::Taken, &b);
-        // Simulate the overlay (and every other owner) dropping `b` while
-        // the epoch stays current: the Weak link dangles.
-        drop(b);
-        cache.overlay.remove(&(1, CODE_BASE + 64));
+        cache.flush_asid(7); // unrelated asid
         assert!(matches!(
             cache.follow(&a, ChainSlot::Taken),
             ChainFollow::Severed
         ));
+        cache.chain(&a, ChainSlot::Taken, &b);
+        let ChainFollow::Hit(succ) = cache.follow(&a, ChainSlot::Taken) else {
+            panic!("re-patched link must hit in the new epoch");
+        };
+        assert!(Arc::ptr_eq(&succ, &b));
     }
 
     #[test]
     fn self_links_do_not_leak_blocks() {
-        // A one-block loop links to itself; Weak successor slots must let
-        // the block free once the overlay drops it.
+        // A one-block loop links to itself; id-based successor slots hold
+        // no reference, so the block frees once the overlay and slab drop
+        // it at the next full flush.
         let code = code();
         let mut cache = TbCache::new();
         let a = dispatch(&mut cache, 1, CODE_BASE, &code);
         cache.chain(&a, ChainSlot::Taken, &a);
-        let weak = Rc::downgrade(&a);
+        let weak = Arc::downgrade(&a);
         drop(a);
         cache.flush();
         assert!(
             weak.upgrade().is_none(),
             "cycle must not keep the block alive"
         );
+    }
+
+    #[test]
+    fn dispatch_blocks_are_send_and_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<DispatchBlock>();
+        assert_bounds::<TbCache>();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The TCG-IR execution engine: computes values and propagates bitwise
 //! taint in lock-step, firing Chaser's callbacks at the spliced points.
 
-use crate::hooks::{GuestCtx, NodeHooks, TaintMemEvent};
+use crate::hooks::{BufferedTaintEvent, GuestCtx, NodeHooks, TaintAccessKind, TaintMemEvent};
 use crate::kernel::{ExitStatus, Signal};
 use crate::mem::{MemFault, PhysMemory};
 use crate::node::SliceExit;
@@ -14,7 +14,7 @@ use chaser_tcg::{
     Temp, TranslateHook, TranslationBlock,
 };
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Hot-path execution tuning: ablation knobs for the two interpreter fast
 /// paths. Both default to on; campaigns expose them so the optimized and
@@ -435,6 +435,7 @@ pub(crate) fn run_slice(
     insn_budget: u64,
     tuning: ExecTuning,
     stats: &mut EngineStats,
+    taint_buf: &mut Vec<BufferedTaintEvent>,
 ) -> SliceExit {
     match proc.state {
         ProcState::Runnable => {}
@@ -473,12 +474,12 @@ pub(crate) fn run_slice(
     // TB chaining state: a successor resolved by following a chain link
     // (dispatched without a cache lookup), and a predecessor slot awaiting
     // its first patch (filled right after the lookup that resolves it).
-    let mut next_block: Option<Rc<DispatchBlock>> = None;
-    let mut pending_patch: Option<(Rc<DispatchBlock>, ChainSlot)> = None;
+    let mut next_block: Option<Arc<DispatchBlock>> = None;
+    let mut pending_patch: Option<(Arc<DispatchBlock>, ChainSlot)> = None;
 
     'outer: loop {
         let start_pc = proc.cpu.pc;
-        let db: Rc<DispatchBlock> = match next_block.take() {
+        let db: Arc<DispatchBlock> = match next_block.take() {
             Some(db) => db,
             None => {
                 let fetcher = AspaceFetcher {
@@ -514,7 +515,7 @@ pub(crate) fn run_slice(
                 db
             }
         };
-        // Borrow the TB out of the dispatch block: `db` is a local `Rc`
+        // Borrow the TB out of the dispatch block: `db` is a local `Arc`
         // that outlives the block body, so no refcount traffic is needed
         // (an `Arc::clone` here costs two atomic RMWs per block dispatch).
         let tb: &TranslationBlock = db.tb();
@@ -532,10 +533,10 @@ pub(crate) fn run_slice(
                         }
                         ChainFollow::Severed => {
                             hot.chain_severs += 1;
-                            pending_patch = Some((Rc::clone(&db), $slot));
+                            pending_patch = Some((Arc::clone(&db), $slot));
                         }
                         ChainFollow::Unlinked => {
-                            pending_patch = Some((Rc::clone(&db), $slot));
+                            pending_patch = Some((Arc::clone(&db), $slot));
                         }
                     }
                 }
@@ -726,7 +727,7 @@ pub(crate) fn run_slice(
                                     icount: icount_base + executed,
                                     pc,
                                 };
-                                sink.borrow_mut().on_fn_entry(hook_id, &mut ctx);
+                                sink.lock().on_fn_entry(hook_id, &mut ctx);
                                 // The hook may have tainted registers or
                                 // memory: re-check the clean gate. Locals
                                 // were untouched and all-clean up to this
@@ -919,9 +920,10 @@ pub(crate) fn run_slice(
                         Ok((value, mask, prov, paddr)) => {
                             setval!(d, value);
                             taint.set_temp_with_prov(d, mask, prov);
-                            if mask.is_tainted() {
-                                if let Some(sink) = &hooks.taint_events {
-                                    sink.borrow_mut().on_taint_read(&TaintMemEvent {
+                            if mask.is_tainted() && hooks.taint_events {
+                                taint_buf.push(BufferedTaintEvent {
+                                    kind: TaintAccessKind::Read,
+                                    ev: TaintMemEvent {
                                         node: node_id,
                                         pid,
                                         eip: cur_pc,
@@ -931,8 +933,8 @@ pub(crate) fn run_slice(
                                         value,
                                         icount: icount_base + executed,
                                         prov,
-                                    });
-                                }
+                                    },
+                                });
                             }
                         }
                         Err(_) => fault!(Signal::Segv),
@@ -967,9 +969,10 @@ pub(crate) fn run_slice(
                     let prov = taint.temp_prov(s);
                     match store_u64_tainted(&proc.aspace, phys, taint, vaddr, value, mask, prov) {
                         Ok(paddr) => {
-                            if mask.is_tainted() {
-                                if let Some(sink) = &hooks.taint_events {
-                                    sink.borrow_mut().on_taint_write(&TaintMemEvent {
+                            if mask.is_tainted() && hooks.taint_events {
+                                taint_buf.push(BufferedTaintEvent {
+                                    kind: TaintAccessKind::Write,
+                                    ev: TaintMemEvent {
                                         node: node_id,
                                         pid,
                                         eip: cur_pc,
@@ -979,8 +982,8 @@ pub(crate) fn run_slice(
                                         value,
                                         icount: icount_base + executed,
                                         prov,
-                                    });
-                                }
+                                    },
+                                });
                             }
                         }
                         Err(_) => fault!(Signal::Segv),
@@ -1026,7 +1029,7 @@ pub(crate) fn run_slice(
                                 icount: proc.icount,
                                 pc,
                             };
-                            sink.borrow_mut().on_inject_point(point, &insn, &mut ctx)
+                            sink.lock().on_inject_point(point, &insn, &mut ctx)
                         };
                         if action.flush_tb {
                             cache.flush();

@@ -5,9 +5,21 @@ use crate::mem::{MemFault, PhysMemory};
 use crate::paging::AddressSpace;
 use chaser_isa::{CpuState, FReg, Instruction, Reg};
 use chaser_taint::{ProvSet, TaintMask, TaintState};
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+
+/// A shared, `Send`-clean fault-injection sink.
+pub type SharedInjectSink = Arc<Mutex<dyn InjectSink + Send>>;
+/// A shared, `Send`-clean tainted-memory event sink.
+pub type SharedTaintSink = Arc<Mutex<dyn TaintEventSink + Send>>;
+/// A shared, `Send`-clean VMI lifecycle sink.
+pub type SharedVmiSink = Arc<Mutex<dyn crate::VmiSink + Send>>;
+/// A shared, `Send`-clean guest-function-entry sink.
+pub type SharedFnHookSink = Arc<Mutex<dyn FnHookSink + Send>>;
+/// A shared translate hook; read-only at translation time, so `Sync`
+/// suffices and no lock is paid on the translation path.
+pub type SharedTranslateHook = Arc<dyn NodeTranslateHook + Send + Sync>;
 
 /// A tainted-memory access record — the payload of the paper's
 /// `DECAF_READ_TAINTMEM_CB` / `DECAF_WRITE_TAINTMEM_CB` callbacks: Chaser
@@ -36,11 +48,42 @@ pub struct TaintMemEvent {
 }
 
 /// Receiver for tainted-memory read/write events.
+///
+/// Events are buffered per node during a scheduler round's compute phase
+/// and delivered at the round barrier in canonical rank order (see
+/// `BufferedTaintEvent`); [`TaintEventSink::on_round`] announces the round
+/// each drained batch belongs to before its events arrive.
 pub trait TaintEventSink {
     /// The guest read tainted memory.
     fn on_taint_read(&mut self, ev: &TaintMemEvent);
     /// The guest wrote tainted data to memory.
     fn on_taint_write(&mut self, ev: &TaintMemEvent);
+    /// The scheduler is about to deliver the events of round `round`.
+    /// Sinks that attribute events to rounds (the provenance recorder)
+    /// track it here; the default ignores it.
+    fn on_round(&mut self, _round: u64) {}
+}
+
+/// How a buffered tainted-memory access touched memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintAccessKind {
+    /// A guest load of tainted memory.
+    Read,
+    /// A guest store of tainted data.
+    Write,
+}
+
+/// One tainted-memory access captured during a compute slice, drained and
+/// dispatched to the registered sinks at the next round barrier. Buffering
+/// (instead of calling sinks from inside the engine) is what keeps node
+/// execution free of shared mutable state, so ranks can advance on worker
+/// threads while event delivery stays in canonical `(round, rank)` order.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferedTaintEvent {
+    /// Whether the access was a load or a store.
+    pub kind: TaintAccessKind,
+    /// The event payload.
+    pub ev: TaintMemEvent,
 }
 
 /// What the injector asks the engine to do after an injection callback.
@@ -165,13 +208,13 @@ impl GuestCtx<'_> {
     }
 }
 
-/// Fans tainted-memory events out to several sinks: `NodeHooks` holds one
-/// `taint_events` slot, but a traced-and-provenance-recorded run needs both
-/// the tracer's sampler and the provenance recorder to observe the same
-/// stream. Sinks are invoked in registration order.
+/// Fans tainted-memory events out to several sinks: a cluster holds one
+/// event stream, but a traced-and-provenance-recorded run needs both the
+/// tracer's sampler and the provenance recorder to observe it. Sinks are
+/// invoked in registration order.
 #[derive(Default, Clone)]
 pub struct TaintEventFanout {
-    sinks: Vec<Rc<RefCell<dyn TaintEventSink>>>,
+    sinks: Vec<SharedTaintSink>,
 }
 
 impl TaintEventFanout {
@@ -181,7 +224,7 @@ impl TaintEventFanout {
     }
 
     /// Appends a sink; it will see every subsequent event.
-    pub fn push(&mut self, sink: Rc<RefCell<dyn TaintEventSink>>) {
+    pub fn push(&mut self, sink: SharedTaintSink) {
         self.sinks.push(sink);
     }
 
@@ -207,13 +250,19 @@ impl std::fmt::Debug for TaintEventFanout {
 impl TaintEventSink for TaintEventFanout {
     fn on_taint_read(&mut self, ev: &TaintMemEvent) {
         for sink in &self.sinks {
-            sink.borrow_mut().on_taint_read(ev);
+            sink.lock().on_taint_read(ev);
         }
     }
 
     fn on_taint_write(&mut self, ev: &TaintMemEvent) {
         for sink in &self.sinks {
-            sink.borrow_mut().on_taint_write(ev);
+            sink.lock().on_taint_write(ev);
+        }
+    }
+
+    fn on_round(&mut self, round: u64) {
+        for sink in &self.sinks {
+            sink.lock().on_round(round);
         }
     }
 }
@@ -248,20 +297,28 @@ pub trait NodeTranslateHook {
 
 /// All hooks attached to a node. Every slot is optional; an unhooked node
 /// runs at plain-translation speed (the "efficient" design goal).
+///
+/// Every slot is `Send`-clean (`Arc<Mutex<…>>` for mutable sinks, `Arc<dyn
+/// … + Sync>` for the read-only translate hook), so a node — and with it a
+/// whole rank — can move to a worker thread for the parallel compute phase
+/// of a scheduler round.
 #[derive(Default, Clone)]
 pub struct NodeHooks {
     /// Translation-time instrumentation decision.
-    pub translate: Option<Rc<dyn NodeTranslateHook>>,
+    pub translate: Option<SharedTranslateHook>,
     /// Fault-injection callback.
-    pub inject: Option<Rc<RefCell<dyn InjectSink>>>,
-    /// Tainted-memory access observer.
-    pub taint_events: Option<Rc<RefCell<dyn TaintEventSink>>>,
+    pub inject: Option<SharedInjectSink>,
+    /// When set, tainted-memory accesses are buffered into the node's
+    /// [`BufferedTaintEvent`] log for barrier-time delivery. Sinks live at
+    /// the cluster level, never on the node: the compute phase must not
+    /// share mutable observers across ranks.
+    pub taint_events: bool,
     /// VMI process lifecycle observers.
-    pub vmi: Vec<Rc<RefCell<dyn crate::VmiSink>>>,
+    pub vmi: Vec<SharedVmiSink>,
     /// Hooked guest function entry addresses, per pid: `(pid, vaddr) → id`.
     pub fn_hooks: HashMap<(u64, u64), u64>,
     /// Receiver of function-entry hook events.
-    pub fn_hook_sink: Option<Rc<RefCell<dyn FnHookSink>>>,
+    pub fn_hook_sink: Option<SharedFnHookSink>,
 }
 
 impl std::fmt::Debug for NodeHooks {
@@ -269,7 +326,7 @@ impl std::fmt::Debug for NodeHooks {
         f.debug_struct("NodeHooks")
             .field("translate", &self.translate.is_some())
             .field("inject", &self.inject.is_some())
-            .field("taint_events", &self.taint_events.is_some())
+            .field("taint_events", &self.taint_events)
             .field("vmi_sinks", &self.vmi.len())
             .field("fn_hooks", &self.fn_hooks.len())
             .finish()

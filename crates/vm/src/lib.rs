@@ -60,8 +60,9 @@ mod vmi;
 
 pub use engine::{EngineStats, ExecTuning};
 pub use hooks::{
-    FnHookSink, GuestCtx, InjectAction, InjectSink, NodeHooks, NodeTranslateHook, TaintEventFanout,
-    TaintEventSink, TaintMemEvent,
+    BufferedTaintEvent, FnHookSink, GuestCtx, InjectAction, InjectSink, NodeHooks,
+    NodeTranslateHook, SharedFnHookSink, SharedInjectSink, SharedTaintSink, SharedTranslateHook,
+    SharedVmiSink, TaintAccessKind, TaintEventFanout, TaintEventSink, TaintMemEvent,
 };
 pub use kernel::{ExitStatus, Signal};
 pub use mem::{MemFault, MemFaultKind, MemSnapshot, MemStats, PhysMemory, DEFAULT_PHYS_BYTES};

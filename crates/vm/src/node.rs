@@ -2,7 +2,7 @@
 //! taint state and hooks.
 
 use crate::engine::{self, EngineStats, ExecTuning};
-use crate::hooks::NodeHooks;
+use crate::hooks::{BufferedTaintEvent, NodeHooks};
 use crate::kernel::ExitStatus;
 use crate::mem::{MemFault, MemSnapshot, MemStats, PhysMemory};
 use crate::paging::{AddressSpace, PagePerms};
@@ -65,6 +65,10 @@ pub struct Node {
     tuning: ExecTuning,
     /// Accumulated hot-path counters over every slice this node ran.
     engine_stats: EngineStats,
+    /// Taint memory events buffered during slices (gated by
+    /// `hooks.taint_events`); the owner drains them in deterministic order
+    /// at its round barrier via [`Node::take_taint_events`].
+    taint_buf: Vec<BufferedTaintEvent>,
 }
 
 impl Node {
@@ -86,6 +90,7 @@ impl Node {
             insn_budget: u64::MAX,
             tuning: ExecTuning::default(),
             engine_stats: EngineStats::default(),
+            taint_buf: Vec::new(),
         }
     }
 
@@ -176,11 +181,7 @@ impl Node {
         let mut action = VmiAction::NONE;
         let sinks = self.hooks.vmi.clone();
         for sink in sinks {
-            action = action.merge(sink.borrow_mut().on_process_created(
-                self.id,
-                pid,
-                program.name(),
-            ));
+            action = action.merge(sink.lock().on_process_created(self.id, pid, program.name()));
         }
         if action.flush_tb {
             self.cache.flush();
@@ -207,12 +208,13 @@ impl Node {
             self.insn_budget,
             self.tuning,
             &mut self.engine_stats,
+            &mut self.taint_buf,
         );
         if let SliceExit::Exited(status) = exit {
             let sinks = self.hooks.vmi.clone();
             let mut action = VmiAction::NONE;
             for sink in sinks {
-                action = action.merge(sink.borrow_mut().on_process_exited(self.id, pid, status));
+                action = action.merge(sink.lock().on_process_exited(self.id, pid, status));
             }
             if action.flush_tb {
                 self.cache.flush();
@@ -408,6 +410,12 @@ impl Node {
         self.cache.stats()
     }
 
+    /// Drains the taint events buffered since the last drain, in execution
+    /// order. Events only accumulate while `hooks.taint_events` is set.
+    pub fn take_taint_events(&mut self) -> Vec<BufferedTaintEvent> {
+        std::mem::take(&mut self.taint_buf)
+    }
+
     /// Sum of retired instructions over all processes on this node.
     pub fn total_icount(&self) -> u64 {
         self.procs.iter().map(|p| p.icount).sum()
@@ -455,6 +463,7 @@ impl Node {
             insn_budget: u64::MAX,
             tuning: ExecTuning::default(),
             engine_stats: EngineStats::default(),
+            taint_buf: Vec::new(),
         }
     }
 
@@ -472,7 +481,7 @@ impl Node {
         let sinks = self.hooks.vmi.clone();
         let mut action = VmiAction::NONE;
         for sink in &sinks {
-            action = action.merge(sink.borrow_mut().on_process_created(self.id, pid, &name));
+            action = action.merge(sink.lock().on_process_created(self.id, pid, &name));
         }
         if action.flush_tb {
             self.cache.flush();
@@ -1004,8 +1013,7 @@ mod more_engine_tests {
         use crate::hooks::{GuestCtx, InjectAction, InjectSink, NodeTranslateHook};
         use chaser_isa::Instruction;
         use chaser_taint::TaintMask;
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use parking_lot::Mutex;
 
         struct TargetStores;
         impl NodeTranslateHook for TargetStores {
@@ -1042,8 +1050,8 @@ mod more_engine_tests {
         let prog = a.assemble().expect("assemble");
 
         let mut node = Node::new(0);
-        node.hooks_mut().translate = Some(Rc::new(TargetStores));
-        let sink = Rc::new(RefCell::new(TaintR2 { fired: 0 }));
+        node.hooks_mut().translate = Some(Arc::new(TargetStores));
+        let sink = Arc::new(Mutex::new(TaintR2 { fired: 0 }));
         node.hooks_mut().inject = Some(sink.clone());
         let pid = node.spawn(&prog).expect("spawn");
         let status = loop {
@@ -1054,13 +1062,23 @@ mod more_engine_tests {
             }
         };
         assert!(status.is_success());
-        assert_eq!(sink.borrow().fired, 1, "one store, one callback");
+        assert_eq!(sink.lock().fired, 1, "one store, one callback");
         // The injected taint reached shadow memory through the store that
         // followed the callback in the same block...
         assert!(node.taint().mem().tainted_bytes() > 0);
         // ...which is only possible off the clean regime: the tainted
         // store ran the full slow path.
         assert!(node.engine_stats().slow_path_insns >= 1);
+    }
+
+    /// The rank-parallel scheduler moves whole nodes onto worker threads;
+    /// everything a node owns (memory, processes, cache, taint, hooks)
+    /// must therefore be `Send`.
+    #[test]
+    fn nodes_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Node>();
+        assert_send::<NodeSnapshot>();
     }
 
     #[test]

@@ -9,9 +9,9 @@
 
 use chaser_isa::{Asm, FReg, Instruction, Reg};
 use chaser_vm::{Node, SliceExit, VmiAction, VmiSink};
+use parking_lot::Mutex;
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Registers the generator uses (avoids SP so the stack stays sane, and R1
 /// because `exit_with` clobbers it).
@@ -107,12 +107,12 @@ proptest! {
         let mut fresh = Node::new(0);
         let mut warmed = Node::new(0);
         warmed.install_base_cache(base);
-        let sink = Rc::new(RefCell::new(FlushOnTarget { target: "prop", fired: 0 }));
+        let sink = Arc::new(Mutex::new(FlushOnTarget { target: "prop", fired: 0 }));
         warmed.hooks_mut().vmi.push(sink.clone());
 
         let pf = fresh.spawn(&prog).expect("spawn fresh");
         let pw = warmed.spawn(&prog).expect("spawn warmed");
-        prop_assert_eq!(sink.borrow().fired, 1, "VMI did not screen the target");
+        prop_assert_eq!(sink.lock().fired, 1, "VMI did not screen the target");
 
         loop {
             let sf = fresh.run_slice(pf, 1);

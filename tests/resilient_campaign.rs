@@ -64,8 +64,12 @@ fn panics_and_budget_stops_are_quarantined_not_fatal() {
     }
     assert_eq!(result.outcome_counts().harness_faults, 1);
 
-    // The watchdog fired on the long-lived runs, deterministically at the
-    // budget boundary, and is attributed in the termination breakdown.
+    // The watchdog fired on the long-lived runs and is attributed in the
+    // termination breakdown. The budget is checked once at the round
+    // start — every rank that was runnable gets the remaining allowance as
+    // its slice cap — so the stop overshoots the boundary by at most one
+    // round, and by the same amount for every `rank_threads` value (the
+    // replay comparison below pins the exact figure).
     let budget_rows: Vec<_> = result
         .outcomes
         .iter()
@@ -78,7 +82,12 @@ fn panics_and_budget_stops_are_quarantined_not_fatal() {
         .collect();
     assert!(!budget_rows.is_empty(), "no run hit the watchdog");
     for row in &budget_rows {
-        assert_eq!(row.total_insns, 4_500, "budget stop must be exact");
+        assert!(row.total_insns >= 4_500, "stopped short of the budget");
+        assert!(
+            row.total_insns < 4_500 + 4 * 4_500,
+            "overshoot exceeds one round: {}",
+            row.total_insns
+        );
     }
     assert_eq!(
         result.termination_breakdown().budget_exhausted,
