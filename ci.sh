@@ -15,6 +15,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # Resilience smoke: journaled 20-run campaign with a forced harness panic
 # and a watchdog budget, killed mid-way (journal truncation) and resumed;
 # the resumed outcome CSV must be byte-identical to an uninterrupted run.
+# Then the shard supervisor: a subprocess shard worker is killed
+# mid-campaign and must be retried/resumed to a merged CSV byte-identical
+# to the unsharded reference, and a shard that exhausts its retries must
+# degrade to quarantined shard-lost rows with the campaign still completing.
 cargo run --release --offline -p chaser-bench --bin resilience_smoke
 
 # Warm-start smoke: the same small campaign cold vs restored from the
@@ -34,5 +38,7 @@ cargo run --release --offline -p chaser-bench --bin provenance_smoke
 # vs both off. Also gates intra-run rank parallelism: an 8-rank workload
 # must be digest-identical serial vs rank_threads=4 and faster by 1.5x
 # (calibrated down to the host's measured raw thread-scaling ceiling on
-# throttled CI containers). Writes BENCH_engine.json.
+# throttled CI containers). Records shard-scaling numbers (1 vs 4 thread-
+# worker shards, record-only) for later distributed work. Writes
+# BENCH_engine.json.
 cargo run --release --offline -p chaser-bench --bin perf_smoke

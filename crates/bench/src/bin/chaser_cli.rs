@@ -8,7 +8,7 @@
 use chaser::analysis::TraceAnalysis;
 use chaser::{
     AppSpec, Campaign, CampaignConfig, Chaser, DeterministicInjector, GroupInjector,
-    IntermittentInjector, ProbabilisticInjector, RankPool, RunOptions,
+    IntermittentInjector, ProbabilisticInjector, RankPool, RunOptions, ShardWorkers,
 };
 use chaser_bench::HarnessArgs;
 use chaser_isa::InsnClass;
@@ -17,6 +17,9 @@ use std::io::{BufRead, Write};
 struct Cli {
     chaser: Chaser,
     app: Option<AppSpec>,
+    /// `(name, size, ranks)` of the loaded app — what a self-exec shard
+    /// worker needs to rebuild the identical campaign.
+    loaded: Option<(String, u64, u64)>,
     golden: Option<chaser::RunReport>,
     warm_start: bool,
 }
@@ -42,6 +45,7 @@ impl Cli {
         Cli {
             chaser,
             app: None,
+            loaded: None,
             golden: None,
             warm_start: false,
         }
@@ -77,6 +81,8 @@ impl Cli {
                             app.cluster.nodes
                         );
                         self.app = Some(app);
+                        self.loaded =
+                            Some((name.to_string(), args.size as u64, u64::from(args.ranks)));
                         self.golden = None;
                     }
                     None => println!("unknown app `{name}` (try `apps`)"),
@@ -113,7 +119,9 @@ impl Cli {
             },
             "campaign" => {
                 let runs = parts.next().and_then(|s| s.parse().ok()).unwrap_or(50);
-                self.run_campaign(runs);
+                let shards = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let subprocess = parts.next() == Some("proc");
+                self.run_campaign(runs, shards, subprocess);
             }
             "commands" => {
                 for spec in self.chaser.commands() {
@@ -300,31 +308,77 @@ impl Cli {
 
     /// Runs a fault-injection campaign over the loaded app, honouring the
     /// `warm` toggle, and dumps outcome counts plus snapshot statistics.
-    fn run_campaign(&self, runs: u64) {
+    /// With `shards > 1` the campaign runs under the shard supervisor —
+    /// in-process worker threads by default, or self-exec subprocess
+    /// workers (the hidden `shard-worker` mode) with `subprocess`.
+    fn run_campaign(&self, runs: u64, shards: u64, subprocess: bool) {
         let Some(app) = self.app.clone() else {
             println!("no app loaded (use `load <app>` first)");
             return;
         };
-        let campaign = Campaign::new(
-            app,
-            CampaignConfig {
-                runs,
-                classes: vec![InsnClass::FpArith, InsnClass::Mov],
-                rank_pool: RankPool::Random,
-                warm_start: self.warm_start,
-                ..CampaignConfig::default()
-            },
-        );
+        let mut cfg = campaign_config(runs, shards, self.warm_start);
+        if subprocess {
+            let Some((name, size, ranks)) = &self.loaded else {
+                println!("subprocess shards need a `load`-ed app");
+                return;
+            };
+            let exe = match std::env::current_exe() {
+                Ok(p) => p.display().to_string(),
+                Err(e) => {
+                    println!("cannot locate own binary for self-exec workers: {e}");
+                    return;
+                }
+            };
+            cfg.shard_workers = ShardWorkers::Subprocess(vec![
+                exe,
+                "shard-worker".into(),
+                name.clone(),
+                size.to_string(),
+                ranks.to_string(),
+                runs.to_string(),
+                shards.to_string(),
+                u64::from(self.warm_start).to_string(),
+            ]);
+        }
+        let campaign = Campaign::new(app, cfg);
         println!(
-            "running {} injection runs ({})...",
+            "running {} injection runs ({}{})...",
             runs,
             if self.warm_start {
                 "warm-started from a CoW checkpoint"
             } else {
                 "cold"
+            },
+            if shards > 1 {
+                format!(
+                    ", {shards} supervised {} shards",
+                    if subprocess { "subprocess" } else { "thread" }
+                )
+            } else {
+                String::new()
             }
         );
-        let result = campaign.run();
+        let result = if shards > 1 {
+            // Fresh journal dir per invocation: shard journals are
+            // fingerprint-bound, and a later `campaign` command with other
+            // parameters must not trip over this one's files.
+            static CAMPAIGNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let nth = CAMPAIGNS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let dir = std::env::temp_dir().join(format!("chaser-cli-{}-{nth}", std::process::id()));
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                println!("cannot create shard journal dir: {e}");
+                return;
+            }
+            match campaign.run_sharded(&dir.join("campaign.jsonl")) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("sharded campaign failed: {e}");
+                    return;
+                }
+            }
+        } else {
+            campaign.run()
+        };
         let counts = result.outcome_counts();
         let (b, s, t) = counts.percentages();
         println!(
@@ -342,6 +396,20 @@ impl Cli {
         } else {
             println!("snapshot stats: no restores (cold campaign or no usable checkpoint)");
         }
+        let shard = &result.shard_stats;
+        if shard.shards > 1 {
+            println!(
+                "shard stats: {} shard(s), {} retries, {} reassigned run(s), \
+                 {} quarantined run(s)",
+                shard.shards, shard.retries, shard.reassignments, shard.quarantined_runs
+            );
+            for s in &shard.per_shard {
+                println!(
+                    "  shard {} [{}..{}): {} attempt(s), {} ms",
+                    s.shard, s.start, s.end, s.attempts, s.wall_ms
+                );
+            }
+        }
     }
 
     fn help(&self) {
@@ -356,13 +424,69 @@ impl Cli {
         println!("  run                          execute the armed injection (traced)");
         println!("  trace [dot]                  run and walk the propagation provenance graph");
         println!("  warm [on|off]                toggle campaign warm start (CoW checkpoint)");
-        println!("  campaign [runs]              run an FI campaign; dumps snapshot stats");
+        println!("  campaign [runs] [shards] [proc]  run an FI campaign (sharded when");
+        println!("                               shards > 1; `proc` = subprocess workers)");
         println!("  quit                         leave");
+    }
+}
+
+/// The one campaign configuration both the supervisor and its self-exec
+/// shard workers build: any divergence would change the config fingerprint
+/// and make the workers reject their shard journals.
+fn campaign_config(runs: u64, shards: u64, warm_start: bool) -> CampaignConfig {
+    CampaignConfig {
+        runs,
+        shards,
+        classes: vec![InsnClass::FpArith, InsnClass::Mov],
+        rank_pool: RankPool::Random,
+        warm_start,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Hidden subprocess-worker mode: `chaser_cli shard-worker <app> <size>
+/// <ranks> <runs> <shards> <warm>` rebuilds the supervisor's campaign and
+/// executes the shard assignment in the `CHASER_SHARD_*` environment.
+/// Exits 0 on success, 1 on any error (the supervisor treats a nonzero
+/// exit as a dead worker and retries).
+fn shard_worker_main(args: &[String]) -> ! {
+    let fail = |msg: String| -> ! {
+        eprintln!("shard-worker: {msg}");
+        std::process::exit(1);
+    };
+    let [name, size, ranks, runs, shards, warm] = args else {
+        fail(format!(
+            "expected <app> <size> <ranks> <runs> <shards> <warm>, got {args:?}"
+        ));
+    };
+    let parse = |what: &str, s: &String| -> u64 {
+        s.parse()
+            .unwrap_or_else(|_| fail(format!("{what} is not a number: `{s}`")))
+    };
+    let harness = HarnessArgs {
+        size: parse("size", size) as usize,
+        ranks: parse("ranks", ranks) as u32,
+        ..HarnessArgs::default()
+    };
+    let Some(app) = build_app(name, &harness) else {
+        fail(format!("unknown app `{name}`"));
+    };
+    let cfg = campaign_config(
+        parse("runs", runs),
+        parse("shards", shards),
+        parse("warm", warm) != 0,
+    );
+    match Campaign::new(app, cfg).shard_worker_from_env() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => fail(e.to_string()),
     }
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("shard-worker") {
+        shard_worker_main(&argv[2..]);
+    }
     let mut cli = Cli::new();
 
     // Scripted mode: --script "cmd; cmd; cmd"

@@ -39,6 +39,10 @@ const REQUIRED_SPEEDUP: f64 = 2.0;
 /// measured speedup, so remeasuring never lets a real regression through
 /// — a genuinely slow engine fails every attempt.
 const MEASURE_ATTEMPTS: usize = 3;
+/// Pause before a remeasurement. Throttled containers (cgroup CPU burst
+/// accounting) stay depressed for a few seconds after a heavy load burst,
+/// so back-to-back retries would all sample the same squeezed window.
+const REMEASURE_COOLDOWN: std::time::Duration = std::time::Duration::from_secs(8);
 
 /// Ranks (one per node) in the rank-parallelism scaling workload.
 const SCALING_RANKS: usize = 8;
@@ -357,8 +361,64 @@ fn assert_and_measure_rank_scaling(prog: &Program) -> (f64, f64, f64, ParallelSt
             "perf_smoke: rank-parallel speedup {speedup:.2}x below gate {required:.2}x \
              on attempt {attempt}; host noisy, remeasuring"
         );
+        std::thread::sleep(REMEASURE_COOLDOWN);
     }
     result
+}
+
+/// Campaign runs in the shard-scaling measurement.
+const SHARD_RUNS: u64 = 32;
+/// Shards in the sharded leg (vs. 1), thread workers, same box.
+const SHARD_FANOUT: u64 = 4;
+/// Timed repetitions per shard leg (best-of, as above).
+const SHARD_REPS: usize = 2;
+
+/// Shard-scaling measurement (record-only, no gate — the baseline later
+/// distributed work is compared against): the same `SHARD_RUNS`-run matvec
+/// campaign supervised as 1 shard and as `SHARD_FANOUT` thread-worker
+/// shards, `parallelism: 1` inside each worker so the shard fan-out is the
+/// only parallelism. Asserts the two merged outcome CSVs are identical
+/// (shard count must never change results), then returns
+/// `(runs/sec @ 1 shard, runs/sec @ SHARD_FANOUT shards, speedup)`.
+fn measure_shard_scaling() -> (f64, f64, f64) {
+    let campaign = |shards: u64| {
+        Campaign::new(
+            matvec_app(),
+            CampaignConfig {
+                runs: SHARD_RUNS,
+                seed: 0x5CA1E,
+                shards,
+                parallelism: 1,
+                classes: vec![InsnClass::FpArith, InsnClass::Mov],
+                rank_pool: RankPool::Random,
+                ..CampaignConfig::default()
+            },
+        )
+    };
+    let dir = std::env::temp_dir().join(format!("chaser-perf-shard-{}", std::process::id()));
+    let mut best = [0.0f64; 2];
+    let mut csvs: [Option<String>; 2] = [None, None];
+    for _ in 0..SHARD_REPS {
+        for (i, shards) in [1, SHARD_FANOUT].into_iter().enumerate() {
+            // Fresh journals each rep: shard journals resume, and a
+            // resumed rep would measure nothing.
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("shard scaling dir");
+            let t0 = Instant::now();
+            let result = campaign(shards)
+                .run_sharded(&dir.join("campaign.jsonl"))
+                .expect("shard scaling campaign");
+            let secs = t0.elapsed().as_secs_f64();
+            best[i] = best[i].max(SHARD_RUNS as f64 / secs);
+            csvs[i] = Some(result.to_csv());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        csvs[0], csvs[1],
+        "outcome CSV must be byte-identical across shard counts"
+    );
+    (best[0], best[1], best[1] / best[0].max(1e-9))
 }
 
 fn main() {
@@ -399,6 +459,7 @@ fn main() {
             acc[3].0 / acc[1].0.max(1.0)
         );
         // Keep only each regime's best-so-far: noise cannot inflate it.
+        std::thread::sleep(REMEASURE_COOLDOWN);
     }
     let (cold_ips, warm_ips, chained_ips, opt_ips) = (acc[0].0, acc[1].0, acc[2].0, acc[3].0);
     let opt_stats = acc[3].1;
@@ -443,6 +504,15 @@ fn main() {
         rank_pstats.imbalance()
     );
 
+    // Shard scaling: record-only baseline for later distributed work.
+    let (shard_1_rps, shard_n_rps, shard_speedup) = measure_shard_scaling();
+    println!(
+        "perf_smoke: shard scaling ({SHARD_RUNS}-run campaign, thread workers, best of {SHARD_REPS}):"
+    );
+    println!("  1 shard                              : {shard_1_rps:>12.1} runs/sec");
+    println!("  {SHARD_FANOUT} shards                             : {shard_n_rps:>12.1} runs/sec");
+    println!("  speedup (CSV-identical, record-only) : {shard_speedup:.2}x");
+
     let json = format!(
         "{{\n  \"workload\": \"hotloop ({} iters, 8 mem ops each)\",\n  \
          \"insns_per_sec_cold\": {cold_ips:.0},\n  \
@@ -463,7 +533,11 @@ fn main() {
          \"rank_parallel_speedup\": {rank_speedup:.3},\n  \
          \"host_parallel_capacity\": {capacity:.3},\n  \
          \"rank_parallel_rounds\": {},\n  \
-         \"rank_imbalance\": {:.3}\n}}\n",
+         \"rank_imbalance\": {:.3},\n  \
+         \"shard_workload\": \"matvec campaign x {SHARD_RUNS} runs, thread-worker shards\",\n  \
+         \"shard_1_runs_per_sec\": {shard_1_rps:.1},\n  \
+         \"shard_{SHARD_FANOUT}_runs_per_sec\": {shard_n_rps:.1},\n  \
+         \"shard_speedup\": {shard_speedup:.3}\n}}\n",
         LOOP_ITERS,
         opt_stats.tb_chain_hits,
         opt_stats.chain_severs,

@@ -1,43 +1,77 @@
 //! CI smoke test for the resilient campaign engine: runs a 20-run matvec
 //! campaign with one forced harness panic and a watchdog budget, journals
 //! it, simulates a mid-campaign kill by truncating the journal, resumes,
-//! and diffs the resumed result against an uninterrupted run.
+//! and diffs the resumed result against an uninterrupted run. Then the
+//! shard-supervisor stages: a subprocess shard worker is killed
+//! mid-campaign (the supervisor retries and resumes it), and a shard whose
+//! workers never survive exhausts its retries and degrades to quarantined
+//! rows — in both cases the campaign completes, and in the first the
+//! merged CSV is byte-identical to the unsharded reference.
 //!
 //! `cargo run --release -p chaser-bench --bin resilience_smoke`
+//! (self-execs with a `--shard-worker` argv as its own subprocess worker)
 //!
 //! Exits non-zero (panics) on any divergence; prints a one-line summary
 //! per stage otherwise.
 
-use chaser::{AppSpec, Campaign, CampaignConfig};
+use chaser::{
+    AppSpec, Campaign, CampaignConfig, ChaosKind, ShardChaos, ShardSupervision, ShardWorkers,
+};
 use chaser_isa::InsnClass;
 use chaser_mpi::RunBudget;
 use chaser_workloads::matvec;
 use std::fs;
 
 fn campaign() -> Campaign {
+    campaign_with(|_| {})
+}
+
+/// The smoke campaign, with `tweak` applied to the config before build.
+/// Supervisor and self-exec shard workers both come through here, so the
+/// config fingerprint (which includes `shards`) always agrees.
+fn campaign_with(tweak: impl FnOnce(&mut CampaignConfig)) -> Campaign {
     let mv = matvec::MatvecConfig::default();
     let app = AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 4);
-    Campaign::new(
-        app,
-        CampaignConfig {
-            runs: 20,
-            seed: 0xC0DE,
-            parallelism: 2,
-            classes: vec![InsnClass::Mov],
-            // One run panics inside the harness; long-lived runs trip the
-            // instruction watchdog. Both must come back as rows, not bring
-            // the campaign down.
-            panic_runs: vec![3],
-            run_budget: RunBudget {
-                max_insns: 4_500,
-                max_rounds: 0,
-            },
-            ..CampaignConfig::default()
+    let mut cfg = CampaignConfig {
+        runs: 20,
+        seed: 0xC0DE,
+        parallelism: 2,
+        classes: vec![InsnClass::Mov],
+        // One run panics inside the harness; long-lived runs trip the
+        // instruction watchdog. Both must come back as rows, not bring
+        // the campaign down.
+        panic_runs: vec![3],
+        run_budget: RunBudget {
+            max_insns: 4_500,
+            max_rounds: 0,
         },
-    )
+        ..CampaignConfig::default()
+    };
+    tweak(&mut cfg);
+    Campaign::new(app, cfg)
+}
+
+/// Fast supervision policy so the smoke's retries don't dawdle.
+fn fast_supervision() -> ShardSupervision {
+    ShardSupervision {
+        backoff_base_ms: 1,
+        backoff_cap_ms: 10,
+        ..ShardSupervision::default()
+    }
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--shard-worker") {
+        // Subprocess shard worker: the shard count rides in argv so the
+        // rebuilt config fingerprint matches the supervisor's; the shard
+        // assignment itself comes from the CHASER_SHARD_* environment.
+        let shards: u64 = argv.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+        campaign_with(|c| c.shards = shards)
+            .shard_worker_from_env()
+            .expect("shard worker");
+        return;
+    }
     let dir = std::env::temp_dir().join(format!("chaser-resilience-smoke-{}", std::process::id()));
     fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("campaign.jsonl");
@@ -94,7 +128,101 @@ fn main() {
     assert_eq!(clean.skipped, resumed.skipped);
     println!("resume: outcome CSV byte-identical to the uninterrupted run");
 
-    let _ = fs::remove_file(&path);
-    let _ = fs::remove_dir(&dir);
+    // Stage 5: sharded campaign with a subprocess worker killed
+    // mid-campaign. Chaos makes shard 1's first worker exit(9) after two
+    // journaled rows; the supervisor must detect the death, relaunch the
+    // worker, resume the shard journal, and merge to a byte-identical CSV.
+    const SHARDS: u64 = 4;
+    let exe = std::env::current_exe().expect("own binary");
+    let worker_argv = vec![
+        exe.display().to_string(),
+        "--shard-worker".to_string(),
+        SHARDS.to_string(),
+    ];
+    let shard_dir = dir.join("sharded");
+    fs::create_dir_all(&shard_dir).expect("shard dir");
+    let sharded_cfg = |c: &mut CampaignConfig| {
+        c.shards = SHARDS;
+        c.shard_workers = ShardWorkers::Subprocess(worker_argv.clone());
+        c.shard_supervision = fast_supervision();
+        c.shard_chaos = vec![ShardChaos {
+            shard: 1,
+            after_rows: 2,
+            attempts: 1,
+            kind: ChaosKind::Kill,
+        }];
+    };
+    let sharded = campaign_with(sharded_cfg)
+        .run_sharded(&shard_dir.join("campaign.jsonl"))
+        .expect("sharded campaign");
+    // `shards` is fingerprinted, so the unsharded reference carries the
+    // same value and just executes through run_journaled.
+    let reference = campaign_with(|c| c.shards = SHARDS)
+        .run_journaled(&shard_dir.join("reference.jsonl"))
+        .expect("sharded reference");
+    assert_eq!(
+        sharded.to_csv(),
+        reference.to_csv(),
+        "merged sharded CSV diverged from the unsharded reference"
+    );
+    assert_eq!(
+        sharded.stats_csv(),
+        reference.stats_csv(),
+        "merged sharded stats CSV diverged from the unsharded reference"
+    );
+    assert!(
+        sharded.shard_stats.retries >= 1,
+        "the killed worker must have been retried: {:?}",
+        sharded.shard_stats
+    );
+    assert_eq!(
+        sharded.shard_stats.quarantined_runs, 0,
+        "a recovered shard must not quarantine runs"
+    );
+    println!(
+        "sharded: worker killed mid-campaign; {} retries, {} reassigned run(s), \
+         merged CSV byte-identical to the unsharded reference",
+        sharded.shard_stats.retries, sharded.shard_stats.reassignments
+    );
+
+    // Stage 6: retry exhaustion. Shard 1's thread workers die on every
+    // attempt; after max_retries the shard degrades to quarantined rows
+    // and the campaign still completes — never a hang or abort.
+    let degrade_dir = dir.join("degraded");
+    fs::create_dir_all(&degrade_dir).expect("degrade dir");
+    let degraded = campaign_with(|c| {
+        c.shards = SHARDS;
+        c.shard_supervision = ShardSupervision {
+            max_retries: 1,
+            ..fast_supervision()
+        };
+        c.shard_chaos = vec![ShardChaos {
+            shard: 1,
+            after_rows: 1,
+            attempts: u32::MAX,
+            kind: ChaosKind::Kill,
+        }];
+    })
+    .run_sharded(&degrade_dir.join("campaign.jsonl"))
+    .expect("degraded campaign completes");
+    assert_eq!(
+        degraded.outcomes.len() as u64 + degraded.skipped,
+        20,
+        "degraded campaign must still account for every run"
+    );
+    let lost = degraded
+        .outcomes
+        .iter()
+        .filter(|o| chaser::is_shard_lost(&o.outcome))
+        .count() as u64;
+    assert!(lost > 0, "retry exhaustion must quarantine runs");
+    assert_eq!(lost, degraded.shard_stats.quarantined_runs);
+    println!(
+        "degraded: shard 1 exhausted its retries; {} run(s) quarantined as \
+         shard-lost harness faults, campaign completed",
+        lost
+    );
+
+    let _ = fs::remove_dir_all(&dir);
     println!("resilience smoke: OK");
 }

@@ -11,6 +11,7 @@ use crate::session::{
     prepare_app, run_app, run_prepared, run_warm, warm_start_for, AppSpec, PreparedApp, RunOptions,
     RunReport, SnapshotStats, WarmStartOptions,
 };
+use crate::shard::{ShardChaos, ShardCtl, ShardStats, ShardSupervision, ShardWorkers};
 use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
 use crate::tracer::TracerConfig;
 use chaser_isa::InsnClass;
@@ -100,6 +101,35 @@ pub struct CampaignConfig {
     /// quarantined [`Outcome::HarnessFault`] rows while every other run
     /// completes normally.
     pub panic_runs: Vec<u64>,
+    /// Shard count for [`Campaign::run_sharded`]: the run-index range is
+    /// split into this many contiguous shards, each executed by an isolated
+    /// worker writing its own journal. 0 and 1 both mean one shard. Part of
+    /// the journal config fingerprint (v5): a shard journal may only be
+    /// finished — or merged — under the shard plan that created it.
+    pub shards: u64,
+    /// How shard workers execute: in-process threads (default) or self-exec
+    /// subprocess workers driven by the `CHASER_SHARD_*` environment
+    /// protocol. Operational only (like `parallelism`): excluded from the
+    /// config fingerprint, and merged outputs are byte-identical either
+    /// way.
+    pub shard_workers: ShardWorkers,
+    /// Liveness and retry policy for shard workers: journal-progress
+    /// heartbeat timeout, capped exponential backoff, retry budget.
+    /// Operational only, excluded from the fingerprint.
+    pub shard_supervision: ShardSupervision,
+    /// Journal durability: `fsync` campaign and shard journals every this
+    /// many appended rows (0 = flush to the OS only, never fsync). Every
+    /// row is still flushed as one whole line, so a killed worker loses at
+    /// most the torn final line the reader already tolerates; this knob
+    /// bounds what a power loss can take with it. Operational only,
+    /// excluded from the fingerprint.
+    pub journal_sync_rows: u64,
+    /// Chaos knob for the shard supervisor (resilience tests / CI smoke):
+    /// deliberately kill or stall shard workers after they journal N rows,
+    /// to prove retry-with-resume and straggler recovery. Excluded from the
+    /// fingerprint: a killed-and-retried shard journals exactly the rows an
+    /// unharassed one would.
+    pub shard_chaos: Vec<ShardChaos>,
 }
 
 impl Default for CampaignConfig {
@@ -122,6 +152,11 @@ impl Default for CampaignConfig {
             taint_fast_path: true,
             rank_threads: 1,
             panic_runs: Vec::new(),
+            shards: 0,
+            shard_workers: ShardWorkers::Thread,
+            shard_supervision: ShardSupervision::default(),
+            journal_sync_rows: crate::journal::DEFAULT_SYNC_ROWS,
+            shard_chaos: Vec::new(),
         }
     }
 }
@@ -231,6 +266,9 @@ pub struct TerminationBreakdown {
     pub abnormal_exits: u64,
     /// Watchdog budget stops (deterministic runaway detection).
     pub budget_exhausted: u64,
+    /// Runs quarantined because their shard's workers kept dying
+    /// ([`TermCause::ShardLost`]).
+    pub shard_lost: u64,
 }
 
 impl TerminationBreakdown {
@@ -243,6 +281,7 @@ impl TerminationBreakdown {
             + self.hangs
             + self.abnormal_exits
             + self.budget_exhausted
+            + self.shard_lost
     }
 
     fn add(&mut self, cause: &TermCause) {
@@ -254,6 +293,10 @@ impl TerminationBreakdown {
             TermCause::Hang => self.hangs += 1,
             TermCause::AbnormalExit { .. } => self.abnormal_exits += 1,
             TermCause::BudgetExhausted(_) => self.budget_exhausted += 1,
+            // Never reached from Outcome::Terminated — ShardLost only
+            // appears as a HarnessFault cause — but keep the bucket so the
+            // breakdown stays total over TermCause.
+            TermCause::ShardLost { .. } => self.shard_lost += 1,
         }
     }
 }
@@ -284,6 +327,14 @@ pub struct CampaignResult {
     /// Scheduler-parallelism counters summed over every classified run
     /// (skipped runs excluded; journaled per row like `engine_stats`).
     pub parallel_stats: ParallelStats,
+    /// Shard-supervision counters (shards, worker retries, reassigned and
+    /// quarantined runs, per-shard wall times); all zero/empty unless the
+    /// result came from [`Campaign::run_sharded`]. Rendered by
+    /// [`ShardStats::to_csv`], never folded into
+    /// [`CampaignResult::stats_csv`] — worker wall-times are wall-clock
+    /// facts, and the per-run stats CSV must stay byte-identical between
+    /// sharded and unsharded executions of the same seed.
+    pub shard_stats: ShardStats,
 }
 
 impl CampaignResult {
@@ -540,10 +591,26 @@ impl CampaignResult {
 
 /// Rows replayed from a journal before a resume re-executes the rest.
 #[derive(Debug, Default)]
-struct ReplayBase {
-    outcomes: Vec<RunOutcome>,
-    skipped: u64,
-    cache_stats: CacheStats,
+pub(crate) struct ReplayBase {
+    pub(crate) outcomes: Vec<RunOutcome>,
+    pub(crate) skipped: u64,
+    pub(crate) cache_stats: CacheStats,
+}
+
+impl ReplayBase {
+    /// Folds one replayed journal row into the base.
+    pub(crate) fn absorb(&mut self, row: &JournalRow) {
+        match row {
+            JournalRow::Outcome(o) => {
+                self.cache_stats.absorb(o.cache_stats);
+                self.outcomes.push((**o).clone());
+            }
+            JournalRow::Skip { cache_stats, .. } => {
+                self.cache_stats.absorb(*cache_stats);
+                self.skipped += 1;
+            }
+        }
+    }
 }
 
 thread_local! {
@@ -596,15 +663,21 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     clean
 }
 
-/// The quarantine row for a run whose *harness* (not guest) panicked: the
-/// campaign keeps going, and this run is reported as a tool fault that says
-/// nothing about the target application.
-fn harness_fault_outcome(idx: u64, payload: Box<dyn std::any::Any + Send>) -> RunOutcome {
+/// The quarantine row for a run the harness could not execute: a harness
+/// panic (`cause: None`) or a degraded run whose shard's workers kept dying
+/// (`cause: Some(TermCause::ShardLost { .. })`). The campaign keeps going,
+/// and the row says nothing about the target application.
+pub(crate) fn quarantined_outcome(
+    idx: u64,
+    payload: String,
+    cause: Option<TermCause>,
+) -> RunOutcome {
     RunOutcome {
         run_idx: idx,
         outcome: Outcome::HarnessFault {
             run_idx: idx,
-            payload: payload_message(payload),
+            payload,
+            cause,
         },
         class: InsnClass::Any,
         rank: 0,
@@ -626,11 +699,16 @@ fn harness_fault_outcome(idx: u64, payload: Box<dyn std::any::Any + Send>) -> Ru
     }
 }
 
+/// The quarantine row for a run whose *harness* (not guest) panicked.
+fn harness_fault_outcome(idx: u64, payload: Box<dyn std::any::Any + Send>) -> RunOutcome {
+    quarantined_outcome(idx, payload_message(payload), None)
+}
+
 /// A fault-injection campaign over one application.
 #[derive(Debug, Clone)]
 pub struct Campaign {
-    app: AppSpec,
-    cfg: CampaignConfig,
+    pub(crate) app: AppSpec,
+    pub(crate) cfg: CampaignConfig,
 }
 
 impl Campaign {
@@ -678,7 +756,7 @@ impl Campaign {
     pub fn run(&self) -> CampaignResult {
         let prepared = self.prepare();
         let indices: Vec<u64> = (0..self.cfg.runs).collect();
-        self.execute(&prepared, &indices, None, ReplayBase::default())
+        self.execute(&prepared, &indices, None, ReplayBase::default(), None)
     }
 
     /// Like [`Campaign::run`], journaling every finished run to `path` as
@@ -690,9 +768,19 @@ impl Campaign {
     /// [`JournalError`] on filesystem failures.
     pub fn run_journaled(&self, path: &Path) -> Result<CampaignResult, JournalError> {
         let prepared = self.prepare();
-        let journal = CampaignJournal::create(path, self.journal_header(&prepared))?;
+        let journal = CampaignJournal::create_with(
+            path,
+            self.journal_header(&prepared),
+            self.cfg.journal_sync_rows,
+        )?;
         let indices: Vec<u64> = (0..self.cfg.runs).collect();
-        Ok(self.execute(&prepared, &indices, Some(&journal), ReplayBase::default()))
+        Ok(self.execute(
+            &prepared,
+            &indices,
+            Some(&journal),
+            ReplayBase::default(),
+            None,
+        ))
     }
 
     /// Resumes a journaled campaign: validates that the journal belongs to
@@ -713,7 +801,11 @@ impl Campaign {
         let expected = self.journal_header(&prepared);
         let (found, rows) = CampaignJournal::read(path)?;
         if found != expected {
-            return Err(JournalError::HeaderMismatch { expected, found });
+            return Err(JournalError::HeaderMismatch {
+                path: path.display().to_string(),
+                expected,
+                found,
+            });
         }
         // Last-wins dedup: a killed-and-resumed campaign may have journaled
         // a run twice; per-run determinism makes the copies identical, but
@@ -724,26 +816,17 @@ impl Campaign {
         }
         let mut base = ReplayBase::default();
         for row in by_idx.values() {
-            match row {
-                JournalRow::Outcome(o) => {
-                    base.cache_stats.absorb(o.cache_stats);
-                    base.outcomes.push((**o).clone());
-                }
-                JournalRow::Skip { cache_stats, .. } => {
-                    base.cache_stats.absorb(*cache_stats);
-                    base.skipped += 1;
-                }
-            }
+            base.absorb(row);
         }
         let missing: Vec<u64> = (0..self.cfg.runs)
             .filter(|i| !by_idx.contains_key(i))
             .collect();
-        let journal = CampaignJournal::append_to(path)?;
-        Ok(self.execute(&prepared, &missing, Some(&journal), base))
+        let journal = CampaignJournal::append_to_with(path, self.cfg.journal_sync_rows)?;
+        Ok(self.execute(&prepared, &missing, Some(&journal), base, None))
     }
 
     /// The header binding a journal to this campaign.
-    fn journal_header(&self, prepared: &PreparedApp) -> JournalHeader {
+    pub(crate) fn journal_header(&self, prepared: &PreparedApp) -> JournalHeader {
         JournalHeader {
             version: JOURNAL_VERSION,
             seed: self.cfg.seed,
@@ -754,19 +837,24 @@ impl Campaign {
     }
 
     /// Fingerprint of every configuration knob that shapes the journal's
-    /// contents or provenance. Only `parallelism` is excluded: which
-    /// worker computed a row never changes it. `shared_tb_cache`,
-    /// `warm_start`, `tb_chaining`, `taint_fast_path` and `rank_threads`
-    /// *are* included even though all five are replay-equivalent knobs — a
-    /// journal must be finished under the exact execution regime that
-    /// started it, or its rows mix provenances silently (the journaled
-    /// engine and parallelism counters would be incomparable across rows).
+    /// contents or provenance. Operational knobs are excluded: which worker
+    /// computed a row never changes it, so `parallelism`, the shard worker
+    /// kind (`shard_workers`), the supervision timing (`shard_supervision`),
+    /// the durability interval (`journal_sync_rows`) and the supervisor
+    /// chaos knob (`shard_chaos`) stay out. `shared_tb_cache`, `warm_start`,
+    /// `tb_chaining`, `taint_fast_path` and `rank_threads` *are* included
+    /// even though all five are replay-equivalent knobs — a journal must be
+    /// finished under the exact execution regime that started it, or its
+    /// rows mix provenances silently (the journaled engine and parallelism
+    /// counters would be incomparable across rows). `shards` is included
+    /// (v5) because it fixes the shard plan: a shard journal's meta line is
+    /// only meaningful under the plan that created it.
     fn config_fingerprint(&self) -> u64 {
         let c = &self.cfg;
         let mut h = Fnv1a::new();
         h.write(
             format!(
-                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{};{:?};{};{};{};{:?}",
+                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{};{:?};{};{};{};{:?};{}",
                 c.runs,
                 c.seed,
                 c.classes,
@@ -783,24 +871,29 @@ impl Campaign {
                 c.taint_fast_path,
                 c.rank_threads,
                 c.panic_runs,
+                c.shards,
             )
             .as_bytes(),
         );
         h.finish()
     }
 
-    /// The shared worker loop behind [`Campaign::run`], `run_journaled`
-    /// and `resume`: executes `indices` across worker threads, each run
-    /// isolated under `catch_unwind` so a harness panic quarantines that
-    /// one run (as [`Outcome::HarnessFault`]) instead of poisoning the
-    /// campaign, and folds the results into `base` (the rows a resume
-    /// replayed from the journal).
-    fn execute(
+    /// The shared worker loop behind [`Campaign::run`], `run_journaled`,
+    /// `resume` and the shard workers: executes `indices` across worker
+    /// threads, each run isolated under `catch_unwind` so a harness panic
+    /// quarantines that one run (as [`Outcome::HarnessFault`]) instead of
+    /// poisoning the campaign, and folds the results into `base` (the rows
+    /// a resume replayed from the journal). `ctl`, when present, is the
+    /// shard worker's control block: it counts journal appends for the
+    /// supervisor's liveness heartbeat, carries the chaos trigger, and its
+    /// stop flag makes workers drain without taking new indices.
+    pub(crate) fn execute(
         &self,
         prepared: &PreparedApp,
         indices: &[u64],
         journal: Option<&CampaignJournal>,
         base: ReplayBase,
+        ctl: Option<&ShardCtl>,
     ) -> CampaignResult {
         let workers = if self.cfg.parallelism == 0 {
             std::thread::available_parallelism().map_or(4, |n| n.get())
@@ -820,6 +913,9 @@ impl Campaign {
                 scope.spawn(|| {
                     QUARANTINE.with(|q| q.set(true));
                     loop {
+                        if ctl.is_some_and(ShardCtl::stopped) {
+                            break;
+                        }
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&idx) = indices.get(slot) else { break };
                         match catch_unwind(AssertUnwindSafe(|| self.one_run(idx, prepared))) {
@@ -829,6 +925,9 @@ impl Campaign {
                                 if let Some(j) = journal {
                                     let _ = j.append_outcome(&outcome);
                                 }
+                                if let Some(c) = ctl {
+                                    c.on_row();
+                                }
                                 outcomes.lock().expect("poisoned").push(outcome);
                             }
                             Ok((run_cache, run_snap, None)) => {
@@ -837,12 +936,18 @@ impl Campaign {
                                 if let Some(j) = journal {
                                     let _ = j.append_skip(idx, run_cache);
                                 }
+                                if let Some(c) = ctl {
+                                    c.on_row();
+                                }
                                 skipped.fetch_add(1, Ordering::Relaxed);
                             }
                             Err(payload) => {
                                 let outcome = harness_fault_outcome(idx, payload);
                                 if let Some(j) = journal {
                                     let _ = j.append_outcome(&outcome);
+                                }
+                                if let Some(c) = ctl {
+                                    c.on_row();
                                 }
                                 outcomes.lock().expect("poisoned").push(outcome);
                             }
@@ -869,6 +974,7 @@ impl Campaign {
             snapshot_stats: snapshot_stats.into_inner().expect("poisoned"),
             engine_stats,
             parallel_stats,
+            shard_stats: ShardStats::default(),
         }
     }
 
@@ -1009,6 +1115,7 @@ mod tests {
             snapshot_stats: SnapshotStats::default(),
             engine_stats: EngineStats::default(),
             parallel_stats: ParallelStats::default(),
+            shard_stats: ShardStats::default(),
         }
     }
 

@@ -136,7 +136,11 @@ struct Parser<'a> {
 }
 
 fn bad(msg: impl Into<String>) -> JournalError {
-    JournalError::Malformed(msg.into())
+    JournalError::Malformed {
+        path: String::new(),
+        line: 0,
+        msg: msg.into(),
+    }
 }
 
 impl<'a> Parser<'a> {
@@ -356,16 +360,36 @@ pub fn golden_digest(outputs: &[Vec<u8>]) -> u64 {
 // ---- journal proper ----
 
 /// Errors reading or validating a journal.
+///
+/// Every variant carries the offending journal's file path (and, for parse
+/// failures, the 1-based line number) so a failure among K shard journals
+/// names exactly which file and row broke. Errors minted deep inside the
+/// codec start with an empty path / zero line; the file-level readers fill
+/// them in via [`JournalError::with_path`] before surfacing them.
 #[derive(Debug)]
 pub enum JournalError {
     /// Filesystem failure.
-    Io(io::Error),
+    Io {
+        /// The journal file involved (empty when unknown).
+        path: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
     /// A non-trailing line failed to parse, or a parsed row is missing
     /// required fields.
-    Malformed(String),
+    Malformed {
+        /// The journal file involved (empty when unknown).
+        path: String,
+        /// 1-based line number of the failing line (0 when unknown).
+        line: u64,
+        /// What was wrong with it.
+        msg: String,
+    },
     /// The header does not match the resuming campaign (different seed,
     /// configuration, or golden outputs).
     HeaderMismatch {
+        /// The journal file involved (empty when unknown).
+        path: String,
         /// What the resuming campaign computed.
         expected: JournalHeader,
         /// What the journal file recorded.
@@ -373,15 +397,60 @@ pub enum JournalError {
     },
 }
 
+impl JournalError {
+    /// Fills in the journal file path on an error that lacks one.
+    pub fn with_path(mut self, p: &Path) -> JournalError {
+        let (JournalError::Io { path, .. }
+        | JournalError::Malformed { path, .. }
+        | JournalError::HeaderMismatch { path, .. }) = &mut self;
+        if path.is_empty() {
+            *path = p.display().to_string();
+        }
+        self
+    }
+
+    /// Fills in the 1-based line number on a parse error that lacks one.
+    fn with_line(mut self, l: u64) -> JournalError {
+        if let JournalError::Malformed { line, .. } = &mut self {
+            if *line == 0 {
+                *line = l;
+            }
+        }
+        self
+    }
+}
+
 impl std::fmt::Display for JournalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
-            JournalError::Malformed(msg) => write!(f, "malformed journal: {msg}"),
-            JournalError::HeaderMismatch { expected, found } => write!(
-                f,
-                "journal belongs to a different campaign (expected {expected:?}, found {found:?})"
-            ),
+            JournalError::Io { path, source } if path.is_empty() => {
+                write!(f, "journal I/O error: {source}")
+            }
+            JournalError::Io { path, source } => write!(f, "journal I/O error ({path}): {source}"),
+            JournalError::Malformed { path, line, msg } => {
+                write!(f, "malformed journal")?;
+                if !path.is_empty() {
+                    write!(f, " {path}")?;
+                    if *line > 0 {
+                        write!(f, ":{line}")?;
+                    }
+                }
+                write!(f, ": {msg}")
+            }
+            JournalError::HeaderMismatch {
+                path,
+                expected,
+                found,
+            } => {
+                write!(f, "journal")?;
+                if !path.is_empty() {
+                    write!(f, " {path}")?;
+                }
+                write!(
+                    f,
+                    " belongs to a different campaign (expected {expected:?}, found {found:?})"
+                )
+            }
         }
     }
 }
@@ -390,7 +459,10 @@ impl std::error::Error for JournalError {}
 
 impl From<io::Error> for JournalError {
     fn from(e: io::Error) -> JournalError {
-        JournalError::Io(e)
+        JournalError::Io {
+            path: String::new(),
+            source: e,
+        }
     }
 }
 
@@ -417,7 +489,43 @@ pub struct JournalHeader {
 /// `tb_chaining` / `taint_fast_path` knobs into the config fingerprint.
 /// Version 4 added the per-run rank-parallelism counters (`parallel`) to
 /// outcome rows and folded `rank_threads` into the config fingerprint.
-pub const JOURNAL_VERSION: u64 = 4;
+/// Version 5 added sharded campaigns: the `shards` knob joined the config
+/// fingerprint, shard journals carry a [`ShardMeta`] assignment line after
+/// the header, and quarantined harness-fault rows may carry a typed
+/// `cause` naming the lost shard.
+pub const JOURNAL_VERSION: u64 = 5;
+
+/// Line 2 of a *shard* journal: which contiguous slice of the campaign's
+/// run-index range this file owns. The merge uses it to prove coverage
+/// (every index in exactly one shard) and to reject rows outside their
+/// shard's slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Shard id (0-based, dense).
+    pub shard: u64,
+    /// First run index this shard owns (inclusive).
+    pub start: u64,
+    /// One past the last run index this shard owns (exclusive).
+    pub end: u64,
+}
+
+impl ShardMeta {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("chaser_shard".into(), Json::Num(self.shard as i128)),
+            ("start".into(), Json::Num(self.start as i128)),
+            ("end".into(), Json::Num(self.end as i128)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<ShardMeta, JournalError> {
+        Ok(ShardMeta {
+            shard: v.u64("chaser_shard")?,
+            start: v.u64("start")?,
+            end: v.u64("end")?,
+        })
+    }
+}
 
 impl JournalHeader {
     fn to_json(self) -> Json {
@@ -466,41 +574,130 @@ impl JournalRow {
             JournalRow::Skip { run_idx, .. } => *run_idx,
         }
     }
+
+    /// The row re-encoded exactly as the journal writes it (sans newline).
+    /// Two rows are *the same row* iff their canonical lines are equal —
+    /// the merge uses this to tell a harmless exact duplicate from two
+    /// conflicting results for one run index.
+    pub fn canonical_line(&self) -> String {
+        let value = match self {
+            JournalRow::Outcome(o) => outcome_to_json(o),
+            JournalRow::Skip {
+                run_idx,
+                cache_stats,
+            } => Json::Obj(vec![
+                ("run_idx".into(), Json::Num(*run_idx as i128)),
+                ("skip".into(), Json::Bool(true)),
+                ("cache_stats".into(), cache_stats_to_json(cache_stats)),
+            ]),
+        };
+        let mut line = String::new();
+        encode(&value, &mut line);
+        line
+    }
+}
+
+/// Default journal fsync interval, in rows (see
+/// [`CampaignJournal::create_with`]).
+pub const DEFAULT_SYNC_ROWS: u64 = 32;
+
+#[derive(Debug)]
+struct SyncedWriter {
+    buf: BufWriter<File>,
+    /// `sync_data` every this many rows; 0 = flush only, never fsync.
+    sync_every: u64,
+    rows_since_sync: u64,
 }
 
 /// An open, append-mode campaign journal. Thread-safe: campaign workers
 /// append rows concurrently; every row is written (and flushed) as one
 /// whole line under a lock, so a kill can only truncate the final line.
+/// On top of the per-row flush, the file is `fsync`ed every `sync_every`
+/// rows so a power loss is bounded too — a SIGKILL'd worker loses at most
+/// the torn final line the reader already tolerates.
 #[derive(Debug)]
 pub struct CampaignJournal {
-    writer: Mutex<BufWriter<File>>,
+    path: String,
+    writer: Mutex<SyncedWriter>,
 }
 
 impl CampaignJournal {
-    /// Creates (truncating) a journal at `path` and writes the header.
+    /// Creates (truncating) a journal at `path` and writes the header,
+    /// with the default fsync interval ([`DEFAULT_SYNC_ROWS`]).
     pub fn create(path: &Path, header: JournalHeader) -> Result<CampaignJournal, JournalError> {
-        let file = File::create(path)?;
+        CampaignJournal::create_with(path, header, DEFAULT_SYNC_ROWS)
+    }
+
+    /// Creates (truncating) a journal at `path` and writes the header.
+    /// `sync_every` is the durability knob: `sync_data` the file every that
+    /// many appended rows (0 = flush to the OS only, never fsync).
+    pub fn create_with(
+        path: &Path,
+        header: JournalHeader,
+        sync_every: u64,
+    ) -> Result<CampaignJournal, JournalError> {
+        let file = File::create(path).map_err(|e| JournalError::from(e).with_path(path))?;
         let journal = CampaignJournal {
-            writer: Mutex::new(BufWriter::new(file)),
+            path: path.display().to_string(),
+            writer: Mutex::new(SyncedWriter {
+                buf: BufWriter::new(file),
+                sync_every,
+                rows_since_sync: 0,
+            }),
         };
         journal.append_line(&header.to_json())?;
         Ok(journal)
     }
 
+    /// Creates (truncating) a *shard* journal: header, then the shard's
+    /// [`ShardMeta`] assignment line, both made durable immediately so a
+    /// worker crash can never lose the preamble.
+    pub fn create_shard(
+        path: &Path,
+        header: JournalHeader,
+        meta: ShardMeta,
+        sync_every: u64,
+    ) -> Result<CampaignJournal, JournalError> {
+        let journal = CampaignJournal::create_with(path, header, sync_every)?;
+        journal.append_line(&meta.to_json())?;
+        journal.sync_now()?;
+        Ok(journal)
+    }
+
+    /// Reopens `path` for appending further rows (resume), with the default
+    /// fsync interval ([`DEFAULT_SYNC_ROWS`]).
+    pub fn append_to(path: &Path) -> Result<CampaignJournal, JournalError> {
+        CampaignJournal::append_to_with(path, DEFAULT_SYNC_ROWS)
+    }
+
     /// Reopens `path` for appending further rows (resume). A torn final
     /// line — the shape a kill mid-write leaves behind — is trimmed back to
     /// the last complete row first, so appended rows start on a fresh line.
-    pub fn append_to(path: &Path) -> Result<CampaignJournal, JournalError> {
-        let bytes = std::fs::read(path)?;
+    /// `sync_every` as for [`CampaignJournal::create_with`].
+    pub fn append_to_with(path: &Path, sync_every: u64) -> Result<CampaignJournal, JournalError> {
+        let ctx = |e: io::Error| JournalError::from(e).with_path(path);
+        let bytes = std::fs::read(path).map_err(ctx)?;
         if !bytes.is_empty() && !bytes.ends_with(b"\n") {
             let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
-            let file = OpenOptions::new().write(true).open(path)?;
-            file.set_len(keep as u64)?;
+            let file = OpenOptions::new().write(true).open(path).map_err(ctx)?;
+            file.set_len(keep as u64).map_err(ctx)?;
         }
-        let file = OpenOptions::new().append(true).open(path)?;
+        let file = OpenOptions::new().append(true).open(path).map_err(ctx)?;
         Ok(CampaignJournal {
-            writer: Mutex::new(BufWriter::new(file)),
+            path: path.display().to_string(),
+            writer: Mutex::new(SyncedWriter {
+                buf: BufWriter::new(file),
+                sync_every,
+                rows_since_sync: 0,
+            }),
         })
+    }
+
+    fn io_ctx(&self, e: io::Error) -> JournalError {
+        JournalError::Io {
+            path: self.path.clone(),
+            source: e,
+        }
     }
 
     fn append_line(&self, value: &Json) -> Result<(), JournalError> {
@@ -508,8 +705,24 @@ impl CampaignJournal {
         encode(value, &mut line);
         line.push('\n');
         let mut w = self.writer.lock().expect("journal lock poisoned");
-        w.write_all(line.as_bytes())?;
-        w.flush()?;
+        w.buf
+            .write_all(line.as_bytes())
+            .map_err(|e| self.io_ctx(e))?;
+        w.buf.flush().map_err(|e| self.io_ctx(e))?;
+        w.rows_since_sync += 1;
+        if w.sync_every > 0 && w.rows_since_sync >= w.sync_every {
+            w.buf.get_ref().sync_data().map_err(|e| self.io_ctx(e))?;
+            w.rows_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Forces the journal to stable storage now, regardless of interval.
+    pub fn sync_now(&self) -> Result<(), JournalError> {
+        let mut w = self.writer.lock().expect("journal lock poisoned");
+        w.buf.flush().map_err(|e| self.io_ctx(e))?;
+        w.buf.get_ref().sync_data().map_err(|e| self.io_ctx(e))?;
+        w.rows_since_sync = 0;
         Ok(())
     }
 
@@ -531,26 +744,69 @@ impl CampaignJournal {
     /// rows. A truncated *final* line (the kill signature) is tolerated and
     /// dropped; a malformed line anywhere else is an error.
     pub fn read(path: &Path) -> Result<(JournalHeader, Vec<JournalRow>), JournalError> {
-        let text = std::fs::read_to_string(path)?;
-        let mut lines = text.split('\n');
-        let header_line = lines
-            .next()
-            .filter(|l| !l.is_empty())
-            .ok_or_else(|| bad("empty journal (no header line)"))?;
-        let header = JournalHeader::from_json(&parse_json(header_line)?)?;
-        let rest: Vec<&str> = lines.filter(|l| !l.trim().is_empty()).collect();
+        let (header, _meta, rows) = CampaignJournal::read_inner(path, false)?;
+        Ok((header, rows))
+    }
+
+    /// Reads and validates a *shard* journal: header, the shard's
+    /// [`ShardMeta`] assignment, then the intact rows (same torn-final-line
+    /// tolerance as [`CampaignJournal::read`]).
+    pub fn read_shard(
+        path: &Path,
+    ) -> Result<(JournalHeader, ShardMeta, Vec<JournalRow>), JournalError> {
+        let (header, meta, rows) = CampaignJournal::read_inner(path, true)?;
+        let meta = meta.expect("read_inner returns meta when expected");
+        Ok((header, meta, rows))
+    }
+
+    fn read_inner(
+        path: &Path,
+        expect_meta: bool,
+    ) -> Result<(JournalHeader, Option<ShardMeta>, Vec<JournalRow>), JournalError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| JournalError::from(e).with_path(path))?;
+        let complete = text.ends_with('\n');
+        // Keep real 1-based line numbers through the blank-line filter so
+        // errors point at the exact row in the file.
+        let lines: Vec<(u64, &str)> = text
+            .split('\n')
+            .enumerate()
+            .map(|(i, l)| ((i + 1) as u64, l))
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        let Some(&(header_no, header_line)) = lines.first() else {
+            return Err(bad("empty journal (no header line)").with_path(path));
+        };
+        let header = parse_json(header_line)
+            .and_then(|v| JournalHeader::from_json(&v))
+            .map_err(|e| e.with_line(header_no).with_path(path))?;
+        let mut rest = &lines[1..];
+        let meta = if expect_meta {
+            let Some(&(meta_no, meta_line)) = rest.first() else {
+                return Err(bad("shard journal missing its shard-assignment line")
+                    .with_line(2)
+                    .with_path(path));
+            };
+            let meta = parse_json(meta_line)
+                .and_then(|v| ShardMeta::from_json(&v))
+                .map_err(|e| e.with_line(meta_no).with_path(path))?;
+            rest = &rest[1..];
+            Some(meta)
+        } else {
+            None
+        };
         let mut rows = Vec::new();
-        for (i, line) in rest.iter().enumerate() {
+        for (i, &(line_no, line)) in rest.iter().enumerate() {
             let parsed = parse_json(line).and_then(|v| row_from_json(&v));
             match parsed {
                 Ok(row) => rows.push(row),
                 // Only the final line may be damaged (the append was cut
                 // mid-write); anything earlier means real corruption.
-                Err(_) if i + 1 == rest.len() && !text.ends_with('\n') => break,
-                Err(e) => return Err(e),
+                Err(_) if i + 1 == rest.len() && !complete => break,
+                Err(e) => return Err(e.with_line(line_no).with_path(path)),
             }
         }
-        Ok((header, rows))
+        Ok((header, meta, rows))
     }
 }
 
@@ -782,6 +1038,10 @@ fn cause_to_json(cause: &TermCause) -> Json {
             ],
         ),
         TermCause::Hang => kv("hang", vec![]),
+        TermCause::ShardLost { shard } => kv(
+            "shard_lost",
+            vec![("shard".into(), Json::Num(*shard as i128))],
+        ),
     }
 }
 
@@ -806,6 +1066,9 @@ fn cause_from_json(v: &Json) -> Result<TermCause, JournalError> {
             code: v.i64("code")?,
         },
         "hang" => TermCause::Hang,
+        "shard_lost" => TermCause::ShardLost {
+            shard: v.u64("shard")?,
+        },
         other => return Err(bad(format!("unknown termination cause `{other}`"))),
     })
 }
@@ -818,10 +1081,18 @@ fn outcome_kind_to_json(outcome: &Outcome) -> Json {
             ("kind".into(), Json::Str("terminated".into())),
             ("cause".into(), cause_to_json(cause)),
         ]),
-        Outcome::HarnessFault { run_idx, payload } => Json::Obj(vec![
+        Outcome::HarnessFault {
+            run_idx,
+            payload,
+            cause,
+        } => Json::Obj(vec![
             ("kind".into(), Json::Str("harness_fault".into())),
             ("run_idx".into(), Json::Num(*run_idx as i128)),
             ("payload".into(), Json::Str(payload.clone())),
+            (
+                "cause".into(),
+                cause.as_ref().map_or(Json::Null, cause_to_json),
+            ),
         ]),
     }
 }
@@ -836,6 +1107,10 @@ fn outcome_kind_from_json(v: &Json) -> Result<Outcome, JournalError> {
         "harness_fault" => Outcome::HarnessFault {
             run_idx: v.u64("run_idx")?,
             payload: v.str("payload")?.to_string(),
+            cause: match v.get("cause") {
+                Some(Json::Null) | None => None,
+                Some(c) => Some(cause_from_json(c)?),
+            },
         },
         other => return Err(bad(format!("unknown outcome kind `{other}`"))),
     })
@@ -995,6 +1270,12 @@ mod tests {
             Outcome::HarnessFault {
                 run_idx: 7,
                 payload: "index out of bounds: \"quoted\"".into(),
+                cause: None,
+            },
+            Outcome::HarnessFault {
+                run_idx: 8,
+                payload: "shard 3 lost".into(),
+                cause: Some(TermCause::ShardLost { shard: 3 }),
             },
         ] {
             let mut o = sample_outcome();

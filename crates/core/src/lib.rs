@@ -64,6 +64,7 @@ mod outcome;
 mod plugin;
 mod provenance;
 mod session;
+mod shard;
 mod spec;
 mod tracer;
 
@@ -77,7 +78,8 @@ pub use injector::{
 };
 pub use insn_trace::{InsnLevelTracer, InsnTraceHandle, InsnTraceSummary};
 pub use journal::{
-    golden_digest, CampaignJournal, JournalError, JournalHeader, JournalRow, JOURNAL_VERSION,
+    golden_digest, CampaignJournal, JournalError, JournalHeader, JournalRow, ShardMeta,
+    DEFAULT_SYNC_ROWS, JOURNAL_VERSION,
 };
 pub use models::{
     DeterministicInjector, GroupInjector, IntermittentInjector, ProbabilisticInjector,
@@ -92,6 +94,11 @@ pub use session::{
     prepare_app, profile_app, run_app, run_app_insn_traced, run_prepared, run_warm, warm_start_for,
     AppSpec, Chaser, HookRegistry, PreparedApp, RunOptions, RunReport, SnapshotStats, WarmStart,
     WarmStartOptions,
+};
+pub use shard::{
+    is_shard_lost, merge_shard_journals, shard_journal_path, ChaosKind, ShardChaos, ShardError,
+    ShardPlan, ShardReport, ShardStats, ShardSupervision, ShardWorkers, ENV_SHARD_ATTEMPT,
+    ENV_SHARD_CHAOS, ENV_SHARD_END, ENV_SHARD_INDEX, ENV_SHARD_JOURNAL, ENV_SHARD_START,
 };
 
 // Re-exported so cache-aware callers (benches, campaign analyses) can name
@@ -119,6 +126,8 @@ mod serde_surface_tests {
         assert_serde::<crate::TermCause>();
         assert_serde::<crate::RunOutcome>();
         assert_serde::<crate::CampaignResult>();
+        assert_serde::<crate::ShardStats>();
+        assert_serde::<crate::ShardReport>();
         assert_serde::<crate::ProvenanceGraph>();
         assert_serde::<crate::ProvEvent>();
         assert_serde::<crate::MsgEdge>();

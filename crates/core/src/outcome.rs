@@ -40,6 +40,14 @@ pub enum TermCause {
     },
     /// The job stopped making progress (deadlock or runaway loop).
     Hang,
+    /// The shard supervisor abandoned the worker that owned this run after
+    /// exhausting its retry budget; the run index was quarantined without a
+    /// verdict. Appears only as the `cause` of a degraded
+    /// [`Outcome::HarnessFault`] row, never as a target outcome.
+    ShardLost {
+        /// The shard whose workers kept dying.
+        shard: u64,
+    },
 }
 
 impl TermCause {
@@ -70,6 +78,9 @@ impl fmt::Display for TermCause {
                 write!(f, "rank {rank} exited with code {code}")
             }
             TermCause::Hang => write!(f, "hang"),
+            TermCause::ShardLost { shard } => {
+                write!(f, "shard {shard} lost (worker retries exhausted)")
+            }
         }
     }
 }
@@ -93,6 +104,10 @@ pub enum Outcome {
         run_idx: u64,
         /// The panic payload, sanitised to a single CSV-safe line.
         payload: String,
+        /// Why the harness gave up, when it was not a panic: `None` for the
+        /// classic quarantined-panic row, `Some(TermCause::ShardLost { .. })`
+        /// for a run degraded because its shard's workers kept dying.
+        cause: Option<TermCause>,
     },
 }
 
@@ -115,7 +130,9 @@ impl fmt::Display for Outcome {
             Outcome::Benign => write!(f, "benign"),
             Outcome::Sdc => write!(f, "SDC"),
             Outcome::Terminated(cause) => write!(f, "terminated ({cause})"),
-            Outcome::HarnessFault { run_idx, payload } => {
+            Outcome::HarnessFault {
+                run_idx, payload, ..
+            } => {
                 write!(f, "harness fault (run {run_idx}: {payload})")
             }
         }
@@ -430,6 +447,7 @@ mod tests {
         let o = Outcome::HarnessFault {
             run_idx: 3,
             payload: "boom".into(),
+            cause: None,
         };
         assert!(o.is_harness_fault());
         assert!(!o.is_detected());

@@ -86,9 +86,17 @@ fn resume_rejects_a_truncated_header() {
         header[..header.len() / 2].to_string()
     })
     .expect_err("torn header must not resume");
+    match &err {
+        chaser::JournalError::Malformed { path, line, .. } => {
+            // Satellite: errors must name the offending journal and line.
+            assert!(path.ends_with("campaign.jsonl"), "path context: {path:?}");
+            assert_eq!(*line, 1, "header lives on line 1");
+        }
+        other => panic!("unexpected error: {other}"),
+    }
     assert!(
-        matches!(err, chaser::JournalError::Malformed(_)),
-        "unexpected error: {err}"
+        err.to_string().contains("campaign.jsonl:1"),
+        "display carries path:line context: {err}"
     );
 }
 
@@ -103,10 +111,13 @@ fn resume_rejects_corruption_before_the_final_row() {
         format!("{}\n", lines.join("\n"))
     })
     .expect_err("mid-journal corruption must not resume");
-    assert!(
-        matches!(err, chaser::JournalError::Malformed(_)),
-        "unexpected error: {err}"
-    );
+    match &err {
+        chaser::JournalError::Malformed { path, line, .. } => {
+            assert!(path.ends_with("campaign.jsonl"), "path context: {path:?}");
+            assert_eq!(*line, 3, "corrupted row lives on line 3");
+        }
+        other => panic!("unexpected error: {other}"),
+    }
 }
 
 proptest! {

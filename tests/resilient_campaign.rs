@@ -56,9 +56,15 @@ fn panics_and_budget_stops_are_quarantined_not_fatal() {
     assert_eq!(faults.len(), 1);
     assert_eq!(faults[0].run_idx, 3);
     match &faults[0].outcome {
-        Outcome::HarnessFault { run_idx, payload } => {
+        Outcome::HarnessFault {
+            run_idx,
+            payload,
+            cause,
+        } => {
             assert_eq!(*run_idx, 3);
             assert!(payload.contains("forced harness panic"), "{payload}");
+            // A quarantined panic is not a degraded shard row.
+            assert_eq!(*cause, None);
         }
         other => panic!("expected a harness fault, got {other}"),
     }
@@ -176,8 +182,14 @@ fn tampered_or_foreign_journals_are_rejected() {
     let mut other = cfg.clone();
     other.seed ^= 1;
     match campaign(other).resume(&path) {
-        Err(JournalError::HeaderMismatch { expected, found }) => {
+        Err(JournalError::HeaderMismatch {
+            path,
+            expected,
+            found,
+        }) => {
             assert_ne!(expected.seed, found.seed);
+            // Satellite: header-mismatch errors name the offending file.
+            assert!(path.ends_with(".jsonl"), "path context: {path:?}");
         }
         other => panic!("foreign journal accepted: {other:?}"),
     }
@@ -201,7 +213,9 @@ fn tampered_or_foreign_journals_are_rejected() {
     );
     fs::write(&path, tampered).expect("tamper");
     match campaign(cfg).resume(&path) {
-        Err(JournalError::HeaderMismatch { expected, found }) => {
+        Err(JournalError::HeaderMismatch {
+            expected, found, ..
+        }) => {
             assert_ne!(expected.golden_digest, found.golden_digest);
         }
         other => panic!("tampered journal accepted: {other:?}"),
