@@ -32,6 +32,17 @@ cargo run --release --offline -p chaser-bench --bin warm_start_smoke
 # warm-started and journal-resumed executions of the same seed.
 cargo run --release --offline -p chaser-bench --bin provenance_smoke
 
+# Serve smoke: campaign-as-a-service end to end. Starts the daemon on a
+# Unix socket, submits two concurrent tenant campaigns (thread and
+# subprocess shard workers), kills one subprocess shard worker
+# mid-campaign and requires supervisor recovery, then diffs both jobs'
+# merged CSVs against standalone run_journaled references. A second
+# daemon is drained mid-campaign (run-granular checkpoint) and restarted
+# over the same state directory; the resumed job's merged output must be
+# byte-identical to standalone. Also gates the warmed prepared-app pool
+# (same-key campaigns must share one PreparedApp).
+cargo run --release --offline -p chaser-bench --bin serve_smoke
+
 # Hot-path perf smoke: prove the tb_chaining / taint_fast_path knobs
 # observationally inert (outcome CSV, provenance exports, state digest
 # byte-identical), then require >=2x engine throughput with both knobs on

@@ -4,6 +4,9 @@
 //!
 //! Interactive: `cargo run --release -p chaser-bench --bin chaser_cli`
 //! Scripted:    `... --bin chaser_cli -- --script "load lud; inject_fault lud fmul 100 51; run; quit"`
+//! Service:     `... --bin chaser_cli -- serve /tmp/chaser.sock /tmp/chaser-state`
+//!              then `submit`, `status`, `results` and `drain` against the
+//!              same endpoint (campaign-as-a-service; see chaser-serve).
 
 use chaser::analysis::TraceAnalysis;
 use chaser::{
@@ -118,10 +121,44 @@ impl Cli {
                 ),
             },
             "campaign" => {
-                let runs = parts.next().and_then(|s| s.parse().ok()).unwrap_or(50);
-                let shards = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
-                let subprocess = parts.next() == Some("proc");
-                self.run_campaign(runs, shards, subprocess);
+                let mut runs = 50;
+                let mut shards = 0;
+                let mut subprocess = false;
+                let mut knobs = CampaignKnobs::default();
+                let mut positional = 0;
+                for tok in parts {
+                    let parsed = if let Some(v) = tok.strip_prefix("sync=") {
+                        knobs.sync = v.parse().ok();
+                        knobs.sync.is_some()
+                    } else if let Some(v) = tok.strip_prefix("hb=") {
+                        knobs.heartbeat_ms = v.parse().ok();
+                        knobs.heartbeat_ms.is_some()
+                    } else if let Some(v) = tok.strip_prefix("retries=") {
+                        knobs.retries = v.parse().ok();
+                        knobs.retries.is_some()
+                    } else if tok == "proc" {
+                        subprocess = true;
+                        true
+                    } else if let Ok(n) = tok.parse::<u64>() {
+                        match positional {
+                            0 => runs = n,
+                            1 => shards = n,
+                            _ => {}
+                        }
+                        positional += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    if !parsed {
+                        println!(
+                            "unrecognised campaign argument `{tok}` \
+                             (usage: campaign [runs] [shards] [proc] [sync=N] [hb=MS] [retries=N])"
+                        );
+                        return true;
+                    }
+                }
+                self.run_campaign(runs, shards, subprocess, &knobs);
             }
             "commands" => {
                 for spec in self.chaser.commands() {
@@ -310,13 +347,17 @@ impl Cli {
     /// `warm` toggle, and dumps outcome counts plus snapshot statistics.
     /// With `shards > 1` the campaign runs under the shard supervisor —
     /// in-process worker threads by default, or self-exec subprocess
-    /// workers (the hidden `shard-worker` mode) with `subprocess`.
-    fn run_campaign(&self, runs: u64, shards: u64, subprocess: bool) {
+    /// workers (the hidden `shard-worker` mode) with `subprocess`. The
+    /// `knobs` override the operational defaults (journal fsync cadence,
+    /// heartbeat timeout, retry budget); operational knobs are not part of
+    /// the config fingerprint, so subprocess workers need not see them.
+    fn run_campaign(&self, runs: u64, shards: u64, subprocess: bool, knobs: &CampaignKnobs) {
         let Some(app) = self.app.clone() else {
             println!("no app loaded (use `load <app>` first)");
             return;
         };
         let mut cfg = campaign_config(runs, shards, self.warm_start);
+        knobs.apply(&mut cfg);
         if subprocess {
             let Some((name, size, ranks)) = &self.loaded else {
                 println!("subprocess shards need a `load`-ed app");
@@ -424,9 +465,39 @@ impl Cli {
         println!("  run                          execute the armed injection (traced)");
         println!("  trace [dot]                  run and walk the propagation provenance graph");
         println!("  warm [on|off]                toggle campaign warm start (CoW checkpoint)");
-        println!("  campaign [runs] [shards] [proc]  run an FI campaign (sharded when");
-        println!("                               shards > 1; `proc` = subprocess workers)");
+        println!("  campaign [runs] [shards] [proc] [sync=N] [hb=MS] [retries=N]");
+        println!("                               run an FI campaign (sharded when shards > 1;");
+        println!("                               `proc` = subprocess workers; sync = fsync every");
+        println!("                               N journal rows, hb = heartbeat timeout ms,");
+        println!("                               retries = worker relaunch budget)");
         println!("  quit                         leave");
+    }
+}
+
+/// Operational campaign overrides from `campaign ... key=value` tokens.
+/// All deliberately outside the config fingerprint: they tune durability
+/// and supervision timing, never outcomes.
+#[derive(Debug, Default)]
+struct CampaignKnobs {
+    /// `sync=N`: fsync the journal every N rows (0 = never).
+    sync: Option<u64>,
+    /// `hb=MS`: shard heartbeat timeout in milliseconds.
+    heartbeat_ms: Option<u64>,
+    /// `retries=N`: worker relaunches before a shard is quarantined.
+    retries: Option<u32>,
+}
+
+impl CampaignKnobs {
+    fn apply(&self, cfg: &mut CampaignConfig) {
+        if let Some(sync) = self.sync {
+            cfg.journal_sync_rows = sync;
+        }
+        if let Some(hb) = self.heartbeat_ms {
+            cfg.shard_supervision.heartbeat_timeout_ms = hb;
+        }
+        if let Some(retries) = self.retries {
+            cfg.shard_supervision.max_retries = retries;
+        }
     }
 }
 
@@ -482,10 +553,207 @@ fn shard_worker_main(args: &[String]) -> ! {
     }
 }
 
+/// `chaser_cli serve <endpoint> <state-dir> [queue=N] [concurrent=N]
+/// [pool=N] [budget=N]` — run the campaign daemon until a client drains
+/// it. The endpoint is `tcp:<addr>` or a Unix socket path.
+fn serve_main(args: &[String]) -> ! {
+    let fail = |msg: String| -> ! {
+        eprintln!("serve: {msg}");
+        std::process::exit(1);
+    };
+    let [endpoint, state_dir, rest @ ..] = args else {
+        fail(
+            "usage: serve <endpoint> <state-dir> [queue=N] [concurrent=N] [pool=N] [budget=N]"
+                .to_string(),
+        );
+    };
+    let mut cfg = chaser_serve::ServeConfig::default();
+    for tok in rest {
+        let parsed = if let Some(v) = tok.strip_prefix("queue=") {
+            v.parse().map(|n| cfg.max_queue = n).is_ok()
+        } else if let Some(v) = tok.strip_prefix("concurrent=") {
+            v.parse().map(|n| cfg.max_concurrent = n).is_ok()
+        } else if let Some(v) = tok.strip_prefix("pool=") {
+            v.parse().map(|n| cfg.pool_capacity = n).is_ok()
+        } else if let Some(v) = tok.strip_prefix("budget=") {
+            v.parse().map(|n| cfg.tenant_run_budget = n).is_ok()
+        } else {
+            false
+        };
+        if !parsed {
+            fail(format!("unrecognised serve option `{tok}`"));
+        }
+    }
+    let daemon = match chaser_serve::Daemon::start(endpoint, std::path::Path::new(state_dir), cfg) {
+        Ok(d) => d,
+        Err(e) => fail(e.to_string()),
+    };
+    println!("chaser daemon listening on {endpoint} (state in {state_dir}); drain to stop");
+    daemon.wait();
+    println!("chaser daemon drained");
+    std::process::exit(0);
+}
+
+/// Hidden serve-worker mode: the daemon's subprocess shard workers
+/// self-exec `chaser_cli serve-worker` with the shard assignment in the
+/// `CHASER_SHARD_*` environment and the campaign spec in the job
+/// directory's `spec.json`.
+fn serve_worker_main() -> ! {
+    match chaser_serve::shard_worker_from_spec_env() {
+        Ok(true) => std::process::exit(0),
+        Ok(false) => {
+            eprintln!("serve-worker: no shard assignment in the environment");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("serve-worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `chaser_cli submit <endpoint> <spec.json>` — submit a campaign and
+/// stream its journal rows until the job finishes, checkpoints or fails.
+fn submit_main(args: &[String]) -> ! {
+    let fail = |msg: String| -> ! {
+        eprintln!("submit: {msg}");
+        std::process::exit(1);
+    };
+    let [endpoint, spec_path] = args else {
+        fail("usage: submit <endpoint> <spec.json>".to_string());
+    };
+    let line = std::fs::read_to_string(spec_path)
+        .unwrap_or_else(|e| fail(format!("cannot read {spec_path}: {e}")));
+    let spec = chaser_serve::CampaignSpec::from_line(&line).unwrap_or_else(|e| fail(e.to_string()));
+    let mut rows = 0u64;
+    let terminal = chaser_serve::submit(endpoint, &spec, |job, row| {
+        let mut text = String::new();
+        chaser::encode_json(row, &mut text);
+        println!("job {job}: {text}");
+        rows += 1;
+    })
+    .unwrap_or_else(|e| fail(e.to_string()));
+    match terminal {
+        chaser_serve::Frame::Done {
+            job,
+            outcomes,
+            skipped,
+            quarantined,
+        } => {
+            println!(
+                "job {job} done: {outcomes} outcome(s), {skipped} skipped, \
+                 {quarantined} quarantined ({rows} row(s) streamed)"
+            );
+            std::process::exit(0);
+        }
+        chaser_serve::Frame::Checkpointed { job, missing } => {
+            println!(
+                "job {job} checkpointed with {missing} run(s) unfinished; \
+                 it resumes when the daemon restarts"
+            );
+            std::process::exit(0);
+        }
+        chaser_serve::Frame::Failed { job, reason } => fail(format!("job {job} failed: {reason}")),
+        other => fail(format!("unexpected terminal frame {other:?}")),
+    }
+}
+
+/// `chaser_cli status <endpoint>` — print the daemon's queue, pool and
+/// per-job state.
+fn status_main(args: &[String]) -> ! {
+    let [endpoint] = args else {
+        eprintln!("status: usage: status <endpoint>");
+        std::process::exit(1);
+    };
+    let report = match chaser_serve::status(endpoint) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("status: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "daemon: {} | queue depth {} (high water {})",
+        if report.draining {
+            "draining"
+        } else {
+            "accepting"
+        },
+        report.queue_depth,
+        report.pool.queue_depth_hwm
+    );
+    println!(
+        "prepared-app pool: {} hit(s), {} miss(es), {} eviction(s)",
+        report.pool.prepared_hits, report.pool.prepared_misses, report.pool.prepared_evictions
+    );
+    for j in &report.jobs {
+        println!(
+            "  job {} tenant {} runs {} -> {}",
+            j.job, j.tenant, j.runs, j.state
+        );
+    }
+    std::process::exit(0);
+}
+
+/// `chaser_cli results <endpoint> <job> [--stats|--shards|--pool]` —
+/// print a finished job's merged CSV (outcome CSV by default).
+fn results_main(args: &[String]) -> ! {
+    let fail = |msg: String| -> ! {
+        eprintln!("results: {msg}");
+        std::process::exit(1);
+    };
+    let (endpoint, job, which) = match args {
+        [endpoint, job] => (endpoint, job, "--outcome"),
+        [endpoint, job, which] => (endpoint, job, which.as_str()),
+        _ => fail("usage: results <endpoint> <job> [--stats|--shards|--pool]".to_string()),
+    };
+    let job: u64 = job
+        .parse()
+        .unwrap_or_else(|_| fail(format!("job id is not a number: `{job}`")));
+    let r = chaser_serve::results(endpoint, job).unwrap_or_else(|e| fail(e.to_string()));
+    let csv = match which {
+        "--outcome" => &r.outcome_csv,
+        "--stats" => &r.stats_csv,
+        "--shards" => &r.shard_csv,
+        "--pool" => &r.pool_csv,
+        other => fail(format!("unknown artifact `{other}`")),
+    };
+    print!("{csv}");
+    std::process::exit(0);
+}
+
+/// `chaser_cli drain <endpoint>` — gracefully shut the daemon down.
+fn drain_main(args: &[String]) -> ! {
+    let [endpoint] = args else {
+        eprintln!("drain: usage: drain <endpoint>");
+        std::process::exit(1);
+    };
+    match chaser_serve::drain(endpoint) {
+        Ok((finished, checkpointed)) => {
+            println!(
+                "daemon drained: {finished} job(s) finished, \
+                 {checkpointed} checkpointed (resumable on restart)"
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("drain: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
-    if argv.get(1).map(String::as_str) == Some("shard-worker") {
-        shard_worker_main(&argv[2..]);
+    match argv.get(1).map(String::as_str) {
+        Some("shard-worker") => shard_worker_main(&argv[2..]),
+        Some("serve") => serve_main(&argv[2..]),
+        Some("serve-worker") => serve_worker_main(),
+        Some("submit") => submit_main(&argv[2..]),
+        Some("status") => status_main(&argv[2..]),
+        Some("results") => results_main(&argv[2..]),
+        Some("drain") => drain_main(&argv[2..]),
+        _ => {}
     }
     let mut cli = Cli::new();
 

@@ -1,0 +1,263 @@
+//! CI smoke test for campaign-as-a-service: starts the daemon on a Unix
+//! socket, submits two concurrent tenant campaigns — one on thread shard
+//! workers, one on subprocess workers whose shard 1 worker is killed
+//! mid-campaign (exit(9), the SIGKILL shape) and must be recovered by the
+//! shard supervisor — and diffs both jobs' merged CSVs against standalone
+//! `run_journaled` references. Then the drain stages: a second daemon runs
+//! a long campaign, `drain` checkpoints it mid-flight, and a daemon
+//! restarted over the same state directory resumes it from its shard
+//! journals to a byte-identical merged CSV.
+//!
+//! `cargo run --release -p chaser-bench --bin serve_smoke`
+//! (self-execs with a `--serve-worker` argv as its own subprocess worker)
+//!
+//! Exits non-zero (panics) on any divergence; prints a one-line summary
+//! per stage otherwise.
+
+use chaser::{Campaign, ChaosKind, ShardChaos, ShardSupervision};
+use chaser_isa::InsnClass;
+use chaser_serve::{drain, results, status, submit, CampaignSpec, Daemon, Frame, ServeConfig};
+use std::fs;
+use std::path::Path;
+
+fn self_exec_argv() -> Vec<String> {
+    let exe = std::env::current_exe().expect("own binary");
+    vec![exe.display().to_string(), "--serve-worker".to_string()]
+}
+
+/// The standalone reference: the same spec through `run_journaled`, with
+/// the chaos directives cleared (chaos is operational, not fingerprinted —
+/// it harasses shard workers, and the reference has none).
+fn standalone(spec: &CampaignSpec, journal: &Path) -> chaser::CampaignResult {
+    let (app, mut cfg) = spec.build().expect("spec builds");
+    cfg.shard_chaos.clear();
+    Campaign::new(app, cfg)
+        .run_journaled(journal)
+        .expect("standalone campaign")
+}
+
+fn submit_counting(endpoint: &str, spec: &CampaignSpec) -> (u64, u64, Frame) {
+    let mut rows = 0u64;
+    let mut job = 0u64;
+    let terminal = submit(endpoint, spec, |j, _| {
+        job = j;
+        rows += 1;
+    })
+    .expect("submit");
+    (job, rows, terminal)
+}
+
+/// Parses the `attempts` column for `shard` out of a `shards.csv` payload.
+fn shard_attempts(shard_csv: &str, shard: u64) -> u64 {
+    shard_csv
+        .lines()
+        .skip(1)
+        .map(|line| {
+            let cols: Vec<&str> = line.split(',').collect();
+            (
+                cols[0].parse::<u64>().expect("shard id"),
+                cols[3].parse::<u64>().expect("attempts"),
+            )
+        })
+        .find(|(id, _)| *id == shard)
+        .map(|(_, attempts)| attempts)
+        .unwrap_or_else(|| panic!("shard {shard} missing from shards.csv:\n{shard_csv}"))
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--serve-worker") {
+        // Subprocess shard worker: the campaign spec lives in the job
+        // directory's spec.json, the shard assignment in CHASER_SHARD_*.
+        match chaser_serve::shard_worker_from_spec_env() {
+            Ok(true) => return,
+            Ok(false) => panic!("--serve-worker launched without a shard environment"),
+            Err(e) => panic!("serve worker: {e}"),
+        }
+    }
+    let dir = std::env::temp_dir().join(format!("chaser-serve-smoke-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir");
+
+    // Stage 1: daemon up, two tenants submitting concurrently. Both specs
+    // share every prepare-relevant field, so the second admission must hit
+    // the warmed prepared-app pool.
+    let endpoint = dir.join("sock").display().to_string();
+    let daemon = Daemon::start(
+        &endpoint,
+        &dir.join("state"),
+        ServeConfig {
+            max_concurrent: 2,
+            worker_argv: Some(self_exec_argv()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon starts");
+    println!("daemon: listening on {endpoint}");
+
+    let alice = CampaignSpec {
+        tenant: "alice".into(),
+        runs: 16,
+        seed: 0xA11CE,
+        classes: vec![InsnClass::Mov],
+        shards: 2,
+        ..CampaignSpec::default()
+    };
+    // Bob rides subprocess workers, and chaos kills shard 1's first worker
+    // after two journaled rows — the daemon's shard supervisor must
+    // relaunch it and resume the shard journal.
+    let bob = CampaignSpec {
+        tenant: "bob".into(),
+        runs: 18,
+        seed: 0xB0B,
+        classes: vec![InsnClass::Mov],
+        shards: 3,
+        subprocess_workers: true,
+        supervision: ShardSupervision {
+            backoff_base_ms: 1,
+            backoff_cap_ms: 10,
+            ..ShardSupervision::default()
+        },
+        chaos: vec![ShardChaos {
+            shard: 1,
+            after_rows: 2,
+            attempts: 1,
+            kind: ChaosKind::Kill,
+        }],
+        ..CampaignSpec::default()
+    };
+    let ((job_a, rows_a, term_a), (job_b, rows_b, term_b)) = std::thread::scope(|s| {
+        let (ep_a, ep_b) = (endpoint.clone(), endpoint.clone());
+        let (alice, bob) = (&alice, &bob);
+        let ha = s.spawn(move || submit_counting(&ep_a, alice));
+        let hb = s.spawn(move || submit_counting(&ep_b, bob));
+        (ha.join().expect("alice"), hb.join().expect("bob"))
+    });
+    assert!(
+        matches!(term_a, Frame::Done { quarantined: 0, .. }),
+        "{term_a:?}"
+    );
+    assert!(
+        matches!(term_b, Frame::Done { quarantined: 0, .. }),
+        "{term_b:?}"
+    );
+    println!("submitted: alice streamed {rows_a} row(s), bob streamed {rows_b} row(s)");
+
+    // Stage 2: both merged CSVs byte-identical to standalone references.
+    for (spec, job, name) in [(&alice, job_a, "alice"), (&bob, job_b, "bob")] {
+        let served = results(&endpoint, job).expect("results");
+        let reference = standalone(spec, &dir.join(format!("{name}.jsonl")));
+        assert_eq!(
+            served.outcome_csv,
+            reference.to_csv(),
+            "{name}: served outcome CSV diverged from standalone"
+        );
+        assert_eq!(
+            served.stats_csv,
+            reference.stats_csv(),
+            "{name}: served stats CSV diverged from standalone"
+        );
+    }
+    println!("byte-identity: both jobs match their standalone run_journaled references");
+
+    // Stage 3: the kill was real — shard 1 of bob's job took >1 attempt —
+    // and the pool shared one prepared app across the two tenants.
+    let bob_shards = results(&endpoint, job_b).expect("results").shard_csv;
+    let attempts = shard_attempts(&bob_shards, 1);
+    assert!(
+        attempts >= 2,
+        "killed worker must have been relaunched, got {attempts} attempt(s)"
+    );
+    let report = status(&endpoint).expect("status");
+    assert!(
+        report.pool.prepared_hits >= 1,
+        "same-key campaigns must share a prepared app: {:?}",
+        report.pool
+    );
+    let (finished, checkpointed) = drain(&endpoint).expect("drain");
+    assert_eq!((finished, checkpointed), (2, 0));
+    daemon.wait();
+    println!(
+        "recovery: shard 1 took {attempts} attempts after its worker was killed; \
+         pool served {} hit(s); daemon drained",
+        report.pool.prepared_hits
+    );
+
+    // Stage 4: drain checkpoints a long in-flight campaign mid-run.
+    let state2 = dir.join("state2");
+    let cfg2 = ServeConfig {
+        max_concurrent: 1,
+        ..ServeConfig::default()
+    };
+    let daemon2 = Daemon::start(&endpoint, &state2, cfg2.clone()).expect("second daemon");
+    // Long and slow on purpose (taint tracing, one worker thread): the
+    // drain below must land while runs are still in flight.
+    let carol = CampaignSpec {
+        tenant: "carol".into(),
+        runs: 200,
+        seed: 0xCA201,
+        classes: vec![InsnClass::Mov],
+        tracing: true,
+        shards: 2,
+        parallelism: 1,
+        ..CampaignSpec::default()
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let terminal = std::thread::scope(|s| {
+        let ep = endpoint.clone();
+        let carol = &carol;
+        let h = s.spawn(move || {
+            submit(&ep, carol, move |_, _| {
+                let _ = tx.send(());
+            })
+            .expect("submit carol")
+        });
+        rx.recv().expect("first streamed row");
+        let (finished, checkpointed) = drain(&endpoint).expect("mid-flight drain");
+        assert_eq!((finished, checkpointed), (0, 1));
+        h.join().expect("carol submitter")
+    });
+    let Frame::Checkpointed { job, missing } = terminal else {
+        panic!("expected a checkpointed job, got {terminal:?}");
+    };
+    assert!(missing > 0);
+    daemon2.wait();
+    println!("drain: job {job} checkpointed with {missing} run(s) unfinished");
+
+    // Stage 5: a restarted daemon requeues the checkpointed job, resumes
+    // it from its shard journals, and the merged output is byte-identical.
+    let daemon3 = Daemon::start(&endpoint, &state2, cfg2).expect("daemon restarts");
+    loop {
+        let report = status(&endpoint).expect("status");
+        let state = report
+            .jobs
+            .iter()
+            .find(|j| j.job == job)
+            .expect("job survives restart")
+            .state
+            .clone();
+        match state.as_str() {
+            "done" => break,
+            "queued" | "running" => std::thread::sleep(std::time::Duration::from_millis(20)),
+            other => panic!("resumed job reached `{other}`"),
+        }
+    }
+    let served = results(&endpoint, job).expect("resumed results");
+    let reference = standalone(&carol, &dir.join("carol.jsonl"));
+    assert_eq!(
+        served.outcome_csv,
+        reference.to_csv(),
+        "resumed outcome CSV diverged from standalone"
+    );
+    assert_eq!(
+        served.stats_csv,
+        reference.stats_csv(),
+        "resumed stats CSV diverged from standalone"
+    );
+    let (finished, checkpointed) = drain(&endpoint).expect("final drain");
+    assert_eq!((finished, checkpointed), (1, 0));
+    daemon3.wait();
+    println!("resume: restarted daemon finished job {job} byte-identical to standalone");
+
+    let _ = fs::remove_dir_all(&dir);
+    println!("serve smoke: OK");
+}

@@ -37,6 +37,25 @@ pub enum RankPool {
     Random,
 }
 
+impl RankPool {
+    /// The wire name used by campaign specs (`"master"` / `"random"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RankPool::Master => "master",
+            RankPool::Random => "random",
+        }
+    }
+
+    /// Parses a wire name back into a pool; `None` on unknown names.
+    pub fn from_name(s: &str) -> Option<RankPool> {
+        match s {
+            "master" => Some(RankPool::Master),
+            "random" => Some(RankPool::Random),
+            _ => None,
+        }
+    }
+}
+
 /// Campaign parameters.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -301,6 +320,39 @@ impl TerminationBreakdown {
     }
 }
 
+/// Service-side counters stamped onto a campaign that ran under the
+/// `chaser-serve` daemon: how the shared prepared-app pool treated this
+/// job's key, and how deep the admission queue got while it waited. All
+/// zero for standalone campaigns — and deliberately *never* part of the
+/// outcome or per-run stats CSVs, which must stay byte-identical between
+/// served and standalone executions of the same seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Campaigns that found their warmed [`crate::PreparedApp`] already in
+    /// the pool.
+    pub prepared_hits: u64,
+    /// Campaigns that had to prepare (golden + profiling run, base cache,
+    /// warm-start snapshot) from scratch.
+    pub prepared_misses: u64,
+    /// Prepared apps evicted to make room (LRU order).
+    pub prepared_evictions: u64,
+    /// High-water mark of the daemon's admission queue depth.
+    pub queue_depth_hwm: u64,
+}
+
+impl PoolStats {
+    /// Renders the pool counters as CSV (header + one row). A separate
+    /// artifact from [`CampaignResult::stats_csv`] for the same reason
+    /// [`ShardStats::to_csv`] is: service facts must not perturb the
+    /// byte-identity of the per-run CSVs.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "prepared_hits,prepared_misses,prepared_evictions,queue_depth_hwm\n{},{},{},{}\n",
+            self.prepared_hits, self.prepared_misses, self.prepared_evictions, self.queue_depth_hwm,
+        )
+    }
+}
+
 /// Everything a finished campaign knows.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
@@ -335,6 +387,11 @@ pub struct CampaignResult {
     /// facts, and the per-run stats CSV must stay byte-identical between
     /// sharded and unsharded executions of the same seed.
     pub shard_stats: ShardStats,
+    /// Prepared-app pool and admission-queue counters; all zero unless the
+    /// campaign ran under the `chaser-serve` daemon, which stamps them on.
+    /// Rendered by [`PoolStats::to_csv`], never folded into the per-run
+    /// CSVs.
+    pub pool_stats: PoolStats,
 }
 
 impl CampaignResult {
@@ -975,6 +1032,7 @@ impl Campaign {
             engine_stats,
             parallel_stats,
             shard_stats: ShardStats::default(),
+            pool_stats: PoolStats::default(),
         }
     }
 
@@ -1116,6 +1174,7 @@ mod tests {
             engine_stats: EngineStats::default(),
             parallel_stats: ParallelStats::default(),
             shard_stats: ShardStats::default(),
+            pool_stats: PoolStats::default(),
         }
     }
 
@@ -1193,6 +1252,32 @@ mod tests {
             outcome(Outcome::Benign, 2, 5, 0),  // more writes: none of the three
         ]);
         assert_eq!(r.read_write_split(), (1, 1, 1));
+    }
+
+    #[test]
+    fn pool_stats_csv_is_header_plus_one_row() {
+        let stats = PoolStats {
+            prepared_hits: 3,
+            prepared_misses: 1,
+            prepared_evictions: 2,
+            queue_depth_hwm: 5,
+        };
+        assert_eq!(
+            stats.to_csv(),
+            "prepared_hits,prepared_misses,prepared_evictions,queue_depth_hwm\n3,1,2,5\n"
+        );
+        assert_eq!(
+            PoolStats::default().to_csv(),
+            "prepared_hits,prepared_misses,prepared_evictions,queue_depth_hwm\n0,0,0,0\n"
+        );
+    }
+
+    #[test]
+    fn rank_pool_names_round_trip() {
+        for pool in [RankPool::Master, RankPool::Random] {
+            assert_eq!(RankPool::from_name(pool.name()), Some(pool));
+        }
+        assert_eq!(RankPool::from_name("everyone"), None);
     }
 
     #[test]

@@ -45,21 +45,33 @@ pub enum Json {
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    /// Looks up `key` in an object; `None` on any other variant.
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn num(&self, key: &str) -> Result<i128, JournalError> {
+    /// The numeric field `key` of an object.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Malformed`] when the field is missing or non-numeric.
+    pub fn num(&self, key: &str) -> Result<i128, JournalError> {
         match self.get(key) {
             Some(Json::Num(n)) => Ok(*n),
             _ => Err(bad(format!("missing numeric field `{key}`"))),
         }
     }
 
-    fn u64(&self, key: &str) -> Result<u64, JournalError> {
+    /// The numeric field `key`, narrowed to `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Malformed`] when the field is missing, non-numeric,
+    /// or out of range.
+    pub fn u64(&self, key: &str) -> Result<u64, JournalError> {
         u64::try_from(self.num(key)?).map_err(|_| bad(format!("field `{key}` out of u64 range")))
     }
 
@@ -67,14 +79,21 @@ impl Json {
         i64::try_from(self.num(key)?).map_err(|_| bad(format!("field `{key}` out of i64 range")))
     }
 
-    fn str(&self, key: &str) -> Result<&str, JournalError> {
+    /// The string field `key` of an object.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Malformed`] when the field is missing or not a
+    /// string.
+    pub fn str(&self, key: &str) -> Result<&str, JournalError> {
         match self.get(key) {
             Some(Json::Str(s)) => Ok(s),
             _ => Err(bad(format!("missing string field `{key}`"))),
         }
     }
 
-    fn bool_or(&self, key: &str, default: bool) -> bool {
+    /// The boolean field `key`, or `default` when absent or non-boolean.
+    pub fn bool_or(&self, key: &str, default: bool) -> bool {
         match self.get(key) {
             Some(Json::Bool(b)) => *b,
             _ => default,
@@ -82,7 +101,11 @@ impl Json {
     }
 }
 
-pub(crate) fn encode(value: &Json, out: &mut String) {
+/// Encodes `value` canonically (no whitespace, object fields in insertion
+/// order) onto `out` — the exact encoding journal lines use, which is what
+/// makes re-encoded rows byte-comparable. Public so the serve protocol can
+/// speak the same wire format.
+pub fn encode(value: &Json, out: &mut String) {
     match value {
         Json::Null => out.push_str("null"),
         Json::Bool(true) => out.push_str("true"),
@@ -970,11 +993,18 @@ fn mpi_error_from_name(s: &str) -> Result<MpiErrorKind, JournalError> {
     })
 }
 
-fn class_name(c: InsnClass) -> String {
+/// The canonical journal name of an instruction class (its `Debug` form) —
+/// the inverse of [`class_from_name`].
+pub fn class_name(c: InsnClass) -> String {
     format!("{c:?}")
 }
 
-fn class_from_name(s: &str) -> Result<InsnClass, JournalError> {
+/// Parses the canonical journal name of an instruction class.
+///
+/// # Errors
+///
+/// [`JournalError::Malformed`] on an unknown name.
+pub fn class_from_name(s: &str) -> Result<InsnClass, JournalError> {
     Ok(match s {
         "Mov" => InsnClass::Mov,
         "IntAlu" => InsnClass::IntAlu,

@@ -69,7 +69,7 @@ mod spec;
 mod tracer;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignResult, OutcomeCounts, RankPool, RunOutcome,
+    Campaign, CampaignConfig, CampaignResult, OutcomeCounts, PoolStats, RankPool, RunOutcome,
     SiteVulnerability, TerminationBreakdown,
 };
 pub use injector::{
@@ -78,8 +78,8 @@ pub use injector::{
 };
 pub use insn_trace::{InsnLevelTracer, InsnTraceHandle, InsnTraceSummary};
 pub use journal::{
-    golden_digest, CampaignJournal, JournalError, JournalHeader, JournalRow, ShardMeta,
-    DEFAULT_SYNC_ROWS, JOURNAL_VERSION,
+    class_from_name, class_name, encode as encode_json, golden_digest, parse_json, CampaignJournal,
+    JournalError, JournalHeader, JournalRow, Json, ShardMeta, DEFAULT_SYNC_ROWS, JOURNAL_VERSION,
 };
 pub use models::{
     DeterministicInjector, GroupInjector, IntermittentInjector, ProbabilisticInjector,
@@ -97,8 +97,9 @@ pub use session::{
 };
 pub use shard::{
     is_shard_lost, merge_shard_journals, shard_journal_path, ChaosKind, ShardChaos, ShardError,
-    ShardPlan, ShardReport, ShardStats, ShardSupervision, ShardWorkers, ENV_SHARD_ATTEMPT,
-    ENV_SHARD_CHAOS, ENV_SHARD_END, ENV_SHARD_INDEX, ENV_SHARD_JOURNAL, ENV_SHARD_START,
+    ShardPlan, ShardReport, ShardStats, ShardSupervision, ShardWorkers, StopSignal,
+    ENV_SHARD_ATTEMPT, ENV_SHARD_CHAOS, ENV_SHARD_END, ENV_SHARD_INDEX, ENV_SHARD_JOURNAL,
+    ENV_SHARD_START,
 };
 
 // Re-exported so cache-aware callers (benches, campaign analyses) can name
@@ -128,6 +129,7 @@ mod serde_surface_tests {
         assert_serde::<crate::CampaignResult>();
         assert_serde::<crate::ShardStats>();
         assert_serde::<crate::ShardReport>();
+        assert_serde::<crate::PoolStats>();
         assert_serde::<crate::ProvenanceGraph>();
         assert_serde::<crate::ProvEvent>();
         assert_serde::<crate::MsgEdge>();

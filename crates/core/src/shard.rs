@@ -37,7 +37,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Env var carrying the shard journal path to a subprocess worker.
@@ -69,6 +69,34 @@ pub enum ShardWorkers {
     /// Process isolation means a worker crash (OOM, abort, SIGKILL) cannot
     /// take the supervisor down.
     Subprocess(Vec<String>),
+}
+
+/// A shared, raise-once stop signal: the drain lever the `chaser-serve`
+/// daemon (or any embedder) pulls to checkpoint an in-flight sharded
+/// campaign. All clones observe the same flag. Once raised, supervisors
+/// stop relaunching workers, thread workers drain at run granularity,
+/// subprocess workers are reclaimed, and
+/// [`Campaign::run_sharded_with`] returns [`ShardError::Interrupted`]
+/// instead of degrading the unfinished indices — the shard journals stay
+/// resumable.
+#[derive(Debug, Clone, Default)]
+pub struct StopSignal(Arc<AtomicBool>);
+
+impl StopSignal {
+    /// A fresh, unraised signal.
+    pub fn new() -> StopSignal {
+        StopSignal::default()
+    }
+
+    /// Raises the signal. Idempotent and irrevocable.
+    pub fn raise(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the signal been raised?
+    pub fn raised(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
 }
 
 /// Liveness and retry policy for shard workers.
@@ -278,6 +306,14 @@ pub enum ShardError {
         /// The lowest uncovered index.
         first: u64,
     },
+    /// A [`StopSignal`] was raised before every shard finished. Not a
+    /// failure: every completed row is in the shard journals, and running
+    /// the same campaign over them again resumes exactly the missing
+    /// indices.
+    Interrupted {
+        /// Run indices without a journal row at stop time.
+        missing: u64,
+    },
 }
 
 impl std::fmt::Display for ShardError {
@@ -317,6 +353,10 @@ impl std::fmt::Display for ShardError {
                 f,
                 "merged shard journals are missing {count} run(s), first {first}"
             ),
+            ShardError::Interrupted { missing } => write!(
+                f,
+                "sharded campaign stopped with {missing} run(s) unfinished (shard journals are resumable)"
+            ),
         }
     }
 }
@@ -348,19 +388,24 @@ pub(crate) struct ShardCtl {
     appended: AtomicU64,
     stop: AtomicBool,
     chaos: Option<(u64, ChaosAction)>,
+    /// External drain lever: when the embedder's [`StopSignal`] is raised,
+    /// thread workers stop taking indices just as if the internal stop
+    /// flag fired, but without marking the attempt dead.
+    ext_stop: Option<StopSignal>,
 }
 
 impl ShardCtl {
-    fn new(chaos: Option<(u64, ChaosAction)>) -> ShardCtl {
+    fn new(chaos: Option<(u64, ChaosAction)>, ext_stop: Option<StopSignal>) -> ShardCtl {
         ShardCtl {
             chaos,
+            ext_stop,
             ..ShardCtl::default()
         }
     }
 
     /// Should workers stop taking new run indices?
     pub(crate) fn stopped(&self) -> bool {
-        self.stop.load(Ordering::SeqCst)
+        self.stop.load(Ordering::SeqCst) || self.ext_stop.as_ref().is_some_and(StopSignal::raised)
     }
 
     /// Called by the campaign worker loop after every journal append.
@@ -530,8 +575,32 @@ impl Campaign {
     /// merged. Worker failures are not errors — they are retried, then
     /// degraded.
     pub fn run_sharded(&self, journal_base: &Path) -> Result<CampaignResult, ShardError> {
-        let prepared = self.prepare();
-        let header = self.journal_header(&prepared);
+        self.run_sharded_with(&self.prepare(), journal_base, None)
+    }
+
+    /// [`Campaign::run_sharded`] with the preparation and the stop lever
+    /// externalized — the embedding surface the `chaser-serve` daemon runs
+    /// jobs through. `prepared` may be shared across campaigns with the
+    /// same prepare-relevant configuration (the warmed-pool path), and
+    /// raising `stop` drains the supervisors: workers finish or checkpoint
+    /// their current run, nothing is relaunched, nothing is quarantined,
+    /// and the call returns [`ShardError::Interrupted`] with the journals
+    /// left resumable. A later `run_sharded_with` over the same journals
+    /// (same campaign, `stop` unraised) finishes exactly the missing
+    /// indices and merges a result byte-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] as for [`Campaign::run_sharded`], plus
+    /// [`ShardError::Interrupted`] when `stop` was raised before every
+    /// shard finished.
+    pub fn run_sharded_with(
+        &self,
+        prepared: &PreparedApp,
+        journal_base: &Path,
+        stop: Option<&StopSignal>,
+    ) -> Result<CampaignResult, ShardError> {
+        let header = self.journal_header(prepared);
         let plan = ShardPlan::split(self.cfg.runs, self.cfg.shards);
         let paths: Vec<PathBuf> = plan
             .ranges
@@ -568,15 +637,29 @@ impl Campaign {
         std::thread::scope(|scope| {
             for (meta, path) in plan.ranges.iter().zip(&paths) {
                 let reports = &reports;
-                let prepared = &prepared;
                 scope.spawn(move || {
-                    let report = self.supervise_shard(prepared, *meta, path);
+                    let report = self.supervise_shard(prepared, *meta, path, stop);
                     reports.lock().expect("poisoned").push(report);
                 });
             }
         });
         let mut per_shard = reports.into_inner().expect("poisoned");
         per_shard.sort_by_key(|r| r.shard);
+
+        // A raised stop signal with unfinished indices is a checkpoint,
+        // not a merge failure: report how much is left and leave the
+        // journals exactly as the drained workers did.
+        if stop.is_some_and(StopSignal::raised) {
+            let missing: u64 = plan
+                .ranges
+                .iter()
+                .zip(&paths)
+                .map(|(m, p)| self.missing_in_shard(p, *m).len() as u64)
+                .sum();
+            if missing > 0 {
+                return Err(ShardError::Interrupted { missing });
+            }
+        }
 
         let rows = merge_shard_journals(&paths, &header)?;
         let mut base = ReplayBase::default();
@@ -586,7 +669,7 @@ impl Campaign {
         // Fold the merged rows through the same assembly path a resume
         // uses (execute with nothing left to run), so the result is shaped
         // identically to an unsharded campaign's.
-        let mut result = self.execute(&prepared, &[], None, base, None);
+        let mut result = self.execute(prepared, &[], None, base, None);
         result.shard_stats = ShardStats {
             shards: plan.ranges.len() as u64,
             retries: per_shard.iter().map(|r| r.attempts.saturating_sub(1)).sum(),
@@ -626,7 +709,7 @@ impl Campaign {
             .as_deref()
             .and_then(parse_chaos_env);
         let prepared = self.prepare();
-        let ctl = ShardCtl::new(chaos);
+        let ctl = ShardCtl::new(chaos, None);
         self.run_shard_attempt(&prepared, meta, Path::new(&path), &ctl)
     }
 
@@ -683,7 +766,13 @@ impl Campaign {
     /// backoff, and finally degrade. Infallible by design — supervision
     /// failures become retries, and retry exhaustion becomes quarantined
     /// rows, never a hang or abort.
-    fn supervise_shard(&self, prepared: &PreparedApp, meta: ShardMeta, path: &Path) -> ShardReport {
+    fn supervise_shard(
+        &self,
+        prepared: &PreparedApp,
+        meta: ShardMeta,
+        path: &Path,
+        stop: Option<&StopSignal>,
+    ) -> ShardReport {
         let sup = self.cfg.shard_supervision;
         let t0 = Instant::now();
         let mut attempts: u64 = 0;
@@ -692,6 +781,11 @@ impl Campaign {
         loop {
             let missing = self.missing_in_shard(path, meta);
             if missing.is_empty() {
+                break;
+            }
+            if stop.is_some_and(StopSignal::raised) {
+                // Drain, never degrade: the missing indices stay missing so
+                // a later supervisor can resume this journal.
                 break;
             }
             if attempts > u64::from(sup.max_retries) {
@@ -707,7 +801,13 @@ impl Campaign {
                     .backoff_base_ms
                     .saturating_mul(1u64 << shift)
                     .min(sup.backoff_cap_ms);
-                std::thread::sleep(Duration::from_millis(backoff));
+                // Sleep in slices so a drain does not wait out the backoff.
+                let mut remaining = backoff;
+                while remaining > 0 && !stop.is_some_and(StopSignal::raised) {
+                    let step = remaining.min(10);
+                    std::thread::sleep(Duration::from_millis(step));
+                    remaining -= step;
+                }
             }
             attempts += 1;
             let chaos = self
@@ -721,11 +821,14 @@ impl Campaign {
                     // Thread chaos is cooperative: both kinds degrade to a
                     // bail (an in-process worker cannot really die without
                     // taking the supervisor with it).
-                    let ctl = ShardCtl::new(chaos.map(|c| (c.after_rows, ChaosAction::Bail)));
+                    let ctl = ShardCtl::new(
+                        chaos.map(|c| (c.after_rows, ChaosAction::Bail)),
+                        stop.cloned(),
+                    );
                     let _ = self.run_shard_attempt(prepared, meta, path, &ctl);
                 }
                 ShardWorkers::Subprocess(argv) => {
-                    self.run_subprocess_attempt(argv, meta, path, attempts, chaos, sup);
+                    self.run_subprocess_attempt(argv, meta, path, attempts, chaos, sup, stop);
                 }
             }
         }
@@ -793,6 +896,7 @@ impl Campaign {
     /// when the heartbeat window passes without the file growing (the
     /// straggler path). Spawn failures simply end the attempt — the
     /// supervisor's completeness check turns them into retries.
+    #[allow(clippy::too_many_arguments)]
     fn run_subprocess_attempt(
         &self,
         argv: &[String],
@@ -801,6 +905,7 @@ impl Campaign {
         attempt: u64,
         chaos: Option<ShardChaos>,
         sup: ShardSupervision,
+        stop: Option<&StopSignal>,
     ) {
         let Some((program, rest)) = argv.split_first() else {
             return;
@@ -829,6 +934,14 @@ impl Campaign {
         let mut last_len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         let mut last_progress = Instant::now();
         loop {
+            if stop.is_some_and(StopSignal::raised) {
+                // Drain: reclaim the worker now. Its journal keeps every
+                // fully appended row; a torn final line from the kill is
+                // trimmed when the journal is resumed.
+                let _ = child.kill();
+                let _ = child.wait();
+                break;
+            }
             match child.try_wait() {
                 Ok(Some(_)) | Err(_) => break,
                 Ok(None) => {}
@@ -951,6 +1064,26 @@ mod tests {
         );
         assert_eq!(lines[1], "0,0,5,1,0,0,10");
         assert_eq!(lines[2], "1,5,10,2,3,0,25");
+    }
+
+    #[test]
+    fn stop_signal_is_shared_and_sticky() {
+        let signal = StopSignal::new();
+        let clone = signal.clone();
+        assert!(!clone.raised());
+        signal.raise();
+        assert!(clone.raised());
+        signal.raise(); // idempotent
+        assert!(signal.raised());
+    }
+
+    #[test]
+    fn external_stop_drains_thread_workers() {
+        let stop = StopSignal::new();
+        let ctl = ShardCtl::new(None, Some(stop.clone()));
+        assert!(!ctl.stopped());
+        stop.raise();
+        assert!(ctl.stopped());
     }
 
     #[test]

@@ -64,6 +64,30 @@ pub enum OperandSel {
     Memory,
 }
 
+impl OperandSel {
+    /// The wire name used by campaign specs
+    /// (`"dst"` / `"src"` / `"random"` / `"memory"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OperandSel::Dst => "dst",
+            OperandSel::Src => "src",
+            OperandSel::Random => "random",
+            OperandSel::Memory => "memory",
+        }
+    }
+
+    /// Parses a wire name back into a selector; `None` on unknown names.
+    pub fn from_name(s: &str) -> Option<OperandSel> {
+        match s {
+            "dst" => Some(OperandSel::Dst),
+            "src" => Some(OperandSel::Src),
+            "random" => Some(OperandSel::Random),
+            "memory" => Some(OperandSel::Memory),
+            _ => None,
+        }
+    }
+}
+
 /// A complete injection experiment description (the paper's `fi_cmds_st`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InjectionSpec {
@@ -134,6 +158,19 @@ mod tests {
         assert_eq!(spec.corruption, Corruption::FlipBits(vec![5]));
         assert_eq!(spec.max_injections, 1);
         assert_eq!(spec.target_rank, 0);
+    }
+
+    #[test]
+    fn operand_names_round_trip() {
+        for sel in [
+            OperandSel::Dst,
+            OperandSel::Src,
+            OperandSel::Random,
+            OperandSel::Memory,
+        ] {
+            assert_eq!(OperandSel::from_name(sel.name()), Some(sel));
+        }
+        assert_eq!(OperandSel::from_name("flags"), None);
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Campaign-as-a-service end-to-end: two tenants submit concurrent
+//! campaigns over a Unix socket and get outcome + stats CSVs byte-identical
+//! to the same campaigns run standalone through
+//! [`Campaign::run_journaled`], across {thread, subprocess} shard workers;
+//! a resubmission hits the warmed prepared-app pool; `drain` checkpoints an
+//! in-flight job whose restart-resumed output is again byte-identical; and
+//! admission control rejects unknown applications, exhausted tenant
+//! budgets and unknown job ids.
+//!
+//! Subprocess shard workers self-exec this test binary: the daemon spawns
+//! `current_exe serve_worker_entry --exact` with the shard assignment in
+//! `CHASER_SHARD_*` env vars, and the worker rebuilds the campaign from the
+//! job directory's `spec.json` (the journal header check proves the
+//! rebuild matched the supervisor's).
+
+use chaser::{Campaign, CampaignResult, OperandSel};
+use chaser_isa::InsnClass;
+use chaser_serve::{
+    drain, results, shard_worker_from_spec_env, status, submit, CampaignSpec, Daemon, Frame,
+    ServeConfig, ServeError,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chaser-serve-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The argv prefix that re-launches this test binary as a serve worker.
+fn self_exec_argv() -> Vec<String> {
+    let exe = std::env::current_exe().expect("current exe");
+    vec![
+        exe.display().to_string(),
+        "serve_worker_entry".into(),
+        "--exact".into(),
+        "--test-threads=1".into(),
+        "--quiet".into(),
+    ]
+}
+
+/// Subprocess worker main, disguised as a test: a plain `cargo test` run
+/// sees no `CHASER_SHARD_JOURNAL` and passes trivially; the daemon's
+/// self-exec launches land here with a shard assignment to execute.
+#[test]
+fn serve_worker_entry() {
+    shard_worker_from_spec_env().expect("serve shard worker");
+}
+
+fn spec_alice(subprocess: bool) -> CampaignSpec {
+    CampaignSpec {
+        tenant: "alice".into(),
+        runs: 10,
+        seed: 0xA11CE,
+        classes: vec![InsnClass::Mov],
+        shards: 2,
+        subprocess_workers: subprocess,
+        ..CampaignSpec::default()
+    }
+}
+
+fn spec_bob(subprocess: bool) -> CampaignSpec {
+    CampaignSpec {
+        tenant: "bob".into(),
+        runs: 12,
+        seed: 0xB0B,
+        classes: vec![InsnClass::FpArith, InsnClass::Mov],
+        operand: OperandSel::Dst,
+        bits_per_fault: 2,
+        shards: 3,
+        subprocess_workers: subprocess,
+        ..CampaignSpec::default()
+    }
+}
+
+/// The standalone reference: the exact same config run through
+/// `run_journaled` (shards is fingerprinted but `run_journaled` executes
+/// unsharded, which is precisely the byte-identity claim under test).
+fn standalone(spec: &CampaignSpec, dir: &Path, name: &str) -> CampaignResult {
+    let (app, cfg) = spec.build().expect("spec builds");
+    Campaign::new(app, cfg)
+        .run_journaled(&dir.join(name))
+        .expect("standalone campaign")
+}
+
+fn submit_collect(endpoint: &str, spec: &CampaignSpec) -> (u64, Vec<chaser::Json>, Frame) {
+    let mut rows = Vec::new();
+    let mut job_id = 0;
+    let terminal = submit(endpoint, spec, |job, row| {
+        job_id = job;
+        rows.push(row.clone());
+    })
+    .expect("submit");
+    (job_id, rows, terminal)
+}
+
+/// Two tenants, different seeds and fault models, running concurrently on
+/// one daemon: both must match their standalone references byte for byte.
+fn run_pair(tag: &str, subprocess: bool) {
+    let dir = temp_dir(tag);
+    let endpoint = dir.join("sock").display().to_string();
+    let daemon = Daemon::start(
+        &endpoint,
+        &dir.join("state"),
+        ServeConfig {
+            max_concurrent: 2,
+            worker_argv: Some(self_exec_argv()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon starts");
+
+    let alice = spec_alice(subprocess);
+    let bob = spec_bob(subprocess);
+    let ((job_a, rows_a, term_a), (job_b, rows_b, term_b)) = std::thread::scope(|s| {
+        let ep_a = endpoint.clone();
+        let ep_b = endpoint.clone();
+        let alice = &alice;
+        let bob = &bob;
+        let ha = s.spawn(move || submit_collect(&ep_a, alice));
+        let hb = s.spawn(move || submit_collect(&ep_b, bob));
+        (ha.join().expect("alice"), hb.join().expect("bob"))
+    });
+    assert!(
+        matches!(term_a, Frame::Done { quarantined: 0, .. }),
+        "{term_a:?}"
+    );
+    assert!(
+        matches!(term_b, Frame::Done { quarantined: 0, .. }),
+        "{term_b:?}"
+    );
+
+    for (spec, job, rows, name) in [
+        (&alice, job_a, &rows_a, "alice.jsonl"),
+        (&bob, job_b, &rows_b, "bob.jsonl"),
+    ] {
+        let served = results(&endpoint, job).expect("results");
+        let reference = standalone(spec, &dir, name);
+        assert_eq!(served.outcome_csv, reference.to_csv(), "{name} outcome CSV");
+        assert_eq!(served.stats_csv, reference.stats_csv(), "{name} stats CSV");
+        // Every journaled row (outcomes + skips) was streamed exactly once
+        // — no worker died, so at-least-once collapses to exactly-once.
+        assert_eq!(
+            rows.len() as u64,
+            reference.outcomes.len() as u64 + reference.skipped,
+            "{name} streamed rows"
+        );
+    }
+
+    // Alice's fault model was prepared once; resubmitting it must hit the
+    // warmed pool (bob's classes differ, so he was a separate miss).
+    let (_, _, term) = submit_collect(&endpoint, &alice);
+    assert!(matches!(term, Frame::Done { .. }));
+    let report = status(&endpoint).expect("status");
+    assert!(report.pool.prepared_hits >= 1, "{:?}", report.pool);
+    assert!(report.pool.prepared_misses >= 2, "{:?}", report.pool);
+    assert!(report.jobs.iter().all(|j| j.state == "done"), "{report:?}");
+
+    let (finished, checkpointed) = drain(&endpoint).expect("drain");
+    assert_eq!((finished, checkpointed), (3, 0));
+    daemon.wait();
+}
+
+#[test]
+fn concurrent_tenants_thread_workers_match_standalone() {
+    run_pair("pair-thread", false);
+}
+
+#[test]
+fn concurrent_tenants_subprocess_workers_match_standalone() {
+    run_pair("pair-subprocess", true);
+}
+
+/// Drain checkpoints an in-flight job at run granularity; a daemon
+/// restarted over the same state directory requeues it, resumes from the
+/// shard journals, and produces byte-identical merged output.
+#[test]
+fn drain_checkpoints_and_restart_resumes_byte_identically() {
+    let dir = temp_dir("drain-resume");
+    let endpoint = dir.join("sock").display().to_string();
+    let state = dir.join("state");
+    let cfg = ServeConfig {
+        max_concurrent: 1,
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(&endpoint, &state, cfg.clone()).expect("daemon starts");
+
+    // Long and slow on purpose (taint tracing, one worker thread): the
+    // drain below must land while runs are still in flight.
+    let spec = CampaignSpec {
+        tenant: "carol".into(),
+        runs: 120,
+        seed: 0xCA201,
+        classes: vec![InsnClass::Mov],
+        tracing: true,
+        shards: 2,
+        parallelism: 1,
+        ..CampaignSpec::default()
+    };
+    let (first_row_tx, first_row_rx) = std::sync::mpsc::channel();
+    let terminal = std::thread::scope(|s| {
+        let ep = endpoint.clone();
+        let spec = &spec;
+        let handle = s.spawn(move || {
+            submit(&ep, spec, move |_, _| {
+                let _ = first_row_tx.send(());
+            })
+            .expect("submit")
+        });
+        // Drain as soon as the campaign demonstrably started streaming.
+        first_row_rx.recv().expect("first streamed row");
+        let (finished, checkpointed) = drain(&endpoint).expect("drain");
+        assert_eq!((finished, checkpointed), (0, 1));
+        handle.join().expect("submitter")
+    });
+    let Frame::Checkpointed { job, missing } = terminal else {
+        panic!("expected a checkpointed job, got {terminal:?}");
+    };
+    assert!(missing > 0, "drain interrupted mid-campaign");
+    daemon.wait();
+
+    // Restart over the same state directory: the job is requeued and
+    // resumed from its shard journals.
+    let daemon = Daemon::start(&endpoint, &state, cfg).expect("daemon restarts");
+    loop {
+        let report = status(&endpoint).expect("status");
+        let summary = report
+            .jobs
+            .iter()
+            .find(|j| j.job == job)
+            .expect("job survives restart");
+        assert_eq!(summary.tenant, "carol");
+        match summary.state.as_str() {
+            "done" => break,
+            "queued" | "running" => std::thread::sleep(Duration::from_millis(20)),
+            other => panic!("job reached `{other}`"),
+        }
+    }
+    let served = results(&endpoint, job).expect("results");
+    let reference = standalone(&spec, &dir, "carol.jsonl");
+    assert_eq!(
+        served.outcome_csv,
+        reference.to_csv(),
+        "resumed outcome CSV"
+    );
+    assert_eq!(served.stats_csv, reference.stats_csv(), "resumed stats CSV");
+    let (finished, checkpointed) = drain(&endpoint).expect("second drain");
+    assert_eq!((finished, checkpointed), (1, 0));
+    daemon.wait();
+}
+
+#[test]
+fn admission_rejects_unknown_apps_budgets_and_unknown_jobs() {
+    let dir = temp_dir("admission");
+    let endpoint = dir.join("sock").display().to_string();
+    let daemon = Daemon::start(
+        &endpoint,
+        &dir.join("state"),
+        ServeConfig {
+            max_concurrent: 1,
+            tenant_run_budget: 15,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon starts");
+
+    let unknown = CampaignSpec {
+        app: "minesweeper".into(),
+        ..CampaignSpec::default()
+    };
+    let err = submit(&endpoint, &unknown, |_, _| {}).expect_err("unknown app");
+    assert!(matches!(err, ServeError::Rejected(_)), "{err}");
+
+    let small = CampaignSpec {
+        tenant: "dave".into(),
+        runs: 10,
+        classes: vec![InsnClass::Mov],
+        ..CampaignSpec::default()
+    };
+    let term = submit(&endpoint, &small, |_, _| {}).expect("within budget");
+    assert!(matches!(term, Frame::Done { .. }));
+    let err = submit(&endpoint, &small, |_, _| {}).expect_err("budget exhausted");
+    let ServeError::Rejected(reason) = err else {
+        panic!("expected rejection");
+    };
+    assert!(reason.contains("budget"), "{reason}");
+
+    let err = results(&endpoint, 999).expect_err("unknown job");
+    assert!(matches!(err, ServeError::Rejected(_)), "{err}");
+
+    drain(&endpoint).expect("drain");
+    daemon.wait();
+}
