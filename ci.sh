@@ -45,11 +45,21 @@ cargo run --release --offline -p chaser-bench --bin serve_smoke
 
 # Hot-path perf smoke: prove the tb_chaining / taint_fast_path knobs
 # observationally inert (outcome CSV, provenance exports, state digest
-# byte-identical), then require >=2x engine throughput with both knobs on
-# vs both off. Also gates intra-run rank parallelism: an 8-rank workload
-# must be digest-identical serial vs rank_threads=4 and faster by 1.5x
-# (calibrated down to the host's measured raw thread-scaling ceiling on
-# throttled CI containers). Records shard-scaling numbers (1 vs 4 thread-
-# worker shards, record-only) for later distributed work. Writes
+# byte-identical), then require engine throughput with both knobs on vs
+# both off to clear a host-calibrated gate (2x quiet-host target, scaled
+# down by the measured noise between two identical knobs-off legs, never
+# below a hard floor). Also gates intra-run rank parallelism: an 8-rank
+# workload must be digest-identical serial vs rank_threads=4 and faster by
+# 1.5x (calibrated down to the host's measured raw thread-scaling ceiling
+# on throttled CI containers). Records shard-scaling numbers (1 vs 4
+# thread-worker shards, record-only) for later distributed work. Writes
 # BENCH_engine.json.
 cargo run --release --offline -p chaser-bench --bin perf_smoke
+
+# Statistical-mode smoke: the same matched 200-run campaign under
+# trace=off and trace=full must agree on every run's terminal
+# classification (trace=off classifies from termination cause + golden
+# digest alone), and trace=off must sustain a host-calibrated >=2x
+# injections/sec over trace=full. Merges injections_per_sec_off /
+# injections_per_sec_full / statistical_speedup into BENCH_engine.json.
+cargo run --release --offline -p chaser-bench --bin statistical_smoke

@@ -3,12 +3,14 @@
 //! base cache, knobs off), warm (shared base cache, knobs off), chained
 //! (warm + TB chaining), and taint-idle (warm + chaining + the taint-idle
 //! fast path) — plus intra-run rank parallelism (`rank_threads` 1 vs 4 on
-//! 8 compute-bound ranks) and the same ladder on a fault-free golden
-//! cluster run.
+//! 8 compute-bound ranks), the same ladder on a fault-free golden
+//! cluster run, and the three campaign trace regimes (`off` / `taint` /
+//! `full`) on a small injected campaign.
 //!
 //! `cargo bench -p chaser-bench --bench bench_engine`
 
-use chaser_isa::{Asm, Cond, Program, Reg};
+use chaser::{AppSpec, Campaign, CampaignConfig, RankPool, TraceRegime};
+use chaser_isa::{Asm, Cond, InsnClass, Program, Reg};
 use chaser_mpi::{Cluster, ClusterConfig};
 use chaser_tcg::BaseLayer;
 use chaser_vm::{ExecTuning, Node, SliceExit};
@@ -155,5 +157,39 @@ fn golden_cluster(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, regimes, rank_threads, golden_cluster);
+/// The three campaign trace regimes on a small injected campaign over the
+/// hot loop: `off` (statistical mode — fast-path memory tier, outcomes
+/// from termination cause + golden digest alone), `taint` (tracing
+/// without provenance), `full` (tracing + provenance). The statistical
+/// counterpart of the `statistical_smoke` CI gate.
+fn trace_regime(c: &mut Criterion) {
+    const CAMPAIGN_RUNS: u64 = 16;
+    let run = |regime: TraceRegime| {
+        let result = Campaign::new(
+            AppSpec::single(loop_program()),
+            CampaignConfig {
+                runs: CAMPAIGN_RUNS,
+                seed: 0x57A7,
+                parallelism: 2,
+                classes: vec![InsnClass::Mov],
+                rank_pool: RankPool::Random,
+                tracing: regime == TraceRegime::Full,
+                provenance: regime == TraceRegime::Full,
+                trace_regime: regime,
+                warm_start: true,
+                ..CampaignConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(result.outcomes.len() as u64, CAMPAIGN_RUNS);
+    };
+    let mut group = c.benchmark_group("engine/trace_regime");
+    group.sample_size(10);
+    group.bench_function("off", |b| b.iter(|| run(TraceRegime::Off)));
+    group.bench_function("taint", |b| b.iter(|| run(TraceRegime::TaintOnly)));
+    group.bench_function("full", |b| b.iter(|| run(TraceRegime::Full)));
+    group.finish();
+}
+
+criterion_group!(benches, regimes, rank_threads, golden_cluster, trace_regime);
 criterion_main!(benches);

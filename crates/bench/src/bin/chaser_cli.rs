@@ -11,7 +11,7 @@
 use chaser::analysis::TraceAnalysis;
 use chaser::{
     AppSpec, Campaign, CampaignConfig, Chaser, DeterministicInjector, GroupInjector,
-    IntermittentInjector, ProbabilisticInjector, RankPool, RunOptions, ShardWorkers,
+    IntermittentInjector, ProbabilisticInjector, RankPool, RunOptions, ShardWorkers, TraceRegime,
 };
 use chaser_bench::HarnessArgs;
 use chaser_isa::InsnClass;
@@ -124,6 +124,7 @@ impl Cli {
                 let mut runs = 50;
                 let mut shards = 0;
                 let mut subprocess = false;
+                let mut trace = "default".to_string();
                 let mut knobs = CampaignKnobs::default();
                 let mut positional = 0;
                 for tok in parts {
@@ -136,6 +137,9 @@ impl Cli {
                     } else if let Some(v) = tok.strip_prefix("retries=") {
                         knobs.retries = v.parse().ok();
                         knobs.retries.is_some()
+                    } else if let Some(v) = tok.strip_prefix("trace=") {
+                        trace = v.to_string();
+                        matches!(v, "off" | "taint" | "full")
                     } else if tok == "proc" {
                         subprocess = true;
                         true
@@ -153,12 +157,13 @@ impl Cli {
                     if !parsed {
                         println!(
                             "unrecognised campaign argument `{tok}` \
-                             (usage: campaign [runs] [shards] [proc] [sync=N] [hb=MS] [retries=N])"
+                             (usage: campaign [runs] [shards] [proc] [trace=off|taint|full] \
+                             [sync=N] [hb=MS] [retries=N])"
                         );
                         return true;
                     }
                 }
-                self.run_campaign(runs, shards, subprocess, &knobs);
+                self.run_campaign(runs, shards, subprocess, &trace, &knobs);
             }
             "commands" => {
                 for spec in self.chaser.commands() {
@@ -351,12 +356,22 @@ impl Cli {
     /// `knobs` override the operational defaults (journal fsync cadence,
     /// heartbeat timeout, retry budget); operational knobs are not part of
     /// the config fingerprint, so subprocess workers need not see them.
-    fn run_campaign(&self, runs: u64, shards: u64, subprocess: bool, knobs: &CampaignKnobs) {
+    fn run_campaign(
+        &self,
+        runs: u64,
+        shards: u64,
+        subprocess: bool,
+        trace: &str,
+        knobs: &CampaignKnobs,
+    ) {
         let Some(app) = self.app.clone() else {
             println!("no app loaded (use `load <app>` first)");
             return;
         };
-        let mut cfg = campaign_config(runs, shards, self.warm_start);
+        let Some(mut cfg) = campaign_config(runs, shards, self.warm_start, trace) else {
+            println!("unknown trace regime `{trace}` (use trace=off|taint|full)");
+            return;
+        };
         knobs.apply(&mut cfg);
         if subprocess {
             let Some((name, size, ranks)) = &self.loaded else {
@@ -379,6 +394,7 @@ impl Cli {
                 runs.to_string(),
                 shards.to_string(),
                 u64::from(self.warm_start).to_string(),
+                trace.to_string(),
             ]);
         }
         let campaign = Campaign::new(app, cfg);
@@ -465,9 +481,13 @@ impl Cli {
         println!("  run                          execute the armed injection (traced)");
         println!("  trace [dot]                  run and walk the propagation provenance graph");
         println!("  warm [on|off]                toggle campaign warm start (CoW checkpoint)");
-        println!("  campaign [runs] [shards] [proc] [sync=N] [hb=MS] [retries=N]");
+        println!(
+            "  campaign [runs] [shards] [proc] [trace=off|taint|full] [sync=N] [hb=MS] [retries=N]"
+        );
         println!("                               run an FI campaign (sharded when shards > 1;");
-        println!("                               `proc` = subprocess workers; sync = fsync every");
+        println!("                               `proc` = subprocess workers; trace=off is the");
+        println!("                               native-speed statistical mode, taint/full arm");
+        println!("                               the tracing machinery; sync = fsync every");
         println!("                               N journal rows, hb = heartbeat timeout ms,");
         println!("                               retries = worker relaunch budget)");
         println!("  quit                         leave");
@@ -503,31 +523,52 @@ impl CampaignKnobs {
 
 /// The one campaign configuration both the supervisor and its self-exec
 /// shard workers build: any divergence would change the config fingerprint
-/// and make the workers reject their shard journals.
-fn campaign_config(runs: u64, shards: u64, warm_start: bool) -> CampaignConfig {
-    CampaignConfig {
+/// and make the workers reject their shard journals. The `trace` token
+/// maps onto the regime knobs: `default` keeps today's untraced campaign,
+/// `full` arms taint tracing plus provenance, `taint` and `off` force
+/// their regimes ([`TraceRegime::TaintOnly`] / [`TraceRegime::Off`] — the
+/// latter is the native-speed statistical mode). `None` for any other
+/// token.
+fn campaign_config(
+    runs: u64,
+    shards: u64,
+    warm_start: bool,
+    trace: &str,
+) -> Option<CampaignConfig> {
+    let mut cfg = CampaignConfig {
         runs,
         shards,
         classes: vec![InsnClass::FpArith, InsnClass::Mov],
         rank_pool: RankPool::Random,
         warm_start,
         ..CampaignConfig::default()
+    };
+    match trace {
+        "default" => {}
+        "full" => {
+            cfg.tracing = true;
+            cfg.provenance = true;
+        }
+        "taint" => cfg.trace_regime = TraceRegime::TaintOnly,
+        "off" => cfg.trace_regime = TraceRegime::Off,
+        _ => return None,
     }
+    Some(cfg)
 }
 
 /// Hidden subprocess-worker mode: `chaser_cli shard-worker <app> <size>
-/// <ranks> <runs> <shards> <warm>` rebuilds the supervisor's campaign and
-/// executes the shard assignment in the `CHASER_SHARD_*` environment.
-/// Exits 0 on success, 1 on any error (the supervisor treats a nonzero
-/// exit as a dead worker and retries).
+/// <ranks> <runs> <shards> <warm> <trace>` rebuilds the supervisor's
+/// campaign and executes the shard assignment in the `CHASER_SHARD_*`
+/// environment. Exits 0 on success, 1 on any error (the supervisor treats
+/// a nonzero exit as a dead worker and retries).
 fn shard_worker_main(args: &[String]) -> ! {
     let fail = |msg: String| -> ! {
         eprintln!("shard-worker: {msg}");
         std::process::exit(1);
     };
-    let [name, size, ranks, runs, shards, warm] = args else {
+    let [name, size, ranks, runs, shards, warm, trace] = args else {
         fail(format!(
-            "expected <app> <size> <ranks> <runs> <shards> <warm>, got {args:?}"
+            "expected <app> <size> <ranks> <runs> <shards> <warm> <trace>, got {args:?}"
         ));
     };
     let parse = |what: &str, s: &String| -> u64 {
@@ -542,11 +583,14 @@ fn shard_worker_main(args: &[String]) -> ! {
     let Some(app) = build_app(name, &harness) else {
         fail(format!("unknown app `{name}`"));
     };
-    let cfg = campaign_config(
+    let Some(cfg) = campaign_config(
         parse("runs", runs),
         parse("shards", shards),
         parse("warm", warm) != 0,
-    );
+        trace,
+    ) else {
+        fail(format!("unknown trace regime `{trace}`"));
+    };
     match Campaign::new(app, cfg).shard_worker_from_env() {
         Ok(()) => std::process::exit(0),
         Err(e) => fail(e.to_string()),

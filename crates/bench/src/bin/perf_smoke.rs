@@ -5,7 +5,10 @@
 //! four regimes — cold (no base cache, knobs off), warm (shared base
 //! cache, knobs off), chained (warm + TB chaining), and taint-idle (warm +
 //! chaining + taint-idle fast path) — and requires the fully optimized
-//! regime to beat the unoptimized one by at least 2x. Before trusting the
+//! regime to beat the unoptimized one by a *host-calibrated* margin: the
+//! knobs-off regime is measured twice, interleaved, and the ratio of the
+//! two identical legs calibrates the gate down from the 2x quiet-host
+//! target (never below a hard floor). Before trusting the
 //! speedup it proves the knobs observationally inert: a traced,
 //! provenance-recording campaign must produce byte-identical outcome CSVs,
 //! an injected run must export byte-identical provenance DOT/JSON, and a
@@ -18,6 +21,7 @@
 //! `cargo run --release -p chaser-bench --bin perf_smoke`
 
 use chaser::{AppSpec, Campaign, CampaignConfig, RankPool, RunOptions};
+use chaser_bench::gated_measurement;
 use chaser_isa::{Asm, Cond, InsnClass, Program, Reg};
 use chaser_mpi::{Cluster, ClusterConfig, ParallelStats};
 use chaser_tcg::BaseLayer;
@@ -32,13 +36,16 @@ const LOOP_ITERS: i64 = 100_000;
 /// slows a run down, so the fastest rep is the truest measure and the
 /// regime ratio is far more stable than with medians).
 const REPS: usize = 7;
-/// Required speedup: both knobs on vs both knobs off.
-const REQUIRED_SPEEDUP: f64 = 2.0;
-/// Full remeasurements allowed before a below-gate speedup is a failure.
-/// Interference from a noisy CI neighbour can only ever *lower* a
-/// measured speedup, so remeasuring never lets a real regression through
-/// — a genuinely slow engine fails every attempt.
-const MEASURE_ATTEMPTS: usize = 3;
+/// Hot-path speedup target (both knobs on vs both knobs off) on a quiet
+/// host. The actual gate is calibrated down from this by the measured
+/// warm-leg noise — see [`hotpath_calibration`].
+const HOTPATH_TARGET_SPEEDUP: f64 = 2.0;
+/// Hard floor for the calibrated hot-path gate: no amount of measured
+/// noise excuses the knobs delivering less than this.
+const HOTPATH_MIN_SPEEDUP: f64 = 1.5;
+/// Full remeasurements allowed before a below-gate speedup is a failure
+/// (the `attempts` argument of [`chaser_bench::gated_measurement`]).
+const MEASURE_ATTEMPTS: u32 = 3;
 /// Pause before a remeasurement. Throttled containers (cgroup CPU burst
 /// accounting) stay depressed for a few seconds after a heavy load burst,
 /// so back-to-back retries would all sample the same squeezed window.
@@ -325,45 +332,45 @@ fn host_parallel_capacity() -> f64 {
 /// `(serial ips, parallel ips, host capacity, parallel stats)`.
 fn assert_and_measure_rank_scaling(prog: &Program) -> (f64, f64, f64, ParallelStats) {
     let (_, serial_digest, _) = scaling_run(prog, 1);
-    let mut result = (0.0f64, 0.0f64, 0.0f64, ParallelStats::default());
-    for attempt in 1..=MEASURE_ATTEMPTS {
-        let (mut serial_ips, mut parallel_ips) = (0.0f64, 0.0f64);
-        let mut pstats = ParallelStats::default();
-        for _ in 0..RANK_REPS {
-            let (ips, digest, _) = scaling_run(prog, 1);
-            assert_eq!(digest, serial_digest, "serial digest must be stable");
-            serial_ips = serial_ips.max(ips);
-            let (ips, digest, p) = scaling_run(prog, RANK_THREADS);
-            assert_eq!(
-                digest, serial_digest,
-                "rank_threads={RANK_THREADS} diverged from the serial run"
+    gated_measurement(
+        "perf_smoke: rank-parallel speedup",
+        MEASURE_ATTEMPTS,
+        REMEASURE_COOLDOWN,
+        |_| {
+            let (mut serial_ips, mut parallel_ips) = (0.0f64, 0.0f64);
+            let mut pstats = ParallelStats::default();
+            for _ in 0..RANK_REPS {
+                let (ips, digest, _) = scaling_run(prog, 1);
+                assert_eq!(digest, serial_digest, "serial digest must be stable");
+                serial_ips = serial_ips.max(ips);
+                let (ips, digest, p) = scaling_run(prog, RANK_THREADS);
+                assert_eq!(
+                    digest, serial_digest,
+                    "rank_threads={RANK_THREADS} diverged from the serial run"
+                );
+                parallel_ips = parallel_ips.max(ips);
+                pstats = p;
+            }
+            assert!(
+                pstats.parallel_rounds > 0,
+                "the parallel leg never ran a round on more than one worker"
             );
-            parallel_ips = parallel_ips.max(ips);
-            pstats = p;
-        }
-        assert!(
-            pstats.parallel_rounds > 0,
-            "the parallel leg never ran a round on more than one worker"
-        );
-        let capacity = host_parallel_capacity();
-        let required = RANK_REQUIRED_SPEEDUP.min(RANK_CAPACITY_FRACTION * capacity);
-        let speedup = parallel_ips / serial_ips.max(1.0);
-        result = (serial_ips, parallel_ips, capacity, pstats);
-        if speedup >= required {
-            return result;
-        }
-        assert!(
-            attempt < MEASURE_ATTEMPTS,
-            "rank-parallel speedup regressed: {speedup:.2}x < {required:.2}x \
-             ({SCALING_RANKS} ranks, {RANK_THREADS} threads, host capacity {capacity:.2}x)"
-        );
-        println!(
-            "perf_smoke: rank-parallel speedup {speedup:.2}x below gate {required:.2}x \
-             on attempt {attempt}; host noisy, remeasuring"
-        );
-        std::thread::sleep(REMEASURE_COOLDOWN);
-    }
-    result
+            (serial_ips, parallel_ips, host_parallel_capacity(), pstats)
+        },
+        |r| {
+            let (serial_ips, parallel_ips, capacity) = (r.0, r.1, r.2);
+            let required = RANK_REQUIRED_SPEEDUP.min(RANK_CAPACITY_FRACTION * capacity);
+            let speedup = parallel_ips / serial_ips.max(1.0);
+            if speedup >= required {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{speedup:.2}x < {required:.2}x ({SCALING_RANKS} ranks, {RANK_THREADS} \
+                     threads, host capacity {capacity:.2}x)"
+                ))
+            }
+        },
+    )
 }
 
 /// Campaign runs in the shard-scaling measurement.
@@ -421,6 +428,26 @@ fn measure_shard_scaling() -> (f64, f64, f64) {
     (best[0], best[1], best[1] / best[0].max(1e-9))
 }
 
+/// Calibrates the hot-path gate from the accumulated regime measurements.
+///
+/// `acc[1]` and `acc[4]` are the *same* configuration — warm, both knobs
+/// off — measured twice, interleaved with everything else. On a quiet host
+/// their best-of throughputs converge; their ratio (`noise`, >= 1) is the
+/// residual run-to-run noise best-of could not squeeze out. Noise can
+/// depress the optimized leg and inflate the warm leg independently, so
+/// the required speedup is the quiet-host target divided by `noise`
+/// squared, floored at [`HOTPATH_MIN_SPEEDUP`]. The measured speedup uses
+/// the *faster* warm leg as its denominator (the conservative choice).
+///
+/// Returns `(speedup, required, noise)`.
+fn hotpath_calibration(acc: &[(f64, EngineStats); 5]) -> (f64, f64, f64) {
+    let (warm_a, warm_b) = (acc[1].0, acc[4].0);
+    let noise = warm_a.max(warm_b) / warm_a.min(warm_b).max(1.0);
+    let required = (HOTPATH_TARGET_SPEEDUP / (noise * noise)).max(HOTPATH_MIN_SPEEDUP);
+    let speedup = acc[3].0 / warm_a.max(warm_b).max(1.0);
+    (speedup, required, noise)
+}
+
 fn main() {
     // Correctness gates first: a speedup measured on a divergent engine
     // would be meaningless.
@@ -444,33 +471,49 @@ fn main() {
         (off, Some(&base)),
         (chained_only, Some(&base)),
         (ExecTuning::default(), Some(&base)),
+        // Second, independent measurement of the warm knobs-off regime:
+        // the ratio of the two identical warm legs calibrates the gate
+        // (see `hotpath_calibration`).
+        (off, Some(&base)),
     ];
-    let mut acc = [(0.0f64, EngineStats::default()); 4];
-    for attempt in 1..=MEASURE_ATTEMPTS {
-        for _ in 0..REPS {
-            measure_round(&prog, &regimes, &mut acc);
-        }
-        if acc[3].0 / acc[1].0.max(1.0) >= REQUIRED_SPEEDUP || attempt == MEASURE_ATTEMPTS {
-            break;
-        }
-        println!(
-            "perf_smoke: hot-path speedup {:.2}x below gate on attempt {attempt}; \
-             host noisy, remeasuring",
-            acc[3].0 / acc[1].0.max(1.0)
-        );
-        // Keep only each regime's best-so-far: noise cannot inflate it.
-        std::thread::sleep(REMEASURE_COOLDOWN);
-    }
-    let (cold_ips, warm_ips, chained_ips, opt_ips) = (acc[0].0, acc[1].0, acc[2].0, acc[3].0);
+    let mut acc = [(0.0f64, EngineStats::default()); 5];
+    let acc = gated_measurement(
+        "perf_smoke: hot-path speedup",
+        MEASURE_ATTEMPTS,
+        REMEASURE_COOLDOWN,
+        |_| {
+            // Accumulation keeps each regime's best-so-far across
+            // attempts: noise cannot inflate it.
+            for _ in 0..REPS {
+                measure_round(&prog, &regimes, &mut acc);
+            }
+            acc
+        },
+        |acc| {
+            let (speedup, required, noise) = hotpath_calibration(acc);
+            if speedup >= required {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{speedup:.2}x < calibrated gate {required:.2}x (warm-leg noise {noise:.3}x)"
+                ))
+            }
+        },
+    );
+    let (cold_ips, chained_ips, opt_ips) = (acc[0].0, acc[2].0, acc[3].0);
+    let warm_ips = acc[1].0.max(acc[4].0);
     let opt_stats = acc[3].1;
 
-    let speedup = opt_ips / warm_ips.max(1.0);
+    let (speedup, required, noise) = hotpath_calibration(&acc);
     println!("perf_smoke: engine throughput (guest insns/sec, best of {REPS}):");
     println!("  cold       (knobs off, no base cache): {cold_ips:>12.0}");
     println!("  warm       (knobs off, shared base)  : {warm_ips:>12.0}");
     println!("  chained    (tb_chaining only)        : {chained_ips:>12.0}");
     println!("  taint-idle (both knobs on)           : {opt_ips:>12.0}");
-    println!("  speedup (both on vs both off, warm)  : {speedup:.2}x");
+    println!(
+        "  speedup (both on vs both off, warm)  : {speedup:.2}x \
+         (calibrated gate {required:.2}x, warm-leg noise {noise:.3}x)"
+    );
     println!(
         "  optimized-run counters: {} chain hits, {} severs, {} fast-path / {} slow-path mem ops",
         opt_stats.tb_chain_hits,
@@ -482,10 +525,6 @@ fn main() {
     assert!(
         opt_stats.tb_chain_hits > 0 && opt_stats.slow_path_insns == 0,
         "optimized run must chain and stay entirely on the taint-idle path"
-    );
-    assert!(
-        speedup >= REQUIRED_SPEEDUP,
-        "hot-path speedup regressed: {speedup:.2}x < {REQUIRED_SPEEDUP}x"
     );
 
     // Rank-parallelism scaling: digest-gated, then timed.
@@ -520,6 +559,8 @@ fn main() {
          \"insns_per_sec_chained\": {chained_ips:.0},\n  \
          \"insns_per_sec_taint_idle\": {opt_ips:.0},\n  \
          \"speedup_on_vs_off\": {speedup:.3},\n  \
+         \"hotpath_required_speedup\": {required:.3},\n  \
+         \"hotpath_warm_leg_noise\": {noise:.3},\n  \
          \"tb_chain_hits\": {},\n  \
          \"chain_severs\": {},\n  \
          \"fast_path_insns\": {},\n  \

@@ -171,6 +171,36 @@ pub fn lud_app(args: &HarnessArgs) -> (AppSpec, lud::LudConfig) {
     (AppSpec::single(lud::program(&cfg)), cfg)
 }
 
+/// Runs `measure` up to `attempts` times, accepting the first result that
+/// passes `gate` and sleeping `cooldown` between tries.
+///
+/// This is the shared noise-retry loop of the perf gates (hot-path,
+/// rank-scaling, statistical-mode): interference from co-tenants can only
+/// *lower* a measured speedup, never raise it, so remeasuring until the
+/// gate passes does not mask a real regression. `gate` returns
+/// `Err(shortfall)` with a human-readable deficit; the final attempt's
+/// shortfall panics with `"{what} regressed: {shortfall}"`.
+pub fn gated_measurement<T>(
+    what: &str,
+    attempts: u32,
+    cooldown: std::time::Duration,
+    mut measure: impl FnMut(u32) -> T,
+    mut gate: impl FnMut(&T) -> Result<(), String>,
+) -> T {
+    for attempt in 1..=attempts {
+        let result = measure(attempt);
+        match gate(&result) {
+            Ok(()) => return result,
+            Err(shortfall) => {
+                assert!(attempt < attempts, "{what} regressed: {shortfall}");
+                println!("{what}: {shortfall} (attempt {attempt}; host noisy, remeasuring)");
+                std::thread::sleep(cooldown);
+            }
+        }
+    }
+    unreachable!("the final attempt either returned or panicked");
+}
+
 /// Renders an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

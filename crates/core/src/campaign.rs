@@ -9,7 +9,7 @@ use crate::outcome::{Outcome, TermCause};
 use crate::provenance::ProvenanceGraph;
 use crate::session::{
     prepare_app, run_app, run_prepared, run_warm, warm_start_for, AppSpec, PreparedApp, RunOptions,
-    RunReport, SnapshotStats, WarmStartOptions,
+    RunReport, SnapshotStats, TraceRegime, WarmStartOptions,
 };
 use crate::shard::{ShardChaos, ShardCtl, ShardStats, ShardSupervision, ShardWorkers};
 use crate::spec::{Corruption, InjectionSpec, OperandSel, Trigger};
@@ -80,6 +80,12 @@ pub struct CampaignConfig {
     /// Record a fault-propagation provenance graph per run and journal its
     /// aggregates (rank reach, blast radius, message-edge count, digest).
     pub provenance: bool,
+    /// Tracing regime: [`TraceRegime::Full`] (default) honors the
+    /// `tracing`/`provenance` flags above; [`TraceRegime::Off`] is the
+    /// ZOFI-style statistical mode that never arms taint or provenance and
+    /// classifies runs purely from termination cause plus golden-digest
+    /// comparison. Part of the journal config fingerprint (v6).
+    pub trace_regime: TraceRegime,
     /// Share one immutable base layer of clean translation blocks (warmed
     /// by the golden run) across all injection runs, so each run only
     /// translates the handful of blocks it instruments. Off = the cold
@@ -164,6 +170,7 @@ impl Default for CampaignConfig {
             tracing: false,
             tracer: TracerConfig::default(),
             provenance: false,
+            trace_regime: TraceRegime::default(),
             shared_tb_cache: true,
             warm_start: false,
             run_budget: RunBudget::default(),
@@ -392,6 +399,12 @@ pub struct CampaignResult {
     /// Rendered by [`PoolStats::to_csv`], never folded into the per-run
     /// CSVs.
     pub pool_stats: PoolStats,
+    /// The tracing regime the campaign executed under. Stamped by
+    /// [`Campaign::run`] from the config; [`CampaignResult::to_csv`]
+    /// renders the trace-derived columns as empty under
+    /// [`TraceRegime::Off`] (no taint machinery ran, so a zero would be a
+    /// lie — an empty cell keeps the schema while marking "not measured").
+    pub trace_regime: TraceRegime,
 }
 
 impl CampaignResult {
@@ -474,22 +487,33 @@ impl CampaignResult {
                 .as_ref()
                 .map(|r| (format!("{:#x}", r.pc), r.insn.replace(',', ";")))
                 .unwrap_or_default();
+            // Under the statistical regime no taint machinery ran: the
+            // trace-derived columns are emitted empty (schema-compatible,
+            // but visibly "not measured" rather than a fake zero).
+            let trace_cols = if self.trace_regime == TraceRegime::Off {
+                ",,,,,,,".to_string()
+            } else {
+                format!(
+                    "{},{},{},{},{},{},{},{:#x}",
+                    run.taint_reads,
+                    run.taint_writes,
+                    run.cross_rank,
+                    run.taint_sync_lost,
+                    run.prov_rank_reach,
+                    run.prov_blast_radius,
+                    run.prov_msg_edges,
+                    run.prov_digest,
+                )
+            };
             out.push_str(&format!(
-                "{},{},{:?},{},{},{},{},{},{},{},{},{},{:#x},{},{},{}
+                "{},{},{:?},{},{},{},{},{},{}
 ",
                 run.run_idx,
                 run.outcome,
                 run.class,
                 run.rank,
                 run.trigger_n,
-                run.taint_reads,
-                run.taint_writes,
-                run.cross_rank,
-                run.taint_sync_lost,
-                run.prov_rank_reach,
-                run.prov_blast_radius,
-                run.prov_msg_edges,
-                run.prov_digest,
+                trace_cols,
                 run.total_insns,
                 pc,
                 insn,
@@ -791,13 +815,20 @@ impl Campaign {
                 RankPool::Master => vec![0],
                 RankPool::Random => (0..self.app.nranks()).collect(),
             };
+            let (eff_tracing, eff_provenance) = self
+                .cfg
+                .trace_regime
+                .effective(self.cfg.tracing, self.cfg.provenance);
             prepared.warm = warm_start_for(
                 &prepared,
                 &WarmStartOptions {
                     classes: self.cfg.classes.clone(),
                     ranks,
-                    tracing: self.cfg.tracing,
-                    provenance: self.cfg.provenance,
+                    // The prefix must be captured under the regime the
+                    // injection runs execute with, so the regime-effective
+                    // flags go in, not the raw config booleans.
+                    tracing: eff_tracing,
+                    provenance: eff_provenance,
                     budget: self.cfg.run_budget,
                 },
             );
@@ -890,6 +921,7 @@ impl Campaign {
             runs: self.cfg.runs,
             config_hash: self.config_fingerprint(),
             golden_digest: golden_digest(&prepared.golden.outputs),
+            trace_regime: self.cfg.trace_regime,
         }
     }
 
@@ -905,13 +937,16 @@ impl Campaign {
     /// rows mix provenances silently (the journaled engine and parallelism
     /// counters would be incomparable across rows). `shards` is included
     /// (v5) because it fixes the shard plan: a shard journal's meta line is
-    /// only meaningful under the plan that created it.
+    /// only meaningful under the plan that created it. `trace_regime` is
+    /// included (v6): the regime decides whether taint counters in the
+    /// journaled rows are measurements or never-armed zeros, so rows from
+    /// different regimes must never mix.
     fn config_fingerprint(&self) -> u64 {
         let c = &self.cfg;
         let mut h = Fnv1a::new();
         h.write(
             format!(
-                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{};{:?};{};{};{};{:?};{}",
+                "{};{};{:?};{:?};{};{:?};{};{:?};{};{};{};{:?};{};{};{};{:?};{};{}",
                 c.runs,
                 c.seed,
                 c.classes,
@@ -929,6 +964,7 @@ impl Campaign {
                 c.rank_threads,
                 c.panic_runs,
                 c.shards,
+                c.trace_regime.name(),
             )
             .as_bytes(),
         );
@@ -1033,6 +1069,7 @@ impl Campaign {
             parallel_stats,
             shard_stats: ShardStats::default(),
             pool_stats: PoolStats::default(),
+            trace_regime: self.cfg.trace_regime,
         }
     }
 
@@ -1087,6 +1124,7 @@ impl Campaign {
             tracing: self.cfg.tracing,
             tracer: self.cfg.tracer,
             provenance: self.cfg.provenance,
+            regime: self.cfg.trace_regime,
             hook_mpi_symbols: false,
             budget: self.cfg.run_budget,
             exec_tuning: ExecTuning {
@@ -1175,6 +1213,7 @@ mod tests {
             parallel_stats: ParallelStats::default(),
             shard_stats: ShardStats::default(),
             pool_stats: PoolStats::default(),
+            trace_regime: TraceRegime::default(),
         }
     }
 

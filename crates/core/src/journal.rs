@@ -15,6 +15,7 @@
 use crate::campaign::RunOutcome;
 use crate::injector::InjectionRecord;
 use crate::outcome::{Outcome, TermCause};
+use crate::session::TraceRegime;
 use chaser_isa::InsnClass;
 use chaser_mpi::{BudgetKind, MpiErrorKind, ParallelStats};
 use chaser_tcg::CacheStats;
@@ -471,7 +472,8 @@ impl std::fmt::Display for JournalError {
                 }
                 write!(
                     f,
-                    " belongs to a different campaign (expected {expected:?}, found {found:?})"
+                    " belongs to a different campaign (differs in: {}; expected {expected:?}, found {found:?})",
+                    expected.differing_fields(found).join(", ")
                 )
             }
         }
@@ -503,6 +505,10 @@ pub struct JournalHeader {
     pub config_hash: u64,
     /// [`golden_digest`] of the golden run's outputs.
     pub golden_digest: u64,
+    /// The campaign's tracing regime (v6). Also folded into
+    /// `config_hash`, but carried explicitly so a mismatch error can name
+    /// the field instead of pointing at an opaque fingerprint.
+    pub trace_regime: TraceRegime,
 }
 
 /// Current journal format version. Version 2 added the per-run provenance
@@ -516,7 +522,12 @@ pub struct JournalHeader {
 /// fingerprint, shard journals carry a [`ShardMeta`] assignment line after
 /// the header, and quarantined harness-fault rows may carry a typed
 /// `cause` naming the lost shard.
-pub const JOURNAL_VERSION: u64 = 5;
+/// Version 6 added the tracing regime: `trace_regime` joined both the
+/// header (named field, so mismatches are diagnosable) and the config
+/// fingerprint — rows journaled under the statistical `off` regime carry
+/// never-armed zeros in their taint counters and must not mix with `full`
+/// rows.
+pub const JOURNAL_VERSION: u64 = 6;
 
 /// Line 2 of a *shard* journal: which contiguous slice of the campaign's
 /// run-index range this file owns. The merge uses it to prove coverage
@@ -561,17 +572,51 @@ impl JournalHeader {
                 "golden_digest".into(),
                 Json::Num(self.golden_digest as i128),
             ),
+            (
+                "trace_regime".into(),
+                Json::Str(self.trace_regime.name().into()),
+            ),
         ])
     }
 
     fn from_json(v: &Json) -> Result<JournalHeader, JournalError> {
+        let regime = v.str("trace_regime")?;
         Ok(JournalHeader {
             version: v.u64("chaser_journal")?,
             seed: v.u64("seed")?,
             runs: v.u64("runs")?,
             config_hash: v.u64("config_hash")?,
             golden_digest: v.u64("golden_digest")?,
+            trace_regime: TraceRegime::from_name(regime)
+                .ok_or_else(|| bad(format!("unknown trace regime `{regime}`")))?,
         })
+    }
+
+    /// Names of the header fields on which `self` and `other` disagree —
+    /// what a [`JournalError::HeaderMismatch`] reports, so "resumed under
+    /// the wrong trace regime" reads as `trace_regime` rather than an
+    /// opaque fingerprint difference.
+    pub fn differing_fields(&self, other: &JournalHeader) -> Vec<&'static str> {
+        let mut fields = Vec::new();
+        if self.version != other.version {
+            fields.push("version");
+        }
+        if self.seed != other.seed {
+            fields.push("seed");
+        }
+        if self.runs != other.runs {
+            fields.push("runs");
+        }
+        if self.config_hash != other.config_hash {
+            fields.push("config_hash");
+        }
+        if self.golden_digest != other.golden_digest {
+            fields.push("golden_digest");
+        }
+        if self.trace_regime != other.trace_regime {
+            fields.push("trace_regime");
+        }
+        fields
     }
 }
 
@@ -1336,6 +1381,7 @@ mod tests {
             runs: 10,
             config_hash: 2,
             golden_digest: 3,
+            trace_regime: TraceRegime::Full,
         };
         let j = CampaignJournal::create(&path, header).expect("create");
         j.append_outcome(&sample_outcome()).expect("append");
@@ -1362,6 +1408,7 @@ mod tests {
             runs: 10,
             config_hash: 2,
             golden_digest: 3,
+            trace_regime: TraceRegime::Full,
         };
         let j = CampaignJournal::create(&path, header).expect("create");
         j.append_skip(0, CacheStats::default()).expect("append");

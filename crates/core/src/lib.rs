@@ -92,8 +92,8 @@ pub use provenance::{
 };
 pub use session::{
     prepare_app, profile_app, run_app, run_app_insn_traced, run_prepared, run_warm, warm_start_for,
-    AppSpec, Chaser, HookRegistry, PreparedApp, RunOptions, RunReport, SnapshotStats, WarmStart,
-    WarmStartOptions,
+    AppSpec, Chaser, HookRegistry, PreparedApp, RunOptions, RunReport, SnapshotStats, TraceRegime,
+    WarmStart, WarmStartOptions,
 };
 pub use shard::{
     is_shard_lost, merge_shard_journals, shard_journal_path, ChaosKind, ShardChaos, ShardError,

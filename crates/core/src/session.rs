@@ -68,6 +68,68 @@ impl AppSpec {
     }
 }
 
+/// How much of the tracing machinery a run (or campaign) arms.
+///
+/// The paper's enhancement over plain fault injection is elastic taint
+/// tracing; ZOFI-style *statistical* campaigns need none of it — inject,
+/// run at native speed, classify against the golden digest. This knob
+/// selects between those worlds without touching the individual
+/// `tracing`/`provenance` flags, so it composes with existing configs:
+///
+/// * [`TraceRegime::Full`] (the default) honors the `tracing` and
+///   `provenance` flags exactly as configured — today's behavior.
+/// * [`TraceRegime::TaintOnly`] forces taint tracing on and provenance
+///   recording off.
+/// * [`TraceRegime::Off`] forces both off: the taint policy is
+///   `Disabled`, so no shadow state is ever materialised, no taint sink
+///   or observer hooks are registered, the TaintHub never publishes, and
+///   every clean block executes through the fast-path memory tier.
+///   Outcomes are still classified soundly — see `DESIGN.md` §13.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceRegime {
+    /// Statistical mode: never arm taint or provenance, whatever the
+    /// `tracing`/`provenance` flags say.
+    Off,
+    /// Taint tracing without provenance graphs.
+    TaintOnly,
+    /// Honor the `tracing`/`provenance` flags as configured.
+    #[default]
+    Full,
+}
+
+impl TraceRegime {
+    /// The wire name (`off` / `taint` / `full`) used by journals, CLI
+    /// tokens and campaign specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceRegime::Off => "off",
+            TraceRegime::TaintOnly => "taint",
+            TraceRegime::Full => "full",
+        }
+    }
+
+    /// Parses a wire name produced by [`TraceRegime::name`].
+    pub fn from_name(name: &str) -> Option<TraceRegime> {
+        match name {
+            "off" => Some(TraceRegime::Off),
+            "taint" => Some(TraceRegime::TaintOnly),
+            "full" => Some(TraceRegime::Full),
+            _ => None,
+        }
+    }
+
+    /// The effective `(tracing, provenance)` pair after this regime is
+    /// applied to the configured flags. Every consumer of the raw flags
+    /// goes through here, so the regime cannot be half-applied.
+    pub fn effective(self, tracing: bool, provenance: bool) -> (bool, bool) {
+        match self {
+            TraceRegime::Off => (false, false),
+            TraceRegime::TaintOnly => (true, false),
+            TraceRegime::Full => (tracing, provenance),
+        }
+    }
+}
+
 /// Per-run options.
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
@@ -80,6 +142,10 @@ pub struct RunOptions {
     /// Record a per-run fault-propagation [`ProvenanceGraph`] (taint
     /// machinery stays on even without `tracing`).
     pub provenance: bool,
+    /// Tracing regime: [`TraceRegime::Full`] (default) honors the
+    /// `tracing`/`provenance` flags above; `TaintOnly` and `Off` override
+    /// them — see [`TraceRegime`].
+    pub regime: TraceRegime,
     /// Hook the guest MPI wrapper functions by symbol address (the paper's
     /// interception mechanism; mostly useful for demos and tests — the
     /// runtime-level observers carry the actual taint synchronisation).
@@ -121,6 +187,12 @@ impl RunOptions {
             tracing: false,
             ..RunOptions::default()
         }
+    }
+
+    /// The effective `(tracing, provenance)` pair after the regime is
+    /// applied — what the run actually arms.
+    pub fn effective_trace(&self) -> (bool, bool) {
+        self.regime.effective(self.tracing, self.provenance)
     }
 }
 
@@ -319,7 +391,8 @@ pub fn run_app(app: &AppSpec, opts: &RunOptions) -> RunReport {
 /// configuration, or replay equivalence breaks.
 fn effective_cluster_cfg(app: &AppSpec, opts: &RunOptions) -> ClusterConfig {
     let mut cluster_cfg = app.cluster.clone();
-    if !opts.tracing && !opts.provenance {
+    let (tracing, provenance) = opts.effective_trace();
+    if !tracing && !provenance {
         cluster_cfg.taint_policy = chaser_taint::TaintPolicy::Disabled;
     }
     cluster_cfg.run_budget = cluster_cfg.run_budget.merge(opts.budget);
@@ -427,12 +500,10 @@ fn run_app_inner(
     }
 
     let injector = opts.spec.clone().map(Injector::new);
-    let tracer = opts
-        .tracing
-        .then(|| Arc::new(Mutex::new(Tracer::new(opts.tracer))));
-    let recorder = opts
-        .provenance
-        .then(|| Arc::new(Mutex::new(ProvenanceRecorder::new(PROV_LOG_CAPACITY))));
+    let (tracing, provenance) = opts.effective_trace();
+    let tracer = tracing.then(|| Arc::new(Mutex::new(Tracer::new(opts.tracer))));
+    let recorder =
+        provenance.then(|| Arc::new(Mutex::new(ProvenanceRecorder::new(PROV_LOG_CAPACITY))));
     let fn_logger = opts
         .hook_mpi_symbols
         .then(|| Arc::new(Mutex::new(FnHookLogger::default())));
@@ -636,12 +707,10 @@ pub fn run_warm(prepared: &PreparedApp, opts: &RunOptions, share_base_caches: bo
     let mut cluster = Cluster::from_snapshot(effective_cluster_cfg(app, opts), &warm.snapshot);
 
     let injector = opts.spec.clone().map(Injector::new);
-    let tracer = opts
-        .tracing
-        .then(|| Arc::new(Mutex::new(Tracer::new(opts.tracer))));
-    let recorder = opts
-        .provenance
-        .then(|| Arc::new(Mutex::new(ProvenanceRecorder::new(PROV_LOG_CAPACITY))));
+    let (tracing, provenance) = opts.effective_trace();
+    let tracer = tracing.then(|| Arc::new(Mutex::new(Tracer::new(opts.tracer))));
+    let recorder =
+        provenance.then(|| Arc::new(Mutex::new(ProvenanceRecorder::new(PROV_LOG_CAPACITY))));
     run_registry(injector.as_ref(), tracer.as_ref(), recorder.as_ref()).apply(&mut cluster);
     cluster.replay_vmi_creations();
     if share_base_caches {

@@ -31,7 +31,7 @@
 use crate::campaign::{quarantined_outcome, Campaign, CampaignResult, ReplayBase};
 use crate::journal::{CampaignJournal, JournalError, JournalHeader, JournalRow, ShardMeta};
 use crate::outcome::{Outcome, TermCause};
-use crate::session::PreparedApp;
+use crate::session::{PreparedApp, TraceRegime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -299,6 +299,19 @@ pub enum ShardError {
         /// The contested run index.
         run_idx: u64,
     },
+    /// A shard journal was written under a different tracing regime than
+    /// the campaign merging it. Checked before the generic header
+    /// comparison: `off`-regime rows carry never-armed zeros in their
+    /// taint counters, so mixing regimes would corrupt the merged result
+    /// silently if only the opaque fingerprint were compared.
+    RegimeMismatch {
+        /// The offending journal file.
+        path: String,
+        /// The regime the merging campaign runs under.
+        expected: TraceRegime,
+        /// The regime the journal was written under.
+        found: TraceRegime,
+    },
     /// The merged journals do not cover every run index.
     MissingRuns {
         /// How many indices have no row.
@@ -348,6 +361,16 @@ impl std::fmt::Display for ShardError {
             ShardError::ConflictingDuplicate { path, run_idx } => write!(
                 f,
                 "shard journal {path} holds a conflicting duplicate of run {run_idx}"
+            ),
+            ShardError::RegimeMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard journal {path} was written under trace regime `{}` but the campaign runs under `{}`",
+                found.name(),
+                expected.name()
             ),
             ShardError::MissingRuns { count, first } => write!(
                 f,
@@ -468,6 +491,13 @@ pub fn merge_shard_journals(
     for path in paths {
         let (header, meta, rows) = CampaignJournal::read_shard(path)?;
         let path_str = path.display().to_string();
+        if header.trace_regime != expected.trace_regime {
+            return Err(ShardError::RegimeMismatch {
+                path: path_str,
+                expected: expected.trace_regime,
+                found: header.trace_regime,
+            });
+        }
         if header != *expected {
             return Err(JournalError::HeaderMismatch {
                 path: path_str,
@@ -613,6 +643,13 @@ impl Campaign {
         for (meta, path) in plan.ranges.iter().zip(&paths) {
             if path.exists() {
                 let (found_header, found_meta, _) = CampaignJournal::read_shard(path)?;
+                if found_header.trace_regime != header.trace_regime {
+                    return Err(ShardError::RegimeMismatch {
+                        path: path.display().to_string(),
+                        expected: header.trace_regime,
+                        found: found_header.trace_regime,
+                    });
+                }
                 if found_header != header {
                     return Err(JournalError::HeaderMismatch {
                         path: path.display().to_string(),

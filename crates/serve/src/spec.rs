@@ -12,7 +12,7 @@
 use crate::apps::{app_names, build_app};
 use chaser::{
     class_from_name, class_name, AppSpec, Campaign, CampaignConfig, ChaosKind, Json, OperandSel,
-    RankPool, ShardChaos, ShardSupervision, ShardWorkers,
+    RankPool, ShardChaos, ShardSupervision, ShardWorkers, TraceRegime,
 };
 use chaser_isa::InsnClass;
 use chaser_mpi::RunBudget;
@@ -77,6 +77,13 @@ pub struct CampaignSpec {
     pub tracing: bool,
     /// Record provenance graphs per run.
     pub provenance: bool,
+    /// Tracing regime (`full` honors the flags above; `taint` and `off`
+    /// override them — `off` is the ZOFI-style statistical mode). Joins
+    /// the pool key: an `off` tenant must never share a [`PreparedApp`]
+    /// with a `full` tenant.
+    ///
+    /// [`PreparedApp`]: chaser::PreparedApp
+    pub trace_regime: TraceRegime,
     /// Warm-start every run from a shared prefix snapshot.
     pub warm_start: bool,
     /// Inter-run worker threads per shard (0 = all cores).
@@ -115,6 +122,7 @@ impl Default for CampaignSpec {
             operand: base.operand,
             tracing: false,
             provenance: false,
+            trace_regime: TraceRegime::default(),
             warm_start: false,
             parallelism: 2,
             rank_threads: base.rank_threads,
@@ -205,6 +213,10 @@ impl CampaignSpec {
             ),
             ("tracing".to_string(), Json::Bool(self.tracing)),
             ("provenance".to_string(), Json::Bool(self.provenance)),
+            (
+                "trace".to_string(),
+                Json::Str(self.trace_regime.name().to_string()),
+            ),
             ("warm_start".to_string(), Json::Bool(self.warm_start)),
             (
                 "parallelism".to_string(),
@@ -351,6 +363,11 @@ impl CampaignSpec {
                 .ok_or_else(|| SpecError::new("operand", format!("unknown operand `{operand}`")))?,
             tracing: get_bool(v, "tracing", d.tracing)?,
             provenance: get_bool(v, "provenance", d.provenance)?,
+            trace_regime: {
+                let trace = get_str(v, "trace", d.trace_regime.name())?;
+                TraceRegime::from_name(trace)
+                    .ok_or_else(|| SpecError::new("trace", format!("unknown regime `{trace}`")))?
+            },
             warm_start: get_bool(v, "warm_start", d.warm_start)?,
             parallelism: usize::try_from(get_u64(v, "parallelism", d.parallelism as u64)?)
                 .map_err(|_| SpecError::new("parallelism", "out of usize range"))?,
@@ -452,7 +469,7 @@ impl CampaignSpec {
     /// only there share one warmed [`chaser::PreparedApp`].
     pub fn pool_key(&self) -> String {
         format!(
-            "{}|{}|{}|{:?}|{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{:?}|{}|{}|{}|{}|{}|{}|{}",
             self.app,
             self.size,
             self.ranks,
@@ -460,6 +477,7 @@ impl CampaignSpec {
             self.rank_pool.name(),
             self.tracing,
             self.provenance,
+            self.trace_regime.name(),
             self.warm_start,
             self.max_insns,
             self.max_rounds,
@@ -487,6 +505,7 @@ impl CampaignSpec {
             operand: self.operand,
             tracing: self.tracing,
             provenance: self.provenance,
+            trace_regime: self.trace_regime,
             warm_start: self.warm_start,
             run_budget: RunBudget {
                 max_insns: self.max_insns,
@@ -540,6 +559,7 @@ mod tests {
             operand: OperandSel::Dst,
             tracing: true,
             provenance: true,
+            trace_regime: TraceRegime::TaintOnly,
             warm_start: true,
             parallelism: 3,
             rank_threads: 2,
@@ -634,6 +654,13 @@ mod tests {
             ..a.clone()
         };
         assert_ne!(a.pool_key(), c.pool_key());
+        // Regimes must never share a PreparedApp: an `off` tenant's pool
+        // entry carries no hook wiring expectations a `full` tenant has.
+        let d = CampaignSpec {
+            trace_regime: TraceRegime::Off,
+            ..a.clone()
+        };
+        assert_ne!(a.pool_key(), d.pool_key());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! resuming reproduces the uninterrupted campaign's outcome CSV byte for
 //! byte.
 
-use chaser::{AppSpec, Campaign, CampaignConfig};
+use chaser::{AppSpec, Campaign, CampaignConfig, TraceRegime};
 use chaser_isa::InsnClass;
 use chaser_workloads::matvec;
 use proptest::prelude::*;
@@ -13,6 +13,10 @@ use std::sync::OnceLock;
 const RUNS: u64 = 12;
 
 fn campaign() -> Campaign {
+    campaign_with(TraceRegime::default())
+}
+
+fn campaign_with(regime: TraceRegime) -> Campaign {
     let mv = matvec::MatvecConfig::default();
     let app = AppSpec::replicated(matvec::program(&mv), mv.ranks as usize, 4);
     Campaign::new(
@@ -22,6 +26,7 @@ fn campaign() -> Campaign {
             seed: 0xBEEF,
             parallelism: 2,
             classes: vec![InsnClass::Mov],
+            trace_regime: regime,
             ..CampaignConfig::default()
         },
     )
@@ -67,7 +72,13 @@ fn resume_rejects_a_corrupt_config_fingerprint() {
         let (header, rest) = text.split_once('\n').expect("header line");
         let at = header.find("\"config_hash\":").expect("hash field") + "\"config_hash\":".len();
         let mut h: Vec<char> = header.chars().collect();
-        h[at] = if h[at] == '9' { '1' } else { '9' };
+        // Flip the *last* digit: flipping the leading digit of a 20-digit
+        // hash can push it past u64::MAX and fail parsing instead.
+        let mut end = at;
+        while end < h.len() && h[end].is_ascii_digit() {
+            end += 1;
+        }
+        h[end - 1] = if h[end - 1] == '9' { '1' } else { '9' };
         format!("{}\n{rest}", h.into_iter().collect::<String>())
     })
     .expect_err("corrupt fingerprint must not resume");
@@ -75,6 +86,45 @@ fn resume_rejects_a_corrupt_config_fingerprint() {
         matches!(err, chaser::JournalError::HeaderMismatch { .. }),
         "unexpected error: {err}"
     );
+}
+
+/// Writes a journal under `wrote` and resumes it under `resumed`,
+/// asserting the cross-regime resume is refused with a header mismatch
+/// whose message names the `trace_regime` field.
+fn assert_regime_flip_rejected(wrote: TraceRegime, resumed: TraceRegime) {
+    let dir = std::env::temp_dir().join(format!(
+        "chaser-journal-regime-{}-{}-{}",
+        std::process::id(),
+        wrote.name(),
+        resumed.name()
+    ));
+    fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("campaign.jsonl");
+    campaign_with(wrote)
+        .run_journaled(&path)
+        .expect("journaled run");
+    let err = campaign_with(resumed)
+        .resume(&path)
+        .expect_err("cross-regime resume must be refused");
+    let _ = fs::remove_dir_all(&dir);
+    assert!(
+        matches!(err, chaser::JournalError::HeaderMismatch { .. }),
+        "unexpected error: {err}"
+    );
+    assert!(
+        err.to_string().contains("trace_regime"),
+        "mismatch must name the regime field: {err}"
+    );
+}
+
+#[test]
+fn resume_rejects_an_off_journal_under_full_config() {
+    assert_regime_flip_rejected(TraceRegime::Off, TraceRegime::Full);
+}
+
+#[test]
+fn resume_rejects_a_full_journal_under_off_config() {
+    assert_regime_flip_rejected(TraceRegime::Full, TraceRegime::Off);
 }
 
 #[test]

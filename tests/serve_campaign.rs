@@ -252,6 +252,77 @@ fn drain_checkpoints_and_restart_resumes_byte_identically() {
     daemon.wait();
 }
 
+/// Two tenants submitting the *same* app and fault model under different
+/// trace regimes must not share a prepared app — the regime joins the
+/// pool key (an Off-regime PreparedApp was warmed without taint hooks and
+/// would be wrong to hand to a Full campaign) — and both must stream
+/// byte-identical-to-standalone results.
+#[test]
+fn distinct_trace_regimes_get_distinct_pool_entries() {
+    let dir = temp_dir("regime-pool");
+    let endpoint = dir.join("sock").display().to_string();
+    let daemon = Daemon::start(
+        &endpoint,
+        &dir.join("state"),
+        ServeConfig {
+            max_concurrent: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon starts");
+
+    let base = CampaignSpec {
+        runs: 10,
+        seed: 0x0FF,
+        classes: vec![InsnClass::Mov],
+        shards: 2,
+        ..CampaignSpec::default()
+    };
+    let off = CampaignSpec {
+        tenant: "erin".into(),
+        trace_regime: chaser::TraceRegime::Off,
+        ..base.clone()
+    };
+    let full = CampaignSpec {
+        tenant: "frank".into(),
+        trace_regime: chaser::TraceRegime::Full,
+        tracing: true,
+        provenance: true,
+        ..base
+    };
+    assert_ne!(
+        off.pool_key(),
+        full.pool_key(),
+        "the trace regime must join the pool key"
+    );
+
+    for (spec, name) in [(&off, "erin.jsonl"), (&full, "frank.jsonl")] {
+        let (job, rows, term) = submit_collect(&endpoint, spec);
+        assert!(
+            matches!(term, Frame::Done { quarantined: 0, .. }),
+            "{term:?}"
+        );
+        let served = results(&endpoint, job).expect("results");
+        let reference = standalone(spec, &dir, name);
+        assert_eq!(served.outcome_csv, reference.to_csv(), "{name} outcome CSV");
+        assert_eq!(served.stats_csv, reference.stats_csv(), "{name} stats CSV");
+        assert_eq!(
+            rows.len() as u64,
+            reference.outcomes.len() as u64 + reference.skipped,
+            "{name} streamed rows"
+        );
+    }
+
+    // Identical app and fault model, different regimes: two pool misses
+    // and never a hit.
+    let report = status(&endpoint).expect("status");
+    assert_eq!(report.pool.prepared_misses, 2, "{:?}", report.pool);
+    assert_eq!(report.pool.prepared_hits, 0, "{:?}", report.pool);
+
+    drain(&endpoint).expect("drain");
+    daemon.wait();
+}
+
 #[test]
 fn admission_rejects_unknown_apps_budgets_and_unknown_jobs() {
     let dir = temp_dir("admission");

@@ -454,6 +454,33 @@ fn merge_rejects_a_foreign_fingerprint() {
 }
 
 #[test]
+fn merge_rejects_mixed_trace_regimes() {
+    let (dir, paths, header) = merged_fixture("mixed-regime");
+    // Doctor shard-1's header to claim it ran trace=off while the campaign
+    // (and shard 0) ran the default full regime. The regime check is typed
+    // and fires before the generic fingerprint comparison.
+    let lines = journal_lines(&paths[1]);
+    let doctored = lines[0].replace("\"trace_regime\":\"full\"", "\"trace_regime\":\"off\"");
+    assert_ne!(doctored, lines[0], "header must carry the regime field");
+    let mut all = lines.clone();
+    all[0] = doctored;
+    fs::write(&paths[1], format!("{}\n", all.join("\n"))).expect("rewrite");
+    match merge_shard_journals(&paths, &header) {
+        Err(ShardError::RegimeMismatch {
+            path,
+            expected,
+            found,
+        }) => {
+            assert!(path.ends_with("campaign.shard-1.jsonl"), "{path}");
+            assert_eq!(expected, chaser::TraceRegime::Full);
+            assert_eq!(found, chaser::TraceRegime::Off);
+        }
+        other => panic!("mixed-regime merge accepted: {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn merge_rejects_an_empty_shard_journal() {
     let (dir, paths, header) = merged_fixture("empty");
     fs::write(&paths[1], "").expect("truncate");
