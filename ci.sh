@@ -43,12 +43,14 @@ cargo run --release --offline -p chaser-bench --bin provenance_smoke
 # (same-key campaigns must share one PreparedApp).
 cargo run --release --offline -p chaser-bench --bin serve_smoke
 
-# Hot-path perf smoke: prove the tb_chaining / taint_fast_path knobs
-# observationally inert (outcome CSV, provenance exports, state digest
-# byte-identical), then require engine throughput with both knobs on vs
-# both off to clear a host-calibrated gate (2x quiet-host target, scaled
+# Hot-path perf smoke: prove the tb_chaining / superblocks /
+# taint_fast_path knobs observationally inert (outcome CSV — including
+# with only superblocks toggled — provenance exports, state digest
+# byte-identical), then require engine throughput to clear two
+# host-calibrated gates: taint-idle vs knobs-off (2x quiet-host target)
+# and the superblock leg vs taint-idle (fusion margin), each scaled
 # down by the measured noise between two identical knobs-off legs, never
-# below a hard floor). Also gates intra-run rank parallelism: an 8-rank
+# below a hard floor. Also gates intra-run rank parallelism: an 8-rank
 # workload must be digest-identical serial vs rank_threads=4 and faster by
 # 1.5x (calibrated down to the host's measured raw thread-scaling ceiling
 # on throttled CI containers). Records shard-scaling numbers (1 vs 4

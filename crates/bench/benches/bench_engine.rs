@@ -72,11 +72,17 @@ fn regimes(c: &mut Criterion) {
     let base = warmed_base(&prog);
     let off = ExecTuning {
         tb_chaining: false,
+        superblocks: false,
         taint_fast_path: false,
     };
     let chained = ExecTuning {
         tb_chaining: true,
+        superblocks: false,
         taint_fast_path: false,
+    };
+    let taint_idle = ExecTuning {
+        superblocks: false,
+        ..ExecTuning::default()
     };
     // The vendored criterion has no throughput reporting; print the
     // retired-instruction count once so times convert to insns/sec.
@@ -91,6 +97,9 @@ fn regimes(c: &mut Criterion) {
         b.iter(|| run_once(&prog, chained, Some(&base)))
     });
     group.bench_function("taint_idle", |b| {
+        b.iter(|| run_once(&prog, taint_idle, Some(&base)))
+    });
+    group.bench_function("superblocks", |b| {
         b.iter(|| run_once(&prog, ExecTuning::default(), Some(&base)))
     });
     group.finish();
@@ -149,6 +158,7 @@ fn golden_cluster(c: &mut Criterion) {
         b.iter(|| {
             run(ExecTuning {
                 tb_chaining: false,
+                superblocks: false,
                 taint_fast_path: false,
             })
         })

@@ -1,19 +1,22 @@
-//! Hot-path engine performance smoke: CI gate for the interpreter's two
-//! fast paths (TB chaining and the taint-idle memory path).
+//! Hot-path engine performance smoke: CI gate for the interpreter's
+//! fast paths (TB chaining, superblock formation and the taint-idle
+//! memory path).
 //!
 //! Measures engine throughput (guest insns/sec) on a memory-heavy loop in
-//! four regimes — cold (no base cache, knobs off), warm (shared base
-//! cache, knobs off), chained (warm + TB chaining), and taint-idle (warm +
-//! chaining + taint-idle fast path) — and requires the fully optimized
-//! regime to beat the unoptimized one by a *host-calibrated* margin: the
-//! knobs-off regime is measured twice, interleaved, and the ratio of the
-//! two identical legs calibrates the gate down from the 2x quiet-host
-//! target (never below a hard floor). Before trusting the
-//! speedup it proves the knobs observationally inert: a traced,
-//! provenance-recording campaign must produce byte-identical outcome CSVs,
-//! an injected run must export byte-identical provenance DOT/JSON, and a
-//! fault-free cluster must reach the same state digest with the knobs on
-//! and off.
+//! five regimes — cold (no base cache, knobs off), warm (shared base
+//! cache, knobs off), chained (warm + TB chaining), taint-idle (warm +
+//! chaining + taint-idle fast path) and superblocks (all knobs on) — and
+//! requires the optimized regimes to beat their baselines by
+//! *host-calibrated* margins: the knobs-off regime is measured twice,
+//! interleaved, and the ratio of the two identical legs calibrates each
+//! gate down from its quiet-host target (never below a hard floor). The
+//! taint-idle leg gates against the warm knobs-off leg; the superblock
+//! leg gates against the taint-idle leg, isolating the fusion win. Before
+//! trusting the speedups it proves the knobs observationally inert: a
+//! traced, provenance-recording campaign must produce byte-identical
+//! outcome CSVs (including with *only* superblocks toggled), an injected
+//! run must export byte-identical provenance DOT/JSON, and a fault-free
+//! cluster must reach the same state digest with the knobs on and off.
 //!
 //! Writes the measured numbers to `BENCH_engine.json` (hand-rolled JSON;
 //! the vendored serde has no serializer).
@@ -43,6 +46,15 @@ const HOTPATH_TARGET_SPEEDUP: f64 = 2.0;
 /// Hard floor for the calibrated hot-path gate: no amount of measured
 /// noise excuses the knobs delivering less than this.
 const HOTPATH_MIN_SPEEDUP: f64 = 1.5;
+/// Superblock speedup target (all knobs on vs chaining + taint-idle
+/// without fusion) on a quiet host. Fusion only elides per-block dispatch
+/// overhead — follow, locals resize, clean-regime gate — so its win is
+/// structurally smaller than the taint-idle one; the gate is calibrated
+/// down by the same measured warm-leg noise.
+const SUPERBLOCK_TARGET_SPEEDUP: f64 = 1.10;
+/// Hard floor for the calibrated superblock gate: fused dispatch may
+/// never be a regression.
+const SUPERBLOCK_MIN_SPEEDUP: f64 = 1.02;
 /// Full remeasurements allowed before a below-gate speedup is a failure
 /// (the `attempts` argument of [`chaser_bench::gated_measurement`]).
 const MEASURE_ATTEMPTS: u32 = 3;
@@ -160,7 +172,7 @@ fn matvec_app() -> AppSpec {
 /// byte-identically with the knobs on and off, while the optimized run
 /// actually exercises the fast paths.
 fn assert_campaign_identity() -> (EngineStats, EngineStats) {
-    let campaign = |tb_chaining: bool, taint_fast_path: bool| {
+    let campaign = |tb_chaining: bool, superblocks: bool, taint_fast_path: bool| {
         Campaign::new(
             matvec_app(),
             CampaignConfig {
@@ -171,18 +183,27 @@ fn assert_campaign_identity() -> (EngineStats, EngineStats) {
                 tracing: true,
                 provenance: true,
                 tb_chaining,
+                superblocks,
                 taint_fast_path,
                 ..CampaignConfig::default()
             },
         )
         .run()
     };
-    let on = campaign(true, true);
-    let off = campaign(false, false);
+    let on = campaign(true, true, true);
+    let off = campaign(false, false, false);
+    // Only superblocks toggled: isolates the fusion knob against the
+    // otherwise fully optimized configuration.
+    let no_sb = campaign(true, false, true);
     assert_eq!(
         on.to_csv(),
         off.to_csv(),
         "outcome CSV must be byte-identical across the hot-path knobs"
+    );
+    assert_eq!(
+        on.to_csv(),
+        no_sb.to_csv(),
+        "outcome CSV must be byte-identical with only superblocks toggled"
     );
     assert!(
         on.engine_stats.tb_chain_hits > 0,
@@ -195,6 +216,10 @@ fn assert_campaign_identity() -> (EngineStats, EngineStats) {
     assert_eq!(
         off.engine_stats.fast_path_insns, 0,
         "knobs-off campaign must never take the taint-idle path"
+    );
+    assert_eq!(
+        no_sb.engine_stats.superblocks_formed, 0,
+        "superblocks-off campaign must never fuse"
     );
     (on.engine_stats, off.engine_stats)
 }
@@ -223,6 +248,7 @@ fn assert_provenance_identity() {
     let on = report(ExecTuning::default());
     let off = report(ExecTuning {
         tb_chaining: false,
+        superblocks: false,
         taint_fast_path: false,
     });
     let graph_on = on.provenance.expect("provenance graph (knobs on)");
@@ -260,11 +286,20 @@ fn assert_state_digest_identity() {
     let on = digest(ExecTuning::default());
     let off = digest(ExecTuning {
         tb_chaining: false,
+        superblocks: false,
         taint_fast_path: false,
+    });
+    let no_sb = digest(ExecTuning {
+        superblocks: false,
+        ..ExecTuning::default()
     });
     assert_eq!(
         on, off,
         "cluster state digest must be identical across the hot-path knobs"
+    );
+    assert_eq!(
+        on, no_sb,
+        "cluster state digest must be identical with only superblocks toggled"
     );
 }
 
@@ -440,11 +475,25 @@ fn measure_shard_scaling() -> (f64, f64, f64) {
 /// the *faster* warm leg as its denominator (the conservative choice).
 ///
 /// Returns `(speedup, required, noise)`.
-fn hotpath_calibration(acc: &[(f64, EngineStats); 5]) -> (f64, f64, f64) {
+fn hotpath_calibration(acc: &[(f64, EngineStats); 6]) -> (f64, f64, f64) {
     let (warm_a, warm_b) = (acc[1].0, acc[4].0);
     let noise = warm_a.max(warm_b) / warm_a.min(warm_b).max(1.0);
     let required = (HOTPATH_TARGET_SPEEDUP / (noise * noise)).max(HOTPATH_MIN_SPEEDUP);
     let speedup = acc[3].0 / warm_a.max(warm_b).max(1.0);
+    (speedup, required, noise)
+}
+
+/// Calibrates the superblock gate: the fused leg (`acc[5]`, all knobs on)
+/// against the taint-idle leg (`acc[3]`, identical except no fusion), with
+/// the same warm-leg-noise calibration as [`hotpath_calibration`] but the
+/// superblock target and floor.
+///
+/// Returns `(speedup, required, noise)`.
+fn superblock_calibration(acc: &[(f64, EngineStats); 6]) -> (f64, f64, f64) {
+    let (warm_a, warm_b) = (acc[1].0, acc[4].0);
+    let noise = warm_a.max(warm_b) / warm_a.min(warm_b).max(1.0);
+    let required = (SUPERBLOCK_TARGET_SPEEDUP / (noise * noise)).max(SUPERBLOCK_MIN_SPEEDUP);
+    let speedup = acc[5].0 / acc[3].0.max(1.0);
     (speedup, required, noise)
 }
 
@@ -460,23 +509,32 @@ fn main() {
     let base = warmed_base(&prog);
     let off = ExecTuning {
         tb_chaining: false,
+        superblocks: false,
         taint_fast_path: false,
     };
     let chained_only = ExecTuning {
         tb_chaining: true,
+        superblocks: false,
         taint_fast_path: false,
+    };
+    let taint_idle = ExecTuning {
+        superblocks: false,
+        ..ExecTuning::default()
     };
     let regimes = [
         (off, None),
         (off, Some(&base)),
         (chained_only, Some(&base)),
-        (ExecTuning::default(), Some(&base)),
+        (taint_idle, Some(&base)),
         // Second, independent measurement of the warm knobs-off regime:
-        // the ratio of the two identical warm legs calibrates the gate
+        // the ratio of the two identical warm legs calibrates the gates
         // (see `hotpath_calibration`).
         (off, Some(&base)),
+        // All knobs on: taint-idle + superblock formation. Gated against
+        // the taint-idle leg to isolate the fusion win.
+        (ExecTuning::default(), Some(&base)),
     ];
-    let mut acc = [(0.0f64, EngineStats::default()); 5];
+    let mut acc = [(0.0f64, EngineStats::default()); 6];
     let acc = gated_measurement(
         "perf_smoke: hot-path speedup",
         MEASURE_ATTEMPTS,
@@ -491,28 +549,41 @@ fn main() {
         },
         |acc| {
             let (speedup, required, noise) = hotpath_calibration(acc);
-            if speedup >= required {
-                Ok(())
-            } else {
-                Err(format!(
+            if speedup < required {
+                return Err(format!(
                     "{speedup:.2}x < calibrated gate {required:.2}x (warm-leg noise {noise:.3}x)"
-                ))
+                ));
             }
+            let (sb_speedup, sb_required, noise) = superblock_calibration(acc);
+            if sb_speedup < sb_required {
+                return Err(format!(
+                    "superblock leg {sb_speedup:.2}x < calibrated gate {sb_required:.2}x \
+                     over taint-idle (warm-leg noise {noise:.3}x)"
+                ));
+            }
+            Ok(())
         },
     );
-    let (cold_ips, chained_ips, opt_ips) = (acc[0].0, acc[2].0, acc[3].0);
+    let (cold_ips, chained_ips, opt_ips, sb_ips) = (acc[0].0, acc[2].0, acc[3].0, acc[5].0);
     let warm_ips = acc[1].0.max(acc[4].0);
     let opt_stats = acc[3].1;
+    let sb_stats = acc[5].1;
 
     let (speedup, required, noise) = hotpath_calibration(&acc);
+    let (sb_speedup, sb_required, _) = superblock_calibration(&acc);
     println!("perf_smoke: engine throughput (guest insns/sec, best of {REPS}):");
     println!("  cold       (knobs off, no base cache): {cold_ips:>12.0}");
     println!("  warm       (knobs off, shared base)  : {warm_ips:>12.0}");
     println!("  chained    (tb_chaining only)        : {chained_ips:>12.0}");
-    println!("  taint-idle (both knobs on)           : {opt_ips:>12.0}");
+    println!("  taint-idle (chaining + fast path)    : {opt_ips:>12.0}");
+    println!("  superblocks (all knobs on)           : {sb_ips:>12.0}");
     println!(
-        "  speedup (both on vs both off, warm)  : {speedup:.2}x \
+        "  speedup (taint-idle vs off, warm)    : {speedup:.2}x \
          (calibrated gate {required:.2}x, warm-leg noise {noise:.3}x)"
+    );
+    println!(
+        "  speedup (superblocks vs taint-idle)  : {sb_speedup:.2}x \
+         (calibrated gate {sb_required:.2}x)"
     );
     println!(
         "  optimized-run counters: {} chain hits, {} severs, {} fast-path / {} slow-path mem ops",
@@ -521,10 +592,22 @@ fn main() {
         opt_stats.fast_path_insns,
         opt_stats.slow_path_insns
     );
+    println!(
+        "  superblock-run counters: {} formed, {} fused executions, {} bail-outs",
+        sb_stats.superblocks_formed, sb_stats.superblock_execs, sb_stats.superblock_bailouts
+    );
 
     assert!(
         opt_stats.tb_chain_hits > 0 && opt_stats.slow_path_insns == 0,
         "optimized run must chain and stay entirely on the taint-idle path"
+    );
+    assert_eq!(
+        opt_stats.superblocks_formed, 0,
+        "taint-idle leg has superblocks off and must never fuse"
+    );
+    assert!(
+        sb_stats.superblocks_formed >= 1 && sb_stats.superblock_execs > 0,
+        "superblock leg must fuse the hot loop and execute the fused trace"
     );
 
     // Rank-parallelism scaling: digest-gated, then timed.
@@ -551,6 +634,12 @@ fn main() {
     println!("  1 shard                              : {shard_1_rps:>12.1} runs/sec");
     println!("  {SHARD_FANOUT} shards                             : {shard_n_rps:>12.1} runs/sec");
     println!("  speedup (CSV-identical, record-only) : {shard_speedup:.2}x");
+    // The raw speedup is only meaningful next to what this host's threads
+    // can deliver at all: on a cgroup-throttled box the {SHARD_FANOUT}-way
+    // capacity itself sits near (or below) 1x, and a sub-1x shard speedup
+    // reflects the host ceiling plus per-shard journal overhead, not a
+    // sharding regression.
+    println!("  host raw {SHARD_FANOUT}-thread capacity        : {capacity:.2}x");
 
     let json = format!(
         "{{\n  \"workload\": \"hotloop ({} iters, 8 mem ops each)\",\n  \
@@ -558,9 +647,15 @@ fn main() {
          \"insns_per_sec_warm\": {warm_ips:.0},\n  \
          \"insns_per_sec_chained\": {chained_ips:.0},\n  \
          \"insns_per_sec_taint_idle\": {opt_ips:.0},\n  \
+         \"insns_per_sec_superblock\": {sb_ips:.0},\n  \
          \"speedup_on_vs_off\": {speedup:.3},\n  \
          \"hotpath_required_speedup\": {required:.3},\n  \
          \"hotpath_warm_leg_noise\": {noise:.3},\n  \
+         \"speedup_superblock\": {sb_speedup:.3},\n  \
+         \"superblock_required_speedup\": {sb_required:.3},\n  \
+         \"superblocks_formed\": {},\n  \
+         \"superblock_execs\": {},\n  \
+         \"superblock_bailouts\": {},\n  \
          \"tb_chain_hits\": {},\n  \
          \"chain_severs\": {},\n  \
          \"fast_path_insns\": {},\n  \
@@ -578,8 +673,15 @@ fn main() {
          \"shard_workload\": \"matvec campaign x {SHARD_RUNS} runs, thread-worker shards\",\n  \
          \"shard_1_runs_per_sec\": {shard_1_rps:.1},\n  \
          \"shard_{SHARD_FANOUT}_runs_per_sec\": {shard_n_rps:.1},\n  \
-         \"shard_speedup\": {shard_speedup:.3}\n}}\n",
+         \"shard_speedup\": {shard_speedup:.3},\n  \
+         \"shard_host_capacity\": {capacity:.3},\n  \
+         \"shard_note\": \"shard_speedup is bounded by shard_host_capacity (raw \
+         {SHARD_FANOUT}-thread scaling of this host) plus per-shard journal overhead; \
+         sub-1.0 on a throttled container is a host ceiling, not a sharding regression\"\n}}\n",
         LOOP_ITERS,
+        sb_stats.superblocks_formed,
+        sb_stats.superblock_execs,
+        sb_stats.superblock_bailouts,
         opt_stats.tb_chain_hits,
         opt_stats.chain_severs,
         opt_stats.fast_path_insns,

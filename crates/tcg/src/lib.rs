@@ -49,9 +49,12 @@ mod ir;
 mod tb;
 mod translate;
 
-pub use cache::{BaseLayer, CacheStats, ChainFollow, ChainSlot, DispatchBlock, TbCache};
+pub use cache::{
+    BaseLayer, CacheStats, ChainFollow, ChainSlot, DispatchBlock, TbCache, SB_HOT_THRESHOLD,
+    SB_MAX_MEMBERS,
+};
 pub use ir::{Global, Helper, TcgOp, Temp};
-pub use tb::TranslationBlock;
+pub use tb::{SbMember, TranslationBlock};
 pub use translate::{
     translate_block, CodeFetcher, InjectPointId, SliceFetcher, TranslateHook, MAX_TB_INSNS,
 };

@@ -11,13 +11,13 @@ use chaser_isa::{abi, Flags, Instruction, PAGE_SIZE};
 use chaser_taint::{PropKind, ProvSet, TaintMask, TaintState};
 use chaser_tcg::{
     translate_block, ChainFollow, ChainSlot, CodeFetcher, DispatchBlock, Global, TbCache, TcgOp,
-    Temp, TranslateHook, TranslationBlock,
+    Temp, TranslateHook, TranslationBlock, SB_HOT_THRESHOLD,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// Hot-path execution tuning: ablation knobs for the two interpreter fast
-/// paths. Both default to on; campaigns expose them so the optimized and
+/// Hot-path execution tuning: ablation knobs for the interpreter fast
+/// paths. All default to on; campaigns expose them so the optimized and
 /// unoptimized regimes can be proven byte-identical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecTuning {
@@ -29,6 +29,12 @@ pub struct ExecTuning {
     /// provenance), guest loads and clean stores skip shadow reads/writes,
     /// provenance propagation and taint-hook dispatch.
     pub taint_fast_path: bool,
+    /// Superblock formation: once a block's taken-slot chain has been
+    /// followed [`chaser_tcg::SB_HOT_THRESHOLD`] times within one epoch,
+    /// the chain is fused into a straight-line trace dispatched as a
+    /// single block, eliminating the per-member dispatch round-trip.
+    /// Requires `tb_chaining` (no chains, nothing to fuse).
+    pub superblocks: bool,
 }
 
 impl Default for ExecTuning {
@@ -36,6 +42,7 @@ impl Default for ExecTuning {
         ExecTuning {
             tb_chaining: true,
             taint_fast_path: true,
+            superblocks: true,
         }
     }
 }
@@ -56,6 +63,14 @@ pub struct EngineStats {
     /// Guest memory operations that ran the full taint/provenance slow
     /// path.
     pub slow_path_insns: u64,
+    /// Hot taken-slot chains fused into straight-line superblocks.
+    pub superblocks_formed: u64,
+    /// Block dispatches that executed a fused superblock.
+    pub superblock_execs: u64,
+    /// Early exits from a fused trace: a guard side-exit at a member
+    /// boundary, or the taint regime flipping mid-trace (an injection
+    /// landed inside a fused member).
+    pub superblock_bailouts: u64,
 }
 
 impl EngineStats {
@@ -66,6 +81,9 @@ impl EngineStats {
         self.chain_severs += other.chain_severs;
         self.fast_path_insns += other.fast_path_insns;
         self.slow_path_insns += other.slow_path_insns;
+        self.superblocks_formed += other.superblocks_formed;
+        self.superblock_execs += other.superblock_execs;
+        self.superblock_bailouts += other.superblock_bailouts;
     }
 }
 
@@ -80,6 +98,8 @@ struct HotCounters {
     chain_severs: u64,
     fast: u64,
     slow: u64,
+    sb_execs: u64,
+    sb_bails: u64,
 }
 
 impl HotCounters {
@@ -89,6 +109,8 @@ impl HotCounters {
         stats.chain_severs += self.chain_severs;
         stats.fast_path_insns += self.fast;
         stats.slow_path_insns += self.slow;
+        stats.superblock_execs += self.sb_execs;
+        stats.superblock_bailouts += self.sb_bails;
         *self = HotCounters::default();
     }
 }
@@ -191,6 +213,32 @@ fn store_u64_tainted(
     Ok(paddr)
 }
 
+/// Chain-exit slow path for a taken link that just crossed the hotness
+/// threshold: returns the fused trace to dispatch instead of `head` —
+/// reusing a registered superblock or forming one from the live chain —
+/// and redirects `pred`'s taken link at it so steady-state follows reach
+/// the trace without a lookup. `None` when the chain cannot be fused
+/// (too short, non-direct terminator); the caller falls back to `head`.
+#[cold]
+fn hot_chain_superblock(
+    cache: &mut TbCache,
+    stats: &mut EngineStats,
+    asid: u64,
+    pred: &Arc<DispatchBlock>,
+    head: &Arc<DispatchBlock>,
+) -> Option<Arc<DispatchBlock>> {
+    let sb = match cache.superblock(asid, head.tb().start_pc()) {
+        Some(sb) => sb,
+        None => {
+            let sb = cache.form_superblock(asid, head)?;
+            stats.superblocks_formed += 1;
+            sb
+        }
+    };
+    cache.chain(pred, ChainSlot::Taken, &sb);
+    Some(sb)
+}
+
 /// Exit disposition of the fully-clean block executor.
 enum CleanStep {
     /// Direct-jump terminator reached; `pc` is set, chain through `slot`.
@@ -212,6 +260,11 @@ enum CleanStep {
     /// An op this executor does not model (an injection callback); the
     /// caller resumes the general loop at op index `idx`.
     Bail(usize),
+    /// A superblock guard side-exited at a fused member boundary; `pc` is
+    /// set to the not-taken target. Dispatch without chaining: guards with
+    /// different targets share the trace's one dispatch block, so a
+    /// patched slot could be replayed for the wrong guard.
+    SideExit,
 }
 
 /// Executes one translation block under the fully-clean fast regime: no
@@ -391,6 +444,12 @@ fn run_tb_clean(
                     };
                     break 'run CleanStep::Chain(slot);
                 }
+                TcgOp::SbGuard { cond, fallthrough } => {
+                    if !proc.cpu.flags.holds(cond) {
+                        proc.cpu.pc = fallthrough;
+                        break 'run CleanStep::SideExit;
+                    }
+                }
                 TcgOp::ExitTbIndirect { addr } => {
                     proc.cpu.pc = val!(addr);
                     break 'run CleanStep::NoChain;
@@ -467,6 +526,9 @@ pub(crate) fn run_slice(
     let track_inject = hooks.inject.is_some();
     let chaining = tuning.tb_chaining;
     let fast_path = tuning.taint_fast_path;
+    // Superblocks ride on chain links: without chaining there are no
+    // follows to count and no chains to fuse.
+    let sb_enabled = tuning.superblocks && chaining;
     // The quantum and the run budget are checked at the same resume point;
     // fusing them into one bound leaves a single compare per instruction.
     let limit = quantum.min(insn_budget);
@@ -482,33 +544,47 @@ pub(crate) fn run_slice(
         let db: Arc<DispatchBlock> = match next_block.take() {
             Some(db) => db,
             None => {
-                let fetcher = AspaceFetcher {
-                    aspace: &proc.aspace,
-                    phys,
+                // A registered superblock headed at this pc wins over the
+                // plain block: it is severed by exactly the events that
+                // would invalidate the member chain, so while it is
+                // served it is as valid as the blocks it fused.
+                let sb = if sb_enabled {
+                    cache.superblock(pid, start_pc)
+                } else {
+                    None
                 };
-                let db = cache.dispatch_get_or_translate_validated(
-                    pid,
-                    start_pc,
-                    // A clean block from the shared base layer is reusable
-                    // only if the active hook would leave every instruction
-                    // in it uninstrumented; otherwise it must be
-                    // retranslated so the injection callback gets spliced
-                    // in.
-                    |tb| match &adapter {
-                        Some(a) => tb
-                            .insns()
-                            .iter()
-                            .all(|(pc, insn)| a.inject_point(*pc, insn).is_none()),
-                        None => true,
-                    },
-                    || {
-                        translate_block(
-                            &fetcher,
+                let db = match sb {
+                    Some(sb) => sb,
+                    None => {
+                        let fetcher = AspaceFetcher {
+                            aspace: &proc.aspace,
+                            phys,
+                        };
+                        cache.dispatch_get_or_translate_validated(
+                            pid,
                             start_pc,
-                            adapter.as_ref().map(|a| a as &dyn TranslateHook),
+                            // A clean block from the shared base layer is
+                            // reusable only if the active hook would leave
+                            // every instruction in it uninstrumented;
+                            // otherwise it must be retranslated so the
+                            // injection callback gets spliced in.
+                            |tb| match &adapter {
+                                Some(a) => tb
+                                    .insns()
+                                    .iter()
+                                    .all(|(pc, insn)| a.inject_point(*pc, insn).is_none()),
+                                None => true,
+                            },
+                            || {
+                                translate_block(
+                                    &fetcher,
+                                    start_pc,
+                                    adapter.as_ref().map(|a| a as &dyn TranslateHook),
+                                )
+                            },
                         )
-                    },
-                );
+                    }
+                };
                 if let Some((pred, slot)) = pending_patch.take() {
                     cache.chain(&pred, slot, &db);
                 }
@@ -519,17 +595,31 @@ pub(crate) fn run_slice(
         // that outlives the block body, so no refcount traffic is needed
         // (an `Arc::clone` here costs two atomic RMWs per block dispatch).
         let tb: &TranslationBlock = db.tb();
+        let fused = tb.fused_members() > 0;
+        if fused {
+            hot.sb_execs += 1;
+        }
 
         // Resolves a direct-jump exit to `slot`: dispatch through the live
         // link when one exists, otherwise fall back to the cache lookup and
-        // patch the slot afterwards.
+        // patch the slot afterwards. Taken-slot hits additionally feed the
+        // hotness counter that triggers superblock formation: exactly at
+        // the threshold the chain behind the link is fused and the link
+        // redirected at the trace.
         macro_rules! chain_exit {
             ($slot:expr) => {
                 if chaining {
                     match cache.follow(&db, $slot) {
                         ChainFollow::Hit(succ) => {
                             hot.chain_hits += 1;
-                            next_block = Some(succ);
+                            next_block = if sb_enabled
+                                && matches!($slot, ChainSlot::Taken)
+                                && cache.note_taken_follow(&db) == SB_HOT_THRESHOLD
+                            {
+                                hot_chain_superblock(cache, stats, pid, &db, &succ).or(Some(succ))
+                            } else {
+                                Some(succ)
+                            };
                         }
                         ChainFollow::Severed => {
                             hot.chain_severs += 1;
@@ -679,6 +769,10 @@ pub(crate) fn run_slice(
                 }
                 CleanStep::Fault(sig) => fault!(sig),
                 CleanStep::Bail(idx) => start_op = idx,
+                CleanStep::SideExit => {
+                    hot.sb_bails += 1;
+                    continue 'outer;
+                }
             }
         }
 
@@ -737,6 +831,12 @@ pub(crate) fn run_slice(
                                     taint.begin_block(tb.n_locals());
                                     clean = false;
                                     cur_pc = pc;
+                                    if fused {
+                                        // The fast regime ended mid-trace;
+                                        // the rest of the fused stream runs
+                                        // the slow path op-exact.
+                                        hot.sb_bails += 1;
+                                    }
                                 }
                             }
                         }
@@ -1041,6 +1141,12 @@ pub(crate) fn run_slice(
                             taint.begin_block(tb.n_locals());
                             clean = false;
                             cur_pc = pc;
+                            if fused {
+                                // An injection landed inside a fused
+                                // member: leave the fast regime and finish
+                                // the trace op-exact on the slow path.
+                                hot.sb_bails += 1;
+                            }
                         }
                     }
                 }
@@ -1063,6 +1169,16 @@ pub(crate) fn run_slice(
                     };
                     chain_exit!(slot);
                     continue 'outer;
+                }
+                TcgOp::SbGuard { cond, fallthrough } => {
+                    if !proc.cpu.flags.holds(cond) {
+                        // Side exit at a fused member boundary; never
+                        // chained (guards share the trace's one dispatch
+                        // block, see `CleanStep::SideExit`).
+                        proc.cpu.pc = fallthrough;
+                        hot.sb_bails += 1;
+                        continue 'outer;
+                    }
                 }
                 TcgOp::ExitTbIndirect { addr } => {
                     proc.cpu.pc = val!(addr);

@@ -942,10 +942,16 @@ mod more_engine_tests {
 
     #[test]
     fn tb_chaining_hits_links_and_preserves_results() {
-        let on = ExecTuning::default();
+        // Superblocks off in both arms: fusion absorbs chain follows, and
+        // this test isolates the chaining ablation itself.
+        let on = ExecTuning {
+            superblocks: false,
+            ..ExecTuning::default()
+        };
         let off = ExecTuning {
             tb_chaining: false,
             taint_fast_path: false,
+            superblocks: false,
         };
         let (chained, s1) = run_tuned(on);
         let (unchained, s2) = run_tuned(off);
@@ -964,6 +970,131 @@ mod more_engine_tests {
         // Knob off: every memory op pays the full shadow walk.
         assert_eq!(us.fast_path_insns, 0);
         assert!(us.slow_path_insns > 0);
+    }
+
+    /// Superblock formation must be observationally inert: the hot loop
+    /// produces the same outcome and retires the same instruction stream
+    /// with the knob on or off — only the dispatch accounting differs.
+    #[test]
+    fn superblocks_form_on_hot_loops_and_preserve_results() {
+        let (fused, s1) = run_tuned(ExecTuning::default());
+        let (plain, s2) = run_tuned(ExecTuning {
+            superblocks: false,
+            ..ExecTuning::default()
+        });
+        assert_eq!(s1, ExitStatus::Exited(4950));
+        assert_eq!(s2, s1, "the knob must not change the outcome");
+        let fs = fused.engine_stats();
+        let ps = plain.engine_stats();
+        assert!(fs.superblocks_formed >= 1, "hot self-loop must fuse");
+        assert!(fs.superblock_execs > 0, "the fused trace must actually run");
+        assert_eq!(ps.superblocks_formed, 0, "knob off must never fuse");
+        assert_eq!(ps.superblock_execs, 0);
+        // Each fused execution covers several chain follows, so the loop
+        // re-dispatches strictly less often.
+        assert!(fs.tb_chain_hits < ps.tb_chain_hits);
+        // Identical dynamic instruction stream: the per-path retire
+        // counters match exactly.
+        assert_eq!(fs.fast_path_insns, ps.fast_path_insns);
+        assert_eq!(fs.slow_path_insns, ps.slow_path_insns);
+    }
+
+    /// Injection flipping the taint regime *inside* a fused trace must
+    /// bail out at the exact architectural position: outcome (here the
+    /// final icount via SYS_CLOCK), taint reach, and retired-instruction
+    /// accounting all match the superblocks-off run byte for byte.
+    #[test]
+    fn injection_mid_superblock_bails_and_matches_unfused_run() {
+        use crate::hooks::{GuestCtx, InjectAction, InjectSink, NodeTranslateHook};
+        use chaser_isa::Instruction;
+        use chaser_taint::TaintMask;
+        use parking_lot::Mutex;
+
+        struct TargetStores;
+        impl NodeTranslateHook for TargetStores {
+            fn inject_point(&self, _n: u32, _p: u64, _pc: u64, insn: &Instruction) -> Option<u64> {
+                matches!(insn, Instruction::St { .. }).then_some(1)
+            }
+        }
+        struct TaintR2Late {
+            fired: u32,
+        }
+        impl InjectSink for TaintR2Late {
+            fn on_inject_point(
+                &mut self,
+                _point: u64,
+                _insn: &Instruction,
+                ctx: &mut GuestCtx<'_>,
+            ) -> InjectAction {
+                // Fire well past SB_HOT_THRESHOLD follows so the taint
+                // appears while the fused trace is executing.
+                if self.fired == 40 {
+                    ctx.taint_reg(Reg::R2, TaintMask::bit(0));
+                }
+                self.fired += 1;
+                InjectAction::default()
+            }
+        }
+
+        let mut a = Asm::new("sbflip");
+        a.bss("buf", 64);
+        a.lea(Reg::R5, "buf");
+        a.movi(Reg::R1, 0);
+        a.label("loop");
+        a.ld(Reg::R2, Reg::R5, 0);
+        a.add(Reg::R2, Reg::R1);
+        a.st(Reg::R2, Reg::R5, 0);
+        a.addi(Reg::R1, 1);
+        a.cmpi(Reg::R1, 100);
+        a.jcc(chaser_isa::Cond::Lt, "loop");
+        a.hypercall(abi::SYS_CLOCK);
+        a.exit_with(Reg::R0);
+        let prog = a.assemble().expect("assemble");
+
+        let run_with = |tuning: ExecTuning| {
+            let mut node = Node::new(0);
+            node.set_exec_tuning(tuning);
+            node.hooks_mut().translate = Some(Arc::new(TargetStores));
+            let sink = Arc::new(Mutex::new(TaintR2Late { fired: 0 }));
+            node.hooks_mut().inject = Some(sink.clone());
+            let pid = node.spawn(&prog).expect("spawn");
+            let status = loop {
+                match node.run_slice(pid, 1000) {
+                    SliceExit::Exited(s) => break s,
+                    SliceExit::QuantumExpired => continue,
+                    other => panic!("unexpected slice exit: {other:?}"),
+                }
+            };
+            let fired = sink.lock().fired;
+            (node, status, fired)
+        };
+
+        let (fused, s_on, fired_on) = run_with(ExecTuning::default());
+        let (plain, s_off, fired_off) = run_with(ExecTuning {
+            superblocks: false,
+            ..ExecTuning::default()
+        });
+        // Exact icount: SYS_CLOCK read at exit must agree to the insn.
+        assert_eq!(s_on, s_off, "fused bail-out must not perturb icount");
+        assert!(matches!(s_on, ExitStatus::Exited(n) if n > 0));
+        assert_eq!(fired_on, 100, "one callback per store execution");
+        assert_eq!(fired_off, fired_on);
+        assert_eq!(
+            fused.taint().mem().tainted_bytes(),
+            plain.taint().mem().tainted_bytes(),
+            "injected taint must reach the same shadow bytes"
+        );
+        let fs = fused.engine_stats();
+        let ps = plain.engine_stats();
+        assert!(fs.superblocks_formed >= 1, "the hot loop must fuse");
+        assert!(
+            fs.superblock_bailouts >= 1,
+            "the regime flip must be charged as a superblock bail-out"
+        );
+        assert_eq!(ps.superblocks_formed, 0);
+        assert_eq!(ps.superblock_bailouts, 0);
+        assert_eq!(fs.fast_path_insns, ps.fast_path_insns);
+        assert_eq!(fs.slow_path_insns, ps.slow_path_insns);
     }
 
     #[test]
